@@ -1,0 +1,60 @@
+// Fault tolerance under load: QR-DTM's quorum replication is the paper's
+// substrate claim ("fault-tolerant DTM").  This bench kills non-root
+// servers mid-run and measures how throughput degrades while correctness
+// (the Bank invariant) is preserved.
+//
+// Interval schedule: servers fail one per interval starting at interval 1
+// (ids from the bottom of the tree), then all recover for the final
+// interval.
+#include <thread>
+
+#include "bench/figure_common.hpp"
+#include "src/workloads/bank.hpp"
+
+int main(int argc, char** argv) {
+  using namespace acn;
+  auto args = bench::parse_args(argc, argv);
+  const std::size_t intervals = 6;
+
+  std::printf("\n=== Fault tolerance: Bank under QR-ACN with node failures ===\n");
+  harness::Cluster cluster(args.cluster);
+  workloads::Bank bank;
+  bank.seed(cluster.servers());
+
+  // Drive the failure schedule from a side thread while the standard
+  // driver measures throughput per interval.
+  std::thread chaos([&] {
+    const auto interval = args.driver.interval;
+    std::this_thread::sleep_for(interval);  // interval 0: healthy
+    const int victims[] = {9, 8, 7};        // leaves first
+    for (int victim : victims) {
+      cluster.network().set_node_down(victim, true);
+      std::printf("  [chaos] node %d down\n", victim);
+      std::this_thread::sleep_for(interval);
+    }
+    for (int victim : victims) cluster.network().set_node_down(victim, false);
+    std::printf("  [chaos] all nodes recovered\n");
+  });
+
+  auto driver = args.driver;
+  driver.intervals = intervals;
+  try {
+    const auto result =
+        harness::run(cluster, bank, harness::Protocol::kAcn, driver);
+    chaos.join();
+    std::printf("%8s %12s\n", "t(s)", "tx/s");
+    const double seconds =
+        std::chrono::duration<double>(driver.interval).count();
+    for (std::size_t k = 0; k < result.throughput.size(); ++k)
+      std::printf("%8.2f %12.1f\n", static_cast<double>(k + 1) * seconds,
+                  result.throughput[k]);
+    std::printf("commits=%llu full_aborts=%llu (invariants verified)\n",
+                static_cast<unsigned long long>(result.stats.commits),
+                static_cast<unsigned long long>(result.stats.full_aborts));
+    return 0;
+  } catch (const std::exception& e) {
+    chaos.join();
+    std::fprintf(stderr, "abl_faults failed: %s\n", e.what());
+    return 1;
+  }
+}

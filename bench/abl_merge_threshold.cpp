@@ -1,0 +1,37 @@
+// Ablation: Step 2 merge threshold (the "granularity" trade-off of
+// Section III).  Small thresholds keep UnitBlocks separate (fine-grained
+// nesting: cheap partial rollbacks but little saved work per abort); large
+// thresholds merge aggressively toward flat execution.  Runs the Bank
+// workload under QR-ACN for each threshold and prints mean post-adaptation
+// throughput.
+#include "bench/figure_common.hpp"
+#include "src/workloads/bank.hpp"
+
+int main(int argc, char** argv) {
+  using namespace acn;
+  auto args = bench::parse_args(argc, argv);
+  args.driver.intervals = 4;
+
+  std::printf("\n=== Ablation: merge threshold (Bank, QR-ACN) ===\n");
+  std::printf("%12s %14s %16s %16s\n", "threshold", "mean tx/s",
+              "partial aborts", "full aborts");
+  for (const double threshold : {0.0, 0.1, 0.25, 0.5, 1.0, 2.0}) {
+    auto driver = args.driver;
+    driver.algorithm.merge_threshold = threshold;
+    harness::Cluster cluster(args.cluster);
+    workloads::Bank bank;
+    bank.seed(cluster.servers());
+    try {
+      const auto result =
+          harness::run(cluster, bank, harness::Protocol::kAcn, driver);
+      std::printf("%12.2f %14.1f %16llu %16llu\n", threshold,
+                  result.mean_throughput(1),
+                  static_cast<unsigned long long>(result.stats.partial_aborts),
+                  static_cast<unsigned long long>(result.stats.full_aborts));
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "threshold %.2f failed: %s\n", threshold, e.what());
+      return 1;
+    }
+  }
+  return 0;
+}

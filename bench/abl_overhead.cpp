@@ -1,0 +1,33 @@
+// Ablation: QR-ACN overhead where partial rollback cannot pay off
+// (Section I-B claim: "QR-ACN guarantees performance similar to flat
+// nesting, thus exposing minimal overhead").  Bank configured with a
+// uniform access distribution — no hot spots at all — so all three
+// protocols should coincide; the printout quantifies the residual gaps.
+#include "bench/figure_common.hpp"
+#include "src/workloads/bank.hpp"
+
+int main(int argc, char** argv) {
+  using namespace acn;
+  auto args = bench::parse_args(argc, argv);
+  args.driver.intervals = 4;
+
+  workloads::BankConfig uniform;
+  uniform.hot_branches = 0;  // no hot set: purely uniform picks
+  uniform.hot_accounts = 0;
+  try {
+    const auto results = harness::run_all_protocols(
+        args.cluster,
+        [uniform] { return std::make_unique<workloads::Bank>(uniform); },
+        args.driver);
+    harness::print_figure("Ablation: uniform Bank (overhead bound)", results,
+                          args.driver);
+    std::printf("QR-ACN overhead vs QR-DTM: %+.1f%%  (paper bound: ~3%%)\n",
+                -harness::improvement_pct(results[2], results[0], 1));
+    std::printf("QR-ACN overhead vs QR-CN:  %+.1f%%\n",
+                -harness::improvement_pct(results[2], results[1], 1));
+    return 0;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "abl_overhead failed: %s\n", e.what());
+    return 1;
+  }
+}

@@ -1,0 +1,67 @@
+// Ablation: which Algorithm Module steps buy the performance?
+//
+// Runs Bank under QR-ACN with each step disabled in turn:
+//   full        — Steps 1+2+3 (the paper's QR-ACN)
+//   no-resplit  — Step 1 off: local ops stay with their latest producer
+//   no-merge    — Step 2 off: one UnitBlock per Block
+//   no-reorder  — Step 3 off: static order, hot blocks stay early
+//   strict-dep  — Step 2 merges only dependent neighbours (the paper's
+//                 V-C3 wording rather than its Figure 3 behaviour)
+#include "bench/figure_common.hpp"
+#include "src/workloads/bank.hpp"
+
+int main(int argc, char** argv) {
+  using namespace acn;
+  auto args = bench::parse_args(argc, argv);
+  args.driver.intervals = 4;
+
+  struct Variant {
+    const char* name;
+    AlgorithmConfig config;
+  };
+  std::vector<Variant> variants;
+  variants.push_back({"full", {}});
+  {
+    AlgorithmConfig c;
+    c.enable_resplit = false;
+    variants.push_back({"no-resplit", c});
+  }
+  {
+    AlgorithmConfig c;
+    c.enable_merge = false;
+    variants.push_back({"no-merge", c});
+  }
+  {
+    AlgorithmConfig c;
+    c.enable_reorder = false;
+    variants.push_back({"no-reorder", c});
+  }
+  {
+    AlgorithmConfig c;
+    c.merge_requires_dependency = true;
+    variants.push_back({"strict-dep", c});
+  }
+
+  std::printf("\n=== Ablation: Algorithm Module steps (Bank, QR-ACN) ===\n");
+  std::printf("%12s %14s %16s %16s\n", "variant", "mean tx/s",
+              "partial aborts", "full aborts");
+  for (const auto& variant : variants) {
+    auto driver = args.driver;
+    driver.algorithm = variant.config;
+    harness::Cluster cluster(args.cluster);
+    workloads::Bank bank;
+    bank.seed(cluster.servers());
+    try {
+      const auto result =
+          harness::run(cluster, bank, harness::Protocol::kAcn, driver);
+      std::printf("%12s %14.1f %16llu %16llu\n", variant.name,
+                  result.mean_throughput(1),
+                  static_cast<unsigned long long>(result.stats.partial_aborts),
+                  static_cast<unsigned long long>(result.stats.full_aborts));
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "%s failed: %s\n", variant.name, e.what());
+      return 1;
+    }
+  }
+  return 0;
+}

@@ -1,0 +1,18 @@
+// Figure 4(d): TPC-C, 100% Delivery transactions.
+//
+// Paper: Delivery spreads its accesses uniformly over many objects with
+// similar low contention, so closed nesting does not pay off — QR-DTM,
+// QR-CN and QR-ACN perform alike.  The panel's purpose is to bound
+// QR-ACN's overhead relative to manual QR-CN (< 3% in the paper).
+#include "bench/figure_common.hpp"
+#include "src/workloads/tpcc.hpp"
+
+int main(int argc, char** argv) {
+  auto args = acn::bench::parse_args(argc, argv);
+  acn::workloads::TpccConfig config;
+  config.w_neworder = 0.0;
+  config.w_delivery = 1.0;
+  return acn::bench::run_figure(
+      "Figure 4(d): TPC-C Delivery 100% (uniform low contention)", args,
+      [config] { return std::make_unique<acn::workloads::Tpcc>(config); });
+}

@@ -1,0 +1,16 @@
+// Figure 4(e): Vacation with the hot objects changing in the 2nd and 4th
+// intervals (hot table rotates cars -> flights -> cars).
+//
+// Paper: QR-ACN re-adapts after each change — +120% over QR-DTM and +35%
+// over QR-CN in the second interval, and still +8% over QR-DTM when the
+// fourth interval's change happens to favour the static compositions.
+#include "bench/figure_common.hpp"
+#include "src/workloads/vacation.hpp"
+
+int main(int argc, char** argv) {
+  auto args = acn::bench::parse_args(argc, argv);
+  args.driver.phase_changes = {{1, 1}, {3, 0}};
+  return acn::bench::run_figure(
+      "Figure 4(e): Vacation, contention changes at intervals 2 and 4", args,
+      [] { return std::make_unique<acn::workloads::Vacation>(); });
+}

@@ -1,0 +1,16 @@
+// Figure 4(f): Bank, 90% write transactions, contention changes in the 2nd
+// and 4th intervals (hot class flips branches -> accounts -> branches).
+//
+// Paper: QR-CN (the Figure 2 manual decomposition) wins at the very start;
+// QR-ACN then re-splits account/branch blocks and reorders them, reaching
+// gains up to 55%.
+#include "bench/figure_common.hpp"
+#include "src/workloads/bank.hpp"
+
+int main(int argc, char** argv) {
+  auto args = acn::bench::parse_args(argc, argv);
+  args.driver.phase_changes = {{1, 1}, {3, 0}};
+  return acn::bench::run_figure(
+      "Figure 4(f): Bank 90% writes, contention changes at intervals 2 and 4",
+      args, [] { return std::make_unique<acn::workloads::Bank>(); });
+}

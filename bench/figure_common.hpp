@@ -1,0 +1,85 @@
+// Shared runner for the Figure 4 reproduction binaries.
+//
+// Each bench builds the paper's cluster shape — 10 server replicas in a
+// ternary tree behind a simulated LAN — runs one workload under QR-DTM,
+// QR-CN and QR-ACN for a fixed number of measurement intervals, and prints
+// the per-interval throughput series plus the post-adaptation improvement
+// summary (the numbers the paper quotes per panel).
+//
+// Command-line overrides (all optional, positional-free):
+//   --clients=N --intervals=N --interval-ms=N --servers=N --latency-us=N
+//   --seed=N
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "src/harness/driver.hpp"
+#include "src/harness/report.hpp"
+
+namespace acn::bench {
+
+struct FigureArgs {
+  harness::ClusterConfig cluster;
+  harness::DriverConfig driver;
+  std::string csv_path;  // --csv=FILE: dump the per-interval series
+
+  FigureArgs() {
+    cluster.n_servers = 10;
+    cluster.base_latency = std::chrono::microseconds{25};
+    cluster.stub.busy_backoff = std::chrono::microseconds{20};
+    driver.n_clients = 8;
+    driver.intervals = 8;
+    driver.interval = std::chrono::milliseconds{250};
+    driver.executor.backoff_base = std::chrono::microseconds{20};
+    driver.seed = 42;
+  }
+};
+
+inline FigureArgs parse_args(int argc, char** argv) {
+  FigureArgs args;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto value = [&](const char* prefix) -> long {
+      return std::strtol(arg.c_str() + std::strlen(prefix), nullptr, 10);
+    };
+    if (arg.rfind("--clients=", 0) == 0)
+      args.driver.n_clients = static_cast<std::size_t>(value("--clients="));
+    else if (arg.rfind("--intervals=", 0) == 0)
+      args.driver.intervals = static_cast<std::size_t>(value("--intervals="));
+    else if (arg.rfind("--interval-ms=", 0) == 0)
+      args.driver.interval = std::chrono::milliseconds{value("--interval-ms=")};
+    else if (arg.rfind("--servers=", 0) == 0)
+      args.cluster.n_servers = static_cast<std::size_t>(value("--servers="));
+    else if (arg.rfind("--latency-us=", 0) == 0)
+      args.cluster.base_latency = std::chrono::microseconds{value("--latency-us=")};
+    else if (arg.rfind("--seed=", 0) == 0)
+      args.driver.seed = static_cast<std::uint64_t>(value("--seed="));
+    else if (arg.rfind("--csv=", 0) == 0)
+      args.csv_path = arg.substr(std::strlen("--csv="));
+    else
+      std::fprintf(stderr, "ignoring unknown arg: %s\n", arg.c_str());
+  }
+  return args;
+}
+
+template <class MakeWorkload>
+int run_figure(const std::string& title, const FigureArgs& args,
+               MakeWorkload&& make_workload) {
+  try {
+    const auto results = harness::run_all_protocols(
+        args.cluster, std::forward<MakeWorkload>(make_workload), args.driver);
+    harness::print_figure(title, results, args.driver);
+    if (!args.csv_path.empty() &&
+        harness::write_csv(args.csv_path, results, args.driver))
+      std::printf("series written to %s\n", args.csv_path.c_str());
+    return 0;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "%s failed: %s\n", title.c_str(), e.what());
+    return 1;
+  }
+}
+
+}  // namespace acn::bench

@@ -1,0 +1,132 @@
+// acn-inspect: developer tool over the public API.
+//
+//   inspect <workload> [program] [--dot] [--levels=cls:count,cls:count,...]
+//
+//   workload  bank | vacation | tpcc
+//   program   substring of the program name (default: all programs)
+//   --dot     print the Graphviz unit graph instead of the text dump
+//   --levels  contention snapshot; when given, also prints the Algorithm
+//             Module's recomputed Block Sequence for it
+//
+// Examples:
+//   ./examples/inspect bank transfer --levels=1:200,2:4
+//   ./examples/inspect tpcc neworder --dot
+#include <cstdio>
+#include <cstring>
+#include <memory>
+#include <string>
+
+#include "src/acn/acn.hpp"
+#include "src/workloads/bank.hpp"
+#include "src/workloads/tpcc.hpp"
+#include "src/workloads/vacation.hpp"
+
+using namespace acn;
+
+namespace {
+
+std::unique_ptr<workloads::Workload> make_workload(const std::string& name) {
+  if (name == "bank") return std::make_unique<workloads::Bank>();
+  if (name == "vacation") {
+    workloads::VacationConfig config;
+    config.cancel_fraction = 0.1;
+    return std::make_unique<workloads::Vacation>(config);
+  }
+  if (name == "tpcc") {
+    workloads::TpccConfig config;
+    config.w_neworder = 0.4;
+    config.w_payment = 0.2;
+    config.w_delivery = 0.2;
+    config.w_orderstatus = 0.1;
+    config.w_stocklevel = 0.1;
+    return std::make_unique<workloads::Tpcc>(config);
+  }
+  return nullptr;
+}
+
+RawLevels parse_levels(const std::string& spec) {
+  RawLevels levels;
+  std::size_t pos = 0;
+  while (pos < spec.size()) {
+    const std::size_t colon = spec.find(':', pos);
+    if (colon == std::string::npos) break;
+    std::size_t comma = spec.find(',', colon);
+    if (comma == std::string::npos) comma = spec.size();
+    const auto cls = static_cast<ir::ClassId>(
+        std::strtoul(spec.substr(pos, colon - pos).c_str(), nullptr, 10));
+    const auto count = std::strtoull(
+        spec.substr(colon + 1, comma - colon - 1).c_str(), nullptr, 10);
+    levels[cls] = count;
+    pos = comma + 1;
+  }
+  return levels;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    std::fprintf(stderr,
+                 "usage: inspect <bank|vacation|tpcc> [program-substring] "
+                 "[--dot] [--levels=cls:count,...]\n");
+    return 2;
+  }
+  const std::string workload_name = argv[1];
+  std::string program_filter;
+  bool dot = false;
+  RawLevels levels;
+  bool have_levels = false;
+  for (int i = 2; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--dot")
+      dot = true;
+    else if (arg.rfind("--levels=", 0) == 0) {
+      levels = parse_levels(arg.substr(std::strlen("--levels=")));
+      have_levels = true;
+    } else
+      program_filter = arg;
+  }
+
+  auto workload = make_workload(workload_name);
+  if (!workload) {
+    std::fprintf(stderr, "unknown workload '%s'\n", workload_name.c_str());
+    return 2;
+  }
+
+  for (const auto& profile : workload->profiles()) {
+    const auto& program = *profile.program;
+    if (!program_filter.empty() &&
+        program.name.find(program_filter) == std::string::npos)
+      continue;
+
+    std::printf("===== %s (weight %.2f, %zu ops, %zu remote) =====\n",
+                program.name.c_str(), profile.weight, program.ops.size(),
+                program.remote_op_count());
+    if (dot) {
+      std::string graph = program.name;
+      for (auto& c : graph)
+        if (!std::isalnum(static_cast<unsigned char>(c))) c = '_';
+      std::printf("%s", profile.static_model.to_dot(graph).c_str());
+    } else {
+      std::printf("-- ops --\n");
+      for (std::size_t i = 0; i < program.ops.size(); ++i)
+        std::printf("  op%-3zu %s%s\n", i, program.ops[i].label.c_str(),
+                    program.ops[i].is_remote() ? "   [remote]" : "");
+      std::printf("-- static UnitBlocks --\n%s",
+                  profile.static_model.describe().c_str());
+      std::printf("-- manual QR-CN sequence --\n%s",
+                  describe_sequence(profile.manual_sequence,
+                                    profile.static_model)
+                      .c_str());
+    }
+
+    if (have_levels) {
+      AlgorithmModule algorithm(program, {}, default_contention_model());
+      const auto plan = algorithm.recompute(levels);
+      std::printf("-- QR-ACN plan for the given levels --\n%s",
+                  describe_sequence(plan.sequence, plan.model).c_str());
+    }
+    std::printf("\n");
+  }
+  return 0;
+}

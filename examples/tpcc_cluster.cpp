@@ -1,0 +1,39 @@
+// TPC-C on the simulated cluster: a compact version of the Figure 4(a-c)
+// experiments, comparing QR-DTM / QR-CN / QR-ACN on a NewOrder+Payment mix
+// and printing the figure-style table.
+//
+//   $ ./examples/tpcc_cluster
+#include <cstdio>
+
+#include "src/harness/driver.hpp"
+#include "src/harness/report.hpp"
+#include "src/workloads/tpcc.hpp"
+
+using namespace acn;
+
+int main() {
+  harness::ClusterConfig cluster_config;
+  cluster_config.n_servers = 10;
+  cluster_config.base_latency = std::chrono::microseconds{25};
+
+  harness::DriverConfig driver;
+  driver.n_clients = 6;
+  driver.intervals = 4;
+  driver.interval = std::chrono::milliseconds{250};
+
+  workloads::TpccConfig tpcc;
+  tpcc.w_neworder = 0.5;
+  tpcc.w_payment = 0.5;
+
+  try {
+    const auto results = harness::run_all_protocols(
+        cluster_config,
+        [tpcc] { return std::make_unique<workloads::Tpcc>(tpcc); }, driver);
+    harness::print_figure("TPC-C NewOrder/Payment mix on the simulated cluster",
+                          results, driver);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "tpcc_cluster failed: %s\n", e.what());
+    return 1;
+  }
+  return 0;
+}

@@ -1,0 +1,21 @@
+// Umbrella header: everything a library user needs.
+//
+//   #include "src/acn/acn.hpp"
+//
+// pulls in the transaction IR, the static analysis, the Algorithm Module,
+// the adaptive controller and the Executor Engine, plus the DTM substrate
+// types they surface (keys, records, stubs, transactions).  The simulated
+// cluster and the benchmark driver live separately in src/harness.
+#pragma once
+
+#include "src/acn/algorithm_module.hpp"
+#include "src/acn/blocks.hpp"
+#include "src/acn/contention_model.hpp"
+#include "src/acn/controller.hpp"
+#include "src/acn/executor.hpp"
+#include "src/acn/monitor.hpp"
+#include "src/acn/txir.hpp"
+#include "src/acn/unitgraph.hpp"
+#include "src/dtm/quorum_stub.hpp"
+#include "src/nesting/history.hpp"
+#include "src/nesting/transaction.hpp"

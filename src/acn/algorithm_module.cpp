@@ -1,0 +1,173 @@
+#include "src/acn/algorithm_module.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace acn {
+
+AlgorithmModule::AlgorithmModule(const ir::TxProgram& program,
+                                 AlgorithmConfig config,
+                                 std::shared_ptr<const ContentionModel> model)
+    : program_(&program), config_(config), model_(std::move(model)) {
+  if (!model_) throw std::invalid_argument("AlgorithmModule: null model");
+}
+
+ClassLevels AlgorithmModule::transform(const RawLevels& raw) const {
+  ClassLevels out;
+  out.reserve(raw.size());
+  for (const auto& [cls, writes] : raw) out[cls] = model_->object_level(writes);
+  return out;
+}
+
+double AlgorithmModule::unit_level(const UnitBlock& unit,
+                                   const ClassLevels& levels) const {
+  std::vector<double> access_levels;
+  access_levels.reserve(unit.classes.size());
+  for (ir::ClassId cls : unit.classes) {
+    const auto it = levels.find(cls);
+    access_levels.push_back(it == levels.end() ? 0.0 : it->second);
+  }
+  return model_->combine(access_levels);
+}
+
+double AlgorithmModule::block_level(const Block& block,
+                                    const DependencyModel& model,
+                                    const ClassLevels& levels) const {
+  std::vector<double> access_levels;
+  for (std::size_t u : block.units)
+    for (ir::ClassId cls : model.units[u].classes) {
+      const auto it = levels.find(cls);
+      access_levels.push_back(it == levels.end() ? 0.0 : it->second);
+    }
+  return model_->combine(access_levels);
+}
+
+Plan AlgorithmModule::initial() const {
+  Plan plan;
+  plan.model = build_dependency_model(*program_, AttachPolicy::kLatestProducer);
+  plan.sequence = initial_sequence(plan.model);
+  return plan;
+}
+
+BlockSequence AlgorithmModule::merge_step(const DependencyModel& model,
+                                          const RawLevels& raw) const {
+  BlockSequence seq = initial_sequence(model);
+  merge_adjacent(seq, model, raw);
+  return seq;
+}
+
+void AlgorithmModule::merge_adjacent(BlockSequence& seq,
+                                     const DependencyModel& model,
+                                     const RawLevels& raw) const {
+  // Similarity is judged on each block's *hottest unit* in raw write-count
+  // space: combined levels grow with every merge (a cold aggregate would
+  // eventually look "similar" to the hot spot), and a saturating
+  // ContentionModel compresses hot-vs-warm differences near 1.0.
+  auto merge_level = [&](const Block& block) {
+    std::uint64_t hottest = 0;
+    for (std::size_t u : block.units)
+      for (ir::ClassId cls : model.units[u].classes) {
+        const auto it = raw.find(cls);
+        if (it != raw.end()) hottest = std::max(hottest, it->second);
+      }
+    return static_cast<double>(hottest);
+  };
+  std::size_t i = 0;
+  while (i + 1 < seq.size()) {
+    const double la = merge_level(seq[i]);
+    const double lb = merge_level(seq[i + 1]);
+    const bool similar = std::abs(la - lb) <=
+                         config_.merge_threshold *
+                             std::max({la, lb, config_.level_floor});
+    const bool allowed = !config_.merge_requires_dependency ||
+                         blocks_dependent(seq[i], seq[i + 1], model);
+    if (similar && allowed) {
+      seq[i].units.insert(seq[i].units.end(), seq[i + 1].units.begin(),
+                          seq[i + 1].units.end());
+      seq.erase(seq.begin() + static_cast<std::ptrdiff_t>(i) + 1);
+      // Re-examine the grown block against its new right neighbour.
+    } else {
+      ++i;
+    }
+  }
+}
+
+BlockSequence AlgorithmModule::reorder_step(BlockSequence sequence,
+                                            const DependencyModel& model,
+                                            const ClassLevels& levels) const {
+  // Block-level precedence: a -> b when some unit of a must precede a unit
+  // of b.  (The input sequence is valid, so edges never point backward; we
+  // rebuild the order greedily: among blocks whose predecessors are all
+  // scheduled, pick the coldest, breaking ties by original position.)
+  const std::size_t n = sequence.size();
+  std::vector<std::size_t> block_of(model.units.size());
+  for (std::size_t b = 0; b < n; ++b)
+    for (std::size_t u : sequence[b].units) block_of[u] = b;
+
+  std::vector<std::vector<std::size_t>> bsucc(n);
+  std::vector<std::size_t> indegree(n, 0);
+  for (std::size_t u = 0; u < model.units.size(); ++u) {
+    for (std::size_t v : model.succs[u]) {
+      const std::size_t a = block_of[u];
+      const std::size_t b = block_of[v];
+      if (a == b) continue;
+      if (std::find(bsucc[a].begin(), bsucc[a].end(), b) == bsucc[a].end()) {
+        bsucc[a].push_back(b);
+        ++indegree[b];
+      }
+    }
+  }
+
+  std::vector<double> level_of(n);
+  for (std::size_t b = 0; b < n; ++b)
+    level_of[b] = block_level(sequence[b], model, levels);
+
+  std::vector<bool> scheduled(n, false);
+  BlockSequence out;
+  out.reserve(n);
+  for (std::size_t step = 0; step < n; ++step) {
+    std::size_t best = kNoUnit;
+    for (std::size_t b = 0; b < n; ++b) {
+      if (scheduled[b] || indegree[b] != 0) continue;
+      if (best == kNoUnit || level_of[b] < level_of[best]) best = b;
+    }
+    if (best == kNoUnit)
+      throw std::logic_error("reorder_step: cyclic block dependencies");
+    scheduled[best] = true;
+    out.push_back(sequence[best]);
+    for (std::size_t v : bsucc[best]) --indegree[v];
+  }
+  return out;
+}
+
+Plan AlgorithmModule::recompute(const RawLevels& raw) const {
+  Plan plan;
+  plan.levels_used = transform(raw);
+
+  // Step 1: re-split to single-access units; dependent local computation
+  // follows the most contended access it manages.
+  plan.model = build_dependency_model(
+      *program_,
+      config_.enable_resplit ? AttachPolicy::kMostContended
+                             : AttachPolicy::kLatestProducer,
+      plan.levels_used);
+
+  // Step 2: merge adjacent dependent units with similar contention.
+  plan.sequence = config_.enable_merge ? merge_step(plan.model, raw)
+                                       : initial_sequence(plan.model);
+
+  // Step 3: coldest first, hottest nearest the commit phase.
+  if (config_.enable_reorder) {
+    plan.sequence = reorder_step(std::move(plan.sequence), plan.model,
+                                 plan.levels_used);
+    // Sorting brings same-level blocks next to each other (e.g. the five
+    // TPC-C stock accesses, separated by item reads in source order), so a
+    // second merge pass captures groups adjacency hid from the first; it
+    // preserves both validity and the sort order.
+    if (config_.enable_merge) merge_adjacent(plan.sequence, plan.model, raw);
+  }
+  return plan;
+}
+
+}  // namespace acn

@@ -1,0 +1,73 @@
+#include "src/acn/blocks.hpp"
+
+#include <algorithm>
+
+namespace acn {
+
+BlockSequence initial_sequence(const DependencyModel& model) {
+  BlockSequence seq;
+  seq.reserve(model.units.size());
+  for (std::size_t u = 0; u < model.units.size(); ++u) seq.push_back({{u}});
+  return seq;
+}
+
+BlockSequence single_block(const DependencyModel& model) {
+  Block all;
+  for (std::size_t u = 0; u < model.units.size(); ++u) all.units.push_back(u);
+  return {all};
+}
+
+bool sequence_valid(const BlockSequence& sequence, const DependencyModel& model) {
+  std::vector<std::size_t> block_of(model.units.size(), kNoUnit);
+  for (std::size_t i = 0; i < sequence.size(); ++i) {
+    for (std::size_t u : sequence[i].units) {
+      if (u >= model.units.size() || block_of[u] != kNoUnit) return false;
+      block_of[u] = i;
+    }
+  }
+  for (std::size_t u = 0; u < model.units.size(); ++u) {
+    if (block_of[u] == kNoUnit) return false;
+    for (std::size_t v : model.succs[u])
+      if (block_of[u] > block_of[v]) return false;
+  }
+  return true;
+}
+
+std::vector<std::size_t> block_ops(const Block& block,
+                                   const DependencyModel& model) {
+  std::vector<std::size_t> ops;
+  for (std::size_t u : block.units)
+    ops.insert(ops.end(), model.units[u].ops.begin(), model.units[u].ops.end());
+  std::sort(ops.begin(), ops.end());
+  return ops;
+}
+
+bool blocks_dependent(const Block& a, const Block& b,
+                      const DependencyModel& model) {
+  for (std::size_t u : a.units)
+    for (std::size_t v : b.units)
+      if (model.depends(u, v) || model.depends(v, u)) return true;
+  return false;
+}
+
+std::string describe_sequence(const BlockSequence& sequence,
+                              const DependencyModel& model) {
+  std::string out;
+  for (std::size_t i = 0; i < sequence.size(); ++i) {
+    out += "B" + std::to_string(i) + " = [";
+    for (std::size_t j = 0; j < sequence[i].units.size(); ++j) {
+      if (j) out += " ";
+      out += "U" + std::to_string(sequence[i].units[j]);
+    }
+    out += "] ops:";
+    for (std::size_t op : block_ops(sequence[i], model)) {
+      out += " " + std::to_string(op);
+      const auto& label = model.program->ops[op].label;
+      if (!label.empty()) out += "(" + label + ")";
+    }
+    out += "\n";
+  }
+  return out;
+}
+
+}  // namespace acn

@@ -1,0 +1,43 @@
+// Blocks and Block Sequences (Section V-B).
+//
+// A Block groups one or more UnitBlocks and is executed as a single
+// closed-nested transaction.  A BlockSequence is an ordered list of Blocks
+// covering every UnitBlock exactly once; it is valid when every unit-level
+// dependency points forward (same Block counts as satisfied, since ops
+// inside a Block run in program order).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "src/acn/unitgraph.hpp"
+
+namespace acn {
+
+struct Block {
+  std::vector<std::size_t> units;  // indices into DependencyModel::units
+};
+
+using BlockSequence = std::vector<Block>;
+
+/// One unit per block, in the model's canonical (static-analysis) order.
+BlockSequence initial_sequence(const DependencyModel& model);
+
+/// All units in a single block: semantically the flat transaction.
+BlockSequence single_block(const DependencyModel& model);
+
+/// Every unit appears exactly once and every dependency edge lands in the
+/// same or a later block.
+bool sequence_valid(const BlockSequence& sequence, const DependencyModel& model);
+
+/// Ops of a block in execution order (ascending program index).
+std::vector<std::size_t> block_ops(const Block& block, const DependencyModel& model);
+
+/// True when blocks `a` and `b` are connected by at least one direct
+/// dependency edge in either direction.
+bool blocks_dependent(const Block& a, const Block& b, const DependencyModel& model);
+
+std::string describe_sequence(const BlockSequence& sequence,
+                              const DependencyModel& model);
+
+}  // namespace acn

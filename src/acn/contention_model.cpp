@@ -1,0 +1,21 @@
+#include "src/acn/contention_model.hpp"
+
+namespace acn {
+
+double WriteRateModel::combine(const std::vector<double>& levels) const {
+  double total = 0.0;
+  for (double level : levels) total += level;
+  return total;
+}
+
+double AbortProbabilityModel::combine(const std::vector<double>& levels) const {
+  double survive = 1.0;
+  for (double level : levels) survive *= (1.0 - level);
+  return 1.0 - survive;
+}
+
+std::shared_ptr<const ContentionModel> default_contention_model() {
+  return std::make_shared<AbortProbabilityModel>();
+}
+
+}  // namespace acn

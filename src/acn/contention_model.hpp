@@ -1,0 +1,58 @@
+// Contention models (Section V-C2).
+//
+// QR-ACN deliberately leaves the characterization of "hot" pluggable: the
+// framework feeds windowed write counts in, a ContentionModel turns them
+// into comparable levels and composes the level of a multi-access Block.
+// Two models ship:
+//   * WriteRateModel — levels are raw write counts, blocks add up.  Cheap
+//     and monotone; what the paper's own evaluation approximates.
+//   * AbortProbabilityModel — the di Sanzo-style analytic approximation the
+//     paper cites: an object's level is the probability that a transaction
+//     accessing it aborts, p = w / (w + k) with half-saturation k, and a
+//     block accessing several objects aborts unless all survive:
+//     P = 1 - prod(1 - p_i).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+namespace acn {
+
+class ContentionModel {
+ public:
+  virtual ~ContentionModel() = default;
+
+  /// Level of one object class given its write count in the last window.
+  virtual double object_level(std::uint64_t writes_in_window) const = 0;
+
+  /// Level of a code region performing accesses with the given levels.
+  virtual double combine(const std::vector<double>& levels) const = 0;
+};
+
+class WriteRateModel final : public ContentionModel {
+ public:
+  double object_level(std::uint64_t writes_in_window) const override {
+    return static_cast<double>(writes_in_window);
+  }
+  double combine(const std::vector<double>& levels) const override;
+};
+
+class AbortProbabilityModel final : public ContentionModel {
+ public:
+  explicit AbortProbabilityModel(double half_saturation = 16.0)
+      : half_saturation_(half_saturation) {}
+
+  double object_level(std::uint64_t writes_in_window) const override {
+    const double w = static_cast<double>(writes_in_window);
+    return w / (w + half_saturation_);
+  }
+  double combine(const std::vector<double>& levels) const override;
+
+ private:
+  double half_saturation_;
+};
+
+std::shared_ptr<const ContentionModel> default_contention_model();
+
+}  // namespace acn

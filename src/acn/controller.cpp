@@ -1,0 +1,53 @@
+#include "src/acn/controller.hpp"
+
+#include <algorithm>
+
+namespace acn {
+
+AdaptiveController::AdaptiveController(
+    const ir::TxProgram& program, AlgorithmConfig config,
+    std::shared_ptr<const ContentionModel> model)
+    : algorithm_(program, config, std::move(model)) {
+  plan_ = std::make_shared<const Plan>(algorithm_.initial());
+}
+
+std::shared_ptr<const Plan> AdaptiveController::plan() const {
+  std::lock_guard lock(mutex_);
+  return plan_;
+}
+
+bool same_composition(const Plan& a, const Plan& b) {
+  if (a.sequence.size() != b.sequence.size()) return false;
+  for (std::size_t i = 0; i < a.sequence.size(); ++i)
+    if (block_ops(a.sequence[i], a.model) != block_ops(b.sequence[i], b.model))
+      return false;
+  return true;
+}
+
+void AdaptiveController::adapt(const RawLevels& raw) {
+  auto next = std::make_shared<const Plan>(algorithm_.recompute(raw));
+  std::lock_guard lock(mutex_);
+  ++adaptations_;
+  // Publishing an identical composition would only churn readers' caches;
+  // swap only when the layout genuinely changed.
+  if (same_composition(*next, *plan_)) return;
+  plan_ = std::move(next);
+  ++recompositions_;
+}
+
+void AdaptiveController::adapt_from(ContentionMonitor& monitor,
+                                    dtm::QuorumStub& stub) {
+  monitor.refresh(stub);
+  adapt(monitor.raw());
+}
+
+std::vector<ir::ClassId> AdaptiveController::touched_classes() const {
+  std::vector<ir::ClassId> classes;
+  for (const auto& op : algorithm_.program().ops)
+    if (op.is_remote()) classes.push_back(op.remote.cls);
+  std::sort(classes.begin(), classes.end());
+  classes.erase(std::unique(classes.begin(), classes.end()), classes.end());
+  return classes;
+}
+
+}  // namespace acn

@@ -1,0 +1,219 @@
+#include "src/acn/executor.hpp"
+
+#include <thread>
+
+namespace acn {
+
+Executor::Executor(dtm::QuorumStub& stub, ExecutorConfig config,
+                   std::uint64_t seed)
+    : stub_(stub), config_(config), rng_(seed) {}
+
+void Executor::execute_op(const ir::TxProgram& program, std::size_t op_index,
+                          ir::TxEnv& env, ExecStats& stats) {
+  ++stats.ops_executed;
+  const ir::Op& op = program.ops[op_index];
+  if (op.is_remote())
+    env.run_remote(op.remote);
+  else
+    op.local.fn(env);
+}
+
+void Executor::arm_env(ir::TxEnv& env) {
+  if (config_.history) env.txn().set_history(config_.history);
+  if (ContentionMonitor* monitor = config_.piggyback_monitor) {
+    env.set_contention_piggyback(
+        monitor->classes(),
+        [monitor](const std::vector<ir::ClassId>& classes,
+                  const std::vector<std::uint64_t>& levels) {
+          monitor->observe(classes, levels);
+        });
+  }
+}
+
+void Executor::backoff(int attempt) {
+  const auto base = config_.backoff_base.count();
+  const std::int64_t shifted = base << std::min(attempt, 6);
+  const std::int64_t jitter =
+      static_cast<std::int64_t>(rng_.uniform(0, static_cast<std::uint64_t>(shifted)));
+  std::this_thread::sleep_for(std::chrono::nanoseconds{shifted + jitter});
+}
+
+void Executor::run_flat(const ir::TxProgram& program,
+                        const std::vector<ir::Record>& params,
+                        ExecStats& stats) {
+  for (int attempt = 0;; ++attempt) {
+    nesting::Transaction txn(stub_, nesting::next_tx_id());
+    ir::TxEnv env(txn, program, params);
+    arm_env(env);
+    try {
+      for (std::size_t i = 0; i < program.ops.size(); ++i)
+        execute_op(program, i, env, stats);
+      try {
+        txn.commit();
+      } catch (const dtm::TxAbort&) {
+        ++stats.aborts_at_commit;
+        throw;
+      }
+      ++stats.commits;
+      return;
+    } catch (const dtm::TxAbort& abort) {
+      ++stats.full_aborts;
+      if (abort.kind() == dtm::AbortKind::kBusy) ++stats.aborts_busy;
+      if (attempt >= config_.max_full_retries) throw;
+      backoff(attempt);
+    }
+  }
+}
+
+void Executor::run_blocks(const ir::TxProgram& program,
+                          const DependencyModel& model,
+                          const BlockSequence& sequence,
+                          const std::vector<ir::Record>& params,
+                          ExecStats& stats) {
+  for (int attempt = 0;; ++attempt) {
+    nesting::Transaction txn(stub_, nesting::next_tx_id());
+    ir::TxEnv env(txn, program, params);
+    arm_env(env);
+    try {
+      for (std::size_t position = 0; position < sequence.size(); ++position) {
+        const Block& block = sequence[position];
+        const std::size_t slot =
+            std::min(position, ExecStats::kPositionSlots - 1);
+        const auto ops = block_ops(block, model);
+        ir::TxEnv::Snapshot snapshot = env.snapshot();
+        int partial_attempts = 0;
+        for (;;) {
+          ++stats.blocks_executed;
+          txn.begin_nested();
+          try {
+            for (std::size_t op : ops) execute_op(program, op, env, stats);
+            txn.commit_nested();
+            break;
+          } catch (const dtm::TxAbort& abort) {
+            ++stats.aborts_in_execution;
+            const bool partial =
+                txn.classify(abort) == nesting::AbortScope::kPartial &&
+                partial_attempts < config_.max_partial_retries;
+            txn.abort_nested();
+            if (!partial) {
+              ++stats.fulls_at_position[slot];
+              throw;  // escalate to a full restart
+            }
+            ++stats.partial_aborts;
+            ++stats.partials_at_position[slot];
+            ++partial_attempts;
+            env.restore(snapshot);
+            if (abort.kind() == dtm::AbortKind::kBusy)
+              backoff(partial_attempts);
+          }
+        }
+      }
+      try {
+        txn.commit();
+      } catch (const dtm::TxAbort&) {
+        ++stats.aborts_at_commit;
+        throw;
+      }
+      ++stats.commits;
+      return;
+    } catch (const dtm::TxAbort& abort) {
+      ++stats.full_aborts;
+      if (abort.kind() == dtm::AbortKind::kBusy) ++stats.aborts_busy;
+      if (attempt >= config_.max_full_retries) throw;
+      backoff(attempt);
+    }
+  }
+}
+
+void Executor::run_checkpointed(const ir::TxProgram& program,
+                                const std::vector<ir::Record>& params,
+                                ExecStats& stats) {
+  struct Checkpoint {
+    std::size_t op_index;
+    ir::TxEnv::Snapshot env;
+    nesting::Transaction::Checkpoint txn;
+  };
+
+  for (int attempt = 0;; ++attempt) {
+    nesting::Transaction txn(stub_, nesting::next_tx_id());
+    ir::TxEnv env(txn, program, params);
+    arm_env(env);
+    std::vector<Checkpoint> checkpoints;
+    std::unordered_map<ir::ObjectKey, std::size_t, store::ObjectKeyHash>
+        first_read_at;
+    int restores = 0;
+    std::size_t resume_op = 0;
+
+    // Roll back to the checkpoint preceding the first read of any
+    // invalidated object.  Objects never seen (e.g. the busy target of the
+    // read in flight) roll back to the latest checkpoint.  Returns false
+    // when a full restart is required.
+    auto try_restore = [&](const dtm::TxAbort& abort) {
+      if (checkpoints.empty() || restores >= config_.max_partial_retries)
+        return false;
+      std::size_t target = checkpoints.size() - 1;
+      for (const auto& key : abort.invalid()) {
+        const auto it = first_read_at.find(key);
+        if (it != first_read_at.end()) target = std::min(target, it->second);
+      }
+      Checkpoint& point = checkpoints[target];
+      env.restore(std::move(point.env));
+      txn.restore(std::move(point.txn));
+      resume_op = point.op_index;
+      checkpoints.resize(target);  // re-pushed when resume_op re-executes
+      std::erase_if(first_read_at,
+                    [&](const auto& entry) { return entry.second >= target; });
+      ++stats.checkpoint_restores;
+      ++restores;
+      if (abort.kind() == dtm::AbortKind::kBusy) backoff(restores);
+      return true;
+    };
+
+    try {
+      std::size_t op = 0;
+      for (;;) {
+        try {
+          if (op < program.ops.size()) {
+            const ir::Op& current = program.ops[op];
+            if (current.is_remote()) {
+              checkpoints.push_back({op, env.snapshot(), txn.checkpoint()});
+              ++stats.checkpoints_taken;
+            }
+            execute_op(program, op, env, stats);
+            if (current.is_remote())
+              first_read_at.emplace(env.key_of(current.remote.out),
+                                    checkpoints.size() - 1);
+            ++op;
+          } else {
+            txn.commit();
+            break;
+          }
+        } catch (const dtm::TxAbort& abort) {
+          if (op < program.ops.size())
+            ++stats.aborts_in_execution;
+          else
+            ++stats.aborts_at_commit;
+          if (!try_restore(abort)) throw;
+          op = resume_op;
+        }
+      }
+      ++stats.commits;
+      return;
+    } catch (const dtm::TxAbort& abort) {
+      ++stats.full_aborts;
+      if (abort.kind() == dtm::AbortKind::kBusy) ++stats.aborts_busy;
+      if (attempt >= config_.max_full_retries) throw;
+      backoff(attempt);
+    }
+  }
+}
+
+void Executor::run_adaptive(AdaptiveController& controller,
+                            const std::vector<ir::Record>& params,
+                            ExecStats& stats) {
+  const auto plan = controller.plan();
+  run_blocks(controller.algorithm().program(), plan->model, plan->sequence,
+             params, stats);
+}
+
+}  // namespace acn

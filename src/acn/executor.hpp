@@ -1,0 +1,127 @@
+// Executor Engine (Section V-B): runs a TxProgram to commit under one of
+// the three protocols the paper evaluates.
+//
+//   * run_flat      — QR-DTM: all operations in the parent context; any
+//                     conflict restarts the whole transaction.
+//   * run_blocks    — QR-CN: a fixed Block Sequence (the programmer's
+//                     manual decomposition); each Block executes as a
+//                     closed-nested transaction, partial aborts retry the
+//                     Block only.
+//   * run_adaptive  — QR-ACN: like run_blocks, but the sequence comes from
+//                     the AdaptiveController at every attempt, so the
+//                     transaction always runs the most recent composition.
+//
+// Partial rollback mechanics: before a Block starts, the executor snapshots
+// the variable environment; a partial abort pops the nested frame (discarding
+// the Block's read/write-set entries), restores the snapshot and re-executes
+// just that Block.  An abort touching merged history escalates to a full
+// restart with randomized exponential backoff.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+
+#include "src/acn/controller.hpp"
+#include "src/acn/txir.hpp"
+
+namespace acn {
+
+struct ExecStats {
+  std::uint64_t commits = 0;
+  std::uint64_t full_aborts = 0;
+  std::uint64_t partial_aborts = 0;
+  std::uint64_t ops_executed = 0;
+  std::uint64_t blocks_executed = 0;
+  // Abort breakdown (full + partial):
+  std::uint64_t aborts_at_commit = 0;    // raised by the final 2PC
+  std::uint64_t aborts_in_execution = 0; // raised by a read mid-transaction
+  std::uint64_t aborts_busy = 0;         // kind == kBusy (protect conflicts)
+  // Checkpointing executor:
+  std::uint64_t checkpoints_taken = 0;
+  std::uint64_t checkpoint_restores = 0;
+
+  /// Where in the Block Sequence aborts surface (position clamped to the
+  /// last slot).  Under a well-adapted plan the partial aborts concentrate
+  /// in the final (hottest) block — the signature of Section III's
+  /// code-repositioning argument.
+  static constexpr std::size_t kPositionSlots = 12;
+  std::uint64_t partials_at_position[kPositionSlots] = {};
+  std::uint64_t fulls_at_position[kPositionSlots] = {};
+
+  void merge(const ExecStats& other) noexcept {
+    commits += other.commits;
+    full_aborts += other.full_aborts;
+    partial_aborts += other.partial_aborts;
+    ops_executed += other.ops_executed;
+    blocks_executed += other.blocks_executed;
+    aborts_at_commit += other.aborts_at_commit;
+    aborts_in_execution += other.aborts_in_execution;
+    aborts_busy += other.aborts_busy;
+    checkpoints_taken += other.checkpoints_taken;
+    checkpoint_restores += other.checkpoint_restores;
+    for (std::size_t i = 0; i < kPositionSlots; ++i) {
+      partials_at_position[i] += other.partials_at_position[i];
+      fulls_at_position[i] += other.fulls_at_position[i];
+    }
+  }
+};
+
+struct ExecutorConfig {
+  /// Partial retries of one Block before escalating to a full restart.
+  int max_partial_retries = 64;
+  /// Full restarts before giving up (throwing the last TxAbort).
+  int max_full_retries = 1 << 20;
+  /// Base of the randomized exponential backoff after a full abort.
+  std::chrono::nanoseconds backoff_base{std::chrono::microseconds{20}};
+  /// When set, every remote read piggybacks a contention query for the
+  /// monitor's classes and feeds the reply into it (Section V-C2's
+  /// "meta-data coupled with existing network messages").  The monitor
+  /// must outlive the executor; it is thread-safe and may be shared.
+  ContentionMonitor* piggyback_monitor = nullptr;
+  /// When set, committed transactions are appended here for offline
+  /// serializability checking (nesting::check_serializable).
+  nesting::HistoryLog* history = nullptr;
+};
+
+class Executor {
+ public:
+  Executor(dtm::QuorumStub& stub, ExecutorConfig config, std::uint64_t seed);
+
+  /// QR-DTM flat execution.
+  void run_flat(const ir::TxProgram& program, const std::vector<ir::Record>& params,
+                ExecStats& stats);
+
+  /// QR-CN execution with a fixed decomposition.  `sequence` must be valid
+  /// for `model`.
+  void run_blocks(const ir::TxProgram& program, const DependencyModel& model,
+                  const BlockSequence& sequence,
+                  const std::vector<ir::Record>& params, ExecStats& stats);
+
+  /// QR-ACN execution under the controller's current plan.
+  void run_adaptive(AdaptiveController& controller,
+                    const std::vector<ir::Record>& params, ExecStats& stats);
+
+  /// Checkpoint-based partial rollback (Koskinen & Herlihy-style, the
+  /// technique the paper contrasts closed nesting with in Section III):
+  /// a checkpoint — deep copy of the variable environment and the
+  /// transaction's buffered read/write-sets — is taken before every remote
+  /// access; an invalidation of object `o` rolls execution back to the
+  /// checkpoint preceding the first read of `o` and resumes from there.
+  /// Finer-grained than closed nesting, at the price of per-access
+  /// state-copying overhead.
+  void run_checkpointed(const ir::TxProgram& program,
+                        const std::vector<ir::Record>& params,
+                        ExecStats& stats);
+
+ private:
+  void execute_op(const ir::TxProgram& program, std::size_t op_index,
+                  ir::TxEnv& env, ExecStats& stats);
+  void arm_env(ir::TxEnv& env);  // history log + contention piggyback
+  void backoff(int attempt);
+
+  dtm::QuorumStub& stub_;
+  ExecutorConfig config_;
+  Rng rng_;
+};
+
+}  // namespace acn

@@ -1,0 +1,45 @@
+#include "src/acn/monitor.hpp"
+
+#include <algorithm>
+
+namespace acn {
+
+ContentionMonitor::ContentionMonitor(std::vector<ir::ClassId> classes)
+    : classes_(std::move(classes)) {
+  std::sort(classes_.begin(), classes_.end());
+  classes_.erase(std::unique(classes_.begin(), classes_.end()), classes_.end());
+}
+
+void ContentionMonitor::refresh(dtm::QuorumStub& stub) {
+  const auto levels = stub.contention_levels(classes_);
+  std::lock_guard lock(mutex_);
+  raw_.clear();
+  for (std::size_t i = 0; i < classes_.size(); ++i) raw_[classes_[i]] = levels[i];
+}
+
+void ContentionMonitor::observe(const std::vector<ir::ClassId>& classes,
+                                const std::vector<std::uint64_t>& levels) {
+  std::lock_guard lock(mutex_);
+  for (std::size_t i = 0; i < classes.size() && i < levels.size(); ++i) {
+    auto& slot = raw_[classes[i]];
+    slot = std::max(slot, levels[i]);
+  }
+}
+
+void ContentionMonitor::reset() {
+  std::lock_guard lock(mutex_);
+  raw_.clear();
+}
+
+RawLevels ContentionMonitor::raw() const {
+  std::lock_guard lock(mutex_);
+  return raw_;
+}
+
+std::uint64_t ContentionMonitor::level(ir::ClassId cls) const {
+  std::lock_guard lock(mutex_);
+  const auto it = raw_.find(cls);
+  return it == raw_.end() ? 0 : it->second;
+}
+
+}  // namespace acn

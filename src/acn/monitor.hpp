@@ -1,0 +1,48 @@
+// Dynamic Module (Section V-B / V-C2): client-side contention cache.
+//
+// Quorum servers maintain the windowed write counters; the monitor holds a
+// client's latest view of them.  Two refresh paths exist, both from the
+// paper: an explicit contention query, and levels piggybacked on read
+// responses (observe()).  Levels from different replicas are reconciled by
+// taking the maximum — replicas undercount, never overcount, because each
+// sees only the commits of write quorums it belonged to.
+#pragma once
+
+#include <cstdint>
+#include <mutex>
+#include <unordered_map>
+#include <vector>
+
+#include "src/acn/algorithm_module.hpp"
+#include "src/dtm/quorum_stub.hpp"
+
+namespace acn {
+
+class ContentionMonitor {
+ public:
+  explicit ContentionMonitor(std::vector<ir::ClassId> classes);
+
+  /// Explicit query to a read quorum.  Replaces the cached window.
+  void refresh(dtm::QuorumStub& stub);
+
+  /// Merge piggybacked levels (max-reconciled into the current view).
+  void observe(const std::vector<ir::ClassId>& classes,
+               const std::vector<std::uint64_t>& levels);
+
+  /// Cached windowed write counts per class.
+  RawLevels raw() const;
+
+  /// Drop the cached view (piggyback mode calls this after each adaptation
+  /// tick so stale maxima do not outlive their window).
+  void reset();
+
+  std::uint64_t level(ir::ClassId cls) const;
+  const std::vector<ir::ClassId>& classes() const noexcept { return classes_; }
+
+ private:
+  std::vector<ir::ClassId> classes_;
+  mutable std::mutex mutex_;
+  RawLevels raw_;
+};
+
+}  // namespace acn

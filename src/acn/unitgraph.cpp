@@ -1,0 +1,423 @@
+#include "src/acn/unitgraph.hpp"
+
+#include <algorithm>
+#include <queue>
+#include <set>
+#include <stdexcept>
+
+namespace acn {
+namespace {
+
+/// Dependency scanner over program variables.
+/// RAW: op reads a var last written by an earlier op.
+/// WAR: op writes a var read since its last write.
+/// WAW: op writes a var another op wrote.
+struct DepScan {
+  std::vector<std::vector<std::size_t>> raw;
+  std::vector<std::vector<std::size_t>> all;
+
+  explicit DepScan(const ir::TxProgram& program) {
+    const std::size_t n = program.ops.size();
+    raw.resize(n);
+    all.resize(n);
+    std::vector<std::size_t> last_writer(program.n_vars, kNoUnit);
+    std::vector<std::vector<std::size_t>> readers(program.n_vars);
+
+    auto add = [](std::vector<std::size_t>& into, std::size_t dep) {
+      if (std::find(into.begin(), into.end(), dep) == into.end())
+        into.push_back(dep);
+    };
+
+    for (std::size_t i = 0; i < n; ++i) {
+      const auto& op = program.ops[i];
+      for (ir::VarId v : op.reads()) {
+        if (v >= program.n_vars) throw std::out_of_range("op reads bad var");
+        if (last_writer[v] != kNoUnit) {
+          add(raw[i], last_writer[v]);
+          add(all[i], last_writer[v]);
+        }
+        readers[v].push_back(i);
+      }
+      for (ir::VarId v : op.writes()) {
+        if (v >= program.n_vars) throw std::out_of_range("op writes bad var");
+        for (std::size_t r : readers[v])
+          if (r != i) add(all[i], r);  // WAR
+        if (last_writer[v] != kNoUnit && last_writer[v] != i)
+          add(all[i], last_writer[v]);  // WAW
+        last_writer[v] = i;
+        readers[v].clear();
+      }
+    }
+    for (auto& deps : raw) std::sort(deps.begin(), deps.end());
+    for (auto& deps : all) std::sort(deps.begin(), deps.end());
+  }
+};
+
+/// Mutable unit graph used during attachment.  Unit ids are stable; merged
+/// units become empty shells redirected via `alias`.
+struct Builder {
+  struct Unit {
+    std::vector<std::size_t> ops;
+    std::vector<std::size_t> remote_ops;
+    bool dead = false;
+  };
+
+  std::vector<Unit> units;
+  std::vector<std::set<std::size_t>> succ;
+  std::vector<std::size_t> unit_of_op;
+  std::size_t forced_merges = 0;
+
+  std::size_t add_unit(std::size_t remote_op) {
+    units.push_back({{remote_op}, {remote_op}, false});
+    succ.emplace_back();
+    return units.size() - 1;
+  }
+
+  bool reaches(std::size_t from, std::size_t to) const {
+    if (from == to) return true;
+    std::vector<std::size_t> stack{from};
+    std::vector<bool> seen(units.size(), false);
+    seen[from] = true;
+    while (!stack.empty()) {
+      const std::size_t u = stack.back();
+      stack.pop_back();
+      for (std::size_t v : succ[u]) {
+        if (v == to) return true;
+        if (!seen[v]) {
+          seen[v] = true;
+          stack.push_back(v);
+        }
+      }
+    }
+    return false;
+  }
+
+  void add_edge(std::size_t from, std::size_t to) {
+    if (from != to) succ[from].insert(to);
+  }
+
+  /// Merge unit `b` into `a` (edges redirected, `b` emptied).
+  void merge_into(std::size_t a, std::size_t b) {
+    if (a == b) return;
+    ++forced_merges;
+    auto& ua = units[a];
+    auto& ub = units[b];
+    ua.ops.insert(ua.ops.end(), ub.ops.begin(), ub.ops.end());
+    ua.remote_ops.insert(ua.remote_ops.end(), ub.remote_ops.begin(),
+                         ub.remote_ops.end());
+    for (std::size_t op : ub.ops) unit_of_op[op] = a;
+    ub.ops.clear();
+    ub.remote_ops.clear();
+    ub.dead = true;
+    for (std::size_t v : succ[b]) add_edge(a, v);
+    succ[b].clear();
+    for (std::size_t u = 0; u < units.size(); ++u) {
+      if (succ[u].erase(b) > 0) add_edge(u, a);
+    }
+    succ[a].erase(a);
+  }
+
+  /// Position of a unit in source order (max op index of its accesses).
+  std::size_t position(std::size_t u) const {
+    std::size_t best = 0;
+    for (std::size_t op : units[u].remote_ops) best = std::max(best, op);
+    if (units[u].remote_ops.empty())
+      for (std::size_t op : units[u].ops) best = std::max(best, op);
+    return best;
+  }
+};
+
+double unit_level(const Builder& b, std::size_t u, const ir::TxProgram& program,
+                  const ClassLevels& levels) {
+  double best = 0.0;
+  for (std::size_t op : b.units[u].remote_ops) {
+    const auto it = levels.find(program.ops[op].remote.cls);
+    if (it != levels.end()) best = std::max(best, it->second);
+  }
+  return best;
+}
+
+}  // namespace
+
+std::vector<std::vector<std::size_t>> op_dependencies(
+    const ir::TxProgram& program) {
+  return DepScan(program).all;
+}
+
+std::vector<std::vector<std::size_t>> op_dataflow(const ir::TxProgram& program) {
+  return DepScan(program).raw;
+}
+
+bool DependencyModel::depends(std::size_t pred, std::size_t succ) const {
+  const auto& out = succs[pred];
+  return std::find(out.begin(), out.end(), succ) != out.end();
+}
+
+bool DependencyModel::order_valid(const std::vector<std::size_t>& order) const {
+  if (order.size() != units.size()) return false;
+  std::vector<std::size_t> pos(units.size(), kNoUnit);
+  for (std::size_t i = 0; i < order.size(); ++i) {
+    if (order[i] >= units.size() || pos[order[i]] != kNoUnit) return false;
+    pos[order[i]] = i;
+  }
+  for (std::size_t u = 0; u < units.size(); ++u)
+    for (std::size_t v : succs[u])
+      if (pos[u] >= pos[v]) return false;
+  return true;
+}
+
+std::string DependencyModel::describe() const {
+  std::string out;
+  for (std::size_t u = 0; u < units.size(); ++u) {
+    out += "U" + std::to_string(u) + " {";
+    for (std::size_t i = 0; i < units[u].ops.size(); ++i) {
+      const std::size_t op = units[u].ops[i];
+      if (i) out += ", ";
+      out += std::to_string(op);
+      if (!program->ops[op].label.empty()) out += ":" + program->ops[op].label;
+    }
+    out += "}";
+    if (!preds[u].empty()) {
+      out += " after {";
+      for (std::size_t i = 0; i < preds[u].size(); ++i) {
+        if (i) out += ", ";
+        out += "U" + std::to_string(preds[u][i]);
+      }
+      out += "}";
+    }
+    out += "\n";
+  }
+  return out;
+}
+
+std::string DependencyModel::to_dot(const std::string& graph_name) const {
+  std::string out = "digraph " + graph_name + " {\n  rankdir=LR;\n"
+                    "  node [shape=box, fontname=\"monospace\"];\n";
+  for (std::size_t u = 0; u < units.size(); ++u) {
+    out += "  U" + std::to_string(u) + " [label=\"U" + std::to_string(u);
+    for (std::size_t op : units[u].ops) {
+      out += "\\n" + std::to_string(op);
+      const auto& label = program->ops[op].label;
+      if (!label.empty()) out += ": " + label;
+    }
+    out += "\"];\n";
+  }
+  for (std::size_t u = 0; u < units.size(); ++u)
+    for (std::size_t v : succs[u])
+      out += "  U" + std::to_string(u) + " -> U" + std::to_string(v) + ";\n";
+  out += "}\n";
+  return out;
+}
+
+DependencyModel build_dependency_model(const ir::TxProgram& program,
+                                       AttachPolicy policy,
+                                       const ClassLevels& class_levels) {
+  if (program.remote_op_count() == 0)
+    throw std::invalid_argument("build_dependency_model: program '" +
+                                program.name + "' has no remote access");
+  const DepScan deps(program);
+  const std::size_t n_ops = program.ops.size();
+
+  // Op-level successors (needed when attaching deferred ops).
+  std::vector<std::vector<std::size_t>> op_succs(n_ops);
+  for (std::size_t i = 0; i < n_ops; ++i)
+    for (std::size_t p : deps.all[i]) op_succs[p].push_back(i);
+  std::vector<std::vector<std::size_t>> raw_succs(n_ops);
+  for (std::size_t i = 0; i < n_ops; ++i)
+    for (std::size_t p : deps.raw[i]) raw_succs[p].push_back(i);
+
+  Builder b;
+  b.unit_of_op.assign(n_ops, kNoUnit);
+
+  // Units for remote accesses exist up front.
+  for (std::size_t i = 0; i < n_ops; ++i)
+    if (program.ops[i].is_remote()) b.unit_of_op[i] = b.add_unit(i);
+
+  auto attached_units_of = [&](const std::vector<std::size_t>& op_list) {
+    std::vector<std::size_t> out;
+    for (std::size_t op : op_list) {
+      const std::size_t u = b.unit_of_op[op];
+      if (u != kNoUnit && std::find(out.begin(), out.end(), u) == out.end())
+        out.push_back(u);
+    }
+    return out;
+  };
+
+  auto rank_candidates = [&](std::vector<std::size_t> cands) {
+    std::stable_sort(cands.begin(), cands.end(), [&](std::size_t x, std::size_t y) {
+      if (policy == AttachPolicy::kMostContended) {
+        const double lx = unit_level(b, x, program, class_levels);
+        const double ly = unit_level(b, y, program, class_levels);
+        if (lx != ly) return lx > ly;
+      }
+      return b.position(x) > b.position(y);  // latest first
+    });
+    return cands;
+  };
+
+  // Can op `i` live in unit `c`?  All pred-unit -> c and c -> succ-unit
+  // edges must keep the graph acyclic.
+  auto fits = [&](std::size_t c, const std::vector<std::size_t>& pred_units,
+                  const std::vector<std::size_t>& succ_units) {
+    for (std::size_t p : pred_units)
+      if (p != c && b.reaches(c, p)) return false;
+    for (std::size_t s : succ_units)
+      if (s != c && b.reaches(s, c)) return false;
+    return true;
+  };
+
+  auto attach = [&](std::size_t i, std::size_t c,
+                    const std::vector<std::size_t>& pred_units,
+                    const std::vector<std::size_t>& succ_units) {
+    b.unit_of_op[i] = c;
+    b.units[c].ops.push_back(i);
+    for (std::size_t p : pred_units) b.add_edge(p, c);
+    for (std::size_t s : succ_units) b.add_edge(c, s);
+  };
+
+  // Forced resolution: merge every conflicting unit into the preferred one.
+  auto attach_forced = [&](std::size_t i, std::size_t c,
+                           std::vector<std::size_t> pred_units,
+                           std::vector<std::size_t> succ_units) {
+    for (std::size_t p : pred_units)
+      if (p != c && b.reaches(c, p)) b.merge_into(c, p);
+    for (std::size_t s : succ_units)
+      if (s != c && b.reaches(s, c)) b.merge_into(c, s);
+    // Merged units may have been aliased away; recompute the survivors.
+    auto live = [&](std::vector<std::size_t>& v) {
+      std::vector<std::size_t> out;
+      for (std::size_t u : v)
+        if (!b.units[u].dead && u != c) out.push_back(u);
+      v = out;
+    };
+    live(pred_units);
+    live(succ_units);
+    attach(i, c, pred_units, succ_units);
+  };
+
+  std::vector<std::size_t> deferred;
+
+  // Pass 1: ascending; locals attach to a producer's unit.
+  for (std::size_t i = 0; i < n_ops; ++i) {
+    const std::size_t pre_assigned = b.unit_of_op[i];
+    const auto pred_units = attached_units_of(deps.all[i]);
+    if (pre_assigned != kNoUnit) {  // remote op: unit exists, just wire edges
+      for (std::size_t p : pred_units) b.add_edge(p, pre_assigned);
+      continue;
+    }
+    const auto cand_source = attached_units_of(deps.raw[i]);
+    if (cand_source.empty()) {
+      deferred.push_back(i);
+      continue;
+    }
+    const auto cands = rank_candidates(cand_source);
+    bool placed = false;
+    for (std::size_t c : cands) {
+      if (fits(c, pred_units, {})) {
+        attach(i, c, pred_units, {});
+        placed = true;
+        break;
+      }
+    }
+    if (!placed) attach_forced(i, cands.front(), pred_units, {});
+  }
+
+  // Pass 2: deferred ops (no attached data-flow producer), descending so a
+  // deferred consumer is placed before its deferred producer needs it.
+  for (auto it = deferred.rbegin(); it != deferred.rend(); ++it) {
+    const std::size_t i = *it;
+    const auto pred_units = attached_units_of(deps.all[i]);
+    auto succ_units = attached_units_of(op_succs[i]);
+    auto consumer_units = attached_units_of(raw_succs[i]);
+
+    std::vector<std::size_t> cands;
+    if (!consumer_units.empty()) {
+      cands = consumer_units;  // earliest consumer first
+      std::stable_sort(cands.begin(), cands.end(),
+                       [&](std::size_t x, std::size_t y) {
+                         return b.position(x) < b.position(y);
+                       });
+    } else {
+      // No data-flow consumer (e.g. a blind insert built from params):
+      // execute as late as possible, near the commit phase.
+      std::size_t last = kNoUnit;
+      for (std::size_t u = 0; u < b.units.size(); ++u) {
+        if (b.units[u].dead) continue;
+        if (last == kNoUnit || b.position(u) > b.position(last)) last = u;
+      }
+      cands.push_back(last);
+    }
+
+    bool placed = false;
+    for (std::size_t c : cands) {
+      if (fits(c, pred_units, succ_units)) {
+        attach(i, c, pred_units, succ_units);
+        placed = true;
+        break;
+      }
+    }
+    if (!placed) attach_forced(i, cands.front(), pred_units, succ_units);
+  }
+
+  // Canonical order: Kahn's algorithm, ties by earliest access position.
+  std::vector<std::size_t> live_units;
+  for (std::size_t u = 0; u < b.units.size(); ++u)
+    if (!b.units[u].dead) live_units.push_back(u);
+
+  std::vector<std::size_t> indegree(b.units.size(), 0);
+  for (std::size_t u : live_units)
+    for (std::size_t v : b.succ[u]) ++indegree[v];
+
+  auto cmp = [&](std::size_t x, std::size_t y) {
+    return b.position(x) > b.position(y);  // min-heap by position
+  };
+  std::priority_queue<std::size_t, std::vector<std::size_t>, decltype(cmp)> ready(
+      cmp);
+  for (std::size_t u : live_units)
+    if (indegree[u] == 0) ready.push(u);
+
+  std::vector<std::size_t> topo;
+  while (!ready.empty()) {
+    const std::size_t u = ready.top();
+    ready.pop();
+    topo.push_back(u);
+    for (std::size_t v : b.succ[u])
+      if (--indegree[v] == 0) ready.push(v);
+  }
+  if (topo.size() != live_units.size())
+    throw std::logic_error("unit graph has a cycle after attachment");
+
+  // Emit the model with remapped indices.
+  DependencyModel model;
+  model.program = &program;
+  model.forced_merges = b.forced_merges;
+  std::vector<std::size_t> new_index(b.units.size(), kNoUnit);
+  for (std::size_t rank = 0; rank < topo.size(); ++rank)
+    new_index[topo[rank]] = rank;
+
+  model.units.resize(topo.size());
+  model.preds.resize(topo.size());
+  model.succs.resize(topo.size());
+  model.unit_of_op.assign(n_ops, kNoUnit);
+
+  for (std::size_t rank = 0; rank < topo.size(); ++rank) {
+    const std::size_t u = topo[rank];
+    UnitBlock& unit = model.units[rank];
+    unit.ops = b.units[u].ops;
+    std::sort(unit.ops.begin(), unit.ops.end());
+    unit.remote_ops = b.units[u].remote_ops;
+    std::sort(unit.remote_ops.begin(), unit.remote_ops.end());
+    for (std::size_t op : unit.remote_ops)
+      unit.classes.push_back(program.ops[op].remote.cls);
+    for (std::size_t op : unit.ops) model.unit_of_op[op] = rank;
+    for (std::size_t v : b.succ[u]) model.succs[rank].push_back(new_index[v]);
+    std::sort(model.succs[rank].begin(), model.succs[rank].end());
+  }
+  for (std::size_t u = 0; u < model.units.size(); ++u)
+    for (std::size_t v : model.succs[u]) model.preds[v].push_back(u);
+  for (auto& p : model.preds) std::sort(p.begin(), p.end());
+
+  return model;
+}
+
+}  // namespace acn

@@ -1,0 +1,106 @@
+// Static Module: data-dependency analysis and UnitBlock formation
+// (Section V-B / V-C1 of the paper).
+//
+// From a TxProgram we recover:
+//   * op-level dependencies — for every operation, which earlier operations
+//     produced its inputs (RAW) plus the ordering constraints of WAR/WAW on
+//     shared variables;
+//   * UnitBlocks — one per remote object access; every local operation is
+//     attached to a UnitBlock per the paper's rule: to the UnitBlock
+//     containing an access to one of the shared objects it manipulates
+//     (transitively, for chains of local operations).  Two attachment
+//     policies exist:
+//       - kLatestProducer: the *latest* such UnitBlock (the static default
+//         the paper describes in V-C1);
+//       - kMostContended: the most contended such UnitBlock (Step 1 of the
+//         Algorithm Module, V-C3), so that when the hot object invalidates,
+//         its dependent recomputation re-executes inside the same cheap
+//         sub-transaction;
+//   * the dependency model — unit-level precedence edges, the constraint
+//     set under which Blocks may be merged and reordered.
+//
+// Attachment is cycle-aware: a candidate that would make the unit graph
+// cyclic is skipped.  If every candidate would (mutually-dependent accesses
+// interleaved through local ops), the offending units are merged — a merged
+// UnitBlock carries more than one remote access, which merely means those
+// accesses are inseparable and will always live in the same sub-transaction.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "src/acn/txir.hpp"
+
+namespace acn {
+
+constexpr std::size_t kNoUnit = static_cast<std::size_t>(-1);
+
+struct UnitBlock {
+  std::vector<std::size_t> ops;         // op indices, ascending
+  std::vector<std::size_t> remote_ops;  // subset of ops that access objects
+  std::vector<ir::ClassId> classes;     // classes of those accesses
+
+  bool single_access() const noexcept { return remote_ops.size() == 1; }
+};
+
+/// Per-class contention levels, as reported by the Dynamic Module.
+using ClassLevels = std::unordered_map<ir::ClassId, double>;
+
+enum class AttachPolicy {
+  kLatestProducer,
+  kMostContended,
+};
+
+struct DependencyModel {
+  const ir::TxProgram* program = nullptr;
+
+  /// Units in canonical order: a topological order of the unit graph with
+  /// ties broken by earliest op index (this is the Block Sequence the
+  /// static analysis yields before any run-time refinement).
+  std::vector<UnitBlock> units;
+
+  /// preds[u] / succs[u]: direct dependency edges between units, indices
+  /// into `units`.  An edge a -> b (b in succs[a]) means a must execute
+  /// before b.
+  std::vector<std::vector<std::size_t>> preds;
+  std::vector<std::vector<std::size_t>> succs;
+
+  /// unit_of_op[i] = which unit op i belongs to.
+  std::vector<std::size_t> unit_of_op;
+
+  /// How many times cycle resolution had to merge units (diagnostics; 0 for
+  /// well-structured programs).
+  std::size_t forced_merges = 0;
+
+  bool depends(std::size_t pred, std::size_t succ) const;
+
+  /// True when `order` (indices into units, a permutation) respects every
+  /// dependency edge.
+  bool order_valid(const std::vector<std::size_t>& order) const;
+
+  /// Human-readable dump (used by the decomposition example and tests).
+  std::string describe() const;
+
+  /// Graphviz DOT rendering of the unit graph: one node per UnitBlock
+  /// (listing its ops), one edge per dependency.  Pipe through `dot -Tsvg`
+  /// to visualize a transaction's structure.
+  std::string to_dot(const std::string& graph_name = "unitgraph") const;
+};
+
+/// Direct op-level dependencies: result[i] lists ops j < i that op i
+/// depends on (RAW, WAR and WAW through variables).  Exposed for tests.
+std::vector<std::vector<std::size_t>> op_dependencies(const ir::TxProgram& program);
+
+/// Like op_dependencies but restricted to true data flow (RAW).
+std::vector<std::vector<std::size_t>> op_dataflow(const ir::TxProgram& program);
+
+/// Build the dependency model.  `class_levels` is consulted only by
+/// kMostContended (unknown classes default to level 0).
+/// Throws std::invalid_argument for programs with no remote access.
+DependencyModel build_dependency_model(const ir::TxProgram& program,
+                                       AttachPolicy policy,
+                                       const ClassLevels& class_levels = {});
+
+}  // namespace acn

@@ -1,0 +1,30 @@
+// Monotonic-clock helpers shared by the runtime and the harness.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+
+namespace acn {
+
+inline std::uint64_t now_ns() noexcept {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+/// Simple scoped stopwatch.
+class Stopwatch {
+ public:
+  Stopwatch() noexcept : start_(now_ns()) {}
+  void restart() noexcept { start_ = now_ns(); }
+  std::uint64_t elapsed_ns() const noexcept { return now_ns() - start_; }
+  double elapsed_s() const noexcept {
+    return static_cast<double>(elapsed_ns()) * 1e-9;
+  }
+
+ private:
+  std::uint64_t start_;
+};
+
+}  // namespace acn

@@ -1,0 +1,30 @@
+#include "src/common/latency_model.hpp"
+
+#include <atomic>
+
+#include "src/common/rng.hpp"
+
+namespace acn {
+
+Nanos JitterLatency::delay(int from, int to, std::size_t bytes) const {
+  if (from == to) return Nanos{0};
+  // Stateless hash of (seed, from, to, bytes, a process-wide counter) so two
+  // messages on the same link can still see different jitter.
+  static std::atomic<std::uint64_t> counter{0};
+  std::uint64_t h = seed_;
+  h ^= splitmix64(h) + static_cast<std::uint64_t>(from) * 0x9e3779b97f4a7c15ULL;
+  h ^= splitmix64(h) + static_cast<std::uint64_t>(to);
+  h ^= splitmix64(h) + bytes;
+  h ^= splitmix64(h) + counter.fetch_add(1, std::memory_order_relaxed);
+  const std::uint64_t mixed = splitmix64(h);
+  const auto jitter_ns = static_cast<std::int64_t>(
+      mixed % static_cast<std::uint64_t>(jitter_.count() + 1));
+  return base_ + Nanos{jitter_ns};
+}
+
+std::shared_ptr<const LatencyModel> default_lan_model() {
+  using namespace std::chrono_literals;
+  return std::make_shared<FixedLatency>(Nanos{25us}, Nanos{2us});
+}
+
+}  // namespace acn

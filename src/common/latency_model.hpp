@@ -1,0 +1,72 @@
+// Latency models for the simulated network.
+//
+// The paper's testbed is a 1 Gbps switched LAN; what matters for the
+// reproduced phenomena is that a remote object access costs orders of
+// magnitude more than local compute, so that re-executing remote reads
+// after an abort dominates transaction latency.  The models below supply
+// that cost.  They return a duration; the network layer sleeps for it,
+// which lets concurrently executing client threads overlap their waits
+// exactly like real in-flight messages do.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <memory>
+
+namespace acn {
+
+using Nanos = std::chrono::nanoseconds;
+
+/// One-way message delay model.  Implementations must be thread-safe.
+class LatencyModel {
+ public:
+  virtual ~LatencyModel() = default;
+
+  /// Delay for a message of `bytes` bytes from node `from` to node `to`.
+  virtual Nanos delay(int from, int to, std::size_t bytes) const = 0;
+};
+
+/// Zero delay; used by unit tests so they run instantly.
+class ZeroLatency final : public LatencyModel {
+ public:
+  Nanos delay(int, int, std::size_t) const override { return Nanos{0}; }
+};
+
+/// Fixed propagation delay plus per-byte serialization cost
+/// (switched-LAN approximation: base ~= software + switch latency,
+/// per-byte ~= 1/bandwidth).
+class FixedLatency final : public LatencyModel {
+ public:
+  explicit FixedLatency(Nanos base, Nanos per_kilobyte = Nanos{0})
+      : base_(base), per_kb_(per_kilobyte) {}
+
+  Nanos delay(int from, int to, std::size_t bytes) const override {
+    if (from == to) return Nanos{0};  // loopback
+    return base_ + per_kb_ * static_cast<std::int64_t>(bytes / 1024);
+  }
+
+ private:
+  Nanos base_;
+  Nanos per_kb_;
+};
+
+/// Base delay with bounded uniform jitter, deterministic per (from, to,
+/// message index) so runs remain reproducible without shared RNG state.
+class JitterLatency final : public LatencyModel {
+ public:
+  JitterLatency(Nanos base, Nanos jitter, std::uint64_t seed = 42)
+      : base_(base), jitter_(jitter), seed_(seed) {}
+
+  Nanos delay(int from, int to, std::size_t bytes) const override;
+
+ private:
+  Nanos base_;
+  Nanos jitter_;
+  std::uint64_t seed_;
+};
+
+/// Factory for the default benchmark model (LAN-like, scaled down so the
+/// single-machine simulation finishes quickly: 50us base RTT component).
+std::shared_ptr<const LatencyModel> default_lan_model();
+
+}  // namespace acn

@@ -1,0 +1,35 @@
+#include "src/common/rng.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace acn {
+
+ZipfSampler::ZipfSampler(std::size_t n, double theta) : theta_(theta) {
+  if (n == 0) throw std::invalid_argument("ZipfSampler: n must be > 0");
+  if (theta < 0.0) throw std::invalid_argument("ZipfSampler: theta must be >= 0");
+  cdf_.resize(n);
+  double sum = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    sum += 1.0 / std::pow(static_cast<double>(i + 1), theta);
+    cdf_[i] = sum;
+  }
+  for (auto& v : cdf_) v /= sum;
+  cdf_.back() = 1.0;  // guard against rounding
+}
+
+std::size_t ZipfSampler::operator()(Rng& rng) const noexcept {
+  const double u = rng.uniform01();
+  const auto it = std::lower_bound(cdf_.begin(), cdf_.end(), u);
+  return static_cast<std::size_t>(it - cdf_.begin());
+}
+
+std::uint64_t nurand(Rng& rng, std::uint64_t a, std::uint64_t x, std::uint64_t y,
+                     std::uint64_t c) noexcept {
+  const std::uint64_t r1 = rng.uniform(0, a);
+  const std::uint64_t r2 = rng.uniform(x, y);
+  return (((r1 | r2) + c) % (y - x + 1)) + x;
+}
+
+}  // namespace acn

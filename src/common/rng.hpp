@@ -1,0 +1,111 @@
+// Deterministic pseudo-random number generation for the simulator.
+//
+// Everything in the repository that needs randomness takes an explicit
+// generator so experiments are reproducible from a single seed.  The core
+// generator is xoshiro256** seeded through splitmix64, which is both fast
+// and high quality; on top of it we provide the samplers the workloads
+// need: uniform ranges, Bernoulli, Zipf (for hot-spot skew) and TPC-C's
+// NURand non-uniform distribution.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+namespace acn {
+
+/// splitmix64 step; used for seeding and as a cheap stateless mixer.
+constexpr std::uint64_t splitmix64(std::uint64_t& state) noexcept {
+  state += 0x9e3779b97f4a7c15ULL;
+  std::uint64_t z = state;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+/// xoshiro256** by Blackman & Vigna.  Satisfies UniformRandomBitGenerator.
+class Rng {
+ public:
+  using result_type = std::uint64_t;
+
+  explicit Rng(std::uint64_t seed = 0x5eed5eed5eed5eedULL) noexcept { reseed(seed); }
+
+  void reseed(std::uint64_t seed) noexcept {
+    std::uint64_t sm = seed;
+    for (auto& word : state_) word = splitmix64(sm);
+  }
+
+  static constexpr result_type min() noexcept { return 0; }
+  static constexpr result_type max() noexcept { return ~0ULL; }
+
+  result_type operator()() noexcept {
+    const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+    const std::uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = rotl(state_[3], 45);
+    return result;
+  }
+
+  /// Uniform integer in [lo, hi] (inclusive).  Requires lo <= hi.
+  std::uint64_t uniform(std::uint64_t lo, std::uint64_t hi) noexcept {
+    // Lemire's nearly-divisionless bounded sampling.
+    const std::uint64_t span = hi - lo + 1;
+    if (span == 0) return (*this)();  // full 64-bit range
+    __uint128_t m = static_cast<__uint128_t>((*this)()) * span;
+    auto low = static_cast<std::uint64_t>(m);
+    if (low < span) {
+      const std::uint64_t threshold = (0 - span) % span;
+      while (low < threshold) {
+        m = static_cast<__uint128_t>((*this)()) * span;
+        low = static_cast<std::uint64_t>(m);
+      }
+    }
+    return lo + static_cast<std::uint64_t>(m >> 64);
+  }
+
+  /// Uniform double in [0, 1).
+  double uniform01() noexcept {
+    return static_cast<double>((*this)() >> 11) * 0x1.0p-53;
+  }
+
+  bool bernoulli(double p) noexcept { return uniform01() < p; }
+
+  /// Split off an independently-seeded child generator (for per-thread use).
+  Rng split() noexcept {
+    std::uint64_t s = (*this)();
+    return Rng(s);
+  }
+
+ private:
+  static constexpr std::uint64_t rotl(std::uint64_t x, int k) noexcept {
+    return (x << k) | (x >> (64 - k));
+  }
+  std::array<std::uint64_t, 4> state_{};
+};
+
+/// Zipf-distributed sampler over {0, ..., n-1} with exponent `theta`.
+/// Uses the precomputed-CDF method; construction is O(n), sampling O(log n).
+class ZipfSampler {
+ public:
+  ZipfSampler(std::size_t n, double theta);
+
+  std::size_t operator()(Rng& rng) const noexcept;
+
+  std::size_t size() const noexcept { return cdf_.size(); }
+  double theta() const noexcept { return theta_; }
+
+ private:
+  std::vector<double> cdf_;
+  double theta_ = 0.0;
+};
+
+/// TPC-C NURand(A, x, y): non-uniform random over [x, y].
+/// `c` is the per-run constant the spec draws once; pass any fixed value.
+std::uint64_t nurand(Rng& rng, std::uint64_t a, std::uint64_t x, std::uint64_t y,
+                     std::uint64_t c) noexcept;
+
+}  // namespace acn

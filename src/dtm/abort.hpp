@@ -1,0 +1,66 @@
+// Control-flow exceptions of the transaction runtime.
+//
+// TxAbort carries *which* objects were found invalid; the closed-nesting
+// runtime classifies the abort as partial (all invalid objects were first
+// read by the currently executing sub-transaction) or full (some invalid
+// object belongs to already-merged history) from exactly this list.
+#pragma once
+
+#include <exception>
+#include <string>
+#include <vector>
+
+#include "src/store/key.hpp"
+
+namespace acn::dtm {
+
+enum class AbortKind {
+  kValidation,   // a read object was invalidated by a committed writer
+  kBusy,         // persistent protect conflicts / commit contention
+  kUnavailable,  // not enough reachable replicas for a quorum
+};
+
+class TxAbort : public std::exception {
+ public:
+  TxAbort(AbortKind kind, std::vector<store::ObjectKey> invalid)
+      : kind_(kind), invalid_(std::move(invalid)) {
+    what_ = "transaction abort: ";
+    switch (kind_) {
+      case AbortKind::kValidation:
+        what_ += "validation failed on " + std::to_string(invalid_.size()) +
+                 " object(s)";
+        break;
+      case AbortKind::kBusy:
+        what_ += "objects busy (commit in flight)";
+        break;
+      case AbortKind::kUnavailable:
+        what_ += "quorum unavailable";
+        break;
+    }
+  }
+
+  AbortKind kind() const noexcept { return kind_; }
+  const std::vector<store::ObjectKey>& invalid() const noexcept {
+    return invalid_;
+  }
+  const char* what() const noexcept override { return what_.c_str(); }
+
+ private:
+  AbortKind kind_;
+  std::vector<store::ObjectKey> invalid_;
+  std::string what_;
+};
+
+/// Reading an object that exists on no reachable replica is a workload bug
+/// (objects are seeded before traffic), not a transient conflict.
+class ObjectMissing : public std::exception {
+ public:
+  explicit ObjectMissing(const store::ObjectKey& key)
+      : what_("object missing: " + store::to_string(key)) {}
+  const char* what() const noexcept override { return what_.c_str(); }
+
+ private:
+  std::string what_;
+};
+
+}  // namespace acn::dtm

@@ -1,0 +1,295 @@
+#include "src/dtm/codec.hpp"
+
+namespace acn::dtm {
+namespace {
+
+enum class RequestTag : std::uint8_t {
+  kRead = 1,
+  kValidate,
+  kPrepare,
+  kCommit,
+  kAbort,
+  kContention,
+};
+
+enum class ResponseTag : std::uint8_t {
+  kNone = 0,
+  kRead,
+  kValidate,
+  kPrepare,
+  kCommit,
+  kAbort,
+  kContention,
+};
+
+}  // namespace
+
+void Encoder::u32(std::uint32_t v) {
+  for (int shift = 0; shift < 32; shift += 8)
+    out_.push_back(static_cast<std::uint8_t>(v >> shift));
+}
+
+void Encoder::u64(std::uint64_t v) {
+  for (int shift = 0; shift < 64; shift += 8)
+    out_.push_back(static_cast<std::uint8_t>(v >> shift));
+}
+
+void Encoder::key(const ObjectKey& k) {
+  u32(k.cls);
+  u64(k.id);
+}
+
+void Encoder::record(const Record& r) {
+  u32(static_cast<std::uint32_t>(r.size()));
+  for (const store::Field field : r.fields) i64(field);
+}
+
+void Encoder::check(const VersionCheck& c) {
+  key(c.key);
+  u64(c.version);
+}
+
+std::uint8_t Decoder::u8() {
+  need(1);
+  return bytes_[pos_++];
+}
+
+std::uint32_t Decoder::u32() {
+  need(4);
+  std::uint32_t v = 0;
+  for (int shift = 0; shift < 32; shift += 8)
+    v |= static_cast<std::uint32_t>(bytes_[pos_++]) << shift;
+  return v;
+}
+
+std::uint64_t Decoder::u64() {
+  need(8);
+  std::uint64_t v = 0;
+  for (int shift = 0; shift < 64; shift += 8)
+    v |= static_cast<std::uint64_t>(bytes_[pos_++]) << shift;
+  return v;
+}
+
+ObjectKey Decoder::key() {
+  ObjectKey k;
+  k.cls = u32();
+  k.id = u64();
+  return k;
+}
+
+Record Decoder::record() {
+  const std::uint32_t n = u32();
+  if (n > remaining()) throw CodecError("record length exceeds buffer");
+  Record r;
+  r.fields.reserve(n);
+  for (std::uint32_t i = 0; i < n; ++i) r.fields.push_back(i64());
+  return r;
+}
+
+VersionCheck Decoder::check() {
+  VersionCheck c;
+  c.key = key();
+  c.version = u64();
+  return c;
+}
+
+std::vector<std::uint8_t> encode(const Request& request) {
+  Encoder e;
+  std::visit(
+      [&](const auto& req) {
+        using T = std::decay_t<decltype(req)>;
+        if constexpr (std::is_same_v<T, ReadRequest>) {
+          e.u8(static_cast<std::uint8_t>(RequestTag::kRead));
+          e.u64(req.tx);
+          e.key(req.key);
+          e.list(req.validate, [&](const VersionCheck& c) { e.check(c); });
+          e.list(req.want_contention, [&](ClassId c) { e.u32(c); });
+        } else if constexpr (std::is_same_v<T, ValidateRequest>) {
+          e.u8(static_cast<std::uint8_t>(RequestTag::kValidate));
+          e.u64(req.tx);
+          e.list(req.validate, [&](const VersionCheck& c) { e.check(c); });
+        } else if constexpr (std::is_same_v<T, PrepareRequest>) {
+          e.u8(static_cast<std::uint8_t>(RequestTag::kPrepare));
+          e.u64(req.tx);
+          e.list(req.read_validate, [&](const VersionCheck& c) { e.check(c); });
+          e.list(req.write_keys, [&](const ObjectKey& k) { e.key(k); });
+        } else if constexpr (std::is_same_v<T, CommitRequest>) {
+          e.u8(static_cast<std::uint8_t>(RequestTag::kCommit));
+          e.u64(req.tx);
+          e.list(req.keys, [&](const ObjectKey& k) { e.key(k); });
+          e.list(req.values, [&](const Record& r) { e.record(r); });
+          e.list(req.versions, [&](Version v) { e.u64(v); });
+        } else if constexpr (std::is_same_v<T, AbortRequest>) {
+          e.u8(static_cast<std::uint8_t>(RequestTag::kAbort));
+          e.u64(req.tx);
+          e.list(req.keys, [&](const ObjectKey& k) { e.key(k); });
+        } else if constexpr (std::is_same_v<T, ContentionRequest>) {
+          e.u8(static_cast<std::uint8_t>(RequestTag::kContention));
+          e.list(req.classes, [&](ClassId c) { e.u32(c); });
+        }
+      },
+      request.payload);
+  return e.take();
+}
+
+std::vector<std::uint8_t> encode(const Response& response) {
+  Encoder e;
+  std::visit(
+      [&](const auto& res) {
+        using T = std::decay_t<decltype(res)>;
+        if constexpr (std::is_same_v<T, std::monostate>) {
+          e.u8(static_cast<std::uint8_t>(ResponseTag::kNone));
+        } else if constexpr (std::is_same_v<T, ReadResponse>) {
+          e.u8(static_cast<std::uint8_t>(ResponseTag::kRead));
+          e.u8(static_cast<std::uint8_t>(res.code));
+          e.record(res.record.value);
+          e.u64(res.record.version);
+          e.list(res.invalid, [&](const ObjectKey& k) { e.key(k); });
+          e.list(res.contention, [&](std::uint64_t v) { e.u64(v); });
+        } else if constexpr (std::is_same_v<T, ValidateResponse>) {
+          e.u8(static_cast<std::uint8_t>(ResponseTag::kValidate));
+          e.list(res.invalid, [&](const ObjectKey& k) { e.key(k); });
+          e.boolean(res.busy);
+        } else if constexpr (std::is_same_v<T, PrepareResponse>) {
+          e.u8(static_cast<std::uint8_t>(ResponseTag::kPrepare));
+          e.u8(static_cast<std::uint8_t>(res.code));
+          e.list(res.invalid, [&](const ObjectKey& k) { e.key(k); });
+          e.list(res.current_versions, [&](Version v) { e.u64(v); });
+        } else if constexpr (std::is_same_v<T, CommitResponse>) {
+          e.u8(static_cast<std::uint8_t>(ResponseTag::kCommit));
+          e.boolean(res.ok);
+        } else if constexpr (std::is_same_v<T, AbortResponse>) {
+          e.u8(static_cast<std::uint8_t>(ResponseTag::kAbort));
+        } else if constexpr (std::is_same_v<T, ContentionResponse>) {
+          e.u8(static_cast<std::uint8_t>(ResponseTag::kContention));
+          e.list(res.levels, [&](std::uint64_t v) { e.u64(v); });
+        }
+      },
+      response.payload);
+  return e.take();
+}
+
+Request decode_request(std::span<const std::uint8_t> bytes) {
+  Decoder d(bytes);
+  Request out;
+  const auto tag = static_cast<RequestTag>(d.u8());
+  switch (tag) {
+    case RequestTag::kRead: {
+      ReadRequest req;
+      req.tx = d.u64();
+      req.key = d.key();
+      req.validate = d.list<VersionCheck>([&] { return d.check(); });
+      req.want_contention = d.list<ClassId>([&] { return d.u32(); });
+      out.payload = std::move(req);
+      break;
+    }
+    case RequestTag::kValidate: {
+      ValidateRequest req;
+      req.tx = d.u64();
+      req.validate = d.list<VersionCheck>([&] { return d.check(); });
+      out.payload = std::move(req);
+      break;
+    }
+    case RequestTag::kPrepare: {
+      PrepareRequest req;
+      req.tx = d.u64();
+      req.read_validate = d.list<VersionCheck>([&] { return d.check(); });
+      req.write_keys = d.list<ObjectKey>([&] { return d.key(); });
+      out.payload = std::move(req);
+      break;
+    }
+    case RequestTag::kCommit: {
+      CommitRequest req;
+      req.tx = d.u64();
+      req.keys = d.list<ObjectKey>([&] { return d.key(); });
+      req.values = d.list<Record>([&] { return d.record(); });
+      req.versions = d.list<Version>([&] { return d.u64(); });
+      out.payload = std::move(req);
+      break;
+    }
+    case RequestTag::kAbort: {
+      AbortRequest req;
+      req.tx = d.u64();
+      req.keys = d.list<ObjectKey>([&] { return d.key(); });
+      out.payload = std::move(req);
+      break;
+    }
+    case RequestTag::kContention: {
+      ContentionRequest req;
+      req.classes = d.list<ClassId>([&] { return d.u32(); });
+      out.payload = std::move(req);
+      break;
+    }
+    default:
+      throw CodecError("unknown request tag");
+  }
+  if (!d.exhausted()) throw CodecError("trailing bytes after request");
+  return out;
+}
+
+Response decode_response(std::span<const std::uint8_t> bytes) {
+  Decoder d(bytes);
+  Response out;
+  const auto tag = static_cast<ResponseTag>(d.u8());
+  switch (tag) {
+    case ResponseTag::kNone:
+      out.payload = std::monostate{};
+      break;
+    case ResponseTag::kRead: {
+      ReadResponse res;
+      res.code = static_cast<ReadCode>(d.u8());
+      res.record.value = d.record();
+      res.record.version = d.u64();
+      res.invalid = d.list<ObjectKey>([&] { return d.key(); });
+      res.contention = d.list<std::uint64_t>([&] { return d.u64(); });
+      out.payload = std::move(res);
+      break;
+    }
+    case ResponseTag::kValidate: {
+      ValidateResponse res;
+      res.invalid = d.list<ObjectKey>([&] { return d.key(); });
+      res.busy = d.boolean();
+      out.payload = std::move(res);
+      break;
+    }
+    case ResponseTag::kPrepare: {
+      PrepareResponse res;
+      res.code = static_cast<PrepareCode>(d.u8());
+      res.invalid = d.list<ObjectKey>([&] { return d.key(); });
+      res.current_versions = d.list<Version>([&] { return d.u64(); });
+      out.payload = std::move(res);
+      break;
+    }
+    case ResponseTag::kCommit: {
+      CommitResponse res;
+      res.ok = d.boolean();
+      out.payload = res;
+      break;
+    }
+    case ResponseTag::kAbort:
+      out.payload = AbortResponse{};
+      break;
+    case ResponseTag::kContention: {
+      ContentionResponse res;
+      res.levels = d.list<std::uint64_t>([&] { return d.u64(); });
+      out.payload = std::move(res);
+      break;
+    }
+    default:
+      throw CodecError("unknown response tag");
+  }
+  if (!d.exhausted()) throw CodecError("trailing bytes after response");
+  return out;
+}
+
+Request roundtrip(const Request& request) {
+  const auto bytes = encode(request);
+  return decode_request(bytes);
+}
+
+Response roundtrip(const Response& response) {
+  const auto bytes = encode(response);
+  return decode_response(bytes);
+}
+
+}  // namespace acn::dtm

@@ -1,0 +1,102 @@
+// Binary wire codec for the QR-DTM protocol.
+//
+// The in-process simulation passes message structs by reference, but a
+// deployment over real sockets needs every Request/Response to be
+// self-contained bytes.  This codec provides that: a compact
+// little-endian framing (1 tag byte per variant alternative,
+// length-prefixed vectors) with full round-trip fidelity for every
+// message type.  The client stub can optionally round-trip every message
+// it sends and receives (StubConfig::verify_codec) so the entire test and
+// benchmark traffic doubles as codec coverage.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <stdexcept>
+#include <vector>
+
+#include "src/dtm/messages.hpp"
+
+namespace acn::dtm {
+
+/// Raised on malformed or truncated input.
+class CodecError : public std::runtime_error {
+ public:
+  explicit CodecError(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// Append-only little-endian byte writer.
+class Encoder {
+ public:
+  void u8(std::uint8_t v) { out_.push_back(v); }
+  void u32(std::uint32_t v);
+  void u64(std::uint64_t v);
+  void i64(std::int64_t v) { u64(static_cast<std::uint64_t>(v)); }
+  void boolean(bool v) { u8(v ? 1 : 0); }
+
+  void key(const ObjectKey& k);
+  void record(const Record& r);
+  void check(const VersionCheck& c);
+
+  template <class T, class Fn>
+  void list(const std::vector<T>& items, Fn&& each) {
+    u32(static_cast<std::uint32_t>(items.size()));
+    for (const T& item : items) each(item);
+  }
+
+  std::vector<std::uint8_t> take() { return std::move(out_); }
+  std::size_t size() const noexcept { return out_.size(); }
+
+ private:
+  std::vector<std::uint8_t> out_;
+};
+
+/// Bounds-checked little-endian byte reader.
+class Decoder {
+ public:
+  explicit Decoder(std::span<const std::uint8_t> bytes) : bytes_(bytes) {}
+
+  std::uint8_t u8();
+  std::uint32_t u32();
+  std::uint64_t u64();
+  std::int64_t i64() { return static_cast<std::int64_t>(u64()); }
+  bool boolean() { return u8() != 0; }
+
+  ObjectKey key();
+  Record record();
+  VersionCheck check();
+
+  template <class T, class Fn>
+  std::vector<T> list(Fn&& each) {
+    const std::uint32_t n = u32();
+    // Guard against absurd counts from corrupt input.
+    if (n > remaining()) throw CodecError("list count exceeds buffer");
+    std::vector<T> out;
+    out.reserve(n);
+    for (std::uint32_t i = 0; i < n; ++i) out.push_back(each());
+    return out;
+  }
+
+  std::size_t remaining() const noexcept { return bytes_.size() - pos_; }
+  bool exhausted() const noexcept { return pos_ == bytes_.size(); }
+
+ private:
+  void need(std::size_t n) const {
+    if (pos_ + n > bytes_.size()) throw CodecError("truncated message");
+  }
+
+  std::span<const std::uint8_t> bytes_;
+  std::size_t pos_ = 0;
+};
+
+std::vector<std::uint8_t> encode(const Request& request);
+std::vector<std::uint8_t> encode(const Response& response);
+
+Request decode_request(std::span<const std::uint8_t> bytes);
+Response decode_response(std::span<const std::uint8_t> bytes);
+
+/// encode -> decode; used by the stub's verify mode and tests.
+Request roundtrip(const Request& request);
+Response roundtrip(const Response& response);
+
+}  // namespace acn::dtm

@@ -1,0 +1,78 @@
+#include "src/dtm/messages.hpp"
+
+namespace acn::dtm {
+namespace {
+
+constexpr std::size_t kHeader = 16;  // tx id + opcode + framing
+constexpr std::size_t kKeySize = sizeof(ObjectKey);
+constexpr std::size_t kCheckSize = sizeof(VersionCheck);
+
+std::size_t records_size(const std::vector<Record>& records) noexcept {
+  std::size_t total = 0;
+  for (const auto& r : records) total += r.approx_size();
+  return total;
+}
+
+}  // namespace
+
+std::size_t ReadRequest::approx_size() const noexcept {
+  return kHeader + kKeySize + validate.size() * kCheckSize +
+         want_contention.size() * sizeof(ClassId);
+}
+
+std::size_t ValidateRequest::approx_size() const noexcept {
+  return kHeader + validate.size() * kCheckSize;
+}
+
+std::size_t PrepareRequest::approx_size() const noexcept {
+  return kHeader + read_validate.size() * kCheckSize +
+         write_keys.size() * kKeySize;
+}
+
+std::size_t CommitRequest::approx_size() const noexcept {
+  return kHeader + keys.size() * (kKeySize + sizeof(Version)) +
+         records_size(values);
+}
+
+std::size_t AbortRequest::approx_size() const noexcept {
+  return kHeader + keys.size() * kKeySize;
+}
+
+std::size_t ContentionRequest::approx_size() const noexcept {
+  return kHeader + classes.size() * sizeof(ClassId);
+}
+
+std::size_t ReadResponse::approx_size() const noexcept {
+  return kHeader + record.value.approx_size() + sizeof(Version) +
+         invalid.size() * kKeySize + contention.size() * sizeof(std::uint64_t);
+}
+
+std::size_t ValidateResponse::approx_size() const noexcept {
+  return kHeader + invalid.size() * kKeySize;
+}
+
+std::size_t PrepareResponse::approx_size() const noexcept {
+  return kHeader + invalid.size() * kKeySize +
+         current_versions.size() * sizeof(Version);
+}
+
+std::size_t ContentionResponse::approx_size() const noexcept {
+  return kHeader + levels.size() * sizeof(std::uint64_t);
+}
+
+std::size_t Request::approx_size() const noexcept {
+  return std::visit([](const auto& r) { return r.approx_size(); }, payload);
+}
+
+std::size_t Response::approx_size() const noexcept {
+  return std::visit(
+      [](const auto& r) -> std::size_t {
+        if constexpr (std::is_same_v<std::decay_t<decltype(r)>, std::monostate>)
+          return 8;
+        else
+          return r.approx_size();
+      },
+      payload);
+}
+
+}  // namespace acn::dtm

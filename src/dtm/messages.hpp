@@ -1,0 +1,194 @@
+// QR-DTM wire protocol.
+//
+// Five request kinds flow from clients to quorum servers:
+//   * Read        — fetch an object from a read quorum; the request carries
+//                   the transaction's current read-set versions so servers
+//                   perform *incremental validation* on every read, and may
+//                   carry a list of object classes whose contention levels
+//                   the client wants piggybacked on the response.
+//   * Validate    — stand-alone incremental validation (no fetch).
+//   * Prepare     — first phase of two-phase commit on a write quorum:
+//                   protect written objects, validate the read-set, report
+//                   current versions so the coordinator can pick new ones.
+//   * Commit      — second phase: install new versions, release protection,
+//                   bump the per-window write counters (contention input).
+//   * Abort       — release protection without installing.
+//   * Contention  — fetch per-class contention levels (Dynamic Module).
+//
+// Messages are plain structs; the simulated network needs only their
+// approximate serialized size, exposed via approx_size().
+#pragma once
+
+#include <cstdint>
+#include <variant>
+#include <vector>
+
+#include "src/store/key.hpp"
+#include "src/store/record.hpp"
+
+namespace acn::dtm {
+
+using store::ClassId;
+using store::ObjectKey;
+using store::Record;
+using store::Version;
+using store::VersionedRecord;
+using TxId = std::uint64_t;
+
+/// One entry of a transaction read-set shipped for incremental validation:
+/// "I read `key` at `version`; tell me if you hold something newer."
+struct VersionCheck {
+  ObjectKey key;
+  Version version = 0;
+
+  friend bool operator==(const VersionCheck&, const VersionCheck&) = default;
+};
+
+struct ReadRequest {
+  TxId tx = 0;
+  ObjectKey key;
+  std::vector<VersionCheck> validate;
+  std::vector<ClassId> want_contention;
+
+  std::size_t approx_size() const noexcept;
+
+  friend bool operator==(const ReadRequest&, const ReadRequest&) = default;
+};
+
+struct ValidateRequest {
+  TxId tx = 0;
+  std::vector<VersionCheck> validate;
+
+  std::size_t approx_size() const noexcept;
+
+  friend bool operator==(const ValidateRequest&, const ValidateRequest&) = default;
+};
+
+struct PrepareRequest {
+  TxId tx = 0;
+  std::vector<VersionCheck> read_validate;
+  std::vector<ObjectKey> write_keys;  // sorted ascending by the coordinator
+
+  std::size_t approx_size() const noexcept;
+
+  friend bool operator==(const PrepareRequest&, const PrepareRequest&) = default;
+};
+
+struct CommitRequest {
+  TxId tx = 0;
+  std::vector<ObjectKey> keys;
+  std::vector<Record> values;     // aligned with keys
+  std::vector<Version> versions;  // aligned with keys
+
+  std::size_t approx_size() const noexcept;
+
+  friend bool operator==(const CommitRequest&, const CommitRequest&) = default;
+};
+
+struct AbortRequest {
+  TxId tx = 0;
+  std::vector<ObjectKey> keys;
+
+  std::size_t approx_size() const noexcept;
+
+  friend bool operator==(const AbortRequest&, const AbortRequest&) = default;
+};
+
+struct ContentionRequest {
+  std::vector<ClassId> classes;
+
+  std::size_t approx_size() const noexcept;
+
+  friend bool operator==(const ContentionRequest&, const ContentionRequest&) = default;
+};
+
+enum class ReadCode : std::uint8_t {
+  kOk = 0,
+  kMissing,
+  kBusy,     // object protected by an in-flight commit
+  kInvalid,  // incremental validation failed (see `invalid`)
+};
+
+struct ReadResponse {
+  ReadCode code = ReadCode::kMissing;
+  VersionedRecord record;
+  std::vector<ObjectKey> invalid;          // failed validation entries
+  std::vector<std::uint64_t> contention;   // aligned with want_contention
+
+  std::size_t approx_size() const noexcept;
+
+  friend bool operator==(const ReadResponse&, const ReadResponse&) = default;
+};
+
+struct ValidateResponse {
+  std::vector<ObjectKey> invalid;  // empty => all still valid
+  /// A checked object is protected by an in-flight commit: this replica can
+  /// neither confirm nor refute the check — the caller must retry.  Passing
+  /// silently here would let a reader commit an inconsistent snapshot (the
+  /// committing writer's other keys may already be visible).
+  bool busy = false;
+
+  std::size_t approx_size() const noexcept;
+
+  friend bool operator==(const ValidateResponse&, const ValidateResponse&) = default;
+};
+
+enum class PrepareCode : std::uint8_t {
+  kOk = 0,
+  kBusy,     // failed to protect (or validated against a protected object)
+  kInvalid,  // read-set validation failed
+};
+
+struct PrepareResponse {
+  PrepareCode code = PrepareCode::kOk;
+  std::vector<ObjectKey> invalid;
+  std::vector<Version> current_versions;  // aligned with write_keys, on kOk
+
+  std::size_t approx_size() const noexcept;
+
+  friend bool operator==(const PrepareResponse&, const PrepareResponse&) = default;
+};
+
+struct CommitResponse {
+  bool ok = true;
+
+  std::size_t approx_size() const noexcept { return 8; }
+
+  friend bool operator==(const CommitResponse&, const CommitResponse&) = default;
+};
+
+struct AbortResponse {
+  std::size_t approx_size() const noexcept { return 8; }
+
+  friend bool operator==(const AbortResponse&, const AbortResponse&) = default;
+};
+
+struct ContentionResponse {
+  std::vector<std::uint64_t> levels;  // aligned with request classes
+
+  std::size_t approx_size() const noexcept;
+
+  friend bool operator==(const ContentionResponse&, const ContentionResponse&) = default;
+};
+
+struct Request {
+  std::variant<ReadRequest, ValidateRequest, PrepareRequest, CommitRequest,
+               AbortRequest, ContentionRequest>
+      payload;
+
+  std::size_t approx_size() const noexcept;
+
+  friend bool operator==(const Request&, const Request&) = default;
+};
+
+struct Response {
+  std::variant<std::monostate, ReadResponse, ValidateResponse, PrepareResponse,
+               CommitResponse, AbortResponse, ContentionResponse>
+      payload;
+
+  std::size_t approx_size() const noexcept;
+
+  friend bool operator==(const Response&, const Response&) = default;
+};
+
+}  // namespace acn::dtm

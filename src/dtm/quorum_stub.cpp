@@ -1,0 +1,252 @@
+#include "src/dtm/quorum_stub.hpp"
+
+#include <algorithm>
+#include <thread>
+
+#include "src/dtm/codec.hpp"
+
+namespace acn::dtm {
+namespace {
+
+/// Union of invalid-key lists, deduplicated.
+void merge_invalid(std::vector<ObjectKey>& into, const std::vector<ObjectKey>& from) {
+  for (const auto& key : from)
+    if (std::find(into.begin(), into.end(), key) == into.end())
+      into.push_back(key);
+}
+
+}  // namespace
+
+QuorumStub::QuorumStub(DtmNetwork& network, const quorum::QuorumSystem& quorums,
+                       net::NodeId client_node, std::uint64_t seed,
+                       StubConfig config)
+    : network_(network),
+      quorums_(quorums),
+      client_node_(client_node),
+      rng_(seed),
+      config_(config) {}
+
+void QuorumStub::backoff(int attempt) {
+  const auto base = config_.busy_backoff.count();
+  const std::int64_t shifted = base << std::min(attempt, 6);
+  const std::int64_t jitter =
+      static_cast<std::int64_t>(rng_.uniform(0, static_cast<std::uint64_t>(shifted)));
+  std::this_thread::sleep_for(std::chrono::nanoseconds{shifted + jitter});
+}
+
+std::vector<net::CallResult<Response>> QuorumStub::exchange(
+    const std::vector<net::NodeId>& quorum, const Request& request) {
+  if (config_.verify_codec && !(roundtrip(request) == request))
+    throw std::logic_error("codec round-trip mismatch on request");
+  auto results = network_.multicall(client_node_, quorum,
+                                    [&](net::NodeId) { return request; });
+  if (config_.verify_codec) {
+    for (const auto& result : results) {
+      if (!result.ok()) continue;
+      if (!(roundtrip(result.response) == result.response))
+        throw std::logic_error("codec round-trip mismatch on response");
+    }
+  }
+  return results;
+}
+
+ReadOutcome QuorumStub::read(TxId tx, const ObjectKey& key,
+                             const std::vector<VersionCheck>& validate,
+                             const std::vector<ClassId>& want_contention) {
+  int busy_attempts = 0;
+  int quorum_attempts = 0;
+  for (;;) {
+    const auto quorum = pick_read_quorum();
+    Request request;
+    request.payload = ReadRequest{tx, key, validate, want_contention};
+    const auto results = exchange(quorum, request);
+
+    std::vector<ObjectKey> invalid;
+    ReadOutcome best;
+    bool have_value = false;
+    bool any_busy = false;
+    bool any_missing = false;
+    std::size_t reachable = 0;
+
+    for (const auto& result : results) {
+      if (!result.ok()) continue;
+      ++reachable;
+      const auto& res = std::get<ReadResponse>(result.response.payload);
+      switch (res.code) {
+        case ReadCode::kInvalid:
+          merge_invalid(invalid, res.invalid);
+          break;
+        case ReadCode::kOk:
+          if (!have_value || res.record.version > best.record.version) {
+            best.record = res.record;
+            have_value = true;
+          }
+          break;
+        case ReadCode::kBusy:
+          any_busy = true;
+          break;
+        case ReadCode::kMissing:
+          any_missing = true;
+          break;
+      }
+      if (!res.contention.empty()) {
+        if (best.contention.size() < res.contention.size())
+          best.contention.resize(res.contention.size(), 0);
+        for (std::size_t i = 0; i < res.contention.size(); ++i)
+          best.contention[i] = std::max(best.contention[i], res.contention[i]);
+      }
+    }
+
+    if (!invalid.empty()) throw TxAbort(AbortKind::kValidation, invalid);
+    if (have_value) return best;
+    if (reachable == 0) {
+      if (++quorum_attempts > config_.max_quorum_retries)
+        throw TxAbort(AbortKind::kUnavailable, {key});
+      continue;  // re-select a quorum around the down nodes
+    }
+    if (any_busy) {
+      if (++busy_attempts > config_.max_busy_retries)
+        throw TxAbort(AbortKind::kBusy, {key});
+      backoff(busy_attempts);
+      continue;
+    }
+    if (any_missing) throw ObjectMissing(key);
+    // Only transport errors on a partially reachable quorum: retry.
+    if (++quorum_attempts > config_.max_quorum_retries)
+      throw TxAbort(AbortKind::kUnavailable, {key});
+  }
+}
+
+void QuorumStub::validate(TxId tx, const std::vector<VersionCheck>& checks) {
+  if (checks.empty()) return;
+  int busy_attempts = 0;
+  for (;;) {
+    const auto quorum = pick_read_quorum();
+    Request request;
+    request.payload = ValidateRequest{tx, checks};
+    const auto results = exchange(quorum, request);
+    std::vector<ObjectKey> invalid;
+    bool any_busy = false;
+    for (const auto& result : results) {
+      if (!result.ok()) continue;
+      const auto& res = std::get<ValidateResponse>(result.response.payload);
+      merge_invalid(invalid, res.invalid);
+      any_busy = any_busy || res.busy;
+    }
+    if (!invalid.empty()) throw TxAbort(AbortKind::kValidation, invalid);
+    if (!any_busy) return;
+    // Some checked object is protected by an in-flight commit: retry until
+    // the commit settles and validation can answer definitively.
+    if (++busy_attempts > config_.max_busy_retries)
+      throw TxAbort(AbortKind::kBusy, {});
+    backoff(busy_attempts);
+  }
+}
+
+PrepareTicket QuorumStub::prepare(TxId tx,
+                                  const std::vector<VersionCheck>& read_checks,
+                                  const std::vector<ObjectKey>& write_keys,
+                                  const std::vector<Version>& read_versions) {
+  int busy_attempts = 0;
+  for (;;) {
+    const auto quorum = pick_write_quorum();
+    Request request;
+    request.payload = PrepareRequest{tx, read_checks, write_keys};
+    const auto results = exchange(quorum, request);
+
+    std::vector<ObjectKey> invalid;
+    bool any_busy = false;
+    bool any_unreachable = false;
+    std::vector<Version> current(write_keys.size(), 0);
+    std::size_t ok_count = 0;
+
+    for (const auto& result : results) {
+      if (!result.ok()) {
+        any_unreachable = true;
+        continue;
+      }
+      const auto& res = std::get<PrepareResponse>(result.response.payload);
+      switch (res.code) {
+        case PrepareCode::kOk:
+          ++ok_count;
+          for (std::size_t i = 0; i < res.current_versions.size(); ++i)
+            current[i] = std::max(current[i], res.current_versions[i]);
+          break;
+        case PrepareCode::kBusy:
+          any_busy = true;
+          break;
+        case PrepareCode::kInvalid:
+          merge_invalid(invalid, res.invalid);
+          break;
+      }
+    }
+
+    const bool all_ok =
+        ok_count == results.size() && !any_busy && !any_unreachable;
+    if (!all_ok) {
+      // Release whatever protection was acquired anywhere in the quorum.
+      send_abort(tx, quorum, write_keys);
+      if (!invalid.empty()) throw TxAbort(AbortKind::kValidation, invalid);
+      if (any_busy) {
+        if (++busy_attempts > config_.max_busy_retries)
+          throw TxAbort(AbortKind::kBusy, write_keys);
+        backoff(busy_attempts);
+        continue;
+      }
+      throw TxAbort(AbortKind::kUnavailable, write_keys);
+    }
+
+    PrepareTicket ticket;
+    ticket.tx = tx;
+    ticket.quorum = quorum;
+    ticket.keys = write_keys;
+    ticket.new_versions.reserve(write_keys.size());
+    for (std::size_t i = 0; i < write_keys.size(); ++i) {
+      const Version floor_version =
+          std::max(current[i], i < read_versions.size() ? read_versions[i] : 0);
+      ticket.new_versions.push_back(floor_version + 1);
+    }
+    return ticket;
+  }
+}
+
+void QuorumStub::commit(const PrepareTicket& ticket,
+                        const std::vector<Record>& values) {
+  Request request;
+  request.payload =
+      CommitRequest{ticket.tx, ticket.keys, values, ticket.new_versions};
+  exchange(ticket.quorum, request);
+}
+
+void QuorumStub::abort(const PrepareTicket& ticket) {
+  send_abort(ticket.tx, ticket.quorum, ticket.keys);
+}
+
+void QuorumStub::send_abort(TxId tx, const std::vector<net::NodeId>& quorum,
+                            const std::vector<ObjectKey>& keys) {
+  Request request;
+  request.payload = AbortRequest{tx, keys};
+  exchange(quorum, request);
+}
+
+std::vector<std::uint64_t> QuorumStub::contention_levels(
+    const std::vector<ClassId>& classes) {
+  // Write counters are bumped on write-quorum nodes at commit time, and
+  // every write quorum contains the tree root, so querying a *write*
+  // quorum (rather than a read quorum, which may be all leaves) always
+  // reaches at least one replica with the complete per-window counts.
+  const auto quorum = pick_write_quorum();
+  Request request;
+  request.payload = ContentionRequest{classes};
+  const auto results = exchange(quorum, request);
+  std::vector<std::uint64_t> levels(classes.size(), 0);
+  for (const auto& result : results) {
+    if (!result.ok()) continue;
+    const auto& res = std::get<ContentionResponse>(result.response.payload);
+    for (std::size_t i = 0; i < res.levels.size() && i < levels.size(); ++i)
+      levels[i] = std::max(levels[i], res.levels[i]);
+  }
+  return levels;
+}
+
+}  // namespace acn::dtm

@@ -1,0 +1,117 @@
+// Client-side quorum I/O.
+//
+// The stub turns single logical operations (read an object, run two-phase
+// commit) into quorum multicalls and merges the per-replica responses:
+//   * read: contact a read quorum, keep the highest-version OK reply (the
+//     intersection property guarantees it is the latest committed version),
+//     surface incremental-validation failures as TxAbort, retry transient
+//     "busy" replies with backoff;
+//   * prepare/commit/abort: two-phase commit over one write quorum — the
+//     same nodes must see prepare, then commit or abort, so prepare returns
+//     a ticket binding the chosen quorum;
+//   * contention: fetch per-class contention levels for the Dynamic Module,
+//     either stand-alone or piggybacked on reads.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <optional>
+
+#include "src/common/rng.hpp"
+#include "src/dtm/abort.hpp"
+#include "src/dtm/messages.hpp"
+#include "src/net/network.hpp"
+#include "src/quorum/quorum_system.hpp"
+
+namespace acn::dtm {
+
+using DtmNetwork = net::Network<Request, Response>;
+
+struct StubConfig {
+  /// Transient-busy retries before surfacing TxAbort{kBusy}.
+  int max_busy_retries = 10;
+  /// Base backoff between busy retries (doubles, with jitter).
+  std::chrono::nanoseconds busy_backoff{std::chrono::microseconds{50}};
+  /// Re-selections of a quorum when nodes are down before giving up.
+  int max_quorum_retries = 3;
+  /// Debug mode: round-trip every outgoing request and incoming response
+  /// through the binary wire codec (src/dtm/codec.hpp) and assert equality,
+  /// so all traffic doubles as codec coverage.  Throws std::logic_error on
+  /// a codec fidelity bug.
+  bool verify_codec = false;
+};
+
+struct ReadOutcome {
+  VersionedRecord record;
+  /// Contention levels aligned with the `want_contention` classes passed to
+  /// read(), when piggybacking was requested.
+  std::vector<std::uint64_t> contention;
+};
+
+/// Binds a prepared two-phase commit to the quorum that granted it.
+struct PrepareTicket {
+  TxId tx = 0;
+  std::vector<net::NodeId> quorum;
+  std::vector<ObjectKey> keys;         // sorted
+  std::vector<Version> new_versions;   // aligned with keys
+};
+
+class QuorumStub {
+ public:
+  QuorumStub(DtmNetwork& network, const quorum::QuorumSystem& quorums,
+             net::NodeId client_node, std::uint64_t seed,
+             StubConfig config = {});
+
+  /// Fetch `key` from a read quorum with incremental validation of
+  /// `validate`.  Throws TxAbort(kValidation) listing invalidated keys,
+  /// TxAbort(kBusy) after exhausting busy retries, TxAbort(kUnavailable)
+  /// when no quorum is reachable, ObjectMissing when no replica has the
+  /// object.
+  ReadOutcome read(TxId tx, const ObjectKey& key,
+                   const std::vector<VersionCheck>& validate,
+                   const std::vector<ClassId>& want_contention = {});
+
+  /// Stand-alone incremental validation; throws TxAbort(kValidation) when
+  /// any replica refutes a check.
+  void validate(TxId tx, const std::vector<VersionCheck>& checks);
+
+  /// Phase one of commit.  `write_keys` must be sorted ascending;
+  /// `read_versions` gives, per write key, the version the transaction read
+  /// (0 for blind inserts) so new versions advance past both the replicas'
+  /// and the reader's view.  Throws TxAbort on conflict.
+  PrepareTicket prepare(TxId tx, const std::vector<VersionCheck>& read_checks,
+                        const std::vector<ObjectKey>& write_keys,
+                        const std::vector<Version>& read_versions);
+
+  /// Phase two: install values (aligned with ticket.keys).
+  void commit(const PrepareTicket& ticket, const std::vector<Record>& values);
+
+  /// Release a prepared-but-not-committed transaction.
+  void abort(const PrepareTicket& ticket);
+
+  /// Dynamic Module query: per-class contention levels (max over a write
+  /// quorum — counters diverge across replicas because each sees only the
+  /// commits of quorums it belonged to; the root, part of every write
+  /// quorum, sees them all).
+  std::vector<std::uint64_t> contention_levels(const std::vector<ClassId>& classes);
+
+  net::NodeId client_node() const noexcept { return client_node_; }
+
+ private:
+  std::vector<net::NodeId> pick_read_quorum() { return quorums_.read_quorum(rng_); }
+  std::vector<net::NodeId> pick_write_quorum() { return quorums_.write_quorum(rng_); }
+  /// multicall + optional codec verification of request and responses.
+  std::vector<net::CallResult<Response>> exchange(
+      const std::vector<net::NodeId>& quorum, const Request& request);
+  void backoff(int attempt);
+  void send_abort(TxId tx, const std::vector<net::NodeId>& quorum,
+                  const std::vector<ObjectKey>& keys);
+
+  DtmNetwork& network_;
+  const quorum::QuorumSystem& quorums_;
+  net::NodeId client_node_;
+  Rng rng_;
+  StubConfig config_;
+};
+
+}  // namespace acn::dtm

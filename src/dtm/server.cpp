@@ -1,0 +1,172 @@
+#include "src/dtm/server.hpp"
+
+#include <algorithm>
+
+#include "src/common/clock.hpp"
+
+namespace acn::dtm {
+
+Server::Server(net::NodeId id, std::int64_t contention_window_ns)
+    : id_(id), contention_(contention_window_ns) {}
+
+Response Server::handle(net::NodeId /*from*/, const Request& request) {
+  Response out;
+  std::visit(
+      [&](const auto& req) {
+        using T = std::decay_t<decltype(req)>;
+        if constexpr (std::is_same_v<T, ReadRequest>)
+          out.payload = on_read(req);
+        else if constexpr (std::is_same_v<T, ValidateRequest>)
+          out.payload = on_validate(req);
+        else if constexpr (std::is_same_v<T, PrepareRequest>)
+          out.payload = on_prepare(req);
+        else if constexpr (std::is_same_v<T, CommitRequest>)
+          out.payload = on_commit(req);
+        else if constexpr (std::is_same_v<T, AbortRequest>)
+          out.payload = on_abort(req);
+        else if constexpr (std::is_same_v<T, ContentionRequest>)
+          out.payload = on_contention(req);
+      },
+      request.payload);
+  return out;
+}
+
+std::vector<ObjectKey> Server::failed_checks(
+    const std::vector<VersionCheck>& checks, TxId self, bool& busy) const {
+  std::vector<ObjectKey> invalid;
+  for (const auto& check : checks) {
+    const auto result = store_.read_validating(check.key, self);
+    switch (result.status) {
+      case store::ReadStatus::kOk:
+        if (result.record.version > check.version) invalid.push_back(check.key);
+        break;
+      case store::ReadStatus::kProtected:
+        // A commit is installing this object right now.  If the last
+        // committed version already refutes the check, say so; otherwise
+        // the checker's version may be outdated a microsecond from now and
+        // only a retry can tell.
+        if (result.record.version > check.version)
+          invalid.push_back(check.key);
+        else
+          busy = true;
+        break;
+      case store::ReadStatus::kMissing:
+        // This replica is stale (never saw the object) — it cannot refute
+        // the check; the quorum intersection guarantees some replica can.
+        break;
+    }
+  }
+  return invalid;
+}
+
+ReadResponse Server::on_read(const ReadRequest& req) {
+  stats_.reads.fetch_add(1, std::memory_order_relaxed);
+  ReadResponse res;
+
+  bool busy = false;
+  res.invalid = failed_checks(req.validate, req.tx, busy);
+  if (!res.invalid.empty()) {
+    stats_.validations_failed.fetch_add(1, std::memory_order_relaxed);
+    res.code = ReadCode::kInvalid;
+    return res;
+  }
+  if (busy) {
+    // A previously-read object is protected by a commit in flight: serving
+    // the new value now could pair it with the (possibly about-to-change)
+    // old one in the caller's snapshot.  Make the caller retry after the
+    // commit settles, when validation can give a definite answer.
+    res.code = ReadCode::kBusy;
+    return res;
+  }
+
+  const auto result = store_.read(req.key);
+  switch (result.status) {
+    case store::ReadStatus::kOk:
+      res.code = ReadCode::kOk;
+      res.record = result.record;
+      break;
+    case store::ReadStatus::kProtected:
+      res.code = ReadCode::kBusy;
+      break;
+    case store::ReadStatus::kMissing:
+      res.code = ReadCode::kMissing;
+      break;
+  }
+
+  if (!req.want_contention.empty())
+    res.contention = contention_.class_levels(req.want_contention);
+  return res;
+}
+
+ValidateResponse Server::on_validate(const ValidateRequest& req) {
+  ValidateResponse res;
+  res.invalid = failed_checks(req.validate, req.tx, res.busy);
+  if (!res.invalid.empty())
+    stats_.validations_failed.fetch_add(1, std::memory_order_relaxed);
+  return res;
+}
+
+PrepareResponse Server::on_prepare(const PrepareRequest& req) {
+  stats_.prepares.fetch_add(1, std::memory_order_relaxed);
+  PrepareResponse res;
+
+  // Phase 1a: protect the write set.  Keys arrive sorted from the
+  // coordinator; try_protect fails fast, so no deadlock is possible.
+  std::vector<ObjectKey> protected_keys;
+  protected_keys.reserve(req.write_keys.size());
+  for (const auto& key : req.write_keys) {
+    if (!store_.try_protect(key, req.tx)) {
+      for (const auto& undo : protected_keys) store_.unprotect(undo, req.tx);
+      stats_.prepare_busy.fetch_add(1, std::memory_order_relaxed);
+      res.code = PrepareCode::kBusy;
+      return res;
+    }
+    protected_keys.push_back(key);
+  }
+
+  // Phase 1b: validate the read set under protection.
+  bool busy = false;
+  res.invalid = failed_checks(req.read_validate, req.tx, busy);
+  if (!res.invalid.empty() || busy) {
+    for (const auto& undo : protected_keys) store_.unprotect(undo, req.tx);
+    if (!res.invalid.empty()) {
+      stats_.prepare_invalid.fetch_add(1, std::memory_order_relaxed);
+      res.code = PrepareCode::kInvalid;
+    } else {
+      stats_.prepare_busy.fetch_add(1, std::memory_order_relaxed);
+      res.code = PrepareCode::kBusy;
+    }
+    return res;
+  }
+
+  res.code = PrepareCode::kOk;
+  res.current_versions.reserve(req.write_keys.size());
+  for (const auto& key : req.write_keys)
+    res.current_versions.push_back(store_.version_of(key).value_or(0));
+  return res;
+}
+
+CommitResponse Server::on_commit(const CommitRequest& req) {
+  stats_.commits.fetch_add(1, std::memory_order_relaxed);
+  const std::uint64_t now = now_ns();
+  for (std::size_t i = 0; i < req.keys.size(); ++i) {
+    store_.apply(req.keys[i], req.values[i], req.versions[i], req.tx);
+    contention_.on_write(req.keys[i], now);
+  }
+  return {};
+}
+
+AbortResponse Server::on_abort(const AbortRequest& req) {
+  stats_.aborts.fetch_add(1, std::memory_order_relaxed);
+  for (const auto& key : req.keys) store_.unprotect(key, req.tx);
+  return {};
+}
+
+ContentionResponse Server::on_contention(const ContentionRequest& req) {
+  contention_.maybe_roll(now_ns());
+  ContentionResponse res;
+  res.levels = contention_.class_levels(req.classes);
+  return res;
+}
+
+}  // namespace acn::dtm

@@ -1,0 +1,72 @@
+// Quorum server node.
+//
+// A server holds one full replica (VersionedStore), tracks write contention
+// per window (ContentionTracker), and services the six QR-DTM request kinds.
+// Handlers run on the calling client thread (see net::Network) and rely on
+// the store's internal sharded locking for mutual exclusion, so a server is
+// safe under any number of concurrent clients.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+
+#include "src/dtm/messages.hpp"
+#include "src/net/network.hpp"
+#include "src/store/contention_tracker.hpp"
+#include "src/store/versioned_store.hpp"
+
+namespace acn::dtm {
+
+struct ServerStats {
+  std::atomic<std::uint64_t> reads{0};
+  std::atomic<std::uint64_t> validations_failed{0};
+  std::atomic<std::uint64_t> prepares{0};
+  std::atomic<std::uint64_t> prepare_busy{0};
+  std::atomic<std::uint64_t> prepare_invalid{0};
+  std::atomic<std::uint64_t> commits{0};
+  std::atomic<std::uint64_t> aborts{0};
+};
+
+class Server {
+ public:
+  /// `contention_window_ns` <= 0 disables time-based window rolling (the
+  /// harness then rolls explicitly via roll_contention_window()).
+  Server(net::NodeId id, std::int64_t contention_window_ns = 0);
+
+  net::NodeId id() const noexcept { return id_; }
+
+  Response handle(net::NodeId from, const Request& request);
+
+  /// Direct store access for initial population and white-box tests.
+  store::VersionedStore& store() noexcept { return store_; }
+  const store::VersionedStore& store() const noexcept { return store_; }
+
+  store::ContentionTracker& contention() noexcept { return contention_; }
+  void roll_contention_window() { contention_.roll(); }
+
+  const ServerStats& stats() const noexcept { return stats_; }
+
+ private:
+  ReadResponse on_read(const ReadRequest& req);
+  ValidateResponse on_validate(const ValidateRequest& req);
+  PrepareResponse on_prepare(const PrepareRequest& req);
+  CommitResponse on_commit(const CommitRequest& req);
+  AbortResponse on_abort(const AbortRequest& req);
+  ContentionResponse on_contention(const ContentionRequest& req);
+
+  /// Returns the keys among `checks` for which this replica holds a newer
+  /// version.  `self` is the transaction doing the validation (objects it
+  /// protects itself are not conflicts).  Objects protected by *another*
+  /// transaction fail validation too (reported through `busy`): the
+  /// in-flight commit may be about to install a newer version, and treating
+  /// it as valid would open a write-skew window.
+  std::vector<ObjectKey> failed_checks(const std::vector<VersionCheck>& checks,
+                                       TxId self, bool& busy) const;
+
+  net::NodeId id_;
+  store::VersionedStore store_;
+  store::ContentionTracker contention_;
+  ServerStats stats_;
+};
+
+}  // namespace acn::dtm

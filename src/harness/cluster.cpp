@@ -1,0 +1,69 @@
+#include "src/harness/cluster.hpp"
+
+namespace acn::harness {
+namespace {
+
+std::shared_ptr<const LatencyModel> make_latency(const ClusterConfig& config) {
+  if (config.base_latency.count() <= 0) return std::make_shared<ZeroLatency>();
+  return std::make_shared<FixedLatency>(config.base_latency,
+                                        config.per_kilobyte);
+}
+
+std::unique_ptr<quorum::QuorumSystem> make_quorums(const ClusterConfig& config) {
+  quorum::TreeTopology topology(config.n_servers, config.tree_arity);
+  switch (config.quorum_policy) {
+    case QuorumPolicy::kLevelMajority:
+      return std::make_unique<quorum::LevelMajorityQuorumSystem>(topology);
+    case QuorumPolicy::kRowa:
+      return std::make_unique<quorum::RowaQuorumSystem>(config.n_servers);
+    case QuorumPolicy::kTree:
+      break;
+  }
+  return std::make_unique<quorum::TreeQuorumSystem>(topology,
+                                                    config.root_read_bias);
+}
+
+}  // namespace
+
+Cluster::Cluster(ClusterConfig config)
+    : config_(config),
+      network_(make_latency(config)),
+      quorums_(make_quorums(config)) {
+  servers_.reserve(config_.n_servers);
+  for (std::size_t i = 0; i < config_.n_servers; ++i) {
+    servers_.push_back(std::make_unique<dtm::Server>(
+        static_cast<net::NodeId>(i), config_.contention_window_ns));
+    dtm::Server* server = servers_.back().get();
+    auto handler = [server](net::NodeId from, const dtm::Request& request) {
+      return server->handle(from, request);
+    };
+    if (config_.async_servers)
+      network_.register_node_async(static_cast<net::NodeId>(i),
+                                   std::move(handler));
+    else
+      network_.register_node(static_cast<net::NodeId>(i), std::move(handler));
+  }
+}
+
+std::vector<dtm::Server*> Cluster::servers() {
+  std::vector<dtm::Server*> out;
+  out.reserve(servers_.size());
+  for (auto& server : servers_) out.push_back(server.get());
+  return out;
+}
+
+dtm::QuorumStub Cluster::make_stub(int client_ordinal, std::uint64_t seed) {
+  const auto client_node =
+      static_cast<net::NodeId>(servers_.size()) + client_ordinal;
+  const std::uint64_t stub_seed =
+      seed != 0 ? seed
+                : 0x57ab0000ULL + static_cast<std::uint64_t>(client_ordinal);
+  return dtm::QuorumStub(network_, *quorums_, client_node, stub_seed,
+                         config_.stub);
+}
+
+void Cluster::roll_contention_windows() {
+  for (auto& server : servers_) server->roll_contention_window();
+}
+
+}  // namespace acn::harness

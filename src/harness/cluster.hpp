@@ -1,0 +1,73 @@
+// Simulated QR-DTM cluster: N server replicas behind a latency-injecting
+// network, arranged in a logical ternary tree with tree quorums.
+//
+// This is the substitute for the paper's physical testbed (up to 30 AMD
+// Opteron nodes on 1 Gbps Ethernet): server nodes are in-process replicas,
+// clients are threads, and every RPC pays a configurable simulated latency,
+// so remote re-execution cost — the quantity partial rollback saves —
+// dominates exactly as it does on real hardware.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "src/dtm/quorum_stub.hpp"
+#include "src/dtm/server.hpp"
+#include "src/quorum/level_quorum.hpp"
+#include "src/quorum/rowa_quorum.hpp"
+#include "src/quorum/tree_quorum.hpp"
+
+namespace acn::harness {
+
+enum class QuorumPolicy {
+  kTree,           // Agrawal-El Abbadi recursive tree quorums (default)
+  kLevelMajority,  // the paper's level-majority description
+  kRowa,           // read-one / write-all (comparison extreme)
+};
+
+struct ClusterConfig {
+  std::size_t n_servers = 10;
+  int tree_arity = 3;
+  QuorumPolicy quorum_policy = QuorumPolicy::kTree;
+  /// Probability read-quorum selection stops at a subtree root (tree
+  /// policy only).
+  double root_read_bias = 0.5;
+  /// One-way base latency per message; 0 disables sleeping (unit tests).
+  std::chrono::nanoseconds base_latency{std::chrono::microseconds{25}};
+  std::chrono::nanoseconds per_kilobyte{std::chrono::microseconds{2}};
+  /// Contention window; <= 0 means the harness rolls windows manually.
+  std::int64_t contention_window_ns = 0;
+  /// Give each server its own mailbox worker thread (see net::Mailbox)
+  /// instead of executing handlers inline on client threads.
+  bool async_servers = false;
+  dtm::StubConfig stub;
+};
+
+class Cluster {
+ public:
+  explicit Cluster(ClusterConfig config = {});
+
+  std::size_t size() const noexcept { return servers_.size(); }
+  dtm::Server& server(std::size_t i) { return *servers_[i]; }
+  std::vector<dtm::Server*> servers();
+
+  dtm::DtmNetwork& network() noexcept { return network_; }
+  const quorum::QuorumSystem& quorums() const noexcept { return *quorums_; }
+
+  /// A client-side stub; `client_ordinal` gives the client a distinct
+  /// network identity (node ids above the server range) and RNG stream.
+  dtm::QuorumStub make_stub(int client_ordinal, std::uint64_t seed = 0);
+
+  /// Roll every server's contention window (harness interval boundary).
+  void roll_contention_windows();
+
+  const ClusterConfig& config() const noexcept { return config_; }
+
+ private:
+  ClusterConfig config_;
+  std::vector<std::unique_ptr<dtm::Server>> servers_;
+  dtm::DtmNetwork network_;
+  std::unique_ptr<quorum::QuorumSystem> quorums_;
+};
+
+}  // namespace acn::harness

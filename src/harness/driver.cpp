@@ -1,0 +1,177 @@
+#include "src/harness/driver.hpp"
+
+#include <stdexcept>
+#include <thread>
+
+#include "src/common/clock.hpp"
+#include "src/common/stats.hpp"
+
+namespace acn::harness {
+
+const char* protocol_name(Protocol protocol) {
+  switch (protocol) {
+    case Protocol::kFlat:
+      return "QR-DTM";
+    case Protocol::kManualCN:
+      return "QR-CN";
+    case Protocol::kAcn:
+      return "QR-ACN";
+    case Protocol::kCheckpoint:
+      return "QR-CKPT";
+  }
+  return "?";
+}
+
+double RunResult::mean_throughput(std::size_t from_interval) const {
+  if (from_interval >= throughput.size()) return 0.0;
+  double total = 0.0;
+  for (std::size_t i = from_interval; i < throughput.size(); ++i)
+    total += throughput[i];
+  return total / static_cast<double>(throughput.size() - from_interval);
+}
+
+RunResult run(Cluster& cluster, const workloads::Workload& workload,
+              Protocol protocol, const DriverConfig& config) {
+  const auto& profiles = workload.profiles();
+  if (profiles.empty())
+    throw std::invalid_argument("run: workload has no profiles");
+
+  // QR-ACN machinery: one controller per transaction program, one monitor
+  // over the union of touched classes, refreshed through an admin stub.
+  auto contention_model = default_contention_model();
+  std::vector<std::unique_ptr<AdaptiveController>> controllers;
+  std::unique_ptr<ContentionMonitor> monitor;
+  std::unique_ptr<dtm::QuorumStub> admin_stub;
+  if (protocol == Protocol::kAcn) {
+    std::vector<ir::ClassId> classes;
+    for (const auto& profile : profiles) {
+      controllers.push_back(std::make_unique<AdaptiveController>(
+          *profile.program, config.algorithm, contention_model));
+      const auto touched = controllers.back()->touched_classes();
+      classes.insert(classes.end(), touched.begin(), touched.end());
+    }
+    monitor = std::make_unique<ContentionMonitor>(std::move(classes));
+    admin_stub = std::make_unique<dtm::QuorumStub>(
+        cluster.make_stub(/*client_ordinal=*/1'000'000, config.seed ^ 0xadaULL));
+  }
+
+  std::atomic<int> phase{0};
+  std::atomic<std::size_t> current_interval{0};
+  std::atomic<bool> stop{false};
+  IntervalSeries commits(config.intervals);
+  IntervalSeries aborts(config.intervals);
+  LatencyHistogram latency;
+  std::vector<ExecStats> thread_stats(config.n_clients);
+  std::vector<std::string> thread_errors(config.n_clients);
+
+  std::vector<std::thread> clients;
+  clients.reserve(config.n_clients);
+  for (std::size_t t = 0; t < config.n_clients; ++t) {
+    clients.emplace_back([&, t] {
+      Rng rng(config.seed * 0x9e3779b97f4a7c15ULL + t + 1);
+      auto stub = cluster.make_stub(static_cast<int>(t),
+                                    config.seed + 0x100 + t);
+      ExecutorConfig exec_config = config.executor;
+      if (protocol == Protocol::kAcn && config.piggyback_contention)
+        exec_config.piggyback_monitor = monitor.get();
+      Executor executor(stub, exec_config, config.seed ^ (t << 20));
+      ExecStats& stats = thread_stats[t];
+      std::uint64_t aborts_seen = 0;
+      try {
+        while (!stop.load(std::memory_order_relaxed)) {
+          const std::size_t p = workloads::pick_profile(profiles, rng);
+          const auto params = profiles[p].make_params(
+              rng, phase.load(std::memory_order_relaxed));
+          const Stopwatch tx_watch;
+          switch (protocol) {
+            case Protocol::kFlat:
+              executor.run_flat(*profiles[p].program, params, stats);
+              break;
+            case Protocol::kManualCN:
+              executor.run_blocks(*profiles[p].program,
+                                  profiles[p].static_model,
+                                  profiles[p].manual_sequence, params, stats);
+              break;
+            case Protocol::kAcn:
+              executor.run_adaptive(*controllers[p], params, stats);
+              break;
+            case Protocol::kCheckpoint:
+              executor.run_checkpointed(*profiles[p].program, params, stats);
+              break;
+          }
+          latency.add(tx_watch.elapsed_ns());
+          const std::size_t interval =
+              current_interval.load(std::memory_order_relaxed);
+          commits.add(interval);
+          const std::uint64_t aborts_now =
+              stats.full_aborts + stats.partial_aborts;
+          aborts.add(interval, aborts_now - aborts_seen);
+          aborts_seen = aborts_now;
+          if (config.think_time.count() > 0)
+            std::this_thread::sleep_for(config.think_time);
+        }
+      } catch (const std::exception& e) {
+        thread_errors[t] = e.what();
+        stop.store(true);
+      }
+    });
+  }
+
+  for (std::size_t k = 0; k < config.intervals && !stop.load(); ++k) {
+    for (const auto& [at, new_phase] : config.phase_changes)
+      if (at == k) phase.store(new_phase);
+    std::this_thread::sleep_for(config.interval);
+    cluster.roll_contention_windows();
+    if (protocol == Protocol::kAcn) {
+      if (!config.piggyback_contention) monitor->refresh(*admin_stub);
+      const auto raw = monitor->raw();
+      for (auto& controller : controllers) controller->adapt(raw);
+      if (config.piggyback_contention) monitor->reset();
+    }
+    current_interval.store(k + 1);
+  }
+
+  stop.store(true);
+  for (auto& client : clients) client.join();
+
+  for (const auto& error : thread_errors)
+    if (!error.empty()) throw std::runtime_error("client thread failed: " + error);
+
+  RunResult result;
+  result.protocol = protocol;
+  const double seconds =
+      std::chrono::duration<double>(config.interval).count();
+  result.throughput.reserve(config.intervals);
+  result.abort_rate.reserve(config.intervals);
+  for (std::size_t k = 0; k < config.intervals; ++k) {
+    result.throughput.push_back(static_cast<double>(commits.at(k)) / seconds);
+    result.abort_rate.push_back(static_cast<double>(aborts.at(k)) / seconds);
+  }
+  for (const auto& stats : thread_stats) result.stats.merge(stats);
+  for (const auto& controller : controllers) {
+    result.adaptations += controller->adaptations();
+    result.recompositions += controller->recompositions();
+  }
+  result.latency_p50_ns = latency.percentile(0.5);
+  result.latency_p99_ns = latency.percentile(0.99);
+
+  if (config.check_invariants) workload.check_invariants(cluster.servers());
+  return result;
+}
+
+std::vector<RunResult> run_all_protocols(
+    const ClusterConfig& cluster_config,
+    const std::function<std::unique_ptr<workloads::Workload>()>& make_workload,
+    const DriverConfig& config) {
+  std::vector<RunResult> results;
+  for (const Protocol protocol :
+       {Protocol::kFlat, Protocol::kManualCN, Protocol::kAcn}) {
+    Cluster cluster(cluster_config);
+    auto workload = make_workload();
+    workload->seed(cluster.servers());
+    results.push_back(run(cluster, *workload, protocol, config));
+  }
+  return results;
+}
+
+}  // namespace acn::harness

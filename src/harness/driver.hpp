@@ -1,0 +1,80 @@
+// Benchmark driver: reproduces the paper's measurement methodology.
+//
+// A run executes one workload under one protocol (QR-DTM flat, QR-CN manual
+// closed nesting, or QR-ACN) with `n_clients` client threads for
+// `intervals` fixed-length intervals, recording committed transactions per
+// interval — the series every panel of Figure 4 plots.  The driver also
+//   * switches the workload phase at scheduled intervals (the contention
+//     changes of the Vacation/Bank experiments),
+//   * rolls the servers' contention windows at each interval boundary, and
+//   * for QR-ACN, runs the Algorithm Module tick right after the roll, so
+//     adaptation consumes the window that just closed — mirroring the
+//     paper's "every 10 seconds" periodic re-composition.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/acn/executor.hpp"
+#include "src/harness/cluster.hpp"
+#include "src/workloads/workload.hpp"
+
+namespace acn::harness {
+
+enum class Protocol {
+  kFlat,        // QR-DTM
+  kManualCN,    // QR-CN
+  kAcn,         // QR-ACN
+  kCheckpoint,  // QR-CKPT: fine-grained checkpoint partial rollback
+};
+
+const char* protocol_name(Protocol protocol);
+
+struct DriverConfig {
+  std::size_t n_clients = 8;
+  std::size_t intervals = 8;
+  std::chrono::milliseconds interval{250};
+  /// phase_changes[i] = {interval index, new phase}.
+  std::vector<std::pair<std::size_t, int>> phase_changes;
+  std::uint64_t seed = 1;
+  AlgorithmConfig algorithm;
+  ExecutorConfig executor;
+  bool check_invariants = true;
+  /// QR-ACN contention feed: false = explicit quorum query per adaptation
+  /// tick; true = levels piggybacked on every read RPC (Section V-C2).
+  bool piggyback_contention = false;
+  /// Pause between a client's transactions (emulates more client machines
+  /// than threads, or TPC-C keying/think time).  Zero = closed loop.
+  std::chrono::nanoseconds think_time{0};
+};
+
+struct RunResult {
+  Protocol protocol = Protocol::kFlat;
+  std::vector<double> throughput;    // committed tx/s per interval
+  std::vector<double> abort_rate;    // aborts (full+partial) per second
+  ExecStats stats;                   // aggregated over clients
+  std::uint64_t adaptations = 0;     // ACN only: Algorithm Module ticks
+  std::uint64_t recompositions = 0;  // ACN only: ticks that changed the plan
+  // End-to-end transaction latency (first attempt to commit), bucketed.
+  std::uint64_t latency_p50_ns = 0;
+  std::uint64_t latency_p99_ns = 0;
+
+  double mean_throughput(std::size_t from_interval = 0) const;
+};
+
+/// Run `workload` on a fresh view of `cluster` under `protocol`.
+/// The cluster must already be seeded (workload.seed(cluster.servers())).
+RunResult run(Cluster& cluster, const workloads::Workload& workload,
+              Protocol protocol, const DriverConfig& config);
+
+/// Convenience: build a cluster per protocol, seed it, run, and return the
+/// three results in order {kFlat, kManualCN, kAcn}.
+std::vector<RunResult> run_all_protocols(
+    const ClusterConfig& cluster_config,
+    const std::function<std::unique_ptr<workloads::Workload>()>& make_workload,
+    const DriverConfig& config);
+
+}  // namespace acn::harness

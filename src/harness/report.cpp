@@ -1,0 +1,111 @@
+#include "src/harness/report.hpp"
+
+#include <cstdio>
+
+namespace acn::harness {
+
+bool write_csv(const std::string& path, const std::vector<RunResult>& results,
+               const DriverConfig& config) {
+  std::FILE* file = std::fopen(path.c_str(), "w");
+  if (!file) {
+    std::fprintf(stderr, "write_csv: cannot open %s\n", path.c_str());
+    return false;
+  }
+  std::fprintf(file, "protocol,interval,t_seconds,throughput_tps,abort_rate_per_s\n");
+  const double seconds = std::chrono::duration<double>(config.interval).count();
+  for (const auto& result : results) {
+    for (std::size_t k = 0; k < result.throughput.size(); ++k) {
+      const double abort_rate =
+          k < result.abort_rate.size() ? result.abort_rate[k] : 0.0;
+      std::fprintf(file, "%s,%zu,%.3f,%.1f,%.1f\n",
+                   protocol_name(result.protocol), k,
+                   static_cast<double>(k + 1) * seconds, result.throughput[k],
+                   abort_rate);
+    }
+  }
+  std::fclose(file);
+  return true;
+}
+
+}  // namespace acn::harness
+
+namespace acn::harness {
+
+double improvement_pct(const RunResult& a, const RunResult& b,
+                       std::size_t from_interval) {
+  const double tb = b.mean_throughput(from_interval);
+  if (tb <= 0.0) return 0.0;
+  return (a.mean_throughput(from_interval) - tb) / tb * 100.0;
+}
+
+void print_figure(const std::string& title,
+                  const std::vector<RunResult>& results,
+                  const DriverConfig& config) {
+  std::printf("\n=== %s ===\n", title.c_str());
+  std::printf("clients=%zu intervals=%zu interval=%lldms\n", config.n_clients,
+              config.intervals,
+              static_cast<long long>(config.interval.count()));
+
+  std::printf("%8s", "t(s)");
+  for (const auto& result : results)
+    std::printf("%12s", protocol_name(result.protocol));
+  std::printf("  %s\n", "committed tx/s");
+
+  const double seconds = std::chrono::duration<double>(config.interval).count();
+  for (std::size_t k = 0; k < config.intervals; ++k) {
+    std::printf("%8.2f", static_cast<double>(k + 1) * seconds);
+    for (const auto& result : results)
+      std::printf("%12.1f", k < result.throughput.size() ? result.throughput[k]
+                                                         : 0.0);
+    for (const auto& [at, new_phase] : config.phase_changes)
+      if (at == k) std::printf("   <- phase %d", new_phase);
+    std::printf("\n");
+  }
+
+  for (const auto& result : results) {
+    const auto& s = result.stats;
+    std::printf(
+        "%-8s commits=%llu full_aborts=%llu partial_aborts=%llu "
+        "blocks=%llu ops=%llu",
+        protocol_name(result.protocol),
+        static_cast<unsigned long long>(s.commits),
+        static_cast<unsigned long long>(s.full_aborts),
+        static_cast<unsigned long long>(s.partial_aborts),
+        static_cast<unsigned long long>(s.blocks_executed),
+        static_cast<unsigned long long>(s.ops_executed));
+    std::printf(" | at_commit=%llu in_exec=%llu busy=%llu",
+                static_cast<unsigned long long>(s.aborts_at_commit),
+                static_cast<unsigned long long>(s.aborts_in_execution),
+                static_cast<unsigned long long>(s.aborts_busy));
+    if (result.protocol == Protocol::kAcn)
+      std::printf(" adaptations=%llu recompositions=%llu",
+                  static_cast<unsigned long long>(result.adaptations),
+                  static_cast<unsigned long long>(result.recompositions));
+    std::printf(" lat_p50~%.1fus lat_p99~%.1fus",
+                static_cast<double>(result.latency_p50_ns) / 1000.0,
+                static_cast<double>(result.latency_p99_ns) / 1000.0);
+    std::printf("\n");
+    if (s.partial_aborts > 0) {
+      std::size_t last = 0;
+      for (std::size_t i = 0; i < ExecStats::kPositionSlots; ++i)
+        if (s.partials_at_position[i] > 0) last = i;
+      std::printf("%-8s partials by block position:", "");
+      for (std::size_t i = 0; i <= last; ++i)
+        std::printf(" %llu",
+                    static_cast<unsigned long long>(s.partials_at_position[i]));
+      std::printf("\n");
+    }
+  }
+
+  // The paper reports improvement after QR-ACN "kicks in" (first window).
+  if (results.size() == 3 && config.intervals >= 2) {
+    const std::size_t from = 1;
+    std::printf("post-adaptation (t>=%g s): QR-ACN vs QR-DTM %+.1f%%, "
+                "QR-ACN vs QR-CN %+.1f%%\n",
+                static_cast<double>(from + 1) * seconds,
+                improvement_pct(results[2], results[0], from),
+                improvement_pct(results[2], results[1], from));
+  }
+}
+
+}  // namespace acn::harness

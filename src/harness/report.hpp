@@ -1,0 +1,30 @@
+// Figure-style result reporting.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "src/harness/driver.hpp"
+
+namespace acn::harness {
+
+/// Print the per-interval throughput table (one row per interval, one
+/// column per protocol) followed by the improvement summary the paper
+/// quotes: QR-ACN vs QR-DTM and vs QR-CN, over the post-adaptation
+/// intervals.  `phase_changes` are echoed as row markers.
+void print_figure(const std::string& title,
+                  const std::vector<RunResult>& results,
+                  const DriverConfig& config);
+
+/// Improvement of `a` over `b` in percent, measured on mean throughput from
+/// `from_interval` on.
+double improvement_pct(const RunResult& a, const RunResult& b,
+                       std::size_t from_interval);
+
+/// Write the per-interval series as CSV:
+/// protocol,interval,t_seconds,throughput_tps,abort_rate_per_s
+/// Returns false (with a message on stderr) when the file cannot be opened.
+bool write_csv(const std::string& path, const std::vector<RunResult>& results,
+               const DriverConfig& config);
+
+}  // namespace acn::harness

@@ -1,0 +1,143 @@
+#include "src/nesting/history.hpp"
+
+#include <algorithm>
+#include <map>
+#include <unordered_map>
+
+namespace acn::nesting {
+
+void HistoryLog::record(CommittedTxn txn) {
+  std::lock_guard lock(mutex_);
+  txns_.push_back(std::move(txn));
+}
+
+std::vector<CommittedTxn> HistoryLog::snapshot() const {
+  std::lock_guard lock(mutex_);
+  return txns_;
+}
+
+std::size_t HistoryLog::size() const {
+  std::lock_guard lock(mutex_);
+  return txns_.size();
+}
+
+void HistoryLog::clear() {
+  std::lock_guard lock(mutex_);
+  txns_.clear();
+}
+
+namespace {
+
+using store::ObjectKey;
+using store::Version;
+
+struct VersionedKey {
+  ObjectKey key;
+  Version version;
+  friend bool operator<(const VersionedKey& a, const VersionedKey& b) {
+    if (a.key != b.key) return a.key < b.key;
+    return a.version < b.version;
+  }
+};
+
+/// Cycle detection via iterative three-colour DFS.
+bool has_cycle(const std::vector<std::vector<std::size_t>>& adjacency) {
+  const std::size_t n = adjacency.size();
+  enum : std::uint8_t { kWhite, kGrey, kBlack };
+  std::vector<std::uint8_t> colour(n, kWhite);
+  std::vector<std::pair<std::size_t, std::size_t>> stack;  // node, next edge
+  for (std::size_t start = 0; start < n; ++start) {
+    if (colour[start] != kWhite) continue;
+    colour[start] = kGrey;
+    stack.push_back({start, 0});
+    while (!stack.empty()) {
+      auto& [node, edge] = stack.back();
+      if (edge < adjacency[node].size()) {
+        const std::size_t next = adjacency[node][edge++];
+        if (colour[next] == kGrey) return true;
+        if (colour[next] == kWhite) {
+          colour[next] = kGrey;
+          stack.push_back({next, 0});
+        }
+      } else {
+        colour[node] = kBlack;
+        stack.pop_back();
+      }
+    }
+  }
+  return false;
+}
+
+}  // namespace
+
+SerializabilityReport check_serializable(const std::vector<CommittedTxn>& history,
+                                         store::Version seed_version) {
+  SerializabilityReport report;
+
+  // Who installed each (key, version)?
+  std::map<VersionedKey, std::size_t> installer;
+  for (std::size_t i = 0; i < history.size(); ++i) {
+    for (const auto& [key, version] : history[i].writes) {
+      const auto [it, inserted] = installer.emplace(
+          VersionedKey{key, version}, i);
+      if (!inserted) {
+        report.ok = false;
+        report.violation = "duplicate install of " + store::to_string(key) +
+                           " v" + std::to_string(version) + " by tx " +
+                           std::to_string(history[i].tx) + " and tx " +
+                           std::to_string(history[it->second].tx);
+        return report;
+      }
+    }
+  }
+
+  // Per-key ascending version list of writers, for ww and rw edges.
+  std::unordered_map<ObjectKey, std::vector<std::pair<Version, std::size_t>>,
+                     store::ObjectKeyHash>
+      writers_by_key;
+  for (const auto& [vk, txn_index] : installer)
+    writers_by_key[vk.key].push_back({vk.version, txn_index});
+
+  std::vector<std::vector<std::size_t>> adjacency(history.size());
+  auto add_edge = [&](std::size_t from, std::size_t to) {
+    if (from != to) adjacency[from].push_back(to);
+  };
+
+  // ww edges along each key's version chain.
+  for (const auto& [key, writers] : writers_by_key)
+    for (std::size_t w = 1; w < writers.size(); ++w)
+      add_edge(writers[w - 1].second, writers[w].second);
+
+  // wr and rw edges from reads.
+  for (std::size_t i = 0; i < history.size(); ++i) {
+    for (const auto& [key, version] : history[i].reads) {
+      const auto writer = installer.find(VersionedKey{key, version});
+      if (writer != installer.end()) {
+        add_edge(writer->second, i);  // wr
+      } else if (version > seed_version) {
+        report.ok = false;
+        report.violation = "tx " + std::to_string(history[i].tx) + " read " +
+                           store::to_string(key) + " v" +
+                           std::to_string(version) + " which nobody installed";
+        return report;
+      }
+      // rw: the reader precedes the next installer of this key.
+      const auto chain = writers_by_key.find(key);
+      if (chain != writers_by_key.end()) {
+        const auto next = std::upper_bound(
+            chain->second.begin(), chain->second.end(),
+            std::make_pair(version, history.size()));
+        if (next != chain->second.end()) add_edge(i, next->second);
+      }
+    }
+  }
+
+  if (has_cycle(adjacency)) {
+    report.ok = false;
+    report.violation = "precedence graph has a cycle: the history is not "
+                       "conflict-serializable";
+  }
+  return report;
+}
+
+}  // namespace acn::nesting

@@ -1,0 +1,60 @@
+// Commit-history recording and offline conflict-serializability checking.
+//
+// QR-DTM promises 1-copy serializability; this module lets tests *verify*
+// it on real concurrent executions instead of trusting the protocol.  Every
+// committed transaction logs the versions it read and the versions it
+// installed.  The checker then builds the standard precedence graph:
+//   * wr: the installer of version v of key k precedes every reader of
+//         (k, v);
+//   * ww: installers of a key precede the installers of its later versions;
+//   * rw: a reader of (k, v) precedes the installer of (k, v'), v' > v
+//         (anti-dependency: the read happened before the overwrite);
+// and reports a violation if the graph has a cycle, if two transactions
+// installed the same version of a key, or if a transaction read a version
+// nobody installed (and that is not the seeded initial state).
+#pragma once
+
+#include <cstdint>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "src/store/key.hpp"
+#include "src/store/record.hpp"
+
+namespace acn::nesting {
+
+struct CommittedTxn {
+  std::uint64_t tx = 0;
+  std::vector<std::pair<store::ObjectKey, store::Version>> reads;
+  std::vector<std::pair<store::ObjectKey, store::Version>> writes;
+};
+
+/// Thread-safe append-only log of committed transactions.
+class HistoryLog {
+ public:
+  void record(CommittedTxn txn);
+  std::vector<CommittedTxn> snapshot() const;
+  std::size_t size() const;
+  void clear();
+
+ private:
+  mutable std::mutex mutex_;
+  std::vector<CommittedTxn> txns_;
+};
+
+struct SerializabilityReport {
+  bool ok = true;
+  std::string violation;  // human-readable description when !ok
+
+  explicit operator bool() const noexcept { return ok; }
+};
+
+/// Conflict-serializability check over a recorded history.
+/// `seed_version` is the version objects were installed with before the
+/// run (reads of it need no writer).
+SerializabilityReport check_serializable(const std::vector<CommittedTxn>& history,
+                                         store::Version seed_version = 1);
+
+}  // namespace acn::nesting

@@ -1,0 +1,199 @@
+#include "src/nesting/transaction.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <stdexcept>
+
+namespace acn::nesting {
+
+TxId next_tx_id() {
+  static std::atomic<TxId> counter{1};
+  return counter.fetch_add(1, std::memory_order_relaxed);
+}
+
+Transaction::Transaction(dtm::QuorumStub& stub, TxId id) : stub_(stub), id_(id) {
+  frames_.emplace_back();
+}
+
+std::vector<dtm::VersionCheck> Transaction::all_version_checks() const {
+  std::vector<dtm::VersionCheck> checks;
+  for (const auto& frame : frames_)
+    for (const auto& [key, record] : frame.reads)
+      checks.push_back({key, record.version});
+  return checks;
+}
+
+const Record* Transaction::find_buffered(const ObjectKey& key) const {
+  for (auto it = frames_.rbegin(); it != frames_.rend(); ++it) {
+    if (const auto w = it->writes.find(key); w != it->writes.end())
+      return &w->second;
+    if (const auto r = it->reads.find(key); r != it->reads.end())
+      return &r->second.value;
+  }
+  return nullptr;
+}
+
+const Record& Transaction::remote_read(const ObjectKey& key,
+                                       const std::vector<dtm::ClassId>& classes,
+                                       std::vector<std::uint64_t>* levels_out) {
+  ++stats_.remote_reads;
+  auto outcome = stub_.read(id_, key, all_version_checks(), classes);
+  if (levels_out && !outcome.contention.empty())
+    *levels_out = std::move(outcome.contention);
+  auto [it, inserted] =
+      frames_.back().reads.emplace(key, std::move(outcome.record));
+  (void)inserted;
+  return it->second.value;
+}
+
+const Record& Transaction::read(const ObjectKey& key) {
+  if (const Record* buffered = find_buffered(key)) {
+    ++stats_.cached_reads;
+    return *buffered;
+  }
+  return remote_read(key, {}, nullptr);
+}
+
+const Record& Transaction::read(const ObjectKey& key,
+                                const std::vector<dtm::ClassId>& classes,
+                                std::vector<std::uint64_t>& levels_out) {
+  if (const Record* buffered = find_buffered(key)) {
+    ++stats_.cached_reads;
+    return *buffered;
+  }
+  return remote_read(key, classes, &levels_out);
+}
+
+void Transaction::write(const ObjectKey& key, Record value) {
+  if (!has_read(key) && !has_written(key))
+    throw std::logic_error("Transaction::write before read: " +
+                           store::to_string(key) + " (use insert for fresh objects)");
+  ++stats_.writes;
+  frames_.back().writes[key] = std::move(value);
+}
+
+void Transaction::insert(const ObjectKey& key, Record value) {
+  ++stats_.writes;
+  frames_.back().writes[key] = std::move(value);
+}
+
+bool Transaction::has_read(const ObjectKey& key) const {
+  return std::any_of(frames_.begin(), frames_.end(), [&](const Frame& f) {
+    return f.reads.contains(key);
+  });
+}
+
+bool Transaction::has_written(const ObjectKey& key) const {
+  return std::any_of(frames_.begin(), frames_.end(), [&](const Frame& f) {
+    return f.writes.contains(key);
+  });
+}
+
+void Transaction::begin_nested() {
+  if (frames_.size() >= 2)
+    throw std::logic_error(
+        "Transaction::begin_nested: only one level of nesting is supported");
+  frames_.emplace_back();
+}
+
+void Transaction::commit_nested() {
+  if (frames_.size() < 2)
+    throw std::logic_error("Transaction::commit_nested without begin_nested");
+  Frame top = std::move(frames_.back());
+  frames_.pop_back();
+  Frame& parent = frames_.back();
+  for (auto& [key, record] : top.reads) parent.reads.emplace(key, std::move(record));
+  for (auto& [key, value] : top.writes) parent.writes[key] = std::move(value);
+}
+
+void Transaction::abort_nested() {
+  if (frames_.size() < 2)
+    throw std::logic_error("Transaction::abort_nested without begin_nested");
+  frames_.pop_back();
+}
+
+AbortScope Transaction::classify(const TxAbort& abort) const {
+  if (frames_.size() < 2) return AbortScope::kFull;
+  // Partial rollback applies only when every invalidated object was first
+  // accessed by the active sub-transaction: objects never seen before (e.g.
+  // the busy object of the read that just failed) also qualify, since
+  // re-running the sub-transaction re-issues that access.
+  for (const auto& key : abort.invalid()) {
+    for (std::size_t i = 0; i + 1 < frames_.size(); ++i) {
+      if (frames_[i].reads.contains(key) || frames_[i].writes.contains(key))
+        return AbortScope::kFull;
+    }
+  }
+  return AbortScope::kPartial;
+}
+
+void Transaction::commit() {
+  if (frames_.size() != 1)
+    throw std::logic_error("Transaction::commit with open sub-transaction");
+  Frame& frame = frames_.front();
+
+  auto record_history = [&](const std::vector<ObjectKey>& keys,
+                            const std::vector<Version>& versions) {
+    if (!history_) return;
+    CommittedTxn entry;
+    entry.tx = id_;
+    for (const auto& [key, record] : frame.reads)
+      entry.reads.push_back({key, record.version});
+    for (std::size_t i = 0; i < keys.size(); ++i)
+      entry.writes.push_back({keys[i], versions[i]});
+    history_->record(std::move(entry));
+  };
+
+  if (frame.writes.empty()) {
+    // Read-only: one final validation round suffices (no 2PC).
+    stub_.validate(id_, all_version_checks());
+    record_history({}, {});
+    return;
+  }
+
+  std::vector<ObjectKey> write_keys;
+  write_keys.reserve(frame.writes.size());
+  for (const auto& [key, value] : frame.writes) write_keys.push_back(key);
+  std::sort(write_keys.begin(), write_keys.end());
+
+  std::vector<Version> read_versions;
+  read_versions.reserve(write_keys.size());
+  for (const auto& key : write_keys) {
+    const auto it = frame.reads.find(key);
+    read_versions.push_back(it == frame.reads.end() ? 0 : it->second.version);
+  }
+
+  // Validation payload: reads not overwritten still need their version
+  // checked; written objects are protected during prepare, and their checks
+  // ride along too (the server skips self-protected busy conflicts by
+  // comparing versions only).
+  const auto ticket =
+      stub_.prepare(id_, all_version_checks(), write_keys, read_versions);
+
+  std::vector<Record> values;
+  values.reserve(write_keys.size());
+  for (const auto& key : write_keys) values.push_back(frame.writes.at(key));
+  stub_.commit(ticket, values);
+  record_history(ticket.keys, ticket.new_versions);
+}
+
+void Transaction::reset(TxId new_id) {
+  frames_.clear();
+  frames_.emplace_back();
+  id_ = new_id;
+  stats_ = {};
+}
+
+std::size_t Transaction::read_set_size() const {
+  std::size_t total = 0;
+  for (const auto& frame : frames_) total += frame.reads.size();
+  return total;
+}
+
+std::size_t Transaction::write_set_size() const {
+  std::size_t total = 0;
+  for (const auto& frame : frames_) total += frame.writes.size();
+  return total;
+}
+
+}  // namespace acn::nesting

@@ -1,0 +1,152 @@
+// Closed-nested transaction context (QR-CN, Section II/IV of the paper).
+//
+// A Transaction is a stack of *frames*.  Frame 0 is the parent; begin_nested
+// pushes a sub-transaction frame.  Each frame owns the read-set entries for
+// objects it accessed *first* and the write-set entries it produced:
+//   * reads resolve top-down through the frames (read-your-writes, cached
+//     re-reads) before going remote;
+//   * every remote read ships the union of all frames' read versions for
+//     incremental validation;
+//   * commit_nested merges the top frame into its parent — the paper's
+//     "sub-transaction commits into the private context of its parent";
+//   * abort_nested discards the top frame only: that is the partial
+//     rollback closed nesting buys.
+// classify() implements the paper's abort rule: the abort is partial iff
+// every invalidated object was first accessed by the currently executing
+// sub-transaction; if any belongs to merged history the whole transaction
+// must restart.
+//
+// The final commit() runs two-phase commit over a write quorum with the
+// flattened read/write sets.  Only one level of nesting is supported, per
+// the paper's system model (Section IV).
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "src/dtm/abort.hpp"
+#include "src/dtm/quorum_stub.hpp"
+#include "src/nesting/history.hpp"
+
+namespace acn::nesting {
+
+using dtm::ObjectKey;
+using dtm::Record;
+using dtm::TxAbort;
+using dtm::TxId;
+using dtm::Version;
+using dtm::VersionedRecord;
+
+/// Outcome classification for a TxAbort observed mid-execution.
+enum class AbortScope {
+  kPartial,  // only the active sub-transaction must re-execute
+  kFull,     // the whole transaction must restart
+};
+
+struct TxnStats {
+  std::uint64_t remote_reads = 0;
+  std::uint64_t cached_reads = 0;
+  std::uint64_t writes = 0;
+};
+
+class Transaction {
+  struct Frame {
+    std::unordered_map<ObjectKey, VersionedRecord, store::ObjectKeyHash> reads;
+    std::unordered_map<ObjectKey, Record, store::ObjectKeyHash> writes;
+  };
+
+ public:
+  /// Opaque deep copy of the transaction's buffered state, for
+  /// checkpoint-based partial rollback (the alternative partial-abort
+  /// technique the paper contrasts closed nesting with in Section III).
+  class Checkpoint {
+    friend class Transaction;
+    std::vector<Frame> frames_;
+  };
+
+  Transaction(dtm::QuorumStub& stub, TxId id);
+
+  TxId id() const noexcept { return id_; }
+
+  /// Transactional read.  Returns the buffered/remote value.  Throws
+  /// dtm::TxAbort (validation/busy/unavailable) or dtm::ObjectMissing.
+  const Record& read(const ObjectKey& key);
+
+  /// Like read(), but also requests contention levels for `classes`
+  /// piggybacked on the read RPC when it goes remote; results land in
+  /// `levels_out` (aligned with `classes`, untouched on a cached read).
+  const Record& read(const ObjectKey& key,
+                     const std::vector<dtm::ClassId>& classes,
+                     std::vector<std::uint64_t>& levels_out);
+
+  /// Buffer a write.  The object must have been read by this transaction
+  /// first (QR-DTM write semantics: the first write fetches); use insert()
+  /// for blind creation of fresh objects.
+  void write(const ObjectKey& key, Record value);
+
+  /// Blind insert of a fresh object (no remote fetch, version floor 0).
+  void insert(const ObjectKey& key, Record value);
+
+  bool has_read(const ObjectKey& key) const;
+  bool has_written(const ObjectKey& key) const;
+
+  // -- closed nesting ------------------------------------------------------
+  void begin_nested();
+  void commit_nested();  // merge top frame into its parent
+  void abort_nested();   // discard top frame (partial rollback)
+  std::size_t depth() const noexcept { return frames_.size(); }
+
+  /// Partial iff a sub-transaction is active and no invalidated object
+  /// belongs to a frame below the top.
+  AbortScope classify(const TxAbort& abort) const;
+
+  // -- commit --------------------------------------------------------------
+  /// Two-phase commit of the flattened sets; requires depth() == 1.
+  /// Throws TxAbort on conflict.  Read-only transactions run a final
+  /// validation round instead of 2PC.
+  void commit();
+
+  /// Discard all buffered state and adopt a fresh id (full restart).
+  void reset(TxId new_id);
+
+  // -- checkpointing ---------------------------------------------------
+  /// Deep copy of all frames.  O(read-set + write-set) — the cost the
+  /// paper identifies as checkpointing's handicap versus closed nesting.
+  Checkpoint checkpoint() const {
+    Checkpoint point;
+    point.frames_ = frames_;
+    return point;
+  }
+
+  /// Roll the buffered state back to `point` (reads/writes performed after
+  /// it are discarded; nothing was visible remotely, so no network I/O).
+  void restore(Checkpoint point) { frames_ = std::move(point.frames_); }
+
+  std::size_t read_set_size() const;
+  std::size_t write_set_size() const;
+  const TxnStats& stats() const noexcept { return stats_; }
+
+  /// When set, a successful commit() appends the transaction's read and
+  /// installed versions to `log` (for offline serializability checking).
+  void set_history(HistoryLog* log) noexcept { history_ = log; }
+
+ private:
+  /// All frames' read versions, for incremental-validation payloads.
+  std::vector<dtm::VersionCheck> all_version_checks() const;
+  const Record* find_buffered(const ObjectKey& key) const;
+  const Record& remote_read(const ObjectKey& key,
+                            const std::vector<dtm::ClassId>& classes,
+                            std::vector<std::uint64_t>* levels_out);
+
+  dtm::QuorumStub& stub_;
+  TxId id_;
+  std::vector<Frame> frames_;
+  TxnStats stats_;
+  HistoryLog* history_ = nullptr;
+};
+
+/// Monotonic transaction-id source shared by all clients in the process.
+TxId next_tx_id();
+
+}  // namespace acn::nesting

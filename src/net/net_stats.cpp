@@ -1,0 +1,25 @@
+#include "src/net/net_stats.hpp"
+
+#include <cstdio>
+
+namespace acn::net {
+
+void NetStats::reset() noexcept {
+  messages_.store(0, std::memory_order_relaxed);
+  bytes_.store(0, std::memory_order_relaxed);
+  drops_.store(0, std::memory_order_relaxed);
+  refused_.store(0, std::memory_order_relaxed);
+}
+
+std::string NetStats::summary() const {
+  char buf[160];
+  std::snprintf(buf, sizeof(buf),
+                "messages=%llu bytes=%llu drops=%llu refused=%llu",
+                static_cast<unsigned long long>(messages()),
+                static_cast<unsigned long long>(bytes()),
+                static_cast<unsigned long long>(drops()),
+                static_cast<unsigned long long>(refused()));
+  return buf;
+}
+
+}  // namespace acn::net

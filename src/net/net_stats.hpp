@@ -1,0 +1,44 @@
+// Message accounting for the simulated network.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+
+namespace acn::net {
+
+/// Aggregate wire statistics.  All counters are relaxed atomics; values are
+/// read for reporting only.
+class NetStats {
+ public:
+  void on_message(std::size_t bytes) noexcept {
+    messages_.fetch_add(1, std::memory_order_relaxed);
+    bytes_.fetch_add(bytes, std::memory_order_relaxed);
+  }
+  void on_drop() noexcept { drops_.fetch_add(1, std::memory_order_relaxed); }
+  void on_refused() noexcept { refused_.fetch_add(1, std::memory_order_relaxed); }
+
+  std::uint64_t messages() const noexcept {
+    return messages_.load(std::memory_order_relaxed);
+  }
+  std::uint64_t bytes() const noexcept {
+    return bytes_.load(std::memory_order_relaxed);
+  }
+  std::uint64_t drops() const noexcept {
+    return drops_.load(std::memory_order_relaxed);
+  }
+  std::uint64_t refused() const noexcept {
+    return refused_.load(std::memory_order_relaxed);
+  }
+
+  void reset() noexcept;
+  std::string summary() const;
+
+ private:
+  std::atomic<std::uint64_t> messages_{0};
+  std::atomic<std::uint64_t> bytes_{0};
+  std::atomic<std::uint64_t> drops_{0};
+  std::atomic<std::uint64_t> refused_{0};
+};
+
+}  // namespace acn::net

@@ -1,0 +1,241 @@
+// Simulated message-passing network.
+//
+// The cluster in this reproduction runs inside one process: server nodes are
+// passive, thread-safe request handlers and client threads issue RPCs through
+// a Network<Request, Response> instance.  The network
+//   * injects one-way latency from a pluggable LatencyModel on the request
+//     and the response leg (client threads sleep, so concurrent requests
+//     overlap exactly like real in-flight messages);
+//   * supports quorum "multicalls" that contact several nodes concurrently —
+//     the caller pays the *maximum* round-trip once, matching a client that
+//     fires all requests and waits for the slowest reply;
+//   * accounts messages and bytes (requests/responses expose approx_size());
+//   * injects faults: a node can be marked down, and a drop probability can
+//     be set per link for fault-tolerance tests.
+//
+// Handlers execute on the calling thread.  This keeps the simulation
+// deterministic under a fixed seed and free of cross-thread queue latency
+// noise, while preserving real mutual exclusion inside the server objects.
+#pragma once
+
+#include <atomic>
+#include <cassert>
+#include <chrono>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "src/common/latency_model.hpp"
+#include "src/common/rng.hpp"
+#include "src/net/mailbox.hpp"
+#include "src/net/net_stats.hpp"
+
+namespace acn::net {
+
+using NodeId = int;
+
+enum class NetErrorCode {
+  kOk = 0,
+  kNodeDown,
+  kDropped,
+  kNoHandler,
+};
+
+/// Result of a single RPC: either a response or a transport error.
+template <class Res>
+struct CallResult {
+  NetErrorCode error = NetErrorCode::kOk;
+  Res response{};
+
+  bool ok() const noexcept { return error == NetErrorCode::kOk; }
+};
+
+template <class Req, class Res>
+class Network {
+ public:
+  using Handler = std::function<Res(NodeId from, const Req&)>;
+
+  explicit Network(std::shared_ptr<const LatencyModel> latency =
+                       std::make_shared<ZeroLatency>())
+      : latency_(std::move(latency)) {}
+
+  /// Register node `id`'s request handler (executed inline on the calling
+  /// thread).  Must happen before traffic flows; not thread-safe against
+  /// concurrent calls.
+  void register_node(NodeId id, Handler handler) {
+    auto& node = node_slot(id);
+    node.handler = std::move(handler);
+    node.mailbox.reset();
+    node.down.store(false);
+  }
+
+  /// Register node `id` with its own mailbox worker thread: requests are
+  /// enqueued and processed asynchronously, so a multicall overlaps
+  /// processing across nodes.
+  void register_node_async(NodeId id, Handler handler) {
+    auto& node = node_slot(id);
+    node.mailbox = std::make_shared<Mailbox<Req, Res>>(std::move(handler));
+    node.handler = nullptr;
+    node.down.store(false);
+  }
+
+  bool node_is_async(NodeId id) const {
+    return static_cast<std::size_t>(id) < nodes_.size() &&
+           nodes_[static_cast<std::size_t>(id)].mailbox != nullptr;
+  }
+
+  std::size_t node_count() const noexcept { return nodes_.size(); }
+
+  /// Fault injection: mark a node unreachable / reachable.
+  void set_node_down(NodeId id, bool down) {
+    nodes_.at(static_cast<std::size_t>(id)).down.store(down);
+  }
+  bool node_down(NodeId id) const {
+    return nodes_.at(static_cast<std::size_t>(id)).down.load();
+  }
+
+  /// Fault injection: probability in [0,1] that any message is dropped
+  /// (a dropped message surfaces as NetErrorCode::kDropped to the caller,
+  /// standing in for an RPC timeout).
+  void set_drop_probability(double p) { drop_probability_.store(p); }
+
+  /// Synchronous RPC from `from` to `to`.  Sleeps for request + response
+  /// latency, then invokes the handler inline.
+  CallResult<Res> call(NodeId from, NodeId to, const Req& req) {
+    CallResult<Res> out;
+    const std::size_t req_bytes = req.approx_size();
+    if (!deliverable(to)) {
+      out.error = NetErrorCode::kNodeDown;
+      stats_.on_refused();
+      return out;
+    }
+    if (maybe_drop()) {
+      out.error = NetErrorCode::kDropped;
+      stats_.on_drop();
+      return out;
+    }
+    stats_.on_message(req_bytes);
+    const Nanos fwd = latency_->delay(from, to, req_bytes);
+    sleep_for(fwd);
+    out.response = invoke(to, from, req);
+    const std::size_t res_bytes = out.response.approx_size();
+    stats_.on_message(res_bytes);
+    const Nanos back = latency_->delay(to, from, res_bytes);
+    sleep_for(back);
+    return out;
+  }
+
+  /// Concurrent RPC to all `targets`.  `make_req(target)` builds the
+  /// per-target request.  The caller sleeps once for the slowest round trip
+  /// and handlers run inline in target order; results align with `targets`.
+  template <class MakeReq>
+  std::vector<CallResult<Res>> multicall(NodeId from,
+                                         const std::vector<NodeId>& targets,
+                                         MakeReq&& make_req) {
+    std::vector<CallResult<Res>> out(targets.size());
+    std::vector<Nanos> fwd(targets.size(), Nanos{0});
+    std::vector<std::future<Res>> pending(targets.size());
+    Nanos worst{0};
+
+    // Dispatch phase: inline nodes execute immediately, mailbox nodes are
+    // enqueued so their processing overlaps.
+    for (std::size_t i = 0; i < targets.size(); ++i) {
+      const NodeId to = targets[i];
+      if (!deliverable(to)) {
+        out[i].error = NetErrorCode::kNodeDown;
+        stats_.on_refused();
+        continue;
+      }
+      if (maybe_drop()) {
+        out[i].error = NetErrorCode::kDropped;
+        stats_.on_drop();
+        continue;
+      }
+      Req req = make_req(to);
+      const std::size_t req_bytes = req.approx_size();
+      stats_.on_message(req_bytes);
+      fwd[i] = latency_->delay(from, to, req_bytes);
+      Node& node = nodes_[static_cast<std::size_t>(to)];
+      if (node.mailbox)
+        pending[i] = node.mailbox->submit(from, std::move(req));
+      else
+        out[i].response = node.handler(from, req);
+    }
+
+    // Gather phase.
+    for (std::size_t i = 0; i < targets.size(); ++i) {
+      if (out[i].error != NetErrorCode::kOk) continue;
+      if (pending[i].valid()) out[i].response = pending[i].get();
+      const std::size_t res_bytes = out[i].response.approx_size();
+      stats_.on_message(res_bytes);
+      worst = std::max(worst,
+                       fwd[i] + latency_->delay(targets[i], from, res_bytes));
+    }
+    sleep_for(worst);
+    return out;
+  }
+
+  NetStats& stats() noexcept { return stats_; }
+  const NetStats& stats() const noexcept { return stats_; }
+  const LatencyModel& latency_model() const noexcept { return *latency_; }
+
+ private:
+  struct Node {
+    Handler handler;
+    std::shared_ptr<Mailbox<Req, Res>> mailbox;
+    std::atomic<bool> down{true};
+
+    Node() = default;
+    Node(Node&& other) noexcept
+        : handler(std::move(other.handler)),
+          mailbox(std::move(other.mailbox)),
+          down(other.down.load()) {}
+    Node& operator=(Node&& other) noexcept {
+      handler = std::move(other.handler);
+      mailbox = std::move(other.mailbox);
+      down.store(other.down.load());
+      return *this;
+    }
+  };
+
+  Node& node_slot(NodeId id) {
+    if (static_cast<std::size_t>(id) >= nodes_.size())
+      nodes_.resize(static_cast<std::size_t>(id) + 1);
+    return nodes_[static_cast<std::size_t>(id)];
+  }
+
+  Res invoke(NodeId to, NodeId from, const Req& req) {
+    Node& node = nodes_[static_cast<std::size_t>(to)];
+    if (node.mailbox) return node.mailbox->submit(from, req).get();
+    return node.handler(from, req);
+  }
+
+  bool deliverable(NodeId to) const noexcept {
+    const auto idx = static_cast<std::size_t>(to);
+    return idx < nodes_.size() &&
+           (nodes_[idx].handler || nodes_[idx].mailbox) &&
+           !nodes_[idx].down.load();
+  }
+
+  bool maybe_drop() noexcept {
+    const double p = drop_probability_.load(std::memory_order_relaxed);
+    if (p <= 0.0) return false;
+    std::lock_guard lock(rng_mutex_);
+    return drop_rng_.bernoulli(p);
+  }
+
+  static void sleep_for(Nanos d) {
+    if (d > Nanos{0}) std::this_thread::sleep_for(d);
+  }
+
+  std::shared_ptr<const LatencyModel> latency_;
+  std::vector<Node> nodes_;
+  std::atomic<double> drop_probability_{0.0};
+  std::mutex rng_mutex_;
+  Rng drop_rng_{0xd40bdeadULL};
+  NetStats stats_;
+};
+
+}  // namespace acn::net

@@ -1,0 +1,44 @@
+#include "src/quorum/level_quorum.hpp"
+
+#include <algorithm>
+
+namespace acn::quorum {
+
+LevelMajorityQuorumSystem::LevelMajorityQuorumSystem(TreeTopology topology)
+    : topology_(std::move(topology)) {
+  levels_.resize(static_cast<std::size_t>(topology_.depth()));
+  for (int lvl = 0; lvl < topology_.depth(); ++lvl)
+    levels_[static_cast<std::size_t>(lvl)] = topology_.level(lvl);
+}
+
+std::vector<NodeId> LevelMajorityQuorumSystem::majority_of_level(int lvl,
+                                                                 Rng& rng) const {
+  const auto& nodes = levels_[static_cast<std::size_t>(lvl)];
+  const std::size_t need = nodes.size() / 2 + 1;
+  std::vector<NodeId> shuffled = nodes;
+  for (std::size_t i = shuffled.size(); i > 1; --i) {
+    const std::size_t j = rng.uniform(0, i - 1);
+    std::swap(shuffled[i - 1], shuffled[j]);
+  }
+  shuffled.resize(need);
+  std::sort(shuffled.begin(), shuffled.end());
+  return shuffled;
+}
+
+std::vector<NodeId> LevelMajorityQuorumSystem::read_quorum(Rng& rng) const {
+  const int lvl = static_cast<int>(rng.uniform(0, levels_.size() - 1));
+  return majority_of_level(lvl, rng);
+}
+
+std::vector<NodeId> LevelMajorityQuorumSystem::write_quorum(Rng& rng) const {
+  std::vector<NodeId> out;
+  for (int lvl = 0; lvl < topology_.depth(); ++lvl) {
+    const auto part = majority_of_level(lvl, rng);
+    out.insert(out.end(), part.begin(), part.end());
+  }
+  std::sort(out.begin(), out.end());
+  out.erase(std::unique(out.begin(), out.end()), out.end());
+  return out;
+}
+
+}  // namespace acn::quorum

@@ -1,0 +1,37 @@
+// Level-majority quorum policy, matching the paper's informal description of
+// QR-DTM's quorums (Section II-B):
+//   "A read quorum is the majority of children at a level of the tree,
+//    while a write quorum is the majority of children at every level."
+// Interpreted over tree *levels*: a read quorum is a majority of the nodes
+// at one chosen level; a write quorum takes a majority of the nodes at
+// every level.  Any read majority at level L intersects the write majority
+// at level L, and two write quorums intersect at every level, so both
+// required properties hold.
+//
+// Compared to the recursive tree quorum this trades smaller read quorums
+// (when a level is small) against larger write quorums; it is provided both
+// for fidelity to the paper's text and as an ablation point.
+#pragma once
+
+#include "src/quorum/quorum_system.hpp"
+
+namespace acn::quorum {
+
+class LevelMajorityQuorumSystem final : public QuorumSystem {
+ public:
+  explicit LevelMajorityQuorumSystem(TreeTopology topology);
+
+  std::size_t node_count() const override { return topology_.size(); }
+  std::vector<NodeId> read_quorum(Rng& rng) const override;
+  std::vector<NodeId> write_quorum(Rng& rng) const override;
+
+  const TreeTopology& topology() const noexcept { return topology_; }
+
+ private:
+  std::vector<NodeId> majority_of_level(int lvl, Rng& rng) const;
+
+  TreeTopology topology_;
+  std::vector<std::vector<NodeId>> levels_;
+};
+
+}  // namespace acn::quorum

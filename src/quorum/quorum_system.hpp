@@ -1,0 +1,49 @@
+// Quorum-system interface.
+//
+// A quorum system over server nodes supplies read and write quorums with the
+// intersection properties QR-DTM relies on for 1-copy serializability:
+//   * every read quorum intersects every write quorum (a reader always sees
+//     at least one replica holding the latest committed version), and
+//   * every two write quorums intersect (two commits cannot both install
+//     conflicting versions unobserved).
+// Implementations may randomize quorum *selection* for load spreading; every
+// returned set must satisfy the properties against every other possible set.
+#pragma once
+
+#include <vector>
+
+#include "src/common/rng.hpp"
+#include "src/quorum/tree_topology.hpp"
+
+namespace acn::quorum {
+
+class QuorumSystem {
+ public:
+  virtual ~QuorumSystem() = default;
+
+  virtual std::size_t node_count() const = 0;
+
+  /// A read quorum; `rng` drives selection among the valid alternatives.
+  virtual std::vector<NodeId> read_quorum(Rng& rng) const = 0;
+
+  /// A write quorum.
+  virtual std::vector<NodeId> write_quorum(Rng& rng) const = 0;
+
+  /// Deterministic quorums "designated" for a client, as in QR-DTM where
+  /// each node is assigned fixed quorums.  Defaults to seeding selection
+  /// from the client id.
+  std::vector<NodeId> designated_read_quorum(int client_id) const {
+    Rng rng(0x4ead0000ULL + static_cast<std::uint64_t>(client_id));
+    return read_quorum(rng);
+  }
+  std::vector<NodeId> designated_write_quorum(int client_id) const {
+    Rng rng(0xc0bb17ULL + static_cast<std::uint64_t>(client_id));
+    return write_quorum(rng);
+  }
+};
+
+/// Returns true when `a` and `b` share at least one node.  Both inputs must
+/// be sorted ascending.
+bool intersects(const std::vector<NodeId>& a, const std::vector<NodeId>& b);
+
+}  // namespace acn::quorum

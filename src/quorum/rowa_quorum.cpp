@@ -1,0 +1,23 @@
+#include "src/quorum/rowa_quorum.hpp"
+
+#include <numeric>
+#include <stdexcept>
+
+namespace acn::quorum {
+
+RowaQuorumSystem::RowaQuorumSystem(std::size_t n_nodes) : n_(n_nodes) {
+  if (n_nodes == 0)
+    throw std::invalid_argument("RowaQuorumSystem: need at least one node");
+}
+
+std::vector<NodeId> RowaQuorumSystem::read_quorum(Rng& rng) const {
+  return {static_cast<NodeId>(rng.uniform(0, n_ - 1))};
+}
+
+std::vector<NodeId> RowaQuorumSystem::write_quorum(Rng& /*rng*/) const {
+  std::vector<NodeId> all(n_);
+  std::iota(all.begin(), all.end(), 0);
+  return all;
+}
+
+}  // namespace acn::quorum

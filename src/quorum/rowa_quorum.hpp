@@ -1,0 +1,27 @@
+// Read-One / Write-All (ROWA) as a quorum system.
+//
+// The classical full-replication extreme: any single replica serves a read
+// (cheapest possible read quorum), every write installs on all replicas.
+// Intersection trivially holds.  Included as a comparison point for the
+// quorum ablation: ROWA minimizes read traffic but makes commits pay the
+// full fan-out and blocks writes when any replica is down — the exact
+// trade-off tree quorums soften.
+#pragma once
+
+#include "src/quorum/quorum_system.hpp"
+
+namespace acn::quorum {
+
+class RowaQuorumSystem final : public QuorumSystem {
+ public:
+  explicit RowaQuorumSystem(std::size_t n_nodes);
+
+  std::size_t node_count() const override { return n_; }
+  std::vector<NodeId> read_quorum(Rng& rng) const override;
+  std::vector<NodeId> write_quorum(Rng& rng) const override;
+
+ private:
+  std::size_t n_;
+};
+
+}  // namespace acn::quorum

@@ -1,0 +1,70 @@
+#include "src/quorum/tree_quorum.hpp"
+
+#include <algorithm>
+
+namespace acn::quorum {
+
+bool intersects(const std::vector<NodeId>& a, const std::vector<NodeId>& b) {
+  auto ia = a.begin();
+  auto ib = b.begin();
+  while (ia != a.end() && ib != b.end()) {
+    if (*ia == *ib) return true;
+    if (*ia < *ib)
+      ++ia;
+    else
+      ++ib;
+  }
+  return false;
+}
+
+TreeQuorumSystem::TreeQuorumSystem(TreeTopology topology, double root_read_bias)
+    : topology_(std::move(topology)), root_read_bias_(root_read_bias) {}
+
+std::vector<NodeId> TreeQuorumSystem::read_quorum(Rng& rng) const {
+  std::vector<NodeId> out;
+  read_rec(topology_.root(), rng, out);
+  std::sort(out.begin(), out.end());
+  out.erase(std::unique(out.begin(), out.end()), out.end());
+  return out;
+}
+
+std::vector<NodeId> TreeQuorumSystem::write_quorum(Rng& rng) const {
+  std::vector<NodeId> out;
+  write_rec(topology_.root(), rng, out);
+  std::sort(out.begin(), out.end());
+  out.erase(std::unique(out.begin(), out.end()), out.end());
+  return out;
+}
+
+std::vector<NodeId> TreeQuorumSystem::pick_majority(
+    const std::vector<NodeId>& children, Rng& rng) const {
+  const std::size_t need = children.size() / 2 + 1;
+  std::vector<NodeId> shuffled = children;
+  // Fisher-Yates driven by the caller's RNG.
+  for (std::size_t i = shuffled.size(); i > 1; --i) {
+    const std::size_t j = rng.uniform(0, i - 1);
+    std::swap(shuffled[i - 1], shuffled[j]);
+  }
+  shuffled.resize(need);
+  return shuffled;
+}
+
+void TreeQuorumSystem::read_rec(NodeId root, Rng& rng,
+                                std::vector<NodeId>& out) const {
+  const auto children = topology_.children(root);
+  if (children.empty() || rng.bernoulli(root_read_bias_)) {
+    out.push_back(root);
+    return;
+  }
+  for (NodeId child : pick_majority(children, rng)) read_rec(child, rng, out);
+}
+
+void TreeQuorumSystem::write_rec(NodeId root, Rng& rng,
+                                 std::vector<NodeId>& out) const {
+  out.push_back(root);
+  const auto children = topology_.children(root);
+  if (children.empty()) return;
+  for (NodeId child : pick_majority(children, rng)) write_rec(child, rng, out);
+}
+
+}  // namespace acn::quorum

@@ -1,0 +1,41 @@
+// Agrawal & El Abbadi's tree quorum protocol (VLDB '90), the construction
+// QR-DTM cites for its quorums.
+//
+// For a subtree rooted at r with children c_1..c_m (majority M = floor(m/2)+1):
+//   read(r)  = {r}                       -- the root alone suffices, or
+//              union of read(c_i) over any M children  (recursive)
+//   write(r) = {r} union write(c_i) over any M children (recursive, root
+//              always included)
+// These satisfy read/write and write/write intersection at every level.
+#pragma once
+
+#include <memory>
+
+#include "src/quorum/quorum_system.hpp"
+
+namespace acn::quorum {
+
+class TreeQuorumSystem final : public QuorumSystem {
+ public:
+  /// `root_read_bias` is the probability that read-quorum selection stops at
+  /// the subtree root instead of recursing into a child majority; 1.0 always
+  /// reads the root only, 0.0 always recurses (until leaves).
+  explicit TreeQuorumSystem(TreeTopology topology, double root_read_bias = 0.5);
+
+  std::size_t node_count() const override { return topology_.size(); }
+  std::vector<NodeId> read_quorum(Rng& rng) const override;
+  std::vector<NodeId> write_quorum(Rng& rng) const override;
+
+  const TreeTopology& topology() const noexcept { return topology_; }
+
+ private:
+  void read_rec(NodeId root, Rng& rng, std::vector<NodeId>& out) const;
+  void write_rec(NodeId root, Rng& rng, std::vector<NodeId>& out) const;
+  std::vector<NodeId> pick_majority(const std::vector<NodeId>& children,
+                                    Rng& rng) const;
+
+  TreeTopology topology_;
+  double root_read_bias_;
+};
+
+}  // namespace acn::quorum

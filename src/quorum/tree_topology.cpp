@@ -1,0 +1,47 @@
+#include "src/quorum/tree_topology.hpp"
+
+#include <stdexcept>
+
+namespace acn::quorum {
+
+TreeTopology::TreeTopology(std::size_t n, int arity) : n_(n), arity_(arity) {
+  if (n == 0) throw std::invalid_argument("TreeTopology: n must be > 0");
+  if (arity < 2) throw std::invalid_argument("TreeTopology: arity must be >= 2");
+}
+
+std::vector<NodeId> TreeTopology::children(NodeId id) const {
+  std::vector<NodeId> out;
+  const auto base = static_cast<std::size_t>(id) * static_cast<std::size_t>(arity_);
+  for (int c = 1; c <= arity_; ++c) {
+    const std::size_t child = base + static_cast<std::size_t>(c);
+    if (child < n_) out.push_back(static_cast<NodeId>(child));
+  }
+  return out;
+}
+
+NodeId TreeTopology::parent(NodeId id) const noexcept {
+  if (id <= 0) return -1;
+  return (id - 1) / arity_;
+}
+
+int TreeTopology::level_of(NodeId id) const noexcept {
+  int lvl = 0;
+  while (id > 0) {
+    id = parent(id);
+    ++lvl;
+  }
+  return lvl;
+}
+
+int TreeTopology::depth() const noexcept {
+  return level_of(static_cast<NodeId>(n_ - 1)) + 1;
+}
+
+std::vector<NodeId> TreeTopology::level(int lvl) const {
+  std::vector<NodeId> out;
+  for (std::size_t i = 0; i < n_; ++i)
+    if (level_of(static_cast<NodeId>(i)) == lvl) out.push_back(static_cast<NodeId>(i));
+  return out;
+}
+
+}  // namespace acn::quorum

@@ -1,0 +1,39 @@
+// Logical k-ary tree over server nodes.
+//
+// QR-DTM arranges replicas in a logical ternary tree (k = 3) and derives
+// read/write quorums from it (Agrawal & El Abbadi's tree quorum protocol).
+// Node ids are assigned in breadth-first order: the root is 0 and the
+// children of node i are k*i + 1 ... k*i + k (those that exist).
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace acn::quorum {
+
+using NodeId = int;
+
+class TreeTopology {
+ public:
+  /// A complete (last level possibly partial) k-ary tree with n nodes.
+  TreeTopology(std::size_t n, int arity = 3);
+
+  std::size_t size() const noexcept { return n_; }
+  int arity() const noexcept { return arity_; }
+  NodeId root() const noexcept { return 0; }
+
+  bool is_leaf(NodeId id) const noexcept { return children(id).empty(); }
+  std::vector<NodeId> children(NodeId id) const;
+  NodeId parent(NodeId id) const noexcept;  // -1 for the root
+  int level_of(NodeId id) const noexcept;
+  int depth() const noexcept;  // number of levels
+
+  /// All nodes at a given level, in id order.
+  std::vector<NodeId> level(int lvl) const;
+
+ private:
+  std::size_t n_;
+  int arity_;
+};
+
+}  // namespace acn::quorum

@@ -1,0 +1,73 @@
+#include "src/store/contention_tracker.hpp"
+
+#include <algorithm>
+
+namespace acn::store {
+
+ContentionTracker::ContentionTracker(std::int64_t window_ns)
+    : window_ns_(window_ns) {}
+
+void ContentionTracker::on_write(const ObjectKey& key, std::uint64_t now_ns) {
+  std::lock_guard lock(mutex_);
+  if (window_ns_ > 0) {
+    if (window_start_ns_ == 0) window_start_ns_ = now_ns;
+    if (now_ns - window_start_ns_ >= static_cast<std::uint64_t>(window_ns_)) {
+      roll_locked();
+      window_start_ns_ = now_ns;
+    }
+  }
+  const std::uint64_t count = ++current_[key];
+  auto& class_max = current_by_class_[key.cls];
+  class_max = std::max(class_max, count);
+}
+
+void ContentionTracker::maybe_roll(std::uint64_t now_ns) {
+  std::lock_guard lock(mutex_);
+  if (window_ns_ <= 0) return;
+  if (window_start_ns_ == 0) {
+    window_start_ns_ = now_ns;
+    return;
+  }
+  if (now_ns - window_start_ns_ >= static_cast<std::uint64_t>(window_ns_)) {
+    roll_locked();
+    window_start_ns_ = now_ns;
+  }
+}
+
+void ContentionTracker::roll() {
+  std::lock_guard lock(mutex_);
+  roll_locked();
+}
+
+void ContentionTracker::roll_locked() {
+  last_ = std::move(current_);
+  current_.clear();
+  last_by_class_ = std::move(current_by_class_);
+  current_by_class_.clear();
+}
+
+std::uint64_t ContentionTracker::level(const ObjectKey& key) const {
+  std::lock_guard lock(mutex_);
+  const auto it = last_.find(key);
+  return it == last_.end() ? 0 : it->second;
+}
+
+std::uint64_t ContentionTracker::class_level(ClassId cls) const {
+  std::lock_guard lock(mutex_);
+  const auto it = last_by_class_.find(cls);
+  return it == last_by_class_.end() ? 0 : it->second;
+}
+
+std::vector<std::uint64_t> ContentionTracker::class_levels(
+    const std::vector<ClassId>& classes) const {
+  std::lock_guard lock(mutex_);
+  std::vector<std::uint64_t> out;
+  out.reserve(classes.size());
+  for (ClassId cls : classes) {
+    const auto it = last_by_class_.find(cls);
+    out.push_back(it == last_by_class_.end() ? 0 : it->second);
+  }
+  return out;
+}
+
+}  // namespace acn::store

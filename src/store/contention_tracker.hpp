@@ -1,0 +1,62 @@
+// Windowed write-contention tracking (the paper's Dynamic Module input,
+// Section V-C2).
+//
+// Quorum servers count committed write operations per object.  Time is
+// divided into windows; the contention level of an object is the number of
+// writes it received in the *last completed* window, so levels are stable
+// within a window and refresh when the window rolls.  Levels are also
+// aggregated per object class, which is the granularity at which ACN's
+// Algorithm Module reasons (a UnitBlock is associated with the class of the
+// remote object it opens — individual keys vary per transaction execution).
+// The class aggregate is the write count of the *hottest object* of the
+// class, not the class total: a class with many mildly-written objects
+// (TPC-C stock) must not outrank a genuine hot spot (TPC-C district).
+#pragma once
+
+#include <cstdint>
+#include <mutex>
+#include <unordered_map>
+#include <vector>
+
+#include "src/store/key.hpp"
+
+namespace acn::store {
+
+class ContentionTracker {
+ public:
+  /// `window_ns` <= 0 disables time-based rolling; call roll() manually
+  /// (tests and deterministic harness ticks do this).
+  explicit ContentionTracker(std::int64_t window_ns = 0);
+
+  /// Record one committed write on `key` at time `now_ns`.
+  void on_write(const ObjectKey& key, std::uint64_t now_ns);
+
+  /// Roll the window if `now_ns` passed the boundary (no-op otherwise).
+  void maybe_roll(std::uint64_t now_ns);
+
+  /// Force a window roll: current counters become the reported levels and
+  /// counting restarts at zero.
+  void roll();
+
+  /// Writes on `key` during the last completed window.
+  std::uint64_t level(const ObjectKey& key) const;
+
+  /// Last-window writes on the hottest object of class `cls`.
+  std::uint64_t class_level(ClassId cls) const;
+
+  /// Batch lookup used to answer piggybacked contention queries.
+  std::vector<std::uint64_t> class_levels(const std::vector<ClassId>& classes) const;
+
+ private:
+  void roll_locked();
+
+  mutable std::mutex mutex_;
+  std::int64_t window_ns_;
+  std::uint64_t window_start_ns_ = 0;
+  std::unordered_map<ObjectKey, std::uint64_t, ObjectKeyHash> current_;
+  std::unordered_map<ObjectKey, std::uint64_t, ObjectKeyHash> last_;
+  std::unordered_map<ClassId, std::uint64_t> current_by_class_;
+  std::unordered_map<ClassId, std::uint64_t> last_by_class_;
+};
+
+}  // namespace acn::store

@@ -1,0 +1,49 @@
+// Object identity in the DTM object space.
+//
+// Every shared object is identified by (class, id).  The class groups
+// objects of the same kind (e.g. TPC-C District, Bank Branch); ACN's static
+// analysis associates each UnitBlock with a class, and the dynamic module
+// aggregates contention per class as well as per object.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+
+namespace acn::store {
+
+using ClassId = std::uint32_t;
+
+struct ObjectKey {
+  ClassId cls = 0;
+  std::uint64_t id = 0;
+
+  friend bool operator==(const ObjectKey&, const ObjectKey&) = default;
+  friend auto operator<=>(const ObjectKey&, const ObjectKey&) = default;
+};
+
+inline std::string to_string(const ObjectKey& k) {
+  return std::to_string(k.cls) + ":" + std::to_string(k.id);
+}
+
+struct ObjectKeyHash {
+  std::size_t operator()(const ObjectKey& k) const noexcept {
+    // 64-bit mix of the two fields (splitmix-style finalizer).
+    std::uint64_t x = (static_cast<std::uint64_t>(k.cls) << 56) ^ k.id;
+    x ^= x >> 30;
+    x *= 0xbf58476d1ce4e5b9ULL;
+    x ^= x >> 27;
+    x *= 0x94d049bb133111ebULL;
+    x ^= x >> 31;
+    return static_cast<std::size_t>(x);
+  }
+};
+
+}  // namespace acn::store
+
+template <>
+struct std::hash<acn::store::ObjectKey> {
+  std::size_t operator()(const acn::store::ObjectKey& k) const noexcept {
+    return acn::store::ObjectKeyHash{}(k);
+  }
+};

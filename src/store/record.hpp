@@ -1,0 +1,48 @@
+// Object payloads.
+//
+// Shared objects are flat records of signed 64-bit fields — sufficient for
+// the Bank, Vacation and TPC-C schemas (balances, counters, quantities,
+// foreign keys).  Fixed-size numeric records keep the simulated wire size
+// honest and make deep copies cheap, which the closed-nesting runtime
+// relies on when it snapshots and restores execution state.
+#pragma once
+
+#include <cstdint>
+#include <initializer_list>
+#include <vector>
+
+namespace acn::store {
+
+using Field = std::int64_t;
+
+struct Record {
+  std::vector<Field> fields;
+
+  Record() = default;
+  explicit Record(std::size_t n_fields, Field init = 0) : fields(n_fields, init) {}
+  Record(std::initializer_list<Field> init) : fields(init) {}
+
+  Field& operator[](std::size_t i) { return fields[i]; }
+  Field operator[](std::size_t i) const { return fields[i]; }
+  std::size_t size() const noexcept { return fields.size(); }
+
+  /// Approximate serialized size on the simulated wire.
+  std::size_t approx_size() const noexcept {
+    return fields.size() * sizeof(Field) + sizeof(std::uint32_t);
+  }
+
+  friend bool operator==(const Record&, const Record&) = default;
+};
+
+using Version = std::uint64_t;
+
+/// A versioned snapshot returned by reads.
+struct VersionedRecord {
+  Record value;
+  Version version = 0;
+
+  friend bool operator==(const VersionedRecord&, const VersionedRecord&) =
+      default;
+};
+
+}  // namespace acn::store

@@ -1,0 +1,209 @@
+#include "src/workloads/bank.hpp"
+
+#include <stdexcept>
+
+namespace acn::workloads {
+namespace {
+
+using ir::ProgramBuilder;
+using ir::Record;
+using ir::TxEnv;
+using ir::VarId;
+using store::Field;
+
+/// Units whose first access is of class `cls`, in model order.
+std::vector<std::size_t> units_of_class(const DependencyModel& model,
+                                        ir::ClassId cls) {
+  std::vector<std::size_t> out;
+  for (std::size_t u = 0; u < model.units.size(); ++u)
+    if (!model.units[u].classes.empty() && model.units[u].classes.front() == cls)
+      out.push_back(u);
+  return out;
+}
+
+Field pick_hot_or_uniform(Rng& rng, std::size_t n, std::size_t hot,
+                          double p_hot) {
+  hot = std::min(hot, n);
+  if (hot > 0 && rng.bernoulli(p_hot))
+    return static_cast<Field>(rng.uniform(0, hot - 1));
+  return static_cast<Field>(rng.uniform(0, n - 1));
+}
+
+std::pair<Field, Field> pick_two_distinct(Rng& rng, std::size_t n,
+                                          std::size_t hot, double p_hot) {
+  const Field a = pick_hot_or_uniform(rng, n, hot, p_hot);
+  Field b = a;
+  for (int guard = 0; b == a && guard < 64; ++guard)
+    b = pick_hot_or_uniform(rng, n, hot, p_hot);
+  if (b == a) b = static_cast<Field>((a + 1) % static_cast<Field>(n));
+  return {a, b};
+}
+
+}  // namespace
+
+Bank::Bank(BankConfig config) : config_(config) {
+  if (config_.n_branches < 2 || config_.n_accounts < 2)
+    throw std::invalid_argument("Bank: need at least 2 branches and accounts");
+  profiles_.push_back(make_transfer());
+  profiles_.push_back(make_audit());
+}
+
+TxProfile Bank::make_transfer() const {
+  // Params: 0=account1, 1=account2, 2=branch1, 3=branch2, 4=amount.
+  ProgramBuilder b("bank.transfer", 5);
+  const VarId p_acc1 = b.param(0), p_acc2 = b.param(1);
+  const VarId p_br1 = b.param(2), p_br2 = b.param(3);
+  const VarId p_amt = b.param(4);
+
+  // Figure 1 order: branches first, then accounts.
+  const VarId br1 = b.remote_read(
+      kBranch, {p_br1},
+      [p_br1](const TxEnv& e) { return branch_key(e.geti(p_br1)); },
+      "read branch1");
+  const VarId br2 = b.remote_read(
+      kBranch, {p_br2},
+      [p_br2](const TxEnv& e) { return branch_key(e.geti(p_br2)); },
+      "read branch2");
+  b.local({br1, p_amt}, {br1},
+          [br1, p_amt](TxEnv& e) {
+            Record r = e.get(br1);
+            r[0] -= e.geti(p_amt);
+            e.write_object(br1, std::move(r));
+          },
+          "branch1.withdraw");
+  b.local({br2, p_amt}, {br2},
+          [br2, p_amt](TxEnv& e) {
+            Record r = e.get(br2);
+            r[0] += e.geti(p_amt);
+            e.write_object(br2, std::move(r));
+          },
+          "branch2.deposit");
+  const VarId acc1 = b.remote_read(
+      kAccount, {p_acc1},
+      [p_acc1](const TxEnv& e) { return account_key(e.geti(p_acc1)); },
+      "read account1");
+  const VarId acc2 = b.remote_read(
+      kAccount, {p_acc2},
+      [p_acc2](const TxEnv& e) { return account_key(e.geti(p_acc2)); },
+      "read account2");
+  b.local({acc1, p_amt}, {acc1},
+          [acc1, p_amt](TxEnv& e) {
+            Record r = e.get(acc1);
+            r[0] -= e.geti(p_amt);
+            e.write_object(acc1, std::move(r));
+          },
+          "account1.withdraw");
+  b.local({acc2, p_amt}, {acc2},
+          [acc2, p_amt](TxEnv& e) {
+            Record r = e.get(acc2);
+            r[0] += e.geti(p_amt);
+            e.write_object(acc2, std::move(r));
+          },
+          "account2.deposit");
+
+  TxProfile profile;
+  profile.program = std::make_unique<ir::TxProgram>(b.build());
+  profile.static_model =
+      build_dependency_model(*profile.program, AttachPolicy::kLatestProducer);
+
+  // Manual QR-CN decomposition (Figure 2): accounts first in one
+  // sub-transaction, branches last in another.
+  const auto account_units = units_of_class(profile.static_model, kAccount);
+  const auto branch_units = units_of_class(profile.static_model, kBranch);
+  profile.manual_sequence = {Block{account_units}, Block{branch_units}};
+  if (!sequence_valid(profile.manual_sequence, profile.static_model))
+    throw std::logic_error("bank.transfer: manual sequence invalid");
+
+  const BankConfig cfg = config_;
+  profile.weight = cfg.write_fraction;
+  profile.make_params = [cfg](Rng& rng, int phase) {
+    const bool branches_hot = phase % 2 == 0;
+    const auto [a1, a2] = pick_two_distinct(
+        rng, cfg.n_accounts, branches_hot ? 0 : cfg.hot_accounts,
+        cfg.hot_probability);
+    const auto [b1, b2] = pick_two_distinct(
+        rng, cfg.n_branches, branches_hot ? cfg.hot_branches : 0,
+        cfg.hot_probability);
+    const Field amount = static_cast<Field>(rng.uniform(1, 100));
+    return std::vector<Record>{Record{a1}, Record{a2}, Record{b1}, Record{b2},
+                               Record{amount}};
+  };
+  return profile;
+}
+
+TxProfile Bank::make_audit() const {
+  // Params: 0=account1, 1=account2, 2=branch1, 3=branch2.
+  ProgramBuilder b("bank.audit", 4);
+  const VarId p_acc1 = b.param(0), p_acc2 = b.param(1);
+  const VarId p_br1 = b.param(2), p_br2 = b.param(3);
+
+  const VarId acc1 = b.remote_read(
+      kAccount, {p_acc1},
+      [p_acc1](const TxEnv& e) { return account_key(e.geti(p_acc1)); },
+      "read account1");
+  const VarId acc2 = b.remote_read(
+      kAccount, {p_acc2},
+      [p_acc2](const TxEnv& e) { return account_key(e.geti(p_acc2)); },
+      "read account2");
+  const VarId br1 = b.remote_read(
+      kBranch, {p_br1},
+      [p_br1](const TxEnv& e) { return branch_key(e.geti(p_br1)); },
+      "read branch1");
+  const VarId br2 = b.remote_read(
+      kBranch, {p_br2},
+      [p_br2](const TxEnv& e) { return branch_key(e.geti(p_br2)); },
+      "read branch2");
+  const VarId total = b.fresh_var();
+  b.local({acc1, acc2, br1, br2}, {total},
+          [=](TxEnv& e) {
+            e.seti(total, e.geti(acc1) + e.geti(acc2) + e.geti(br1) +
+                              e.geti(br2));
+          },
+          "sum balances");
+
+  TxProfile profile;
+  profile.program = std::make_unique<ir::TxProgram>(b.build());
+  profile.static_model =
+      build_dependency_model(*profile.program, AttachPolicy::kLatestProducer);
+  profile.manual_sequence = initial_sequence(profile.static_model);
+
+  const BankConfig cfg = config_;
+  profile.weight = 1.0 - cfg.write_fraction;
+  profile.make_params = [cfg](Rng& rng, int phase) {
+    const bool branches_hot = phase % 2 == 0;
+    const auto [a1, a2] = pick_two_distinct(
+        rng, cfg.n_accounts, branches_hot ? 0 : cfg.hot_accounts,
+        cfg.hot_probability);
+    const auto [b1, b2] = pick_two_distinct(
+        rng, cfg.n_branches, branches_hot ? cfg.hot_branches : 0,
+        cfg.hot_probability);
+    return std::vector<Record>{Record{a1}, Record{a2}, Record{b1}, Record{b2}};
+  };
+  return profile;
+}
+
+void Bank::seed(const std::vector<dtm::Server*>& servers) {
+  for (std::size_t i = 0; i < config_.n_branches; ++i)
+    seed_all(servers, branch_key(static_cast<Field>(i)),
+             Record{config_.initial_balance});
+  for (std::size_t i = 0; i < config_.n_accounts; ++i)
+    seed_all(servers, account_key(static_cast<Field>(i)),
+             Record{config_.initial_balance});
+}
+
+void Bank::check_invariants(const std::vector<dtm::Server*>& servers) const {
+  const store::Field expected =
+      config_.initial_balance *
+      static_cast<store::Field>(config_.n_branches + config_.n_accounts);
+  store::Field total = 0;
+  for (std::size_t i = 0; i < config_.n_branches; ++i)
+    total += latest_value(servers, branch_key(static_cast<Field>(i))).value[0];
+  for (std::size_t i = 0; i < config_.n_accounts; ++i)
+    total += latest_value(servers, account_key(static_cast<Field>(i))).value[0];
+  if (total != expected)
+    throw std::runtime_error("bank invariant violated: total " +
+                             std::to_string(total) + " != expected " +
+                             std::to_string(expected));
+}
+
+}  // namespace acn::workloads

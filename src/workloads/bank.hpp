@@ -1,0 +1,69 @@
+// Bank benchmark — the paper's running example (Figures 1-3).
+//
+// Schema: `n_branches` Branch objects and `n_accounts` Account objects,
+// each a single balance field.  The transfer transaction follows Figure 1's
+// flat order exactly: read branch1, read branch2, withdraw/deposit on the
+// branches, then read account1, read account2, withdraw/deposit on the
+// accounts.  90% of transactions are transfers; 10% are read-only audits.
+//
+// Phases (contention stimulus):
+//   phase 0 — branch selection is concentrated on a small hot set
+//             (branches hot, accounts cold: the Figure 1 scenario);
+//   phase 1 — branches uniform, account selection concentrated
+//             (the hot class flips, which static decompositions cannot
+//             follow).
+//
+// The manual QR-CN decomposition is the Figure 2 configuration: the account
+// operations run first as one sub-transaction, the branch operations last
+// as another — optimal for phase 0, wrong for phase 1.
+//
+// Invariant: the sum of all balances (accounts + branches) is constant —
+// every transfer moves `amount` between objects in equal and opposite
+// pairs.
+#pragma once
+
+#include "src/workloads/workload.hpp"
+
+namespace acn::workloads {
+
+struct BankConfig {
+  std::size_t n_branches = 64;
+  std::size_t n_accounts = 4096;
+  store::Field initial_balance = 10'000;
+  double write_fraction = 0.9;
+
+  std::size_t hot_branches = 4;  // phase-0 hot set
+  std::size_t hot_accounts = 4;  // phase-1 hot set
+  double hot_probability = 0.8;  // chance a pick lands in the hot set
+};
+
+class Bank final : public Workload {
+ public:
+  static constexpr ir::ClassId kBranch = 1;
+  static constexpr ir::ClassId kAccount = 2;
+
+  explicit Bank(BankConfig config = {});
+
+  std::string name() const override { return "bank"; }
+  void seed(const std::vector<dtm::Server*>& servers) override;
+  const std::vector<TxProfile>& profiles() const override { return profiles_; }
+  void check_invariants(const std::vector<dtm::Server*>& servers) const override;
+
+  const BankConfig& config() const noexcept { return config_; }
+
+  static store::ObjectKey branch_key(store::Field id) {
+    return {kBranch, static_cast<std::uint64_t>(id)};
+  }
+  static store::ObjectKey account_key(store::Field id) {
+    return {kAccount, static_cast<std::uint64_t>(id)};
+  }
+
+ private:
+  TxProfile make_transfer() const;
+  TxProfile make_audit() const;
+
+  BankConfig config_;
+  std::vector<TxProfile> profiles_;
+};
+
+}  // namespace acn::workloads

@@ -1,0 +1,612 @@
+#include "src/workloads/tpcc.hpp"
+
+#include <stdexcept>
+
+namespace acn::workloads {
+namespace {
+
+using ir::ProgramBuilder;
+using ir::Record;
+using ir::TxEnv;
+using ir::VarId;
+using store::Field;
+
+// Record layouts.
+// warehouse: [ytd, tax_permille]
+constexpr std::size_t kWhYtd = 0, kWhTax = 1;
+// district: [next_o_id, ytd, tax_permille]
+constexpr std::size_t kDNextOid = 0, kDYtd = 1, kDTax = 2;
+// customer: [balance, ytd_payment, payment_cnt, delivered_credit, delivery_cnt]
+constexpr std::size_t kCBalance = 0, kCYtdPayment = 1, kCPaymentCnt = 2,
+                      kCDelivered = 3, kCDeliveryCnt = 4;
+// item: [price]
+constexpr std::size_t kIPrice = 0;
+// stock: [quantity, ytd, order_cnt]
+constexpr std::size_t kSQty = 0, kSYtd = 1, kSCnt = 2;
+// order: [c_id, carrier, ol_cnt]
+constexpr std::size_t kOCid = 0, kOCarrier = 1, kOOlCnt = 2;
+// order line: [item, qty, amount, delivered]
+constexpr std::size_t kOlItem = 0, kOlQty = 1, kOlAmount = 2, kOlDelivered = 3;
+// history: [customer_global, amount]
+// cursor: [next_o_id_to_deliver]
+
+}  // namespace
+
+Tpcc::Tpcc(TpccConfig config)
+    : config_(config),
+      districts_per_warehouse_(config.districts_per_warehouse),
+      customers_per_district_(config.customers_per_district),
+      n_items_(config.n_items),
+      order_ring_(config.order_ring) {
+  if (config_.n_warehouses == 0 || config_.districts_per_warehouse == 0 ||
+      config_.customers_per_district == 0 || config_.n_items < kOrderLines ||
+      config_.order_ring == 0)
+    throw std::invalid_argument("Tpcc: bad scale configuration");
+  if (config_.min_order_lines < 1 ||
+      config_.max_order_lines < config_.min_order_lines ||
+      config_.max_order_lines >= kLineSlots)
+    throw std::invalid_argument("Tpcc: bad order-line range");
+  if (config_.w_neworder > 0) {
+    const std::size_t variants =
+        config_.max_order_lines - config_.min_order_lines + 1;
+    for (std::size_t lines = config_.min_order_lines;
+         lines <= config_.max_order_lines; ++lines) {
+      auto p = make_neworder(lines);
+      p.weight = config_.w_neworder / static_cast<double>(variants);
+      profiles_.push_back(std::move(p));
+    }
+  }
+  if (config_.w_payment > 0) {
+    auto p = make_payment();
+    p.weight = config_.w_payment;
+    profiles_.push_back(std::move(p));
+  }
+  if (config_.w_delivery > 0) {
+    auto p = config_.delivery_all_districts ? make_delivery_all()
+                                            : make_delivery();
+    p.weight = config_.w_delivery;
+    profiles_.push_back(std::move(p));
+  }
+  if (config_.w_orderstatus > 0) {
+    auto p = make_orderstatus();
+    p.weight = config_.w_orderstatus;
+    profiles_.push_back(std::move(p));
+  }
+  if (config_.w_stocklevel > 0) {
+    auto p = make_stocklevel();
+    p.weight = config_.w_stocklevel;
+    profiles_.push_back(std::move(p));
+  }
+  if (profiles_.empty())
+    throw std::invalid_argument("Tpcc: profile mix is all zero");
+}
+
+TxProfile Tpcc::make_neworder(std::size_t order_lines) const {
+  // Params: 0=w, 1=d, 2=c, 3=items[order_lines], 4=qtys[order_lines].
+  ProgramBuilder b("tpcc.neworder." + std::to_string(order_lines), 5);
+  const VarId p_w = b.param(0), p_d = b.param(1), p_c = b.param(2);
+  const VarId p_items = b.param(3), p_qtys = b.param(4);
+
+  const VarId wh = b.remote_read(
+      kWarehouse, {p_w},
+      [this, p_w](const TxEnv& e) { return warehouse_key(e.geti(p_w)); },
+      "read warehouse");
+  const VarId dist = b.remote_read(
+      kDistrict, {p_w, p_d},
+      [this, p_w, p_d](const TxEnv& e) {
+        return district_key(e.geti(p_w), e.geti(p_d));
+      },
+      "read district");
+  const VarId oid = b.fresh_var();
+  b.local({dist}, {dist, oid},
+          [dist, oid](TxEnv& e) {
+            Record r = e.get(dist);
+            e.seti(oid, r[kDNextOid]);
+            r[kDNextOid] += 1;
+            e.write_object(dist, std::move(r));
+          },
+          "take o_id");
+  const VarId cust = b.remote_read(
+      kCustomer, {p_w, p_d, p_c},
+      [this, p_w, p_d, p_c](const TxEnv& e) {
+        return customer_key(e.geti(p_w), e.geti(p_d), e.geti(p_c));
+      },
+      "read customer");
+
+  std::vector<VarId> item_var(order_lines);
+  for (std::size_t l = 0; l < order_lines; ++l) {
+    item_var[l] = b.remote_read(
+        kItem, {p_items},
+        [this, p_items, l](const TxEnv& e) {
+          return item_key(e.geti(p_items, l));
+        },
+        "read item " + std::to_string(l));
+    const VarId stock = b.remote_read(
+        kStock, {p_w, p_items},
+        [this, p_w, p_items, l](const TxEnv& e) {
+          return stock_key(e.geti(p_w), e.geti(p_items, l));
+        },
+        "read stock " + std::to_string(l));
+    b.local({stock, p_qtys}, {stock},
+            [stock, p_qtys, l](TxEnv& e) {
+              Record r = e.get(stock);
+              const Field q = e.geti(p_qtys, l);
+              if (r[kSQty] - q < 10)
+                r[kSQty] += 91 - q;  // TPC-C restock rule
+              else
+                r[kSQty] -= q;
+              r[kSYtd] += q;
+              r[kSCnt] += 1;
+              e.write_object(stock, std::move(r));
+            },
+            "update stock " + std::to_string(l));
+  }
+
+  b.local({oid, p_w, p_d, p_c}, {},
+          [this, oid, p_w, p_d, p_c, order_lines](TxEnv& e) {
+            const Field w = e.geti(p_w), d = e.geti(p_d), o = e.geti(oid);
+            e.insert_object(order_key(w, d, o),
+                            Record{e.geti(p_c), 0,
+                                   static_cast<Field>(order_lines)});
+            e.insert_object(new_order_key(w, d, o), Record{o});
+          },
+          "insert order");
+
+  for (std::size_t l = 0; l < order_lines; ++l) {
+    b.local({oid, item_var[l], p_items, p_qtys, p_w, p_d}, {},
+            [this, oid, iv = item_var[l], p_items, p_qtys, p_w, p_d,
+             l](TxEnv& e) {
+              const Field w = e.geti(p_w), d = e.geti(p_d), o = e.geti(oid);
+              const Field qty = e.geti(p_qtys, l);
+              const Field amount = e.get(iv)[kIPrice] * qty;
+              e.insert_object(order_line_key(w, d, o, l),
+                              Record{e.geti(p_items, l), qty, amount, 0});
+            },
+            "insert line " + std::to_string(l));
+  }
+
+  const VarId total = b.fresh_var();
+  std::vector<VarId> total_reads{wh, dist, cust, p_qtys};
+  total_reads.insert(total_reads.end(), item_var.begin(), item_var.end());
+  b.local(total_reads, {total},
+          [wh, dist, item_var, p_qtys, total](TxEnv& e) {
+            Field sum = 0;
+            for (std::size_t l = 0; l < item_var.size(); ++l)
+              sum += e.get(item_var[l])[kIPrice] * e.geti(p_qtys, l);
+            const Field tax = e.get(wh)[kWhTax] + e.get(dist)[kDTax];
+            e.seti(total, sum * (1000 + tax) / 1000);
+          },
+          "compute total");
+
+  TxProfile profile;
+  profile.program = std::make_unique<ir::TxProgram>(b.build());
+  profile.static_model =
+      build_dependency_model(*profile.program, AttachPolicy::kLatestProducer);
+
+  // Manual QR-CN: {warehouse, district} | {customer} | one block per
+  // (item, stock) pair — program order, the spec's natural phases.
+  BlockSequence manual;
+  for (std::size_t u = 0; u < profile.static_model.units.size(); ++u) {
+    const ir::ClassId cls = profile.static_model.units[u].classes.front();
+    const bool starts_block =
+        manual.empty() || cls == kCustomer || cls == kItem;
+    if (starts_block)
+      manual.push_back({{u}});
+    else
+      manual.back().units.push_back(u);
+  }
+  profile.manual_sequence = std::move(manual);
+  if (!sequence_valid(profile.manual_sequence, profile.static_model))
+    throw std::logic_error("tpcc.neworder: manual sequence invalid");
+
+  const TpccConfig cfg = config_;
+  profile.make_params = [cfg, order_lines](Rng& rng, int /*phase*/) {
+    Record items(order_lines), qtys(order_lines);
+    for (std::size_t l = 0; l < order_lines; ++l) {
+      items[l] = static_cast<Field>(nurand(rng, 255, 0, cfg.n_items - 1, 42));
+      qtys[l] = static_cast<Field>(rng.uniform(1, 10));
+    }
+    return std::vector<Record>{
+        Record{static_cast<Field>(rng.uniform(0, cfg.n_warehouses - 1))},
+        Record{static_cast<Field>(
+            rng.uniform(0, cfg.districts_per_warehouse - 1))},
+        Record{static_cast<Field>(
+            rng.uniform(0, cfg.customers_per_district - 1))},
+        std::move(items), std::move(qtys)};
+  };
+  return profile;
+}
+
+TxProfile Tpcc::make_payment() const {
+  // Params: 0=w, 1=d, 2=c, 3=amount, 4=history id.
+  ProgramBuilder b("tpcc.payment", 5);
+  const VarId p_w = b.param(0), p_d = b.param(1), p_c = b.param(2);
+  const VarId p_amt = b.param(3), p_hist = b.param(4);
+
+  const VarId wh = b.remote_read(
+      kWarehouse, {p_w},
+      [this, p_w](const TxEnv& e) { return warehouse_key(e.geti(p_w)); },
+      "read warehouse");
+  b.local({wh, p_amt}, {wh},
+          [wh, p_amt](TxEnv& e) {
+            Record r = e.get(wh);
+            r[kWhYtd] += e.geti(p_amt);
+            e.write_object(wh, std::move(r));
+          },
+          "update warehouse ytd");
+  const VarId dist = b.remote_read(
+      kDistrict, {p_w, p_d},
+      [this, p_w, p_d](const TxEnv& e) {
+        return district_key(e.geti(p_w), e.geti(p_d));
+      },
+      "read district");
+  b.local({dist, p_amt}, {dist},
+          [dist, p_amt](TxEnv& e) {
+            Record r = e.get(dist);
+            r[kDYtd] += e.geti(p_amt);
+            e.write_object(dist, std::move(r));
+          },
+          "update district ytd");
+  const VarId cust = b.remote_read(
+      kCustomer, {p_w, p_d, p_c},
+      [this, p_w, p_d, p_c](const TxEnv& e) {
+        return customer_key(e.geti(p_w), e.geti(p_d), e.geti(p_c));
+      },
+      "read customer");
+  b.local({cust, p_amt}, {cust},
+          [cust, p_amt](TxEnv& e) {
+            Record r = e.get(cust);
+            const Field amt = e.geti(p_amt);
+            r[kCBalance] -= amt;
+            r[kCYtdPayment] += amt;
+            r[kCPaymentCnt] += 1;
+            e.write_object(cust, std::move(r));
+          },
+          "pay");
+  b.local({cust, p_w, p_d, p_c, p_amt, p_hist}, {},
+          [this, p_w, p_d, p_c, p_amt, p_hist](TxEnv& e) {
+            const auto c_key = customer_key(e.geti(p_w), e.geti(p_d),
+                                            e.geti(p_c));
+            e.insert_object(history_key(e.geti(p_hist)),
+                            Record{static_cast<Field>(c_key.id),
+                                   e.geti(p_amt)});
+          },
+          "insert history");
+
+  TxProfile profile;
+  profile.program = std::make_unique<ir::TxProgram>(b.build());
+  profile.static_model =
+      build_dependency_model(*profile.program, AttachPolicy::kLatestProducer);
+  profile.manual_sequence = initial_sequence(profile.static_model);
+
+  const TpccConfig cfg = config_;
+  profile.make_params = [cfg](Rng& rng, int /*phase*/) {
+    return std::vector<Record>{
+        Record{static_cast<Field>(rng.uniform(0, cfg.n_warehouses - 1))},
+        Record{static_cast<Field>(
+            rng.uniform(0, cfg.districts_per_warehouse - 1))},
+        Record{static_cast<Field>(
+            rng.uniform(0, cfg.customers_per_district - 1))},
+        Record{static_cast<Field>(rng.uniform(1, 500))},
+        Record{static_cast<Field>(rng.uniform(0, (1ULL << 62) - 1))}};
+  };
+  return profile;
+}
+
+void Tpcc::delivery_ops(ProgramBuilder& b, VarId p_w,
+                        std::vector<VarId> d_deps,
+                        std::function<Field(const TxEnv&)> d_of,
+                        VarId p_carrier, const std::string& suffix) const {
+  auto key_deps = [&](std::initializer_list<VarId> extra) {
+    std::vector<VarId> deps{p_w};
+    deps.insert(deps.end(), d_deps.begin(), d_deps.end());
+    deps.insert(deps.end(), extra.begin(), extra.end());
+    return deps;
+  };
+
+  const VarId cursor = b.remote_read(
+      kDeliveryCursor, key_deps({}),
+      [this, p_w, d_of](const TxEnv& e) {
+        return cursor_key(e.geti(p_w), d_of(e));
+      },
+      "read cursor" + suffix);
+  const VarId slot = b.fresh_var();
+  b.local({cursor}, {cursor, slot},
+          [cursor, slot](TxEnv& e) {
+            Record r = e.get(cursor);
+            e.seti(slot, r[0]);
+            r[0] += 1;
+            e.write_object(cursor, std::move(r));
+          },
+          "advance cursor" + suffix);
+  const VarId order = b.remote_read(
+      kOrder, key_deps({slot}),
+      [this, p_w, d_of, slot](const TxEnv& e) {
+        return order_key(e.geti(p_w), d_of(e), e.geti(slot));
+      },
+      "read order" + suffix);
+  b.local({order, p_carrier}, {order},
+          [order, p_carrier](TxEnv& e) {
+            Record r = e.get(order);
+            r[kOCarrier] = e.geti(p_carrier);
+            e.write_object(order, std::move(r));
+          },
+          "stamp carrier" + suffix);
+  const VarId line = b.remote_read(
+      kOrderLine, key_deps({slot}),
+      [this, p_w, d_of, slot](const TxEnv& e) {
+        return order_line_key(e.geti(p_w), d_of(e), e.geti(slot), 0);
+      },
+      "read order line" + suffix);
+  const VarId amount = b.fresh_var();
+  b.local({line}, {line, amount},
+          [line, amount](TxEnv& e) {
+            Record r = e.get(line);
+            e.seti(amount, r[kOlAmount]);
+            r[kOlDelivered] = 1;
+            e.write_object(line, std::move(r));
+          },
+          "stamp line" + suffix);
+  const VarId cust = b.remote_read(
+      kCustomer, key_deps({order}),
+      [this, p_w, d_of, order](const TxEnv& e) {
+        return customer_key(e.geti(p_w), d_of(e), e.get(order)[kOCid]);
+      },
+      "read customer" + suffix);
+  b.local({cust, amount}, {cust},
+          [cust, amount](TxEnv& e) {
+            Record r = e.get(cust);
+            const Field amt = e.geti(amount);
+            r[kCBalance] += amt;
+            r[kCDelivered] += amt;
+            r[kCDeliveryCnt] += 1;
+            e.write_object(cust, std::move(r));
+          },
+          "credit customer" + suffix);
+}
+
+TxProfile Tpcc::make_delivery() const {
+  // Params: 0=w, 1=d, 2=carrier.
+  ProgramBuilder b("tpcc.delivery", 3);
+  const VarId p_w = b.param(0), p_d = b.param(1), p_carrier = b.param(2);
+  delivery_ops(b, p_w, {p_d},
+               [p_d](const TxEnv& e) { return e.geti(p_d); }, p_carrier, "");
+
+  TxProfile profile;
+  profile.program = std::make_unique<ir::TxProgram>(b.build());
+  profile.static_model =
+      build_dependency_model(*profile.program, AttachPolicy::kLatestProducer);
+  profile.manual_sequence = initial_sequence(profile.static_model);
+
+  const TpccConfig cfg = config_;
+  profile.make_params = [cfg](Rng& rng, int /*phase*/) {
+    return std::vector<Record>{
+        Record{static_cast<Field>(rng.uniform(0, cfg.n_warehouses - 1))},
+        Record{static_cast<Field>(
+            rng.uniform(0, cfg.districts_per_warehouse - 1))},
+        Record{static_cast<Field>(rng.uniform(1, 10))}};
+  };
+  return profile;
+}
+
+TxProfile Tpcc::make_delivery_all() const {
+  // Full-spec Delivery: one transaction processes every district of the
+  // warehouse.  Params: 0=w, 1=carrier.
+  ProgramBuilder b("tpcc.delivery_all", 2);
+  const VarId p_w = b.param(0), p_carrier = b.param(1);
+  for (Field d = 0; d < static_cast<Field>(config_.districts_per_warehouse);
+       ++d) {
+    delivery_ops(b, p_w, {}, [d](const TxEnv&) { return d; }, p_carrier,
+                 " d" + std::to_string(d));
+  }
+
+  TxProfile profile;
+  profile.program = std::make_unique<ir::TxProgram>(b.build());
+  profile.static_model =
+      build_dependency_model(*profile.program, AttachPolicy::kLatestProducer);
+  // Manual QR-CN: one sub-transaction per district (each district's four
+  // accesses form a natural unit-of-work).
+  BlockSequence manual;
+  const std::size_t units = profile.static_model.units.size();
+  const std::size_t per_district = units / config_.districts_per_warehouse;
+  for (std::size_t u = 0; u < units; ++u) {
+    if (per_district == 0 || u % per_district == 0) manual.push_back({{u}});
+    else manual.back().units.push_back(u);
+  }
+  profile.manual_sequence = std::move(manual);
+  if (!sequence_valid(profile.manual_sequence, profile.static_model))
+    throw std::logic_error("tpcc.delivery_all: manual sequence invalid");
+
+  const TpccConfig cfg = config_;
+  profile.make_params = [cfg](Rng& rng, int /*phase*/) {
+    return std::vector<Record>{
+        Record{static_cast<Field>(rng.uniform(0, cfg.n_warehouses - 1))},
+        Record{static_cast<Field>(rng.uniform(1, 10))}};
+  };
+  return profile;
+}
+
+TxProfile Tpcc::make_orderstatus() const {
+  // Read-only: customer's latest order and its first line.
+  // Params: 0=w, 1=d, 2=c.
+  ProgramBuilder b("tpcc.orderstatus", 3);
+  const VarId p_w = b.param(0), p_d = b.param(1), p_c = b.param(2);
+
+  const VarId cust = b.remote_read(
+      kCustomer, {p_w, p_d, p_c},
+      [this, p_w, p_d, p_c](const TxEnv& e) {
+        return customer_key(e.geti(p_w), e.geti(p_d), e.geti(p_c));
+      },
+      "read customer");
+  const VarId dist = b.remote_read(
+      kDistrict, {p_w, p_d},
+      [this, p_w, p_d](const TxEnv& e) {
+        return district_key(e.geti(p_w), e.geti(p_d));
+      },
+      "read district");
+  const VarId last_oid = b.fresh_var();
+  b.local({dist}, {last_oid},
+          [dist, last_oid](TxEnv& e) {
+            e.seti(last_oid, e.get(dist)[kDNextOid] - 1);
+          },
+          "latest o_id");
+  const VarId order = b.remote_read(
+      kOrder, {p_w, p_d, last_oid},
+      [this, p_w, p_d, last_oid](const TxEnv& e) {
+        return order_key(e.geti(p_w), e.geti(p_d), e.geti(last_oid));
+      },
+      "read order");
+  const VarId line = b.remote_read(
+      kOrderLine, {p_w, p_d, last_oid},
+      [this, p_w, p_d, last_oid](const TxEnv& e) {
+        return order_line_key(e.geti(p_w), e.geti(p_d), e.geti(last_oid), 0);
+      },
+      "read order line");
+  const VarId status = b.fresh_var();
+  b.local({cust, order, line}, {status},
+          [=](TxEnv& e) {
+            e.seti(status, e.get(cust)[kCBalance] + e.get(order)[kOCarrier] +
+                               e.get(line)[kOlAmount]);
+          },
+          "summarize");
+
+  TxProfile profile;
+  profile.program = std::make_unique<ir::TxProgram>(b.build());
+  profile.static_model =
+      build_dependency_model(*profile.program, AttachPolicy::kLatestProducer);
+  profile.manual_sequence = initial_sequence(profile.static_model);
+
+  const TpccConfig cfg = config_;
+  profile.make_params = [cfg](Rng& rng, int /*phase*/) {
+    return std::vector<Record>{
+        Record{static_cast<Field>(rng.uniform(0, cfg.n_warehouses - 1))},
+        Record{static_cast<Field>(
+            rng.uniform(0, cfg.districts_per_warehouse - 1))},
+        Record{static_cast<Field>(
+            rng.uniform(0, cfg.customers_per_district - 1))}};
+  };
+  return profile;
+}
+
+TxProfile Tpcc::make_stocklevel() const {
+  // Read-only: how low is the stock behind the district's latest order?
+  // Params: 0=w, 1=d, 2=threshold.
+  ProgramBuilder b("tpcc.stocklevel", 3);
+  const VarId p_w = b.param(0), p_d = b.param(1), p_threshold = b.param(2);
+
+  const VarId dist = b.remote_read(
+      kDistrict, {p_w, p_d},
+      [this, p_w, p_d](const TxEnv& e) {
+        return district_key(e.geti(p_w), e.geti(p_d));
+      },
+      "read district");
+  const VarId last_oid = b.fresh_var();
+  b.local({dist}, {last_oid},
+          [dist, last_oid](TxEnv& e) {
+            e.seti(last_oid, e.get(dist)[kDNextOid] - 1);
+          },
+          "latest o_id");
+  const VarId line = b.remote_read(
+      kOrderLine, {p_w, p_d, last_oid},
+      [this, p_w, p_d, last_oid](const TxEnv& e) {
+        return order_line_key(e.geti(p_w), e.geti(p_d), e.geti(last_oid), 0);
+      },
+      "read order line");
+  const VarId stock = b.remote_read(
+      kStock, {p_w, line},
+      [this, p_w, line](const TxEnv& e) {
+        return stock_key(e.geti(p_w), e.get(line)[kOlItem]);
+      },
+      "read stock");
+  const VarId low = b.fresh_var();
+  b.local({stock, p_threshold}, {low},
+          [=](TxEnv& e) {
+            e.seti(low, e.get(stock)[kSQty] < e.geti(p_threshold) ? 1 : 0);
+          },
+          "compare threshold");
+
+  TxProfile profile;
+  profile.program = std::make_unique<ir::TxProgram>(b.build());
+  profile.static_model =
+      build_dependency_model(*profile.program, AttachPolicy::kLatestProducer);
+  profile.manual_sequence = initial_sequence(profile.static_model);
+
+  const TpccConfig cfg = config_;
+  profile.make_params = [cfg](Rng& rng, int /*phase*/) {
+    return std::vector<Record>{
+        Record{static_cast<Field>(rng.uniform(0, cfg.n_warehouses - 1))},
+        Record{static_cast<Field>(
+            rng.uniform(0, cfg.districts_per_warehouse - 1))},
+        Record{static_cast<Field>(rng.uniform(10, 20))}};
+  };
+  return profile;
+}
+
+void Tpcc::seed(const std::vector<dtm::Server*>& servers) {
+  const auto W = static_cast<Field>(config_.n_warehouses);
+  const auto D = static_cast<Field>(config_.districts_per_warehouse);
+  const auto C = static_cast<Field>(config_.customers_per_district);
+  const auto I = static_cast<Field>(config_.n_items);
+  const auto R = static_cast<Field>(config_.order_ring);
+
+  for (Field i = 0; i < I; ++i)
+    seed_all(servers, item_key(i), Record{100 + i % 100});
+
+  for (Field w = 0; w < W; ++w) {
+    seed_all(servers, warehouse_key(w), Record{0, 50 + w * 10});
+    for (Field i = 0; i < I; ++i)
+      seed_all(servers, stock_key(w, i), Record{50 + i % 50, 0, 0});
+    for (Field d = 0; d < D; ++d) {
+      seed_all(servers, district_key(w, d), Record{R, 0, (w * 3 + d) % 20});
+      seed_all(servers, cursor_key(w, d), Record{0});
+      for (Field c = 0; c < C; ++c)
+        seed_all(servers, customer_key(w, d, c),
+                 Record{config_.initial_customer_balance, 0, 0, 0, 0});
+      for (Field o = 0; o < R; ++o) {
+        seed_all(servers, order_key(w, d, o),
+                 Record{o % C, 0, static_cast<Field>(kOrderLines)});
+        seed_all(servers, new_order_key(w, d, o), Record{o});
+        for (std::size_t l = 0; l < kOrderLines; ++l) {
+          const Field item = (o * 7 + static_cast<Field>(l)) % I;
+          const Field qty = 1 + static_cast<Field>(l);
+          seed_all(servers, order_line_key(w, d, o, l),
+                   Record{item, qty, (100 + item % 100) * qty, 0});
+        }
+      }
+    }
+  }
+}
+
+void Tpcc::check_invariants(const std::vector<dtm::Server*>& servers) const {
+  const auto W = static_cast<Field>(config_.n_warehouses);
+  const auto D = static_cast<Field>(config_.districts_per_warehouse);
+  const auto C = static_cast<Field>(config_.customers_per_district);
+  const auto I = static_cast<Field>(config_.n_items);
+  const auto R = static_cast<Field>(config_.order_ring);
+
+  for (Field w = 0; w < W; ++w) {
+    for (Field i = 0; i < I; ++i) {
+      const auto stock = latest_value(servers, stock_key(w, i)).value;
+      if (stock[kSQty] < 1)
+        throw std::runtime_error("tpcc: stock quantity below 1 at w=" +
+                                 std::to_string(w) + " i=" + std::to_string(i));
+    }
+    for (Field d = 0; d < D; ++d) {
+      const auto district = latest_value(servers, district_key(w, d)).value;
+      if (district[kDNextOid] < R)
+        throw std::runtime_error("tpcc: district next_o_id regressed");
+      for (Field c = 0; c < C; ++c) {
+        const auto cust = latest_value(servers, customer_key(w, d, c)).value;
+        const Field net =
+            cust[kCBalance] + cust[kCYtdPayment] - cust[kCDelivered];
+        if (net != config_.initial_customer_balance)
+          throw std::runtime_error(
+              "tpcc: customer balance conservation violated at w=" +
+              std::to_string(w) + " d=" + std::to_string(d) +
+              " c=" + std::to_string(c));
+      }
+    }
+  }
+}
+
+}  // namespace acn::workloads

@@ -1,0 +1,160 @@
+// TPC-C benchmark (scaled-down, in-memory) over the DTM object store.
+//
+// Tables: warehouse, district, customer, item, stock, order, new-order,
+// order-line, history, plus a per-district delivery cursor standing in for
+// the "oldest undelivered new-order" index lookup.  Orders live in a ring
+// of `order_ring` slots per district: NewOrder inserts into slot
+// o_id % ring, Delivery consumes slots through the cursor, so steady state
+// needs no unbounded growth (slots are re-inserted as ids advance; the
+// access *pattern* — insert fresh order objects, deliver the oldest — is
+// preserved, which is what contention depends on).
+//
+// Transaction profiles implemented (the ones Figure 4 uses):
+//   * NewOrder — read warehouse; read district and take/advance next_o_id
+//     (the hot spot); read customer; per order line (fixed at 5): read
+//     item, read+update stock; insert order, new-order and order lines.
+//   * Payment — update warehouse YTD (hot: only a couple of warehouses),
+//     update district YTD (hot), update customer balance, insert history.
+//   * Delivery — advance the district's delivery cursor, stamp the order's
+//     carrier, stamp the first order line's delivery date, credit the
+//     customer.  All accesses spread uniformly over many objects: the
+//     uniform-low-contention regime of Figure 4(d).
+//
+// Checked invariants: stock quantity stays >= 1 (the TPC-C restock rule);
+// district next_o_id never regresses; per customer,
+// balance + ytd_payment - delivered_credit == initial balance (Payment
+// moves balance into ytd_payment; Delivery credits balance and records the
+// same amount in delivered_credit).
+#pragma once
+
+#include "src/workloads/workload.hpp"
+
+namespace acn::workloads {
+
+struct TpccConfig {
+  std::size_t n_warehouses = 2;
+  std::size_t districts_per_warehouse = 10;
+  std::size_t customers_per_district = 100;
+  std::size_t n_items = 400;
+  std::size_t order_ring = 64;  // pre-seeded order slots per district
+  store::Field initial_customer_balance = 5'000;
+
+  /// NewOrder order-line count range (TPC-C: uniform 5..15).  The IR is a
+  /// static op list, so one program variant is built per count and the
+  /// profile weight is split across them.  The figure benches keep the
+  /// default single variant (5) for run-to-run comparability.
+  std::size_t min_order_lines = 5;
+  std::size_t max_order_lines = 5;
+
+  /// Full-spec Delivery processes *all* districts of a warehouse in one
+  /// transaction (~4x districts remote accesses — the long-transaction
+  /// case where partial rollback saves the most work).  The default
+  /// one-district variant keeps Figure 4(d)'s uniform-low-contention
+  /// regime.
+  bool delivery_all_districts = false;
+
+  // Profile mix; the figure benches set exactly one or two of these.
+  double w_neworder = 1.0;
+  double w_payment = 0.0;
+  double w_delivery = 0.0;
+  double w_orderstatus = 0.0;  // read-only
+  double w_stocklevel = 0.0;   // read-only
+};
+
+class Tpcc final : public Workload {
+ public:
+  static constexpr ir::ClassId kWarehouse = 1;
+  static constexpr ir::ClassId kDistrict = 2;
+  static constexpr ir::ClassId kCustomer = 3;
+  static constexpr ir::ClassId kItem = 4;
+  static constexpr ir::ClassId kStock = 5;
+  static constexpr ir::ClassId kOrder = 6;
+  static constexpr ir::ClassId kNewOrder = 7;
+  static constexpr ir::ClassId kOrderLine = 8;
+  static constexpr ir::ClassId kHistory = 9;
+  static constexpr ir::ClassId kDeliveryCursor = 10;
+
+  static constexpr std::size_t kOrderLines = 5;  // seeded lines per ring order
+  static constexpr std::size_t kLineSlots = 16;  // key stride per order
+
+  explicit Tpcc(TpccConfig config = {});
+
+  std::string name() const override { return "tpcc"; }
+  void seed(const std::vector<dtm::Server*>& servers) override;
+  const std::vector<TxProfile>& profiles() const override { return profiles_; }
+  void check_invariants(const std::vector<dtm::Server*>& servers) const override;
+
+  const TpccConfig& config() const noexcept { return config_; }
+
+  // -- key construction ------------------------------------------------
+  std::uint64_t district_index(store::Field w, store::Field d) const {
+    return static_cast<std::uint64_t>(w) * districts_per_warehouse_ +
+           static_cast<std::uint64_t>(d);
+  }
+  store::ObjectKey warehouse_key(store::Field w) const {
+    return {kWarehouse, static_cast<std::uint64_t>(w)};
+  }
+  store::ObjectKey district_key(store::Field w, store::Field d) const {
+    return {kDistrict, district_index(w, d)};
+  }
+  store::ObjectKey cursor_key(store::Field w, store::Field d) const {
+    return {kDeliveryCursor, district_index(w, d)};
+  }
+  store::ObjectKey customer_key(store::Field w, store::Field d,
+                                store::Field c) const {
+    return {kCustomer,
+            district_index(w, d) * customers_per_district_ +
+                static_cast<std::uint64_t>(c)};
+  }
+  store::ObjectKey item_key(store::Field i) const {
+    return {kItem, static_cast<std::uint64_t>(i)};
+  }
+  store::ObjectKey stock_key(store::Field w, store::Field i) const {
+    return {kStock, static_cast<std::uint64_t>(w) * n_items_ +
+                        static_cast<std::uint64_t>(i)};
+  }
+  std::uint64_t order_slot(store::Field w, store::Field d,
+                           store::Field o_id) const {
+    return district_index(w, d) * order_ring_ +
+           static_cast<std::uint64_t>(o_id) % order_ring_;
+  }
+  store::ObjectKey order_key(store::Field w, store::Field d,
+                             store::Field o_id) const {
+    return {kOrder, order_slot(w, d, o_id)};
+  }
+  store::ObjectKey new_order_key(store::Field w, store::Field d,
+                                 store::Field o_id) const {
+    return {kNewOrder, order_slot(w, d, o_id)};
+  }
+  store::ObjectKey order_line_key(store::Field w, store::Field d,
+                                  store::Field o_id, std::size_t line) const {
+    return {kOrderLine, order_slot(w, d, o_id) * kLineSlots + line};
+  }
+  store::ObjectKey history_key(store::Field unique_id) const {
+    return {kHistory, static_cast<std::uint64_t>(unique_id)};
+  }
+
+ private:
+  TxProfile make_neworder(std::size_t order_lines) const;
+  TxProfile make_payment() const;
+  TxProfile make_delivery() const;
+  TxProfile make_delivery_all() const;
+  /// Appends one district's delivery ops (cursor/order/line/customer) to a
+  /// program under construction.  `d_of` resolves the district id at run
+  /// time; `d_deps` are the vars it consumes (empty for a constant).
+  void delivery_ops(ir::ProgramBuilder& b, ir::VarId p_w,
+                    std::vector<ir::VarId> d_deps,
+                    std::function<store::Field(const ir::TxEnv&)> d_of,
+                    ir::VarId p_carrier, const std::string& suffix) const;
+  TxProfile make_orderstatus() const;
+  TxProfile make_stocklevel() const;
+
+  TpccConfig config_;
+  std::uint64_t districts_per_warehouse_;
+  std::uint64_t customers_per_district_;
+  std::uint64_t n_items_;
+  std::uint64_t order_ring_;
+  std::vector<TxProfile> profiles_;
+};
+
+}  // namespace acn::workloads

@@ -1,0 +1,260 @@
+#include "src/workloads/vacation.hpp"
+
+#include <stdexcept>
+
+namespace acn::workloads {
+namespace {
+
+using ir::ProgramBuilder;
+using ir::Record;
+using ir::TxEnv;
+using ir::VarId;
+using store::Field;
+
+// Item record fields.
+constexpr std::size_t kFree = 0;
+constexpr std::size_t kReserved = 1;
+constexpr std::size_t kPrice = 2;
+// Customer record fields.
+constexpr std::size_t kSpent = 0;
+constexpr std::size_t kBookings = 1;
+
+Field price_of(ir::ClassId table, Field id) {
+  return 50 + static_cast<Field>(table) * 25 + id % 50;
+}
+
+}  // namespace
+
+Vacation::Vacation(VacationConfig config) : config_(config) {
+  if (config_.n_items == 0 || config_.n_customers == 0)
+    throw std::invalid_argument("Vacation: empty tables");
+  profiles_.push_back(make_reservation());
+  if (config_.cancel_fraction > 0.0) profiles_.push_back(make_cancel());
+  profiles_.push_back(make_query());
+}
+
+TxProfile Vacation::make_reservation() const {
+  // Params: 0=customer, 1=car item, 2=flight item, 3=room item.
+  ProgramBuilder b("vacation.make_reservation", 4);
+  const VarId p_cust = b.param(0);
+
+  const VarId cust = b.remote_read(
+      kCustomer, {p_cust},
+      [p_cust](const TxEnv& e) { return customer_key(e.geti(p_cust)); },
+      "read customer");
+
+  VarId item_var[3];
+  VarId charge_var[3];  // price paid for this table, 0 when unavailable
+  const char* labels_read[3] = {"read car", "read flight", "read room"};
+  const char* labels_res[3] = {"reserve car", "reserve flight", "reserve room"};
+  for (int t = 0; t < 3; ++t) {
+    const ir::ClassId table = kTables[t];
+    const VarId p_item = b.param(static_cast<std::size_t>(1 + t));
+    item_var[t] = b.remote_read(
+        table, {p_item},
+        [table, p_item](const TxEnv& e) {
+          return item_key(table, e.geti(p_item));
+        },
+        labels_read[t]);
+    charge_var[t] = b.fresh_var();
+    const VarId iv = item_var[t];
+    const VarId cv = charge_var[t];
+    b.local({iv}, {iv, cv},
+            [iv, cv](TxEnv& e) {
+              Record r = e.get(iv);
+              if (r[kFree] > 0) {
+                r[kFree] -= 1;
+                r[kReserved] += 1;
+                e.seti(cv, r[kPrice]);
+                e.write_object(iv, std::move(r));
+              } else {
+                e.seti(cv, 0);
+              }
+            },
+            labels_res[t]);
+  }
+
+  b.local({cust, charge_var[0], charge_var[1], charge_var[2]}, {cust},
+          [=](TxEnv& e) {
+            Record r = e.get(cust);
+            Field booked = 0;
+            for (const VarId cv : charge_var) {
+              const Field price = e.geti(cv);
+              r[kSpent] += price;
+              if (price > 0) booked += 1;
+            }
+            r[kBookings] += booked;
+            e.write_object(cust, std::move(r));
+          },
+          "charge customer");
+
+  TxProfile profile;
+  profile.program = std::make_unique<ir::TxProgram>(b.build());
+  profile.static_model =
+      build_dependency_model(*profile.program, AttachPolicy::kLatestProducer);
+  // Manual QR-CN: one sub-transaction per table access, program order — the
+  // natural decomposition for the deployment-time workload (cars hot).
+  profile.manual_sequence = initial_sequence(profile.static_model);
+
+  const VacationConfig cfg = config_;
+  profile.weight = cfg.write_fraction * (1.0 - cfg.cancel_fraction);
+  profile.make_params = [cfg](Rng& rng, int phase) {
+    const int hot_table = phase % 3;
+    std::vector<Record> params;
+    params.push_back(
+        Record{static_cast<Field>(rng.uniform(0, cfg.n_customers - 1))});
+    const std::size_t hot_items = std::min(cfg.hot_items, cfg.n_items);
+    for (int t = 0; t < 3; ++t) {
+      Field id;
+      if (t == hot_table && rng.bernoulli(cfg.hot_probability))
+        id = static_cast<Field>(rng.uniform(0, hot_items - 1));
+      else
+        id = static_cast<Field>(rng.uniform(0, cfg.n_items - 1));
+      params.push_back(Record{id});
+    }
+    return params;
+  };
+  return profile;
+}
+
+TxProfile Vacation::make_cancel() const {
+  // Cancel one reservation: give the seat back to the item, refund the
+  // item's price from the customer.  Both sides update together (or the
+  // transaction is a no-op), so free+reserved and money conservation hold.
+  // Params: 0=customer, 1=table index, 2=item.
+  ProgramBuilder b("vacation.cancel", 3);
+  const VarId p_cust = b.param(0);
+  const VarId p_table = b.param(1);
+  const VarId p_item = b.param(2);
+
+  const VarId cust = b.remote_read(
+      kCustomer, {p_cust},
+      [p_cust](const TxEnv& e) { return customer_key(e.geti(p_cust)); },
+      "read customer");
+  const VarId item = b.remote_read(
+      kCar /* class for analysis; actual table varies */, {p_table, p_item},
+      [p_table, p_item](const TxEnv& e) {
+        return item_key(static_cast<ir::ClassId>(kTables[e.geti(p_table)]),
+                        e.geti(p_item));
+      },
+      "read item");
+  b.local({cust, item}, {cust, item},
+          [cust, item](TxEnv& e) {
+            Record c = e.get(cust);
+            Record r = e.get(item);
+            if (c[kBookings] > 0 && r[kReserved] > 0) {
+              r[kReserved] -= 1;
+              r[kFree] += 1;
+              c[kSpent] -= r[kPrice];
+              c[kBookings] -= 1;
+              e.write_object(item, std::move(r));
+              e.write_object(cust, std::move(c));
+            }
+          },
+          "cancel reservation");
+
+  TxProfile profile;
+  profile.program = std::make_unique<ir::TxProgram>(b.build());
+  profile.static_model =
+      build_dependency_model(*profile.program, AttachPolicy::kLatestProducer);
+  profile.manual_sequence = initial_sequence(profile.static_model);
+
+  const VacationConfig cfg = config_;
+  profile.weight = cfg.write_fraction * cfg.cancel_fraction;
+  profile.make_params = [cfg](Rng& rng, int phase) {
+    const int hot_table = phase % 3;
+    const Field table = static_cast<Field>(rng.uniform(0, 2));
+    Field id;
+    if (table == hot_table && rng.bernoulli(cfg.hot_probability))
+      id = static_cast<Field>(
+          rng.uniform(0, std::min(cfg.hot_items, cfg.n_items) - 1));
+    else
+      id = static_cast<Field>(rng.uniform(0, cfg.n_items - 1));
+    return std::vector<Record>{
+        Record{static_cast<Field>(rng.uniform(0, cfg.n_customers - 1))},
+        Record{table}, Record{id}};
+  };
+  return profile;
+}
+
+TxProfile Vacation::make_query() const {
+  // Params: 0=customer, 1=table index, 2=item.
+  ProgramBuilder b("vacation.query", 3);
+  const VarId p_cust = b.param(0);
+  const VarId p_table = b.param(1);
+  const VarId p_item = b.param(2);
+
+  const VarId cust = b.remote_read(
+      kCustomer, {p_cust},
+      [p_cust](const TxEnv& e) { return customer_key(e.geti(p_cust)); },
+      "read customer");
+  const VarId item = b.remote_read(
+      kCar /* class used for analysis; actual table varies */, {p_table, p_item},
+      [p_table, p_item](const TxEnv& e) {
+        return item_key(static_cast<ir::ClassId>(kTables[e.geti(p_table)]),
+                        e.geti(p_item));
+      },
+      "read item");
+  const VarId answer = b.fresh_var();
+  b.local({cust, item}, {answer},
+          [=](TxEnv& e) {
+            e.seti(answer, e.get(item)[kFree] > 0 ? e.get(cust)[kSpent] : -1);
+          },
+          "evaluate");
+
+  TxProfile profile;
+  profile.program = std::make_unique<ir::TxProgram>(b.build());
+  profile.static_model =
+      build_dependency_model(*profile.program, AttachPolicy::kLatestProducer);
+  profile.manual_sequence = initial_sequence(profile.static_model);
+
+  const VacationConfig cfg = config_;
+  profile.weight = 1.0 - cfg.write_fraction;
+  profile.make_params = [cfg](Rng& rng, int phase) {
+    const int hot_table = phase % 3;
+    const Field table = static_cast<Field>(rng.uniform(0, 2));
+    Field id;
+    if (table == hot_table && rng.bernoulli(cfg.hot_probability))
+      id = static_cast<Field>(
+          rng.uniform(0, std::min(cfg.hot_items, cfg.n_items) - 1));
+    else
+      id = static_cast<Field>(rng.uniform(0, cfg.n_items - 1));
+    return std::vector<Record>{
+        Record{static_cast<Field>(rng.uniform(0, cfg.n_customers - 1))},
+        Record{table}, Record{id}};
+  };
+  return profile;
+}
+
+void Vacation::seed(const std::vector<dtm::Server*>& servers) {
+  for (const ir::ClassId table : kTables)
+    for (std::size_t i = 0; i < config_.n_items; ++i) {
+      const auto id = static_cast<Field>(i);
+      seed_all(servers, item_key(table, id),
+               Record{config_.capacity, 0, price_of(table, id)});
+    }
+  for (std::size_t i = 0; i < config_.n_customers; ++i)
+    seed_all(servers, customer_key(static_cast<Field>(i)), Record{0, 0});
+}
+
+void Vacation::check_invariants(const std::vector<dtm::Server*>& servers) const {
+  store::Field reserved_value = 0;
+  for (const ir::ClassId table : kTables)
+    for (std::size_t i = 0; i < config_.n_items; ++i) {
+      const auto id = static_cast<Field>(i);
+      const auto record = latest_value(servers, item_key(table, id)).value;
+      if (record[kFree] + record[kReserved] != config_.capacity)
+        throw std::runtime_error("vacation: capacity violated on item " +
+                                 std::to_string(table) + ":" + std::to_string(i));
+      reserved_value += record[kReserved] * record[kPrice];
+    }
+  store::Field spent = 0;
+  for (std::size_t i = 0; i < config_.n_customers; ++i)
+    spent += latest_value(servers, customer_key(static_cast<Field>(i))).value[kSpent];
+  if (spent != reserved_value)
+    throw std::runtime_error("vacation: money conservation violated: spent " +
+                             std::to_string(spent) + " != reserved value " +
+                             std::to_string(reserved_value));
+}
+
+}  // namespace acn::workloads

@@ -1,0 +1,70 @@
+// Vacation benchmark (STAMP-style travel reservation system).
+//
+// Schema: three item tables — cars, flights, rooms — of `n_items` objects
+// ([free, reserved, price]) plus `n_customers` customers
+// ([spent, reservations]).  The makeReservation transaction reads the
+// customer, then reserves one item from each table (decrement free,
+// increment reserved, when available), and finally charges the customer for
+// what it booked.  10% of transactions are read-only itinerary queries.
+//
+// Phase stimulus (the paper changes the hot objects in the 2nd and 4th
+// intervals): in phase p the *hot table* is p % 3 — item picks for that
+// table concentrate on a small hot range, the other tables stay uniform.
+// QR-ACN should respond by attaching the customer-charge computation to the
+// hot table's UnitBlock and shifting that Block next to the commit phase.
+//
+// Invariants: per item, free + reserved == capacity; globally, the sum
+// customers spent equals the sum over items of reserved * price.
+#pragma once
+
+#include "src/workloads/workload.hpp"
+
+namespace acn::workloads {
+
+struct VacationConfig {
+  std::size_t n_items = 256;      // per table
+  std::size_t n_customers = 1024;
+  store::Field capacity = 1'000'000;  // per item; never exhausted in-bench
+  double write_fraction = 0.9;
+  /// Portion of the write fraction spent cancelling instead of reserving
+  /// (STAMP's deleteCustomer analogue); 0 disables the profile.
+  double cancel_fraction = 0.0;
+
+  std::size_t hot_items = 4;
+  double hot_probability = 0.9;
+};
+
+class Vacation final : public Workload {
+ public:
+  static constexpr ir::ClassId kCar = 1;
+  static constexpr ir::ClassId kFlight = 2;
+  static constexpr ir::ClassId kRoom = 3;
+  static constexpr ir::ClassId kCustomer = 4;
+  static constexpr ir::ClassId kTables[3] = {kCar, kFlight, kRoom};
+
+  explicit Vacation(VacationConfig config = {});
+
+  std::string name() const override { return "vacation"; }
+  void seed(const std::vector<dtm::Server*>& servers) override;
+  const std::vector<TxProfile>& profiles() const override { return profiles_; }
+  void check_invariants(const std::vector<dtm::Server*>& servers) const override;
+
+  const VacationConfig& config() const noexcept { return config_; }
+
+  static store::ObjectKey item_key(ir::ClassId table, store::Field id) {
+    return {table, static_cast<std::uint64_t>(id)};
+  }
+  static store::ObjectKey customer_key(store::Field id) {
+    return {kCustomer, static_cast<std::uint64_t>(id)};
+  }
+
+ private:
+  TxProfile make_reservation() const;
+  TxProfile make_cancel() const;
+  TxProfile make_query() const;
+
+  VacationConfig config_;
+  std::vector<TxProfile> profiles_;
+};
+
+}  // namespace acn::workloads

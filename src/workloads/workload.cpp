@@ -1,0 +1,41 @@
+#include "src/workloads/workload.hpp"
+
+#include <stdexcept>
+
+namespace acn::workloads {
+
+store::VersionedRecord latest_value(const std::vector<dtm::Server*>& servers,
+                                    const store::ObjectKey& key) {
+  store::VersionedRecord best;
+  bool found = false;
+  for (const dtm::Server* server : servers) {
+    const auto result = server->store().read(key);
+    if (result.status != store::ReadStatus::kOk) continue;
+    if (!found || result.record.version > best.version) {
+      best = result.record;
+      found = true;
+    }
+  }
+  if (!found)
+    throw std::runtime_error("latest_value: no replica holds " +
+                             store::to_string(key));
+  return best;
+}
+
+void seed_all(const std::vector<dtm::Server*>& servers,
+              const store::ObjectKey& key, const store::Record& value) {
+  for (dtm::Server* server : servers) server->store().seed(key, value);
+}
+
+std::size_t pick_profile(const std::vector<TxProfile>& profiles, Rng& rng) {
+  double total = 0.0;
+  for (const auto& p : profiles) total += p.weight;
+  double roll = rng.uniform01() * total;
+  for (std::size_t i = 0; i < profiles.size(); ++i) {
+    roll -= profiles[i].weight;
+    if (roll <= 0.0) return i;
+  }
+  return profiles.size() - 1;
+}
+
+}  // namespace acn::workloads

@@ -1,0 +1,273 @@
+// Algorithm Module tests: contention models, the three adaptation steps,
+// their ablation switches, and the paper's Bank example end-to-end
+// (Figure 1 flat code -> Figure 3 Block arrangement).
+#include <gtest/gtest.h>
+
+#include "src/acn/algorithm_module.hpp"
+#include "src/acn/monitor.hpp"
+#include "src/workloads/bank.hpp"
+
+namespace acn {
+namespace {
+
+using ir::ProgramBuilder;
+using ir::TxEnv;
+using ir::TxProgram;
+using ir::VarId;
+using store::ObjectKey;
+
+TEST(ContentionModels, WriteRateIsIdentityAndAdditive) {
+  WriteRateModel m;
+  EXPECT_DOUBLE_EQ(m.object_level(7), 7.0);
+  EXPECT_DOUBLE_EQ(m.combine({1.0, 2.0, 3.0}), 6.0);
+  EXPECT_DOUBLE_EQ(m.combine({}), 0.0);
+}
+
+TEST(ContentionModels, AbortProbabilitySaturates) {
+  AbortProbabilityModel m(16.0);
+  EXPECT_DOUBLE_EQ(m.object_level(0), 0.0);
+  EXPECT_DOUBLE_EQ(m.object_level(16), 0.5);
+  EXPECT_LT(m.object_level(1000), 1.0);
+  EXPECT_GT(m.object_level(1000), 0.95);
+  // Block of two 50% objects aborts 75% of the time.
+  EXPECT_DOUBLE_EQ(m.combine({0.5, 0.5}), 0.75);
+  EXPECT_DOUBLE_EQ(m.combine({}), 0.0);
+}
+
+TEST(ContentionModels, DefaultModelExists) {
+  EXPECT_NE(default_contention_model(), nullptr);
+}
+
+/// Three independent accesses of classes 1, 2, 3.
+TxProgram independent3() {
+  ProgramBuilder b("indep3", 0);
+  for (ir::ClassId cls : {1u, 2u, 3u})
+    b.remote_read(cls, {},
+                  [cls](const TxEnv&) { return ObjectKey{cls, 0}; },
+                  "read " + std::to_string(cls));
+  return b.build();
+}
+
+/// Chain: read A (class 1), read B keyed by A (class 2).
+TxProgram chain2() {
+  ProgramBuilder b("chain2", 0);
+  const VarId a = b.remote_read(
+      1, {}, [](const TxEnv&) { return ObjectKey{1, 0}; }, "A");
+  b.remote_read(2, {a}, [](const TxEnv&) { return ObjectKey{2, 0}; }, "B[A]");
+  return b.build();
+}
+
+AlgorithmModule module_for(const TxProgram& p, AlgorithmConfig config = {}) {
+  return AlgorithmModule(p, config, std::make_shared<WriteRateModel>());
+}
+
+TEST(AlgorithmModule, InitialPlanIsStaticOrder) {
+  const auto p = independent3();
+  const auto mod = module_for(p);
+  const auto plan = mod.initial();
+  EXPECT_EQ(plan.sequence.size(), 3u);
+  EXPECT_TRUE(sequence_valid(plan.sequence, plan.model));
+  EXPECT_EQ(plan.model.units[plan.sequence[0].units[0]].classes.front(), 1u);
+}
+
+TEST(AlgorithmModule, ReorderPutsHottestLast) {
+  const auto p = independent3();
+  const auto mod = module_for(p);
+  const auto plan = mod.recompute({{1, 90}, {2, 5}, {3, 30}});
+  ASSERT_EQ(plan.sequence.size(), 3u);
+  EXPECT_TRUE(sequence_valid(plan.sequence, plan.model));
+  // Ascending contention: class 2 (5), class 3 (30), class 1 (90).
+  EXPECT_EQ(plan.model.units[plan.sequence[0].units[0]].classes.front(), 2u);
+  EXPECT_EQ(plan.model.units[plan.sequence[1].units[0]].classes.front(), 3u);
+  EXPECT_EQ(plan.model.units[plan.sequence[2].units[0]].classes.front(), 1u);
+}
+
+TEST(AlgorithmModule, ReorderPreservesDependencies) {
+  const auto p = chain2();
+  const auto mod = module_for(p);
+  // A is much hotter, but B depends on A: A must stay first.
+  const auto plan = mod.recompute({{1, 100}, {2, 1}});
+  EXPECT_TRUE(sequence_valid(plan.sequence, plan.model));
+  if (plan.sequence.size() == 2) {
+    EXPECT_EQ(plan.model.units[plan.sequence[0].units[0]].classes.front(), 1u);
+  } else {
+    // Similar-contention merge may have collapsed the chain to one block —
+    // also valid; ordering constraint then vanishes.
+    EXPECT_EQ(plan.sequence.size(), 1u);
+  }
+}
+
+TEST(AlgorithmModule, MergeJoinsSimilarNeighbours) {
+  const auto p = independent3();
+  AlgorithmConfig config;
+  config.merge_threshold = 0.5;
+  const auto mod = module_for(p, config);
+  const auto plan = mod.recompute({{1, 100}, {2, 100}, {3, 100}});
+  EXPECT_EQ(plan.sequence.size(), 1u);  // all similar -> one block
+  EXPECT_TRUE(sequence_valid(plan.sequence, plan.model));
+}
+
+TEST(AlgorithmModule, MergeRespectsThreshold) {
+  const auto p = independent3();
+  AlgorithmConfig config;
+  config.merge_threshold = 0.1;
+  const auto mod = module_for(p, config);
+  const auto plan = mod.recompute({{1, 100}, {2, 10}, {3, 1}});
+  EXPECT_EQ(plan.sequence.size(), 3u);  // all dissimilar -> no merges
+}
+
+TEST(AlgorithmModule, StrictDependencyMergeSkipsIndependentBlocks) {
+  const auto p = independent3();
+  AlgorithmConfig config;
+  config.merge_requires_dependency = true;
+  const auto mod = module_for(p, config);
+  const auto plan = mod.recompute({{1, 100}, {2, 100}, {3, 100}});
+  EXPECT_EQ(plan.sequence.size(), 3u);  // similar but independent
+}
+
+TEST(AlgorithmModule, StrictDependencyMergeJoinsChains) {
+  const auto p = chain2();
+  AlgorithmConfig config;
+  config.merge_requires_dependency = true;
+  const auto mod = module_for(p, config);
+  const auto plan = mod.recompute({{1, 50}, {2, 50}});
+  EXPECT_EQ(plan.sequence.size(), 1u);
+}
+
+TEST(AlgorithmModule, DisableMergeKeepsUnitBlocks) {
+  const auto p = independent3();
+  AlgorithmConfig config;
+  config.enable_merge = false;
+  const auto mod = module_for(p, config);
+  const auto plan = mod.recompute({{1, 100}, {2, 100}, {3, 100}});
+  EXPECT_EQ(plan.sequence.size(), 3u);
+}
+
+TEST(AlgorithmModule, DisableReorderKeepsStaticOrder) {
+  const auto p = independent3();
+  AlgorithmConfig config;
+  config.enable_reorder = false;
+  config.enable_merge = false;
+  const auto mod = module_for(p, config);
+  const auto plan = mod.recompute({{1, 90}, {2, 5}, {3, 30}});
+  EXPECT_EQ(plan.model.units[plan.sequence[0].units[0]].classes.front(), 1u);
+  EXPECT_EQ(plan.model.units[plan.sequence[2].units[0]].classes.front(), 3u);
+}
+
+TEST(AlgorithmModule, BlockLevelUsesCombinator) {
+  const auto p = independent3();
+  const auto mod = module_for(p);
+  const auto plan = mod.initial();
+  const ClassLevels levels{{1, 10.0}, {2, 20.0}, {3, 30.0}};
+  Block all;
+  for (std::size_t u = 0; u < plan.model.units.size(); ++u)
+    all.units.push_back(u);
+  EXPECT_DOUBLE_EQ(mod.block_level(all, plan.model, levels), 60.0);
+  EXPECT_DOUBLE_EQ(mod.unit_level(plan.model.units[0], levels), 10.0);
+}
+
+TEST(AlgorithmModule, NullModelRejected) {
+  const auto p = independent3();
+  EXPECT_THROW(AlgorithmModule(p, {}, nullptr), std::invalid_argument);
+}
+
+TEST(AlgorithmModule, MergeDoesNotCascadeColdBlocksIntoTheHotOne) {
+  // cust(4) + two warm tables vs one hot table: the cold/warm blocks merge
+  // with each other but must NOT swallow the hot block, even though their
+  // combined abort probability approaches the hot one's.
+  ProgramBuilder b("vac-like", 0);
+  for (ir::ClassId cls : {4u, 1u, 2u, 3u})
+    b.remote_read(cls, {},
+                  [cls](const TxEnv&) { return ObjectKey{cls, 0}; },
+                  "read " + std::to_string(cls));
+  const auto p = b.build();
+  AlgorithmModule mod(p, {}, std::make_shared<AbortProbabilityModel>());
+  const auto plan = mod.recompute({{4, 5}, {1, 400}, {2, 6}, {3, 7}});
+  ASSERT_EQ(plan.sequence.size(), 2u)
+      << describe_sequence(plan.sequence, plan.model);
+  EXPECT_EQ(plan.sequence[0].units.size(), 3u);  // cold merged
+  EXPECT_EQ(plan.model.units[plan.sequence[1].units[0]].classes.front(), 1u);
+}
+
+TEST(AlgorithmModule, SecondMergePassGroupsBlocksSortingMadeAdjacent) {
+  // Interleaved hot/cold accesses (TPC-C item/stock pattern): cold, hot,
+  // cold, hot.  In source order the hot units are never adjacent; after
+  // Step 3 sorts them together the second merge pass must group them.
+  ProgramBuilder b("interleaved", 0);
+  for (ir::ClassId cls : {1u, 2u, 3u, 2u})  // class 2 hot, twice
+    b.remote_read(cls, {},
+                  [cls](const TxEnv&) { return ObjectKey{cls, 0}; }, "r");
+  const auto p = b.build();
+  AlgorithmModule mod(p, {}, std::make_shared<WriteRateModel>());
+  const auto plan = mod.recompute({{1, 2}, {2, 300}, {3, 3}});
+  ASSERT_EQ(plan.sequence.size(), 2u)
+      << describe_sequence(plan.sequence, plan.model);
+  // Last block holds BOTH hot units.
+  EXPECT_EQ(plan.sequence[1].units.size(), 2u);
+  for (std::size_t u : plan.sequence[1].units)
+    EXPECT_EQ(plan.model.units[u].classes.front(), 2u);
+}
+
+TEST(ContentionMonitor, ObserveMergesMaxAndResetClears) {
+  ContentionMonitor monitor({1, 2});
+  monitor.observe({1, 2}, {5, 7});
+  monitor.observe({1, 2}, {9, 3});
+  EXPECT_EQ(monitor.level(1), 9u);
+  EXPECT_EQ(monitor.level(2), 7u);
+  monitor.reset();
+  EXPECT_EQ(monitor.level(1), 0u);
+  EXPECT_TRUE(monitor.raw().empty());
+}
+
+TEST(ContentionMonitor, ClassesDeduplicated) {
+  ContentionMonitor monitor({3, 1, 3, 2, 1});
+  EXPECT_EQ(monitor.classes(), (std::vector<ir::ClassId>{1, 2, 3}));
+}
+
+// --- the paper's Bank example, Figure 1 -> Figure 3 ------------------------
+
+TEST(AlgorithmModule, BankBranchesHotYieldsFigure3Arrangement) {
+  workloads::Bank bank;
+  const auto& transfer = bank.profiles().front();
+  AlgorithmModule mod(*transfer.program, {},
+                      std::make_shared<AbortProbabilityModel>());
+
+  // Branches hot, accounts cold (phase 0 of the benchmark).
+  const auto plan = mod.recompute(
+      {{workloads::Bank::kBranch, 200}, {workloads::Bank::kAccount, 2}});
+  ASSERT_EQ(plan.sequence.size(), 2u) << describe_sequence(plan.sequence,
+                                                           plan.model);
+  EXPECT_TRUE(sequence_valid(plan.sequence, plan.model));
+  // First block: both account UnitBlocks; last block: both branch ones.
+  for (std::size_t u : plan.sequence[0].units)
+    EXPECT_EQ(plan.model.units[u].classes.front(), workloads::Bank::kAccount);
+  for (std::size_t u : plan.sequence[1].units)
+    EXPECT_EQ(plan.model.units[u].classes.front(), workloads::Bank::kBranch);
+}
+
+TEST(AlgorithmModule, BankAccountsHotFlipsTheArrangement) {
+  workloads::Bank bank;
+  const auto& transfer = bank.profiles().front();
+  AlgorithmModule mod(*transfer.program, {},
+                      std::make_shared<AbortProbabilityModel>());
+  const auto plan = mod.recompute(
+      {{workloads::Bank::kBranch, 2}, {workloads::Bank::kAccount, 200}});
+  ASSERT_EQ(plan.sequence.size(), 2u);
+  for (std::size_t u : plan.sequence[0].units)
+    EXPECT_EQ(plan.model.units[u].classes.front(), workloads::Bank::kBranch);
+  for (std::size_t u : plan.sequence[1].units)
+    EXPECT_EQ(plan.model.units[u].classes.front(), workloads::Bank::kAccount);
+}
+
+TEST(AlgorithmModule, BankUniformContentionCollapsesToOneBlock) {
+  workloads::Bank bank;
+  const auto& transfer = bank.profiles().front();
+  AlgorithmModule mod(*transfer.program, {},
+                      std::make_shared<AbortProbabilityModel>());
+  const auto plan = mod.recompute(
+      {{workloads::Bank::kBranch, 50}, {workloads::Bank::kAccount, 50}});
+  EXPECT_EQ(plan.sequence.size(), 1u);  // flat-equivalent, minimal overhead
+}
+
+}  // namespace
+}  // namespace acn

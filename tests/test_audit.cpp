@@ -1,0 +1,207 @@
+// Program-auditor tests: detection of undeclared reads/writes, tolerance
+// of param reads, and a clean audit over EVERY shipped workload program —
+// the guarantee that the dependency declarations driving the Static Module
+// are complete.
+#include <gtest/gtest.h>
+
+#include "src/acn/audit.hpp"
+#include "src/harness/cluster.hpp"
+#include "src/workloads/bank.hpp"
+#include "src/workloads/tpcc.hpp"
+#include "src/workloads/vacation.hpp"
+
+namespace acn {
+namespace {
+
+using ir::ProgramBuilder;
+using ir::Record;
+using ir::TxEnv;
+using ir::TxProgram;
+using ir::VarId;
+using store::ObjectKey;
+
+harness::ClusterConfig fast_config() {
+  harness::ClusterConfig config;
+  config.n_servers = 4;
+  config.base_latency = std::chrono::nanoseconds{0};
+  return config;
+}
+
+const ObjectKey kA{1, 0};
+const ObjectKey kB{2, 0};
+
+TEST(Audit, CleanProgramPasses) {
+  harness::Cluster cluster(fast_config());
+  workloads::seed_all(cluster.servers(), kA, Record{10});
+  auto stub = cluster.make_stub(0);
+
+  ProgramBuilder b("clean", 1);
+  const VarId a = b.remote_read(
+      1, {b.param(0)}, [](const TxEnv&) { return kA; }, "read A");
+  b.local({a, b.param(0)}, {a},
+          [a](TxEnv& e) {
+            Record r = e.get(a);
+            r[0] += 1;
+            e.write_object(a, std::move(r));
+          },
+          "bump");
+  const auto program = b.build();
+  EXPECT_TRUE(audit_program(program, {Record{1}}, stub).empty());
+  EXPECT_NO_THROW(expect_clean_audit(program, {Record{1}}, stub));
+}
+
+TEST(Audit, DetectsUndeclaredRead) {
+  harness::Cluster cluster(fast_config());
+  workloads::seed_all(cluster.servers(), kA, Record{10});
+  auto stub = cluster.make_stub(0);
+
+  ProgramBuilder b("sneaky-read", 1);
+  const VarId a = b.remote_read(
+      1, {}, [](const TxEnv&) { return kA; }, "read A");
+  const VarId hidden = b.fresh_var();
+  b.local({}, {hidden},
+          [hidden](TxEnv& e) { e.seti(hidden, 5); }, "init hidden");
+  const VarId out = b.fresh_var();
+  b.local({a}, {out},  // does NOT declare `hidden`
+          [a, hidden, out](TxEnv& e) {
+            e.seti(out, e.geti(a) + e.geti(hidden));
+          },
+          "sum");
+  const auto program = b.build();
+
+  const auto violations = audit_program(program, {Record{1}}, stub);
+  ASSERT_EQ(violations.size(), 1u);
+  EXPECT_EQ(violations[0].var, hidden);
+  EXPECT_EQ(violations[0].kind, AuditViolation::Kind::kUndeclaredRead);
+  EXPECT_NE(violations[0].describe().find("sum"), std::string::npos);
+  EXPECT_THROW(expect_clean_audit(program, {Record{1}}, stub),
+               std::logic_error);
+}
+
+TEST(Audit, DetectsUndeclaredWrite) {
+  harness::Cluster cluster(fast_config());
+  workloads::seed_all(cluster.servers(), kA, Record{10});
+  auto stub = cluster.make_stub(0);
+
+  ProgramBuilder b("sneaky-write", 0);
+  const VarId a = b.remote_read(
+      1, {}, [](const TxEnv&) { return kA; }, "read A");
+  const VarId side = b.fresh_var();
+  b.local({a}, {},  // writes `side` without declaring it
+          [side](TxEnv& e) { e.seti(side, 1); }, "side effect");
+  const auto program = b.build();
+
+  const auto violations = audit_program(program, {}, stub);
+  ASSERT_EQ(violations.size(), 1u);
+  EXPECT_EQ(violations[0].var, side);
+  EXPECT_EQ(violations[0].kind, AuditViolation::Kind::kUndeclaredWrite);
+}
+
+TEST(Audit, DetectsUndeclaredObjectWriteback) {
+  harness::Cluster cluster(fast_config());
+  workloads::seed_all(cluster.servers(), kA, Record{10});
+  workloads::seed_all(cluster.servers(), kB, Record{20});
+  auto stub = cluster.make_stub(0);
+
+  ProgramBuilder b("sneaky-writeback", 0);
+  const VarId a = b.remote_read(
+      1, {}, [](const TxEnv&) { return kA; }, "read A");
+  const VarId bb = b.remote_read(
+      2, {}, [](const TxEnv&) { return kB; }, "read B");
+  b.local({a}, {a},  // secretly also writes back B
+          [a, bb](TxEnv& e) {
+            e.write_object(a, Record{1});
+            e.write_object(bb, Record{2});
+          },
+          "double write");
+  const auto program = b.build();
+
+  const auto violations = audit_program(program, {}, stub);
+  ASSERT_GE(violations.size(), 1u);
+  bool found = false;
+  for (const auto& v : violations)
+    if (v.var == bb && v.kind == AuditViolation::Kind::kUndeclaredWrite)
+      found = true;
+  EXPECT_TRUE(found);
+}
+
+TEST(Audit, ParamReadsNeedNoDeclaration) {
+  harness::Cluster cluster(fast_config());
+  workloads::seed_all(cluster.servers(), kA, Record{10});
+  auto stub = cluster.make_stub(0);
+
+  ProgramBuilder b("param-read", 2);
+  const VarId a = b.remote_read(
+      1, {}, [](const TxEnv&) { return kA; }, "read A");
+  const VarId out = b.fresh_var();
+  b.local({a}, {out},  // reads param 1 without declaring: fine
+          [a, out](TxEnv& e) { e.seti(out, e.geti(a) + e.geti(1)); }, "sum");
+  const auto program = b.build();
+  EXPECT_TRUE(audit_program(program, {Record{1}, Record{2}}, stub).empty());
+}
+
+TEST(Audit, KeyFnReadingOutsideKeyDepsIsFlagged) {
+  harness::Cluster cluster(fast_config());
+  workloads::seed_all(cluster.servers(), kA, Record{0});
+  workloads::seed_all(cluster.servers(), kB, Record{0});
+  auto stub = cluster.make_stub(0);
+
+  ProgramBuilder b("sneaky-key", 1);
+  const VarId a = b.remote_read(
+      1, {}, [](const TxEnv&) { return kA; }, "read A");
+  // key_fn consults `a` but declares no key_deps.
+  b.remote_read(2, {},
+                [a](const TxEnv& e) {
+                  return ObjectKey{2, static_cast<std::uint64_t>(
+                                          e.geti(a) >= 0 ? 0 : 0)};
+                },
+                "read B[A]");
+  const auto program = b.build();
+  const auto violations = audit_program(program, {Record{1}}, stub);
+  ASSERT_EQ(violations.size(), 1u);
+  EXPECT_EQ(violations[0].var, a);
+}
+
+// ---- every shipped workload program audits clean --------------------------
+
+void audit_workload(workloads::Workload& workload) {
+  harness::Cluster cluster(fast_config());
+  workload.seed(cluster.servers());
+  auto stub = cluster.make_stub(0);
+  Rng rng(7);
+  for (const auto& profile : workload.profiles()) {
+    for (int phase = 0; phase < 3; ++phase) {
+      const auto params = profile.make_params(rng, phase);
+      EXPECT_NO_THROW(expect_clean_audit(*profile.program, params, stub))
+          << profile.program->name << " phase " << phase;
+    }
+  }
+}
+
+TEST(Audit, BankProgramsAreClean) {
+  workloads::Bank bank;
+  audit_workload(bank);
+}
+
+TEST(Audit, VacationProgramsAreClean) {
+  workloads::VacationConfig config;
+  config.cancel_fraction = 0.2;
+  workloads::Vacation vacation(config);
+  audit_workload(vacation);
+}
+
+TEST(Audit, TpccProgramsAreClean) {
+  workloads::TpccConfig config;
+  config.w_neworder = 0.3;
+  config.w_payment = 0.2;
+  config.w_delivery = 0.2;
+  config.w_orderstatus = 0.15;
+  config.w_stocklevel = 0.15;
+  config.min_order_lines = 5;
+  config.max_order_lines = 15;
+  workloads::Tpcc tpcc(config);
+  audit_workload(tpcc);
+}
+
+}  // namespace
+}  // namespace acn

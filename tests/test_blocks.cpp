@@ -1,0 +1,104 @@
+// Block / BlockSequence tests: construction, validity, op ordering.
+#include <gtest/gtest.h>
+
+#include "src/acn/blocks.hpp"
+
+namespace acn {
+namespace {
+
+using ir::ProgramBuilder;
+using ir::TxEnv;
+using ir::TxProgram;
+using ir::VarId;
+using store::ObjectKey;
+
+/// A -> B (B's key depends on A), C independent.
+struct Chain {
+  TxProgram program;
+  DependencyModel model;
+
+  Chain() {
+    ProgramBuilder b("chain", 0);
+    const VarId a = b.remote_read(
+        1, {}, [](const TxEnv&) { return ObjectKey{1, 0}; }, "A");
+    b.remote_read(2, {a}, [](const TxEnv&) { return ObjectKey{2, 0}; }, "B[A]");
+    b.remote_read(3, {}, [](const TxEnv&) { return ObjectKey{3, 0}; }, "C");
+    program = b.build();
+    model = build_dependency_model(program, AttachPolicy::kLatestProducer);
+  }
+};
+
+TEST(Blocks, InitialSequenceIsOneUnitPerBlock) {
+  Chain chain;
+  const auto seq = initial_sequence(chain.model);
+  ASSERT_EQ(seq.size(), 3u);
+  for (std::size_t i = 0; i < 3; ++i)
+    EXPECT_EQ(seq[i].units, std::vector<std::size_t>{i});
+  EXPECT_TRUE(sequence_valid(seq, chain.model));
+}
+
+TEST(Blocks, SingleBlockCoversEverything) {
+  Chain chain;
+  const auto seq = single_block(chain.model);
+  ASSERT_EQ(seq.size(), 1u);
+  EXPECT_EQ(seq[0].units.size(), 3u);
+  EXPECT_TRUE(sequence_valid(seq, chain.model));
+}
+
+TEST(Blocks, ValidityRejectsBackwardDependency) {
+  Chain chain;
+  // B's unit before A's unit violates A -> B.
+  const std::size_t ua = chain.model.unit_of_op[0];
+  const std::size_t ub = chain.model.unit_of_op[1];
+  const std::size_t uc = chain.model.unit_of_op[2];
+  BlockSequence bad{{{ub}}, {{ua}}, {{uc}}};
+  EXPECT_FALSE(sequence_valid(bad, chain.model));
+  BlockSequence good{{{uc}}, {{ua}}, {{ub}}};
+  EXPECT_TRUE(sequence_valid(good, chain.model));
+}
+
+TEST(Blocks, ValidityAllowsDependentUnitsInSameBlock) {
+  Chain chain;
+  const std::size_t ua = chain.model.unit_of_op[0];
+  const std::size_t ub = chain.model.unit_of_op[1];
+  const std::size_t uc = chain.model.unit_of_op[2];
+  BlockSequence merged{{{ua, ub}}, {{uc}}};
+  EXPECT_TRUE(sequence_valid(merged, chain.model));
+}
+
+TEST(Blocks, ValidityRejectsMissingOrDuplicateUnits) {
+  Chain chain;
+  EXPECT_FALSE(sequence_valid({{{0}}, {{1}}}, chain.model));          // missing 2
+  EXPECT_FALSE(sequence_valid({{{0}}, {{1}}, {{1, 2}}}, chain.model));  // dup 1
+  EXPECT_FALSE(sequence_valid({{{0}}, {{1}}, {{2, 9}}}, chain.model));  // bogus
+}
+
+TEST(Blocks, BlockOpsSortedAcrossUnits) {
+  Chain chain;
+  const Block both{{chain.model.unit_of_op[1], chain.model.unit_of_op[0]}};
+  const auto ops = block_ops(both, chain.model);
+  ASSERT_EQ(ops.size(), 2u);
+  EXPECT_LT(ops[0], ops[1]);
+  EXPECT_EQ(ops[0], 0u);
+}
+
+TEST(Blocks, DependentDetection) {
+  Chain chain;
+  const Block a{{chain.model.unit_of_op[0]}};
+  const Block bb{{chain.model.unit_of_op[1]}};
+  const Block c{{chain.model.unit_of_op[2]}};
+  EXPECT_TRUE(blocks_dependent(a, bb, chain.model));
+  EXPECT_TRUE(blocks_dependent(bb, a, chain.model));  // either direction
+  EXPECT_FALSE(blocks_dependent(a, c, chain.model));
+}
+
+TEST(Blocks, DescribeListsBlocksAndOps) {
+  Chain chain;
+  const auto text = describe_sequence(initial_sequence(chain.model), chain.model);
+  EXPECT_NE(text.find("B0"), std::string::npos);
+  EXPECT_NE(text.find("B2"), std::string::npos);
+  EXPECT_NE(text.find("B[A]"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace acn

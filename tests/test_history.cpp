@@ -1,0 +1,203 @@
+// Serializability-checker tests: hand-crafted histories (accepted and
+// rejected) plus end-to-end verification that concurrent executions of the
+// real protocol produce conflict-serializable histories.
+#include <gtest/gtest.h>
+
+#include <thread>
+
+#include "src/acn/executor.hpp"
+#include "src/harness/cluster.hpp"
+#include "src/nesting/history.hpp"
+#include "src/workloads/bank.hpp"
+#include "src/workloads/vacation.hpp"
+
+namespace acn::nesting {
+namespace {
+
+using store::ObjectKey;
+
+const ObjectKey kX{1, 1};
+const ObjectKey kY{1, 2};
+
+CommittedTxn txn(std::uint64_t id,
+                 std::vector<std::pair<ObjectKey, store::Version>> reads,
+                 std::vector<std::pair<ObjectKey, store::Version>> writes) {
+  return {id, std::move(reads), std::move(writes)};
+}
+
+TEST(HistoryChecker, EmptyAndSingleHistoriesPass) {
+  EXPECT_TRUE(check_serializable({}));
+  EXPECT_TRUE(check_serializable({txn(1, {{kX, 1}}, {{kX, 2}})}));
+}
+
+TEST(HistoryChecker, SequentialChainPasses) {
+  const std::vector<CommittedTxn> history{
+      txn(1, {{kX, 1}}, {{kX, 2}}),
+      txn(2, {{kX, 2}}, {{kX, 3}}),
+      txn(3, {{kX, 3}, {kY, 1}}, {{kY, 2}}),
+  };
+  EXPECT_TRUE(check_serializable(history));
+}
+
+TEST(HistoryChecker, ReadOnlySnapshotsPass) {
+  const std::vector<CommittedTxn> history{
+      txn(1, {{kX, 1}}, {{kX, 2}}),
+      txn(2, {{kX, 2}, {kY, 1}}, {}),  // read-only
+      txn(3, {{kY, 1}}, {{kY, 2}}),
+  };
+  EXPECT_TRUE(check_serializable(history));
+}
+
+TEST(HistoryChecker, DuplicateInstallRejected) {
+  const std::vector<CommittedTxn> history{
+      txn(1, {}, {{kX, 2}}),
+      txn(2, {}, {{kX, 2}}),  // same version installed twice = lost update
+  };
+  const auto report = check_serializable(history);
+  EXPECT_FALSE(report.ok);
+  EXPECT_NE(report.violation.find("duplicate install"), std::string::npos);
+}
+
+TEST(HistoryChecker, PhantomVersionRejected) {
+  const std::vector<CommittedTxn> history{
+      txn(1, {{kX, 7}}, {}),  // nobody installed v7 and the seed is v1
+  };
+  const auto report = check_serializable(history);
+  EXPECT_FALSE(report.ok);
+  EXPECT_NE(report.violation.find("nobody installed"), std::string::npos);
+}
+
+TEST(HistoryChecker, WriteSkewCycleRejected) {
+  // Classic write skew: T1 reads X@1,Y@1 writes X@2; T2 reads X@1,Y@1
+  // writes Y@2.  rw edges both ways -> cycle.
+  const std::vector<CommittedTxn> history{
+      txn(1, {{kX, 1}, {kY, 1}}, {{kX, 2}}),
+      txn(2, {{kX, 1}, {kY, 1}}, {{kY, 2}}),
+  };
+  const auto report = check_serializable(history);
+  EXPECT_FALSE(report.ok);
+  EXPECT_NE(report.violation.find("cycle"), std::string::npos);
+}
+
+TEST(HistoryChecker, StaleReadAfterOverwriteRejected) {
+  // T2 read X@1 but committed X-dependent state after T1 installed X@2 and
+  // T2 also read T1's Y -> wr (1->2) plus rw (2->1): cycle.
+  const std::vector<CommittedTxn> history{
+      txn(1, {{kX, 1}, {kY, 1}}, {{kX, 2}, {kY, 2}}),
+      txn(2, {{kX, 1}, {kY, 2}}, {{kY, 3}}),
+  };
+  const auto report = check_serializable(history);
+  EXPECT_FALSE(report.ok);
+}
+
+TEST(HistoryLogTest, RecordsAndClears) {
+  HistoryLog log;
+  log.record(txn(1, {}, {{kX, 2}}));
+  log.record(txn(2, {{kX, 2}}, {}));
+  EXPECT_EQ(log.size(), 2u);
+  EXPECT_EQ(log.snapshot()[1].tx, 2u);
+  log.clear();
+  EXPECT_EQ(log.size(), 0u);
+}
+
+// ---- end-to-end: the protocol's concurrent histories are serializable ----
+
+harness::ClusterConfig contended_cluster() {
+  harness::ClusterConfig config;
+  config.n_servers = 7;
+  config.base_latency = std::chrono::microseconds{2};
+  config.stub.busy_backoff = std::chrono::microseconds{5};
+  return config;
+}
+
+void run_concurrent(workloads::Workload& workload, harness::Cluster& cluster,
+                    HistoryLog& log, bool use_blocks) {
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 4; ++t) {
+    threads.emplace_back([&, t] {
+      auto stub = cluster.make_stub(t);
+      ExecutorConfig config;
+      config.backoff_base = std::chrono::microseconds{5};
+      config.history = &log;
+      Executor executor(stub, config, 100 + t);
+      Rng rng(200 + t);
+      ExecStats stats;
+      for (int i = 0; i < 60; ++i) {
+        const std::size_t p = workloads::pick_profile(workload.profiles(), rng);
+        const auto& profile = workload.profiles()[p];
+        const auto params = profile.make_params(rng, i % 2);
+        if (use_blocks)
+          executor.run_blocks(*profile.program, profile.static_model,
+                              profile.manual_sequence, params, stats);
+        else
+          executor.run_flat(*profile.program, params, stats);
+      }
+    });
+  }
+  for (auto& thread : threads) thread.join();
+}
+
+TEST(HistoryChecker, ConcurrentFlatBankHistoryIsSerializable) {
+  harness::Cluster cluster(contended_cluster());
+  workloads::Bank bank({.n_branches = 4, .n_accounts = 16});
+  bank.seed(cluster.servers());
+  HistoryLog log;
+  run_concurrent(bank, cluster, log, /*use_blocks=*/false);
+  EXPECT_EQ(log.size(), 240u);
+  const auto report = check_serializable(log.snapshot());
+  EXPECT_TRUE(report.ok) << report.violation;
+  bank.check_invariants(cluster.servers());
+}
+
+TEST(HistoryChecker, ConcurrentNestedBankHistoryIsSerializable) {
+  harness::Cluster cluster(contended_cluster());
+  workloads::Bank bank({.n_branches = 4, .n_accounts = 16});
+  bank.seed(cluster.servers());
+  HistoryLog log;
+  run_concurrent(bank, cluster, log, /*use_blocks=*/true);
+  const auto report = check_serializable(log.snapshot());
+  EXPECT_TRUE(report.ok) << report.violation;
+  bank.check_invariants(cluster.servers());
+}
+
+TEST(HistoryChecker, ConcurrentVacationHistoryIsSerializable) {
+  harness::Cluster cluster(contended_cluster());
+  workloads::Vacation vacation({.n_items = 8, .n_customers = 16});
+  vacation.seed(cluster.servers());
+  HistoryLog log;
+  run_concurrent(vacation, cluster, log, /*use_blocks=*/true);
+  const auto report = check_serializable(log.snapshot());
+  EXPECT_TRUE(report.ok) << report.violation;
+  vacation.check_invariants(cluster.servers());
+}
+
+TEST(HistoryChecker, CheckpointedExecutionHistoryIsSerializable) {
+  harness::Cluster cluster(contended_cluster());
+  workloads::Bank bank({.n_branches = 4, .n_accounts = 16});
+  bank.seed(cluster.servers());
+  HistoryLog log;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 4; ++t) {
+    threads.emplace_back([&, t] {
+      auto stub = cluster.make_stub(t);
+      ExecutorConfig config;
+      config.backoff_base = std::chrono::microseconds{5};
+      config.history = &log;
+      Executor executor(stub, config, 300 + t);
+      Rng rng(400 + t);
+      ExecStats stats;
+      for (int i = 0; i < 60; ++i) {
+        const auto& profile = bank.profiles()[0];
+        executor.run_checkpointed(*profile.program,
+                                  profile.make_params(rng, 0), stats);
+      }
+    });
+  }
+  for (auto& thread : threads) thread.join();
+  const auto report = check_serializable(log.snapshot());
+  EXPECT_TRUE(report.ok) << report.violation;
+  bank.check_invariants(cluster.servers());
+}
+
+}  // namespace
+}  // namespace acn::nesting

@@ -1,0 +1,228 @@
+// Unit tests for the simulated message-passing network.
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "src/common/clock.hpp"
+#include "src/net/network.hpp"
+
+namespace acn::net {
+namespace {
+
+struct Ping {
+  int value = 0;
+  std::size_t bytes = 32;
+  std::size_t approx_size() const noexcept { return bytes; }
+};
+
+struct Pong {
+  int value = 0;
+  int handled_by = -1;
+  std::size_t approx_size() const noexcept { return 48; }
+};
+
+using TestNet = Network<Ping, Pong>;
+
+std::unique_ptr<TestNet> make_net(std::size_t n,
+                                  std::shared_ptr<const LatencyModel> latency =
+                                      std::make_shared<ZeroLatency>()) {
+  auto net = std::make_unique<TestNet>(std::move(latency));
+  for (std::size_t i = 0; i < n; ++i)
+    net->register_node(static_cast<NodeId>(i),
+                       [i](NodeId, const Ping& p) {
+                         return Pong{p.value + 1, static_cast<int>(i)};
+                       });
+  return net;
+}
+
+TEST(Network, CallReachesHandler) {
+  auto net = make_net(3);
+  const auto result = net->call(10, 1, Ping{41});
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result.response.value, 42);
+  EXPECT_EQ(result.response.handled_by, 1);
+}
+
+TEST(Network, AccountsMessagesAndBytes) {
+  auto net = make_net(2);
+  net->call(10, 0, Ping{1, 100});
+  EXPECT_EQ(net->stats().messages(), 2u);  // request + response
+  EXPECT_EQ(net->stats().bytes(), 100u + 48u);
+}
+
+TEST(Network, NodeDownIsRefused) {
+  auto net = make_net(2);
+  net->set_node_down(1, true);
+  const auto result = net->call(10, 1, Ping{1});
+  EXPECT_FALSE(result.ok());
+  EXPECT_EQ(result.error, NetErrorCode::kNodeDown);
+  EXPECT_EQ(net->stats().refused(), 1u);
+  net->set_node_down(1, false);
+  EXPECT_TRUE(net->call(10, 1, Ping{1}).ok());
+}
+
+TEST(Network, UnregisteredNodeIsRefused) {
+  auto net = make_net(2);
+  EXPECT_EQ(net->call(10, 7, Ping{1}).error, NetErrorCode::kNodeDown);
+}
+
+TEST(Network, MulticallAlignsWithTargets) {
+  auto net = make_net(4);
+  const std::vector<NodeId> targets{2, 0, 3};
+  const auto results =
+      net->multicall(10, targets, [](NodeId to) { return Ping{to * 10}; });
+  ASSERT_EQ(results.size(), 3u);
+  EXPECT_EQ(results[0].response.handled_by, 2);
+  EXPECT_EQ(results[0].response.value, 21);
+  EXPECT_EQ(results[1].response.handled_by, 0);
+  EXPECT_EQ(results[2].response.handled_by, 3);
+}
+
+TEST(Network, MulticallSkipsDownNodesOnly) {
+  auto net = make_net(3);
+  net->set_node_down(1, true);
+  const auto results = net->multicall(10, {0, 1, 2},
+                                     [](NodeId) { return Ping{1}; });
+  EXPECT_TRUE(results[0].ok());
+  EXPECT_FALSE(results[1].ok());
+  EXPECT_TRUE(results[2].ok());
+}
+
+TEST(Network, DropProbabilityOneDropsEverything) {
+  auto net = make_net(2);
+  net->set_drop_probability(1.0);
+  const auto result = net->call(10, 0, Ping{1});
+  EXPECT_EQ(result.error, NetErrorCode::kDropped);
+  EXPECT_GE(net->stats().drops(), 1u);
+  net->set_drop_probability(0.0);
+  EXPECT_TRUE(net->call(10, 0, Ping{1}).ok());
+}
+
+TEST(Network, LatencyIsApplied) {
+  using namespace std::chrono_literals;
+  auto net = make_net(2, std::make_shared<FixedLatency>(Nanos{2ms}));
+  Stopwatch watch;
+  net->call(10, 0, Ping{1});
+  EXPECT_GE(watch.elapsed_ns(), 4'000'000u);  // request + response leg
+}
+
+TEST(Network, MulticallPaysWorstRoundTripOnce) {
+  using namespace std::chrono_literals;
+  auto net = make_net(4, std::make_shared<FixedLatency>(Nanos{2ms}));
+  Stopwatch watch;
+  net->multicall(10, {0, 1, 2, 3}, [](NodeId) { return Ping{1}; });
+  const auto elapsed = watch.elapsed_ns();
+  EXPECT_GE(elapsed, 4'000'000u);
+  // Four sequential calls would cost >= 16ms; a quorum multicall must not.
+  EXPECT_LT(elapsed, 12'000'000u);
+}
+
+TEST(Mailbox, ProcessesInOrderAndCounts) {
+  std::vector<int> seen;
+  Mailbox<Ping, Pong> box([&seen](int, const Ping& p) {
+    seen.push_back(p.value);
+    return Pong{p.value * 2, 0};
+  });
+  auto f1 = box.submit(1, Ping{10});
+  auto f2 = box.submit(1, Ping{20});
+  EXPECT_EQ(f1.get().value, 20);
+  EXPECT_EQ(f2.get().value, 40);
+  EXPECT_EQ(seen, (std::vector<int>{10, 20}));
+  EXPECT_EQ(box.processed(), 2u);
+  EXPECT_GE(box.peak_depth(), 1u);
+}
+
+TEST(Mailbox, HandlerExceptionReachesWaiter) {
+  Mailbox<Ping, Pong> box([](int, const Ping&) -> Pong {
+    throw std::runtime_error("boom");
+  });
+  auto future = box.submit(1, Ping{1});
+  EXPECT_THROW(future.get(), std::runtime_error);
+}
+
+TEST(Mailbox, DrainsQueueBeforeShutdown) {
+  std::atomic<int> handled{0};
+  std::vector<std::future<Pong>> futures;
+  {
+    Mailbox<Ping, Pong> box([&handled](int, const Ping& p) {
+      handled.fetch_add(1);
+      return Pong{p.value, 0};
+    });
+    for (int i = 0; i < 50; ++i) futures.push_back(box.submit(0, Ping{i}));
+    // Destructor runs here with items possibly still queued.
+  }
+  int fulfilled = 0;
+  for (auto& f : futures) {
+    if (f.wait_for(std::chrono::seconds{0}) == std::future_status::ready)
+      ++fulfilled;
+  }
+  EXPECT_EQ(fulfilled, handled.load());
+  EXPECT_EQ(handled.load(), 50);  // stop only after the queue drained
+}
+
+TEST(Network, AsyncNodeServesCallsAndMulticalls) {
+  TestNet net;
+  for (std::size_t i = 0; i < 3; ++i)
+    net.register_node_async(static_cast<NodeId>(i),
+                            [i](NodeId, const Ping& p) {
+                              return Pong{p.value + 1, static_cast<int>(i)};
+                            });
+  EXPECT_TRUE(net.node_is_async(1));
+  const auto single = net.call(10, 1, Ping{41});
+  ASSERT_TRUE(single.ok());
+  EXPECT_EQ(single.response.value, 42);
+
+  const auto results =
+      net.multicall(10, {0, 1, 2}, [](NodeId to) { return Ping{to}; });
+  for (int i = 0; i < 3; ++i) {
+    ASSERT_TRUE(results[static_cast<std::size_t>(i)].ok());
+    EXPECT_EQ(results[static_cast<std::size_t>(i)].response.handled_by, i);
+    EXPECT_EQ(results[static_cast<std::size_t>(i)].response.value, i + 1);
+  }
+}
+
+TEST(Network, MixedInlineAndAsyncNodes) {
+  TestNet net;
+  net.register_node(0, [](NodeId, const Ping& p) { return Pong{p.value, 0}; });
+  net.register_node_async(1,
+                          [](NodeId, const Ping& p) { return Pong{p.value, 1}; });
+  EXPECT_FALSE(net.node_is_async(0));
+  EXPECT_TRUE(net.node_is_async(1));
+  const auto results =
+      net.multicall(9, {0, 1}, [](NodeId) { return Ping{5}; });
+  EXPECT_EQ(results[0].response.handled_by, 0);
+  EXPECT_EQ(results[1].response.handled_by, 1);
+}
+
+TEST(Network, AsyncMulticallOverlapsSlowHandlers) {
+  using namespace std::chrono_literals;
+  TestNet net;
+  for (std::size_t i = 0; i < 4; ++i)
+    net.register_node_async(static_cast<NodeId>(i), [](NodeId, const Ping& p) {
+      std::this_thread::sleep_for(3ms);
+      return Pong{p.value, 0};
+    });
+  acn::Stopwatch watch;
+  net.multicall(10, {0, 1, 2, 3}, [](NodeId) { return Ping{1}; });
+  // Serial execution would take >= 12ms; overlapped must stay well below.
+  EXPECT_LT(watch.elapsed_ns(), 10'000'000u);
+}
+
+TEST(NetStats, ResetClears) {
+  auto net = make_net(1);
+  net->call(5, 0, Ping{1});
+  net->stats().reset();
+  EXPECT_EQ(net->stats().messages(), 0u);
+  EXPECT_EQ(net->stats().bytes(), 0u);
+}
+
+TEST(NetStats, SummaryMentionsCounters) {
+  NetStats stats;
+  stats.on_message(10);
+  const auto text = stats.summary();
+  EXPECT_NE(text.find("messages=1"), std::string::npos);
+  EXPECT_NE(text.find("bytes=10"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace acn::net

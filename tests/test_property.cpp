@@ -1,0 +1,304 @@
+// Randomized property tests over the whole ACN pipeline.
+//
+// A generator builds random-but-well-formed transaction programs (random
+// remote accesses over random classes, local ops with random var
+// dependencies, read-modify-write and blind-insert patterns).  For each
+// generated program we assert structural invariants of the static
+// analysis, validity of every produced Block Sequence, and semantic
+// equivalence: executing under any valid sequence, under the Algorithm
+// Module's plan for random contention levels, and under checkpointing all
+// commit the same final object state as flat execution.
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "src/acn/executor.hpp"
+#include "src/harness/cluster.hpp"
+#include "src/workloads/workload.hpp"
+
+namespace acn {
+namespace {
+
+using ir::ProgramBuilder;
+using ir::Record;
+using ir::TxEnv;
+using ir::TxProgram;
+using ir::VarId;
+using store::Field;
+using store::ObjectKey;
+
+constexpr std::size_t kClasses = 5;
+constexpr std::size_t kObjectsPerClass = 8;
+
+ObjectKey object(std::size_t cls, Field id) {
+  return {static_cast<ir::ClassId>(cls + 1),
+          static_cast<std::uint64_t>(id) % kObjectsPerClass};
+}
+
+/// Deterministic mixing of whatever fields feed a computation.
+Field mix(Field a, Field b) { return a * 31 + b + 7; }
+
+/// A random program: params feed keys; remote reads bind objects; local
+/// ops combine live vars, sometimes writing an object back.
+TxProgram random_program(Rng& rng, std::size_t n_remote, std::size_t n_local) {
+  ProgramBuilder b("prop", 2);
+  std::vector<VarId> object_vars;  // vars bound to objects
+  std::vector<VarId> all_vars{b.param(0), b.param(1)};
+
+  std::size_t remote_left = n_remote;
+  std::size_t local_left = n_local;
+  while (remote_left + local_left > 0) {
+    const bool do_remote =
+        remote_left > 0 &&
+        (local_left == 0 || rng.bernoulli(static_cast<double>(remote_left) /
+                                          static_cast<double>(remote_left +
+                                                              local_left)));
+    if (do_remote) {
+      --remote_left;
+      const std::size_t cls = rng.uniform(0, kClasses - 1);
+      // Key depends on a random live var so dependency chains form.
+      const VarId dep = all_vars[rng.uniform(0, all_vars.size() - 1)];
+      const VarId out = b.remote_read(
+          static_cast<ir::ClassId>(cls + 1), {dep},
+          [cls, dep](const TxEnv& e) { return object(cls, e.geti(dep)); },
+          "read");
+      object_vars.push_back(out);
+      all_vars.push_back(out);
+    } else {
+      --local_left;
+      // Local op: read 1-3 vars, write either a fresh var or an object.
+      std::vector<VarId> reads;
+      const std::size_t n_reads = rng.uniform(1, 3);
+      for (std::size_t r = 0; r < n_reads; ++r)
+        reads.push_back(all_vars[rng.uniform(0, all_vars.size() - 1)]);
+      const bool write_object = !object_vars.empty() && rng.bernoulli(0.5);
+      if (write_object) {
+        const VarId target =
+            object_vars[rng.uniform(0, object_vars.size() - 1)];
+        if (std::find(reads.begin(), reads.end(), target) == reads.end())
+          reads.push_back(target);
+        b.local(reads, {target},
+                [reads, target](TxEnv& e) {
+                  Field acc = 0;
+                  for (const VarId v : reads) acc = mix(acc, e.geti(v));
+                  Record r = e.get(target);
+                  r[0] = acc % 100'000;
+                  e.write_object(target, std::move(r));
+                },
+                "rmw");
+      } else {
+        const VarId out = b.fresh_var();
+        b.local(reads, {out},
+                [reads, out](TxEnv& e) {
+                  Field acc = 1;
+                  for (const VarId v : reads) acc = mix(acc, e.geti(v));
+                  e.seti(out, acc % 100'000);
+                },
+                "calc");
+        all_vars.push_back(out);
+      }
+    }
+  }
+  return b.build();
+}
+
+harness::ClusterConfig fast_config() {
+  harness::ClusterConfig config;
+  config.n_servers = 4;
+  config.base_latency = std::chrono::nanoseconds{0};
+  return config;
+}
+
+void seed_objects(harness::Cluster& cluster) {
+  for (std::size_t cls = 0; cls < kClasses; ++cls)
+    for (std::size_t id = 0; id < kObjectsPerClass; ++id)
+      workloads::seed_all(cluster.servers(),
+                          object(cls, static_cast<Field>(id)),
+                          Record{static_cast<Field>(cls * 100 + id)});
+}
+
+std::vector<Record> final_state(harness::Cluster& cluster) {
+  std::vector<Record> out;
+  for (std::size_t cls = 0; cls < kClasses; ++cls)
+    for (std::size_t id = 0; id < kObjectsPerClass; ++id)
+      out.push_back(workloads::latest_value(
+                        cluster.servers(), object(cls, static_cast<Field>(id)))
+                        .value);
+  return out;
+}
+
+BlockSequence random_sequence(const DependencyModel& model, Rng& rng) {
+  std::vector<std::size_t> indegree(model.units.size(), 0);
+  for (std::size_t u = 0; u < model.units.size(); ++u)
+    for (std::size_t v : model.succs[u]) ++indegree[v];
+  std::vector<std::size_t> ready;
+  for (std::size_t u = 0; u < model.units.size(); ++u)
+    if (indegree[u] == 0) ready.push_back(u);
+  BlockSequence seq;
+  while (!ready.empty()) {
+    const std::size_t pick = rng.uniform(0, ready.size() - 1);
+    const std::size_t u = ready[pick];
+    ready.erase(ready.begin() + static_cast<std::ptrdiff_t>(pick));
+    if (!seq.empty() && rng.bernoulli(0.35))
+      seq.back().units.push_back(u);
+    else
+      seq.push_back({{u}});
+    for (std::size_t v : model.succs[u])
+      if (--indegree[v] == 0) ready.push_back(v);
+  }
+  return seq;
+}
+
+class PipelineProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(PipelineProperty, StaticAnalysisInvariants) {
+  Rng rng(GetParam());
+  for (int trial = 0; trial < 10; ++trial) {
+    const auto program =
+        random_program(rng, rng.uniform(1, 6), rng.uniform(0, 8));
+    for (const AttachPolicy policy :
+         {AttachPolicy::kLatestProducer, AttachPolicy::kMostContended}) {
+      ClassLevels levels;
+      for (std::size_t cls = 0; cls < kClasses; ++cls)
+        levels[static_cast<ir::ClassId>(cls + 1)] = rng.uniform01();
+      const auto model = build_dependency_model(program, policy, levels);
+
+      // Every op appears in exactly one unit.
+      std::vector<int> seen(program.ops.size(), 0);
+      for (const auto& unit : model.units) {
+        EXPECT_FALSE(unit.remote_ops.empty());
+        for (std::size_t op : unit.ops) ++seen[op];
+      }
+      for (std::size_t op = 0; op < program.ops.size(); ++op)
+        EXPECT_EQ(seen[op], 1) << "op " << op;
+
+      // unit_of_op agrees with unit membership.
+      for (std::size_t u = 0; u < model.units.size(); ++u)
+        for (std::size_t op : model.units[u].ops)
+          EXPECT_EQ(model.unit_of_op[op], u);
+
+      // Canonical order is a valid topological order.
+      std::vector<std::size_t> identity(model.units.size());
+      std::iota(identity.begin(), identity.end(), 0);
+      EXPECT_TRUE(model.order_valid(identity));
+
+      // Derived sequences are valid.
+      EXPECT_TRUE(sequence_valid(initial_sequence(model), model));
+      EXPECT_TRUE(sequence_valid(single_block(model), model));
+    }
+  }
+}
+
+TEST_P(PipelineProperty, AnyValidSequenceCommitsFlatEquivalentState) {
+  Rng rng(GetParam() ^ 0xabcdULL);
+  for (int trial = 0; trial < 4; ++trial) {
+    const auto program =
+        random_program(rng, rng.uniform(2, 5), rng.uniform(1, 6));
+    const std::vector<Record> params{
+        Record{static_cast<Field>(rng.uniform(0, 7))},
+        Record{static_cast<Field>(rng.uniform(0, 7))}};
+
+    std::vector<Record> expected;
+    {
+      harness::Cluster cluster(fast_config());
+      seed_objects(cluster);
+      auto stub = cluster.make_stub(0);
+      Executor executor(stub, {}, 1);
+      ExecStats stats;
+      executor.run_flat(program, params, stats);
+      expected = final_state(cluster);
+    }
+
+    const auto model =
+        build_dependency_model(program, AttachPolicy::kLatestProducer);
+    for (int round = 0; round < 3; ++round) {
+      const auto sequence = random_sequence(model, rng);
+      ASSERT_TRUE(sequence_valid(sequence, model));
+      harness::Cluster cluster(fast_config());
+      seed_objects(cluster);
+      auto stub = cluster.make_stub(0);
+      Executor executor(stub, {}, 1);
+      ExecStats stats;
+      executor.run_blocks(program, model, sequence, params, stats);
+      EXPECT_EQ(final_state(cluster), expected)
+          << "trial " << trial << " round " << round;
+    }
+  }
+}
+
+TEST_P(PipelineProperty, AlgorithmPlansCommitFlatEquivalentState) {
+  Rng rng(GetParam() ^ 0x5151ULL);
+  for (int trial = 0; trial < 4; ++trial) {
+    const auto program =
+        random_program(rng, rng.uniform(2, 5), rng.uniform(1, 6));
+    const std::vector<Record> params{
+        Record{static_cast<Field>(rng.uniform(0, 7))},
+        Record{static_cast<Field>(rng.uniform(0, 7))}};
+
+    std::vector<Record> expected;
+    {
+      harness::Cluster cluster(fast_config());
+      seed_objects(cluster);
+      auto stub = cluster.make_stub(0);
+      Executor executor(stub, {}, 1);
+      ExecStats stats;
+      executor.run_flat(program, params, stats);
+      expected = final_state(cluster);
+    }
+
+    AlgorithmModule algorithm(program, {}, default_contention_model());
+    for (int round = 0; round < 3; ++round) {
+      RawLevels raw;
+      for (std::size_t cls = 0; cls < kClasses; ++cls)
+        raw[static_cast<ir::ClassId>(cls + 1)] = rng.uniform(0, 500);
+      const auto plan = algorithm.recompute(raw);
+      ASSERT_TRUE(sequence_valid(plan.sequence, plan.model))
+          << describe_sequence(plan.sequence, plan.model);
+      harness::Cluster cluster(fast_config());
+      seed_objects(cluster);
+      auto stub = cluster.make_stub(0);
+      Executor executor(stub, {}, 1);
+      ExecStats stats;
+      executor.run_blocks(program, plan.model, plan.sequence, params, stats);
+      EXPECT_EQ(final_state(cluster), expected)
+          << "trial " << trial << " round " << round << "\n"
+          << describe_sequence(plan.sequence, plan.model);
+    }
+  }
+}
+
+TEST_P(PipelineProperty, CheckpointedExecutionIsFlatEquivalent) {
+  Rng rng(GetParam() ^ 0x9e9eULL);
+  for (int trial = 0; trial < 4; ++trial) {
+    const auto program =
+        random_program(rng, rng.uniform(2, 5), rng.uniform(1, 6));
+    const std::vector<Record> params{
+        Record{static_cast<Field>(rng.uniform(0, 7))},
+        Record{static_cast<Field>(rng.uniform(0, 7))}};
+
+    std::vector<Record> expected;
+    {
+      harness::Cluster cluster(fast_config());
+      seed_objects(cluster);
+      auto stub = cluster.make_stub(0);
+      Executor executor(stub, {}, 1);
+      ExecStats stats;
+      executor.run_flat(program, params, stats);
+      expected = final_state(cluster);
+    }
+
+    harness::Cluster cluster(fast_config());
+    seed_objects(cluster);
+    auto stub = cluster.make_stub(0);
+    Executor executor(stub, {}, 1);
+    ExecStats stats;
+    executor.run_checkpointed(program, params, stats);
+    EXPECT_EQ(final_state(cluster), expected) << "trial " << trial;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, PipelineProperty,
+                         ::testing::Values(11, 22, 33, 44, 55, 66, 77, 88));
+
+}  // namespace
+}  // namespace acn

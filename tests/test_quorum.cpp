@@ -1,0 +1,190 @@
+// Quorum-system tests: construction shapes plus the intersection properties
+// QR-DTM's correctness rests on, property-tested across tree sizes and many
+// random selections (parameterized suites).
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "src/quorum/level_quorum.hpp"
+#include "src/quorum/rowa_quorum.hpp"
+#include "src/quorum/tree_quorum.hpp"
+
+namespace acn::quorum {
+namespace {
+
+TEST(TreeTopology, TernaryShape) {
+  TreeTopology t(13, 3);
+  EXPECT_EQ(t.root(), 0);
+  EXPECT_EQ(t.children(0), (std::vector<NodeId>{1, 2, 3}));
+  EXPECT_EQ(t.children(1), (std::vector<NodeId>{4, 5, 6}));
+  EXPECT_EQ(t.parent(4), 1);
+  EXPECT_EQ(t.parent(0), -1);
+  EXPECT_EQ(t.level_of(0), 0);
+  EXPECT_EQ(t.level_of(3), 1);
+  EXPECT_EQ(t.level_of(12), 2);
+  EXPECT_EQ(t.depth(), 3);
+}
+
+TEST(TreeTopology, PartialLastLevel) {
+  TreeTopology t(6, 3);
+  EXPECT_EQ(t.children(1), (std::vector<NodeId>{4, 5}));
+  EXPECT_TRUE(t.is_leaf(5));
+  EXPECT_EQ(t.level(1), (std::vector<NodeId>{1, 2, 3}));
+  EXPECT_EQ(t.level(2), (std::vector<NodeId>{4, 5}));
+}
+
+TEST(TreeTopology, SingleNode) {
+  TreeTopology t(1, 3);
+  EXPECT_TRUE(t.is_leaf(0));
+  EXPECT_EQ(t.depth(), 1);
+}
+
+TEST(TreeTopology, RejectsBadArgs) {
+  EXPECT_THROW(TreeTopology(0, 3), std::invalid_argument);
+  EXPECT_THROW(TreeTopology(5, 1), std::invalid_argument);
+}
+
+TEST(Intersects, SortedIntersection) {
+  EXPECT_TRUE(intersects({1, 3, 5}, {2, 3}));
+  EXPECT_FALSE(intersects({1, 3, 5}, {2, 4, 6}));
+  EXPECT_FALSE(intersects({}, {1}));
+}
+
+bool sorted_unique(const std::vector<NodeId>& q) {
+  for (std::size_t i = 1; i < q.size(); ++i)
+    if (q[i - 1] >= q[i]) return false;
+  return true;
+}
+
+// ---- property tests over tree sizes --------------------------------------
+
+class TreeQuorumProperty : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(TreeQuorumProperty, QuorumsAreWellFormed) {
+  const std::size_t n = GetParam();
+  TreeQuorumSystem qs{TreeTopology(n, 3)};
+  Rng rng(n * 17 + 1);
+  for (int trial = 0; trial < 50; ++trial) {
+    for (const auto& q : {qs.read_quorum(rng), qs.write_quorum(rng)}) {
+      EXPECT_FALSE(q.empty());
+      EXPECT_TRUE(sorted_unique(q));
+      for (NodeId id : q) {
+        EXPECT_GE(id, 0);
+        EXPECT_LT(static_cast<std::size_t>(id), n);
+      }
+    }
+  }
+}
+
+TEST_P(TreeQuorumProperty, ReadIntersectsWrite) {
+  const std::size_t n = GetParam();
+  TreeQuorumSystem qs{TreeTopology(n, 3)};
+  Rng rng(n * 31 + 7);
+  for (int trial = 0; trial < 200; ++trial) {
+    const auto read = qs.read_quorum(rng);
+    const auto write = qs.write_quorum(rng);
+    EXPECT_TRUE(intersects(read, write))
+        << "n=" << n << " trial=" << trial;
+  }
+}
+
+TEST_P(TreeQuorumProperty, WriteIntersectsWrite) {
+  const std::size_t n = GetParam();
+  TreeQuorumSystem qs{TreeTopology(n, 3)};
+  Rng rng(n * 53 + 3);
+  for (int trial = 0; trial < 200; ++trial) {
+    const auto w1 = qs.write_quorum(rng);
+    const auto w2 = qs.write_quorum(rng);
+    EXPECT_TRUE(intersects(w1, w2)) << "n=" << n << " trial=" << trial;
+  }
+}
+
+TEST_P(TreeQuorumProperty, WriteAlwaysContainsRoot) {
+  const std::size_t n = GetParam();
+  TreeQuorumSystem qs{TreeTopology(n, 3)};
+  Rng rng(n + 2);
+  for (int trial = 0; trial < 50; ++trial) {
+    const auto w = qs.write_quorum(rng);
+    EXPECT_EQ(w.front(), 0);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, TreeQuorumProperty,
+                         ::testing::Values(1, 2, 3, 4, 5, 7, 10, 13, 20, 27,
+                                           30, 40));
+
+class LevelQuorumProperty : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(LevelQuorumProperty, ReadIntersectsWrite) {
+  const std::size_t n = GetParam();
+  LevelMajorityQuorumSystem qs{TreeTopology(n, 3)};
+  Rng rng(n * 13 + 5);
+  for (int trial = 0; trial < 200; ++trial) {
+    const auto read = qs.read_quorum(rng);
+    const auto write = qs.write_quorum(rng);
+    EXPECT_FALSE(read.empty());
+    EXPECT_TRUE(intersects(read, write)) << "n=" << n << " trial=" << trial;
+  }
+}
+
+TEST_P(LevelQuorumProperty, WriteIntersectsWrite) {
+  const std::size_t n = GetParam();
+  LevelMajorityQuorumSystem qs{TreeTopology(n, 3)};
+  Rng rng(n * 19 + 11);
+  for (int trial = 0; trial < 200; ++trial) {
+    EXPECT_TRUE(intersects(qs.write_quorum(rng), qs.write_quorum(rng)));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, LevelQuorumProperty,
+                         ::testing::Values(1, 2, 3, 4, 5, 7, 10, 13, 20, 27,
+                                           30, 40));
+
+class RowaQuorumProperty : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(RowaQuorumProperty, SingleReaderIntersectsFullWrite) {
+  const std::size_t n = GetParam();
+  RowaQuorumSystem qs(n);
+  Rng rng(n * 7 + 1);
+  for (int trial = 0; trial < 100; ++trial) {
+    const auto read = qs.read_quorum(rng);
+    const auto write = qs.write_quorum(rng);
+    ASSERT_EQ(read.size(), 1u);
+    EXPECT_EQ(write.size(), n);
+    EXPECT_TRUE(intersects(read, write));
+    EXPECT_TRUE(sorted_unique(write));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, RowaQuorumProperty,
+                         ::testing::Values(1, 2, 5, 10, 30));
+
+TEST(RowaQuorum, RejectsZeroNodes) {
+  EXPECT_THROW(RowaQuorumSystem(0), std::invalid_argument);
+}
+
+TEST(TreeQuorum, RootBiasOneReadsRootOnly) {
+  TreeQuorumSystem qs{TreeTopology(13, 3), /*root_read_bias=*/1.0};
+  Rng rng(1);
+  for (int i = 0; i < 20; ++i)
+    EXPECT_EQ(qs.read_quorum(rng), (std::vector<NodeId>{0}));
+}
+
+TEST(TreeQuorum, RootBiasZeroReadsLeaves) {
+  TreeQuorumSystem qs{TreeTopology(13, 3), /*root_read_bias=*/0.0};
+  TreeTopology topo(13, 3);
+  Rng rng(1);
+  for (int i = 0; i < 20; ++i)
+    for (NodeId id : qs.read_quorum(rng)) EXPECT_TRUE(topo.is_leaf(id));
+}
+
+TEST(QuorumSystem, DesignatedQuorumsAreDeterministic) {
+  TreeQuorumSystem qs{TreeTopology(13, 3)};
+  EXPECT_EQ(qs.designated_read_quorum(4), qs.designated_read_quorum(4));
+  EXPECT_EQ(qs.designated_write_quorum(4), qs.designated_write_quorum(4));
+  EXPECT_TRUE(intersects(qs.designated_read_quorum(1),
+                         qs.designated_write_quorum(2)));
+}
+
+}  // namespace
+}  // namespace acn::quorum

@@ -1,0 +1,87 @@
+// Reporting-layer tests: CSV export, improvement arithmetic and the DOT
+// exporter (smoke-level: format, not pixels).
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "src/harness/report.hpp"
+#include "src/workloads/bank.hpp"
+
+namespace acn::harness {
+namespace {
+
+RunResult sample(Protocol protocol, std::vector<double> tps) {
+  RunResult result;
+  result.protocol = protocol;
+  result.throughput = std::move(tps);
+  result.abort_rate.assign(result.throughput.size(), 10.0);
+  return result;
+}
+
+TEST(Report, WriteCsvEmitsOneRowPerProtocolInterval) {
+  DriverConfig config;
+  config.intervals = 2;
+  config.interval = std::chrono::milliseconds{250};
+  const std::vector<RunResult> results{
+      sample(Protocol::kFlat, {100, 200}),
+      sample(Protocol::kAcn, {150, 300}),
+  };
+  const std::string path = "/tmp/acn_test_report.csv";
+  ASSERT_TRUE(write_csv(path, results, config));
+
+  std::ifstream in(path);
+  std::string line;
+  std::vector<std::string> lines;
+  while (std::getline(in, line)) lines.push_back(line);
+  ASSERT_EQ(lines.size(), 5u);  // header + 2x2 rows
+  EXPECT_EQ(lines[0],
+            "protocol,interval,t_seconds,throughput_tps,abort_rate_per_s");
+  EXPECT_EQ(lines[1], "QR-DTM,0,0.250,100.0,10.0");
+  EXPECT_EQ(lines[4], "QR-ACN,1,0.500,300.0,10.0");
+  std::remove(path.c_str());
+}
+
+TEST(Report, WriteCsvFailsGracefullyOnBadPath) {
+  DriverConfig config;
+  EXPECT_FALSE(write_csv("/nonexistent-dir/x.csv", {}, config));
+}
+
+TEST(Report, MeanThroughputWindows) {
+  const auto result = sample(Protocol::kFlat, {100, 200, 300});
+  EXPECT_DOUBLE_EQ(result.mean_throughput(0), 200.0);
+  EXPECT_DOUBLE_EQ(result.mean_throughput(1), 250.0);
+  EXPECT_DOUBLE_EQ(result.mean_throughput(2), 300.0);
+  EXPECT_DOUBLE_EQ(result.mean_throughput(9), 0.0);
+}
+
+TEST(Report, DotExportIsWellFormedGraphviz) {
+  workloads::Bank bank;
+  const auto& model = bank.profiles()[0].static_model;
+  const auto dot = model.to_dot("bank");
+  EXPECT_EQ(dot.rfind("digraph bank {", 0), 0u);
+  EXPECT_NE(dot.find("U0"), std::string::npos);
+  EXPECT_NE(dot.find("read branch1"), std::string::npos);
+  EXPECT_EQ(dot.back(), '\n');
+  // Balanced braces.
+  EXPECT_EQ(std::count(dot.begin(), dot.end(), '{'),
+            std::count(dot.begin(), dot.end(), '}'));
+}
+
+TEST(Report, DotExportRendersDependencyEdges) {
+  // A -> B chain must produce an edge line.
+  ir::ProgramBuilder b("chain", 0);
+  const auto a = b.remote_read(
+      1, {}, [](const ir::TxEnv&) { return store::ObjectKey{1, 0}; }, "A");
+  b.remote_read(2, {a},
+                [](const ir::TxEnv&) { return store::ObjectKey{2, 0}; },
+                "B");
+  const auto program = b.build();
+  const auto model =
+      build_dependency_model(program, AttachPolicy::kLatestProducer);
+  EXPECT_NE(model.to_dot().find("U0 -> U1;"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace acn::harness

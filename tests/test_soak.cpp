@@ -1,0 +1,120 @@
+// Soak test: all four protocols under sustained concurrent contention with
+// phase changes, node failure/recovery, history recording and full
+// invariant + serializability verification.  Runs a few seconds total —
+// the heavy-duty confidence check of the suite.
+//
+// Set ACN_SOAK_MS to lengthen the per-protocol run (default 400 ms).
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <thread>
+
+#include "src/harness/driver.hpp"
+#include "src/nesting/history.hpp"
+#include "src/workloads/bank.hpp"
+#include "src/workloads/tpcc.hpp"
+#include "src/workloads/vacation.hpp"
+
+namespace acn::harness {
+namespace {
+
+std::chrono::milliseconds soak_interval() {
+  if (const char* env = std::getenv("ACN_SOAK_MS"))
+    return std::chrono::milliseconds{std::strtol(env, nullptr, 10)};
+  return std::chrono::milliseconds{100};
+}
+
+ClusterConfig soak_cluster() {
+  ClusterConfig config;
+  config.n_servers = 10;
+  config.base_latency = std::chrono::microseconds{2};
+  config.stub.busy_backoff = std::chrono::microseconds{5};
+  return config;
+}
+
+DriverConfig soak_driver() {
+  DriverConfig config;
+  config.n_clients = 6;
+  config.intervals = 4;
+  config.interval = soak_interval();
+  config.executor.backoff_base = std::chrono::microseconds{5};
+  config.phase_changes = {{1, 1}, {3, 0}};
+  return config;
+}
+
+class SoakAllProtocols : public ::testing::TestWithParam<Protocol> {};
+
+TEST_P(SoakAllProtocols, BankSurvivesWithSerializableHistory) {
+  Cluster cluster(soak_cluster());
+  workloads::Bank bank({.n_branches = 8, .n_accounts = 64});
+  bank.seed(cluster.servers());
+
+  nesting::HistoryLog history;
+  auto config = soak_driver();
+  config.executor.history = &history;
+
+  // Mid-run chaos: a leaf goes down, then comes back.
+  std::thread chaos([&] {
+    std::this_thread::sleep_for(config.interval);
+    cluster.network().set_node_down(9, true);
+    std::this_thread::sleep_for(config.interval);
+    cluster.network().set_node_down(9, false);
+  });
+
+  const auto result = run(cluster, bank, GetParam(), config);
+  chaos.join();
+
+  EXPECT_GT(result.stats.commits, 0u) << protocol_name(GetParam());
+  EXPECT_EQ(history.size(), result.stats.commits);
+  const auto report = nesting::check_serializable(history.snapshot());
+  EXPECT_TRUE(report.ok) << report.violation;
+  // run() already verified the bank invariant.
+}
+
+TEST_P(SoakAllProtocols, TpccMixSurvives) {
+  Cluster cluster(soak_cluster());
+  workloads::TpccConfig tpcc_config;
+  tpcc_config.n_warehouses = 2;
+  tpcc_config.districts_per_warehouse = 4;
+  tpcc_config.customers_per_district = 16;
+  tpcc_config.n_items = 48;
+  tpcc_config.order_ring = 16;
+  tpcc_config.w_neworder = 0.4;
+  tpcc_config.w_payment = 0.3;
+  tpcc_config.w_delivery = 0.1;
+  tpcc_config.w_orderstatus = 0.1;
+  tpcc_config.w_stocklevel = 0.1;
+  workloads::Tpcc tpcc(tpcc_config);
+  tpcc.seed(cluster.servers());
+  const auto result = run(cluster, tpcc, GetParam(), soak_driver());
+  EXPECT_GT(result.stats.commits, 0u) << protocol_name(GetParam());
+}
+
+TEST_P(SoakAllProtocols, VacationWithCancelsSurvives) {
+  Cluster cluster(soak_cluster());
+  workloads::VacationConfig vacation_config;
+  vacation_config.n_items = 24;
+  vacation_config.n_customers = 48;
+  vacation_config.cancel_fraction = 0.25;
+  workloads::Vacation vacation(vacation_config);
+  vacation.seed(cluster.servers());
+  auto config = soak_driver();
+  config.think_time = std::chrono::microseconds{20};
+  const auto result = run(cluster, vacation, GetParam(), config);
+  EXPECT_GT(result.stats.commits, 0u) << protocol_name(GetParam());
+}
+
+INSTANTIATE_TEST_SUITE_P(Protocols, SoakAllProtocols,
+                         ::testing::Values(Protocol::kFlat, Protocol::kManualCN,
+                                           Protocol::kAcn,
+                                           Protocol::kCheckpoint),
+                         [](const auto& info) {
+                           std::string name = protocol_name(info.param);
+                           for (auto& c : name)
+                             if (!std::isalnum(static_cast<unsigned char>(c)))
+                               c = '_';
+                           return name;
+                         });
+
+}  // namespace
+}  // namespace acn::harness

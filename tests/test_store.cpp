@@ -1,0 +1,194 @@
+// Unit tests for the versioned store and the windowed contention tracker.
+#include <gtest/gtest.h>
+
+#include <thread>
+
+#include "src/store/contention_tracker.hpp"
+#include "src/store/versioned_store.hpp"
+
+namespace acn::store {
+namespace {
+
+const ObjectKey kA{1, 10};
+const ObjectKey kB{1, 11};
+const ObjectKey kC{2, 10};
+
+TEST(VersionedStore, SeedAndRead) {
+  VersionedStore s;
+  s.seed(kA, Record{7}, 3);
+  const auto r = s.read(kA);
+  ASSERT_EQ(r.status, ReadStatus::kOk);
+  EXPECT_EQ(r.record.value, Record{7});
+  EXPECT_EQ(r.record.version, 3u);
+  EXPECT_EQ(s.version_of(kA), 3u);
+}
+
+TEST(VersionedStore, MissingObject) {
+  VersionedStore s;
+  EXPECT_EQ(s.read(kA).status, ReadStatus::kMissing);
+  EXPECT_FALSE(s.version_of(kA).has_value());
+}
+
+TEST(VersionedStore, ProtectBlocksReadersAndOtherWriters) {
+  VersionedStore s;
+  s.seed(kA, Record{1});
+  EXPECT_TRUE(s.try_protect(kA, 100));
+  EXPECT_EQ(s.read(kA).status, ReadStatus::kProtected);
+  EXPECT_FALSE(s.try_protect(kA, 200));
+  EXPECT_TRUE(s.try_protect(kA, 100));  // re-entrant for the holder
+  s.unprotect(kA, 100);
+  EXPECT_EQ(s.read(kA).status, ReadStatus::kOk);
+}
+
+TEST(VersionedStore, UnprotectByNonHolderIsNoop) {
+  VersionedStore s;
+  s.seed(kA, Record{1});
+  ASSERT_TRUE(s.try_protect(kA, 100));
+  s.unprotect(kA, 999);
+  EXPECT_EQ(s.read(kA).status, ReadStatus::kProtected);
+  s.unprotect(kA, 100);
+}
+
+TEST(VersionedStore, ReadValidatingSeesOwnProtection) {
+  VersionedStore s;
+  s.seed(kA, Record{5}, 2);
+  ASSERT_TRUE(s.try_protect(kA, 100));
+  EXPECT_EQ(s.read_validating(kA, 100).status, ReadStatus::kOk);
+  EXPECT_EQ(s.read_validating(kA, 100).record.version, 2u);
+  EXPECT_EQ(s.read_validating(kA, 200).status, ReadStatus::kProtected);
+}
+
+TEST(VersionedStore, ApplyInstallsAndReleases) {
+  VersionedStore s;
+  s.seed(kA, Record{1}, 1);
+  ASSERT_TRUE(s.try_protect(kA, 100));
+  s.apply(kA, Record{2}, 2, 100);
+  const auto r = s.read(kA);
+  ASSERT_EQ(r.status, ReadStatus::kOk);
+  EXPECT_EQ(r.record.value, Record{2});
+  EXPECT_EQ(r.record.version, 2u);
+}
+
+TEST(VersionedStore, ApplyNeverRegressesVersions) {
+  VersionedStore s;
+  s.seed(kA, Record{5}, 5);
+  s.apply(kA, Record{1}, 3, kNoTx);  // stale install ignored
+  EXPECT_EQ(s.read(kA).record.value, Record{5});
+  EXPECT_EQ(s.version_of(kA), 5u);
+}
+
+TEST(VersionedStore, ProtectOnFreshKeyCreatesGuardedPlaceholder) {
+  VersionedStore s;
+  EXPECT_TRUE(s.try_protect(kA, 100));
+  // A placeholder is "busy", not missing, to concurrent readers.
+  EXPECT_EQ(s.read(kA).status, ReadStatus::kProtected);
+  // Aborting erases the placeholder entirely.
+  s.unprotect(kA, 100);
+  EXPECT_EQ(s.read(kA).status, ReadStatus::kMissing);
+  EXPECT_EQ(s.object_count(), 0u);
+}
+
+TEST(VersionedStore, FreshInsertThroughProtectApply) {
+  VersionedStore s;
+  ASSERT_TRUE(s.try_protect(kA, 100));
+  s.apply(kA, Record{9}, 1, 100);
+  const auto r = s.read(kA);
+  ASSERT_EQ(r.status, ReadStatus::kOk);
+  EXPECT_EQ(r.record.value, Record{9});
+}
+
+TEST(VersionedStore, ConcurrentProtectExactlyOneWins) {
+  VersionedStore s;
+  s.seed(kA, Record{0});
+  std::atomic<int> winners{0};
+  std::vector<std::thread> threads;
+  for (int t = 1; t <= 8; ++t)
+    threads.emplace_back([&, t] {
+      if (s.try_protect(kA, static_cast<TxId>(t))) winners.fetch_add(1);
+    });
+  for (auto& th : threads) th.join();
+  EXPECT_EQ(winners.load(), 1);
+}
+
+TEST(ContentionTracker, LevelsComeFromLastCompletedWindow) {
+  ContentionTracker tracker;
+  tracker.on_write(kA, 0);
+  tracker.on_write(kA, 0);
+  tracker.on_write(kB, 0);
+  EXPECT_EQ(tracker.level(kA), 0u);  // window not rolled yet
+  tracker.roll();
+  EXPECT_EQ(tracker.level(kA), 2u);
+  EXPECT_EQ(tracker.level(kB), 1u);
+  EXPECT_EQ(tracker.level(kC), 0u);
+  tracker.roll();
+  EXPECT_EQ(tracker.level(kA), 0u);  // stale window expired
+}
+
+TEST(ContentionTracker, ClassLevelIsHottestObject) {
+  ContentionTracker tracker;
+  for (int i = 0; i < 5; ++i) tracker.on_write(kA, 0);
+  tracker.on_write(kB, 0);   // same class as kA
+  tracker.on_write(kC, 0);   // different class
+  tracker.roll();
+  EXPECT_EQ(tracker.class_level(1), 5u);  // max, not 6 (the sum)
+  EXPECT_EQ(tracker.class_level(2), 1u);
+  EXPECT_EQ(tracker.class_level(3), 0u);
+}
+
+TEST(ContentionTracker, BatchClassLevels) {
+  ContentionTracker tracker;
+  tracker.on_write(kA, 0);
+  tracker.on_write(kC, 0);
+  tracker.roll();
+  const auto levels = tracker.class_levels({2, 1, 9});
+  EXPECT_EQ(levels, (std::vector<std::uint64_t>{1, 1, 0}));
+}
+
+TEST(ContentionTracker, TimeBasedRolling) {
+  ContentionTracker tracker(/*window_ns=*/1000);
+  tracker.on_write(kA, 100);
+  tracker.on_write(kA, 200);
+  tracker.maybe_roll(500);  // window not elapsed
+  EXPECT_EQ(tracker.level(kA), 0u);
+  tracker.maybe_roll(1200);  // rolls
+  EXPECT_EQ(tracker.level(kA), 2u);
+}
+
+TEST(ContentionTracker, OnWriteRollsWindowItself) {
+  ContentionTracker tracker(/*window_ns=*/1000);
+  tracker.on_write(kA, 100);
+  tracker.on_write(kA, 1500);  // crosses the boundary: rolls, then counts
+  EXPECT_EQ(tracker.level(kA), 1u);
+}
+
+TEST(ContentionTracker, ConcurrentBumpsAreCounted) {
+  ContentionTracker tracker;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 4; ++t)
+    threads.emplace_back([&] {
+      for (int i = 0; i < 1000; ++i) tracker.on_write(kA, 0);
+    });
+  for (auto& th : threads) th.join();
+  tracker.roll();
+  EXPECT_EQ(tracker.level(kA), 4000u);
+  EXPECT_EQ(tracker.class_level(kA.cls), 4000u);
+}
+
+TEST(ObjectKey, OrderingAndHash) {
+  EXPECT_LT((ObjectKey{1, 5}), (ObjectKey{2, 0}));
+  EXPECT_LT((ObjectKey{1, 5}), (ObjectKey{1, 6}));
+  EXPECT_EQ((ObjectKey{3, 3}), (ObjectKey{3, 3}));
+  EXPECT_NE(ObjectKeyHash{}(ObjectKey{1, 2}), ObjectKeyHash{}(ObjectKey{2, 1}));
+  EXPECT_EQ(to_string(ObjectKey{4, 7}), "4:7");
+}
+
+TEST(Record, ApproxSizeAndEquality) {
+  Record r{1, 2, 3};
+  EXPECT_EQ(r.size(), 3u);
+  EXPECT_EQ(r.approx_size(), 3 * sizeof(Field) + sizeof(std::uint32_t));
+  EXPECT_EQ(r, (Record{1, 2, 3}));
+  EXPECT_NE(r, (Record{1, 2}));
+}
+
+}  // namespace
+}  // namespace acn::store

@@ -1,0 +1,251 @@
+// Static Module tests — including the paper's own worked examples:
+//   * Section I, T_p1:  {Read(A), Read(B), C=A+B, D=C+phi}
+//   * Section I, T_p2:  {Read(A), Read(B), C=A+B, Read(D), E=D+C}
+//   * Section V-C1, T:  {Read A..D, var=A+B, var=var/2, Read E, var2=E+B}
+// plus attachment-policy behaviour, dependency-edge construction, deferred
+// ops, and cycle-aware contended attachment.
+#include <gtest/gtest.h>
+
+#include "src/acn/unitgraph.hpp"
+
+namespace acn {
+namespace {
+
+using ir::ProgramBuilder;
+using ir::TxEnv;
+using ir::TxProgram;
+using ir::VarId;
+using store::ObjectKey;
+
+/// Shorthand: remote read of class `cls` (key irrelevant for analysis).
+VarId rd(ProgramBuilder& b, ir::ClassId cls, const char* label) {
+  return b.remote_read(cls, {},
+                       [cls](const TxEnv&) { return ObjectKey{cls, 0}; },
+                       label);
+}
+
+/// Shorthand: local op consuming `reads`, producing `writes`.
+void lop(ProgramBuilder& b, std::vector<VarId> reads, std::vector<VarId> writes,
+         const char* label) {
+  b.local(std::move(reads), std::move(writes), [](TxEnv&) {}, label);
+}
+
+std::size_t unit_of(const DependencyModel& m, std::size_t op) {
+  return m.unit_of_op.at(op);
+}
+
+TEST(OpDependencies, RawWarWaw) {
+  ProgramBuilder b("deps", 1);
+  const VarId a = rd(b, 1, "A");      // op0 writes a
+  lop(b, {a}, {}, "reader");          // op1 RAW on op0
+  lop(b, {}, {a}, "overwriter");      // op2 WAR on op1, WAW on op0
+  lop(b, {a}, {}, "reader2");         // op3 RAW on op2
+  const TxProgram p = b.build();
+
+  const auto raw = op_dataflow(p);
+  EXPECT_EQ(raw[1], std::vector<std::size_t>{0});
+  EXPECT_TRUE(raw[2].empty());  // pure overwrite: no data flow in
+  EXPECT_EQ(raw[3], std::vector<std::size_t>{2});
+
+  const auto all = op_dependencies(p);
+  EXPECT_EQ(all[1], std::vector<std::size_t>{0});
+  EXPECT_EQ(all[2], (std::vector<std::size_t>{0, 1}));  // WAW + WAR
+  EXPECT_EQ(all[3], std::vector<std::size_t>{2});
+}
+
+TEST(UnitGraph, PaperTp1LocalChainStaysTogether) {
+  // T_p1 = {Read(A), Read(B), C=A+B, D=C+phi}: D must share B's UnitBlock
+  // with C — splitting them would forfeit closed nesting (Section I).
+  ProgramBuilder b("tp1", 0);
+  const VarId a = rd(b, 1, "Read(A)");
+  const VarId bb = rd(b, 2, "Read(B)");
+  const VarId c = b.fresh_var();
+  lop(b, {a, bb}, {c}, "C=A+B");  // op2
+  const VarId d = b.fresh_var();
+  lop(b, {c}, {d}, "D=C+phi");  // op3
+  const auto model =
+      build_dependency_model(b.build(), AttachPolicy::kLatestProducer);
+
+  ASSERT_EQ(model.units.size(), 2u);
+  EXPECT_EQ(unit_of(model, 2), unit_of(model, 1));  // C with Read(B)
+  EXPECT_EQ(unit_of(model, 3), unit_of(model, 1));  // D follows C
+  // Read(A)'s unit must precede Read(B)'s (C consumes A).
+  EXPECT_TRUE(model.depends(unit_of(model, 0), unit_of(model, 1)));
+  EXPECT_EQ(model.forced_merges, 0u);
+}
+
+TEST(UnitGraph, PaperTp2SeparatesIndependentTail) {
+  // T_p2 = {Read(A), Read(B), C=A+B, Read(D), E=D+C}: E goes with Read(D),
+  // so an invalidation of D re-executes only {Read(D), E} (Section I).
+  ProgramBuilder b("tp2", 0);
+  const VarId a = rd(b, 1, "Read(A)");
+  const VarId bb = rd(b, 2, "Read(B)");
+  const VarId c = b.fresh_var();
+  lop(b, {a, bb}, {c}, "C=A+B");  // op2
+  const VarId d = rd(b, 3, "Read(D)");  // op3
+  const VarId e = b.fresh_var();
+  lop(b, {d, c}, {e}, "E=D+C");  // op4
+  const auto model =
+      build_dependency_model(b.build(), AttachPolicy::kLatestProducer);
+
+  ASSERT_EQ(model.units.size(), 3u);
+  EXPECT_EQ(unit_of(model, 4), unit_of(model, 3));  // E with Read(D)
+  EXPECT_NE(unit_of(model, 4), unit_of(model, 2));
+  // E consumes C, so Read(B)'s unit precedes Read(D)'s.
+  EXPECT_TRUE(model.depends(unit_of(model, 2), unit_of(model, 3)));
+}
+
+TEST(UnitGraph, PaperSectionVC1Example) {
+  // T = {Read A, Read B, Read C, Read D, var=A+B, var=var/2, Read E,
+  //      var2=E+B}; the paper prescribes: var=A+B in Read(B)'s UnitBlock,
+  //      var=var/2 follows it, var2=E+B in Read(E)'s UnitBlock.
+  ProgramBuilder b("vc1", 0);
+  const VarId a = rd(b, 1, "Read A");   // op0
+  const VarId bb = rd(b, 2, "Read B");  // op1
+  rd(b, 3, "Read C");                   // op2
+  rd(b, 4, "Read D");                   // op3
+  const VarId var = b.fresh_var();
+  lop(b, {a, bb}, {var}, "var=A+B");  // op4
+  lop(b, {var}, {var}, "var=var/2");  // op5
+  const VarId e = rd(b, 5, "Read E");  // op6
+  const VarId var2 = b.fresh_var();
+  lop(b, {e, bb}, {var2}, "var2=E+B");  // op7
+  const auto model =
+      build_dependency_model(b.build(), AttachPolicy::kLatestProducer);
+
+  ASSERT_EQ(model.units.size(), 5u);
+  EXPECT_EQ(unit_of(model, 4), unit_of(model, 1));
+  EXPECT_EQ(unit_of(model, 5), unit_of(model, 1));
+  EXPECT_EQ(unit_of(model, 7), unit_of(model, 6));
+  // Read C / Read D units carry exactly one op each.
+  EXPECT_EQ(model.units[unit_of(model, 2)].ops.size(), 1u);
+  EXPECT_EQ(model.units[unit_of(model, 3)].ops.size(), 1u);
+}
+
+TEST(UnitGraph, MostContendedAttractsLocalOps) {
+  // Same T_p2 shape; with B's class hot, E=D+C re-attaches to the unit
+  // whose object is most contended (Algorithm Module Step 1).
+  ProgramBuilder b("tp2hot", 0);
+  const VarId a = rd(b, 1, "Read(A)");
+  const VarId bb = rd(b, 2, "Read(B)");
+  const VarId c = b.fresh_var();
+  lop(b, {a, bb}, {c}, "C=A+B");
+  const VarId d = rd(b, 3, "Read(D)");
+  const VarId e = b.fresh_var();
+  lop(b, {d, c}, {e}, "E=D+C");
+  const TxProgram p = b.build();
+
+  const ClassLevels hot_b{{1, 0.0}, {2, 0.9}, {3, 0.1}};
+  const auto model =
+      build_dependency_model(p, AttachPolicy::kMostContended, hot_b);
+  EXPECT_EQ(unit_of(model, 4), unit_of(model, 1));  // E joins Read(B)'s unit
+  // Read(D) must now precede Read(B)'s unit (E needs D).
+  EXPECT_TRUE(model.depends(unit_of(model, 3), unit_of(model, 1)));
+  EXPECT_EQ(model.forced_merges, 0u);
+
+  const ClassLevels hot_d{{1, 0.0}, {2, 0.1}, {3, 0.9}};
+  const auto model2 =
+      build_dependency_model(p, AttachPolicy::kMostContended, hot_d);
+  EXPECT_EQ(unit_of(model2, 4), unit_of(model2, 3));  // E back with Read(D)
+}
+
+TEST(UnitGraph, CycleAvoidanceFallsBackToValidCandidate) {
+  // ReadB's key depends on A, so U_A -> U_B is fixed.  A local op reading
+  // both A and B prefers hot A, but attaching there would need U_B -> U_A;
+  // the analysis must fall back to U_B and stay acyclic.
+  ProgramBuilder b("cycle", 0);
+  const VarId a = rd(b, 1, "Read(A)");
+  const VarId bb = b.remote_read(
+      2, {a}, [](const TxEnv&) { return ObjectKey{2, 0}; }, "Read(B[A])");
+  const VarId x = b.fresh_var();
+  lop(b, {a, bb}, {x}, "f(A,B)");
+  const TxProgram p = b.build();
+
+  const ClassLevels hot_a{{1, 0.9}, {2, 0.0}};
+  const auto model =
+      build_dependency_model(p, AttachPolicy::kMostContended, hot_a);
+  EXPECT_EQ(unit_of(model, 2), unit_of(model, 1));  // fell back to U_B
+  EXPECT_EQ(model.forced_merges, 0u);
+  EXPECT_TRUE(model.order_valid({0, 1}));
+}
+
+TEST(UnitGraph, LeadingLocalOpJoinsFirstConsumer) {
+  // k = f(p0) computed before any access; both reads key off it.
+  ProgramBuilder b("leading", 1);
+  const VarId p0 = b.param(0);
+  const VarId k = b.fresh_var();
+  lop(b, {p0}, {k}, "k=f(p0)");  // op0, deferred
+  b.remote_read(1, {k}, [](const TxEnv&) { return ObjectKey{1, 0}; }, "A[k]");
+  b.remote_read(2, {k}, [](const TxEnv&) { return ObjectKey{2, 0}; }, "B[k]");
+  const auto model =
+      build_dependency_model(b.build(), AttachPolicy::kLatestProducer);
+  EXPECT_EQ(unit_of(model, 0), unit_of(model, 1));  // with earliest consumer
+}
+
+TEST(UnitGraph, SideEffectOnlyOpAttachesToLastUnit) {
+  // A param-only op with no consumers (e.g. a blind insert) runs as late
+  // as possible, near the commit phase.
+  ProgramBuilder b("insertish", 1);
+  const VarId p0 = b.param(0);
+  rd(b, 1, "Read A");  // op0
+  rd(b, 2, "Read B");  // op1
+  lop(b, {p0}, {}, "blind insert");  // op2, deferred, no consumers
+  const auto model =
+      build_dependency_model(b.build(), AttachPolicy::kLatestProducer);
+  EXPECT_EQ(unit_of(model, 2), unit_of(model, 1));
+}
+
+TEST(UnitGraph, NoRemoteOpsThrows) {
+  ProgramBuilder b("pure", 1);
+  lop(b, {b.param(0)}, {}, "noop");
+  EXPECT_THROW(
+      build_dependency_model(b.build(), AttachPolicy::kLatestProducer),
+      std::invalid_argument);
+}
+
+TEST(UnitGraph, OrderValidRejectsViolations) {
+  ProgramBuilder b("ord", 0);
+  const VarId a = rd(b, 1, "A");
+  const VarId bb = b.remote_read(
+      2, {a}, [](const TxEnv&) { return ObjectKey{2, 0}; }, "B[A]");
+  (void)bb;
+  const auto model =
+      build_dependency_model(b.build(), AttachPolicy::kLatestProducer);
+  ASSERT_EQ(model.units.size(), 2u);
+  EXPECT_TRUE(model.order_valid({0, 1}));
+  EXPECT_FALSE(model.order_valid({1, 0}));
+  EXPECT_FALSE(model.order_valid({0}));
+  EXPECT_FALSE(model.order_valid({0, 0}));
+}
+
+TEST(UnitGraph, DescribeMentionsLabels) {
+  ProgramBuilder b("desc", 0);
+  const VarId a = rd(b, 1, "ReadAlpha");
+  lop(b, {a}, {}, "useAlpha");
+  const auto model =
+      build_dependency_model(b.build(), AttachPolicy::kLatestProducer);
+  const auto text = model.describe();
+  EXPECT_NE(text.find("ReadAlpha"), std::string::npos);
+  EXPECT_NE(text.find("useAlpha"), std::string::npos);
+}
+
+TEST(UnitGraph, WarDependencyOrdersUnits) {
+  // op2 overwrites the var op1's unit read: WAR forces U(A) before U(B).
+  ProgramBuilder b("war", 1);
+  const VarId p0 = b.param(0);
+  const VarId shared = b.fresh_var();
+  lop(b, {p0}, {shared}, "init");            // op0 deferred
+  const VarId a = rd(b, 1, "Read A");        // op1
+  lop(b, {a, shared}, {}, "use shared");     // op2 -> U(A)
+  const VarId bb = rd(b, 2, "Read B");       // op3
+  lop(b, {bb}, {shared}, "clobber shared");  // op4 -> U(B), WAR on op2
+  const auto model =
+      build_dependency_model(b.build(), AttachPolicy::kLatestProducer);
+  const auto ua = unit_of(model, 1);
+  const auto ub = unit_of(model, 3);
+  EXPECT_EQ(unit_of(model, 4), ub);
+  EXPECT_TRUE(model.depends(ua, ub));
+}
+
+}  // namespace
+}  // namespace acn

@@ -1,0 +1,601 @@
+// Workload tests: program shapes, parameter generators (phase behaviour),
+// seeding, single-client execution effects, and invariant checkers for
+// Bank, Vacation and TPC-C.
+#include <gtest/gtest.h>
+
+#include "src/acn/executor.hpp"
+#include "src/harness/cluster.hpp"
+#include "src/workloads/bank.hpp"
+#include "src/workloads/tpcc.hpp"
+#include "src/workloads/vacation.hpp"
+
+namespace acn::workloads {
+namespace {
+
+using harness::Cluster;
+using harness::ClusterConfig;
+using ir::Record;
+using store::Field;
+
+ClusterConfig fast_config(std::size_t n = 5) {
+  ClusterConfig config;
+  config.n_servers = n;
+  config.base_latency = std::chrono::nanoseconds{0};
+  return config;
+}
+
+ExecutorConfig fast_executor() {
+  ExecutorConfig config;
+  config.backoff_base = std::chrono::nanoseconds{100};
+  return config;
+}
+
+// ---------------- Bank -----------------------------------------------------
+
+TEST(Bank, ProfilesAndWeights) {
+  Bank bank;
+  ASSERT_EQ(bank.profiles().size(), 2u);
+  EXPECT_DOUBLE_EQ(bank.profiles()[0].weight, 0.9);
+  EXPECT_DOUBLE_EQ(bank.profiles()[1].weight, 0.1);
+  EXPECT_EQ(bank.profiles()[0].program->name, "bank.transfer");
+  EXPECT_EQ(bank.profiles()[0].program->remote_op_count(), 4u);
+  EXPECT_TRUE(sequence_valid(bank.profiles()[0].manual_sequence,
+                             bank.profiles()[0].static_model));
+  EXPECT_EQ(bank.profiles()[0].static_model.forced_merges, 0u);
+}
+
+TEST(Bank, TransferModelHasFourIndependentUnits) {
+  Bank bank;
+  const auto& model = bank.profiles()[0].static_model;
+  ASSERT_EQ(model.units.size(), 4u);
+  for (std::size_t u = 0; u < 4; ++u) {
+    EXPECT_EQ(model.units[u].ops.size(), 2u);  // access + its write-back
+    EXPECT_TRUE(model.preds[u].empty());
+    EXPECT_TRUE(model.succs[u].empty());
+  }
+}
+
+TEST(Bank, ManualSequenceIsFigure2) {
+  Bank bank;
+  const auto& profile = bank.profiles()[0];
+  ASSERT_EQ(profile.manual_sequence.size(), 2u);
+  for (std::size_t u : profile.manual_sequence[0].units)
+    EXPECT_EQ(profile.static_model.units[u].classes.front(), Bank::kAccount);
+  for (std::size_t u : profile.manual_sequence[1].units)
+    EXPECT_EQ(profile.static_model.units[u].classes.front(), Bank::kBranch);
+}
+
+TEST(Bank, PhaseControlsHotClass) {
+  Bank bank;
+  Rng rng(5);
+  int hot_branches_phase0 = 0, hot_accounts_phase1 = 0;
+  const int kTrials = 2000;
+  for (int i = 0; i < kTrials; ++i) {
+    const auto p0 = bank.profiles()[0].make_params(rng, 0);
+    if (p0[2][0] < static_cast<Field>(bank.config().hot_branches) &&
+        p0[3][0] < static_cast<Field>(bank.config().hot_branches))
+      ++hot_branches_phase0;
+    const auto p1 = bank.profiles()[0].make_params(rng, 1);
+    if (p1[0][0] < static_cast<Field>(bank.config().hot_accounts) &&
+        p1[1][0] < static_cast<Field>(bank.config().hot_accounts))
+      ++hot_accounts_phase1;
+  }
+  EXPECT_GT(hot_branches_phase0, kTrials / 2);
+  EXPECT_GT(hot_accounts_phase1, kTrials / 2);
+}
+
+TEST(Bank, ParamsAreDistinctAndInRange) {
+  Bank bank({.n_branches = 2, .n_accounts = 2});
+  Rng rng(8);
+  for (int i = 0; i < 200; ++i) {
+    const auto p = bank.profiles()[0].make_params(rng, i % 2);
+    EXPECT_NE(p[0][0], p[1][0]);
+    EXPECT_NE(p[2][0], p[3][0]);
+    EXPECT_LT(p[0][0], 2);
+    EXPECT_LT(p[2][0], 2);
+    EXPECT_GE(p[4][0], 1);
+  }
+}
+
+TEST(Bank, InvariantHoldsAfterMixedLoad) {
+  Cluster cluster(fast_config());
+  Bank bank({.n_branches = 8, .n_accounts = 32});
+  bank.seed(cluster.servers());
+  bank.check_invariants(cluster.servers());  // holds at seed time
+
+  auto stub = cluster.make_stub(0);
+  Executor executor(stub, fast_executor(), 3);
+  Rng rng(3);
+  ExecStats stats;
+  for (int i = 0; i < 60; ++i) {
+    const std::size_t p = pick_profile(bank.profiles(), rng);
+    executor.run_flat(*bank.profiles()[p].program,
+                      bank.profiles()[p].make_params(rng, i % 2), stats);
+  }
+  EXPECT_EQ(stats.commits, 60u);
+  bank.check_invariants(cluster.servers());
+}
+
+TEST(Bank, RejectsDegenerateConfig) {
+  EXPECT_THROW(Bank({.n_branches = 1}), std::invalid_argument);
+}
+
+// ---------------- Vacation -------------------------------------------------
+
+TEST(Vacation, ProgramShape) {
+  Vacation vacation;
+  ASSERT_EQ(vacation.profiles().size(), 2u);
+  const auto& reserve = vacation.profiles()[0];
+  EXPECT_EQ(reserve.program->name, "vacation.make_reservation");
+  EXPECT_EQ(reserve.program->remote_op_count(), 4u);
+  EXPECT_TRUE(sequence_valid(reserve.manual_sequence, reserve.static_model));
+  // The customer-charge op depends on all three item units.
+  const auto& model = reserve.static_model;
+  ASSERT_EQ(model.units.size(), 4u);
+}
+
+TEST(Vacation, ReservationUpdatesItemsAndCustomer) {
+  Cluster cluster(fast_config());
+  Vacation vacation({.n_items = 8, .n_customers = 4});
+  vacation.seed(cluster.servers());
+  auto stub = cluster.make_stub(0);
+  Executor executor(stub, fast_executor(), 2);
+  ExecStats stats;
+  // customer 1 books car 2, flight 3, room 4.
+  executor.run_flat(*vacation.profiles()[0].program,
+                    {Record{1}, Record{2}, Record{3}, Record{4}}, stats);
+  const auto servers = cluster.servers();
+  const auto car = latest_value(servers, Vacation::item_key(Vacation::kCar, 2));
+  EXPECT_EQ(car.value[0], vacation.config().capacity - 1);
+  EXPECT_EQ(car.value[1], 1);
+  const auto cust = latest_value(servers, Vacation::customer_key(1));
+  EXPECT_EQ(cust.value[1], 3);  // three bookings
+  EXPECT_GT(cust.value[0], 0);  // spent something
+  vacation.check_invariants(servers);
+}
+
+TEST(Vacation, PhaseRotatesHotTable) {
+  Vacation vacation;
+  Rng rng(4);
+  for (int phase = 0; phase < 3; ++phase) {
+    int hot = 0;
+    const int kTrials = 1000;
+    for (int i = 0; i < kTrials; ++i) {
+      const auto p = vacation.profiles()[0].make_params(rng, phase);
+      // param index 1+t holds table t's item id.
+      if (p[1 + static_cast<std::size_t>(phase)][0] <
+          static_cast<Field>(vacation.config().hot_items))
+        ++hot;
+    }
+    EXPECT_GT(hot, kTrials * 3 / 5) << "phase " << phase;
+  }
+}
+
+TEST(Vacation, InvariantHoldsAfterMixedLoad) {
+  Cluster cluster(fast_config());
+  Vacation vacation({.n_items = 8, .n_customers = 8});
+  vacation.seed(cluster.servers());
+  auto stub = cluster.make_stub(0);
+  Executor executor(stub, fast_executor(), 5);
+  Rng rng(6);
+  ExecStats stats;
+  for (int i = 0; i < 60; ++i) {
+    const std::size_t p = pick_profile(vacation.profiles(), rng);
+    const auto& profile = vacation.profiles()[p];
+    executor.run_blocks(*profile.program, profile.static_model,
+                        profile.manual_sequence, profile.make_params(rng, i % 3),
+                        stats);
+  }
+  EXPECT_EQ(stats.commits, 60u);
+  vacation.check_invariants(cluster.servers());
+}
+
+// ---------------- TPC-C ----------------------------------------------------
+
+TpccConfig small_tpcc() {
+  TpccConfig config;
+  config.n_warehouses = 2;
+  config.districts_per_warehouse = 3;
+  config.customers_per_district = 5;
+  config.n_items = 20;
+  config.order_ring = 8;
+  return config;
+}
+
+TEST(Tpcc, MixSelectsProfiles) {
+  auto config = small_tpcc();
+  config.w_neworder = 1.0;
+  config.w_payment = 0.0;
+  config.w_delivery = 0.0;
+  Tpcc neworder_only(config);
+  ASSERT_EQ(neworder_only.profiles().size(), 1u);
+  EXPECT_EQ(neworder_only.profiles()[0].program->name, "tpcc.neworder.5");
+
+  config.w_payment = 1.0;
+  config.w_delivery = 1.0;
+  Tpcc all(config);
+  EXPECT_EQ(all.profiles().size(), 3u);
+
+  config.w_neworder = config.w_payment = config.w_delivery = 0.0;
+  EXPECT_THROW(Tpcc{config}, std::invalid_argument);
+}
+
+TEST(Tpcc, KeySchemeIsInjectiveAcrossClasses) {
+  Tpcc tpcc(small_tpcc());
+  std::set<std::pair<ir::ClassId, std::uint64_t>> seen;
+  auto add = [&](const store::ObjectKey& key) {
+    EXPECT_TRUE(seen.insert({key.cls, key.id}).second)
+        << store::to_string(key);
+  };
+  for (Field w = 0; w < 2; ++w) {
+    add(tpcc.warehouse_key(w));
+    for (Field d = 0; d < 3; ++d) {
+      add(tpcc.district_key(w, d));
+      add(tpcc.cursor_key(w, d));
+      for (Field c = 0; c < 5; ++c) add(tpcc.customer_key(w, d, c));
+      for (Field o = 0; o < 8; ++o) {
+        add(tpcc.order_key(w, d, o));
+        for (std::size_t l = 0; l < Tpcc::kOrderLines; ++l)
+          add(tpcc.order_line_key(w, d, o, l));
+      }
+    }
+    for (Field i = 0; i < 20; ++i) add(tpcc.stock_key(w, i));
+  }
+  // The ring wraps: o and o + ring share a slot by design.
+  EXPECT_EQ(tpcc.order_key(0, 0, 1), tpcc.order_key(0, 0, 9));
+}
+
+TEST(Tpcc, NewOrderAdvancesDistrictAndInsertsOrder) {
+  Cluster cluster(fast_config());
+  auto config = small_tpcc();
+  Tpcc tpcc(config);
+  tpcc.seed(cluster.servers());
+  auto stub = cluster.make_stub(0);
+  Executor executor(stub, fast_executor(), 7);
+  ExecStats stats;
+
+  Record items(Tpcc::kOrderLines), qtys(Tpcc::kOrderLines);
+  for (std::size_t l = 0; l < Tpcc::kOrderLines; ++l) {
+    items[l] = static_cast<Field>(l);
+    qtys[l] = 2;
+  }
+  executor.run_flat(*tpcc.profiles()[0].program,
+                    {Record{1}, Record{2}, Record{3}, items, qtys}, stats);
+
+  const auto servers = cluster.servers();
+  const auto district = latest_value(servers, tpcc.district_key(1, 2));
+  const auto ring = static_cast<Field>(config.order_ring);
+  EXPECT_EQ(district.value[0], ring + 1);  // next_o_id advanced
+  const auto order = latest_value(servers, tpcc.order_key(1, 2, ring));
+  EXPECT_EQ(order.value[0], 3);  // c_id
+  const auto line = latest_value(servers, tpcc.order_line_key(1, 2, ring, 0));
+  EXPECT_EQ(line.value[0], 0);  // item id
+  EXPECT_EQ(line.value[1], 2);  // qty
+  tpcc.check_invariants(servers);
+}
+
+TEST(Tpcc, StockRestockRuleKeepsQuantityPositive) {
+  Cluster cluster(fast_config());
+  auto config = small_tpcc();
+  config.w_neworder = 1.0;
+  Tpcc tpcc(config);
+  tpcc.seed(cluster.servers());
+  auto stub = cluster.make_stub(0);
+  Executor executor(stub, fast_executor(), 9);
+  ExecStats stats;
+  Record items(Tpcc::kOrderLines, 0), qtys(Tpcc::kOrderLines, 10);
+  for (int i = 0; i < 30; ++i)  // hammer item 0's stock with max quantity
+    executor.run_flat(*tpcc.profiles()[0].program,
+                      {Record{0}, Record{0}, Record{0}, items, qtys}, stats);
+  tpcc.check_invariants(cluster.servers());
+}
+
+TEST(Tpcc, PaymentConservesCustomerBalance) {
+  Cluster cluster(fast_config());
+  auto config = small_tpcc();
+  config.w_neworder = 0.0;
+  config.w_payment = 1.0;
+  Tpcc tpcc(config);
+  tpcc.seed(cluster.servers());
+  auto stub = cluster.make_stub(0);
+  Executor executor(stub, fast_executor(), 11);
+  ExecStats stats;
+  executor.run_flat(*tpcc.profiles()[0].program,
+                    {Record{0}, Record{1}, Record{2}, Record{150}, Record{777}},
+                    stats);
+  const auto servers = cluster.servers();
+  const auto wh = latest_value(servers, tpcc.warehouse_key(0));
+  EXPECT_EQ(wh.value[0], 150);  // ytd
+  const auto cust = latest_value(servers, tpcc.customer_key(0, 1, 2));
+  EXPECT_EQ(cust.value[0], tpcc.config().initial_customer_balance - 150);
+  EXPECT_EQ(cust.value[1], 150);
+  const auto hist = latest_value(servers, tpcc.history_key(777));
+  EXPECT_EQ(hist.value[1], 150);
+  tpcc.check_invariants(servers);
+}
+
+TEST(Tpcc, DeliveryCreditsTheOrdersCustomer) {
+  Cluster cluster(fast_config());
+  auto config = small_tpcc();
+  config.w_neworder = 0.0;
+  config.w_delivery = 1.0;
+  Tpcc tpcc(config);
+  tpcc.seed(cluster.servers());
+  auto stub = cluster.make_stub(0);
+  Executor executor(stub, fast_executor(), 13);
+  ExecStats stats;
+  executor.run_flat(*tpcc.profiles()[0].program,
+                    {Record{0}, Record{0}, Record{4}}, stats);
+  const auto servers = cluster.servers();
+  const auto cursor = latest_value(servers, tpcc.cursor_key(0, 0));
+  EXPECT_EQ(cursor.value[0], 1);
+  const auto order = latest_value(servers, tpcc.order_key(0, 0, 0));
+  EXPECT_EQ(order.value[1], 4);  // carrier stamped
+  // Seeded order 0 belongs to customer 0; its first line was credited.
+  const auto line = latest_value(servers, tpcc.order_line_key(0, 0, 0, 0));
+  EXPECT_EQ(line.value[3], 1);  // delivered flag
+  const auto cust = latest_value(servers, tpcc.customer_key(0, 0, 0));
+  EXPECT_EQ(cust.value[0],
+            tpcc.config().initial_customer_balance + line.value[2]);
+  EXPECT_EQ(cust.value[4], 1);  // delivery count
+  tpcc.check_invariants(servers);
+}
+
+TEST(Tpcc, FullSpecDeliveryProcessesEveryDistrict) {
+  Cluster cluster(fast_config());
+  auto config = small_tpcc();
+  config.w_neworder = 0.0;
+  config.w_delivery = 1.0;
+  config.delivery_all_districts = true;
+  Tpcc tpcc(config);
+  ASSERT_EQ(tpcc.profiles().size(), 1u);
+  const auto& profile = tpcc.profiles()[0];
+  EXPECT_EQ(profile.program->name, "tpcc.delivery_all");
+  // 4 remote accesses per district.
+  EXPECT_EQ(profile.program->remote_op_count(),
+            4 * config.districts_per_warehouse);
+  EXPECT_TRUE(sequence_valid(profile.manual_sequence, profile.static_model));
+  EXPECT_EQ(profile.manual_sequence.size(), config.districts_per_warehouse);
+
+  tpcc.seed(cluster.servers());
+  auto stub = cluster.make_stub(0);
+  Executor executor(stub, fast_executor(), 47);
+  ExecStats stats;
+  executor.run_blocks(*profile.program, profile.static_model,
+                      profile.manual_sequence, {Record{1}, Record{6}}, stats);
+  EXPECT_EQ(stats.commits, 1u);
+  const auto servers = cluster.servers();
+  for (Field d = 0; d < static_cast<Field>(config.districts_per_warehouse);
+       ++d) {
+    EXPECT_EQ(latest_value(servers, tpcc.cursor_key(1, d)).value[0], 1)
+        << "district " << d;
+    EXPECT_EQ(latest_value(servers, tpcc.order_key(1, d, 0)).value[1], 6);
+  }
+  tpcc.check_invariants(servers);
+}
+
+TEST(Tpcc, MixedLoadKeepsInvariants) {
+  Cluster cluster(fast_config());
+  auto config = small_tpcc();
+  config.w_neworder = 0.5;
+  config.w_payment = 0.3;
+  config.w_delivery = 0.2;
+  Tpcc tpcc(config);
+  tpcc.seed(cluster.servers());
+  auto stub = cluster.make_stub(0);
+  Executor executor(stub, fast_executor(), 17);
+  Rng rng(17);
+  ExecStats stats;
+  for (int i = 0; i < 60; ++i) {
+    const std::size_t p = pick_profile(tpcc.profiles(), rng);
+    const auto& profile = tpcc.profiles()[p];
+    executor.run_blocks(*profile.program, profile.static_model,
+                        profile.manual_sequence, profile.make_params(rng, 0),
+                        stats);
+  }
+  EXPECT_EQ(stats.commits, 60u);
+  tpcc.check_invariants(cluster.servers());
+}
+
+TEST(Tpcc, VariableOrderLineRangeBuildsOneProfilePerCount) {
+  auto config = small_tpcc();
+  config.min_order_lines = 5;
+  config.max_order_lines = 15;
+  config.n_items = 32;
+  Tpcc tpcc(config);
+  ASSERT_EQ(tpcc.profiles().size(), 11u);
+  double total_weight = 0.0;
+  for (const auto& profile : tpcc.profiles()) total_weight += profile.weight;
+  EXPECT_NEAR(total_weight, 1.0, 1e-9);
+  EXPECT_EQ(tpcc.profiles().front().program->name, "tpcc.neworder.5");
+  EXPECT_EQ(tpcc.profiles().back().program->name, "tpcc.neworder.15");
+}
+
+TEST(Tpcc, FifteenLineNewOrderExecutesAndKeepsInvariants) {
+  Cluster cluster(fast_config());
+  auto config = small_tpcc();
+  config.min_order_lines = 15;
+  config.max_order_lines = 15;
+  config.n_items = 32;
+  Tpcc tpcc(config);
+  tpcc.seed(cluster.servers());
+  auto stub = cluster.make_stub(0);
+  Executor executor(stub, fast_executor(), 43);
+  ExecStats stats;
+  Record items(15), qtys(15);
+  for (std::size_t l = 0; l < 15; ++l) {
+    items[l] = static_cast<Field>(l * 2);
+    qtys[l] = 3;
+  }
+  executor.run_flat(*tpcc.profiles()[0].program,
+                    {Record{0}, Record{1}, Record{2}, items, qtys}, stats);
+  const auto servers = cluster.servers();
+  const auto ring = static_cast<Field>(config.order_ring);
+  const auto order = latest_value(servers, tpcc.order_key(0, 1, ring));
+  EXPECT_EQ(order.value[2], 15);  // ol_cnt
+  const auto line14 = latest_value(servers, tpcc.order_line_key(0, 1, ring, 14));
+  EXPECT_EQ(line14.value[0], 28);  // item id of the 15th line
+  tpcc.check_invariants(servers);
+}
+
+TEST(Tpcc, RejectsBadOrderLineRange) {
+  auto config = small_tpcc();
+  config.min_order_lines = 0;
+  EXPECT_THROW(Tpcc{config}, std::invalid_argument);
+  config.min_order_lines = 6;
+  config.max_order_lines = 5;
+  EXPECT_THROW(Tpcc{config}, std::invalid_argument);
+  config.min_order_lines = 5;
+  config.max_order_lines = Tpcc::kLineSlots;  // overflows the key stride
+  EXPECT_THROW(Tpcc{config}, std::invalid_argument);
+}
+
+TEST(Tpcc, OrderStatusIsReadOnlyAndConsistent) {
+  Cluster cluster(fast_config());
+  auto config = small_tpcc();
+  config.w_neworder = 0.0;
+  config.w_orderstatus = 1.0;
+  Tpcc tpcc(config);
+  tpcc.seed(cluster.servers());
+  auto stub = cluster.make_stub(0);
+  Executor executor(stub, fast_executor(), 19);
+  ExecStats stats;
+  executor.run_flat(*tpcc.profiles()[0].program,
+                    {Record{0}, Record{1}, Record{2}}, stats);
+  EXPECT_EQ(stats.commits, 1u);
+  // Read-only: no server-side version advanced.
+  EXPECT_EQ(latest_value(cluster.servers(), tpcc.district_key(0, 1)).version,
+            1u);
+}
+
+TEST(Tpcc, StockLevelReadsStockOfLatestOrderLine) {
+  Cluster cluster(fast_config());
+  auto config = small_tpcc();
+  config.w_neworder = 0.0;
+  config.w_stocklevel = 1.0;
+  Tpcc tpcc(config);
+  tpcc.seed(cluster.servers());
+  auto stub = cluster.make_stub(0);
+  Executor executor(stub, fast_executor(), 23);
+  ExecStats stats;
+  executor.run_flat(*tpcc.profiles()[0].program,
+                    {Record{0}, Record{0}, Record{15}}, stats);
+  EXPECT_EQ(stats.commits, 1u);
+  tpcc.check_invariants(cluster.servers());
+}
+
+TEST(Tpcc, ReadOnlyProfilesUnderWriteLoadKeepInvariants) {
+  Cluster cluster(fast_config());
+  auto config = small_tpcc();
+  config.w_neworder = 0.4;
+  config.w_payment = 0.2;
+  config.w_orderstatus = 0.2;
+  config.w_stocklevel = 0.2;
+  Tpcc tpcc(config);
+  ASSERT_EQ(tpcc.profiles().size(), 4u);
+  tpcc.seed(cluster.servers());
+  auto stub = cluster.make_stub(0);
+  Executor executor(stub, fast_executor(), 29);
+  Rng rng(29);
+  ExecStats stats;
+  for (int i = 0; i < 80; ++i) {
+    const std::size_t p = pick_profile(tpcc.profiles(), rng);
+    const auto& profile = tpcc.profiles()[p];
+    executor.run_blocks(*profile.program, profile.static_model,
+                        profile.manual_sequence, profile.make_params(rng, 0),
+                        stats);
+  }
+  EXPECT_EQ(stats.commits, 80u);
+  tpcc.check_invariants(cluster.servers());
+}
+
+TEST(Vacation, CancelReturnsSeatAndRefundsCustomer) {
+  Cluster cluster(fast_config());
+  VacationConfig config;
+  config.n_items = 8;
+  config.n_customers = 4;
+  config.cancel_fraction = 0.3;
+  Vacation vacation(config);
+  ASSERT_EQ(vacation.profiles().size(), 3u);
+  vacation.seed(cluster.servers());
+  auto stub = cluster.make_stub(0);
+  Executor executor(stub, fast_executor(), 31);
+  ExecStats stats;
+  // Reserve (customer 1: car 2, flight 3, room 4), then cancel the flight.
+  executor.run_flat(*vacation.profiles()[0].program,
+                    {Record{1}, Record{2}, Record{3}, Record{4}}, stats);
+  executor.run_flat(*vacation.profiles()[1].program,
+                    {Record{1}, Record{1}, Record{3}}, stats);
+  const auto servers = cluster.servers();
+  const auto flight =
+      latest_value(servers, Vacation::item_key(Vacation::kFlight, 3));
+  EXPECT_EQ(flight.value[0], vacation.config().capacity);  // seat returned
+  EXPECT_EQ(flight.value[1], 0);
+  const auto cust = latest_value(servers, Vacation::customer_key(1));
+  EXPECT_EQ(cust.value[1], 2);  // two bookings left
+  vacation.check_invariants(servers);
+}
+
+TEST(Vacation, CancelOnUnreservedItemIsANoop) {
+  Cluster cluster(fast_config());
+  VacationConfig config;
+  config.n_items = 8;
+  config.n_customers = 4;
+  config.cancel_fraction = 0.3;
+  Vacation vacation(config);
+  vacation.seed(cluster.servers());
+  auto stub = cluster.make_stub(0);
+  Executor executor(stub, fast_executor(), 37);
+  ExecStats stats;
+  executor.run_flat(*vacation.profiles()[1].program,
+                    {Record{0}, Record{0}, Record{5}}, stats);
+  const auto item =
+      latest_value(cluster.servers(), Vacation::item_key(Vacation::kCar, 5));
+  EXPECT_EQ(item.value[1], 0);  // nothing went negative
+  vacation.check_invariants(cluster.servers());
+}
+
+TEST(Vacation, MixedLoadWithCancelsKeepsInvariants) {
+  Cluster cluster(fast_config());
+  VacationConfig config;
+  config.n_items = 8;
+  config.n_customers = 8;
+  config.cancel_fraction = 0.3;
+  Vacation vacation(config);
+  vacation.seed(cluster.servers());
+  auto stub = cluster.make_stub(0);
+  Executor executor(stub, fast_executor(), 41);
+  Rng rng(41);
+  ExecStats stats;
+  for (int i = 0; i < 80; ++i) {
+    const std::size_t p = pick_profile(vacation.profiles(), rng);
+    const auto& profile = vacation.profiles()[p];
+    executor.run_flat(*profile.program, profile.make_params(rng, i % 3), stats);
+  }
+  EXPECT_EQ(stats.commits, 80u);
+  vacation.check_invariants(cluster.servers());
+}
+
+TEST(Tpcc, ManualSequencesAreValid) {
+  auto config = small_tpcc();
+  config.w_neworder = config.w_payment = config.w_delivery = 1.0;
+  Tpcc tpcc(config);
+  for (const auto& profile : tpcc.profiles()) {
+    EXPECT_TRUE(sequence_valid(profile.manual_sequence, profile.static_model))
+        << profile.program->name;
+    EXPECT_EQ(profile.static_model.forced_merges, 0u)
+        << profile.program->name;
+  }
+}
+
+TEST(PickProfile, RespectsWeights) {
+  Bank bank;  // 0.9 / 0.1
+  Rng rng(21);
+  int first = 0;
+  for (int i = 0; i < 5000; ++i)
+    if (pick_profile(bank.profiles(), rng) == 0) ++first;
+  EXPECT_NEAR(first / 5000.0, 0.9, 0.03);
+}
+
+}  // namespace
+}  // namespace acn::workloads
