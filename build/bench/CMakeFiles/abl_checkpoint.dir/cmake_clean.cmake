@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_checkpoint.dir/abl_checkpoint.cpp.o"
+  "CMakeFiles/abl_checkpoint.dir/abl_checkpoint.cpp.o.d"
+  "abl_checkpoint"
+  "abl_checkpoint.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_checkpoint.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

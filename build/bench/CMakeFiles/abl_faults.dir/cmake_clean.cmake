@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_faults.dir/abl_faults.cpp.o"
+  "CMakeFiles/abl_faults.dir/abl_faults.cpp.o.d"
+  "abl_faults"
+  "abl_faults.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_faults.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_longtx.dir/abl_longtx.cpp.o"
+  "CMakeFiles/abl_longtx.dir/abl_longtx.cpp.o.d"
+  "abl_longtx"
+  "abl_longtx.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_longtx.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

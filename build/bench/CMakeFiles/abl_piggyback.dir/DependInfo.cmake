@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/abl_piggyback.cpp" "bench/CMakeFiles/abl_piggyback.dir/abl_piggyback.cpp.o" "gcc" "bench/CMakeFiles/abl_piggyback.dir/abl_piggyback.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/harness/CMakeFiles/acn_harness.dir/DependInfo.cmake"
+  "/root/repo/build/src/workloads/CMakeFiles/acn_workloads.dir/DependInfo.cmake"
+  "/root/repo/build/src/acn/CMakeFiles/acn_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/nesting/CMakeFiles/acn_nesting.dir/DependInfo.cmake"
+  "/root/repo/build/src/dtm/CMakeFiles/acn_dtm.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/acn_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/quorum/CMakeFiles/acn_quorum.dir/DependInfo.cmake"
+  "/root/repo/build/src/store/CMakeFiles/acn_store.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/acn_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

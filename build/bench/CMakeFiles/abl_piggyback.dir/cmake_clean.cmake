@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_piggyback.dir/abl_piggyback.cpp.o"
+  "CMakeFiles/abl_piggyback.dir/abl_piggyback.cpp.o.d"
+  "abl_piggyback"
+  "abl_piggyback.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_piggyback.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

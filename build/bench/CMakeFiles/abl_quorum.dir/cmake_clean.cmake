@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_quorum.dir/abl_quorum.cpp.o"
+  "CMakeFiles/abl_quorum.dir/abl_quorum.cpp.o.d"
+  "abl_quorum"
+  "abl_quorum.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_quorum.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_reposition.dir/abl_reposition.cpp.o"
+  "CMakeFiles/abl_reposition.dir/abl_reposition.cpp.o.d"
+  "abl_reposition"
+  "abl_reposition.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_reposition.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

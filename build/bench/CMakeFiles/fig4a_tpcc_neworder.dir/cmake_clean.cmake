@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig4a_tpcc_neworder.dir/fig4a_tpcc_neworder.cpp.o"
+  "CMakeFiles/fig4a_tpcc_neworder.dir/fig4a_tpcc_neworder.cpp.o.d"
+  "fig4a_tpcc_neworder"
+  "fig4a_tpcc_neworder.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig4a_tpcc_neworder.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

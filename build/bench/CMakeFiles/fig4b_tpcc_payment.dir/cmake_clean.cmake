@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig4b_tpcc_payment.dir/fig4b_tpcc_payment.cpp.o"
+  "CMakeFiles/fig4b_tpcc_payment.dir/fig4b_tpcc_payment.cpp.o.d"
+  "fig4b_tpcc_payment"
+  "fig4b_tpcc_payment.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig4b_tpcc_payment.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

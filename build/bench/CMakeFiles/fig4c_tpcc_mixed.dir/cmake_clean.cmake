@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig4c_tpcc_mixed.dir/fig4c_tpcc_mixed.cpp.o"
+  "CMakeFiles/fig4c_tpcc_mixed.dir/fig4c_tpcc_mixed.cpp.o.d"
+  "fig4c_tpcc_mixed"
+  "fig4c_tpcc_mixed.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig4c_tpcc_mixed.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

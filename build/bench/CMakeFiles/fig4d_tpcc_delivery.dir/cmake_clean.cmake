@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig4d_tpcc_delivery.dir/fig4d_tpcc_delivery.cpp.o"
+  "CMakeFiles/fig4d_tpcc_delivery.dir/fig4d_tpcc_delivery.cpp.o.d"
+  "fig4d_tpcc_delivery"
+  "fig4d_tpcc_delivery.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig4d_tpcc_delivery.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

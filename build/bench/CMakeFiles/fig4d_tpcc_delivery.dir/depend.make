@@ -1,0 +1,2 @@
+# Empty dependencies file for fig4d_tpcc_delivery.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig4e_vacation.dir/fig4e_vacation.cpp.o"
+  "CMakeFiles/fig4e_vacation.dir/fig4e_vacation.cpp.o.d"
+  "fig4e_vacation"
+  "fig4e_vacation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig4e_vacation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

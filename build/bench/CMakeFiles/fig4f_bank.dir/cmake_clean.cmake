@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig4f_bank.dir/fig4f_bank.cpp.o"
+  "CMakeFiles/fig4f_bank.dir/fig4f_bank.cpp.o.d"
+  "fig4f_bank"
+  "fig4f_bank.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig4f_bank.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

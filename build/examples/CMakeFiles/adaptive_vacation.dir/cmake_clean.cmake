@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/adaptive_vacation.dir/adaptive_vacation.cpp.o"
+  "CMakeFiles/adaptive_vacation.dir/adaptive_vacation.cpp.o.d"
+  "adaptive_vacation"
+  "adaptive_vacation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/adaptive_vacation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

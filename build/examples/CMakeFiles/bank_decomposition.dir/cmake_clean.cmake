@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bank_decomposition.dir/bank_decomposition.cpp.o"
+  "CMakeFiles/bank_decomposition.dir/bank_decomposition.cpp.o.d"
+  "bank_decomposition"
+  "bank_decomposition.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bank_decomposition.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

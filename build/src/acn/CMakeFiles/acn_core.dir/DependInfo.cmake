@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/acn/algorithm_module.cpp" "src/acn/CMakeFiles/acn_core.dir/algorithm_module.cpp.o" "gcc" "src/acn/CMakeFiles/acn_core.dir/algorithm_module.cpp.o.d"
+  "/root/repo/src/acn/audit.cpp" "src/acn/CMakeFiles/acn_core.dir/audit.cpp.o" "gcc" "src/acn/CMakeFiles/acn_core.dir/audit.cpp.o.d"
+  "/root/repo/src/acn/blocks.cpp" "src/acn/CMakeFiles/acn_core.dir/blocks.cpp.o" "gcc" "src/acn/CMakeFiles/acn_core.dir/blocks.cpp.o.d"
+  "/root/repo/src/acn/contention_model.cpp" "src/acn/CMakeFiles/acn_core.dir/contention_model.cpp.o" "gcc" "src/acn/CMakeFiles/acn_core.dir/contention_model.cpp.o.d"
+  "/root/repo/src/acn/controller.cpp" "src/acn/CMakeFiles/acn_core.dir/controller.cpp.o" "gcc" "src/acn/CMakeFiles/acn_core.dir/controller.cpp.o.d"
+  "/root/repo/src/acn/executor.cpp" "src/acn/CMakeFiles/acn_core.dir/executor.cpp.o" "gcc" "src/acn/CMakeFiles/acn_core.dir/executor.cpp.o.d"
+  "/root/repo/src/acn/monitor.cpp" "src/acn/CMakeFiles/acn_core.dir/monitor.cpp.o" "gcc" "src/acn/CMakeFiles/acn_core.dir/monitor.cpp.o.d"
+  "/root/repo/src/acn/txir.cpp" "src/acn/CMakeFiles/acn_core.dir/txir.cpp.o" "gcc" "src/acn/CMakeFiles/acn_core.dir/txir.cpp.o.d"
+  "/root/repo/src/acn/unitgraph.cpp" "src/acn/CMakeFiles/acn_core.dir/unitgraph.cpp.o" "gcc" "src/acn/CMakeFiles/acn_core.dir/unitgraph.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/nesting/CMakeFiles/acn_nesting.dir/DependInfo.cmake"
+  "/root/repo/build/src/dtm/CMakeFiles/acn_dtm.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/acn_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/quorum/CMakeFiles/acn_quorum.dir/DependInfo.cmake"
+  "/root/repo/build/src/store/CMakeFiles/acn_store.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/acn_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/acn_core.dir/algorithm_module.cpp.o"
+  "CMakeFiles/acn_core.dir/algorithm_module.cpp.o.d"
+  "CMakeFiles/acn_core.dir/audit.cpp.o"
+  "CMakeFiles/acn_core.dir/audit.cpp.o.d"
+  "CMakeFiles/acn_core.dir/blocks.cpp.o"
+  "CMakeFiles/acn_core.dir/blocks.cpp.o.d"
+  "CMakeFiles/acn_core.dir/contention_model.cpp.o"
+  "CMakeFiles/acn_core.dir/contention_model.cpp.o.d"
+  "CMakeFiles/acn_core.dir/controller.cpp.o"
+  "CMakeFiles/acn_core.dir/controller.cpp.o.d"
+  "CMakeFiles/acn_core.dir/executor.cpp.o"
+  "CMakeFiles/acn_core.dir/executor.cpp.o.d"
+  "CMakeFiles/acn_core.dir/monitor.cpp.o"
+  "CMakeFiles/acn_core.dir/monitor.cpp.o.d"
+  "CMakeFiles/acn_core.dir/txir.cpp.o"
+  "CMakeFiles/acn_core.dir/txir.cpp.o.d"
+  "CMakeFiles/acn_core.dir/unitgraph.cpp.o"
+  "CMakeFiles/acn_core.dir/unitgraph.cpp.o.d"
+  "libacn_core.a"
+  "libacn_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/acn_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/acn_common.dir/latency_model.cpp.o"
+  "CMakeFiles/acn_common.dir/latency_model.cpp.o.d"
+  "CMakeFiles/acn_common.dir/rng.cpp.o"
+  "CMakeFiles/acn_common.dir/rng.cpp.o.d"
+  "CMakeFiles/acn_common.dir/stats.cpp.o"
+  "CMakeFiles/acn_common.dir/stats.cpp.o.d"
+  "libacn_common.a"
+  "libacn_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/acn_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

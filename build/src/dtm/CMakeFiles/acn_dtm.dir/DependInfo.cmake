@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/dtm/codec.cpp" "src/dtm/CMakeFiles/acn_dtm.dir/codec.cpp.o" "gcc" "src/dtm/CMakeFiles/acn_dtm.dir/codec.cpp.o.d"
+  "/root/repo/src/dtm/messages.cpp" "src/dtm/CMakeFiles/acn_dtm.dir/messages.cpp.o" "gcc" "src/dtm/CMakeFiles/acn_dtm.dir/messages.cpp.o.d"
+  "/root/repo/src/dtm/quorum_stub.cpp" "src/dtm/CMakeFiles/acn_dtm.dir/quorum_stub.cpp.o" "gcc" "src/dtm/CMakeFiles/acn_dtm.dir/quorum_stub.cpp.o.d"
+  "/root/repo/src/dtm/server.cpp" "src/dtm/CMakeFiles/acn_dtm.dir/server.cpp.o" "gcc" "src/dtm/CMakeFiles/acn_dtm.dir/server.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/acn_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/acn_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/quorum/CMakeFiles/acn_quorum.dir/DependInfo.cmake"
+  "/root/repo/build/src/store/CMakeFiles/acn_store.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

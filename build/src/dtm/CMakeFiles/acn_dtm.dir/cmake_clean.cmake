@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/acn_dtm.dir/codec.cpp.o"
+  "CMakeFiles/acn_dtm.dir/codec.cpp.o.d"
+  "CMakeFiles/acn_dtm.dir/messages.cpp.o"
+  "CMakeFiles/acn_dtm.dir/messages.cpp.o.d"
+  "CMakeFiles/acn_dtm.dir/quorum_stub.cpp.o"
+  "CMakeFiles/acn_dtm.dir/quorum_stub.cpp.o.d"
+  "CMakeFiles/acn_dtm.dir/server.cpp.o"
+  "CMakeFiles/acn_dtm.dir/server.cpp.o.d"
+  "libacn_dtm.a"
+  "libacn_dtm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/acn_dtm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

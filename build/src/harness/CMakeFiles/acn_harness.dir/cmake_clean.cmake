@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/acn_harness.dir/cluster.cpp.o"
+  "CMakeFiles/acn_harness.dir/cluster.cpp.o.d"
+  "CMakeFiles/acn_harness.dir/driver.cpp.o"
+  "CMakeFiles/acn_harness.dir/driver.cpp.o.d"
+  "CMakeFiles/acn_harness.dir/report.cpp.o"
+  "CMakeFiles/acn_harness.dir/report.cpp.o.d"
+  "libacn_harness.a"
+  "libacn_harness.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/acn_harness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

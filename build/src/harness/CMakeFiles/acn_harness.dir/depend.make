@@ -1,0 +1,2 @@
+# Empty dependencies file for acn_harness.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/acn_nesting.dir/history.cpp.o"
+  "CMakeFiles/acn_nesting.dir/history.cpp.o.d"
+  "CMakeFiles/acn_nesting.dir/transaction.cpp.o"
+  "CMakeFiles/acn_nesting.dir/transaction.cpp.o.d"
+  "libacn_nesting.a"
+  "libacn_nesting.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/acn_nesting.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

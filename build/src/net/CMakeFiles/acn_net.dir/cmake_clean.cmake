@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/acn_net.dir/net_stats.cpp.o"
+  "CMakeFiles/acn_net.dir/net_stats.cpp.o.d"
+  "libacn_net.a"
+  "libacn_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/acn_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

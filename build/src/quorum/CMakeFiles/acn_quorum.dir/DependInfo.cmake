@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/quorum/level_quorum.cpp" "src/quorum/CMakeFiles/acn_quorum.dir/level_quorum.cpp.o" "gcc" "src/quorum/CMakeFiles/acn_quorum.dir/level_quorum.cpp.o.d"
+  "/root/repo/src/quorum/rowa_quorum.cpp" "src/quorum/CMakeFiles/acn_quorum.dir/rowa_quorum.cpp.o" "gcc" "src/quorum/CMakeFiles/acn_quorum.dir/rowa_quorum.cpp.o.d"
+  "/root/repo/src/quorum/tree_quorum.cpp" "src/quorum/CMakeFiles/acn_quorum.dir/tree_quorum.cpp.o" "gcc" "src/quorum/CMakeFiles/acn_quorum.dir/tree_quorum.cpp.o.d"
+  "/root/repo/src/quorum/tree_topology.cpp" "src/quorum/CMakeFiles/acn_quorum.dir/tree_topology.cpp.o" "gcc" "src/quorum/CMakeFiles/acn_quorum.dir/tree_topology.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/acn_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/acn_quorum.dir/level_quorum.cpp.o"
+  "CMakeFiles/acn_quorum.dir/level_quorum.cpp.o.d"
+  "CMakeFiles/acn_quorum.dir/rowa_quorum.cpp.o"
+  "CMakeFiles/acn_quorum.dir/rowa_quorum.cpp.o.d"
+  "CMakeFiles/acn_quorum.dir/tree_quorum.cpp.o"
+  "CMakeFiles/acn_quorum.dir/tree_quorum.cpp.o.d"
+  "CMakeFiles/acn_quorum.dir/tree_topology.cpp.o"
+  "CMakeFiles/acn_quorum.dir/tree_topology.cpp.o.d"
+  "libacn_quorum.a"
+  "libacn_quorum.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/acn_quorum.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/acn_store.dir/contention_tracker.cpp.o"
+  "CMakeFiles/acn_store.dir/contention_tracker.cpp.o.d"
+  "CMakeFiles/acn_store.dir/versioned_store.cpp.o"
+  "CMakeFiles/acn_store.dir/versioned_store.cpp.o.d"
+  "libacn_store.a"
+  "libacn_store.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/acn_store.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libacn_store.a"
+)

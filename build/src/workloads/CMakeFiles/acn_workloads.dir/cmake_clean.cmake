@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/acn_workloads.dir/bank.cpp.o"
+  "CMakeFiles/acn_workloads.dir/bank.cpp.o.d"
+  "CMakeFiles/acn_workloads.dir/tpcc.cpp.o"
+  "CMakeFiles/acn_workloads.dir/tpcc.cpp.o.d"
+  "CMakeFiles/acn_workloads.dir/vacation.cpp.o"
+  "CMakeFiles/acn_workloads.dir/vacation.cpp.o.d"
+  "CMakeFiles/acn_workloads.dir/workload.cpp.o"
+  "CMakeFiles/acn_workloads.dir/workload.cpp.o.d"
+  "libacn_workloads.a"
+  "libacn_workloads.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/acn_workloads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

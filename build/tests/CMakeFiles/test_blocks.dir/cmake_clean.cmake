@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_blocks.dir/test_blocks.cpp.o"
+  "CMakeFiles/test_blocks.dir/test_blocks.cpp.o.d"
+  "test_blocks"
+  "test_blocks.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_blocks.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

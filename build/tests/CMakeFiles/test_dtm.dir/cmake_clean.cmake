@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_dtm.dir/test_dtm.cpp.o"
+  "CMakeFiles/test_dtm.dir/test_dtm.cpp.o.d"
+  "test_dtm"
+  "test_dtm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_dtm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_txir.dir/test_txir.cpp.o"
+  "CMakeFiles/test_txir.dir/test_txir.cpp.o.d"
+  "test_txir"
+  "test_txir.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_txir.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

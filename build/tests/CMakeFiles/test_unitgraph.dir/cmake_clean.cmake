@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_unitgraph.dir/test_unitgraph.cpp.o"
+  "CMakeFiles/test_unitgraph.dir/test_unitgraph.cpp.o.d"
+  "test_unitgraph"
+  "test_unitgraph.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_unitgraph.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
