@@ -9,22 +9,33 @@
 // Command-line overrides (all optional, positional-free):
 //   --clients=N --intervals=N --interval-ms=N --servers=N --latency-us=N
 //   --seed=N
+// Observability (both --flag=FILE and --flag FILE forms):
+//   --trace FILE         Chrome-trace/Perfetto JSON of the runs
+//   --metrics-json FILE  per-protocol metrics snapshots as JSON
+//   --metrics-csv FILE   same snapshots as protocol,name,kind,stat,value rows
 #pragma once
 
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <memory>
 #include <string>
 
 #include "src/harness/driver.hpp"
 #include "src/harness/report.hpp"
+#include "src/obs/obs.hpp"
 
 namespace acn::bench {
 
 struct FigureArgs {
   harness::ClusterConfig cluster;
   harness::DriverConfig driver;
-  std::string csv_path;  // --csv=FILE: dump the per-interval series
+  std::string csv_path;           // --csv=FILE: dump the per-interval series
+  std::string trace_path;         // --trace FILE: Chrome-trace JSON
+  std::string metrics_json_path;  // --metrics-json FILE
+  std::string metrics_csv_path;   // --metrics-csv FILE
+  /// Shared so copies of FigureArgs keep driver.obs valid.
+  std::shared_ptr<obs::Observability> obs;
 
   FigureArgs() {
     cluster.n_servers = 10;
@@ -45,6 +56,25 @@ inline FigureArgs parse_args(int argc, char** argv) {
     auto value = [&](const char* prefix) -> long {
       return std::strtol(arg.c_str() + std::strlen(prefix), nullptr, 10);
     };
+    // String-valued flag accepting --flag=FILE and --flag FILE.
+    auto path_flag = [&](const char* flag, std::string& out) -> bool {
+      const std::size_t n = std::strlen(flag);
+      if (arg.rfind(flag, 0) != 0) return false;
+      if (arg.size() > n && arg[n] == '=') {
+        out = arg.substr(n + 1);
+        return true;
+      }
+      if (arg.size() == n && i + 1 < argc) {
+        out = argv[++i];
+        return true;
+      }
+      return false;
+    };
+    if (path_flag("--csv", args.csv_path) ||
+        path_flag("--trace", args.trace_path) ||
+        path_flag("--metrics-json", args.metrics_json_path) ||
+        path_flag("--metrics-csv", args.metrics_csv_path))
+      continue;
     if (arg.rfind("--clients=", 0) == 0)
       args.driver.n_clients = static_cast<std::size_t>(value("--clients="));
     else if (arg.rfind("--intervals=", 0) == 0)
@@ -57,10 +87,15 @@ inline FigureArgs parse_args(int argc, char** argv) {
       args.cluster.base_latency = std::chrono::microseconds{value("--latency-us=")};
     else if (arg.rfind("--seed=", 0) == 0)
       args.driver.seed = static_cast<std::uint64_t>(value("--seed="));
-    else if (arg.rfind("--csv=", 0) == 0)
-      args.csv_path = arg.substr(std::strlen("--csv="));
     else
       std::fprintf(stderr, "ignoring unknown arg: %s\n", arg.c_str());
+  }
+  if (!args.trace_path.empty() || !args.metrics_json_path.empty() ||
+      !args.metrics_csv_path.empty()) {
+    obs::ObsConfig config;
+    config.trace_enabled = !args.trace_path.empty();
+    args.obs = std::make_shared<obs::Observability>(config);
+    args.driver.obs = args.obs.get();
   }
   return args;
 }
@@ -75,6 +110,19 @@ int run_figure(const std::string& title, const FigureArgs& args,
     if (!args.csv_path.empty() &&
         harness::write_csv(args.csv_path, results, args.driver))
       std::printf("series written to %s\n", args.csv_path.c_str());
+    if (args.obs) {
+      if (!args.trace_path.empty() &&
+          args.obs->tracer.write_chrome_json(args.trace_path))
+        std::printf("trace written to %s (dropped events: %llu)\n",
+                    args.trace_path.c_str(),
+                    static_cast<unsigned long long>(args.obs->tracer.dropped()));
+      if (!args.metrics_json_path.empty() &&
+          harness::write_metrics_json(args.metrics_json_path, results))
+        std::printf("metrics written to %s\n", args.metrics_json_path.c_str());
+      if (!args.metrics_csv_path.empty() &&
+          harness::write_metrics_csv(args.metrics_csv_path, results))
+        std::printf("metrics written to %s\n", args.metrics_csv_path.c_str());
+    }
     return 0;
   } catch (const std::exception& e) {
     std::fprintf(stderr, "%s failed: %s\n", title.c_str(), e.what());

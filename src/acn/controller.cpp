@@ -28,11 +28,21 @@ void AdaptiveController::adapt(const RawLevels& raw) {
   auto next = std::make_shared<const Plan>(algorithm_.recompute(raw));
   std::lock_guard lock(mutex_);
   ++adaptations_;
+  if (obs_) obs_->adaptations.add();
   // Publishing an identical composition would only churn readers' caches;
   // swap only when the layout genuinely changed.
   if (same_composition(*next, *plan_)) return;
+  const std::size_t old_blocks = plan_->sequence.size();
+  const std::size_t new_blocks = next->sequence.size();
   plan_ = std::move(next);
   ++recompositions_;
+  if (obs_) {
+    obs_->recompositions.add();
+    obs_->plan_blocks.set(static_cast<std::int64_t>(new_blocks));
+    obs_->tracer.instant("acn.replan", "acn", 0, "old_blocks",
+                         static_cast<std::int64_t>(old_blocks), "new_blocks",
+                         static_cast<std::int64_t>(new_blocks));
+  }
 }
 
 void AdaptiveController::adapt_from(ContentionMonitor& monitor,

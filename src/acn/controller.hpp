@@ -41,12 +41,18 @@ class AdaptiveController {
   /// published (the workload genuinely shifted).
   std::uint64_t recompositions() const noexcept { return recompositions_; }
 
+  /// When set, every adapt() tick bumps acn.adaptations and each published
+  /// re-plan emits an "acn.replan" trace event with the old -> new block
+  /// counts plus the acn.recompositions counter.
+  void set_obs(obs::Observability* obs) noexcept { obs_ = obs; }
+
  private:
   AlgorithmModule algorithm_;
   mutable std::mutex mutex_;
   std::shared_ptr<const Plan> plan_;
   std::uint64_t adaptations_ = 0;
   std::uint64_t recompositions_ = 0;
+  obs::Observability* obs_ = nullptr;
 };
 
 /// Structural equality of two plans' executable layout: same blocks, in the

@@ -2,7 +2,35 @@
 
 #include <thread>
 
+#include "src/common/clock.hpp"
+
 namespace acn {
+namespace {
+
+int abort_reason_index(dtm::AbortKind kind) noexcept {
+  switch (kind) {
+    case dtm::AbortKind::kValidation:
+      return obs::kReasonValidation;
+    case dtm::AbortKind::kBusy:
+      return obs::kReasonBusy;
+    case dtm::AbortKind::kUnavailable:
+      return obs::kReasonUnavailable;
+  }
+  return obs::kReasonValidation;
+}
+
+/// Full-abort bookkeeping shared by every execution mode.
+void note_full_abort(obs::Observability* obs, const dtm::TxAbort& abort,
+                     std::uint64_t tx) {
+  if (!obs) return;
+  const int reason = abort_reason_index(abort.kind());
+  obs->tx_aborts_full.add();
+  obs->aborts_full_reason[reason].add();
+  obs->tracer.instant("abort.full", "abort", tx, nullptr, 0, nullptr, 0,
+                      "reason", obs::abort_reason_name(reason));
+}
+
+}  // namespace
 
 Executor::Executor(dtm::QuorumStub& stub, ExecutorConfig config,
                    std::uint64_t seed)
@@ -20,6 +48,7 @@ void Executor::execute_op(const ir::TxProgram& program, std::size_t op_index,
 
 void Executor::arm_env(ir::TxEnv& env) {
   if (config_.history) env.txn().set_history(config_.history);
+  if (config_.obs) env.txn().set_obs(config_.obs);
   if (ContentionMonitor* monitor = config_.piggyback_monitor) {
     env.set_contention_piggyback(
         monitor->classes(),
@@ -41,10 +70,15 @@ void Executor::backoff(int attempt) {
 void Executor::run_flat(const ir::TxProgram& program,
                         const std::vector<ir::Record>& params,
                         ExecStats& stats) {
+  obs::Observability* const o = config_.obs;
+  const Stopwatch tx_watch;
   for (int attempt = 0;; ++attempt) {
     nesting::Transaction txn(stub_, nesting::next_tx_id());
     ir::TxEnv env(txn, program, params);
     arm_env(env);
+    obs::Tracer::Span tx_span;
+    if (o)
+      tx_span.restart(&o->tracer, "tx", "tx", txn.id(), "attempt", attempt);
     try {
       for (std::size_t i = 0; i < program.ops.size(); ++i)
         execute_op(program, i, env, stats);
@@ -55,10 +89,15 @@ void Executor::run_flat(const ir::TxProgram& program,
         throw;
       }
       ++stats.commits;
+      if (o) {
+        o->tx_commits.add();
+        o->tx_latency_ns.observe(tx_watch.elapsed_ns());
+      }
       return;
     } catch (const dtm::TxAbort& abort) {
       ++stats.full_aborts;
       if (abort.kind() == dtm::AbortKind::kBusy) ++stats.aborts_busy;
+      note_full_abort(o, abort, txn.id());
       if (attempt >= config_.max_full_retries) throw;
       backoff(attempt);
     }
@@ -70,10 +109,15 @@ void Executor::run_blocks(const ir::TxProgram& program,
                           const BlockSequence& sequence,
                           const std::vector<ir::Record>& params,
                           ExecStats& stats) {
+  obs::Observability* const o = config_.obs;
+  const Stopwatch tx_watch;
   for (int attempt = 0;; ++attempt) {
     nesting::Transaction txn(stub_, nesting::next_tx_id());
     ir::TxEnv env(txn, program, params);
     arm_env(env);
+    obs::Tracer::Span tx_span;
+    if (o)
+      tx_span.restart(&o->tracer, "tx", "tx", txn.id(), "attempt", attempt);
     try {
       for (std::size_t position = 0; position < sequence.size(); ++position) {
         const Block& block = sequence[position];
@@ -84,6 +128,15 @@ void Executor::run_blocks(const ir::TxProgram& program,
         int partial_attempts = 0;
         for (;;) {
           ++stats.blocks_executed;
+          obs::Tracer::Span block_span;
+          obs::ScopedLatency block_latency;
+          if (o) {
+            o->blocks_executed.add();
+            block_span.restart(&o->tracer, "block", "block", txn.id(),
+                               "position",
+                               static_cast<std::int64_t>(position));
+            block_latency.arm(o->block_latency_ns);
+          }
           txn.begin_nested();
           try {
             for (std::size_t op : ops) execute_op(program, op, env, stats);
@@ -102,6 +155,14 @@ void Executor::run_blocks(const ir::TxProgram& program,
             ++stats.partial_aborts;
             ++stats.partials_at_position[slot];
             ++partial_attempts;
+            if (o) {
+              const int reason = abort_reason_index(abort.kind());
+              o->tx_aborts_partial.add();
+              o->aborts_partial_reason[reason].add();
+              o->tracer.instant("abort.partial", "abort", txn.id(), "position",
+                                static_cast<std::int64_t>(position), nullptr,
+                                0, "reason", obs::abort_reason_name(reason));
+            }
             env.restore(snapshot);
             if (abort.kind() == dtm::AbortKind::kBusy)
               backoff(partial_attempts);
@@ -115,10 +176,15 @@ void Executor::run_blocks(const ir::TxProgram& program,
         throw;
       }
       ++stats.commits;
+      if (o) {
+        o->tx_commits.add();
+        o->tx_latency_ns.observe(tx_watch.elapsed_ns());
+      }
       return;
     } catch (const dtm::TxAbort& abort) {
       ++stats.full_aborts;
       if (abort.kind() == dtm::AbortKind::kBusy) ++stats.aborts_busy;
+      note_full_abort(o, abort, txn.id());
       if (attempt >= config_.max_full_retries) throw;
       backoff(attempt);
     }
@@ -134,10 +200,15 @@ void Executor::run_checkpointed(const ir::TxProgram& program,
     nesting::Transaction::Checkpoint txn;
   };
 
+  obs::Observability* const o = config_.obs;
+  const Stopwatch tx_watch;
   for (int attempt = 0;; ++attempt) {
     nesting::Transaction txn(stub_, nesting::next_tx_id());
     ir::TxEnv env(txn, program, params);
     arm_env(env);
+    obs::Tracer::Span tx_span;
+    if (o)
+      tx_span.restart(&o->tracer, "tx", "tx", txn.id(), "attempt", attempt);
     std::vector<Checkpoint> checkpoints;
     std::unordered_map<ir::ObjectKey, std::size_t, store::ObjectKeyHash>
         first_read_at;
@@ -165,6 +236,9 @@ void Executor::run_checkpointed(const ir::TxProgram& program,
                     [&](const auto& entry) { return entry.second >= target; });
       ++stats.checkpoint_restores;
       ++restores;
+      if (o)
+        o->tracer.instant("checkpoint.restore", "abort", txn.id(), "resume_op",
+                          static_cast<std::int64_t>(resume_op));
       if (abort.kind() == dtm::AbortKind::kBusy) backoff(restores);
       return true;
     };
@@ -198,10 +272,15 @@ void Executor::run_checkpointed(const ir::TxProgram& program,
         }
       }
       ++stats.commits;
+      if (o) {
+        o->tx_commits.add();
+        o->tx_latency_ns.observe(tx_watch.elapsed_ns());
+      }
       return;
     } catch (const dtm::TxAbort& abort) {
       ++stats.full_aborts;
       if (abort.kind() == dtm::AbortKind::kBusy) ++stats.aborts_busy;
+      note_full_abort(o, abort, txn.id());
       if (attempt >= config_.max_full_retries) throw;
       backoff(attempt);
     }

@@ -81,6 +81,10 @@ struct ExecutorConfig {
   /// When set, committed transactions are appended here for offline
   /// serializability checking (nesting::check_serializable).
   nesting::HistoryLog* history = nullptr;
+  /// When set, the executor records tx/Block trace spans and the
+  /// commit/abort counters (split partial vs full, by reason code), and
+  /// arms the transaction + stub-level instrumentation.  Null = off.
+  obs::Observability* obs = nullptr;
 };
 
 class Executor {

@@ -11,6 +11,12 @@ ContentionMonitor::ContentionMonitor(std::vector<ir::ClassId> classes)
 }
 
 void ContentionMonitor::refresh(dtm::QuorumStub& stub) {
+  obs::Tracer::Span span;
+  if (obs_) {
+    obs_->monitor_refreshes.add();
+    span.restart(&obs_->tracer, "acn.monitor.refresh", "acn", 0, "classes",
+                 static_cast<std::int64_t>(classes_.size()));
+  }
   const auto levels = stub.contention_levels(classes_);
   std::lock_guard lock(mutex_);
   raw_.clear();
@@ -19,6 +25,7 @@ void ContentionMonitor::refresh(dtm::QuorumStub& stub) {
 
 void ContentionMonitor::observe(const std::vector<ir::ClassId>& classes,
                                 const std::vector<std::uint64_t>& levels) {
+  if (obs_) obs_->monitor_observes.add();
   std::lock_guard lock(mutex_);
   for (std::size_t i = 0; i < classes.size() && i < levels.size(); ++i) {
     auto& slot = raw_[classes[i]];

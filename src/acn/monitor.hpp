@@ -39,10 +39,15 @@ class ContentionMonitor {
   std::uint64_t level(ir::ClassId cls) const;
   const std::vector<ir::ClassId>& classes() const noexcept { return classes_; }
 
+  /// When set, refresh() records an "acn.monitor.refresh" span and each
+  /// piggybacked observe() bumps its counter.
+  void set_obs(obs::Observability* obs) noexcept { obs_ = obs; }
+
  private:
   std::vector<ir::ClassId> classes_;
   mutable std::mutex mutex_;
   RawLevels raw_;
+  obs::Observability* obs_ = nullptr;
 };
 
 }  // namespace acn

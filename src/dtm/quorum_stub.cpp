@@ -53,6 +53,14 @@ std::vector<net::CallResult<Response>> QuorumStub::exchange(
 ReadOutcome QuorumStub::read(TxId tx, const ObjectKey& key,
                              const std::vector<VersionCheck>& validate,
                              const std::vector<ClassId>& want_contention) {
+  obs::Tracer::Span span;
+  obs::ScopedLatency latency;
+  if (obs::Observability* o = config_.obs) {
+    o->rpc_reads.add();
+    span.restart(&o->tracer, "rpc.read", "rpc", tx, "validated",
+                 static_cast<std::int64_t>(validate.size()));
+    latency.arm(o->rpc_read_ns);
+  }
   int busy_attempts = 0;
   int quorum_attempts = 0;
   for (;;) {
@@ -119,6 +127,12 @@ ReadOutcome QuorumStub::read(TxId tx, const ObjectKey& key,
 
 void QuorumStub::validate(TxId tx, const std::vector<VersionCheck>& checks) {
   if (checks.empty()) return;
+  obs::Tracer::Span span;
+  if (obs::Observability* o = config_.obs) {
+    o->rpc_validates.add();
+    span.restart(&o->tracer, "rpc.validate", "rpc", tx, "checks",
+                 static_cast<std::int64_t>(checks.size()));
+  }
   int busy_attempts = 0;
   for (;;) {
     const auto quorum = pick_read_quorum();
@@ -147,6 +161,14 @@ PrepareTicket QuorumStub::prepare(TxId tx,
                                   const std::vector<VersionCheck>& read_checks,
                                   const std::vector<ObjectKey>& write_keys,
                                   const std::vector<Version>& read_versions) {
+  obs::Tracer::Span span;
+  obs::ScopedLatency latency;
+  if (obs::Observability* o = config_.obs) {
+    o->rpc_prepares.add();
+    span.restart(&o->tracer, "rpc.prepare", "2pc", tx, "writes",
+                 static_cast<std::int64_t>(write_keys.size()));
+    latency.arm(o->rpc_prepare_ns);
+  }
   int busy_attempts = 0;
   for (;;) {
     const auto quorum = pick_write_quorum();
@@ -212,6 +234,14 @@ PrepareTicket QuorumStub::prepare(TxId tx,
 
 void QuorumStub::commit(const PrepareTicket& ticket,
                         const std::vector<Record>& values) {
+  obs::Tracer::Span span;
+  obs::ScopedLatency latency;
+  if (obs::Observability* o = config_.obs) {
+    o->rpc_commits.add();
+    span.restart(&o->tracer, "rpc.commit", "2pc", ticket.tx, "writes",
+                 static_cast<std::int64_t>(ticket.keys.size()));
+    latency.arm(o->rpc_commit_ns);
+  }
   Request request;
   request.payload =
       CommitRequest{ticket.tx, ticket.keys, values, ticket.new_versions};
@@ -224,6 +254,7 @@ void QuorumStub::abort(const PrepareTicket& ticket) {
 
 void QuorumStub::send_abort(TxId tx, const std::vector<net::NodeId>& quorum,
                             const std::vector<ObjectKey>& keys) {
+  if (obs::Observability* o = config_.obs) o->rpc_aborts.add();
   Request request;
   request.payload = AbortRequest{tx, keys};
   exchange(quorum, request);
@@ -231,6 +262,12 @@ void QuorumStub::send_abort(TxId tx, const std::vector<net::NodeId>& quorum,
 
 std::vector<std::uint64_t> QuorumStub::contention_levels(
     const std::vector<ClassId>& classes) {
+  obs::Tracer::Span span;
+  if (obs::Observability* o = config_.obs) {
+    o->rpc_contention_queries.add();
+    span.restart(&o->tracer, "rpc.contention", "rpc", 0, "classes",
+                 static_cast<std::int64_t>(classes.size()));
+  }
   // Write counters are bumped on write-quorum nodes at commit time, and
   // every write quorum contains the tree root, so querying a *write*
   // quorum (rather than a read quorum, which may be all leaves) always

@@ -21,6 +21,7 @@
 #include "src/dtm/abort.hpp"
 #include "src/dtm/messages.hpp"
 #include "src/net/network.hpp"
+#include "src/obs/obs.hpp"
 #include "src/quorum/quorum_system.hpp"
 
 namespace acn::dtm {
@@ -39,6 +40,9 @@ struct StubConfig {
   /// so all traffic doubles as codec coverage.  Throws std::logic_error on
   /// a codec fidelity bug.
   bool verify_codec = false;
+  /// When set, every quorum operation records an RPC span (read / prepare /
+  /// commit / validate) and bumps the rpc.* counters.  Null = off.
+  obs::Observability* obs = nullptr;
 };
 
 struct ReadOutcome {

@@ -61,6 +61,10 @@ class Cluster {
   /// Roll every server's contention window (harness interval boundary).
   void roll_contention_windows();
 
+  /// Route RPC instrumentation from stubs made after this call into `obs`
+  /// (the driver installs its bundle before spawning clients).
+  void set_obs(obs::Observability* obs) noexcept { config_.stub.obs = obs; }
+
   const ClusterConfig& config() const noexcept { return config_; }
 
  private:

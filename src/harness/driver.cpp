@@ -36,6 +36,17 @@ RunResult run(Cluster& cluster, const workloads::Workload& workload,
   if (profiles.empty())
     throw std::invalid_argument("run: workload has no profiles");
 
+  obs::Observability* const obs = config.obs;
+  obs::Snapshot metrics_before;
+  if (obs) {
+    metrics_before = obs->metrics.snapshot();
+    cluster.set_obs(obs);
+    // One trace "process" per protocol run: lanes group by protocol in the
+    // Perfetto UI even when several runs share the tracer.
+    obs->tracer.set_process(static_cast<std::int32_t>(protocol) + 1,
+                            protocol_name(protocol));
+  }
+
   // QR-ACN machinery: one controller per transaction program, one monitor
   // over the union of touched classes, refreshed through an admin stub.
   auto contention_model = default_contention_model();
@@ -53,6 +64,10 @@ RunResult run(Cluster& cluster, const workloads::Workload& workload,
     monitor = std::make_unique<ContentionMonitor>(std::move(classes));
     admin_stub = std::make_unique<dtm::QuorumStub>(
         cluster.make_stub(/*client_ordinal=*/1'000'000, config.seed ^ 0xadaULL));
+    if (obs) {
+      monitor->set_obs(obs);
+      for (auto& controller : controllers) controller->set_obs(obs);
+    }
   }
 
   std::atomic<int> phase{0};
@@ -72,6 +87,10 @@ RunResult run(Cluster& cluster, const workloads::Workload& workload,
       auto stub = cluster.make_stub(static_cast<int>(t),
                                     config.seed + 0x100 + t);
       ExecutorConfig exec_config = config.executor;
+      if (obs) {
+        exec_config.obs = obs;
+        obs->tracer.set_thread_name("client-" + std::to_string(t));
+      }
       if (protocol == Protocol::kAcn && config.piggyback_contention)
         exec_config.piggyback_monitor = monitor.get();
       Executor executor(stub, exec_config, config.seed ^ (t << 20));
@@ -154,6 +173,7 @@ RunResult run(Cluster& cluster, const workloads::Workload& workload,
   }
   result.latency_p50_ns = latency.percentile(0.5);
   result.latency_p99_ns = latency.percentile(0.99);
+  if (obs) result.metrics = obs->metrics.snapshot().since(metrics_before);
 
   if (config.check_invariants) workload.check_invariants(cluster.servers());
   return result;

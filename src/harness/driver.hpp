@@ -20,6 +20,7 @@
 
 #include "src/acn/executor.hpp"
 #include "src/harness/cluster.hpp"
+#include "src/obs/obs.hpp"
 #include "src/workloads/workload.hpp"
 
 namespace acn::harness {
@@ -49,6 +50,11 @@ struct DriverConfig {
   /// Pause between a client's transactions (emulates more client machines
   /// than threads, or TPC-C keying/think time).  Zero = closed loop.
   std::chrono::nanoseconds think_time{0};
+  /// Observability bundle (owned by the caller, typically the bench main).
+  /// When set, the driver wires it through every layer — executor, stub,
+  /// monitor, controllers — labels the trace with one pid per protocol run,
+  /// and returns the per-run metrics delta in RunResult::metrics.
+  obs::Observability* obs = nullptr;
 };
 
 struct RunResult {
@@ -61,6 +67,8 @@ struct RunResult {
   // End-to-end transaction latency (first attempt to commit), bucketed.
   std::uint64_t latency_p50_ns = 0;
   std::uint64_t latency_p99_ns = 0;
+  /// Per-run metrics delta (empty unless DriverConfig::obs was set).
+  obs::Snapshot metrics;
 
   double mean_throughput(std::size_t from_interval = 0) const;
 };

@@ -27,6 +27,97 @@ bool write_csv(const std::string& path, const std::vector<RunResult>& results,
   return true;
 }
 
+void print_metrics(const char* label, const obs::Snapshot& snapshot) {
+  if (snapshot.empty()) return;
+  const auto c = [&](const char* name) { return snapshot.counter(name); };
+  std::printf("%-8s obs: commits=%llu aborts{full=%llu partial=%llu}", label,
+              static_cast<unsigned long long>(c("tx.commit")),
+              static_cast<unsigned long long>(c("tx.abort.full")),
+              static_cast<unsigned long long>(c("tx.abort.partial")));
+  std::printf(
+      " full{val=%llu busy=%llu unavail=%llu}"
+      " partial{val=%llu busy=%llu unavail=%llu}\n",
+      static_cast<unsigned long long>(c("tx.abort.full.validation")),
+      static_cast<unsigned long long>(c("tx.abort.full.busy")),
+      static_cast<unsigned long long>(c("tx.abort.full.unavailable")),
+      static_cast<unsigned long long>(c("tx.abort.partial.validation")),
+      static_cast<unsigned long long>(c("tx.abort.partial.busy")),
+      static_cast<unsigned long long>(c("tx.abort.partial.unavailable")));
+  std::printf("%-8s obs: rpc{read=%llu validate=%llu prepare=%llu "
+              "commit=%llu abort=%llu contention=%llu}",
+              "",
+              static_cast<unsigned long long>(c("rpc.read")),
+              static_cast<unsigned long long>(c("rpc.validate")),
+              static_cast<unsigned long long>(c("rpc.prepare")),
+              static_cast<unsigned long long>(c("rpc.commit")),
+              static_cast<unsigned long long>(c("rpc.abort")),
+              static_cast<unsigned long long>(c("rpc.contention")));
+  if (const obs::HistogramData* read = snapshot.histogram("rpc.read_ns"))
+    if (read->count() > 0)
+      std::printf(" read p50~%.1fus p99~%.1fus",
+                  static_cast<double>(read->percentile(0.5)) / 1000.0,
+                  static_cast<double>(read->percentile(0.99)) / 1000.0);
+  if (const obs::HistogramData* prep = snapshot.histogram("rpc.prepare_ns"))
+    if (prep->count() > 0)
+      std::printf(" prepare p50~%.1fus",
+                  static_cast<double>(prep->percentile(0.5)) / 1000.0);
+  std::printf("\n");
+  if (c("acn.adaptations") > 0)
+    std::printf("%-8s obs: acn{adaptations=%llu recompositions=%llu "
+                "monitor_refreshes=%llu monitor_observes=%llu}\n",
+                "",
+                static_cast<unsigned long long>(c("acn.adaptations")),
+                static_cast<unsigned long long>(c("acn.recompositions")),
+                static_cast<unsigned long long>(c("acn.monitor.refresh")),
+                static_cast<unsigned long long>(c("acn.monitor.observe")));
+}
+
+bool write_metrics_json(const std::string& path,
+                        const std::vector<RunResult>& results) {
+  std::FILE* file = std::fopen(path.c_str(), "w");
+  if (!file) {
+    std::fprintf(stderr, "write_metrics_json: cannot open %s\n", path.c_str());
+    return false;
+  }
+  std::fputc('{', file);
+  bool first = true;
+  for (const auto& result : results) {
+    if (result.metrics.empty()) continue;
+    if (!first) std::fputc(',', file);
+    first = false;
+    std::fprintf(file, "\"%s\":%s", protocol_name(result.protocol),
+                 result.metrics.to_json().c_str());
+  }
+  std::fputs("}\n", file);
+  std::fclose(file);
+  return true;
+}
+
+bool write_metrics_csv(const std::string& path,
+                       const std::vector<RunResult>& results) {
+  std::FILE* file = std::fopen(path.c_str(), "w");
+  if (!file) {
+    std::fprintf(stderr, "write_metrics_csv: cannot open %s\n", path.c_str());
+    return false;
+  }
+  std::fputs("protocol,name,kind,stat,value\n", file);
+  for (const auto& result : results) {
+    const std::string csv = result.metrics.to_csv();
+    // Prefix every data row (to_csv emits its own header line first).
+    std::size_t line_start = csv.find('\n') + 1;
+    while (line_start < csv.size()) {
+      std::size_t line_end = csv.find('\n', line_start);
+      if (line_end == std::string::npos) line_end = csv.size();
+      std::fprintf(file, "%s,%.*s\n", protocol_name(result.protocol),
+                   static_cast<int>(line_end - line_start),
+                   csv.c_str() + line_start);
+      line_start = line_end + 1;
+    }
+  }
+  std::fclose(file);
+  return true;
+}
+
 }  // namespace acn::harness
 
 namespace acn::harness {
@@ -95,6 +186,7 @@ void print_figure(const std::string& title,
                     static_cast<unsigned long long>(s.partials_at_position[i]));
       std::printf("\n");
     }
+    print_metrics(protocol_name(result.protocol), result.metrics);
   }
 
   // The paper reports improvement after QR-ACN "kicks in" (first window).

@@ -27,4 +27,21 @@ double improvement_pct(const RunResult& a, const RunResult& b,
 bool write_csv(const std::string& path, const std::vector<RunResult>& results,
                const DriverConfig& config);
 
+/// Print a per-run metrics snapshot: abort counters split partial vs full
+/// with the per-reason breakdown, RPC phase counts with p50/p99 latency,
+/// and the ACN adaptation counters.  No-op on an empty snapshot.
+void print_metrics(const char* label, const obs::Snapshot& snapshot);
+
+/// Write the per-protocol metrics snapshots as one JSON object keyed by
+/// protocol name ({"QR-DTM": {...}, ...}).  Protocols whose run carried no
+/// metrics are skipped.  Returns false (with a message on stderr) when the
+/// file cannot be opened.
+bool write_metrics_json(const std::string& path,
+                        const std::vector<RunResult>& results);
+
+/// Append each protocol's metrics snapshot to the harness CSV convention:
+/// protocol,name,kind,stat,value rows.
+bool write_metrics_csv(const std::string& path,
+                       const std::vector<RunResult>& results);
+
 }  // namespace acn::harness

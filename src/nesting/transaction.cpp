@@ -37,6 +37,7 @@ const Record& Transaction::remote_read(const ObjectKey& key,
                                        const std::vector<dtm::ClassId>& classes,
                                        std::vector<std::uint64_t>* levels_out) {
   ++stats_.remote_reads;
+  if (obs_) obs_->remote_reads.add();
   auto outcome = stub_.read(id_, key, all_version_checks(), classes);
   if (levels_out && !outcome.contention.empty())
     *levels_out = std::move(outcome.contention);
@@ -49,6 +50,7 @@ const Record& Transaction::remote_read(const ObjectKey& key,
 const Record& Transaction::read(const ObjectKey& key) {
   if (const Record* buffered = find_buffered(key)) {
     ++stats_.cached_reads;
+    if (obs_) obs_->cached_reads.add();
     return *buffered;
   }
   return remote_read(key, {}, nullptr);
@@ -59,6 +61,7 @@ const Record& Transaction::read(const ObjectKey& key,
                                 std::vector<std::uint64_t>& levels_out) {
   if (const Record* buffered = find_buffered(key)) {
     ++stats_.cached_reads;
+    if (obs_) obs_->cached_reads.add();
     return *buffered;
   }
   return remote_read(key, classes, &levels_out);
@@ -113,6 +116,17 @@ void Transaction::abort_nested() {
 }
 
 AbortScope Transaction::classify(const TxAbort& abort) const {
+  const AbortScope scope = classify_scope(abort);
+  if (obs_) {
+    if (scope == AbortScope::kPartial)
+      obs_->classify_partial.add();
+    else
+      obs_->classify_full.add();
+  }
+  return scope;
+}
+
+AbortScope Transaction::classify_scope(const TxAbort& abort) const {
   if (frames_.size() < 2) return AbortScope::kFull;
   // Partial rollback applies only when every invalidated object was first
   // accessed by the active sub-transaction: objects never seen before (e.g.
@@ -131,6 +145,11 @@ void Transaction::commit() {
   if (frames_.size() != 1)
     throw std::logic_error("Transaction::commit with open sub-transaction");
   Frame& frame = frames_.front();
+  obs::Tracer::Span commit_span;
+  if (obs_)
+    commit_span.restart(&obs_->tracer, "tx.commit_phase", "tx", id_,
+                        "writes",
+                        static_cast<std::int64_t>(frame.writes.size()));
 
   auto record_history = [&](const std::vector<ObjectKey>& keys,
                             const std::vector<Version>& versions) {

@@ -131,7 +131,12 @@ class Transaction {
   /// installed versions to `log` (for offline serializability checking).
   void set_history(HistoryLog* log) noexcept { history_ = log; }
 
+  /// When set, the transaction records cache-hit/remote read counters, the
+  /// partial/full classification tallies, and a commit-phase trace span.
+  void set_obs(obs::Observability* obs) noexcept { obs_ = obs; }
+
  private:
+  AbortScope classify_scope(const TxAbort& abort) const;
   /// All frames' read versions, for incremental-validation payloads.
   std::vector<dtm::VersionCheck> all_version_checks() const;
   const Record* find_buffered(const ObjectKey& key) const;
@@ -144,6 +149,7 @@ class Transaction {
   std::vector<Frame> frames_;
   TxnStats stats_;
   HistoryLog* history_ = nullptr;
+  obs::Observability* obs_ = nullptr;
 };
 
 /// Monotonic transaction-id source shared by all clients in the process.

@@ -222,8 +222,21 @@ class Network {
   bool maybe_drop() noexcept {
     const double p = drop_probability_.load(std::memory_order_relaxed);
     if (p <= 0.0) return false;
-    std::lock_guard lock(rng_mutex_);
-    return drop_rng_.bernoulli(p);
+    return drop_rng().bernoulli(p);
+  }
+
+  // Per-thread drop RNG: every message used to take a process-global mutex
+  // here, serialising all client threads on the hot send path.  Each thread
+  // now owns a generator seeded deterministically from the order in which
+  // threads first send (stable under a fixed seed and thread count).
+  static Rng& drop_rng() noexcept {
+    static std::atomic<std::uint64_t> next_stream{0};
+    thread_local Rng rng = [] {
+      std::uint64_t stream =
+          0xd40bdeadULL + next_stream.fetch_add(1, std::memory_order_relaxed);
+      return Rng(splitmix64(stream));
+    }();
+    return rng;
   }
 
   static void sleep_for(Nanos d) {
@@ -233,8 +246,6 @@ class Network {
   std::shared_ptr<const LatencyModel> latency_;
   std::vector<Node> nodes_;
   std::atomic<double> drop_probability_{0.0};
-  std::mutex rng_mutex_;
-  Rng drop_rng_{0xd40bdeadULL};
   NetStats stats_;
 };
 

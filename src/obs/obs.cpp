@@ -1,0 +1,78 @@
+#include "src/obs/obs.hpp"
+
+#include <string>
+
+#include "src/common/clock.hpp"
+
+namespace acn::obs {
+
+const char* abort_reason_name(int reason) noexcept {
+  switch (reason) {
+    case kReasonValidation:
+      return "validation";
+    case kReasonBusy:
+      return "busy";
+    case kReasonUnavailable:
+      return "unavailable";
+  }
+  return "unknown";
+}
+
+namespace {
+// 100ns .. ~1.3s in half-decade-ish steps: covers one RPC through a
+// many-retry transaction on the simulated cluster.
+std::vector<std::uint64_t> latency_bounds() {
+  return MetricsRegistry::exponential_bounds(100, 2.0, 24);
+}
+}  // namespace
+
+Observability::Observability(ObsConfig config)
+    : tracer(config.ring_capacity),
+      tx_commits(metrics.counter("tx.commit")),
+      tx_aborts_full(metrics.counter("tx.abort.full")),
+      tx_aborts_partial(metrics.counter("tx.abort.partial")),
+      blocks_executed(metrics.counter("block.executed")),
+      tx_latency_ns(metrics.histogram("tx.latency_ns", latency_bounds())),
+      block_latency_ns(metrics.histogram("block.latency_ns", latency_bounds())),
+      rpc_reads(metrics.counter("rpc.read")),
+      rpc_validates(metrics.counter("rpc.validate")),
+      rpc_prepares(metrics.counter("rpc.prepare")),
+      rpc_commits(metrics.counter("rpc.commit")),
+      rpc_aborts(metrics.counter("rpc.abort")),
+      rpc_contention_queries(metrics.counter("rpc.contention")),
+      rpc_read_ns(metrics.histogram("rpc.read_ns", latency_bounds())),
+      rpc_prepare_ns(metrics.histogram("rpc.prepare_ns", latency_bounds())),
+      rpc_commit_ns(metrics.histogram("rpc.commit_ns", latency_bounds())),
+      classify_partial(metrics.counter("nesting.classify.partial")),
+      classify_full(metrics.counter("nesting.classify.full")),
+      remote_reads(metrics.counter("nesting.read.remote")),
+      cached_reads(metrics.counter("nesting.read.cached")),
+      monitor_refreshes(metrics.counter("acn.monitor.refresh")),
+      monitor_observes(metrics.counter("acn.monitor.observe")),
+      adaptations(metrics.counter("acn.adaptations")),
+      recompositions(metrics.counter("acn.recompositions")),
+      plan_blocks(metrics.gauge("acn.plan.blocks")) {
+  for (int reason = 0; reason < kReasonCount; ++reason) {
+    const std::string suffix = abort_reason_name(reason);
+    aborts_full_reason[reason] = metrics.counter("tx.abort.full." + suffix);
+    aborts_partial_reason[reason] =
+        metrics.counter("tx.abort.partial." + suffix);
+  }
+  metrics.set_enabled(config.metrics_enabled);
+  tracer.set_enabled(config.trace_enabled);
+}
+
+ScopedLatency::ScopedLatency(MetricsRegistry::Histogram histogram)
+    : histogram_(histogram), start_ns_(now_ns()), armed_(true) {}
+
+void ScopedLatency::arm(MetricsRegistry::Histogram histogram) {
+  histogram_ = histogram;
+  start_ns_ = now_ns();
+  armed_ = true;
+}
+
+ScopedLatency::~ScopedLatency() {
+  if (armed_) histogram_.observe(now_ns() - start_ns_);
+}
+
+}  // namespace acn::obs

@@ -1,0 +1,97 @@
+// Observability bundle: one metrics registry + one tracer + the standard
+// instrumentation handles the protocol layers share.
+//
+// The harness driver owns an Observability instance per run (or one across
+// runs — Snapshot::since() makes per-run deltas) and hands a pointer down
+// through the executor/stub/controller configs.  A null pointer at any
+// instrumentation point means "off": the guard is a single branch, so the
+// layers stay cheap when nobody is watching (bench/micro_obs measures it).
+#pragma once
+
+#include <cstddef>
+
+#include "src/obs/metrics.hpp"
+#include "src/obs/trace.hpp"
+
+namespace acn::obs {
+
+struct ObsConfig {
+  bool metrics_enabled = true;
+  bool trace_enabled = false;
+  std::size_t ring_capacity = std::size_t{1} << 15;  // events per thread
+};
+
+/// Index for the per-reason abort counters (mirrors dtm::AbortKind, which
+/// obs cannot name — the dependency points the other way).
+enum AbortReason : int {
+  kReasonValidation = 0,
+  kReasonBusy = 1,
+  kReasonUnavailable = 2,
+  kReasonCount = 3,
+};
+
+const char* abort_reason_name(int reason) noexcept;
+
+class Observability {
+ public:
+  explicit Observability(ObsConfig config = {});
+
+  MetricsRegistry metrics;
+  Tracer tracer;
+
+  // -- transaction lifecycle (src/acn executor) ----------------------------
+  MetricsRegistry::Counter tx_commits;
+  MetricsRegistry::Counter tx_aborts_full;
+  MetricsRegistry::Counter tx_aborts_partial;
+  MetricsRegistry::Counter aborts_full_reason[kReasonCount];
+  MetricsRegistry::Counter aborts_partial_reason[kReasonCount];
+  MetricsRegistry::Counter blocks_executed;
+  MetricsRegistry::Histogram tx_latency_ns;
+  MetricsRegistry::Histogram block_latency_ns;
+
+  // -- QR-DTM client runtime (src/dtm quorum stub, 2PC phases) -------------
+  MetricsRegistry::Counter rpc_reads;
+  MetricsRegistry::Counter rpc_validates;
+  MetricsRegistry::Counter rpc_prepares;
+  MetricsRegistry::Counter rpc_commits;
+  MetricsRegistry::Counter rpc_aborts;
+  MetricsRegistry::Counter rpc_contention_queries;
+  MetricsRegistry::Histogram rpc_read_ns;
+  MetricsRegistry::Histogram rpc_prepare_ns;
+  MetricsRegistry::Histogram rpc_commit_ns;
+
+  // -- closed nesting (src/nesting) ----------------------------------------
+  MetricsRegistry::Counter classify_partial;
+  MetricsRegistry::Counter classify_full;
+  MetricsRegistry::Counter remote_reads;
+  MetricsRegistry::Counter cached_reads;
+
+  // -- ACN adaptation (src/acn monitor + controller) -----------------------
+  MetricsRegistry::Counter monitor_refreshes;
+  MetricsRegistry::Counter monitor_observes;
+  MetricsRegistry::Counter adaptations;
+  MetricsRegistry::Counter recompositions;
+  MetricsRegistry::Gauge plan_blocks;
+};
+
+/// Observes elapsed wall time into a histogram when destroyed; a
+/// default-constructed instance is a no-op.  Used for RPC phase latencies
+/// where abort exits must still be measured.
+class ScopedLatency {
+ public:
+  ScopedLatency() = default;
+  explicit ScopedLatency(MetricsRegistry::Histogram histogram);
+  ScopedLatency(const ScopedLatency&) = delete;
+  ScopedLatency& operator=(const ScopedLatency&) = delete;
+  ~ScopedLatency();
+
+  /// Start (or restart) timing into `histogram`.
+  void arm(MetricsRegistry::Histogram histogram);
+
+ private:
+  MetricsRegistry::Histogram histogram_;
+  std::uint64_t start_ns_ = 0;
+  bool armed_ = false;
+};
+
+}  // namespace acn::obs

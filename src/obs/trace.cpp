@@ -1,0 +1,283 @@
+#include "src/obs/trace.hpp"
+
+#include <cstdio>
+
+#include "src/common/clock.hpp"
+
+namespace acn::obs {
+
+struct Tracer::Ring {
+  explicit Ring(std::size_t capacity, std::int32_t tid)
+      : buf(capacity), tid(tid) {}
+
+  std::vector<TraceEvent> buf;
+  std::uint64_t head = 0;  // total events ever written (monotonic)
+  std::int32_t tid;
+  std::string thread_name;
+};
+
+namespace {
+std::uint64_t next_tracer_id() {
+  static std::atomic<std::uint64_t> counter{1};
+  return counter.fetch_add(1, std::memory_order_relaxed);
+}
+}  // namespace
+
+Tracer::Tracer(std::size_t ring_capacity)
+    : capacity_(ring_capacity ? ring_capacity : 1),
+      instance_id_(next_tracer_id()) {}
+
+Tracer::~Tracer() = default;
+
+Tracer::Ring& Tracer::local_ring() {
+  thread_local struct {
+    std::uint64_t instance = 0;
+    Ring* ring = nullptr;
+  } cache;
+  if (cache.instance == instance_id_) return *cache.ring;
+
+  std::lock_guard lock(mutex_);
+  auto& slot = rings_[std::this_thread::get_id()];
+  if (!slot) slot = std::make_unique<Ring>(capacity_, next_tid_++);
+  cache = {instance_id_, slot.get()};
+  return *slot;
+}
+
+void Tracer::record(const TraceEvent& event) noexcept {
+  Ring& ring = local_ring();
+  ring.buf[ring.head % capacity_] = event;
+  ++ring.head;
+}
+
+void Tracer::set_process(std::int32_t pid, std::string name) {
+  current_pid_.store(pid, std::memory_order_relaxed);
+  std::lock_guard lock(mutex_);
+  process_names_[pid] = std::move(name);
+}
+
+void Tracer::set_thread_name(std::string name) {
+  local_ring().thread_name = std::move(name);
+}
+
+void Tracer::instant(const char* name, const char* cat, std::uint64_t tx,
+                     const char* arg0_name, std::int64_t arg0,
+                     const char* arg1_name, std::int64_t arg1,
+                     const char* sarg_name, const char* sarg) {
+  if (!enabled()) return;
+  TraceEvent event;
+  event.name = name;
+  event.cat = cat;
+  event.phase = TraceEvent::Phase::kInstant;
+  event.pid = current_pid_.load(std::memory_order_relaxed);
+  event.ts_ns = now_ns();
+  event.tx = tx;
+  event.arg0_name = arg0_name;
+  event.arg0 = arg0;
+  event.arg1_name = arg1_name;
+  event.arg1 = arg1;
+  event.sarg_name = sarg_name;
+  event.sarg = sarg;
+  record(event);
+}
+
+void Tracer::begin(const char* name, const char* cat, std::uint64_t tx,
+                   const char* arg0_name, std::int64_t arg0) {
+  if (!enabled()) return;
+  TraceEvent event;
+  event.name = name;
+  event.cat = cat;
+  event.phase = TraceEvent::Phase::kBegin;
+  event.pid = current_pid_.load(std::memory_order_relaxed);
+  event.ts_ns = now_ns();
+  event.tx = tx;
+  event.arg0_name = arg0_name;
+  event.arg0 = arg0;
+  record(event);
+}
+
+void Tracer::end(const char* name, const char* cat) {
+  if (!enabled()) return;
+  TraceEvent event;
+  event.name = name;
+  event.cat = cat;
+  event.phase = TraceEvent::Phase::kEnd;
+  event.pid = current_pid_.load(std::memory_order_relaxed);
+  event.ts_ns = now_ns();
+  record(event);
+}
+
+std::vector<Tracer::ThreadEvents> Tracer::events() const {
+  std::vector<ThreadEvents> out;
+  std::lock_guard lock(mutex_);
+  out.reserve(rings_.size());
+  for (const auto& [id, ring] : rings_) {
+    ThreadEvents thread;
+    thread.tid = ring->tid;
+    thread.thread_name = ring->thread_name;
+    const std::uint64_t head = ring->head;
+    const std::uint64_t retained = head < capacity_ ? head : capacity_;
+    thread.events.reserve(retained);
+    for (std::uint64_t i = head - retained; i < head; ++i)
+      thread.events.push_back(ring->buf[i % capacity_]);
+    out.push_back(std::move(thread));
+  }
+  return out;
+}
+
+std::uint64_t Tracer::dropped() const {
+  std::uint64_t total = 0;
+  std::lock_guard lock(mutex_);
+  for (const auto& [id, ring] : rings_)
+    if (ring->head > capacity_) total += ring->head - capacity_;
+  return total;
+}
+
+namespace {
+
+void append_escaped(std::string& out, const char* s) {
+  out += '"';
+  for (; *s; ++s) {
+    if (*s == '"' || *s == '\\') out += '\\';
+    out += *s;
+  }
+  out += '"';
+}
+
+void append_ts_us(std::string& out, std::uint64_t ts_ns) {
+  char buf[40];
+  std::snprintf(buf, sizeof buf, "%llu.%03llu",
+                static_cast<unsigned long long>(ts_ns / 1000),
+                static_cast<unsigned long long>(ts_ns % 1000));
+  out += buf;
+}
+
+void append_event(std::string& out, const TraceEvent& event,
+                  std::int32_t tid) {
+  out += "{\"name\":";
+  append_escaped(out, event.name ? event.name : "?");
+  out += ",\"cat\":";
+  append_escaped(out, event.cat ? event.cat : "default");
+  out += ",\"ph\":\"";
+  out += static_cast<char>(event.phase);
+  out += "\",\"pid\":" + std::to_string(event.pid);
+  out += ",\"tid\":" + std::to_string(tid);
+  out += ",\"ts\":";
+  append_ts_us(out, event.ts_ns);
+  if (event.phase == TraceEvent::Phase::kInstant) out += ",\"s\":\"t\"";
+  const bool has_args = event.tx || event.arg0_name || event.arg1_name ||
+                        (event.sarg_name && event.sarg);
+  if (has_args && event.phase != TraceEvent::Phase::kEnd) {
+    out += ",\"args\":{";
+    bool first = true;
+    auto arg = [&](const char* name, const std::string& value, bool quoted) {
+      if (!first) out += ',';
+      first = false;
+      append_escaped(out, name);
+      out += ':';
+      if (quoted)
+        append_escaped(out, value.c_str());
+      else
+        out += value;
+    };
+    if (event.tx) arg("tx", std::to_string(event.tx), false);
+    if (event.arg0_name) arg(event.arg0_name, std::to_string(event.arg0), false);
+    if (event.arg1_name) arg(event.arg1_name, std::to_string(event.arg1), false);
+    if (event.sarg_name && event.sarg) arg(event.sarg_name, event.sarg, true);
+    out += '}';
+  }
+  out += '}';
+}
+
+void append_metadata(std::string& out, const char* name, std::int32_t pid,
+                     std::int32_t tid, bool with_tid,
+                     const std::string& value) {
+  out += "{\"name\":\"";
+  out += name;
+  out += "\",\"ph\":\"M\",\"pid\":" + std::to_string(pid);
+  if (with_tid) out += ",\"tid\":" + std::to_string(tid);
+  out += ",\"args\":{\"name\":";
+  append_escaped(out, value.c_str());
+  out += "}}";
+}
+
+}  // namespace
+
+std::string Tracer::chrome_json() const {
+  const auto threads = events();
+  std::map<std::int32_t, std::string> process_names;
+  {
+    std::lock_guard lock(mutex_);
+    process_names = process_names_;
+  }
+
+  std::string out = "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
+  bool first = true;
+  auto emit = [&](auto&& append) {
+    if (!first) out += ',';
+    first = false;
+    append();
+  };
+
+  for (const auto& [pid, name] : process_names)
+    emit([&] { append_metadata(out, "process_name", pid, 0, false, name); });
+
+  for (const auto& thread : threads) {
+    if (!thread.thread_name.empty()) {
+      // One thread may emit under several pids (one per protocol run);
+      // label its lane in each process it appears in.
+      std::map<std::int32_t, bool> seen;
+      for (const auto& event : thread.events) seen[event.pid] = true;
+      for (const auto& [pid, unused] : seen)
+        emit([&] {
+          append_metadata(out, "thread_name", pid, thread.tid, true,
+                          thread.thread_name);
+        });
+    }
+    // Re-balance B/E pairs: a wrapped ring may retain an end whose begin
+    // was overwritten (skip it) or lose an end past the window (close it
+    // at the last retained timestamp).
+    std::vector<const TraceEvent*> open;
+    std::uint64_t last_ts = 0;
+    for (const auto& event : thread.events) {
+      last_ts = event.ts_ns;
+      switch (event.phase) {
+        case TraceEvent::Phase::kBegin:
+          open.push_back(&event);
+          emit([&] { append_event(out, event, thread.tid); });
+          break;
+        case TraceEvent::Phase::kEnd:
+          if (open.empty()) continue;  // begin lost to wrap-around
+          open.pop_back();
+          emit([&] { append_event(out, event, thread.tid); });
+          break;
+        case TraceEvent::Phase::kInstant:
+          emit([&] { append_event(out, event, thread.tid); });
+          break;
+      }
+    }
+    while (!open.empty()) {
+      TraceEvent closer = *open.back();
+      open.pop_back();
+      closer.phase = TraceEvent::Phase::kEnd;
+      closer.ts_ns = last_ts;
+      emit([&] { append_event(out, closer, thread.tid); });
+    }
+  }
+  out += "]}";
+  return out;
+}
+
+bool Tracer::write_chrome_json(const std::string& path) const {
+  std::FILE* file = std::fopen(path.c_str(), "w");
+  if (!file) {
+    std::fprintf(stderr, "Tracer::write_chrome_json: cannot open %s\n",
+                 path.c_str());
+    return false;
+  }
+  const std::string json = chrome_json();
+  const bool ok = std::fwrite(json.data(), 1, json.size(), file) == json.size();
+  std::fclose(file);
+  return ok;
+}
+
+}  // namespace acn::obs

@@ -1,0 +1,178 @@
+// Structured transaction tracer with Chrome-trace export.
+//
+// Instrumentation points record fixed-size TraceEvents into *per-thread
+// ring buffers* — no allocation, no shared lock on the hot path; a full
+// ring overwrites its oldest events (dropped() reports how many).  Event
+// names/categories must be string literals (static lifetime): events store
+// the pointers only.
+//
+// export: chrome_json() emits the Chrome `chrome://tracing` / Perfetto
+// JSON-array-of-events format ("traceEvents", ph B/E/i, ts in
+// microseconds), with process/thread metadata records, so a trace file
+// drops straight into ui.perfetto.dev.  B/E pairs are re-balanced per
+// thread at export time, which keeps the output well-formed even when the
+// ring wrapped mid-span.
+//
+// When disabled (set_enabled(false), or a null Tracer* at the call site),
+// every record call is one predictable branch; see bench/micro_obs.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "src/obs/metrics.hpp"  // kObsDefaultEnabled
+
+namespace acn::obs {
+
+struct TraceEvent {
+  enum class Phase : char {
+    kBegin = 'B',
+    kEnd = 'E',
+    kInstant = 'i',
+  };
+
+  const char* name = nullptr;  // string literal
+  const char* cat = nullptr;   // string literal
+  Phase phase = Phase::kInstant;
+  std::int32_t pid = 0;
+  std::uint64_t ts_ns = 0;
+  std::uint64_t tx = 0;  // transaction id, 0 = none (exported as args.tx)
+  // Up to two numeric args and one string arg (names/values are literals).
+  const char* arg0_name = nullptr;
+  std::int64_t arg0 = 0;
+  const char* arg1_name = nullptr;
+  std::int64_t arg1 = 0;
+  const char* sarg_name = nullptr;
+  const char* sarg = nullptr;
+};
+
+class Tracer {
+  struct Ring;
+
+ public:
+  /// `ring_capacity` is per thread, in events (one event = 96 bytes).
+  explicit Tracer(std::size_t ring_capacity = std::size_t{1} << 15);
+  ~Tracer();
+
+  Tracer(const Tracer&) = delete;
+  Tracer& operator=(const Tracer&) = delete;
+
+  bool enabled() const noexcept {
+    return enabled_.load(std::memory_order_relaxed);
+  }
+  void set_enabled(bool enabled) noexcept {
+    enabled_.store(enabled, std::memory_order_relaxed);
+  }
+
+  /// Label the trace "process" new events are attributed to.  The harness
+  /// gives each protocol run its own pid, so a multi-run trace shows one
+  /// swim-lane group per protocol.
+  void set_process(std::int32_t pid, std::string name);
+  /// Label the calling thread's lane ("client-3", "driver", ...).
+  void set_thread_name(std::string name);
+
+  void instant(const char* name, const char* cat, std::uint64_t tx = 0,
+               const char* arg0_name = nullptr, std::int64_t arg0 = 0,
+               const char* arg1_name = nullptr, std::int64_t arg1 = 0,
+               const char* sarg_name = nullptr, const char* sarg = nullptr);
+  void begin(const char* name, const char* cat, std::uint64_t tx = 0,
+             const char* arg0_name = nullptr, std::int64_t arg0 = 0);
+  void end(const char* name, const char* cat);
+
+  /// RAII span: emits a begin on construction (when the tracer is non-null
+  /// and enabled) and the matching end on destruction — abort paths that
+  /// unwind through exceptions still close their spans.
+  class Span {
+   public:
+    Span() = default;
+    Span(Tracer* tracer, const char* name, const char* cat,
+         std::uint64_t tx = 0, const char* arg0_name = nullptr,
+         std::int64_t arg0 = 0) {
+      if (tracer && tracer->enabled()) {
+        tracer_ = tracer;
+        name_ = name;
+        cat_ = cat;
+        tracer->begin(name, cat, tx, arg0_name, arg0);
+      }
+    }
+    Span(Span&& other) noexcept
+        : tracer_(other.tracer_), name_(other.name_), cat_(other.cat_) {
+      other.tracer_ = nullptr;
+    }
+    // No move-assignment: `span = Span(...)` would record the new begin
+    // before the old end (the temporary is constructed first), breaking the
+    // strict B/E nesting Chrome traces require.  Re-use via restart().
+    Span& operator=(Span&&) = delete;
+    Span(const Span&) = delete;
+    Span& operator=(const Span&) = delete;
+
+    /// End the current span (if any), then begin a new one — the pattern
+    /// for a span variable re-armed across loop iterations or phases.
+    void restart(Tracer* tracer, const char* name, const char* cat,
+                 std::uint64_t tx = 0, const char* arg0_name = nullptr,
+                 std::int64_t arg0 = 0) {
+      if (tracer_) tracer_->end(name_, cat_);
+      tracer_ = nullptr;
+      if (tracer && tracer->enabled()) {
+        tracer_ = tracer;
+        name_ = name;
+        cat_ = cat;
+        tracer->begin(name, cat, tx, arg0_name, arg0);
+      }
+    }
+    /// End the span now (idempotent).
+    void finish() {
+      if (tracer_) tracer_->end(name_, cat_);
+      tracer_ = nullptr;
+    }
+    ~Span() {
+      if (tracer_) tracer_->end(name_, cat_);
+    }
+
+   private:
+    Tracer* tracer_ = nullptr;
+    const char* name_ = nullptr;
+    const char* cat_ = nullptr;
+  };
+
+  /// Retained events of one thread, oldest first (post-wrap window).
+  struct ThreadEvents {
+    std::int32_t tid = 0;
+    std::string thread_name;
+    std::vector<TraceEvent> events;
+  };
+
+  /// Structured snapshot of all rings.  Exact once writers are quiescent
+  /// (the exporters are meant to run after the measured workload joined).
+  std::vector<ThreadEvents> events() const;
+
+  /// Events lost to ring wrap-around, across all threads.
+  std::uint64_t dropped() const;
+
+  /// Chrome trace JSON ({"traceEvents": [...]}).
+  std::string chrome_json() const;
+  /// Write chrome_json() to `path`; false (with stderr message) on failure.
+  bool write_chrome_json(const std::string& path) const;
+
+ private:
+  Ring& local_ring();
+  void record(const TraceEvent& event) noexcept;
+
+  const std::size_t capacity_;
+  const std::uint64_t instance_id_;
+  std::atomic<bool> enabled_{kObsDefaultEnabled};
+  std::atomic<std::int32_t> current_pid_{0};
+
+  mutable std::mutex mutex_;
+  std::map<std::thread::id, std::unique_ptr<Ring>> rings_;
+  std::map<std::int32_t, std::string> process_names_;
+  std::int32_t next_tid_ = 0;
+};
+
+}  // namespace acn::obs
