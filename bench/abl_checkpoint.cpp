@@ -22,7 +22,7 @@ namespace {
 
 using namespace acn;
 
-int run_four(const char* title, const bench::FigureArgs& args,
+int run_four(const char* title, const bench::BenchOptions& args,
              const std::function<std::unique_ptr<workloads::Workload>()>& make) {
   std::vector<harness::RunResult> results;
   for (const harness::Protocol protocol :
@@ -54,7 +54,7 @@ int run_four(const char* title, const bench::FigureArgs& args,
 }  // namespace
 
 int main(int argc, char** argv) {
-  auto args = acn::bench::parse_args(argc, argv);
+  auto args = acn::bench::BenchOptions::parse(argc, argv);
   args.driver.intervals = 4;
   int rc = run_four("Closed nesting vs checkpointing: Bank", args, [] {
     return std::make_unique<acn::workloads::Bank>();

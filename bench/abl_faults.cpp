@@ -13,7 +13,7 @@
 
 int main(int argc, char** argv) {
   using namespace acn;
-  auto args = bench::parse_args(argc, argv);
+  auto args = bench::BenchOptions::parse(argc, argv);
   const std::size_t intervals = 6;
 
   std::printf("\n=== Fault tolerance: Bank under QR-ACN with node failures ===\n");

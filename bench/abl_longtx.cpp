@@ -14,7 +14,7 @@
 #include "src/workloads/tpcc.hpp"
 
 int main(int argc, char** argv) {
-  auto args = acn::bench::parse_args(argc, argv);
+  auto args = acn::bench::BenchOptions::parse(argc, argv);
   args.driver.intervals = 4;
   acn::workloads::TpccConfig config;
   config.w_neworder = 0.0;

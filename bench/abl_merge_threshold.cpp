@@ -9,7 +9,7 @@
 
 int main(int argc, char** argv) {
   using namespace acn;
-  auto args = bench::parse_args(argc, argv);
+  auto args = bench::BenchOptions::parse(argc, argv);
   args.driver.intervals = 4;
 
   std::printf("\n=== Ablation: merge threshold (Bank, QR-ACN) ===\n");

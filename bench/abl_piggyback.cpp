@@ -15,7 +15,7 @@
 
 int main(int argc, char** argv) {
   using namespace acn;
-  auto args = bench::parse_args(argc, argv);
+  auto args = bench::BenchOptions::parse(argc, argv);
   args.driver.intervals = 6;
   args.driver.phase_changes = {{3, 1}};
 

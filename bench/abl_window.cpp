@@ -9,7 +9,7 @@
 
 int main(int argc, char** argv) {
   using namespace acn;
-  auto args = bench::parse_args(argc, argv);
+  auto args = bench::BenchOptions::parse(argc, argv);
   const auto total = std::chrono::milliseconds{1600};
 
   std::printf("\n=== Ablation: adaptation window (Vacation, QR-ACN) ===\n");

@@ -7,7 +7,7 @@
 #include "src/workloads/tpcc.hpp"
 
 int main(int argc, char** argv) {
-  auto args = acn::bench::parse_args(argc, argv);
+  auto args = acn::bench::BenchOptions::parse(argc, argv);
   acn::workloads::TpccConfig config;
   config.w_neworder = 0.0;
   config.w_payment = 1.0;

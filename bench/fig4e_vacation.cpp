@@ -8,7 +8,7 @@
 #include "src/workloads/vacation.hpp"
 
 int main(int argc, char** argv) {
-  auto args = acn::bench::parse_args(argc, argv);
+  auto args = acn::bench::BenchOptions::parse(argc, argv);
   args.driver.phase_changes = {{1, 1}, {3, 0}};
   return acn::bench::run_figure(
       "Figure 4(e): Vacation, contention changes at intervals 2 and 4", args,

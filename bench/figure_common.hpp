@@ -6,9 +6,12 @@
 // the per-interval throughput series plus the post-adaptation improvement
 // summary (the numbers the paper quotes per panel).
 //
-// Command-line overrides (all optional, positional-free):
+// All benches share one option set, BenchOptions::parse(argc, argv):
 //   --clients=N --intervals=N --interval-ms=N --servers=N --latency-us=N
 //   --seed=N
+// Batched read pipeline (QR-CN / QR-ACN runs):
+//   --batch-reads        fetch each Block's independent reads in one round
+//   --prefetch           also speculate on the next Block (implies the above)
 // Observability (both --flag=FILE and --flag FILE forms):
 //   --trace FILE         Chrome-trace/Perfetto JSON of the runs
 //   --metrics-json FILE  per-protocol metrics snapshots as JSON
@@ -27,17 +30,17 @@
 
 namespace acn::bench {
 
-struct FigureArgs {
+struct BenchOptions {
   harness::ClusterConfig cluster;
   harness::DriverConfig driver;
   std::string csv_path;           // --csv=FILE: dump the per-interval series
   std::string trace_path;         // --trace FILE: Chrome-trace JSON
   std::string metrics_json_path;  // --metrics-json FILE
   std::string metrics_csv_path;   // --metrics-csv FILE
-  /// Shared so copies of FigureArgs keep driver.obs valid.
+  /// Shared so copies of BenchOptions keep driver.obs valid.
   std::shared_ptr<obs::Observability> obs;
 
-  FigureArgs() {
+  BenchOptions() {
     cluster.n_servers = 10;
     cluster.base_latency = std::chrono::microseconds{25};
     cluster.stub.busy_backoff = std::chrono::microseconds{20};
@@ -47,10 +50,15 @@ struct FigureArgs {
     driver.executor.backoff_base = std::chrono::microseconds{20};
     driver.seed = 42;
   }
+
+  /// Parse the shared command-line options (see the header comment for the
+  /// full list).  Unknown arguments are reported and ignored, so benches
+  /// stay permissive across versions.
+  static BenchOptions parse(int argc, char** argv);
 };
 
-inline FigureArgs parse_args(int argc, char** argv) {
-  FigureArgs args;
+inline BenchOptions BenchOptions::parse(int argc, char** argv) {
+  BenchOptions args;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     auto value = [&](const char* prefix) -> long {
@@ -75,7 +83,13 @@ inline FigureArgs parse_args(int argc, char** argv) {
         path_flag("--metrics-json", args.metrics_json_path) ||
         path_flag("--metrics-csv", args.metrics_csv_path))
       continue;
-    if (arg.rfind("--clients=", 0) == 0)
+    if (arg == "--batch-reads") {
+      args.driver.batch_reads = true;
+    } else if (arg == "--prefetch") {
+      // Prefetching rides the batched round; the flag implies batching.
+      args.driver.batch_reads = true;
+      args.driver.prefetch = true;
+    } else if (arg.rfind("--clients=", 0) == 0)
       args.driver.n_clients = static_cast<std::size_t>(value("--clients="));
     else if (arg.rfind("--intervals=", 0) == 0)
       args.driver.intervals = static_cast<std::size_t>(value("--intervals="));
@@ -101,7 +115,7 @@ inline FigureArgs parse_args(int argc, char** argv) {
 }
 
 template <class MakeWorkload>
-int run_figure(const std::string& title, const FigureArgs& args,
+int run_figure(const std::string& title, const BenchOptions& args,
                MakeWorkload&& make_workload) {
   try {
     const auto results = harness::run_all_protocols(

@@ -42,6 +42,34 @@ std::vector<std::size_t> block_ops(const Block& block,
   return ops;
 }
 
+std::vector<std::size_t> batchable_remote_ops(
+    const ir::TxProgram& program, const std::vector<std::size_t>& window,
+    const std::vector<std::size_t>& prior) {
+  // written[v]: var v is produced inside the prior ops or earlier in the
+  // window, so a key depending on it is not known at window entry.  The
+  // bounds guard also filters ir::kNoVar outputs.
+  std::vector<char> written(program.n_vars, 0);
+  const auto mark = [&](std::size_t idx) {
+    for (ir::VarId w : program.ops[idx].writes())
+      if (w < written.size()) written[w] = 1;
+  };
+  for (std::size_t idx : prior) mark(idx);
+
+  std::vector<std::size_t> group;
+  for (std::size_t idx : window) {
+    const ir::Op& op = program.ops[idx];
+    if (op.is_remote()) {
+      const auto& deps = op.remote.key_deps;
+      const bool ready = std::none_of(deps.begin(), deps.end(), [&](ir::VarId dep) {
+        return dep < written.size() && written[dep];
+      });
+      if (ready) group.push_back(idx);
+    }
+    mark(idx);
+  }
+  return group;
+}
+
 bool blocks_dependent(const Block& a, const Block& b,
                       const DependencyModel& model) {
   for (std::size_t u : a.units)

@@ -33,6 +33,17 @@ bool sequence_valid(const BlockSequence& sequence, const DependencyModel& model)
 /// Ops of a block in execution order (ascending program index).
 std::vector<std::size_t> block_ops(const Block& block, const DependencyModel& model);
 
+/// Remote ops of `window` (program indices, ascending) whose key
+/// dependencies are produced neither by an earlier op of `window` nor by
+/// any op of `prior`: their object keys are computable before the window's
+/// first op runs, so one batched quorum round can fetch them all.  With a
+/// non-empty `prior` this answers the prefetch question — which of the
+/// *next* block's reads are independent of everything the current block
+/// (`prior`) computes.
+std::vector<std::size_t> batchable_remote_ops(
+    const ir::TxProgram& program, const std::vector<std::size_t>& window,
+    const std::vector<std::size_t>& prior = {});
+
 /// True when blocks `a` and `b` are connected by at least one direct
 /// dependency edge in either direction.
 bool blocks_dependent(const Block& a, const Block& b, const DependencyModel& model);

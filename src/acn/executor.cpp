@@ -1,5 +1,6 @@
 #include "src/acn/executor.hpp"
 
+#include <stdexcept>
 #include <thread>
 
 #include "src/common/clock.hpp"
@@ -30,11 +31,70 @@ void note_full_abort(obs::Observability* obs, const dtm::TxAbort& abort,
                       "reason", obs::abort_reason_name(reason));
 }
 
+void require(bool present, const char* what) {
+  if (!present)
+    throw std::invalid_argument(std::string("Executor::run: missing ") + what);
+}
+
 }  // namespace
+
+const char* protocol_name(Protocol protocol) {
+  switch (protocol) {
+    case Protocol::kFlat:
+      return "QR-DTM";
+    case Protocol::kManualCN:
+      return "QR-CN";
+    case Protocol::kAcn:
+      return "QR-ACN";
+    case Protocol::kCheckpoint:
+      return "QR-CKPT";
+  }
+  return "?";
+}
 
 Executor::Executor(dtm::QuorumStub& stub, ExecutorConfig config,
                    std::uint64_t seed)
     : stub_(stub), config_(config), rng_(seed) {}
+
+void Executor::run(Protocol protocol, const RunOptions& options,
+                   const std::vector<ir::Record>& params, ExecStats& stats) {
+  // Scoped config override; restored even when the run throws.
+  struct Restore {
+    ExecutorConfig* slot;
+    ExecutorConfig saved;
+    bool armed;
+    ~Restore() {
+      if (armed) *slot = std::move(saved);
+    }
+  } restore{&config_, config_, options.config_override != nullptr};
+  if (options.config_override) config_ = *options.config_override;
+
+  switch (protocol) {
+    case Protocol::kFlat:
+      require(options.program != nullptr, "program (kFlat)");
+      run_flat_impl(*options.program, params, stats);
+      return;
+    case Protocol::kManualCN:
+      require(options.program != nullptr, "program (kManualCN)");
+      require(options.model != nullptr, "model (kManualCN)");
+      require(options.sequence != nullptr, "sequence (kManualCN)");
+      run_blocks_impl(*options.program, *options.model, *options.sequence,
+                      options, params, stats);
+      return;
+    case Protocol::kAcn: {
+      require(options.controller != nullptr, "controller (kAcn)");
+      const auto plan = options.controller->plan();
+      run_blocks_impl(options.controller->algorithm().program(), plan->model,
+                      plan->sequence, options, params, stats);
+      return;
+    }
+    case Protocol::kCheckpoint:
+      require(options.program != nullptr, "program (kCheckpoint)");
+      run_checkpointed_impl(*options.program, params, stats);
+      return;
+  }
+  throw std::invalid_argument("Executor::run: unknown protocol");
+}
 
 void Executor::execute_op(const ir::TxProgram& program, std::size_t op_index,
                           ir::TxEnv& env, ExecStats& stats) {
@@ -67,9 +127,48 @@ void Executor::backoff(int attempt) {
   std::this_thread::sleep_for(std::chrono::nanoseconds{shifted + jitter});
 }
 
-void Executor::run_flat(const ir::TxProgram& program,
-                        const std::vector<ir::Record>& params,
-                        ExecStats& stats) {
+void Executor::batched_fetch(const ir::TxProgram& program, ir::TxEnv& env,
+                             const std::vector<std::size_t>& group,
+                             const std::vector<std::size_t>& speculative,
+                             SpecBuffer& spec_buffer) {
+  obs::Observability* const o = config_.obs;
+
+  // Adopt what the previous Block prefetched for us into the fresh frame
+  // (so staleness aborts partially, against this Block).  read_many below
+  // then skips the adopted keys as already buffered.
+  if (!spec_buffer.empty()) {
+    std::size_t hits = 0;
+    for (const auto& [key, record] : spec_buffer)
+      if (env.txn().adopt_read(key, record)) ++hits;
+    if (o && hits > 0) o->prefetch_hits.add(hits);
+    spec_buffer.clear();
+  }
+
+  if (group.empty() && speculative.empty()) return;
+  // Key functions of batchable ops depend only on state computed before
+  // this Block, so both key lists are evaluable right now.
+  std::vector<ir::ObjectKey> keys;
+  keys.reserve(group.size());
+  for (std::size_t idx : group)
+    keys.push_back(program.ops[idx].remote.key_fn(env));
+  std::vector<ir::ObjectKey> spec_keys;
+  spec_keys.reserve(speculative.size());
+  for (std::size_t idx : speculative)
+    spec_keys.push_back(program.ops[idx].remote.key_fn(env));
+
+  if (ContentionMonitor* monitor = config_.piggyback_monitor) {
+    std::vector<std::uint64_t> levels;
+    spec_buffer =
+        env.txn().read_many(keys, spec_keys, monitor->classes(), &levels);
+    if (!levels.empty()) monitor->observe(monitor->classes(), levels);
+  } else {
+    spec_buffer = env.txn().read_many(keys, spec_keys);
+  }
+}
+
+void Executor::run_flat_impl(const ir::TxProgram& program,
+                             const std::vector<ir::Record>& params,
+                             ExecStats& stats) {
   obs::Observability* const o = config_.obs;
   const Stopwatch tx_watch;
   for (int attempt = 0;; ++attempt) {
@@ -104,12 +203,35 @@ void Executor::run_flat(const ir::TxProgram& program,
   }
 }
 
-void Executor::run_blocks(const ir::TxProgram& program,
-                          const DependencyModel& model,
-                          const BlockSequence& sequence,
-                          const std::vector<ir::Record>& params,
-                          ExecStats& stats) {
+void Executor::run_blocks_impl(const ir::TxProgram& program,
+                               const DependencyModel& model,
+                               const BlockSequence& sequence,
+                               const RunOptions& options,
+                               const std::vector<ir::Record>& params,
+                               ExecStats& stats) {
   obs::Observability* const o = config_.obs;
+
+  // Fetch plans depend only on the program and the sequence, not on runtime
+  // state: compute them once per run.  fetch_plan[i] — this Block's reads a
+  // batched round can serve; spec_plan[i] — Block i+1's reads that are
+  // independent of everything Block i computes, eligible to ride Block i's
+  // round speculatively.
+  std::vector<std::vector<std::size_t>> all_ops(sequence.size());
+  for (std::size_t i = 0; i < sequence.size(); ++i)
+    all_ops[i] = block_ops(sequence[i], model);
+  std::vector<std::vector<std::size_t>> fetch_plan;
+  std::vector<std::vector<std::size_t>> spec_plan;
+  if (options.batch_reads) {
+    fetch_plan.resize(sequence.size());
+    spec_plan.resize(sequence.size());
+    for (std::size_t i = 0; i < sequence.size(); ++i) {
+      fetch_plan[i] = batchable_remote_ops(program, all_ops[i]);
+      if (options.prefetch && i + 1 < sequence.size())
+        spec_plan[i] =
+            batchable_remote_ops(program, all_ops[i + 1], all_ops[i]);
+    }
+  }
+
   const Stopwatch tx_watch;
   for (int attempt = 0;; ++attempt) {
     nesting::Transaction txn(stub_, nesting::next_tx_id());
@@ -118,12 +240,12 @@ void Executor::run_blocks(const ir::TxProgram& program,
     obs::Tracer::Span tx_span;
     if (o)
       tx_span.restart(&o->tracer, "tx", "tx", txn.id(), "attempt", attempt);
+    SpecBuffer spec_buffer;
     try {
       for (std::size_t position = 0; position < sequence.size(); ++position) {
-        const Block& block = sequence[position];
         const std::size_t slot =
             std::min(position, ExecStats::kPositionSlots - 1);
-        const auto ops = block_ops(block, model);
+        const auto& ops = all_ops[position];
         ir::TxEnv::Snapshot snapshot = env.snapshot();
         int partial_attempts = 0;
         for (;;) {
@@ -139,11 +261,22 @@ void Executor::run_blocks(const ir::TxProgram& program,
           }
           txn.begin_nested();
           try {
+            if (options.batch_reads)
+              batched_fetch(program, env, fetch_plan[position],
+                            spec_plan[position], spec_buffer);
             for (std::size_t op : ops) execute_op(program, op, env, stats);
             txn.commit_nested();
             break;
           } catch (const dtm::TxAbort& abort) {
             ++stats.aborts_in_execution;
+            // Anything speculatively fetched during this attempt (for the
+            // next Block) rides on a snapshot that just proved stale or
+            // never got consumed consistently — discard it; the retry (or
+            // the restart) re-fetches.
+            if (!spec_buffer.empty()) {
+              if (o) o->prefetch_wasted.add(spec_buffer.size());
+              spec_buffer.clear();
+            }
             const bool partial =
                 txn.classify(abort) == nesting::AbortScope::kPartial &&
                 partial_attempts < config_.max_partial_retries;
@@ -191,9 +324,9 @@ void Executor::run_blocks(const ir::TxProgram& program,
   }
 }
 
-void Executor::run_checkpointed(const ir::TxProgram& program,
-                                const std::vector<ir::Record>& params,
-                                ExecStats& stats) {
+void Executor::run_checkpointed_impl(const ir::TxProgram& program,
+                                     const std::vector<ir::Record>& params,
+                                     ExecStats& stats) {
   struct Checkpoint {
     std::size_t op_index;
     ir::TxEnv::Snapshot env;
@@ -285,14 +418,6 @@ void Executor::run_checkpointed(const ir::TxProgram& program,
       backoff(attempt);
     }
   }
-}
-
-void Executor::run_adaptive(AdaptiveController& controller,
-                            const std::vector<ir::Record>& params,
-                            ExecStats& stats) {
-  const auto plan = controller.plan();
-  run_blocks(controller.algorithm().program(), plan->model, plan->sequence,
-             params, stats);
 }
 
 }  // namespace acn

@@ -1,15 +1,29 @@
 // Executor Engine (Section V-B): runs a TxProgram to commit under one of
-// the three protocols the paper evaluates.
+// the protocols the paper evaluates, behind a single entry point:
 //
-//   * run_flat      — QR-DTM: all operations in the parent context; any
-//                     conflict restarts the whole transaction.
-//   * run_blocks    — QR-CN: a fixed Block Sequence (the programmer's
-//                     manual decomposition); each Block executes as a
-//                     closed-nested transaction, partial aborts retry the
-//                     Block only.
-//   * run_adaptive  — QR-ACN: like run_blocks, but the sequence comes from
-//                     the AdaptiveController at every attempt, so the
-//                     transaction always runs the most recent composition.
+//   executor.run(protocol, options, params, stats)
+//
+//   * Protocol::kFlat       — QR-DTM: all operations in the parent context;
+//                             any conflict restarts the whole transaction.
+//   * Protocol::kManualCN   — QR-CN: a fixed Block Sequence (the
+//                             programmer's manual decomposition); each Block
+//                             executes as a closed-nested transaction,
+//                             partial aborts retry the Block only.
+//   * Protocol::kAcn        — QR-ACN: like kManualCN, but the sequence comes
+//                             from the AdaptiveController at every attempt,
+//                             so the transaction always runs the most recent
+//                             composition.
+//   * Protocol::kCheckpoint — QR-CKPT: checkpoint-based partial rollback
+//                             (the Section III alternative to nesting).
+//
+// RunOptions also switches on the batched read pipeline: with batch_reads,
+// the remote accesses of a Block whose key dependencies are satisfied at
+// Block entry are fetched through ONE read_many quorum round instead of N
+// sequential reads; with prefetch, the next Block's independent reads ride
+// the same round speculatively and are adopted when that Block starts (or
+// discarded, if a partial abort intervenes — speculation never weakens the
+// partial-rollback classification, because adopted reads live in the
+// adopting Block's own frame).
 //
 // Partial rollback mechanics: before a Block starts, the executor snapshots
 // the variable environment; a partial abort pops the nested frame (discarding
@@ -25,6 +39,16 @@
 #include "src/acn/txir.hpp"
 
 namespace acn {
+
+/// The execution protocols under evaluation (Figure 4's series).
+enum class Protocol {
+  kFlat,        // QR-DTM
+  kManualCN,    // QR-CN
+  kAcn,         // QR-ACN
+  kCheckpoint,  // QR-CKPT: fine-grained checkpoint partial rollback
+};
+
+const char* protocol_name(Protocol protocol);
 
 struct ExecStats {
   std::uint64_t commits = 0;
@@ -87,23 +111,66 @@ struct ExecutorConfig {
   obs::Observability* obs = nullptr;
 };
 
+/// Inputs of one run() call.  Which fields are required depends on the
+/// protocol: program for kFlat/kCheckpoint; program+model+sequence for
+/// kManualCN; controller for kAcn.  The rest are cross-protocol toggles.
+struct RunOptions {
+  const ir::TxProgram* program = nullptr;
+  const DependencyModel* model = nullptr;
+  const BlockSequence* sequence = nullptr;
+  AdaptiveController* controller = nullptr;
+  /// Fetch a Block's independent remote reads through one batched quorum
+  /// round (kManualCN/kAcn; flat and checkpointed execution has no Block
+  /// structure to exploit and ignores it).
+  bool batch_reads = false;
+  /// With batch_reads: speculatively fetch the next Block's independent
+  /// reads in the same round; speculation is discarded on partial abort.
+  bool prefetch = false;
+  /// When set, replaces the executor's construction-time config (retry
+  /// caps, backoff, obs pointer, monitor, history) for this run only.
+  const ExecutorConfig* config_override = nullptr;
+};
+
 class Executor {
  public:
   Executor(dtm::QuorumStub& stub, ExecutorConfig config, std::uint64_t seed);
 
+  /// Unified entry point: execute one transaction to commit under
+  /// `protocol`.  Throws std::invalid_argument when `options` lacks the
+  /// protocol's inputs, and the last dtm::TxAbort when max_full_retries is
+  /// exhausted.
+  void run(Protocol protocol, const RunOptions& options,
+           const std::vector<ir::Record>& params, ExecStats& stats);
+
+  // -- legacy per-protocol entry points (thin wrappers over run()) ---------
+
   /// QR-DTM flat execution.
   void run_flat(const ir::TxProgram& program, const std::vector<ir::Record>& params,
-                ExecStats& stats);
+                ExecStats& stats) {
+    RunOptions options;
+    options.program = &program;
+    run(Protocol::kFlat, options, params, stats);
+  }
 
   /// QR-CN execution with a fixed decomposition.  `sequence` must be valid
   /// for `model`.
   void run_blocks(const ir::TxProgram& program, const DependencyModel& model,
                   const BlockSequence& sequence,
-                  const std::vector<ir::Record>& params, ExecStats& stats);
+                  const std::vector<ir::Record>& params, ExecStats& stats) {
+    RunOptions options;
+    options.program = &program;
+    options.model = &model;
+    options.sequence = &sequence;
+    run(Protocol::kManualCN, options, params, stats);
+  }
 
   /// QR-ACN execution under the controller's current plan.
   void run_adaptive(AdaptiveController& controller,
-                    const std::vector<ir::Record>& params, ExecStats& stats);
+                    const std::vector<ir::Record>& params, ExecStats& stats) {
+    RunOptions options;
+    options.controller = &controller;
+    run(Protocol::kAcn, options, params, stats);
+  }
 
   /// Checkpoint-based partial rollback (Koskinen & Herlihy-style, the
   /// technique the paper contrasts closed nesting with in Section III):
@@ -115,9 +182,34 @@ class Executor {
   /// state-copying overhead.
   void run_checkpointed(const ir::TxProgram& program,
                         const std::vector<ir::Record>& params,
-                        ExecStats& stats);
+                        ExecStats& stats) {
+    RunOptions options;
+    options.program = &program;
+    run(Protocol::kCheckpoint, options, params, stats);
+  }
 
  private:
+  using SpecBuffer = std::vector<std::pair<ir::ObjectKey, dtm::VersionedRecord>>;
+
+  void run_flat_impl(const ir::TxProgram& program,
+                     const std::vector<ir::Record>& params, ExecStats& stats);
+  void run_blocks_impl(const ir::TxProgram& program,
+                       const DependencyModel& model,
+                       const BlockSequence& sequence, const RunOptions& options,
+                       const std::vector<ir::Record>& params, ExecStats& stats);
+  void run_checkpointed_impl(const ir::TxProgram& program,
+                             const std::vector<ir::Record>& params,
+                             ExecStats& stats);
+
+  /// The batched fetch stage at Block entry: adopt what the previous Block
+  /// prefetched into the fresh frame, then fetch `group` (this Block's
+  /// independent reads) plus `speculative` (the next Block's) in one
+  /// read_many round, leaving the speculative records in `spec_buffer`.
+  void batched_fetch(const ir::TxProgram& program, ir::TxEnv& env,
+                     const std::vector<std::size_t>& group,
+                     const std::vector<std::size_t>& speculative,
+                     SpecBuffer& spec_buffer);
+
   void execute_op(const ir::TxProgram& program, std::size_t op_index,
                   ir::TxEnv& env, ExecStats& stats);
   void arm_env(ir::TxEnv& env);  // history log + contention piggyback

@@ -102,5 +102,8 @@ std::vector<std::vector<std::size_t>> op_dataflow(const ir::TxProgram& program);
 DependencyModel build_dependency_model(const ir::TxProgram& program,
                                        AttachPolicy policy,
                                        const ClassLevels& class_levels = {});
+/// The model keeps a pointer to `program`, so a temporary would dangle.
+DependencyModel build_dependency_model(ir::TxProgram&& program, AttachPolicy,
+                                       const ClassLevels& = {}) = delete;
 
 }  // namespace acn

@@ -10,6 +10,7 @@ enum class RequestTag : std::uint8_t {
   kCommit,
   kAbort,
   kContention,
+  kBatchedRead,
 };
 
 enum class ResponseTag : std::uint8_t {
@@ -20,6 +21,7 @@ enum class ResponseTag : std::uint8_t {
   kCommit,
   kAbort,
   kContention,
+  kBatchedRead,
 };
 
 }  // namespace
@@ -104,6 +106,12 @@ std::vector<std::uint8_t> encode(const Request& request) {
           e.key(req.key);
           e.list(req.validate, [&](const VersionCheck& c) { e.check(c); });
           e.list(req.want_contention, [&](ClassId c) { e.u32(c); });
+        } else if constexpr (std::is_same_v<T, BatchedReadRequest>) {
+          e.u8(static_cast<std::uint8_t>(RequestTag::kBatchedRead));
+          e.u64(req.tx);
+          e.list(req.keys, [&](const ObjectKey& k) { e.key(k); });
+          e.list(req.validate, [&](const VersionCheck& c) { e.check(c); });
+          e.list(req.want_contention, [&](ClassId c) { e.u32(c); });
         } else if constexpr (std::is_same_v<T, ValidateRequest>) {
           e.u8(static_cast<std::uint8_t>(RequestTag::kValidate));
           e.u64(req.tx);
@@ -146,6 +154,16 @@ std::vector<std::uint8_t> encode(const Response& response) {
           e.u64(res.record.version);
           e.list(res.invalid, [&](const ObjectKey& k) { e.key(k); });
           e.list(res.contention, [&](std::uint64_t v) { e.u64(v); });
+        } else if constexpr (std::is_same_v<T, BatchedReadResponse>) {
+          e.u8(static_cast<std::uint8_t>(ResponseTag::kBatchedRead));
+          e.list(res.codes,
+                 [&](ReadCode c) { e.u8(static_cast<std::uint8_t>(c)); });
+          e.list(res.records, [&](const VersionedRecord& r) {
+            e.record(r.value);
+            e.u64(r.version);
+          });
+          e.list(res.invalid, [&](const ObjectKey& k) { e.key(k); });
+          e.list(res.contention, [&](std::uint64_t v) { e.u64(v); });
         } else if constexpr (std::is_same_v<T, ValidateResponse>) {
           e.u8(static_cast<std::uint8_t>(ResponseTag::kValidate));
           e.list(res.invalid, [&](const ObjectKey& k) { e.key(k); });
@@ -178,6 +196,15 @@ Request decode_request(std::span<const std::uint8_t> bytes) {
       ReadRequest req;
       req.tx = d.u64();
       req.key = d.key();
+      req.validate = d.list<VersionCheck>([&] { return d.check(); });
+      req.want_contention = d.list<ClassId>([&] { return d.u32(); });
+      out.payload = std::move(req);
+      break;
+    }
+    case RequestTag::kBatchedRead: {
+      BatchedReadRequest req;
+      req.tx = d.u64();
+      req.keys = d.list<ObjectKey>([&] { return d.key(); });
       req.validate = d.list<VersionCheck>([&] { return d.check(); });
       req.want_contention = d.list<ClassId>([&] { return d.u32(); });
       out.payload = std::move(req);
@@ -240,6 +267,21 @@ Response decode_response(std::span<const std::uint8_t> bytes) {
       res.code = static_cast<ReadCode>(d.u8());
       res.record.value = d.record();
       res.record.version = d.u64();
+      res.invalid = d.list<ObjectKey>([&] { return d.key(); });
+      res.contention = d.list<std::uint64_t>([&] { return d.u64(); });
+      out.payload = std::move(res);
+      break;
+    }
+    case ResponseTag::kBatchedRead: {
+      BatchedReadResponse res;
+      res.codes =
+          d.list<ReadCode>([&] { return static_cast<ReadCode>(d.u8()); });
+      res.records = d.list<VersionedRecord>([&] {
+        VersionedRecord r;
+        r.value = d.record();
+        r.version = d.u64();
+        return r;
+      });
       res.invalid = d.list<ObjectKey>([&] { return d.key(); });
       res.contention = d.list<std::uint64_t>([&] { return d.u64(); });
       out.payload = std::move(res);

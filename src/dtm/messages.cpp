@@ -20,6 +20,11 @@ std::size_t ReadRequest::approx_size() const noexcept {
          want_contention.size() * sizeof(ClassId);
 }
 
+std::size_t BatchedReadRequest::approx_size() const noexcept {
+  return kHeader + keys.size() * kKeySize + validate.size() * kCheckSize +
+         want_contention.size() * sizeof(ClassId);
+}
+
 std::size_t ValidateRequest::approx_size() const noexcept {
   return kHeader + validate.size() * kCheckSize;
 }
@@ -45,6 +50,14 @@ std::size_t ContentionRequest::approx_size() const noexcept {
 std::size_t ReadResponse::approx_size() const noexcept {
   return kHeader + record.value.approx_size() + sizeof(Version) +
          invalid.size() * kKeySize + contention.size() * sizeof(std::uint64_t);
+}
+
+std::size_t BatchedReadResponse::approx_size() const noexcept {
+  std::size_t total = kHeader + codes.size();
+  for (const auto& record : records)
+    total += record.value.approx_size() + sizeof(Version);
+  return total + invalid.size() * kKeySize +
+         contention.size() * sizeof(std::uint64_t);
 }
 
 std::size_t ValidateResponse::approx_size() const noexcept {

@@ -1,11 +1,17 @@
 // QR-DTM wire protocol.
 //
-// Five request kinds flow from clients to quorum servers:
+// Seven request kinds flow from clients to quorum servers:
 //   * Read        — fetch an object from a read quorum; the request carries
 //                   the transaction's current read-set versions so servers
 //                   perform *incremental validation* on every read, and may
 //                   carry a list of object classes whose contention levels
 //                   the client wants piggybacked on the response.
+//   * BatchedRead — fetch several independent objects in one quorum round.
+//                   The Static Module's UnitGraph proves the keys have no
+//                   data dependency between their computations, so the reads
+//                   can share a round trip; validation and contention
+//                   piggybacking work exactly as for Read, with a per-key
+//                   result code.
 //   * Validate    — stand-alone incremental validation (no fetch).
 //   * Prepare     — first phase of two-phase commit on a write quorum:
 //                   protect written objects, validate the read-set, report
@@ -53,6 +59,17 @@ struct ReadRequest {
   std::size_t approx_size() const noexcept;
 
   friend bool operator==(const ReadRequest&, const ReadRequest&) = default;
+};
+
+struct BatchedReadRequest {
+  TxId tx = 0;
+  std::vector<ObjectKey> keys;  // deduplicated by the caller
+  std::vector<VersionCheck> validate;
+  std::vector<ClassId> want_contention;
+
+  std::size_t approx_size() const noexcept;
+
+  friend bool operator==(const BatchedReadRequest&, const BatchedReadRequest&) = default;
 };
 
 struct ValidateRequest {
@@ -120,6 +137,20 @@ struct ReadResponse {
   friend bool operator==(const ReadResponse&, const ReadResponse&) = default;
 };
 
+struct BatchedReadResponse {
+  /// Per-key result, aligned with the request's `keys`.  On kInvalid every
+  /// entry carries kInvalid and `invalid` lists the refuted checks (the
+  /// whole round is poisoned, exactly like a single Read).
+  std::vector<ReadCode> codes;
+  std::vector<VersionedRecord> records;    // aligned with keys; empty on non-kOk
+  std::vector<ObjectKey> invalid;          // failed validation entries
+  std::vector<std::uint64_t> contention;   // aligned with want_contention
+
+  std::size_t approx_size() const noexcept;
+
+  friend bool operator==(const BatchedReadResponse&, const BatchedReadResponse&) = default;
+};
+
 struct ValidateResponse {
   std::vector<ObjectKey> invalid;  // empty => all still valid
   /// A checked object is protected by an in-flight commit: this replica can
@@ -173,7 +204,7 @@ struct ContentionResponse {
 
 struct Request {
   std::variant<ReadRequest, ValidateRequest, PrepareRequest, CommitRequest,
-               AbortRequest, ContentionRequest>
+               AbortRequest, ContentionRequest, BatchedReadRequest>
       payload;
 
   std::size_t approx_size() const noexcept;
@@ -183,7 +214,8 @@ struct Request {
 
 struct Response {
   std::variant<std::monostate, ReadResponse, ValidateResponse, PrepareResponse,
-               CommitResponse, AbortResponse, ContentionResponse>
+               CommitResponse, AbortResponse, ContentionResponse,
+               BatchedReadResponse>
       payload;
 
   std::size_t approx_size() const noexcept;

@@ -15,6 +15,14 @@ void merge_invalid(std::vector<ObjectKey>& into, const std::vector<ObjectKey>& f
       into.push_back(key);
 }
 
+void merge_contention(std::vector<std::uint64_t>& into,
+                      const std::vector<std::uint64_t>& from) {
+  if (from.empty()) return;
+  if (into.size() < from.size()) into.resize(from.size(), 0);
+  for (std::size_t i = 0; i < from.size(); ++i)
+    into[i] = std::max(into[i], from[i]);
+}
+
 }  // namespace
 
 QuorumStub::QuorumStub(DtmNetwork& network, const quorum::QuorumSystem& quorums,
@@ -32,6 +40,29 @@ void QuorumStub::backoff(int attempt) {
   const std::int64_t jitter =
       static_cast<std::int64_t>(rng_.uniform(0, static_cast<std::uint64_t>(shifted)));
   std::this_thread::sleep_for(std::chrono::nanoseconds{shifted + jitter});
+}
+
+void QuorumStub::retry_ladder(const std::vector<ObjectKey>& blame,
+                              const std::function<RoundStatus()>& round) {
+  int busy_attempts = 0;
+  int quorum_attempts = 0;
+  for (;;) {
+    switch (round()) {
+      case RoundStatus::kDone:
+        return;
+      case RoundStatus::kBusy:
+        if (++busy_attempts > config_.max_busy_retries)
+          throw TxAbort(AbortKind::kBusy, blame);
+        backoff(busy_attempts);
+        break;
+      case RoundStatus::kUnreachable:
+        // Re-select; the quorum system routes the next pick around any node
+        // the whole cluster knows is down, and random choice handles the rest.
+        if (++quorum_attempts > config_.max_quorum_retries)
+          throw TxAbort(AbortKind::kUnavailable, blame);
+        break;
+    }
+  }
 }
 
 std::vector<net::CallResult<Response>> QuorumStub::exchange(
@@ -61,16 +92,15 @@ ReadOutcome QuorumStub::read(TxId tx, const ObjectKey& key,
                  static_cast<std::int64_t>(validate.size()));
     latency.arm(o->rpc_read_ns);
   }
-  int busy_attempts = 0;
-  int quorum_attempts = 0;
-  for (;;) {
+  ReadOutcome best;
+  retry_ladder({key}, [&]() -> RoundStatus {
     const auto quorum = pick_read_quorum();
     Request request;
     request.payload = ReadRequest{tx, key, validate, want_contention};
     const auto results = exchange(quorum, request);
 
     std::vector<ObjectKey> invalid;
-    ReadOutcome best;
+    best = ReadOutcome{};
     bool have_value = false;
     bool any_busy = false;
     bool any_missing = false;
@@ -97,32 +127,114 @@ ReadOutcome QuorumStub::read(TxId tx, const ObjectKey& key,
           any_missing = true;
           break;
       }
-      if (!res.contention.empty()) {
-        if (best.contention.size() < res.contention.size())
-          best.contention.resize(res.contention.size(), 0);
-        for (std::size_t i = 0; i < res.contention.size(); ++i)
-          best.contention[i] = std::max(best.contention[i], res.contention[i]);
-      }
+      merge_contention(best.contention, res.contention);
     }
 
     if (!invalid.empty()) throw TxAbort(AbortKind::kValidation, invalid);
-    if (have_value) return best;
-    if (reachable == 0) {
-      if (++quorum_attempts > config_.max_quorum_retries)
-        throw TxAbort(AbortKind::kUnavailable, {key});
-      continue;  // re-select a quorum around the down nodes
-    }
-    if (any_busy) {
-      if (++busy_attempts > config_.max_busy_retries)
-        throw TxAbort(AbortKind::kBusy, {key});
-      backoff(busy_attempts);
-      continue;
-    }
+    if (have_value) return RoundStatus::kDone;
+    if (reachable == 0) return RoundStatus::kUnreachable;
+    if (any_busy) return RoundStatus::kBusy;
     if (any_missing) throw ObjectMissing(key);
     // Only transport errors on a partially reachable quorum: retry.
-    if (++quorum_attempts > config_.max_quorum_retries)
-      throw TxAbort(AbortKind::kUnavailable, {key});
+    return RoundStatus::kUnreachable;
+  });
+  return best;
+}
+
+BatchedReadOutcome QuorumStub::read_many(
+    TxId tx, const std::vector<ObjectKey>& keys,
+    const std::vector<VersionCheck>& validate,
+    const std::vector<ClassId>& want_contention) {
+  if (keys.empty()) return {};
+  if (obs::Observability* o = config_.obs)
+    o->read_batch_size.observe(keys.size());
+  if (keys.size() == 1) {
+    // A one-key batch IS a read; keep the single-read wire format so the
+    // batched path costs nothing extra when dependencies serialise a block.
+    auto one = read(tx, keys.front(), validate, want_contention);
+    BatchedReadOutcome out;
+    out.records.push_back(std::move(one.record));
+    out.contention = std::move(one.contention);
+    return out;
   }
+
+  obs::Tracer::Span span;
+  obs::ScopedLatency latency;
+  if (obs::Observability* o = config_.obs) {
+    o->rpc_batched_reads.add();
+    span.restart(&o->tracer, "rpc.read_many", "rpc", tx, "keys",
+                 static_cast<std::int64_t>(keys.size()));
+    latency.arm(o->rpc_read_ns);
+  }
+
+  BatchedReadOutcome out;
+  retry_ladder(keys, [&]() -> RoundStatus {
+    const auto quorum = pick_read_quorum();
+    Request request;
+    request.payload = BatchedReadRequest{tx, keys, validate, want_contention};
+    const auto results = exchange(quorum, request);
+
+    std::vector<ObjectKey> invalid;
+    out = BatchedReadOutcome{};
+    out.records.resize(keys.size());
+    std::vector<char> have(keys.size(), 0);
+    std::vector<char> busy(keys.size(), 0);
+    std::vector<char> missing(keys.size(), 0);
+    std::size_t reachable = 0;
+
+    for (const auto& result : results) {
+      if (!result.ok()) continue;
+      ++reachable;
+      const auto& res = std::get<BatchedReadResponse>(result.response.payload);
+      for (std::size_t i = 0; i < res.codes.size() && i < keys.size(); ++i) {
+        switch (res.codes[i]) {
+          case ReadCode::kInvalid:
+            merge_invalid(invalid, res.invalid);
+            break;
+          case ReadCode::kOk:
+            if (!have[i] || res.records[i].version > out.records[i].version) {
+              out.records[i] = res.records[i];
+              have[i] = 1;
+            }
+            break;
+          case ReadCode::kBusy:
+            busy[i] = 1;
+            break;
+          case ReadCode::kMissing:
+            missing[i] = 1;
+            break;
+        }
+      }
+      merge_contention(out.contention, res.contention);
+    }
+
+    if (!invalid.empty()) throw TxAbort(AbortKind::kValidation, invalid);
+    if (reachable == 0) return RoundStatus::kUnreachable;
+
+    // Per-key resolution mirrors read(): a served key is done regardless of
+    // what other replicas said about it; an unserved key escalates in the
+    // order busy > missing > transport loss.  The whole batch retries as one
+    // unit — replaying already-served keys is cheaper than a second round.
+    bool any_retry_busy = false;
+    bool any_retry_unreachable = false;
+    const ObjectKey* missing_key = nullptr;
+    for (std::size_t i = 0; i < keys.size(); ++i) {
+      if (have[i]) continue;
+      if (busy[i])
+        any_retry_busy = true;
+      else if (missing[i]) {
+        if (missing_key == nullptr) missing_key = &keys[i];
+      } else
+        any_retry_unreachable = true;
+    }
+    if (any_retry_busy) return RoundStatus::kBusy;
+    if (missing_key != nullptr) throw ObjectMissing(*missing_key);
+    if (any_retry_unreachable) return RoundStatus::kUnreachable;
+    return RoundStatus::kDone;
+  });
+  // N keys through one quorum round instead of N sequential rounds.
+  if (obs::Observability* o = config_.obs) o->rpcs_saved.add(keys.size() - 1);
+  return out;
 }
 
 void QuorumStub::validate(TxId tx, const std::vector<VersionCheck>& checks) {
@@ -133,28 +245,30 @@ void QuorumStub::validate(TxId tx, const std::vector<VersionCheck>& checks) {
     span.restart(&o->tracer, "rpc.validate", "rpc", tx, "checks",
                  static_cast<std::int64_t>(checks.size()));
   }
-  int busy_attempts = 0;
-  for (;;) {
+  retry_ladder({}, [&]() -> RoundStatus {
     const auto quorum = pick_read_quorum();
     Request request;
     request.payload = ValidateRequest{tx, checks};
     const auto results = exchange(quorum, request);
     std::vector<ObjectKey> invalid;
     bool any_busy = false;
+    std::size_t reachable = 0;
     for (const auto& result : results) {
       if (!result.ok()) continue;
+      ++reachable;
       const auto& res = std::get<ValidateResponse>(result.response.payload);
       merge_invalid(invalid, res.invalid);
       any_busy = any_busy || res.busy;
     }
     if (!invalid.empty()) throw TxAbort(AbortKind::kValidation, invalid);
-    if (!any_busy) return;
+    // An unreachable quorum must not pass as "nobody refuted the checks" —
+    // re-select until someone actually answers.
+    if (reachable == 0) return RoundStatus::kUnreachable;
     // Some checked object is protected by an in-flight commit: retry until
     // the commit settles and validation can answer definitively.
-    if (++busy_attempts > config_.max_busy_retries)
-      throw TxAbort(AbortKind::kBusy, {});
-    backoff(busy_attempts);
-  }
+    if (any_busy) return RoundStatus::kBusy;
+    return RoundStatus::kDone;
+  });
 }
 
 PrepareTicket QuorumStub::prepare(TxId tx,
@@ -169,8 +283,8 @@ PrepareTicket QuorumStub::prepare(TxId tx,
                  static_cast<std::int64_t>(write_keys.size()));
     latency.arm(o->rpc_prepare_ns);
   }
-  int busy_attempts = 0;
-  for (;;) {
+  PrepareTicket ticket;
+  retry_ladder(write_keys, [&]() -> RoundStatus {
     const auto quorum = pick_write_quorum();
     Request request;
     request.payload = PrepareRequest{tx, read_checks, write_keys};
@@ -209,16 +323,13 @@ PrepareTicket QuorumStub::prepare(TxId tx,
       // Release whatever protection was acquired anywhere in the quorum.
       send_abort(tx, quorum, write_keys);
       if (!invalid.empty()) throw TxAbort(AbortKind::kValidation, invalid);
-      if (any_busy) {
-        if (++busy_attempts > config_.max_busy_retries)
-          throw TxAbort(AbortKind::kBusy, write_keys);
-        backoff(busy_attempts);
-        continue;
-      }
-      throw TxAbort(AbortKind::kUnavailable, write_keys);
+      if (any_busy) return RoundStatus::kBusy;
+      // A partly-down write quorum is not fatal: another write quorum that
+      // avoids the down nodes may exist, so re-select like read() does.
+      return RoundStatus::kUnreachable;
     }
 
-    PrepareTicket ticket;
+    ticket = PrepareTicket{};
     ticket.tx = tx;
     ticket.quorum = quorum;
     ticket.keys = write_keys;
@@ -228,8 +339,9 @@ PrepareTicket QuorumStub::prepare(TxId tx,
           std::max(current[i], i < read_versions.size() ? read_versions[i] : 0);
       ticket.new_versions.push_back(floor_version + 1);
     }
-    return ticket;
-  }
+    return RoundStatus::kDone;
+  });
+  return ticket;
 }
 
 void QuorumStub::commit(const PrepareTicket& ticket,

@@ -6,15 +6,22 @@
 //     intersection property guarantees it is the latest committed version),
 //     surface incremental-validation failures as TxAbort, retry transient
 //     "busy" replies with backoff;
+//   * read_many: like read for N independent keys in ONE quorum round — the
+//     batched path the executor uses when the UnitGraph proves several
+//     remote accesses have no data dependency between their keys;
 //   * prepare/commit/abort: two-phase commit over one write quorum — the
 //     same nodes must see prepare, then commit or abort, so prepare returns
 //     a ticket binding the chosen quorum;
 //   * contention: fetch per-class contention levels for the Dynamic Module,
 //     either stand-alone or piggybacked on reads.
+// read, read_many, validate and prepare all climb one shared retry ladder:
+// transient busy replies back off and retry, unreachable quorums re-select
+// around the down nodes, and each rung has its own cap.
 #pragma once
 
 #include <chrono>
 #include <cstdint>
+#include <functional>
 #include <optional>
 
 #include "src/common/rng.hpp"
@@ -52,6 +59,11 @@ struct ReadOutcome {
   std::vector<std::uint64_t> contention;
 };
 
+struct BatchedReadOutcome {
+  std::vector<VersionedRecord> records;  // aligned with the requested keys
+  std::vector<std::uint64_t> contention;
+};
+
 /// Binds a prepared two-phase commit to the quorum that granted it.
 struct PrepareTicket {
   TxId tx = 0;
@@ -74,6 +86,15 @@ class QuorumStub {
   ReadOutcome read(TxId tx, const ObjectKey& key,
                    const std::vector<VersionCheck>& validate,
                    const std::vector<ClassId>& want_contention = {});
+
+  /// Fetch every key in `keys` (deduplicated by the caller) from ONE read
+  /// quorum round, with the same incremental validation and the same
+  /// busy/unavailable/validation retry ladder as read().  Results align
+  /// with `keys`.  Throws exactly what read() throws; ObjectMissing names
+  /// the first key no replica holds.
+  BatchedReadOutcome read_many(TxId tx, const std::vector<ObjectKey>& keys,
+                               const std::vector<VersionCheck>& validate,
+                               const std::vector<ClassId>& want_contention = {});
 
   /// Stand-alone incremental validation; throws TxAbort(kValidation) when
   /// any replica refutes a check.
@@ -102,6 +123,21 @@ class QuorumStub {
   net::NodeId client_node() const noexcept { return client_node_; }
 
  private:
+  /// One quorum round's verdict, as seen by the shared retry ladder.
+  enum class RoundStatus {
+    kDone,         // finished; the round captured its result
+    kBusy,         // transient busy replies: back off and retry
+    kUnreachable,  // quorum not (fully) reachable: re-select and retry
+  };
+
+  /// The retry ladder every quorum operation climbs: invokes `round` until
+  /// it reports kDone, backing off on kBusy (up to max_busy_retries, then
+  /// TxAbort{kBusy}) and re-selecting quorums on kUnreachable (up to
+  /// max_quorum_retries, then TxAbort{kUnavailable}); either abort lists
+  /// `blame`.  Rounds throw TxAbort(kValidation)/ObjectMissing directly.
+  void retry_ladder(const std::vector<ObjectKey>& blame,
+                    const std::function<RoundStatus()>& round);
+
   std::vector<net::NodeId> pick_read_quorum() { return quorums_.read_quorum(rng_); }
   std::vector<net::NodeId> pick_write_quorum() { return quorums_.write_quorum(rng_); }
   /// multicall + optional codec verification of request and responses.

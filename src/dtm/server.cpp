@@ -16,6 +16,8 @@ Response Server::handle(net::NodeId /*from*/, const Request& request) {
         using T = std::decay_t<decltype(req)>;
         if constexpr (std::is_same_v<T, ReadRequest>)
           out.payload = on_read(req);
+        else if constexpr (std::is_same_v<T, BatchedReadRequest>)
+          out.payload = on_batched_read(req);
         else if constexpr (std::is_same_v<T, ValidateRequest>)
           out.payload = on_validate(req);
         else if constexpr (std::is_same_v<T, PrepareRequest>)
@@ -91,6 +93,50 @@ ReadResponse Server::on_read(const ReadRequest& req) {
     case store::ReadStatus::kMissing:
       res.code = ReadCode::kMissing;
       break;
+  }
+
+  if (!req.want_contention.empty())
+    res.contention = contention_.class_levels(req.want_contention);
+  return res;
+}
+
+BatchedReadResponse Server::on_batched_read(const BatchedReadRequest& req) {
+  stats_.batched_reads.fetch_add(1, std::memory_order_relaxed);
+  stats_.reads.fetch_add(req.keys.size(), std::memory_order_relaxed);
+  BatchedReadResponse res;
+
+  // Incremental validation runs once for the whole batch: a refuted check
+  // poisons every key (same rule as a single Read — the caller's snapshot
+  // is broken regardless of which key it was about to fetch), and a
+  // protected check makes the whole round inconclusive.
+  bool busy = false;
+  res.invalid = failed_checks(req.validate, req.tx, busy);
+  if (!res.invalid.empty()) {
+    stats_.validations_failed.fetch_add(1, std::memory_order_relaxed);
+    res.codes.assign(req.keys.size(), ReadCode::kInvalid);
+    return res;
+  }
+  if (busy) {
+    res.codes.assign(req.keys.size(), ReadCode::kBusy);
+    return res;
+  }
+
+  res.codes.reserve(req.keys.size());
+  res.records.resize(req.keys.size());
+  for (std::size_t i = 0; i < req.keys.size(); ++i) {
+    const auto result = store_.read(req.keys[i]);
+    switch (result.status) {
+      case store::ReadStatus::kOk:
+        res.codes.push_back(ReadCode::kOk);
+        res.records[i] = result.record;
+        break;
+      case store::ReadStatus::kProtected:
+        res.codes.push_back(ReadCode::kBusy);
+        break;
+      case store::ReadStatus::kMissing:
+        res.codes.push_back(ReadCode::kMissing);
+        break;
+    }
   }
 
   if (!req.want_contention.empty())

@@ -19,6 +19,7 @@ namespace acn::dtm {
 
 struct ServerStats {
   std::atomic<std::uint64_t> reads{0};
+  std::atomic<std::uint64_t> batched_reads{0};  // batch requests (not keys)
   std::atomic<std::uint64_t> validations_failed{0};
   std::atomic<std::uint64_t> prepares{0};
   std::atomic<std::uint64_t> prepare_busy{0};
@@ -48,6 +49,7 @@ class Server {
 
  private:
   ReadResponse on_read(const ReadRequest& req);
+  BatchedReadResponse on_batched_read(const BatchedReadRequest& req);
   ValidateResponse on_validate(const ValidateRequest& req);
   PrepareResponse on_prepare(const PrepareRequest& req);
   CommitResponse on_commit(const CommitRequest& req);

@@ -8,20 +8,6 @@
 
 namespace acn::harness {
 
-const char* protocol_name(Protocol protocol) {
-  switch (protocol) {
-    case Protocol::kFlat:
-      return "QR-DTM";
-    case Protocol::kManualCN:
-      return "QR-CN";
-    case Protocol::kAcn:
-      return "QR-ACN";
-    case Protocol::kCheckpoint:
-      return "QR-CKPT";
-  }
-  return "?";
-}
-
 double RunResult::mean_throughput(std::size_t from_interval) const {
   if (from_interval >= throughput.size()) return 0.0;
   double total = 0.0;
@@ -94,6 +80,28 @@ RunResult run(Cluster& cluster, const workloads::Workload& workload,
       if (protocol == Protocol::kAcn && config.piggyback_contention)
         exec_config.piggyback_monitor = monitor.get();
       Executor executor(stub, exec_config, config.seed ^ (t << 20));
+      // One RunOptions per profile, built once: only the per-transaction
+      // params vary inside the loop.
+      std::vector<RunOptions> profile_options(profiles.size());
+      for (std::size_t p = 0; p < profiles.size(); ++p) {
+        RunOptions& options = profile_options[p];
+        options.batch_reads = config.batch_reads;
+        options.prefetch = config.prefetch;
+        switch (protocol) {
+          case Protocol::kFlat:
+          case Protocol::kCheckpoint:
+            options.program = profiles[p].program.get();
+            break;
+          case Protocol::kManualCN:
+            options.program = profiles[p].program.get();
+            options.model = &profiles[p].static_model;
+            options.sequence = &profiles[p].manual_sequence;
+            break;
+          case Protocol::kAcn:
+            options.controller = controllers[p].get();
+            break;
+        }
+      }
       ExecStats& stats = thread_stats[t];
       std::uint64_t aborts_seen = 0;
       try {
@@ -102,22 +110,7 @@ RunResult run(Cluster& cluster, const workloads::Workload& workload,
           const auto params = profiles[p].make_params(
               rng, phase.load(std::memory_order_relaxed));
           const Stopwatch tx_watch;
-          switch (protocol) {
-            case Protocol::kFlat:
-              executor.run_flat(*profiles[p].program, params, stats);
-              break;
-            case Protocol::kManualCN:
-              executor.run_blocks(*profiles[p].program,
-                                  profiles[p].static_model,
-                                  profiles[p].manual_sequence, params, stats);
-              break;
-            case Protocol::kAcn:
-              executor.run_adaptive(*controllers[p], params, stats);
-              break;
-            case Protocol::kCheckpoint:
-              executor.run_checkpointed(*profiles[p].program, params, stats);
-              break;
-          }
+          executor.run(protocol, profile_options[p], params, stats);
           latency.add(tx_watch.elapsed_ns());
           const std::size_t interval =
               current_interval.load(std::memory_order_relaxed);

@@ -25,14 +25,10 @@
 
 namespace acn::harness {
 
-enum class Protocol {
-  kFlat,        // QR-DTM
-  kManualCN,    // QR-CN
-  kAcn,         // QR-ACN
-  kCheckpoint,  // QR-CKPT: fine-grained checkpoint partial rollback
-};
-
-const char* protocol_name(Protocol protocol);
+/// The protocol enum lives with the executor now (acn::Protocol); these
+/// aliases keep harness call sites source-compatible.
+using Protocol = acn::Protocol;
+using acn::protocol_name;
 
 struct DriverConfig {
   std::size_t n_clients = 8;
@@ -47,6 +43,12 @@ struct DriverConfig {
   /// QR-ACN contention feed: false = explicit quorum query per adaptation
   /// tick; true = levels piggybacked on every read RPC (Section V-C2).
   bool piggyback_contention = false;
+  /// Batched read path: fetch each Block's independent remote reads in one
+  /// read_many quorum round (kManualCN/kAcn; other protocols ignore it).
+  bool batch_reads = false;
+  /// With batch_reads: speculatively prefetch the next Block's independent
+  /// reads in the same round (discarded on partial abort).
+  bool prefetch = false;
   /// Pause between a client's transactions (emulates more client machines
   /// than threads, or TPC-C keying/think time).  Zero = closed loop.
   std::chrono::nanoseconds think_time{0};

@@ -67,6 +67,47 @@ const Record& Transaction::read(const ObjectKey& key,
   return remote_read(key, classes, &levels_out);
 }
 
+std::vector<std::pair<ObjectKey, VersionedRecord>> Transaction::read_many(
+    const std::vector<ObjectKey>& keys,
+    const std::vector<ObjectKey>& speculative,
+    const std::vector<dtm::ClassId>& classes,
+    std::vector<std::uint64_t>* levels_out) {
+  std::vector<ObjectKey> fetch;
+  fetch.reserve(keys.size() + speculative.size());
+  const auto want = [&](const ObjectKey& key) {
+    return find_buffered(key) == nullptr &&
+           std::find(fetch.begin(), fetch.end(), key) == fetch.end();
+  };
+  for (const auto& key : keys)
+    if (want(key)) fetch.push_back(key);
+  const std::size_t group_count = fetch.size();
+  for (const auto& key : speculative)
+    if (want(key)) fetch.push_back(key);
+  if (fetch.empty()) return {};
+
+  stats_.remote_reads += group_count;
+  if (obs_ && group_count > 0) obs_->remote_reads.add(group_count);
+  auto outcome = stub_.read_many(id_, fetch, all_version_checks(), classes);
+  if (levels_out && !outcome.contention.empty())
+    *levels_out = std::move(outcome.contention);
+
+  std::vector<std::pair<ObjectKey, VersionedRecord>> spec;
+  spec.reserve(fetch.size() - group_count);
+  for (std::size_t i = 0; i < fetch.size(); ++i) {
+    if (i < group_count)
+      frames_.back().reads.emplace(fetch[i], std::move(outcome.records[i]));
+    else
+      spec.emplace_back(fetch[i], std::move(outcome.records[i]));
+  }
+  return spec;
+}
+
+bool Transaction::adopt_read(const ObjectKey& key, const VersionedRecord& record) {
+  if (find_buffered(key) != nullptr) return false;
+  frames_.back().reads.emplace(key, record);
+  return true;
+}
+
 void Transaction::write(const ObjectKey& key, Record value) {
   if (!has_read(key) && !has_written(key))
     throw std::logic_error("Transaction::write before read: " +

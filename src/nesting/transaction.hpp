@@ -80,6 +80,27 @@ class Transaction {
                      const std::vector<dtm::ClassId>& classes,
                      std::vector<std::uint64_t>& levels_out);
 
+  /// Batched transactional read: ONE quorum round fetches every key in
+  /// `keys` that is not already buffered (installing them into the current
+  /// frame) plus every key in `speculative`, whose records are *returned*
+  /// instead of installed so a later frame can adopt them (adopt_read)
+  /// without polluting this frame's read set.  Duplicates and buffered keys
+  /// are skipped.  `classes`/`levels_out` piggyback contention like read().
+  /// Throws exactly what read() throws.
+  std::vector<std::pair<ObjectKey, VersionedRecord>> read_many(
+      const std::vector<ObjectKey>& keys,
+      const std::vector<ObjectKey>& speculative = {},
+      const std::vector<dtm::ClassId>& classes = {},
+      std::vector<std::uint64_t>* levels_out = nullptr);
+
+  /// Install a record fetched earlier (by a speculative read_many) into the
+  /// current frame, as if read() had gone remote now.  The adopted version
+  /// joins every later incremental-validation payload, so a record that went
+  /// stale since the fetch aborts exactly like a stale read — and because it
+  /// lives in the adopting frame, that abort classifies as partial.  Returns
+  /// false (installing nothing) when the key is already buffered.
+  bool adopt_read(const ObjectKey& key, const VersionedRecord& record);
+
   /// Buffer a write.  The object must have been read by this transaction
   /// first (QR-DTM write semantics: the first write fetches); use insert()
   /// for blind creation of fresh objects.

@@ -24,6 +24,11 @@ namespace {
 std::vector<std::uint64_t> latency_bounds() {
   return MetricsRegistry::exponential_bounds(100, 2.0, 24);
 }
+
+// 1..16 keys per batched read, plus an overflow bucket for wider fan-out.
+std::vector<std::uint64_t> batch_bounds() {
+  return {1, 2, 3, 4, 6, 8, 12, 16};
+}
 }  // namespace
 
 Observability::Observability(ObsConfig config)
@@ -35,6 +40,9 @@ Observability::Observability(ObsConfig config)
       tx_latency_ns(metrics.histogram("tx.latency_ns", latency_bounds())),
       block_latency_ns(metrics.histogram("block.latency_ns", latency_bounds())),
       rpc_reads(metrics.counter("rpc.read")),
+      rpc_batched_reads(metrics.counter("rpc.read.batched")),
+      rpcs_saved(metrics.counter("rpc.read.saved")),
+      read_batch_size(metrics.histogram("rpc.read.batch_size", batch_bounds())),
       rpc_validates(metrics.counter("rpc.validate")),
       rpc_prepares(metrics.counter("rpc.prepare")),
       rpc_commits(metrics.counter("rpc.commit")),
@@ -43,6 +51,8 @@ Observability::Observability(ObsConfig config)
       rpc_read_ns(metrics.histogram("rpc.read_ns", latency_bounds())),
       rpc_prepare_ns(metrics.histogram("rpc.prepare_ns", latency_bounds())),
       rpc_commit_ns(metrics.histogram("rpc.commit_ns", latency_bounds())),
+      prefetch_hits(metrics.counter("exec.prefetch.hit")),
+      prefetch_wasted(metrics.counter("exec.prefetch.waste")),
       classify_partial(metrics.counter("nesting.classify.partial")),
       classify_full(metrics.counter("nesting.classify.full")),
       remote_reads(metrics.counter("nesting.read.remote")),

@@ -51,6 +51,11 @@ class Observability {
 
   // -- QR-DTM client runtime (src/dtm quorum stub, 2PC phases) -------------
   MetricsRegistry::Counter rpc_reads;
+  MetricsRegistry::Counter rpc_batched_reads;
+  /// Quorum rounds a batch avoided versus issuing its keys sequentially
+  /// (batch of N keys = N-1 rounds saved).
+  MetricsRegistry::Counter rpcs_saved;
+  MetricsRegistry::Histogram read_batch_size;
   MetricsRegistry::Counter rpc_validates;
   MetricsRegistry::Counter rpc_prepares;
   MetricsRegistry::Counter rpc_commits;
@@ -59,6 +64,10 @@ class Observability {
   MetricsRegistry::Histogram rpc_read_ns;
   MetricsRegistry::Histogram rpc_prepare_ns;
   MetricsRegistry::Histogram rpc_commit_ns;
+
+  // -- speculative prefetch (src/acn executor) -----------------------------
+  MetricsRegistry::Counter prefetch_hits;    // speculative reads consumed
+  MetricsRegistry::Counter prefetch_wasted;  // fetched but discarded
 
   // -- closed nesting (src/nesting) ----------------------------------------
   MetricsRegistry::Counter classify_partial;

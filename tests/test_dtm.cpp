@@ -236,6 +236,40 @@ TEST(QuorumStub, WritesRequireTheRoot) {
   }
 }
 
+TEST(QuorumStub, PrepareSurvivesNonRootNodeDown) {
+  // A partly-down write quorum must re-select around the down node — the
+  // same ladder read() climbs — not give up on the first attempt.  Node 9
+  // is a leaf of the 10-node ternary tree, so write quorums avoiding it
+  // exist; a few re-selections always find one.
+  auto config = fast_config();
+  config.stub.max_quorum_retries = 16;
+  Cluster cluster(config);
+  workloads::seed_all(cluster.servers(), kA, Record{4});
+  cluster.network().set_node_down(9, true);
+  auto stub = cluster.make_stub(0);
+  for (int i = 0; i < 10; ++i) {
+    const auto a = stub.read(1 + i, kA, {});
+    const auto ticket = stub.prepare(1 + i, {{kA, a.record.version}}, {kA},
+                                     {a.record.version});
+    stub.commit(ticket, {Record{a.record.value[0] + 1}});
+  }
+  EXPECT_EQ(stub.read(100, kA, {}).record.value, Record{14});
+}
+
+TEST(QuorumStub, ValidateRetriesUnreachableQuorums) {
+  // An unreachable read quorum must not pass validation by silence.
+  Cluster cluster(fast_config());
+  workloads::seed_all(cluster.servers(), kA, Record{4});
+  cluster.network().set_drop_probability(1.0);
+  auto stub = cluster.make_stub(0);
+  try {
+    stub.validate(1, {{kA, 1}});
+    FAIL() << "expected TxAbort";
+  } catch (const TxAbort& abort) {
+    EXPECT_EQ(abort.kind(), AbortKind::kUnavailable);
+  }
+}
+
 TEST(QuorumStub, TotalPacketLossIsUnavailable) {
   Cluster cluster(fast_config());
   workloads::seed_all(cluster.servers(), kA, Record{4});

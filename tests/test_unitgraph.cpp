@@ -63,8 +63,9 @@ TEST(UnitGraph, PaperTp1LocalChainStaysTogether) {
   lop(b, {a, bb}, {c}, "C=A+B");  // op2
   const VarId d = b.fresh_var();
   lop(b, {c}, {d}, "D=C+phi");  // op3
+  const auto program = b.build();
   const auto model =
-      build_dependency_model(b.build(), AttachPolicy::kLatestProducer);
+      build_dependency_model(program, AttachPolicy::kLatestProducer);
 
   ASSERT_EQ(model.units.size(), 2u);
   EXPECT_EQ(unit_of(model, 2), unit_of(model, 1));  // C with Read(B)
@@ -85,8 +86,9 @@ TEST(UnitGraph, PaperTp2SeparatesIndependentTail) {
   const VarId d = rd(b, 3, "Read(D)");  // op3
   const VarId e = b.fresh_var();
   lop(b, {d, c}, {e}, "E=D+C");  // op4
+  const auto program = b.build();
   const auto model =
-      build_dependency_model(b.build(), AttachPolicy::kLatestProducer);
+      build_dependency_model(program, AttachPolicy::kLatestProducer);
 
   ASSERT_EQ(model.units.size(), 3u);
   EXPECT_EQ(unit_of(model, 4), unit_of(model, 3));  // E with Read(D)
@@ -110,8 +112,9 @@ TEST(UnitGraph, PaperSectionVC1Example) {
   const VarId e = rd(b, 5, "Read E");  // op6
   const VarId var2 = b.fresh_var();
   lop(b, {e, bb}, {var2}, "var2=E+B");  // op7
+  const auto program = b.build();
   const auto model =
-      build_dependency_model(b.build(), AttachPolicy::kLatestProducer);
+      build_dependency_model(program, AttachPolicy::kLatestProducer);
 
   ASSERT_EQ(model.units.size(), 5u);
   EXPECT_EQ(unit_of(model, 4), unit_of(model, 1));
@@ -177,8 +180,9 @@ TEST(UnitGraph, LeadingLocalOpJoinsFirstConsumer) {
   lop(b, {p0}, {k}, "k=f(p0)");  // op0, deferred
   b.remote_read(1, {k}, [](const TxEnv&) { return ObjectKey{1, 0}; }, "A[k]");
   b.remote_read(2, {k}, [](const TxEnv&) { return ObjectKey{2, 0}; }, "B[k]");
+  const auto program = b.build();
   const auto model =
-      build_dependency_model(b.build(), AttachPolicy::kLatestProducer);
+      build_dependency_model(program, AttachPolicy::kLatestProducer);
   EXPECT_EQ(unit_of(model, 0), unit_of(model, 1));  // with earliest consumer
 }
 
@@ -190,17 +194,18 @@ TEST(UnitGraph, SideEffectOnlyOpAttachesToLastUnit) {
   rd(b, 1, "Read A");  // op0
   rd(b, 2, "Read B");  // op1
   lop(b, {p0}, {}, "blind insert");  // op2, deferred, no consumers
+  const auto program = b.build();
   const auto model =
-      build_dependency_model(b.build(), AttachPolicy::kLatestProducer);
+      build_dependency_model(program, AttachPolicy::kLatestProducer);
   EXPECT_EQ(unit_of(model, 2), unit_of(model, 1));
 }
 
 TEST(UnitGraph, NoRemoteOpsThrows) {
   ProgramBuilder b("pure", 1);
   lop(b, {b.param(0)}, {}, "noop");
-  EXPECT_THROW(
-      build_dependency_model(b.build(), AttachPolicy::kLatestProducer),
-      std::invalid_argument);
+  const auto program = b.build();
+  EXPECT_THROW(build_dependency_model(program, AttachPolicy::kLatestProducer),
+               std::invalid_argument);
 }
 
 TEST(UnitGraph, OrderValidRejectsViolations) {
@@ -209,8 +214,9 @@ TEST(UnitGraph, OrderValidRejectsViolations) {
   const VarId bb = b.remote_read(
       2, {a}, [](const TxEnv&) { return ObjectKey{2, 0}; }, "B[A]");
   (void)bb;
+  const auto program = b.build();
   const auto model =
-      build_dependency_model(b.build(), AttachPolicy::kLatestProducer);
+      build_dependency_model(program, AttachPolicy::kLatestProducer);
   ASSERT_EQ(model.units.size(), 2u);
   EXPECT_TRUE(model.order_valid({0, 1}));
   EXPECT_FALSE(model.order_valid({1, 0}));
@@ -222,8 +228,9 @@ TEST(UnitGraph, DescribeMentionsLabels) {
   ProgramBuilder b("desc", 0);
   const VarId a = rd(b, 1, "ReadAlpha");
   lop(b, {a}, {}, "useAlpha");
+  const auto program = b.build();
   const auto model =
-      build_dependency_model(b.build(), AttachPolicy::kLatestProducer);
+      build_dependency_model(program, AttachPolicy::kLatestProducer);
   const auto text = model.describe();
   EXPECT_NE(text.find("ReadAlpha"), std::string::npos);
   EXPECT_NE(text.find("useAlpha"), std::string::npos);
@@ -239,8 +246,9 @@ TEST(UnitGraph, WarDependencyOrdersUnits) {
   lop(b, {a, shared}, {}, "use shared");     // op2 -> U(A)
   const VarId bb = rd(b, 2, "Read B");       // op3
   lop(b, {bb}, {shared}, "clobber shared");  // op4 -> U(B), WAR on op2
+  const auto program = b.build();
   const auto model =
-      build_dependency_model(b.build(), AttachPolicy::kLatestProducer);
+      build_dependency_model(program, AttachPolicy::kLatestProducer);
   const auto ua = unit_of(model, 1);
   const auto ub = unit_of(model, 3);
   EXPECT_EQ(unit_of(model, 4), ub);
