@@ -4,56 +4,62 @@
 // (the Bank invariant) is preserved.
 //
 // Interval schedule: servers fail one per interval starting at interval 1
-// (ids from the bottom of the tree), then all recover for the final
-// interval.
-#include <thread>
-
+// (leaves of the quorum tree, derived from the actual cluster topology so
+// --servers works), then all rejoin — with anti-entropy catch-up — for the
+// final interval.  The schedule is a chaos::FaultPlan replayed by a
+// ChaosController; --drop and --lease-ms layer message loss and prepare
+// leases on top.
 #include "bench/figure_common.hpp"
+#include "src/chaos/chaos.hpp"
 #include "src/workloads/bank.hpp"
 
 int main(int argc, char** argv) {
   using namespace acn;
   auto args = bench::BenchOptions::parse(argc, argv);
-  const std::size_t intervals = 6;
 
   std::printf("\n=== Fault tolerance: Bank under QR-ACN with node failures ===\n");
   harness::Cluster cluster(args.cluster);
   workloads::Bank bank;
   bank.seed(cluster.servers());
+  if (args.drop_probability > 0)
+    cluster.network().set_drop_probability(args.drop_probability);
 
-  // Drive the failure schedule from a side thread while the standard
-  // driver measures throughput per interval.
-  std::thread chaos([&] {
-    const auto interval = args.driver.interval;
-    std::this_thread::sleep_for(interval);  // interval 0: healthy
-    const int victims[] = {9, 8, 7};        // leaves first
-    for (int victim : victims) {
-      cluster.network().set_node_down(victim, true);
-      std::printf("  [chaos] node %d down\n", victim);
-      std::this_thread::sleep_for(interval);
-    }
-    for (int victim : victims) cluster.network().set_node_down(victim, false);
-    std::printf("  [chaos] all nodes recovered\n");
-  });
+  // One leaf crash per interval starting at interval 1, everyone back for
+  // the final interval.  Victims come from the bottom of the quorum tree so
+  // write quorums stay constructible throughout.
+  const auto victims = chaos::ChaosController::leaf_victims(
+      cluster, std::min<std::size_t>(3, cluster.size() - 1));
+  const auto interval = std::chrono::duration_cast<std::chrono::milliseconds>(
+      args.driver.interval);
+  chaos::FaultPlan plan;
+  for (std::size_t i = 0; i < victims.size(); ++i)
+    plan.crash(interval * (i + 1), {victims[i]});
+  plan.restart(interval * (victims.size() + 1), victims);
+
+  chaos::ChaosController chaos(cluster, plan, args.driver.obs);
 
   auto driver = args.driver;
-  driver.intervals = intervals;
+  driver.intervals = victims.size() + 3;  // healthy + crashes + recovered
   try {
+    chaos.start();
     const auto result =
         harness::run(cluster, bank, harness::Protocol::kAcn, driver);
-    chaos.join();
+    chaos.stop();
     std::printf("%8s %12s\n", "t(s)", "tx/s");
     const double seconds =
         std::chrono::duration<double>(driver.interval).count();
     for (std::size_t k = 0; k < result.throughput.size(); ++k)
       std::printf("%8.2f %12.1f\n", static_cast<double>(k + 1) * seconds,
                   result.throughput[k]);
-    std::printf("commits=%llu full_aborts=%llu (invariants verified)\n",
-                static_cast<unsigned long long>(result.stats.commits),
-                static_cast<unsigned long long>(result.stats.full_aborts));
+    std::printf(
+        "commits=%llu full_aborts=%llu catchup_keys=%zu "
+        "(invariants verified)\n",
+        static_cast<unsigned long long>(result.stats.commits),
+        static_cast<unsigned long long>(result.stats.full_aborts),
+        chaos.keys_caught_up());
     return 0;
   } catch (const std::exception& e) {
-    chaos.join();
+    chaos.stop(/*drain=*/true);
     std::fprintf(stderr, "abl_faults failed: %s\n", e.what());
     return 1;
   }

@@ -1,0 +1,149 @@
+// Partition-and-heal acceptance scenario for the fault subsystem.
+//
+// One scripted chaos run over the Bank workload:
+//   * 10% bidirectional message drops for the middle of the run,
+//   * a leaf server crashes and rejoins mid-run (anti-entropy catch-up),
+//   * two leaves are partitioned away from the rest and healed,
+//   * a second leaf crashes near the end and stays down until the run
+//     stops, so its rejoin catch-up runs against a quiescent cluster,
+//   * an orphaned two-phase commit (prepared, never finished) holds two
+//     account keys until its prepare lease expires.
+//
+// The run must keep committing transactions throughout, and at exit it
+// verifies, beyond the driver's Bank-sum invariant:
+//   1. rpc.lease.expired > 0 — the orphaned prepare was reclaimed;
+//   2. zero prepared locks outstanding on every replica;
+//   3. the node that rejoined after traffic stopped — synced from one read
+//      quorum — matches the newest version of every key across ALL
+//      replicas (an exhaustive catch-up finds nothing to pull), i.e. the
+//      read-quorum sync was as complete as a quorum read promises.
+// Exit status is non-zero when any check fails, so CI can gate on it.
+#include <thread>
+
+#include "bench/figure_common.hpp"
+#include "src/chaos/chaos.hpp"
+#include "src/workloads/bank.hpp"
+
+int main(int argc, char** argv) {
+  using namespace acn;
+  auto args = bench::BenchOptions::parse(argc, argv);
+  if (args.cluster.prepare_lease_ns <= 0)
+    args.cluster.prepare_lease_ns = 150'000'000;  // 150ms default
+  if (args.drop_probability <= 0) args.drop_probability = 0.10;
+  // Check 3 needs commit/abort delivery to be reliable enough that no
+  // member silently misses an install: with p = 0.19 per member and round
+  // (both legs at 10% loss), 12 replays push residual loss below 1e-9.
+  args.cluster.stub.max_commit_replays = 12;
+  if (!args.obs) {
+    args.obs = std::make_shared<obs::Observability>();
+    args.driver.obs = args.obs.get();
+  }
+
+  std::printf("\n=== Partition & heal: Bank under QR-ACN with leases ===\n");
+  harness::Cluster cluster(args.cluster);
+  cluster.set_obs(args.obs.get());
+  workloads::Bank bank;
+  bank.seed(cluster.servers());
+
+  // An orphaned 2PC: prepare two cold account keys and walk away.  Nothing
+  // will ever commit or abort this transaction, so only lease expiry can
+  // release the keys — Bank transfers that touch them stay kBusy until it
+  // does.
+  {
+    auto doomed = cluster.make_stub(/*client_ordinal=*/500'000);
+    const dtm::TxId orphan_tx = 0xD00DULL << 32;
+    std::vector<store::ObjectKey> orphan_keys = {
+        workloads::Bank::account_key(40), workloads::Bank::account_key(41)};
+    doomed.prepare(orphan_tx, {}, orphan_keys, {0, 0});
+    std::printf("[setup] orphaned prepare holds accounts 40,41\n");
+  }
+
+  const auto interval = std::chrono::duration_cast<std::chrono::milliseconds>(
+      args.driver.interval);
+  const auto victims = chaos::ChaosController::leaf_victims(cluster, 4);
+  const net::NodeId midrun_victim = victims.front();
+  const net::NodeId late_victim = victims.back();
+
+  chaos::FaultPlan plan;
+  plan.drop_burst(interval * 1, args.drop_probability, interval * 5);
+  plan.crash(interval * 3 / 2, {midrun_victim}, /*down_for=*/interval * 2);
+  if (victims.size() >= 4)
+    plan.isolate(interval * 5, {victims[1], victims[2]},
+                 /*heal_after=*/interval * 3 / 2);
+  if (late_victim != midrun_victim)
+    plan.crash(interval * 13 / 2, {late_victim});  // healed by chaos.stop()
+
+  chaos::ChaosController chaos(cluster, plan, args.obs.get());
+
+  auto driver = args.driver;
+  try {
+    chaos.start();
+    const auto result =
+        harness::run(cluster, bank, harness::Protocol::kAcn, driver);
+    // Traffic has stopped; stop() drains remaining events and heals —
+    // rejoining late_victim from one read quorum against a quiet cluster.
+    chaos.stop();
+
+    std::printf("%8s %12s\n", "t(s)", "tx/s");
+    const double seconds =
+        std::chrono::duration<double>(driver.interval).count();
+    for (std::size_t k = 0; k < result.throughput.size(); ++k)
+      std::printf("%8.2f %12.1f\n", static_cast<double>(k + 1) * seconds,
+                  result.throughput[k]);
+
+    // Let the orphan's lease run out even on a short run, then force the
+    // lazy expiry sweep everywhere (no traffic after the run ends).
+    std::this_thread::sleep_for(
+        std::chrono::nanoseconds{args.cluster.prepare_lease_ns} +
+        std::chrono::milliseconds{10});
+    std::uint64_t leases_expired = 0;
+    std::size_t still_protected = 0;
+    for (dtm::Server* server : cluster.servers()) {
+      server->expire_stale_leases();
+      leases_expired += server->stats().leases_expired.load();
+      still_protected += server->store().protected_count();
+    }
+    // Exhaustive catch-up on the late victim: its rejoin synced from one
+    // read quorum, so if the intersection property held there is nothing
+    // newer anywhere else in the cluster.
+    const std::size_t missed =
+        cluster.restart_node(late_victim, harness::CatchUpScope::kAllReplicas);
+
+    std::printf(
+        "commits=%llu full_aborts=%llu rpc.lease.expired=%llu "
+        "catchup_keys=%zu\n",
+        static_cast<unsigned long long>(result.stats.commits),
+        static_cast<unsigned long long>(result.stats.full_aborts),
+        static_cast<unsigned long long>(leases_expired),
+        chaos.keys_caught_up());
+
+    bool ok = true;
+    if (result.stats.commits == 0) {
+      std::fprintf(stderr, "FAIL: no transaction committed\n");
+      ok = false;
+    }
+    if (leases_expired == 0) {
+      std::fprintf(stderr, "FAIL: no prepare lease expired\n");
+      ok = false;
+    }
+    if (still_protected != 0) {
+      std::fprintf(stderr, "FAIL: %zu keys still protected at exit\n",
+                   still_protected);
+      ok = false;
+    }
+    if (missed != 0) {
+      std::fprintf(stderr,
+                   "FAIL: rejoined node %d was missing %zu key versions\n",
+                   late_victim, missed);
+      ok = false;
+    }
+    if (ok)
+      std::printf("all partition/lease/catch-up checks passed "
+                  "(invariants verified)\n");
+    return ok ? 0 : 1;
+  } catch (const std::exception& e) {
+    chaos.stop(/*drain=*/true);
+    std::fprintf(stderr, "abl_partition failed: %s\n", e.what());
+    return 1;
+  }
+}

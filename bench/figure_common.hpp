@@ -9,6 +9,9 @@
 // All benches share one option set, BenchOptions::parse(argc, argv):
 //   --clients=N --intervals=N --interval-ms=N --servers=N --latency-us=N
 //   --seed=N
+// Fault injection (chaos-capable benches):
+//   --drop=P             global message-drop probability (both legs)
+//   --lease-ms=N         prepare-lease lifetime on every server (0 = off)
 // Batched read pipeline (QR-CN / QR-ACN runs):
 //   --batch-reads        fetch each Block's independent reads in one round
 //   --prefetch           also speculate on the next Block (implies the above)
@@ -37,6 +40,9 @@ struct BenchOptions {
   std::string trace_path;         // --trace FILE: Chrome-trace JSON
   std::string metrics_json_path;  // --metrics-json FILE
   std::string metrics_csv_path;   // --metrics-csv FILE
+  /// --drop=P: benches that inject faults apply this to the cluster network
+  /// after construction (run_figure ignores it).
+  double drop_probability = 0.0;
   /// Shared so copies of BenchOptions keep driver.obs valid.
   std::shared_ptr<obs::Observability> obs;
 
@@ -101,6 +107,11 @@ inline BenchOptions BenchOptions::parse(int argc, char** argv) {
       args.cluster.base_latency = std::chrono::microseconds{value("--latency-us=")};
     else if (arg.rfind("--seed=", 0) == 0)
       args.driver.seed = static_cast<std::uint64_t>(value("--seed="));
+    else if (arg.rfind("--drop=", 0) == 0)
+      args.drop_probability =
+          std::strtod(arg.c_str() + std::strlen("--drop="), nullptr);
+    else if (arg.rfind("--lease-ms=", 0) == 0)
+      args.cluster.prepare_lease_ns = value("--lease-ms=") * 1'000'000;
     else
       std::fprintf(stderr, "ignoring unknown arg: %s\n", arg.c_str());
   }

@@ -1,0 +1,276 @@
+#include "src/chaos/chaos.hpp"
+
+#include <algorithm>
+#include <cstdio>
+
+namespace acn::chaos {
+namespace {
+
+const char* kind_name(FaultEvent::Kind kind) {
+  switch (kind) {
+    case FaultEvent::Kind::kCrash:
+      return "crash";
+    case FaultEvent::Kind::kRestart:
+      return "restart";
+    case FaultEvent::Kind::kPartition:
+      return "partition";
+    case FaultEvent::Kind::kHeal:
+      return "heal";
+    case FaultEvent::Kind::kDropBurst:
+      return "drop-burst";
+    case FaultEvent::Kind::kDropRestore:
+      return "drop-restore";
+    case FaultEvent::Kind::kLatencySpike:
+      return "latency-spike";
+    case FaultEvent::Kind::kLatencyRestore:
+      return "latency-restore";
+  }
+  return "?";
+}
+
+}  // namespace
+
+FaultPlan& FaultPlan::crash(Ms at, std::vector<net::NodeId> nodes,
+                            Ms down_for) {
+  FaultEvent event;
+  event.kind = FaultEvent::Kind::kCrash;
+  event.at = at;
+  event.nodes = nodes;
+  events_.push_back(std::move(event));
+  if (down_for.count() > 0) restart(at + down_for, std::move(nodes));
+  return *this;
+}
+
+FaultPlan& FaultPlan::restart(Ms at, std::vector<net::NodeId> nodes) {
+  FaultEvent event;
+  event.kind = FaultEvent::Kind::kRestart;
+  event.at = at;
+  event.nodes = std::move(nodes);
+  events_.push_back(std::move(event));
+  return *this;
+}
+
+FaultPlan& FaultPlan::partition(Ms at,
+                                std::vector<std::vector<net::NodeId>> groups,
+                                Ms heal_after) {
+  FaultEvent event;
+  event.kind = FaultEvent::Kind::kPartition;
+  event.at = at;
+  event.groups = std::move(groups);
+  events_.push_back(std::move(event));
+  if (heal_after.count() > 0) heal(at + heal_after);
+  return *this;
+}
+
+FaultPlan& FaultPlan::isolate(Ms at, std::vector<net::NodeId> nodes,
+                              Ms heal_after) {
+  // Group 0 is implicit "everyone unlisted" (clients included); the named
+  // nodes go to group 1, cut off from the rest.
+  return partition(at, {{}, std::move(nodes)}, heal_after);
+}
+
+FaultPlan& FaultPlan::heal(Ms at) {
+  FaultEvent event;
+  event.kind = FaultEvent::Kind::kHeal;
+  event.at = at;
+  events_.push_back(std::move(event));
+  return *this;
+}
+
+FaultPlan& FaultPlan::drop_burst(Ms at, double probability, Ms burst_for) {
+  FaultEvent event;
+  event.kind = FaultEvent::Kind::kDropBurst;
+  event.at = at;
+  event.drop = probability;
+  events_.push_back(std::move(event));
+  if (burst_for.count() > 0) {
+    FaultEvent restore;
+    restore.kind = FaultEvent::Kind::kDropRestore;
+    restore.at = at + burst_for;
+    events_.push_back(std::move(restore));
+  }
+  return *this;
+}
+
+FaultPlan& FaultPlan::latency_spike(Ms at, std::chrono::nanoseconds extra,
+                                    Ms spike_for) {
+  FaultEvent event;
+  event.kind = FaultEvent::Kind::kLatencySpike;
+  event.at = at;
+  event.extra_latency = extra;
+  events_.push_back(std::move(event));
+  if (spike_for.count() > 0) {
+    FaultEvent restore;
+    restore.kind = FaultEvent::Kind::kLatencyRestore;
+    restore.at = at + spike_for;
+    events_.push_back(std::move(restore));
+  }
+  return *this;
+}
+
+ChaosController::ChaosController(harness::Cluster& cluster, FaultPlan plan,
+                                 obs::Observability* obs, bool verbose)
+    : cluster_(cluster),
+      timeline_(plan.events()),
+      obs_(obs),
+      verbose_(verbose) {
+  std::stable_sort(timeline_.begin(), timeline_.end(),
+                   [](const FaultEvent& a, const FaultEvent& b) {
+                     return a.at < b.at;
+                   });
+}
+
+ChaosController::~ChaosController() { stop(/*drain=*/true); }
+
+void ChaosController::start() {
+  if (thread_.joinable()) return;
+  stopping_ = false;
+  healed_ = false;
+  thread_ = std::thread([this] { run(); });
+}
+
+void ChaosController::stop(bool drain) {
+  if (thread_.joinable()) {
+    if (drain) {
+      std::lock_guard<std::mutex> guard(mutex_);
+      stopping_ = true;
+      cv_.notify_all();
+    }
+    thread_.join();
+  }
+  heal_all();
+}
+
+void ChaosController::run() {
+  const auto start = std::chrono::steady_clock::now();
+  for (const FaultEvent& event : timeline_) {
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      cv_.wait_until(lock, start + event.at, [this] { return stopping_; });
+      if (stopping_) return;
+    }
+    fire(event);
+    ++events_fired_;
+  }
+}
+
+void ChaosController::fire(const FaultEvent& event) {
+  auto& network = cluster_.network();
+  switch (event.kind) {
+    case FaultEvent::Kind::kCrash:
+      for (const net::NodeId id : event.nodes) {
+        cluster_.crash_node(id);
+        if (std::find(down_.begin(), down_.end(), id) == down_.end())
+          down_.push_back(id);
+        if (verbose_) std::printf("[chaos] crash node %d\n", id);
+      }
+      if (obs_ != nullptr) obs_->chaos_crashes.add(event.nodes.size());
+      break;
+    case FaultEvent::Kind::kRestart:
+      for (const net::NodeId id : event.nodes) {
+        const std::size_t updated = cluster_.restart_node(id);
+        keys_caught_up_ += updated;
+        down_.erase(std::remove(down_.begin(), down_.end(), id), down_.end());
+        if (verbose_)
+          std::printf("[chaos] restart node %d (caught up %zu keys)\n", id,
+                      updated);
+      }
+      if (obs_ != nullptr) obs_->chaos_restarts.add(event.nodes.size());
+      break;
+    case FaultEvent::Kind::kPartition:
+      network.set_partition(event.groups);
+      if (verbose_) {
+        std::printf("[chaos] partition into %zu groups\n",
+                    event.groups.size());
+      }
+      if (obs_ != nullptr) obs_->chaos_partitions.add();
+      break;
+    case FaultEvent::Kind::kHeal:
+      network.clear_partition();
+      if (verbose_) std::printf("[chaos] heal partition\n");
+      if (obs_ != nullptr) obs_->chaos_heals.add();
+      break;
+    case FaultEvent::Kind::kDropBurst:
+      if (!drop_saved_) {
+        drop_baseline_ = network.drop_probability();
+        drop_saved_ = true;
+      }
+      network.set_drop_probability(event.drop);
+      if (verbose_) std::printf("[chaos] drop burst p=%.3f\n", event.drop);
+      if (obs_ != nullptr) obs_->chaos_drop_bursts.add();
+      break;
+    case FaultEvent::Kind::kDropRestore:
+      if (drop_saved_) {
+        network.set_drop_probability(drop_baseline_);
+        drop_saved_ = false;
+        if (verbose_)
+          std::printf("[chaos] drop restored to p=%.3f\n", drop_baseline_);
+      }
+      break;
+    case FaultEvent::Kind::kLatencySpike:
+      if (!latency_saved_) {
+        latency_baseline_ = network.extra_latency();
+        latency_saved_ = true;
+      }
+      network.set_extra_latency(event.extra_latency);
+      if (verbose_) {
+        std::printf("[chaos] latency spike +%lldus\n",
+                    static_cast<long long>(event.extra_latency.count() / 1000));
+      }
+      if (obs_ != nullptr) obs_->chaos_latency_spikes.add();
+      break;
+    case FaultEvent::Kind::kLatencyRestore:
+      if (latency_saved_) {
+        network.set_extra_latency(latency_baseline_);
+        latency_saved_ = false;
+        if (verbose_) std::printf("[chaos] latency restored\n");
+      }
+      break;
+  }
+}
+
+void ChaosController::heal_all() {
+  if (healed_) return;
+  healed_ = true;
+  auto& network = cluster_.network();
+  if (network.partitioned()) {
+    network.clear_partition();
+    if (obs_ != nullptr) obs_->chaos_heals.add();
+  }
+  if (drop_saved_) {
+    network.set_drop_probability(drop_baseline_);
+    drop_saved_ = false;
+  }
+  if (latency_saved_) {
+    network.set_extra_latency(latency_baseline_);
+    latency_saved_ = false;
+  }
+  for (const net::NodeId id : down_) {
+    const std::size_t updated = cluster_.restart_node(id);
+    keys_caught_up_ += updated;
+    if (obs_ != nullptr) obs_->chaos_restarts.add();
+    if (verbose_)
+      std::printf("[chaos] final restart node %d (caught up %zu keys)\n", id,
+                  updated);
+  }
+  down_.clear();
+}
+
+std::vector<net::NodeId> ChaosController::leaf_victims(
+    const harness::Cluster& cluster, std::size_t count) {
+  const auto n = static_cast<net::NodeId>(cluster.size());
+  const auto arity = static_cast<net::NodeId>(cluster.config().tree_arity);
+  std::vector<net::NodeId> victims;
+  // Leaves of the implicit heap layout: a node with no first child.  Walk
+  // from the highest id down so the victims sit deepest in the tree.
+  for (net::NodeId id = n - 1; id >= 1 && victims.size() < count; --id)
+    if (arity * id + 1 >= n) victims.push_back(id);
+  // Tiny clusters (everything a child of the root): settle for any
+  // non-root node rather than returning fewer victims than asked.
+  for (net::NodeId id = n - 1; id >= 1 && victims.size() < count; --id)
+    if (std::find(victims.begin(), victims.end(), id) == victims.end())
+      victims.push_back(id);
+  return victims;
+}
+
+}  // namespace acn::chaos

@@ -1,0 +1,134 @@
+// Declarative fault injection for the simulated cluster.
+//
+// A FaultPlan is a deterministic schedule of fault events — crash node N at
+// t, partition the cluster for d, raise the drop rate, spike latency — and
+// a ChaosController replays it against a harness::Cluster from a background
+// thread while a workload runs.  This replaces ad-hoc fault threads inside
+// individual benchmarks: the same plan drives abl_faults, abl_partition and
+// the chaos tests, and stop() always heals the cluster (clears partitions,
+// restores drop/latency baselines, rejoins crashed nodes with catch-up) so
+// a run never leaks fault state into the final invariant check.
+//
+// Times are offsets from start() in milliseconds.  Events fire in time
+// order; ties fire in insertion order.  The plan itself contains no
+// randomness — seeding lives in the workload RNGs — so a chaos run is as
+// reproducible as the fault-free benchmarks.
+#pragma once
+
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "src/harness/cluster.hpp"
+#include "src/obs/obs.hpp"
+
+namespace acn::chaos {
+
+struct FaultEvent {
+  enum class Kind {
+    kCrash,           // take nodes off the network (stores preserved)
+    kRestart,         // rejoin nodes after anti-entropy catch-up
+    kPartition,       // install symmetric partition groups
+    kHeal,            // remove the partition
+    kDropBurst,       // raise the global drop probability
+    kDropRestore,     // restore the pre-burst drop probability
+    kLatencySpike,    // add global extra latency
+    kLatencyRestore,  // remove the extra latency
+  };
+
+  Kind kind = Kind::kCrash;
+  std::chrono::milliseconds at{0};
+  std::vector<net::NodeId> nodes;                // crash / restart
+  std::vector<std::vector<net::NodeId>> groups;  // partition
+  double drop = 0.0;                             // drop burst
+  std::chrono::nanoseconds extra_latency{0};     // latency spike
+};
+
+/// Fluent builder for a fault schedule.  Durations of zero mean "until
+/// stop() heals the cluster".
+class FaultPlan {
+ public:
+  using Ms = std::chrono::milliseconds;
+
+  /// Crash `nodes` at `at`; when `down_for` > 0 they rejoin (with catch-up)
+  /// that much later.
+  FaultPlan& crash(Ms at, std::vector<net::NodeId> nodes, Ms down_for = Ms{0});
+  FaultPlan& restart(Ms at, std::vector<net::NodeId> nodes);
+  /// Split the cluster into symmetric `groups` at `at` (nodes not listed —
+  /// clients in particular — stay in group 0); heal `heal_after` later when
+  /// given.
+  FaultPlan& partition(Ms at, std::vector<std::vector<net::NodeId>> groups,
+                       Ms heal_after = Ms{0});
+  /// Cut `nodes` off from everyone else (shorthand for a two-group
+  /// partition whose majority side is "everyone unlisted").
+  FaultPlan& isolate(Ms at, std::vector<net::NodeId> nodes,
+                     Ms heal_after = Ms{0});
+  FaultPlan& heal(Ms at);
+  FaultPlan& drop_burst(Ms at, double probability, Ms burst_for = Ms{0});
+  FaultPlan& latency_spike(Ms at, std::chrono::nanoseconds extra,
+                           Ms spike_for = Ms{0});
+
+  const std::vector<FaultEvent>& events() const noexcept { return events_; }
+  bool empty() const noexcept { return events_.empty(); }
+
+ private:
+  std::vector<FaultEvent> events_;
+};
+
+class ChaosController {
+ public:
+  ChaosController(harness::Cluster& cluster, FaultPlan plan,
+                  obs::Observability* obs = nullptr, bool verbose = true);
+  ChaosController(const ChaosController&) = delete;
+  ChaosController& operator=(const ChaosController&) = delete;
+  ~ChaosController();
+
+  /// Begin replaying the plan (event times are offsets from this call).
+  void start();
+
+  /// Wait for the remaining events, then heal the cluster: clear any
+  /// partition, restore drop/latency baselines, rejoin still-crashed nodes
+  /// with catch-up.  Idempotent.  `drain` skips the wait and fires nothing
+  /// further (the heal still runs).
+  void stop(bool drain = false);
+
+  std::size_t events_fired() const noexcept { return events_fired_; }
+  /// Keys advanced by catch-up across every restart this controller ran.
+  std::size_t keys_caught_up() const noexcept { return keys_caught_up_; }
+
+  /// The `count` highest-numbered leaf nodes of the cluster's quorum tree
+  /// (never the root): the default crash victims — a leaf crash leaves
+  /// write quorums constructible, so the workload keeps committing.
+  static std::vector<net::NodeId> leaf_victims(const harness::Cluster& cluster,
+                                               std::size_t count);
+
+ private:
+  void run();
+  void fire(const FaultEvent& event);
+  void heal_all();
+
+  harness::Cluster& cluster_;
+  std::vector<FaultEvent> timeline_;  // sorted by `at`, stable
+  obs::Observability* obs_;
+  bool verbose_;
+
+  std::thread thread_;
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  bool stopping_ = false;
+  bool healed_ = false;
+
+  std::vector<net::NodeId> down_;  // crashed and not yet restarted
+  bool drop_saved_ = false;
+  double drop_baseline_ = 0.0;
+  bool latency_saved_ = false;
+  std::chrono::nanoseconds latency_baseline_{0};
+
+  std::size_t events_fired_ = 0;
+  std::size_t keys_caught_up_ = 0;
+};
+
+}  // namespace acn::chaos

@@ -175,7 +175,7 @@ std::vector<std::uint8_t> encode(const Response& response) {
           e.list(res.current_versions, [&](Version v) { e.u64(v); });
         } else if constexpr (std::is_same_v<T, CommitResponse>) {
           e.u8(static_cast<std::uint8_t>(ResponseTag::kCommit));
-          e.boolean(res.ok);
+          e.u8(static_cast<std::uint8_t>(res.code));
         } else if constexpr (std::is_same_v<T, AbortResponse>) {
           e.u8(static_cast<std::uint8_t>(ResponseTag::kAbort));
         } else if constexpr (std::is_same_v<T, ContentionResponse>) {
@@ -304,7 +304,7 @@ Response decode_response(std::span<const std::uint8_t> bytes) {
     }
     case ResponseTag::kCommit: {
       CommitResponse res;
-      res.ok = d.boolean();
+      res.code = static_cast<CommitCode>(d.u8());
       out.payload = res;
       break;
     }

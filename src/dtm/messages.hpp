@@ -18,6 +18,9 @@
 //                   current versions so the coordinator can pick new ones.
 //   * Commit      — second phase: install new versions, release protection,
 //                   bump the per-window write counters (contention input).
+//                   Idempotent: a replayed commit (the client retrying
+//                   through a lost ack) is acknowledged as kDuplicate; a
+//                   commit whose prepare lease expired is refused kExpired.
 //   * Abort       — release protection without installing.
 //   * Contention  — fetch per-class contention levels (Dynamic Module).
 //
@@ -180,8 +183,16 @@ struct PrepareResponse {
   friend bool operator==(const PrepareResponse&, const PrepareResponse&) = default;
 };
 
+enum class CommitCode : std::uint8_t {
+  kApplied = 0,  // lease held (or leases disabled): values installed
+  kDuplicate,    // this tx already committed here; replay acknowledged
+  kExpired,      // prepare lease expired (presumed abort): nothing installed
+};
+
 struct CommitResponse {
-  bool ok = true;
+  CommitCode code = CommitCode::kApplied;
+
+  bool ok() const noexcept { return code != CommitCode::kExpired; }
 
   std::size_t approx_size() const noexcept { return 8; }
 

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <thread>
 
+#include "src/common/clock.hpp"
 #include "src/dtm/codec.hpp"
 
 namespace acn::dtm {
@@ -44,6 +45,12 @@ void QuorumStub::backoff(int attempt) {
 
 void QuorumStub::retry_ladder(const std::vector<ObjectKey>& blame,
                               const std::function<RoundStatus()>& round) {
+  const std::uint64_t deadline_ns =
+      static_cast<std::uint64_t>(config_.op_deadline.count());
+  Stopwatch watch;
+  const auto out_of_time = [&]() noexcept {
+    return deadline_ns > 0 && watch.elapsed_ns() >= deadline_ns;
+  };
   int busy_attempts = 0;
   int quorum_attempts = 0;
   for (;;) {
@@ -51,14 +58,14 @@ void QuorumStub::retry_ladder(const std::vector<ObjectKey>& blame,
       case RoundStatus::kDone:
         return;
       case RoundStatus::kBusy:
-        if (++busy_attempts > config_.max_busy_retries)
+        if (++busy_attempts > config_.max_busy_retries || out_of_time())
           throw TxAbort(AbortKind::kBusy, blame);
         backoff(busy_attempts);
         break;
       case RoundStatus::kUnreachable:
         // Re-select; the quorum system routes the next pick around any node
         // the whole cluster knows is down, and random choice handles the rest.
-        if (++quorum_attempts > config_.max_quorum_retries)
+        if (++quorum_attempts > config_.max_quorum_retries || out_of_time())
           throw TxAbort(AbortKind::kUnavailable, blame);
         break;
     }
@@ -357,7 +364,45 @@ void QuorumStub::commit(const PrepareTicket& ticket,
   Request request;
   request.payload =
       CommitRequest{ticket.tx, ticket.keys, values, ticket.new_versions};
-  exchange(ticket.quorum, request);
+
+  // Replay phase two to unacked members until everyone answered, a member
+  // reports the lease expired, or the replay budget runs out.  Servers ack
+  // replays as kDuplicate, so re-sending through a lost request or response
+  // leg is safe.
+  std::vector<net::NodeId> pending = ticket.quorum;
+  std::size_t acked = 0;
+  bool expired = false;
+  for (int attempt = 0;; ++attempt) {
+    const auto results = exchange(pending, request);
+    std::vector<net::NodeId> still_pending;
+    for (std::size_t i = 0; i < results.size(); ++i) {
+      if (!results[i].ok()) {
+        still_pending.push_back(pending[i]);
+        continue;
+      }
+      const auto& res = std::get<CommitResponse>(results[i].response.payload);
+      if (res.code == CommitCode::kExpired)
+        expired = true;
+      else
+        ++acked;
+    }
+    pending = std::move(still_pending);
+    if (expired || pending.empty() || attempt >= config_.max_commit_replays)
+      break;
+    if (obs::Observability* o = config_.obs)
+      o->rpc_commit_replays.add(pending.size());
+    backoff(attempt);
+  }
+
+  if (expired) {
+    // Presumed abort: at least one member reclaimed the prepare lease and
+    // refused the install.  The members that did apply stay consistent (the
+    // quorum's max-version read rule tolerates stragglers), but this
+    // transaction cannot claim durability — surface it as a busy-style
+    // abort so the executor re-runs it from scratch.
+    throw TxAbort(AbortKind::kBusy, ticket.keys);
+  }
+  if (acked == 0) throw TxAbort(AbortKind::kUnavailable, ticket.keys);
 }
 
 void QuorumStub::abort(const PrepareTicket& ticket) {
@@ -369,7 +414,21 @@ void QuorumStub::send_abort(TxId tx, const std::vector<net::NodeId>& quorum,
   if (obs::Observability* o = config_.obs) o->rpc_aborts.add();
   Request request;
   request.payload = AbortRequest{tx, keys};
-  exchange(quorum, request);
+  // Aborts must be delivered as reliably as commits: a dropped abort leaves
+  // the keys protected on that member until the prepare lease expires, and
+  // on hot keys that stall every later prepare for the whole lease.  Replay
+  // to unacked members (unprotect is idempotent); give up after the replay
+  // budget — lease expiry is the backstop, and a down member's protection
+  // cannot block anyone while it is down.
+  std::vector<net::NodeId> pending = quorum;
+  for (int attempt = 0;; ++attempt) {
+    const auto results = exchange(pending, request);
+    std::vector<net::NodeId> still_pending;
+    for (std::size_t i = 0; i < results.size(); ++i)
+      if (!results[i].ok()) still_pending.push_back(pending[i]);
+    pending = std::move(still_pending);
+    if (pending.empty() || attempt >= config_.max_commit_replays) return;
+  }
 }
 
 std::vector<std::uint64_t> QuorumStub::contention_levels(

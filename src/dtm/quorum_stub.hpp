@@ -16,7 +16,14 @@
 //     either stand-alone or piggybacked on reads.
 // read, read_many, validate and prepare all climb one shared retry ladder:
 // transient busy replies back off and retry, unreachable quorums re-select
-// around the down nodes, and each rung has its own cap.
+// around the down nodes, each rung has its own cap, and an optional
+// wall-clock deadline (op_deadline) bounds the whole climb so a faulted
+// network cannot stall a transaction past its budget.
+//
+// commit() re-sends phase two to members whose ack was lost (dropped
+// request or response leg) — servers acknowledge replays idempotently — and
+// converts a lease-expired verdict into TxAbort so the executor retries the
+// transaction from scratch (presumed abort).
 #pragma once
 
 #include <chrono>
@@ -42,6 +49,14 @@ struct StubConfig {
   std::chrono::nanoseconds busy_backoff{std::chrono::microseconds{50}};
   /// Re-selections of a quorum when nodes are down before giving up.
   int max_quorum_retries = 3;
+  /// Wall-clock budget for one quorum operation's whole retry ladder.  When
+  /// the budget runs out mid-ladder the operation aborts with the kind the
+  /// current rung would eventually reach (kBusy or kUnavailable) instead of
+  /// climbing further.  Zero = unlimited (retry counts alone decide).
+  std::chrono::nanoseconds op_deadline{0};
+  /// Phase-two rounds re-sent to unacked quorum members before concluding
+  /// the commit outcome from partial acks.
+  int max_commit_replays = 5;
   /// Debug mode: round-trip every outgoing request and incoming response
   /// through the binary wire codec (src/dtm/codec.hpp) and assert equality,
   /// so all traffic doubles as codec coverage.  Throws std::logic_error on
@@ -108,7 +123,14 @@ class QuorumStub {
                         const std::vector<ObjectKey>& write_keys,
                         const std::vector<Version>& read_versions);
 
-  /// Phase two: install values (aligned with ticket.keys).
+  /// Phase two: install values (aligned with ticket.keys).  Members whose
+  /// ack was lost are retried up to max_commit_replays rounds (servers
+  /// treat replays idempotently).  Throws TxAbort(kBusy) if any member
+  /// reports the prepare lease expired (presumed abort — the write did not
+  /// take effect there and must not be assumed durable), TxAbort(
+  /// kUnavailable) if not a single member ever acknowledged.  A partial ack
+  /// set otherwise counts as success: the quorum's version guard converges
+  /// stragglers on the next write, and reads take the max version.
   void commit(const PrepareTicket& ticket, const std::vector<Record>& values);
 
   /// Release a prepared-but-not-committed transaction.

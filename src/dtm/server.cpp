@@ -5,11 +5,21 @@
 #include "src/common/clock.hpp"
 
 namespace acn::dtm {
+namespace {
 
-Server::Server(net::NodeId id, std::int64_t contention_window_ns)
-    : id_(id), contention_(contention_window_ns) {}
+// FIFO cap on the presumed-abort / idempotency memories.  Generously above
+// any plausible in-flight transaction count; see server.hpp for why eviction
+// is safe.
+constexpr std::size_t kMaxRememberedTx = 1 << 16;
+
+}  // namespace
+
+Server::Server(net::NodeId id, std::int64_t contention_window_ns,
+               std::int64_t prepare_lease_ns)
+    : id_(id), lease_ns_(prepare_lease_ns), contention_(contention_window_ns) {}
 
 Response Server::handle(net::NodeId /*from*/, const Request& request) {
+  expire_stale_leases();
   Response out;
   std::visit(
       [&](const auto& req) {
@@ -31,6 +41,74 @@ Response Server::handle(net::NodeId /*from*/, const Request& request) {
       },
       request.payload);
   return out;
+}
+
+std::size_t Server::expire_stale_leases() {
+  if (lease_ns_ <= 0) return 0;
+  const std::uint64_t now = now_ns();
+  if (now < next_expiry_ns_.load(std::memory_order_relaxed)) return 0;
+
+  std::vector<std::pair<TxId, Lease>> victims;
+  {
+    std::lock_guard<std::mutex> guard(lease_mutex_);
+    std::uint64_t next = UINT64_MAX;
+    for (auto it = leases_.begin(); it != leases_.end();) {
+      if (it->second.deadline_ns <= now) {
+        remember(expired_, expired_order_, it->first);
+        victims.emplace_back(it->first, std::move(it->second));
+        it = leases_.erase(it);
+      } else {
+        next = std::min(next, it->second.deadline_ns);
+        ++it;
+      }
+    }
+    next_expiry_ns_.store(next, std::memory_order_relaxed);
+  }
+  if (victims.empty()) return 0;
+
+  // Unprotect outside the lease lock: the store has its own sharded locking
+  // and unprotect(tx) is a no-op if the tx no longer holds the key.
+  for (const auto& [tx, lease] : victims)
+    for (const auto& key : lease.keys) store_.unprotect(key, tx);
+
+  stats_.leases_expired.fetch_add(victims.size(), std::memory_order_relaxed);
+  if (obs_ != nullptr) obs_->rpc_lease_expired.add(victims.size());
+  return victims.size();
+}
+
+std::size_t Server::open_lease_count() const {
+  std::lock_guard<std::mutex> guard(lease_mutex_);
+  return leases_.size();
+}
+
+void Server::record_lease(TxId tx, const std::vector<ObjectKey>& keys,
+                          std::uint64_t now) {
+  std::lock_guard<std::mutex> guard(lease_mutex_);
+  // A fresh prepare supersedes any earlier presumed abort of the same tx:
+  // the client went through its own abort/retry and re-acquired protection.
+  expired_.erase(tx);
+  Lease& lease = leases_[tx];
+  lease.keys = keys;
+  if (lease_ns_ > 0) {
+    lease.deadline_ns = now + static_cast<std::uint64_t>(lease_ns_);
+    std::uint64_t prev = next_expiry_ns_.load(std::memory_order_relaxed);
+    while (prev > lease.deadline_ns &&
+           !next_expiry_ns_.compare_exchange_weak(prev, lease.deadline_ns,
+                                                  std::memory_order_relaxed)) {
+    }
+  } else {
+    lease.deadline_ns = UINT64_MAX;
+  }
+}
+
+void Server::remember(std::unordered_set<TxId>& set, std::deque<TxId>& order,
+                      TxId tx) {
+  if (!set.insert(tx).second) return;
+  order.push_back(tx);
+  while (order.size() > kMaxRememberedTx) {
+    set.erase(order.front());
+    order.pop_front();
+  }
 }
 
 std::vector<ObjectKey> Server::failed_checks(
@@ -185,6 +263,10 @@ PrepareResponse Server::on_prepare(const PrepareRequest& req) {
     return res;
   }
 
+  // The lease is recorded even when expiry is disabled: on_commit needs the
+  // prepared/committed distinction to classify phase-two replays.
+  record_lease(req.tx, req.write_keys, now_ns());
+
   res.code = PrepareCode::kOk;
   res.current_versions.reserve(req.write_keys.size());
   for (const auto& key : req.write_keys)
@@ -194,16 +276,46 @@ PrepareResponse Server::on_prepare(const PrepareRequest& req) {
 
 CommitResponse Server::on_commit(const CommitRequest& req) {
   stats_.commits.fetch_add(1, std::memory_order_relaxed);
+
+  bool replay = false;
+  {
+    std::lock_guard<std::mutex> guard(lease_mutex_);
+    if (expired_.count(req.tx) != 0) {
+      // Presumed abort: the prepare lease ran out and the protections were
+      // already released — another transaction may have prepared these keys
+      // since.  Installing now could stomp its protected snapshot, so the
+      // late commit is refused outright.
+      stats_.commits_rejected.fetch_add(1, std::memory_order_relaxed);
+      if (obs_ != nullptr) obs_->rpc_commit_rejected.add();
+      return CommitResponse{CommitCode::kExpired};
+    }
+    replay = committed_.count(req.tx) != 0;
+    if (!replay) remember(committed_, committed_order_, req.tx);
+    leases_.erase(req.tx);
+  }
+
   const std::uint64_t now = now_ns();
   for (std::size_t i = 0; i < req.keys.size(); ++i) {
+    // apply() is version-guarded, so re-installing on a replay is a no-op;
+    // the contention bump must not double-count, hence the replay gate.
     store_.apply(req.keys[i], req.values[i], req.versions[i], req.tx);
-    contention_.on_write(req.keys[i], now);
+    if (!replay) contention_.on_write(req.keys[i], now);
   }
-  return {};
+  if (replay) {
+    // Only the local stat: the sender already counted the replay round into
+    // obs (rpc.commit.replayed), so bumping here would double-count.
+    stats_.commit_replays.fetch_add(1, std::memory_order_relaxed);
+    return CommitResponse{CommitCode::kDuplicate};
+  }
+  return CommitResponse{CommitCode::kApplied};
 }
 
 AbortResponse Server::on_abort(const AbortRequest& req) {
   stats_.aborts.fetch_add(1, std::memory_order_relaxed);
+  {
+    std::lock_guard<std::mutex> guard(lease_mutex_);
+    leases_.erase(req.tx);
+  }
   for (const auto& key : req.keys) store_.unprotect(key, req.tx);
   return {};
 }

@@ -5,13 +5,29 @@
 // Handlers run on the calling client thread (see net::Network) and rely on
 // the store's internal sharded locking for mutual exclusion, so a server is
 // safe under any number of concurrent clients.
+//
+// Prepare leases (fault tolerance): when `prepare_lease_ns > 0`, every
+// successful prepare records a lease — the set of keys it protected plus a
+// deadline.  A client that dies (or is partitioned away) between prepare
+// and commit can no longer wedge those keys forever: the lease expires
+// lazily on the next request, the protections are released, and the
+// transaction is remembered as *presumed aborted* — a late commit for it is
+// refused with CommitCode::kExpired.  Commits are idempotent (replays ack
+// as kDuplicate), so a live client can safely retry phase two through
+// request- or response-leg drops.
 #pragma once
 
 #include <atomic>
 #include <cstdint>
+#include <deque>
+#include <mutex>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
 
 #include "src/dtm/messages.hpp"
 #include "src/net/network.hpp"
+#include "src/obs/obs.hpp"
 #include "src/store/contention_tracker.hpp"
 #include "src/store/versioned_store.hpp"
 
@@ -25,6 +41,9 @@ struct ServerStats {
   std::atomic<std::uint64_t> prepare_busy{0};
   std::atomic<std::uint64_t> prepare_invalid{0};
   std::atomic<std::uint64_t> commits{0};
+  std::atomic<std::uint64_t> commit_replays{0};     // duplicate phase-two acks
+  std::atomic<std::uint64_t> commits_rejected{0};   // refused: lease expired
+  std::atomic<std::uint64_t> leases_expired{0};     // prepares reclaimed
   std::atomic<std::uint64_t> aborts{0};
 };
 
@@ -32,7 +51,10 @@ class Server {
  public:
   /// `contention_window_ns` <= 0 disables time-based window rolling (the
   /// harness then rolls explicitly via roll_contention_window()).
-  Server(net::NodeId id, std::int64_t contention_window_ns = 0);
+  /// `prepare_lease_ns` <= 0 disables prepare-lease expiry (prepared locks
+  /// are then only released by an explicit commit or abort).
+  Server(net::NodeId id, std::int64_t contention_window_ns = 0,
+         std::int64_t prepare_lease_ns = 0);
 
   net::NodeId id() const noexcept { return id_; }
 
@@ -44,6 +66,17 @@ class Server {
 
   store::ContentionTracker& contention() noexcept { return contention_; }
   void roll_contention_window() { contention_.roll(); }
+
+  /// Release every prepare lease whose deadline has passed (presumed
+  /// abort).  Runs lazily at the top of handle(); exposed so a harness can
+  /// force final cleanup once traffic stops.  Returns leases reclaimed.
+  std::size_t expire_stale_leases();
+
+  /// Prepared transactions currently holding a live lease.
+  std::size_t open_lease_count() const;
+
+  /// Route lease/commit-replay instrumentation into `obs` (null = off).
+  void set_obs(obs::Observability* obs) noexcept { obs_ = obs; }
 
   const ServerStats& stats() const noexcept { return stats_; }
 
@@ -65,10 +98,36 @@ class Server {
   std::vector<ObjectKey> failed_checks(const std::vector<VersionCheck>& checks,
                                        TxId self, bool& busy) const;
 
+  // Lease bookkeeping (all require lease_mutex_).
+  void record_lease(TxId tx, const std::vector<ObjectKey>& keys,
+                    std::uint64_t now);
+  void remember(std::unordered_set<TxId>& set, std::deque<TxId>& order, TxId tx);
+
+  struct Lease {
+    std::vector<ObjectKey> keys;
+    std::uint64_t deadline_ns = 0;
+  };
+
   net::NodeId id_;
+  std::int64_t lease_ns_;
   store::VersionedStore store_;
   store::ContentionTracker contention_;
   ServerStats stats_;
+  obs::Observability* obs_ = nullptr;
+
+  mutable std::mutex lease_mutex_;
+  std::unordered_map<TxId, Lease> leases_;
+  // Presumed-abort / idempotency memory.  Both are bounded FIFOs: dropping
+  // an ancient entry only costs the precise kDuplicate/kExpired verdict for
+  // a tx that finished long ago — a replayed apply() is version-guarded and
+  // therefore harmless either way.
+  std::unordered_set<TxId> expired_;
+  std::deque<TxId> expired_order_;
+  std::unordered_set<TxId> committed_;
+  std::deque<TxId> committed_order_;
+  // Earliest lease deadline: handle() skips the lease scan entirely until
+  // the clock passes it.
+  std::atomic<std::uint64_t> next_expiry_ns_{UINT64_MAX};
 };
 
 }  // namespace acn::dtm

@@ -1,5 +1,11 @@
 #include "src/harness/cluster.hpp"
 
+#include <algorithm>
+#include <stdexcept>
+#include <unordered_map>
+
+#include "src/common/rng.hpp"
+
 namespace acn::harness {
 namespace {
 
@@ -32,7 +38,8 @@ Cluster::Cluster(ClusterConfig config)
   servers_.reserve(config_.n_servers);
   for (std::size_t i = 0; i < config_.n_servers; ++i) {
     servers_.push_back(std::make_unique<dtm::Server>(
-        static_cast<net::NodeId>(i), config_.contention_window_ns));
+        static_cast<net::NodeId>(i), config_.contention_window_ns,
+        config_.prepare_lease_ns));
     dtm::Server* server = servers_.back().get();
     auto handler = [server](net::NodeId from, const dtm::Request& request) {
       return server->handle(from, request);
@@ -64,6 +71,62 @@ dtm::QuorumStub Cluster::make_stub(int client_ordinal, std::uint64_t seed) {
 
 void Cluster::roll_contention_windows() {
   for (auto& server : servers_) server->roll_contention_window();
+}
+
+void Cluster::crash_node(net::NodeId id) { network_.set_node_down(id, true); }
+
+std::size_t Cluster::restart_node(net::NodeId id, CatchUpScope scope) {
+  if (id < 0 || static_cast<std::size_t>(id) >= servers_.size())
+    throw std::invalid_argument("Cluster::restart_node: unknown server id");
+  dtm::Server& joiner = *servers_[static_cast<std::size_t>(id)];
+
+  // Pick the peers to sync from.  A read quorum suffices: every committed
+  // write reached a write quorum, and read and write quorums intersect, so
+  // the newest version of every key is present among the sources.
+  std::vector<net::NodeId> sources;
+  if (scope == CatchUpScope::kAllReplicas) {
+    for (std::size_t i = 0; i < servers_.size(); ++i)
+      if (static_cast<net::NodeId>(i) != id)
+        sources.push_back(static_cast<net::NodeId>(i));
+  } else {
+    Rng rng(0xca7c4b00ULL ^ (static_cast<std::uint64_t>(id) << 32) ^
+            catchup_seq_++);
+    sources = quorums_->read_quorum(rng);
+    sources.erase(std::remove(sources.begin(), sources.end(), id),
+                  sources.end());
+    if (sources.empty())
+      for (std::size_t i = 0; i < servers_.size(); ++i)
+        if (static_cast<net::NodeId>(i) != id)
+          sources.push_back(static_cast<net::NodeId>(i));
+  }
+
+  // Gather the newest version of every key across the sources, then install
+  // whatever is newer than the local replica.  apply() is version-guarded,
+  // so racing against live commit traffic can only lose to newer versions.
+  std::unordered_map<store::ObjectKey, store::VersionedRecord,
+                     store::ObjectKeyHash>
+      newest;
+  for (const net::NodeId src : sources) {
+    if (network_.node_down(src)) continue;
+    for (auto& [key, rec] : servers_[static_cast<std::size_t>(src)]
+                                ->store()
+                                .snapshot()) {
+      auto [it, inserted] = newest.try_emplace(key, rec);
+      if (!inserted && rec.version > it->second.version) it->second = rec;
+    }
+  }
+  std::size_t updated = 0;
+  for (const auto& [key, rec] : newest) {
+    const auto local = joiner.store().version_of(key);
+    if (local.has_value() && *local >= rec.version) continue;
+    joiner.store().apply(key, rec.value, rec.version, store::kNoTx);
+    ++updated;
+  }
+
+  network_.set_node_down(id, false);
+  if (config_.stub.obs != nullptr)
+    config_.stub.obs->recovery_catchup_keys.add(updated);
+  return updated;
 }
 
 }  // namespace acn::harness

@@ -37,10 +37,19 @@ struct ClusterConfig {
   std::chrono::nanoseconds per_kilobyte{std::chrono::microseconds{2}};
   /// Contention window; <= 0 means the harness rolls windows manually.
   std::int64_t contention_window_ns = 0;
+  /// Prepare-lease lifetime on every server; <= 0 disables expiry (prepared
+  /// locks then live until an explicit commit or abort).
+  std::int64_t prepare_lease_ns = 0;
   /// Give each server its own mailbox worker thread (see net::Mailbox)
   /// instead of executing handlers inline on client threads.
   bool async_servers = false;
   dtm::StubConfig stub;
+};
+
+/// Which peers a rejoining node syncs from before serving again.
+enum class CatchUpScope {
+  kReadQuorum,   // one read quorum — sufficient by the intersection property
+  kAllReplicas,  // every live peer — exhaustive (verification / tests)
 };
 
 class Cluster {
@@ -61,9 +70,25 @@ class Cluster {
   /// Roll every server's contention window (harness interval boundary).
   void roll_contention_windows();
 
-  /// Route RPC instrumentation from stubs made after this call into `obs`
-  /// (the driver installs its bundle before spawning clients).
-  void set_obs(obs::Observability* obs) noexcept { config_.stub.obs = obs; }
+  /// Take `id` off the network (calls to it fail with kNodeDown).  The
+  /// replica's store is preserved — this models a crash/offline node, and
+  /// restart_node() brings it back after anti-entropy catch-up.
+  void crash_node(net::NodeId id);
+
+  /// Rejoin a crashed node: pull a snapshot from `scope` peers, install
+  /// every version newer than the local replica's (apply() is version-
+  /// guarded, so concurrent traffic is safe), then mark the node up.
+  /// Returns the number of keys whose version advanced during catch-up.
+  std::size_t restart_node(net::NodeId id,
+                           CatchUpScope scope = CatchUpScope::kReadQuorum);
+
+  /// Route RPC instrumentation from stubs made after this call — and the
+  /// servers' lease/recovery counters — into `obs` (the driver installs its
+  /// bundle before spawning clients).
+  void set_obs(obs::Observability* obs) noexcept {
+    config_.stub.obs = obs;
+    for (auto& server : servers_) server->set_obs(obs);
+  }
 
   const ClusterConfig& config() const noexcept { return config_; }
 
@@ -72,6 +97,9 @@ class Cluster {
   std::vector<std::unique_ptr<dtm::Server>> servers_;
   dtm::DtmNetwork network_;
   std::unique_ptr<quorum::QuorumSystem> quorums_;
+  /// Varies the read quorum successive restart_node() calls sync from, so
+  /// repeated rejoins are deterministic but not identical.
+  std::uint64_t catchup_seq_ = 0;
 };
 
 }  // namespace acn::harness

@@ -8,17 +8,22 @@ void NetStats::reset() noexcept {
   messages_.store(0, std::memory_order_relaxed);
   bytes_.store(0, std::memory_order_relaxed);
   drops_.store(0, std::memory_order_relaxed);
+  response_drops_.store(0, std::memory_order_relaxed);
   refused_.store(0, std::memory_order_relaxed);
+  partitioned_.store(0, std::memory_order_relaxed);
 }
 
 std::string NetStats::summary() const {
-  char buf[160];
+  char buf[224];
   std::snprintf(buf, sizeof(buf),
-                "messages=%llu bytes=%llu drops=%llu refused=%llu",
+                "messages=%llu bytes=%llu drops=%llu response_drops=%llu "
+                "refused=%llu partitioned=%llu",
                 static_cast<unsigned long long>(messages()),
                 static_cast<unsigned long long>(bytes()),
                 static_cast<unsigned long long>(drops()),
-                static_cast<unsigned long long>(refused()));
+                static_cast<unsigned long long>(response_drops()),
+                static_cast<unsigned long long>(refused()),
+                static_cast<unsigned long long>(partitioned()));
   return buf;
 }
 

@@ -16,7 +16,13 @@ class NetStats {
     bytes_.fetch_add(bytes, std::memory_order_relaxed);
   }
   void on_drop() noexcept { drops_.fetch_add(1, std::memory_order_relaxed); }
+  void on_response_drop() noexcept {
+    response_drops_.fetch_add(1, std::memory_order_relaxed);
+  }
   void on_refused() noexcept { refused_.fetch_add(1, std::memory_order_relaxed); }
+  void on_partitioned() noexcept {
+    partitioned_.fetch_add(1, std::memory_order_relaxed);
+  }
 
   std::uint64_t messages() const noexcept {
     return messages_.load(std::memory_order_relaxed);
@@ -24,11 +30,19 @@ class NetStats {
   std::uint64_t bytes() const noexcept {
     return bytes_.load(std::memory_order_relaxed);
   }
+  /// Request-leg drops (the handler never ran).
   std::uint64_t drops() const noexcept {
     return drops_.load(std::memory_order_relaxed);
   }
+  /// Response-leg drops (the handler ran; the ack was lost).
+  std::uint64_t response_drops() const noexcept {
+    return response_drops_.load(std::memory_order_relaxed);
+  }
   std::uint64_t refused() const noexcept {
     return refused_.load(std::memory_order_relaxed);
+  }
+  std::uint64_t partitioned() const noexcept {
+    return partitioned_.load(std::memory_order_relaxed);
   }
 
   void reset() noexcept;
@@ -38,7 +52,9 @@ class NetStats {
   std::atomic<std::uint64_t> messages_{0};
   std::atomic<std::uint64_t> bytes_{0};
   std::atomic<std::uint64_t> drops_{0};
+  std::atomic<std::uint64_t> response_drops_{0};
   std::atomic<std::uint64_t> refused_{0};
+  std::atomic<std::uint64_t> partitioned_{0};
 };
 
 }  // namespace acn::net

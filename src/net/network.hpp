@@ -10,8 +10,19 @@
 //     the caller pays the *maximum* round-trip once, matching a client that
 //     fires all requests and waits for the slowest reply;
 //   * accounts messages and bytes (requests/responses expose approx_size());
-//   * injects faults: a node can be marked down, and a drop probability can
-//     be set per link for fault-tolerance tests.
+//   * injects faults: a node can be marked down, messages can be dropped
+//     with a global probability, and — layered on top — per-link drop
+//     probability / extra latency and symmetric partition groups.
+//
+// Fault model details:
+//   * Drops are rolled independently on the request AND the response leg.
+//     A response-leg drop surfaces as kDropped to the caller even though
+//     the handler executed — the lost-ack hazard two-phase commit must
+//     survive (see src/dtm prepare leases).
+//   * A partition splits nodes into groups; messages cross groups only by
+//     failing with kPartitioned.  Nodes not named in any group (typically
+//     clients) belong to the first group, so `{{}, {8, 9}}` isolates nodes
+//     8 and 9 from the clients and the rest of the cluster.
 //
 // Handlers execute on the calling thread.  This keeps the simulation
 // deterministic under a fixed seed and free of cross-thread queue latency
@@ -24,7 +35,11 @@
 #include <functional>
 #include <memory>
 #include <mutex>
+#include <shared_mutex>
+#include <stdexcept>
+#include <string>
 #include <thread>
+#include <unordered_map>
 #include <vector>
 
 #include "src/common/latency_model.hpp"
@@ -41,6 +56,7 @@ enum class NetErrorCode {
   kNodeDown,
   kDropped,
   kNoHandler,
+  kPartitioned,  // sender and receiver sit in different partition groups
 };
 
 /// Result of a single RPC: either a response or a transport error.
@@ -50,6 +66,14 @@ struct CallResult {
   Res response{};
 
   bool ok() const noexcept { return error == NetErrorCode::kOk; }
+};
+
+/// Per-link fault state, layered over the global drop knob: an extra drop
+/// probability (combined independently with the global one) and added
+/// one-way latency for messages travelling this direction of the link.
+struct LinkFault {
+  double drop = 0.0;
+  Nanos extra_latency{0};
 };
 
 template <class Req, class Res>
@@ -88,18 +112,77 @@ class Network {
 
   std::size_t node_count() const noexcept { return nodes_.size(); }
 
-  /// Fault injection: mark a node unreachable / reachable.
+  /// Fault injection: mark a node unreachable / reachable.  Throws
+  /// std::invalid_argument for an id no register_node() call ever named, so
+  /// a bench with a bad victim list fails with a message instead of an
+  /// out_of_range from deep inside the container.
   void set_node_down(NodeId id, bool down) {
-    nodes_.at(static_cast<std::size_t>(id)).down.store(down);
+    require_known(id, "set_node_down");
+    nodes_[static_cast<std::size_t>(id)].down.store(down);
   }
   bool node_down(NodeId id) const {
-    return nodes_.at(static_cast<std::size_t>(id)).down.load();
+    require_known(id, "node_down");
+    return nodes_[static_cast<std::size_t>(id)].down.load();
   }
 
   /// Fault injection: probability in [0,1] that any message is dropped
   /// (a dropped message surfaces as NetErrorCode::kDropped to the caller,
-  /// standing in for an RPC timeout).
+  /// standing in for an RPC timeout).  Request and response legs roll
+  /// independently.
   void set_drop_probability(double p) { drop_probability_.store(p); }
+  double drop_probability() const noexcept { return drop_probability_.load(); }
+
+  /// Fault injection: extra one-way latency added to every message on top
+  /// of the LatencyModel (a cluster-wide latency spike).
+  void set_extra_latency(Nanos extra) {
+    extra_latency_ns_.store(extra.count(), std::memory_order_relaxed);
+  }
+  Nanos extra_latency() const noexcept {
+    return Nanos{extra_latency_ns_.load(std::memory_order_relaxed)};
+  }
+
+  /// Fault injection: per-link (directional) drop probability and extra
+  /// latency for messages from `from` to `to`.  Layered over the global
+  /// knobs: drop probabilities combine as independent events.
+  void set_link_fault(NodeId from, NodeId to, LinkFault fault) {
+    std::unique_lock lock(fault_mutex_);
+    links_[link_key(from, to)] = fault;
+    faults_active_.store(true, std::memory_order_release);
+  }
+  void clear_link_fault(NodeId from, NodeId to) {
+    std::unique_lock lock(fault_mutex_);
+    links_.erase(link_key(from, to));
+    update_faults_active();
+  }
+  void clear_link_faults() {
+    std::unique_lock lock(fault_mutex_);
+    links_.clear();
+    update_faults_active();
+  }
+
+  /// Fault injection: split the network into symmetric partition groups.
+  /// `groups[i]` lists the members of group i; any node (including client
+  /// ids) not named in any group belongs to group 0.  Messages between
+  /// different groups fail with kPartitioned.  Replaces any previous
+  /// partition.
+  void set_partition(const std::vector<std::vector<NodeId>>& groups) {
+    std::unique_lock lock(fault_mutex_);
+    groups_.clear();
+    for (std::size_t g = 0; g < groups.size(); ++g)
+      for (const NodeId id : groups[g]) groups_[id] = static_cast<int>(g);
+    partitioned_ = true;
+    faults_active_.store(true, std::memory_order_release);
+  }
+  void clear_partition() {
+    std::unique_lock lock(fault_mutex_);
+    groups_.clear();
+    partitioned_ = false;
+    update_faults_active();
+  }
+  bool partitioned() const {
+    std::shared_lock lock(fault_mutex_);
+    return partitioned_;
+  }
 
   /// Synchronous RPC from `from` to `to`.  Sleeps for request + response
   /// latency, then invokes the handler inline.
@@ -111,18 +194,34 @@ class Network {
       stats_.on_refused();
       return out;
     }
-    if (maybe_drop()) {
+    if (partition_blocked(from, to)) {
+      out.error = NetErrorCode::kPartitioned;
+      stats_.on_partitioned();
+      return out;
+    }
+    if (maybe_drop(from, to)) {
       out.error = NetErrorCode::kDropped;
       stats_.on_drop();
       return out;
     }
     stats_.on_message(req_bytes);
-    const Nanos fwd = latency_->delay(from, to, req_bytes);
+    const Nanos fwd = latency_->delay(from, to, req_bytes) + leg_extra(from, to);
     sleep_for(fwd);
     out.response = invoke(to, from, req);
     const std::size_t res_bytes = out.response.approx_size();
+    const Nanos back =
+        latency_->delay(to, from, res_bytes) + leg_extra(to, from);
+    if (maybe_drop(to, from)) {
+      // Lost ack: the handler already ran, only the response vanished.  The
+      // caller still pays the round trip (it waited for a reply that never
+      // came) and must treat the outcome as unknown.
+      out.error = NetErrorCode::kDropped;
+      out.response = Res{};
+      stats_.on_response_drop();
+      sleep_for(back);
+      return out;
+    }
     stats_.on_message(res_bytes);
-    const Nanos back = latency_->delay(to, from, res_bytes);
     sleep_for(back);
     return out;
   }
@@ -148,7 +247,12 @@ class Network {
         stats_.on_refused();
         continue;
       }
-      if (maybe_drop()) {
+      if (partition_blocked(from, to)) {
+        out[i].error = NetErrorCode::kPartitioned;
+        stats_.on_partitioned();
+        continue;
+      }
+      if (maybe_drop(from, to)) {
         out[i].error = NetErrorCode::kDropped;
         stats_.on_drop();
         continue;
@@ -156,7 +260,7 @@ class Network {
       Req req = make_req(to);
       const std::size_t req_bytes = req.approx_size();
       stats_.on_message(req_bytes);
-      fwd[i] = latency_->delay(from, to, req_bytes);
+      fwd[i] = latency_->delay(from, to, req_bytes) + leg_extra(from, to);
       Node& node = nodes_[static_cast<std::size_t>(to)];
       if (node.mailbox)
         pending[i] = node.mailbox->submit(from, std::move(req));
@@ -169,9 +273,17 @@ class Network {
       if (out[i].error != NetErrorCode::kOk) continue;
       if (pending[i].valid()) out[i].response = pending[i].get();
       const std::size_t res_bytes = out[i].response.approx_size();
+      const Nanos back =
+          latency_->delay(targets[i], from, res_bytes) + leg_extra(targets[i], from);
+      worst = std::max(worst, fwd[i] + back);
+      if (maybe_drop(targets[i], from)) {
+        // Lost ack: handler side effects stand, the reply is gone.
+        out[i].error = NetErrorCode::kDropped;
+        out[i].response = Res{};
+        stats_.on_response_drop();
+        continue;
+      }
       stats_.on_message(res_bytes);
-      worst = std::max(worst,
-                       fwd[i] + latency_->delay(targets[i], from, res_bytes));
     }
     sleep_for(worst);
     return out;
@@ -206,6 +318,12 @@ class Network {
     return nodes_[static_cast<std::size_t>(id)];
   }
 
+  void require_known(NodeId id, const char* op) const {
+    if (id < 0 || static_cast<std::size_t>(id) >= nodes_.size())
+      throw std::invalid_argument(std::string("Network::") + op +
+                                  ": unknown node id " + std::to_string(id));
+  }
+
   Res invoke(NodeId to, NodeId from, const Req& req) {
     Node& node = nodes_[static_cast<std::size_t>(to)];
     if (node.mailbox) return node.mailbox->submit(from, req).get();
@@ -219,10 +337,53 @@ class Network {
            !nodes_[idx].down.load();
   }
 
-  bool maybe_drop() noexcept {
-    const double p = drop_probability_.load(std::memory_order_relaxed);
+  static std::uint64_t link_key(NodeId from, NodeId to) noexcept {
+    return (static_cast<std::uint64_t>(static_cast<std::uint32_t>(from)) << 32) |
+           static_cast<std::uint32_t>(to);
+  }
+
+  // Caller must NOT hold fault_mutex_.  True when a partition is active and
+  // `from` / `to` sit in different groups (unlisted nodes are group 0).
+  bool partition_blocked(NodeId from, NodeId to) const {
+    if (!faults_active_.load(std::memory_order_acquire)) return false;
+    std::shared_lock lock(fault_mutex_);
+    if (!partitioned_) return false;
+    return group_of(from) != group_of(to);
+  }
+
+  // Requires fault_mutex_ (shared) held.
+  int group_of(NodeId id) const {
+    const auto it = groups_.find(id);
+    return it == groups_.end() ? 0 : it->second;
+  }
+
+  // Requires fault_mutex_ (unique) held.
+  void update_faults_active() {
+    faults_active_.store(!links_.empty() || partitioned_,
+                         std::memory_order_release);
+  }
+
+  // Drop decision for one leg (direction matters for per-link faults).
+  bool maybe_drop(NodeId from, NodeId to) noexcept {
+    double p = drop_probability_.load(std::memory_order_relaxed);
+    if (faults_active_.load(std::memory_order_acquire)) {
+      std::shared_lock lock(fault_mutex_);
+      const auto it = links_.find(link_key(from, to));
+      if (it != links_.end() && it->second.drop > 0.0)
+        p = 1.0 - (1.0 - p) * (1.0 - it->second.drop);  // independent drops
+    }
     if (p <= 0.0) return false;
     return drop_rng().bernoulli(p);
+  }
+
+  Nanos leg_extra(NodeId from, NodeId to) const {
+    Nanos extra{extra_latency_ns_.load(std::memory_order_relaxed)};
+    if (faults_active_.load(std::memory_order_acquire)) {
+      std::shared_lock lock(fault_mutex_);
+      const auto it = links_.find(link_key(from, to));
+      if (it != links_.end()) extra += it->second.extra_latency;
+    }
+    return extra;
   }
 
   // Per-thread drop RNG: every message used to take a process-global mutex
@@ -246,6 +407,17 @@ class Network {
   std::shared_ptr<const LatencyModel> latency_;
   std::vector<Node> nodes_;
   std::atomic<double> drop_probability_{0.0};
+  std::atomic<std::int64_t> extra_latency_ns_{0};
+
+  // Per-link faults + partition groups, read on every message but mutated
+  // only by fault injectors; faults_active_ keeps the no-fault hot path
+  // lock-free.
+  mutable std::shared_mutex fault_mutex_;
+  std::unordered_map<std::uint64_t, LinkFault> links_;
+  std::unordered_map<NodeId, int> groups_;
+  bool partitioned_ = false;
+  std::atomic<bool> faults_active_{false};
+
   NetStats stats_;
 };
 

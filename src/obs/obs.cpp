@@ -51,6 +51,16 @@ Observability::Observability(ObsConfig config)
       rpc_read_ns(metrics.histogram("rpc.read_ns", latency_bounds())),
       rpc_prepare_ns(metrics.histogram("rpc.prepare_ns", latency_bounds())),
       rpc_commit_ns(metrics.histogram("rpc.commit_ns", latency_bounds())),
+      rpc_lease_expired(metrics.counter("rpc.lease.expired")),
+      rpc_commit_replays(metrics.counter("rpc.commit.replayed")),
+      rpc_commit_rejected(metrics.counter("rpc.commit.rejected")),
+      chaos_crashes(metrics.counter("chaos.crash")),
+      chaos_restarts(metrics.counter("chaos.restart")),
+      chaos_partitions(metrics.counter("chaos.partition")),
+      chaos_heals(metrics.counter("chaos.heal")),
+      chaos_drop_bursts(metrics.counter("chaos.drop_burst")),
+      chaos_latency_spikes(metrics.counter("chaos.latency_spike")),
+      recovery_catchup_keys(metrics.counter("recovery.catchup.keys")),
       prefetch_hits(metrics.counter("exec.prefetch.hit")),
       prefetch_wasted(metrics.counter("exec.prefetch.waste")),
       classify_partial(metrics.counter("nesting.classify.partial")),

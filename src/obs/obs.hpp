@@ -65,6 +65,18 @@ class Observability {
   MetricsRegistry::Histogram rpc_prepare_ns;
   MetricsRegistry::Histogram rpc_commit_ns;
 
+  // -- fault injection & recovery (src/dtm server, src/chaos, harness) -----
+  MetricsRegistry::Counter rpc_lease_expired;    // prepare leases reclaimed
+  MetricsRegistry::Counter rpc_commit_replays;   // phase-two rounds re-sent
+  MetricsRegistry::Counter rpc_commit_rejected;  // commits refused: expired
+  MetricsRegistry::Counter chaos_crashes;
+  MetricsRegistry::Counter chaos_restarts;
+  MetricsRegistry::Counter chaos_partitions;
+  MetricsRegistry::Counter chaos_heals;
+  MetricsRegistry::Counter chaos_drop_bursts;
+  MetricsRegistry::Counter chaos_latency_spikes;
+  MetricsRegistry::Counter recovery_catchup_keys;  // versions pulled on rejoin
+
   // -- speculative prefetch (src/acn executor) -----------------------------
   MetricsRegistry::Counter prefetch_hits;    // speculative reads consumed
   MetricsRegistry::Counter prefetch_wasted;  // fetched but discarded

@@ -84,4 +84,28 @@ std::size_t VersionedStore::object_count() const {
   return total;
 }
 
+std::size_t VersionedStore::protected_count() const {
+  std::size_t total = 0;
+  for (const auto& shard : shards_) {
+    std::lock_guard lock(shard.mutex);
+    for (const auto& [key, entry] : shard.map)
+      if (entry.protected_by != kNoTx) ++total;
+  }
+  return total;
+}
+
+std::vector<std::pair<ObjectKey, VersionedRecord>> VersionedStore::snapshot()
+    const {
+  std::vector<std::pair<ObjectKey, VersionedRecord>> out;
+  out.reserve(object_count());
+  for (const auto& shard : shards_) {
+    std::lock_guard lock(shard.mutex);
+    for (const auto& [key, entry] : shard.map) {
+      if (entry.version == 0) continue;  // uncommitted placeholder
+      out.emplace_back(key, VersionedRecord{entry.value, entry.version});
+    }
+  }
+  return out;
+}
+
 }  // namespace acn::store

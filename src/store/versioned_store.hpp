@@ -69,6 +69,16 @@ class VersionedStore {
 
   std::size_t object_count() const;
 
+  /// Objects currently held protected by an in-flight commit.  A clean
+  /// shutdown (all transactions committed or aborted, all leases settled)
+  /// leaves this at zero on every replica.
+  std::size_t protected_count() const;
+
+  /// Copy of every committed object (version-0 placeholders are skipped;
+  /// protected entries report their last committed value).  Feeds the
+  /// anti-entropy catch-up a rejoining replica runs against its peers.
+  std::vector<std::pair<ObjectKey, VersionedRecord>> snapshot() const;
+
  private:
   struct Entry {
     Record value;

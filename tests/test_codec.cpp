@@ -76,7 +76,9 @@ TEST(Codec, AllResponseKindsRoundTrip) {
   EXPECT_EQ(roundtrip(validate), validate);
   const auto prepare = res(PrepareResponse{PrepareCode::kBusy, {kA}, {1, 2}});
   EXPECT_EQ(roundtrip(prepare), prepare);
-  EXPECT_EQ(roundtrip(res(CommitResponse{false})), res(CommitResponse{false}));
+  for (const auto code : {CommitCode::kApplied, CommitCode::kDuplicate,
+                          CommitCode::kExpired})
+    EXPECT_EQ(roundtrip(res(CommitResponse{code})), res(CommitResponse{code}));
   EXPECT_EQ(roundtrip(res(AbortResponse{})), res(AbortResponse{}));
   const auto contention = res(ContentionResponse{{0, 18'446'744'073ULL}});
   EXPECT_EQ(roundtrip(contention), contention);

@@ -283,6 +283,46 @@ TEST(QuorumStub, TotalPacketLossIsUnavailable) {
   }
 }
 
+TEST(QuorumStub, CommitReplayIsIdempotent) {
+  // A client that never saw its commit acks re-sends phase two; every
+  // member acks kDuplicate and the store is untouched (version guard).
+  Cluster cluster(fast_config());
+  workloads::seed_all(cluster.servers(), kA, Record{1});
+  auto stub = cluster.make_stub(0);
+  const auto a = stub.read(1, kA, {});
+  const auto ticket =
+      stub.prepare(1, {{kA, a.record.version}}, {kA}, {a.record.version});
+  stub.commit(ticket, {Record{2}});
+  EXPECT_NO_THROW(stub.commit(ticket, {Record{2}}));  // full replay
+
+  EXPECT_EQ(stub.read(2, kA, {}).record.version, 2u);
+  EXPECT_EQ(stub.read(2, kA, {}).record.value, Record{2});
+  std::uint64_t replays = 0;
+  for (auto* server : cluster.servers())
+    replays += server->stats().commit_replays.load();
+  EXPECT_GT(replays, 0u);
+}
+
+TEST(QuorumStub, CommitRetriesThroughResponseDrops) {
+  // Lossy ack legs from the root: the client replays phase two until every
+  // member acked, so the commit still lands on the full write quorum.
+  auto config = fast_config();
+  config.stub.max_commit_replays = 64;
+  Cluster cluster(config);
+  workloads::seed_all(cluster.servers(), kA, Record{1});
+  auto stub = cluster.make_stub(0);
+  const auto a = stub.read(1, kA, {});
+  const auto ticket =
+      stub.prepare(1, {{kA, a.record.version}}, {kA}, {a.record.version});
+  // Drop 70% of root->client responses only: requests keep arriving.
+  cluster.network().set_link_fault(0, stub.client_node(),
+                                   net::LinkFault{0.7, {}});
+  EXPECT_NO_THROW(stub.commit(ticket, {Record{5}}));
+  cluster.network().clear_link_faults();
+  EXPECT_EQ(stub.read(2, kA, {}).record.value, Record{5});
+  EXPECT_EQ(cluster.server(0).store().read(kA).record.version, 2u);
+}
+
 TEST(Server, StatsCountRequests) {
   Cluster cluster(fast_config(1));
   workloads::seed_all(cluster.servers(), kA, Record{1});

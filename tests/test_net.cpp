@@ -1,6 +1,9 @@
 // Unit tests for the simulated message-passing network.
 #include <gtest/gtest.h>
 
+#include <atomic>
+#include <chrono>
+#include <stdexcept>
 #include <string>
 
 #include "src/common/clock.hpp"
@@ -96,6 +99,94 @@ TEST(Network, DropProbabilityOneDropsEverything) {
   EXPECT_GE(net->stats().drops(), 1u);
   net->set_drop_probability(0.0);
   EXPECT_TRUE(net->call(10, 0, Ping{1}).ok());
+}
+
+TEST(Network, SetNodeDownUnknownIdThrows) {
+  auto net = make_net(2);
+  EXPECT_THROW(net->set_node_down(7, true), std::invalid_argument);
+  EXPECT_THROW(net->set_node_down(-1, true), std::invalid_argument);
+  EXPECT_THROW(net->node_down(99), std::invalid_argument);
+  // Known ids still work after the failed calls.
+  EXPECT_NO_THROW(net->set_node_down(1, true));
+  EXPECT_TRUE(net->node_down(1));
+}
+
+TEST(Network, ResponseLegDropSurfacesAsDrop) {
+  auto net = make_net(2);
+  std::atomic<int> handled{0};
+  net->register_node(5, [&handled](NodeId, const Ping& p) {
+    handled.fetch_add(1);
+    return Pong{p.value, 5};
+  });
+  // Only the server->client leg is lossy: the request is delivered and
+  // handled, but the caller never sees the ack — the lost-ack 2PC hazard.
+  net->set_link_fault(5, 10, LinkFault{1.0, Nanos{0}});
+  const auto result = net->call(10, 5, Ping{1});
+  EXPECT_FALSE(result.ok());
+  EXPECT_EQ(result.error, NetErrorCode::kDropped);
+  EXPECT_EQ(handled.load(), 1);
+  EXPECT_EQ(net->stats().response_drops(), 1u);
+  // Other directions are unaffected.
+  net->clear_link_faults();
+  EXPECT_TRUE(net->call(10, 5, Ping{1}).ok());
+}
+
+TEST(Network, RequestLegLinkFaultSkipsHandler) {
+  auto net = make_net(2);
+  std::atomic<int> handled{0};
+  net->register_node(5, [&handled](NodeId, const Ping& p) {
+    handled.fetch_add(1);
+    return Pong{p.value, 5};
+  });
+  net->set_link_fault(10, 5, LinkFault{1.0, Nanos{0}});
+  EXPECT_EQ(net->call(10, 5, Ping{1}).error, NetErrorCode::kDropped);
+  EXPECT_EQ(handled.load(), 0);
+  net->clear_link_fault(10, 5);
+  EXPECT_TRUE(net->call(10, 5, Ping{1}).ok());
+}
+
+TEST(Network, PartitionBlocksCrossGroupTraffic) {
+  auto net = make_net(3);
+  // Unlisted callers (the client, id 10) belong to group 0.
+  net->set_partition({{0, 1}, {2}});
+  EXPECT_TRUE(net->partitioned());
+  EXPECT_TRUE(net->call(10, 1, Ping{1}).ok());
+  const auto blocked = net->call(10, 2, Ping{1});
+  EXPECT_FALSE(blocked.ok());
+  EXPECT_EQ(blocked.error, NetErrorCode::kPartitioned);
+  EXPECT_GE(net->stats().partitioned(), 1u);
+
+  const auto results =
+      net->multicall(10, {0, 1, 2}, [](NodeId) { return Ping{1}; });
+  EXPECT_TRUE(results[0].ok());
+  EXPECT_TRUE(results[1].ok());
+  EXPECT_EQ(results[2].error, NetErrorCode::kPartitioned);
+
+  net->clear_partition();
+  EXPECT_FALSE(net->partitioned());
+  EXPECT_TRUE(net->call(10, 2, Ping{1}).ok());
+}
+
+TEST(Network, PerLinkExtraLatencyIsApplied) {
+  using namespace std::chrono_literals;
+  auto net = make_net(2);
+  net->set_link_fault(10, 0, LinkFault{0.0, Nanos{2ms}});
+  Stopwatch watch;
+  ASSERT_TRUE(net->call(10, 0, Ping{1}).ok());
+  EXPECT_GE(watch.elapsed_ns(), 2'000'000u);  // request leg pays the fault
+  // The other node's links are untouched: no 2ms floor there.
+  EXPECT_TRUE(net->call(10, 1, Ping{1}).ok());
+}
+
+TEST(Network, GlobalExtraLatencyIsApplied) {
+  using namespace std::chrono_literals;
+  auto net = make_net(2);
+  net->set_extra_latency(Nanos{1ms});
+  EXPECT_EQ(net->extra_latency(), Nanos{1ms});
+  Stopwatch watch;
+  ASSERT_TRUE(net->call(10, 0, Ping{1}).ok());
+  EXPECT_GE(watch.elapsed_ns(), 2'000'000u);  // both legs pay the spike
+  net->set_extra_latency(Nanos{0});
 }
 
 TEST(Network, LatencyIsApplied) {
