@@ -18,6 +18,14 @@
 //      replicas (an exhaustive catch-up finds nothing to pull), i.e. the
 //      read-quorum sync was as complete as a quorum read promises.
 // Exit status is non-zero when any check fails, so CI can gate on it.
+//
+// With --durability=wal the same checks run against durable replicas:
+// every restart then clears the node's memory and rebuilds it from its
+// log and snapshot — the orphaned prepare's protections are re-armed from
+// the log, and lease expiry must reclaim them all the same.  Two extra
+// checks assert the log actually participated (records appended, records
+// replayed during the mid-run rejoin).
+#include <filesystem>
 #include <thread>
 
 #include "bench/figure_common.hpp"
@@ -38,12 +46,24 @@ int main(int argc, char** argv) {
     args.obs = std::make_shared<obs::Observability>();
     args.driver.obs = args.obs.get();
   }
+  const bool durable =
+      args.cluster.durability.mode == harness::DurabilityMode::kWal;
+  if (durable) {
+    if (args.cluster.durability.data_dir == "wal-data")
+      args.cluster.durability.data_dir = "wal-data-abl_partition";
+    // Each invocation is a fresh cluster, not a restart of the last one.
+    std::filesystem::remove_all(args.cluster.durability.data_dir);
+  }
 
-  std::printf("\n=== Partition & heal: Bank under QR-ACN with leases ===\n");
+  std::printf("\n=== Partition & heal: Bank under QR-ACN with leases%s ===\n",
+              durable ? " (durable replicas)" : "");
   harness::Cluster cluster(args.cluster);
   cluster.set_obs(args.obs.get());
   workloads::Bank bank;
   bank.seed(cluster.servers());
+  // Seeding writes the stores directly, bypassing the WAL; checkpoint so
+  // the seed state survives the disk-faithful restarts below.
+  cluster.checkpoint_all();
 
   // An orphaned 2PC: prepare two cold account keys and walk away.  Nothing
   // will ever commit or abort this transaction, so only lease expiry can
@@ -136,6 +156,36 @@ int main(int argc, char** argv) {
                    "FAIL: rejoined node %d was missing %zu key versions\n",
                    late_victim, missed);
       ok = false;
+    }
+    if (durable) {
+      const auto snap = args.obs->metrics.snapshot();
+      const std::uint64_t appended = snap.counter("wal.append.bytes");
+      const std::uint64_t replayed = snap.counter("wal.replay.records");
+      std::printf("wal.append.bytes=%llu wal.replay.records=%llu\n",
+                  static_cast<unsigned long long>(appended),
+                  static_cast<unsigned long long>(replayed));
+      if (appended == 0) {
+        std::fprintf(stderr, "FAIL: durable run logged nothing\n");
+        ok = false;
+      }
+      if (replayed == 0) {
+        std::fprintf(stderr,
+                     "FAIL: durable restarts replayed no log records\n");
+        ok = false;
+      }
+    }
+    if (!args.metrics_json_path.empty()) {
+      std::FILE* file = std::fopen(args.metrics_json_path.c_str(), "w");
+      if (file == nullptr) {
+        std::fprintf(stderr, "FAIL: cannot open %s\n",
+                     args.metrics_json_path.c_str());
+        ok = false;
+      } else {
+        std::fprintf(file, "%s\n",
+                     args.obs->metrics.snapshot().to_json().c_str());
+        std::fclose(file);
+        std::printf("metrics written to %s\n", args.metrics_json_path.c_str());
+      }
     }
     if (ok)
       std::printf("all partition/lease/catch-up checks passed "

@@ -1,0 +1,211 @@
+// Durability acceptance gate: log-replay recovery must be byte-identical
+// to — and strictly cheaper than — rebuilding a replica from its peers.
+//
+// One Bank run over a durable cluster (--durability is forced to wal):
+//   * an orphaned two-phase commit holds two account keys, so recovery has
+//     an unresolved prepare to re-arm from the log;
+//   * mid-run, leaf replica A crashes keeping its disk (its group-commit
+//     buffer is lost — that window is the most the log may miss);
+//   * a little later, leaf replica B crashes losing its disk entirely;
+//   * both stay down until traffic stops, so every restart below is
+//     measured against a quiescent cluster.
+//
+// After the run:
+//   1. A reference state is computed: the newest version of every key
+//      across the replicas that never crashed.
+//   2. A rejoins: volatile state cleared, snapshot loaded, log replayed,
+//      then the read-quorum sync runs as a delta pass.  Its store must be
+//      byte-identical (canonical encoding) to the reference, the delta
+//      must be strictly smaller than a full rebuild, and wal.replay.records
+//      must show the log actually drove the recovery.
+//   3. B rejoins with an empty disk: recovery finds nothing, the delta
+//      pass refetches everything, and the store must still match the
+//      reference — disk loss degrades to PR 3 catch-up, never to a wrong
+//      or missing state.
+//   4. Once every prepare lease has had time to expire, no replica may
+//      hold a protected key (the re-armed orphan included).
+// Exit status is non-zero when any check fails, so CI can gate on it.
+#include <algorithm>
+#include <filesystem>
+#include <thread>
+
+#include "bench/figure_common.hpp"
+#include "src/chaos/chaos.hpp"
+#include "src/dtm/codec.hpp"
+#include "src/workloads/bank.hpp"
+
+namespace {
+
+using namespace acn;
+
+/// Canonical byte encoding of a store state: (key, value, version) sorted
+/// by key.  Two replicas with equal encodings hold identical committed
+/// state — the "byte-identical" in this gate's contract.
+std::vector<std::uint8_t> fingerprint(
+    std::vector<std::pair<store::ObjectKey, store::VersionedRecord>> state) {
+  std::sort(state.begin(), state.end(),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
+  dtm::Encoder e;
+  for (const auto& [key, rec] : state) {
+    e.key(key);
+    e.record(rec.value);
+    e.u64(rec.version);
+  }
+  return e.take();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  auto args = bench::BenchOptions::parse(argc, argv);
+  args.cluster.durability.mode = harness::DurabilityMode::kWal;
+  if (args.cluster.durability.data_dir == "wal-data")
+    args.cluster.durability.data_dir = "wal-data-abl_recovery";
+  if (args.cluster.prepare_lease_ns <= 0)
+    args.cluster.prepare_lease_ns = 150'000'000;  // 150ms default
+  if (!args.obs) {
+    args.obs = std::make_shared<obs::Observability>();
+    args.driver.obs = args.obs.get();
+  }
+  // Each invocation is a fresh cluster, not a restart of the last one.
+  std::filesystem::remove_all(args.cluster.durability.data_dir);
+
+  std::printf("\n=== Recovery: WAL replay vs peer catch-up (Bank, QR-ACN) ===\n");
+  harness::Cluster cluster(args.cluster);
+  cluster.set_obs(args.obs.get());
+  workloads::Bank bank;
+  bank.seed(cluster.servers());
+  // Seeding bypasses the WAL; checkpoint so the seed state is on disk.
+  cluster.checkpoint_all();
+
+  // The orphaned 2PC: prepared everywhere, never resolved.  Replica A will
+  // carry it through crash + log replay as a re-armed protection.
+  {
+    auto doomed = cluster.make_stub(/*client_ordinal=*/500'000);
+    const dtm::TxId orphan_tx = 0xD00DULL << 32;
+    std::vector<store::ObjectKey> orphan_keys = {
+        workloads::Bank::account_key(40), workloads::Bank::account_key(41)};
+    doomed.prepare(orphan_tx, {}, orphan_keys, {0, 0});
+    std::printf("[setup] orphaned prepare holds accounts 40,41\n");
+  }
+
+  const auto victims = chaos::ChaosController::leaf_victims(cluster, 2);
+  if (victims.size() < 2 || victims[0] == victims[1]) {
+    std::fprintf(stderr, "abl_recovery needs two distinct leaf victims\n");
+    return 1;
+  }
+  const net::NodeId node_a = victims[0];  // crash, disk survives
+  const net::NodeId node_b = victims[1];  // crash, disk lost
+
+  const auto run_time = args.driver.interval * args.driver.intervals;
+  // Plain timer thread rather than a ChaosController: its stop() would
+  // rejoin the victims for us, and this gate must own both restarts.
+  std::thread crasher([&] {
+    std::this_thread::sleep_for(run_time * 2 / 5);
+    cluster.crash_node(node_a);
+    std::printf("[fault] crash node %d (disk kept)\n", node_a);
+    std::this_thread::sleep_for(run_time * 3 / 20);
+    cluster.crash_node(node_b, /*lose_disk=*/true);
+    std::printf("[fault] crash node %d (disk lost)\n", node_b);
+  });
+
+  auto driver = args.driver;
+  try {
+    const auto result =
+        harness::run(cluster, bank, harness::Protocol::kAcn, driver);
+    crasher.join();
+
+    std::printf("%8s %12s\n", "t(s)", "tx/s");
+    const double seconds =
+        std::chrono::duration<double>(driver.interval).count();
+    for (std::size_t k = 0; k < result.throughput.size(); ++k)
+      std::printf("%8.2f %12.1f\n", static_cast<double>(k + 1) * seconds,
+                  result.throughput[k]);
+
+    // Reference: newest version of every key across the replicas that
+    // never crashed.  Every commit reached a write quorum of live nodes,
+    // so this is the authoritative committed state.
+    std::unordered_map<store::ObjectKey, store::VersionedRecord,
+                       store::ObjectKeyHash>
+        newest;
+    for (std::size_t i = 0; i < cluster.size(); ++i) {
+      const auto id = static_cast<net::NodeId>(i);
+      if (id == node_a || id == node_b) continue;
+      for (auto& [key, rec] : cluster.server(i).store().snapshot()) {
+        auto [it, inserted] = newest.try_emplace(key, rec);
+        if (!inserted && rec.version > it->second.version) it->second = rec;
+      }
+    }
+    std::vector<std::pair<store::ObjectKey, store::VersionedRecord>> reference(
+        newest.begin(), newest.end());
+    const std::size_t total_keys = reference.size();
+    const auto reference_print = fingerprint(reference);
+
+    const std::size_t delta_a = cluster.restart_node(node_a);
+    const auto print_a = fingerprint(
+        cluster.server(static_cast<std::size_t>(node_a)).store().snapshot());
+    const std::size_t delta_b = cluster.restart_node(node_b);
+    const auto print_b = fingerprint(
+        cluster.server(static_cast<std::size_t>(node_b)).store().snapshot());
+
+    const auto snap = args.obs->metrics.snapshot();
+    const std::uint64_t replayed = snap.counter("wal.replay.records");
+    std::printf(
+        "commits=%llu total_keys=%zu delta_a=%zu delta_b=%zu "
+        "wal.replay.records=%llu wal.fsync.count=%llu\n",
+        static_cast<unsigned long long>(result.stats.commits), total_keys,
+        delta_a, delta_b, static_cast<unsigned long long>(replayed),
+        static_cast<unsigned long long>(snap.counter("wal.fsync.count")));
+
+    // Give the re-armed orphan lease (restarted clock) time to run out,
+    // then force the lazy sweep everywhere.
+    std::this_thread::sleep_for(
+        std::chrono::nanoseconds{args.cluster.prepare_lease_ns} +
+        std::chrono::milliseconds{10});
+    std::size_t still_protected = 0;
+    for (dtm::Server* server : cluster.servers()) {
+      server->expire_stale_leases();
+      still_protected += server->store().protected_count();
+    }
+
+    bool ok = true;
+    auto fail = [&](const char* what) {
+      std::fprintf(stderr, "FAIL: %s\n", what);
+      ok = false;
+    };
+    if (result.stats.commits == 0) fail("no transaction committed");
+    if (print_a != reference_print)
+      fail("log-replay recovery (node A) diverged from the reference state");
+    if (replayed == 0) fail("node A's rejoin replayed no log records");
+    if (delta_a >= delta_b)
+      fail("log replay did not reduce the catch-up delta (delta_a >= delta_b)");
+    if (delta_a >= total_keys)
+      fail("delta pass refetched every key despite the log");
+    if (print_b != reference_print)
+      fail("disk-loss recovery (node B) diverged from the reference state");
+    if (delta_b != total_keys)
+      fail("wiped node B did not rebuild every key from its peers");
+    if (still_protected != 0)
+      fail("keys still protected after every lease had time to expire");
+    if (!args.metrics_json_path.empty()) {
+      std::FILE* file = std::fopen(args.metrics_json_path.c_str(), "w");
+      if (file == nullptr) {
+        fail("cannot open --metrics-json output file");
+      } else {
+        std::fprintf(file, "%s\n", snap.to_json().c_str());
+        std::fclose(file);
+        std::printf("metrics written to %s\n", args.metrics_json_path.c_str());
+      }
+    }
+    if (ok)
+      std::printf(
+          "all recovery checks passed: replay + delta == fresh catch-up "
+          "(%zu keys saved)\n",
+          total_keys - delta_a);
+    return ok ? 0 : 1;
+  } catch (const std::exception& e) {
+    crasher.join();
+    std::fprintf(stderr, "abl_recovery failed: %s\n", e.what());
+    return 1;
+  }
+}

@@ -12,6 +12,11 @@
 // Fault injection (chaos-capable benches):
 //   --drop=P             global message-drop probability (both legs)
 //   --lease-ms=N         prepare-lease lifetime on every server (0 = off)
+// Durability (src/wal; benches that honor it say so in their headers):
+//   --durability=wal|none  per-replica write-ahead log + snapshots
+//   --data-dir DIR       root directory for per-node logs (node-<i>/ inside)
+//   --flush-us=N         group-commit window (0 = fsync every append)
+//   --snapshot-kb=N      snapshot + compact after this much log
 // Batched read pipeline (QR-CN / QR-ACN runs):
 //   --batch-reads        fetch each Block's independent reads in one round
 //   --prefetch           also speculate on the next Block (implies the above)
@@ -87,8 +92,26 @@ inline BenchOptions BenchOptions::parse(int argc, char** argv) {
     if (path_flag("--csv", args.csv_path) ||
         path_flag("--trace", args.trace_path) ||
         path_flag("--metrics-json", args.metrics_json_path) ||
-        path_flag("--metrics-csv", args.metrics_csv_path))
+        path_flag("--metrics-csv", args.metrics_csv_path) ||
+        path_flag("--data-dir", args.cluster.durability.data_dir))
       continue;
+    if (arg == "--durability=wal") {
+      args.cluster.durability.mode = harness::DurabilityMode::kWal;
+      continue;
+    }
+    if (arg == "--durability=none") {
+      args.cluster.durability.mode = harness::DurabilityMode::kNone;
+      continue;
+    }
+    if (arg.rfind("--flush-us=", 0) == 0) {
+      args.cluster.durability.flush_interval_ns = value("--flush-us=") * 1'000;
+      continue;
+    }
+    if (arg.rfind("--snapshot-kb=", 0) == 0) {
+      args.cluster.durability.snapshot_every_bytes =
+          static_cast<std::uint64_t>(value("--snapshot-kb=")) * 1024;
+      continue;
+    }
     if (arg == "--batch-reads") {
       args.driver.batch_reads = true;
     } else if (arg == "--prefetch") {

@@ -7,6 +7,7 @@
 // CI can run it as a smoke test.
 //
 //   --txs=N --seed=N --branches=N --accounts=N
+//   --metrics-json FILE   per-mode metrics snapshots as one JSON object
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -27,6 +28,7 @@ struct Options {
   std::uint64_t seed = 42;
   std::size_t branches = 16;
   std::size_t accounts = 128;
+  std::string metrics_json;
 };
 
 struct ModeResult {
@@ -38,6 +40,7 @@ struct ModeResult {
   std::uint64_t prefetch_waste = 0;
   double mean_batch = 0.0;
   std::vector<store::Record> balances;  // every account + branch, in order
+  obs::Snapshot metrics;                // full snapshot for --metrics-json
 };
 
 ModeResult run_mode(const Options& opt, const std::string& label,
@@ -79,6 +82,7 @@ ModeResult run_mode(const Options& opt, const std::string& label,
   result.label = label;
   result.commits = stats.commits;
   const auto snapshot = obs.metrics.snapshot();
+  result.metrics = snapshot;
   result.read_rounds =
       snapshot.counter("rpc.read") + snapshot.counter("rpc.read.batched");
   result.rpcs_saved = snapshot.counter("rpc.read.saved");
@@ -116,6 +120,10 @@ int main(int argc, char** argv) {
       opt.branches = static_cast<std::size_t>(value("--branches="));
     else if (arg.rfind("--accounts=", 0) == 0)
       opt.accounts = static_cast<std::size_t>(value("--accounts="));
+    else if (arg.rfind("--metrics-json=", 0) == 0)
+      opt.metrics_json = arg.substr(std::strlen("--metrics-json="));
+    else if (arg == "--metrics-json" && i + 1 < argc)
+      opt.metrics_json = argv[++i];
     else
       std::fprintf(stderr, "ignoring unknown arg: %s\n", arg.c_str());
   }
@@ -153,6 +161,19 @@ int main(int argc, char** argv) {
     }
     if (pipelined.prefetch_hits == 0)
       fail("prefetch mode adopted no speculative reads");
+    if (!opt.metrics_json.empty()) {
+      std::FILE* file = std::fopen(opt.metrics_json.c_str(), "w");
+      if (file == nullptr) {
+        fail("cannot open --metrics-json output file");
+      } else {
+        std::fprintf(file, "{\"sequential\":%s,\"batched\":%s,\"pipelined\":%s}\n",
+                     plain.metrics.to_json().c_str(),
+                     batched.metrics.to_json().c_str(),
+                     pipelined.metrics.to_json().c_str());
+        std::fclose(file);
+        std::printf("metrics written to %s\n", opt.metrics_json.c_str());
+      }
+    }
     if (ok)
       std::printf("OK: identical results, %llu -> %llu read rounds "
                   "(%.1f%% fewer with prefetch)\n",

@@ -10,6 +10,8 @@ const char* kind_name(FaultEvent::Kind kind) {
   switch (kind) {
     case FaultEvent::Kind::kCrash:
       return "crash";
+    case FaultEvent::Kind::kCrashLoseDisk:
+      return "crash-lose-disk";
     case FaultEvent::Kind::kRestart:
       return "restart";
     case FaultEvent::Kind::kPartition:
@@ -34,6 +36,17 @@ FaultPlan& FaultPlan::crash(Ms at, std::vector<net::NodeId> nodes,
                             Ms down_for) {
   FaultEvent event;
   event.kind = FaultEvent::Kind::kCrash;
+  event.at = at;
+  event.nodes = nodes;
+  events_.push_back(std::move(event));
+  if (down_for.count() > 0) restart(at + down_for, std::move(nodes));
+  return *this;
+}
+
+FaultPlan& FaultPlan::crash_lose_disk(Ms at, std::vector<net::NodeId> nodes,
+                                      Ms down_for) {
+  FaultEvent event;
+  event.kind = FaultEvent::Kind::kCrashLoseDisk;
   event.at = at;
   event.nodes = nodes;
   events_.push_back(std::move(event));
@@ -158,11 +171,14 @@ void ChaosController::fire(const FaultEvent& event) {
   auto& network = cluster_.network();
   switch (event.kind) {
     case FaultEvent::Kind::kCrash:
+    case FaultEvent::Kind::kCrashLoseDisk:
       for (const net::NodeId id : event.nodes) {
-        cluster_.crash_node(id);
+        cluster_.crash_node(
+            id, event.kind == FaultEvent::Kind::kCrashLoseDisk);
         if (std::find(down_.begin(), down_.end(), id) == down_.end())
           down_.push_back(id);
-        if (verbose_) std::printf("[chaos] crash node %d\n", id);
+        if (verbose_)
+          std::printf("[chaos] %s node %d\n", kind_name(event.kind), id);
       }
       if (obs_ != nullptr) obs_->chaos_crashes.add(event.nodes.size());
       break;

@@ -30,6 +30,7 @@ namespace acn::chaos {
 struct FaultEvent {
   enum class Kind {
     kCrash,           // take nodes off the network (stores preserved)
+    kCrashLoseDisk,   // crash that also wipes the node's durable state
     kRestart,         // rejoin nodes after anti-entropy catch-up
     kPartition,       // install symmetric partition groups
     kHeal,            // remove the partition
@@ -56,6 +57,11 @@ class FaultPlan {
   /// Crash `nodes` at `at`; when `down_for` > 0 they rejoin (with catch-up)
   /// that much later.
   FaultPlan& crash(Ms at, std::vector<net::NodeId> nodes, Ms down_for = Ms{0});
+  /// Crash `nodes` *and* destroy their data directories: a durable node
+  /// rejoins with nothing to replay and must rebuild entirely from peer
+  /// catch-up (on a volatile cluster this behaves exactly like crash()).
+  FaultPlan& crash_lose_disk(Ms at, std::vector<net::NodeId> nodes,
+                             Ms down_for = Ms{0});
   FaultPlan& restart(Ms at, std::vector<net::NodeId> nodes);
   /// Split the cluster into symmetric `groups` at `at` (nodes not listed —
   /// clients in particular — stay in group 0); heal `heal_after` later when

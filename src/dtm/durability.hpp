@@ -1,0 +1,68 @@
+// Durability hook for a quorum server.
+//
+// The server reports protocol decisions through this interface at the
+// moment they become binding on this replica:
+//
+//   * log_prepare — a prepare succeeded: the write set is protected and a
+//     lease was recorded.  If the replica dies now, recovery must re-arm
+//     the protections so the presumed-abort lease machinery (not a reboot)
+//     decides the transaction's fate.
+//   * log_commit — phase two applied new versions.  Returns true when the
+//     sink has accumulated enough log that the caller should follow up
+//     with write_snapshot(); at most one caller is told so per
+//     accumulation window, so concurrent committers don't all dump.
+//   * log_abort — protections released without installing.
+//
+// Lease *expiry* is deliberately not logged: presumed abort is a pure
+// function of the log (a prepare with no commit/abort after it), so a
+// recovering replica re-arms the prepare and lets the lease expire again.
+//
+// The interface lives in dtm so the server depends on no concrete storage
+// backend; src/wal provides the file-backed implementation and the
+// harness wires it in per replica.
+#pragma once
+
+#include <functional>
+#include <utility>
+#include <vector>
+
+#include "src/dtm/messages.hpp"
+
+namespace acn::dtm {
+
+/// A prepared-but-unresolved transaction: its protections must survive a
+/// restart until a commit, an abort, or lease expiry settles it.
+struct OpenPrepare {
+  TxId tx = 0;
+  std::vector<ObjectKey> keys;
+
+  friend bool operator==(const OpenPrepare&, const OpenPrepare&) = default;
+};
+
+/// What a snapshot captures: committed state plus in-flight prepares.
+struct SnapshotData {
+  std::vector<std::pair<ObjectKey, VersionedRecord>> objects;
+  std::vector<OpenPrepare> open_prepares;
+};
+
+class DurabilitySink {
+ public:
+  virtual ~DurabilitySink() = default;
+
+  virtual void log_prepare(TxId tx,
+                           const std::vector<ObjectKey>& write_keys) = 0;
+  /// True when the caller should follow up with write_snapshot().
+  virtual bool log_commit(const CommitRequest& commit) = 0;
+  virtual void log_abort(TxId tx, const std::vector<ObjectKey>& keys) = 0;
+
+  /// Persist a snapshot and drop the log records it covers.  The sink
+  /// calls `provide` *after* sealing the log prefix the snapshot will
+  /// replace, so the provider must return state reflecting every record
+  /// logged so far (callers log a commit only after installing it — see
+  /// Server::on_commit) — otherwise compaction could delete a record whose
+  /// effect the snapshot missed.
+  virtual void write_snapshot(
+      const std::function<SnapshotData()>& provide) = 0;
+};
+
+}  // namespace acn::dtm

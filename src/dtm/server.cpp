@@ -81,6 +81,40 @@ std::size_t Server::open_lease_count() const {
   return leases_.size();
 }
 
+std::vector<OpenPrepare> Server::open_prepares() const {
+  std::lock_guard<std::mutex> guard(lease_mutex_);
+  std::vector<OpenPrepare> out;
+  out.reserve(leases_.size());
+  for (const auto& [tx, lease] : leases_) out.push_back({tx, lease.keys});
+  return out;
+}
+
+void Server::reset_volatile_state() {
+  store_.clear();
+  std::lock_guard<std::mutex> guard(lease_mutex_);
+  leases_.clear();
+  expired_.clear();
+  expired_order_.clear();
+  committed_.clear();
+  committed_order_.clear();
+  next_expiry_ns_.store(UINT64_MAX, std::memory_order_relaxed);
+}
+
+void Server::install_recovered(
+    const std::vector<std::pair<ObjectKey, VersionedRecord>>& objects,
+    const std::vector<OpenPrepare>& open_prepares) {
+  for (const auto& [key, rec] : objects)
+    store_.seed(key, rec.value, rec.version);
+  const std::uint64_t now = now_ns();
+  for (const auto& prepare : open_prepares) {
+    for (const auto& key : prepare.keys) store_.try_protect(key, prepare.tx);
+    // The lease clock restarts at recovery time: the original deadline was
+    // volatile, and presumed abort only needs *a* bounded wait, not the
+    // original one.
+    record_lease(prepare.tx, prepare.keys, now);
+  }
+}
+
 void Server::record_lease(TxId tx, const std::vector<ObjectKey>& keys,
                           std::uint64_t now) {
   std::lock_guard<std::mutex> guard(lease_mutex_);
@@ -266,6 +300,10 @@ PrepareResponse Server::on_prepare(const PrepareRequest& req) {
   // The lease is recorded even when expiry is disabled: on_commit needs the
   // prepared/committed distinction to classify phase-two replays.
   record_lease(req.tx, req.write_keys, now_ns());
+  // Logged only once the prepare is binding: recovery re-arms exactly the
+  // protections that were held, and the fresh lease expires them if the
+  // coordinator never comes back.
+  if (durability_ != nullptr) durability_->log_prepare(req.tx, req.write_keys);
 
   res.code = PrepareCode::kOk;
   res.current_versions.reserve(req.write_keys.size());
@@ -307,16 +345,33 @@ CommitResponse Server::on_commit(const CommitRequest& req) {
     stats_.commit_replays.fetch_add(1, std::memory_order_relaxed);
     return CommitResponse{CommitCode::kDuplicate};
   }
+
+  if (durability_ != nullptr) {
+    // Logged *after* install so that when the sink seals a log prefix for
+    // snapshotting, every record in the prefix is already in the store —
+    // the invariant DurabilitySink::write_snapshot relies on.  The ack-
+    // before-durable window this opens is the group-commit window the
+    // rejoin delta catch-up already covers.
+    if (durability_->log_commit(req))
+      durability_->write_snapshot([this] {
+        return SnapshotData{store_.snapshot(), open_prepares()};
+      });
+  }
   return CommitResponse{CommitCode::kApplied};
 }
 
 AbortResponse Server::on_abort(const AbortRequest& req) {
   stats_.aborts.fetch_add(1, std::memory_order_relaxed);
+  bool was_prepared = false;
   {
     std::lock_guard<std::mutex> guard(lease_mutex_);
-    leases_.erase(req.tx);
+    was_prepared = leases_.erase(req.tx) != 0;
   }
   for (const auto& key : req.keys) store_.unprotect(key, req.tx);
+  // Only a prepared tx left a log record to cancel; an abort that merely
+  // cleans up a failed prepare has nothing recovery could misread.
+  if (was_prepared && durability_ != nullptr)
+    durability_->log_abort(req.tx, req.keys);
   return {};
 }
 

@@ -25,6 +25,7 @@
 #include <unordered_set>
 #include <vector>
 
+#include "src/dtm/durability.hpp"
 #include "src/dtm/messages.hpp"
 #include "src/net/network.hpp"
 #include "src/obs/obs.hpp"
@@ -78,6 +79,28 @@ class Server {
   /// Route lease/commit-replay instrumentation into `obs` (null = off).
   void set_obs(obs::Observability* obs) noexcept { obs_ = obs; }
 
+  /// Attach a durability sink (null = volatile replica).  Prepares, commits
+  /// and aborts are logged at the moment they bind this replica; the sink
+  /// decides when a snapshot is due.  Not synchronized with in-flight
+  /// handlers — wire it before traffic starts.
+  void set_durability(DurabilitySink* sink) noexcept { durability_ = sink; }
+
+  /// Prepared-but-unresolved transactions (live leases) — what a snapshot
+  /// must carry so protections survive log compaction.
+  std::vector<OpenPrepare> open_prepares() const;
+
+  /// Simulated crash: drop everything a real process death would lose —
+  /// the store, the leases, and the presumed-abort/idempotency memories.
+  /// (The contention tracker resets too; it is advisory and refills.)
+  void reset_volatile_state();
+
+  /// Install recovered state: seed the committed objects, then re-arm each
+  /// open prepare as protections under a fresh lease so the presumed-abort
+  /// expiry path (not the reboot) decides those transactions' fate.
+  void install_recovered(
+      const std::vector<std::pair<ObjectKey, VersionedRecord>>& objects,
+      const std::vector<OpenPrepare>& open_prepares);
+
   const ServerStats& stats() const noexcept { return stats_; }
 
  private:
@@ -114,6 +137,7 @@ class Server {
   store::ContentionTracker contention_;
   ServerStats stats_;
   obs::Observability* obs_ = nullptr;
+  DurabilitySink* durability_ = nullptr;
 
   mutable std::mutex lease_mutex_;
   std::unordered_map<TxId, Lease> leases_;

@@ -2,8 +2,10 @@
 
 #include <algorithm>
 #include <stdexcept>
+#include <string>
 #include <unordered_map>
 
+#include "src/common/clock.hpp"
 #include "src/common/rng.hpp"
 
 namespace acn::harness {
@@ -50,6 +52,27 @@ Cluster::Cluster(ClusterConfig config)
     else
       network_.register_node(static_cast<net::NodeId>(i), std::move(handler));
   }
+
+  if (config_.durability.mode == DurabilityMode::kWal) {
+    persistence_.reserve(config_.n_servers);
+    for (std::size_t i = 0; i < config_.n_servers; ++i) {
+      wal::WalConfig wal_config;
+      wal_config.dir =
+          config_.durability.data_dir + "/node-" + std::to_string(i);
+      wal_config.flush_interval_ns = config_.durability.flush_interval_ns;
+      wal_config.snapshot_every_bytes =
+          config_.durability.snapshot_every_bytes;
+      wal_config.fsync = config_.durability.fsync;
+      persistence_.push_back(
+          std::make_unique<wal::ReplicaPersistence>(std::move(wal_config)));
+      // A cluster built over existing data directories is a restart: each
+      // replica comes back up from its own disk before taking traffic.
+      auto recovered = persistence_[i]->recover();
+      servers_[i]->install_recovered(recovered.objects,
+                                     recovered.open_prepares);
+      servers_[i]->set_durability(persistence_[i].get());
+    }
+  }
 }
 
 std::vector<dtm::Server*> Cluster::servers() {
@@ -73,12 +96,44 @@ void Cluster::roll_contention_windows() {
   for (auto& server : servers_) server->roll_contention_window();
 }
 
-void Cluster::crash_node(net::NodeId id) { network_.set_node_down(id, true); }
+void Cluster::crash_node(net::NodeId id, bool lose_disk) {
+  network_.set_node_down(id, true);
+  const auto i = static_cast<std::size_t>(id);
+  if (i < persistence_.size() && persistence_[i]) {
+    // What sat in the group-commit buffer never reached the disk.
+    persistence_[i]->drop_unflushed();
+    if (lose_disk) persistence_[i]->wipe();
+  }
+}
+
+void Cluster::checkpoint_node(std::size_t i) {
+  if (i >= persistence_.size() || !persistence_[i]) return;
+  dtm::Server* server = servers_[i].get();
+  persistence_[i]->write_snapshot([server] {
+    return dtm::SnapshotData{server->store().snapshot(),
+                             server->open_prepares()};
+  });
+}
+
+void Cluster::checkpoint_all() {
+  for (std::size_t i = 0; i < persistence_.size(); ++i) checkpoint_node(i);
+}
 
 std::size_t Cluster::restart_node(net::NodeId id, CatchUpScope scope) {
   if (id < 0 || static_cast<std::size_t>(id) >= servers_.size())
     throw std::invalid_argument("Cluster::restart_node: unknown server id");
   dtm::Server& joiner = *servers_[static_cast<std::size_t>(id)];
+
+  const std::uint64_t start_ns = now_ns();
+  wal::ReplicaPersistence* wal = persistence(static_cast<std::size_t>(id));
+  if (wal != nullptr) {
+    // Disk-faithful restart: the in-process "crash" left the replica's
+    // memory intact, so first shed it — what a real reboot would keep is
+    // exactly what recover() reads back from the log and snapshot.
+    joiner.reset_volatile_state();
+    auto recovered = wal->recover();
+    joiner.install_recovered(recovered.objects, recovered.open_prepares);
+  }
 
   // Pick the peers to sync from.  A read quorum suffices: every committed
   // write reached a write quorum, and read and write quorums intersect, so
@@ -124,8 +179,22 @@ std::size_t Cluster::restart_node(net::NodeId id, CatchUpScope scope) {
   }
 
   network_.set_node_down(id, false);
-  if (config_.stub.obs != nullptr)
-    config_.stub.obs->recovery_catchup_keys.add(updated);
+
+  obs::Observability* obs = config_.stub.obs;
+  if (obs != nullptr) {
+    obs->recovery_catchup_keys.add(updated);
+    if (wal != nullptr) {
+      // For a durable node the peer sync was a delta pass on top of log
+      // replay; `updated` is what the log could not cover.
+      obs->recovery_delta_keys.add(updated);
+      obs->recovery_time_ns.observe(now_ns() - start_ns);
+    }
+  }
+  if (wal != nullptr) {
+    // Make the recovered + caught-up state durable in one snapshot; this
+    // also compacts the log the replay just consumed.
+    checkpoint_node(static_cast<std::size_t>(id));
+  }
   return updated;
 }
 

@@ -16,8 +16,25 @@
 #include "src/quorum/level_quorum.hpp"
 #include "src/quorum/rowa_quorum.hpp"
 #include "src/quorum/tree_quorum.hpp"
+#include "src/wal/persistence.hpp"
 
 namespace acn::harness {
+
+/// Whether replicas persist their state (src/wal) or stay volatile.
+enum class DurabilityMode { kNone, kWal };
+
+struct DurabilityConfig {
+  DurabilityMode mode = DurabilityMode::kNone;
+  /// Root data directory; node i keeps its log and snapshots under
+  /// `<data_dir>/node-<i>`.  A Cluster built over existing directories
+  /// recovers each replica from disk before serving.
+  std::string data_dir = "wal-data";
+  /// Group-commit window (see wal::WalConfig::flush_interval_ns).
+  std::int64_t flush_interval_ns = 2'000'000;
+  /// Snapshot + compact cadence (see wal::WalConfig::snapshot_every_bytes).
+  std::uint64_t snapshot_every_bytes = std::uint64_t{1} << 20;
+  bool fsync = true;
+};
 
 enum class QuorumPolicy {
   kTree,           // Agrawal-El Abbadi recursive tree quorums (default)
@@ -43,6 +60,7 @@ struct ClusterConfig {
   /// Give each server its own mailbox worker thread (see net::Mailbox)
   /// instead of executing handlers inline on client threads.
   bool async_servers = false;
+  DurabilityConfig durability;
   dtm::StubConfig stub;
 };
 
@@ -70,17 +88,36 @@ class Cluster {
   /// Roll every server's contention window (harness interval boundary).
   void roll_contention_windows();
 
-  /// Take `id` off the network (calls to it fail with kNodeDown).  The
-  /// replica's store is preserved — this models a crash/offline node, and
-  /// restart_node() brings it back after anti-entropy catch-up.
-  void crash_node(net::NodeId id);
+  /// Take `id` off the network (calls to it fail with kNodeDown).  Without
+  /// durability the replica's store is preserved (crash/offline node);
+  /// with it, the group-commit buffer is dropped — those records never
+  /// reached the disk — and `lose_disk` additionally wipes the node's data
+  /// directory (disk-loss crash: only peer catch-up can rebuild it).
+  void crash_node(net::NodeId id, bool lose_disk = false);
 
-  /// Rejoin a crashed node: pull a snapshot from `scope` peers, install
-  /// every version newer than the local replica's (apply() is version-
-  /// guarded, so concurrent traffic is safe), then mark the node up.
-  /// Returns the number of keys whose version advanced during catch-up.
+  /// Rejoin a crashed node.  A durable node first clears its volatile
+  /// state, reloads the newest snapshot, replays its log (re-arming
+  /// unresolved prepares as leased protections), and only then runs the
+  /// peer sync — which becomes a *delta* pass fetching just what the log
+  /// lost (at most one group-commit window).  Volatile nodes run the full
+  /// peer sync as before.  The scope picks the peers: a read quorum
+  /// suffices by the intersection property; kAllReplicas is exhaustive.
+  /// Returns the number of keys whose version advanced during the sync.
   std::size_t restart_node(net::NodeId id,
                            CatchUpScope scope = CatchUpScope::kReadQuorum);
+
+  /// Force node `i` (or every node) to cut a snapshot now, making its
+  /// current store durable and compacting its log.  Benches call this
+  /// after workload seeding — seeding writes stores directly, bypassing
+  /// the WAL, so without a checkpoint the seed state would not survive a
+  /// disk-faithful restart.  No-op without durability.
+  void checkpoint_node(std::size_t i);
+  void checkpoint_all();
+
+  /// Node `i`'s durable backend, or nullptr when durability is off.
+  wal::ReplicaPersistence* persistence(std::size_t i) {
+    return i < persistence_.size() ? persistence_[i].get() : nullptr;
+  }
 
   /// Route RPC instrumentation from stubs made after this call — and the
   /// servers' lease/recovery counters — into `obs` (the driver installs its
@@ -88,12 +125,16 @@ class Cluster {
   void set_obs(obs::Observability* obs) noexcept {
     config_.stub.obs = obs;
     for (auto& server : servers_) server->set_obs(obs);
+    for (auto& persistence : persistence_)
+      if (persistence) persistence->set_obs(obs);
   }
 
   const ClusterConfig& config() const noexcept { return config_; }
 
  private:
   ClusterConfig config_;
+  // Declared before servers_ so each sink outlives the server pointing at it.
+  std::vector<std::unique_ptr<wal::ReplicaPersistence>> persistence_;
   std::vector<std::unique_ptr<dtm::Server>> servers_;
   dtm::DtmNetwork network_;
   std::unique_ptr<quorum::QuorumSystem> quorums_;

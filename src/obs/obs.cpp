@@ -61,6 +61,12 @@ Observability::Observability(ObsConfig config)
       chaos_drop_bursts(metrics.counter("chaos.drop_burst")),
       chaos_latency_spikes(metrics.counter("chaos.latency_spike")),
       recovery_catchup_keys(metrics.counter("recovery.catchup.keys")),
+      wal_append_bytes(metrics.counter("wal.append.bytes")),
+      wal_fsync_count(metrics.counter("wal.fsync.count")),
+      wal_replay_records(metrics.counter("wal.replay.records")),
+      snapshot_write_bytes(metrics.counter("snapshot.write.bytes")),
+      recovery_delta_keys(metrics.counter("recovery.delta.keys")),
+      recovery_time_ns(metrics.histogram("recovery.time_ns", latency_bounds())),
       prefetch_hits(metrics.counter("exec.prefetch.hit")),
       prefetch_wasted(metrics.counter("exec.prefetch.waste")),
       classify_partial(metrics.counter("nesting.classify.partial")),

@@ -77,6 +77,16 @@ class Observability {
   MetricsRegistry::Counter chaos_latency_spikes;
   MetricsRegistry::Counter recovery_catchup_keys;  // versions pulled on rejoin
 
+  // -- durability: WAL, snapshots, log-replay recovery (src/wal, harness) --
+  MetricsRegistry::Counter wal_append_bytes;      // framed bytes logged
+  MetricsRegistry::Counter wal_fsync_count;       // group-commit flushes synced
+  MetricsRegistry::Counter wal_replay_records;    // log records replayed
+  MetricsRegistry::Counter snapshot_write_bytes;  // snapshot files written
+  /// Keys a durable rejoin still had to fetch from peers after log replay
+  /// (the delta the WAL could not cover: its lost group-commit window).
+  MetricsRegistry::Counter recovery_delta_keys;
+  MetricsRegistry::Histogram recovery_time_ns;  // restart_node wall time
+
   // -- speculative prefetch (src/acn executor) -----------------------------
   MetricsRegistry::Counter prefetch_hits;    // speculative reads consumed
   MetricsRegistry::Counter prefetch_wasted;  // fetched but discarded

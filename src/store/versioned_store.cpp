@@ -108,4 +108,24 @@ std::vector<std::pair<ObjectKey, VersionedRecord>> VersionedStore::snapshot()
   return out;
 }
 
+std::vector<std::pair<ObjectKey, VersionedRecord>>
+VersionedStore::shard_snapshot(std::size_t shard) const {
+  std::vector<std::pair<ObjectKey, VersionedRecord>> out;
+  const auto& s = shards_[shard % kShards];
+  std::lock_guard lock(s.mutex);
+  out.reserve(s.map.size());
+  for (const auto& [key, entry] : s.map) {
+    if (entry.version == 0) continue;  // uncommitted placeholder
+    out.emplace_back(key, VersionedRecord{entry.value, entry.version});
+  }
+  return out;
+}
+
+void VersionedStore::clear() {
+  for (auto& shard : shards_) {
+    std::lock_guard lock(shard.mutex);
+    shard.map.clear();
+  }
+}
+
 }  // namespace acn::store

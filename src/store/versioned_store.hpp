@@ -79,6 +79,19 @@ class VersionedStore {
   /// anti-entropy catch-up a rejoining replica runs against its peers.
   std::vector<std::pair<ObjectKey, VersionedRecord>> snapshot() const;
 
+  /// Committed objects of one shard only, a consistent cut under that
+  /// shard's lock.  Lets a snapshot writer walk the store shard by shard
+  /// without stalling writers to the other shards.
+  std::vector<std::pair<ObjectKey, VersionedRecord>> shard_snapshot(
+      std::size_t shard) const;
+
+  static constexpr std::size_t shard_count() noexcept { return kShards; }
+
+  /// Drop every object and protection.  Models a replica losing its
+  /// volatile memory in a crash; what survives comes back through
+  /// recovery (durable log + snapshot) and peer catch-up.
+  void clear();
+
  private:
   struct Entry {
     Record value;

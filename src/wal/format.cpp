@@ -1,0 +1,167 @@
+#include "src/wal/format.hpp"
+
+#include <array>
+#include <cinttypes>
+#include <cstdio>
+
+#include "src/dtm/codec.hpp"
+
+namespace acn::wal {
+namespace {
+
+std::array<std::uint32_t, 256> make_crc_table() {
+  std::array<std::uint32_t, 256> table{};
+  for (std::uint32_t i = 0; i < 256; ++i) {
+    std::uint32_t c = i;
+    for (int bit = 0; bit < 8; ++bit)
+      c = (c & 1) ? 0xEDB88320u ^ (c >> 1) : c >> 1;
+    table[i] = c;
+  }
+  return table;
+}
+
+void put_u32(std::vector<std::uint8_t>& out, std::uint32_t v) {
+  for (int shift = 0; shift < 32; shift += 8)
+    out.push_back(static_cast<std::uint8_t>(v >> shift));
+}
+
+std::uint32_t get_u32(std::span<const std::uint8_t> bytes, std::size_t at) {
+  std::uint32_t v = 0;
+  for (int shift = 0; shift < 32; shift += 8)
+    v |= static_cast<std::uint32_t>(bytes[at++]) << shift;
+  return v;
+}
+
+// 'ACNS' little-endian, followed by a format version byte sequence.
+constexpr std::uint32_t kSnapshotMagic = 0x534E4341u;
+constexpr std::uint32_t kSnapshotVersion = 1;
+
+}  // namespace
+
+std::uint32_t crc32(std::span<const std::uint8_t> bytes) noexcept {
+  static const auto table = make_crc_table();
+  std::uint32_t c = 0xFFFFFFFFu;
+  for (const std::uint8_t byte : bytes) c = table[(c ^ byte) & 0xFF] ^ (c >> 8);
+  return c ^ 0xFFFFFFFFu;
+}
+
+void frame_record(std::vector<std::uint8_t>& out,
+                  std::span<const std::uint8_t> payload) {
+  put_u32(out, static_cast<std::uint32_t>(payload.size()));
+  put_u32(out, crc32(payload));
+  out.insert(out.end(), payload.begin(), payload.end());
+}
+
+SegmentScan parse_segment(std::span<const std::uint8_t> bytes) {
+  SegmentScan scan;
+  std::size_t pos = 0;
+  while (pos < bytes.size()) {
+    if (bytes.size() - pos < kFrameHeaderBytes) break;  // torn header
+    const std::uint32_t length = get_u32(bytes, pos);
+    const std::uint32_t crc = get_u32(bytes, pos + 4);
+    if (bytes.size() - pos - kFrameHeaderBytes < length) break;  // torn body
+    const auto payload = bytes.subspan(pos + kFrameHeaderBytes, length);
+    if (crc32(payload) != crc) break;  // corrupt
+    scan.records.emplace_back(payload.begin(), payload.end());
+    pos += kFrameHeaderBytes + length;
+  }
+  scan.valid_bytes = pos;
+  scan.torn = pos != bytes.size();
+  return scan;
+}
+
+std::vector<std::uint8_t> encode_snapshot(const SnapshotContents& contents) {
+  dtm::Encoder e;
+  e.u32(kSnapshotMagic);
+  e.u32(kSnapshotVersion);
+  e.u32(static_cast<std::uint32_t>(contents.objects.size()));
+  for (const auto& [key, rec] : contents.objects) {
+    e.key(key);
+    e.record(rec.value);
+    e.u64(rec.version);
+  }
+  e.u32(static_cast<std::uint32_t>(contents.open_prepares.size()));
+  for (const auto& prepare : contents.open_prepares) {
+    e.u64(prepare.tx);
+    e.list(prepare.keys, [&](const store::ObjectKey& k) { e.key(k); });
+  }
+  auto bytes = e.take();
+  const std::uint32_t crc = crc32(bytes);
+  put_u32(bytes, crc);
+  return bytes;
+}
+
+std::optional<SnapshotContents> decode_snapshot(
+    std::span<const std::uint8_t> bytes) {
+  if (bytes.size() < 12 + 4) return std::nullopt;  // header + crc minimum
+  const auto body = bytes.first(bytes.size() - 4);
+  if (crc32(body) != get_u32(bytes, bytes.size() - 4)) return std::nullopt;
+  try {
+    dtm::Decoder d(body);
+    if (d.u32() != kSnapshotMagic) return std::nullopt;
+    if (d.u32() != kSnapshotVersion) return std::nullopt;
+    SnapshotContents contents;
+    const std::uint32_t n_objects = d.u32();
+    contents.objects.reserve(n_objects);
+    for (std::uint32_t i = 0; i < n_objects; ++i) {
+      const auto key = d.key();
+      store::VersionedRecord rec;
+      rec.value = d.record();
+      rec.version = d.u64();
+      contents.objects.emplace_back(key, std::move(rec));
+    }
+    const std::uint32_t n_prepares = d.u32();
+    contents.open_prepares.reserve(n_prepares);
+    for (std::uint32_t i = 0; i < n_prepares; ++i) {
+      dtm::OpenPrepare prepare;
+      prepare.tx = d.u64();
+      prepare.keys = d.list<store::ObjectKey>([&] { return d.key(); });
+      contents.open_prepares.push_back(std::move(prepare));
+    }
+    if (!d.exhausted()) return std::nullopt;
+    return contents;
+  } catch (const dtm::CodecError&) {
+    return std::nullopt;
+  }
+}
+
+std::string segment_file_name(std::uint64_t seq) {
+  char buffer[32];
+  std::snprintf(buffer, sizeof(buffer), "wal-%06" PRIu64 ".log", seq);
+  return buffer;
+}
+
+std::string snapshot_file_name(std::uint64_t seq) {
+  char buffer[32];
+  std::snprintf(buffer, sizeof(buffer), "snap-%06" PRIu64 ".snap", seq);
+  return buffer;
+}
+
+namespace {
+
+std::optional<std::uint64_t> parse_numbered(const std::string& name,
+                                            const std::string& prefix,
+                                            const std::string& suffix) {
+  if (name.size() <= prefix.size() + suffix.size()) return std::nullopt;
+  if (name.compare(0, prefix.size(), prefix) != 0) return std::nullopt;
+  if (name.compare(name.size() - suffix.size(), suffix.size(), suffix) != 0)
+    return std::nullopt;
+  std::uint64_t seq = 0;
+  for (std::size_t i = prefix.size(); i < name.size() - suffix.size(); ++i) {
+    if (name[i] < '0' || name[i] > '9') return std::nullopt;
+    seq = seq * 10 + static_cast<std::uint64_t>(name[i] - '0');
+  }
+  return seq;
+}
+
+}  // namespace
+
+std::optional<std::uint64_t> parse_segment_name(const std::string& name) {
+  return parse_numbered(name, "wal-", ".log");
+}
+
+std::optional<std::uint64_t> parse_snapshot_name(const std::string& name) {
+  return parse_numbered(name, "snap-", ".snap");
+}
+
+}  // namespace acn::wal

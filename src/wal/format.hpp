@@ -1,0 +1,80 @@
+// On-disk formats for the durability subsystem.
+//
+// Two file kinds live in a replica's data directory:
+//
+//   * Log segments (`wal-NNNNNN.log`): a sequence of framed records, each
+//     `[u32 payload length][u32 crc32(payload)][payload]` little-endian.
+//     The payload is a wire-encoded dtm::Request (Prepare / Commit /
+//     Abort), so the WAL reuses the protocol codec verbatim — a record
+//     that round-trips on the wire round-trips on disk.  parse_segment()
+//     tolerates a torn tail: a crash mid-write leaves a short header, a
+//     length running past EOF, or a CRC mismatch, and the scan simply
+//     stops there, reporting how many bytes were valid.
+//
+//   * Snapshots (`snap-NNNNNN.snap`): one full dump of the replica's
+//     committed objects plus the prepares still unresolved when the
+//     snapshot was cut (they must survive compaction — their log records
+//     may be about to be deleted).  The file is
+//     `[magic][version][objects][open prepares][crc32 of everything
+//     prior]`; decode_snapshot() returns nullopt on any mismatch so the
+//     caller can fall back to an older snapshot.
+//
+// The sequence number in both names refers to log segments: snapshot N
+// covers every record in segments <= N, so recovery loads `snap-N.snap`
+// and replays only segments > N.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "src/dtm/durability.hpp"
+
+namespace acn::wal {
+
+/// CRC-32 (IEEE 802.3, reflected polynomial 0xEDB88320).
+std::uint32_t crc32(std::span<const std::uint8_t> bytes) noexcept;
+
+// ---- log record framing -------------------------------------------------
+
+constexpr std::size_t kFrameHeaderBytes = 8;  // u32 length + u32 crc
+
+/// Append one framed record to `out`.
+void frame_record(std::vector<std::uint8_t>& out,
+                  std::span<const std::uint8_t> payload);
+
+struct SegmentScan {
+  std::vector<std::vector<std::uint8_t>> records;  // payloads, in order
+  std::size_t valid_bytes = 0;  // prefix of the input that parsed cleanly
+  bool torn = false;            // trailing bytes were unreadable
+};
+
+/// Scan a segment's bytes, stopping (not throwing) at the first torn or
+/// corrupt frame.
+SegmentScan parse_segment(std::span<const std::uint8_t> bytes);
+
+// ---- snapshot files -----------------------------------------------------
+
+struct SnapshotContents {
+  std::vector<std::pair<store::ObjectKey, store::VersionedRecord>> objects;
+  std::vector<dtm::OpenPrepare> open_prepares;
+};
+
+std::vector<std::uint8_t> encode_snapshot(const SnapshotContents& contents);
+
+/// nullopt when the bytes are truncated, corrupt, or from an unknown
+/// format version.
+std::optional<SnapshotContents> decode_snapshot(
+    std::span<const std::uint8_t> bytes);
+
+// ---- file naming --------------------------------------------------------
+
+std::string segment_file_name(std::uint64_t seq);
+std::string snapshot_file_name(std::uint64_t seq);
+/// Sequence number when `name` is a segment/snapshot file, else nullopt.
+std::optional<std::uint64_t> parse_segment_name(const std::string& name);
+std::optional<std::uint64_t> parse_snapshot_name(const std::string& name);
+
+}  // namespace acn::wal

@@ -1,0 +1,350 @@
+#include "src/wal/persistence.hpp"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <filesystem>
+#include <unordered_map>
+#include <variant>
+
+#include "src/common/clock.hpp"
+#include "src/dtm/codec.hpp"
+
+namespace acn::wal {
+
+namespace fs = std::filesystem;
+
+namespace {
+
+std::vector<std::uint8_t> read_file(const fs::path& path) {
+  std::vector<std::uint8_t> bytes;
+  std::FILE* file = std::fopen(path.c_str(), "rb");
+  if (file == nullptr) return bytes;
+  std::fseek(file, 0, SEEK_END);
+  const long size = std::ftell(file);
+  std::fseek(file, 0, SEEK_SET);
+  if (size > 0) {
+    bytes.resize(static_cast<std::size_t>(size));
+    const std::size_t got = std::fread(bytes.data(), 1, bytes.size(), file);
+    bytes.resize(got);
+  }
+  std::fclose(file);
+  return bytes;
+}
+
+void fsync_directory(const std::string& dir) {
+  const int fd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY);
+  if (fd >= 0) {
+    ::fsync(fd);
+    ::close(fd);
+  }
+}
+
+template <class Parse>
+std::vector<std::pair<std::uint64_t, fs::path>> list_numbered(
+    const std::string& dir, Parse&& parse) {
+  std::vector<std::pair<std::uint64_t, fs::path>> out;
+  std::error_code ec;
+  for (const auto& entry : fs::directory_iterator(dir, ec)) {
+    const auto seq = parse(entry.path().filename().string());
+    if (seq.has_value()) out.emplace_back(*seq, entry.path());
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+}  // namespace
+
+ReplicaPersistence::ReplicaPersistence(WalConfig config)
+    : config_(std::move(config)) {
+  if (config_.dir.empty())
+    throw std::invalid_argument("ReplicaPersistence: empty data directory");
+  fs::create_directories(config_.dir);
+  scan_directory_locked();
+  last_flush_ns_ = now_ns();
+}
+
+ReplicaPersistence::~ReplicaPersistence() {
+  std::lock_guard<std::mutex> guard(mutex_);
+  flush_locked();
+  close_segment_locked();
+}
+
+void ReplicaPersistence::scan_directory_locked() {
+  std::uint64_t top = 0;
+  for (const auto& [seq, path] :
+       list_numbered(config_.dir, parse_segment_name))
+    top = std::max(top, seq);
+  for (const auto& [seq, path] :
+       list_numbered(config_.dir, parse_snapshot_name))
+    top = std::max(top, seq);
+  next_seq_ = top + 1;
+}
+
+void ReplicaPersistence::append_locked(const dtm::Request& request) {
+  const auto payload = dtm::encode(request);
+  const std::size_t before = buffer_.size();
+  frame_record(buffer_, payload);
+  const std::size_t framed = buffer_.size() - before;
+  appended_bytes_ += framed;
+  bytes_since_snapshot_ += framed;
+  if (obs_ != nullptr) obs_->wal_append_bytes.add(framed);
+
+  if (config_.flush_interval_ns == 0) {
+    flush_locked();
+  } else if (config_.flush_interval_ns > 0) {
+    const std::uint64_t now = now_ns();
+    if (now - last_flush_ns_ >=
+        static_cast<std::uint64_t>(config_.flush_interval_ns))
+      flush_locked();
+  }
+}
+
+void ReplicaPersistence::flush_locked() {
+  if (buffer_.empty()) {
+    last_flush_ns_ = now_ns();
+    return;
+  }
+  if (segment_ == nullptr) {
+    const fs::path path =
+        fs::path(config_.dir) / segment_file_name(next_seq_);
+    segment_ = std::fopen(path.c_str(), "ab");
+    if (segment_ == nullptr)
+      throw std::runtime_error("wal: cannot open segment " + path.string());
+    segment_seq_ = next_seq_++;
+  }
+  std::fwrite(buffer_.data(), 1, buffer_.size(), segment_);
+  std::fflush(segment_);
+  if (config_.fsync) fsync_file_locked(segment_);
+  buffer_.clear();
+  last_flush_ns_ = now_ns();
+}
+
+void ReplicaPersistence::fsync_file_locked(std::FILE* file) {
+  ::fsync(::fileno(file));
+  ++fsyncs_;
+  if (obs_ != nullptr) obs_->wal_fsync_count.add();
+}
+
+void ReplicaPersistence::close_segment_locked() {
+  if (segment_ != nullptr) {
+    std::fclose(segment_);
+    segment_ = nullptr;
+  }
+}
+
+void ReplicaPersistence::log_prepare(
+    dtm::TxId tx, const std::vector<store::ObjectKey>& write_keys) {
+  dtm::Request request;
+  request.payload = dtm::PrepareRequest{tx, {}, write_keys};
+  std::lock_guard<std::mutex> guard(mutex_);
+  append_locked(request);
+}
+
+bool ReplicaPersistence::log_commit(const dtm::CommitRequest& commit) {
+  dtm::Request request;
+  request.payload = commit;
+  std::lock_guard<std::mutex> guard(mutex_);
+  append_locked(request);
+  if (config_.snapshot_every_bytes > 0 && !snapshot_claimed_ &&
+      bytes_since_snapshot_ >= config_.snapshot_every_bytes) {
+    snapshot_claimed_ = true;
+    return true;
+  }
+  return false;
+}
+
+void ReplicaPersistence::log_abort(dtm::TxId tx,
+                                   const std::vector<store::ObjectKey>& keys) {
+  dtm::Request request;
+  request.payload = dtm::AbortRequest{tx, keys};
+  std::lock_guard<std::mutex> guard(mutex_);
+  append_locked(request);
+}
+
+void ReplicaPersistence::write_snapshot(
+    const std::function<dtm::SnapshotData()>& provide) {
+  std::lock_guard<std::mutex> guard(mutex_);
+  flush_locked();
+  // Rotate: the snapshot covers every record in segments <= `covered`;
+  // appends after this point land in a fresh segment and get replayed.
+  const std::uint64_t covered = segment_ != nullptr ? segment_seq_
+                                                    : next_seq_ - 1;
+  close_segment_locked();
+
+  // Read the state only now, with the covered prefix sealed: every record
+  // in it was logged post-install (see DurabilitySink), so the provider's
+  // view already reflects it and compaction cannot lose an effect.
+  dtm::SnapshotData data = provide();
+  SnapshotContents contents;
+  contents.objects = std::move(data.objects);
+  contents.open_prepares = std::move(data.open_prepares);
+  const auto bytes = encode_snapshot(contents);
+
+  const fs::path dir(config_.dir);
+  const fs::path tmp = dir / "snap-inflight.tmp";
+  std::FILE* file = std::fopen(tmp.c_str(), "wb");
+  if (file == nullptr)
+    throw std::runtime_error("wal: cannot write snapshot " + tmp.string());
+  std::fwrite(bytes.data(), 1, bytes.size(), file);
+  std::fflush(file);
+  if (config_.fsync) fsync_file_locked(file);
+  std::fclose(file);
+  fs::rename(tmp, dir / snapshot_file_name(covered));
+  if (config_.fsync) fsync_directory(config_.dir);
+  if (obs_ != nullptr) obs_->snapshot_write_bytes.add(bytes.size());
+
+  // Compaction: the snapshot supersedes everything it covers.  The
+  // previous snapshot is kept as a fallback against bit rot in the new
+  // one; older ones go.
+  for (const auto& [seq, path] : list_numbered(config_.dir, parse_segment_name))
+    if (seq <= covered) fs::remove(path);
+  auto snapshots = list_numbered(config_.dir, parse_snapshot_name);
+  while (snapshots.size() > 2) {
+    fs::remove(snapshots.front().second);
+    snapshots.erase(snapshots.begin());
+  }
+
+  bytes_since_snapshot_ = buffer_.size();
+  snapshot_claimed_ = false;
+}
+
+void ReplicaPersistence::flush() {
+  std::lock_guard<std::mutex> guard(mutex_);
+  flush_locked();
+}
+
+void ReplicaPersistence::drop_unflushed() {
+  std::lock_guard<std::mutex> guard(mutex_);
+  bytes_since_snapshot_ -= std::min<std::uint64_t>(bytes_since_snapshot_,
+                                                   buffer_.size());
+  buffer_.clear();
+}
+
+void ReplicaPersistence::wipe() {
+  std::lock_guard<std::mutex> guard(mutex_);
+  close_segment_locked();
+  buffer_.clear();
+  std::error_code ec;
+  fs::remove_all(config_.dir, ec);
+  fs::create_directories(config_.dir);
+  next_seq_ = 1;
+  bytes_since_snapshot_ = 0;
+  snapshot_claimed_ = false;
+  last_flush_ns_ = now_ns();
+}
+
+RecoveredState ReplicaPersistence::recover() {
+  std::lock_guard<std::mutex> guard(mutex_);
+  // A restart: whatever never reached the disk is gone.
+  buffer_.clear();
+  close_segment_locked();
+
+  RecoveredState state;
+  std::uint64_t covered = 0;
+  std::unordered_map<store::ObjectKey, store::VersionedRecord,
+                     store::ObjectKeyHash>
+      objects;
+  std::unordered_map<dtm::TxId, std::vector<store::ObjectKey>> open;
+
+  // Newest snapshot that passes its checksum wins; a rotted one falls
+  // back to its predecessor (bounded extra loss, healed by catch-up).
+  auto snapshots = list_numbered(config_.dir, parse_snapshot_name);
+  for (auto it = snapshots.rbegin(); it != snapshots.rend(); ++it) {
+    const auto bytes = read_file(it->second);
+    auto contents = decode_snapshot(bytes);
+    if (!contents.has_value()) continue;
+    covered = it->first;
+    state.snapshot_objects = contents->objects.size();
+    for (auto& [key, rec] : contents->objects) objects[key] = std::move(rec);
+    for (auto& prepare : contents->open_prepares)
+      open[prepare.tx] = std::move(prepare.keys);
+    break;
+  }
+
+  for (const auto& [seq, path] :
+       list_numbered(config_.dir, parse_segment_name)) {
+    if (seq <= covered) continue;  // the snapshot already contains these
+    const auto bytes = read_file(path);
+    const auto scan = parse_segment(bytes);
+    if (scan.torn) {
+      state.log_torn = true;
+      std::error_code ec;
+      fs::resize_file(path, scan.valid_bytes, ec);  // truncate the torn tail
+    }
+    for (const auto& payload : scan.records) {
+      dtm::Request request;
+      try {
+        request = dtm::decode_request(payload);
+      } catch (const dtm::CodecError&) {
+        state.log_torn = true;  // CRC passed but payload didn't parse
+        break;
+      }
+      ++state.replayed_records;
+      std::visit(
+          [&](const auto& req) {
+            using T = std::decay_t<decltype(req)>;
+            if constexpr (std::is_same_v<T, dtm::PrepareRequest>) {
+              open[req.tx] = req.write_keys;
+            } else if constexpr (std::is_same_v<T, dtm::CommitRequest>) {
+              for (std::size_t i = 0; i < req.keys.size(); ++i) {
+                auto& slot = objects[req.keys[i]];
+                if (req.versions[i] > slot.version)
+                  slot = {req.values[i], req.versions[i]};
+              }
+              open.erase(req.tx);
+            } else if constexpr (std::is_same_v<T, dtm::AbortRequest>) {
+              open.erase(req.tx);
+            }
+          },
+          request.payload);
+    }
+  }
+
+  scan_directory_locked();  // future appends start a fresh segment
+  if (obs_ != nullptr) obs_->wal_replay_records.add(state.replayed_records);
+
+  state.objects.reserve(objects.size());
+  for (auto& [key, rec] : objects) state.objects.emplace_back(key, std::move(rec));
+  state.open_prepares.reserve(open.size());
+  for (auto& [tx, keys] : open)
+    state.open_prepares.push_back({tx, std::move(keys)});
+  std::sort(state.open_prepares.begin(), state.open_prepares.end(),
+            [](const auto& a, const auto& b) { return a.tx < b.tx; });
+  return state;
+}
+
+std::uint64_t ReplicaPersistence::fsync_count() const {
+  std::lock_guard<std::mutex> guard(mutex_);
+  return fsyncs_;
+}
+
+std::uint64_t ReplicaPersistence::appended_bytes() const {
+  std::lock_guard<std::mutex> guard(mutex_);
+  return appended_bytes_;
+}
+
+std::uint64_t ReplicaPersistence::buffered_bytes() const {
+  std::lock_guard<std::mutex> guard(mutex_);
+  return buffer_.size();
+}
+
+std::vector<std::uint64_t> ReplicaPersistence::segment_seqs() const {
+  std::lock_guard<std::mutex> guard(mutex_);
+  std::vector<std::uint64_t> out;
+  for (const auto& [seq, path] : list_numbered(config_.dir, parse_segment_name))
+    out.push_back(seq);
+  return out;
+}
+
+std::vector<std::uint64_t> ReplicaPersistence::snapshot_seqs() const {
+  std::lock_guard<std::mutex> guard(mutex_);
+  std::vector<std::uint64_t> out;
+  for (const auto& [seq, path] :
+       list_numbered(config_.dir, parse_snapshot_name))
+    out.push_back(seq);
+  return out;
+}
+
+}  // namespace acn::wal

@@ -5,6 +5,7 @@
 #include <gtest/gtest.h>
 
 #include <chrono>
+#include <filesystem>
 #include <thread>
 
 #include "src/chaos/chaos.hpp"
@@ -238,6 +239,39 @@ TEST(Controller, FiresScheduleAndStopHeals) {
     EXPECT_FALSE(net.node_down(static_cast<net::NodeId>(i)));
   // stop() is idempotent.
   EXPECT_NO_THROW(chaos.stop());
+}
+
+TEST(Controller, CrashLoseDiskWipesTheVictimBeforeRejoin) {
+  auto config = fast_config(4);
+  config.durability.mode = harness::DurabilityMode::kWal;
+  config.durability.data_dir = "wal-test-chaos-losedisk";
+  config.durability.flush_interval_ns = 0;
+  config.durability.fsync = false;
+  std::filesystem::remove_all(config.durability.data_dir);
+  Cluster cluster(config);
+  workloads::seed_all(cluster.servers(), kA, Record{7});
+  cluster.checkpoint_all();
+  ASSERT_NE(cluster.persistence(3), nullptr);
+  ASSERT_FALSE(cluster.persistence(3)->snapshot_seqs().empty());
+
+  FaultPlan plan;
+  plan.crash_lose_disk(0ms, {3});  // no restart: stop() must rejoin it
+  ASSERT_EQ(plan.events().size(), 1u);
+  ChaosController chaos(cluster, plan, nullptr, /*verbose=*/false);
+  chaos.start();
+  // Wait for the event, then observe the wiped disk while still down.
+  while (!cluster.network().node_down(3)) std::this_thread::sleep_for(1ms);
+  EXPECT_TRUE(cluster.persistence(3)->snapshot_seqs().empty());
+  EXPECT_TRUE(cluster.persistence(3)->segment_seqs().empty());
+  chaos.stop();
+
+  EXPECT_EQ(chaos.events_fired(), 1u);
+  EXPECT_FALSE(cluster.network().node_down(3));
+  // Recovery found an empty disk; the peer sync rebuilt the replica.
+  const auto local = cluster.server(3).store().read(kA);
+  ASSERT_EQ(local.status, store::ReadStatus::kOk);
+  EXPECT_EQ(local.record.value, Record{7});
+  std::filesystem::remove_all(config.durability.data_dir);
 }
 
 TEST(Controller, PartitionThenHealKeepsBankInvariant) {

@@ -1,0 +1,541 @@
+// Unit tests for the durability subsystem (src/wal): record framing and
+// CRC scanning, snapshot encode/decode, group commit, log-replay recovery,
+// snapshot compaction, torn-tail truncation, and the server/cluster
+// integration — re-arming unresolved prepares as leased protections and
+// turning peer catch-up into a delta pass.
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <cstdio>
+#include <filesystem>
+#include <thread>
+
+#include "src/dtm/server.hpp"
+#include "src/harness/cluster.hpp"
+#include "src/wal/format.hpp"
+#include "src/wal/persistence.hpp"
+#include "src/workloads/workload.hpp"
+
+namespace acn::wal {
+namespace {
+
+using namespace std::chrono_literals;
+using store::ObjectKey;
+using store::Record;
+
+const ObjectKey kA{1, 1};
+const ObjectKey kB{1, 2};
+const ObjectKey kC{2, 1};
+
+/// Self-cleaning data directory under the test binary's CWD.
+struct TempDir {
+  explicit TempDir(const std::string& name) : path("wal-test-" + name) {
+    std::filesystem::remove_all(path);
+  }
+  ~TempDir() { std::filesystem::remove_all(path); }
+  std::string path;
+};
+
+WalConfig test_config(const std::string& dir) {
+  WalConfig config;
+  config.dir = dir;
+  config.flush_interval_ns = -1;  // flush only when the test says so
+  config.snapshot_every_bytes = 0;
+  config.fsync = false;
+  return config;
+}
+
+dtm::CommitRequest commit_of(dtm::TxId tx, ObjectKey key, store::Field value,
+                             store::Version version) {
+  return dtm::CommitRequest{tx, {key}, {Record{value}}, {version}};
+}
+
+const store::VersionedRecord* find_object(const RecoveredState& state,
+                                          ObjectKey key) {
+  for (const auto& [k, rec] : state.objects)
+    if (k == key) return &rec;
+  return nullptr;
+}
+
+void append_raw(const std::filesystem::path& path,
+                const std::vector<std::uint8_t>& bytes) {
+  std::FILE* file = std::fopen(path.c_str(), "ab");
+  ASSERT_NE(file, nullptr);
+  std::fwrite(bytes.data(), 1, bytes.size(), file);
+  std::fclose(file);
+}
+
+std::vector<std::uint8_t> slurp(const std::filesystem::path& path) {
+  std::vector<std::uint8_t> bytes;
+  std::FILE* file = std::fopen(path.c_str(), "rb");
+  if (file == nullptr) return bytes;
+  std::fseek(file, 0, SEEK_END);
+  bytes.resize(static_cast<std::size_t>(std::ftell(file)));
+  std::fseek(file, 0, SEEK_SET);
+  bytes.resize(std::fread(bytes.data(), 1, bytes.size(), file));
+  std::fclose(file);
+  return bytes;
+}
+
+void overwrite(const std::filesystem::path& path,
+               const std::vector<std::uint8_t>& bytes) {
+  std::FILE* file = std::fopen(path.c_str(), "wb");
+  ASSERT_NE(file, nullptr);
+  std::fwrite(bytes.data(), 1, bytes.size(), file);
+  std::fclose(file);
+}
+
+TEST(Crc32, MatchesKnownVectorAndDetectsFlips) {
+  const std::uint8_t check[] = {'1', '2', '3', '4', '5', '6', '7', '8', '9'};
+  EXPECT_EQ(crc32(check), 0xCBF43926u);  // the classic IEEE test vector
+  EXPECT_EQ(crc32({}), 0u);
+
+  std::vector<std::uint8_t> bytes(check, check + sizeof(check));
+  const auto clean = crc32(bytes);
+  for (std::size_t i = 0; i < bytes.size(); ++i) {
+    bytes[i] ^= 0x01;
+    EXPECT_NE(crc32(bytes), clean) << "flip at byte " << i;
+    bytes[i] ^= 0x01;
+  }
+}
+
+TEST(Framing, RoundTripsMultipleRecords) {
+  std::vector<std::uint8_t> segment;
+  const std::vector<std::vector<std::uint8_t>> payloads = {
+      {1, 2, 3}, {}, {0xFF, 0x00, 0xAB, 0xCD, 9, 9, 9}};
+  for (const auto& payload : payloads) frame_record(segment, payload);
+
+  const auto scan = parse_segment(segment);
+  EXPECT_EQ(scan.records, payloads);
+  EXPECT_EQ(scan.valid_bytes, segment.size());
+  EXPECT_FALSE(scan.torn);
+
+  const auto empty = parse_segment({});
+  EXPECT_TRUE(empty.records.empty());
+  EXPECT_FALSE(empty.torn);  // a zero-length segment is clean, not torn
+}
+
+TEST(Framing, TornTailStopsScanCleanly) {
+  std::vector<std::uint8_t> segment;
+  frame_record(segment, std::vector<std::uint8_t>{1, 2, 3});
+  const std::size_t first_size = segment.size();
+  frame_record(segment, std::vector<std::uint8_t>{4, 5, 6, 7});
+
+  // A crash can land anywhere in the second frame: short header, short
+  // payload — every cut must yield exactly the first record, torn.
+  for (std::size_t cut = first_size + 1; cut < segment.size(); ++cut) {
+    const auto scan = parse_segment(
+        std::span<const std::uint8_t>(segment.data(), cut));
+    ASSERT_EQ(scan.records.size(), 1u) << "cut at " << cut;
+    EXPECT_EQ(scan.records[0], (std::vector<std::uint8_t>{1, 2, 3}));
+    EXPECT_EQ(scan.valid_bytes, first_size);
+    EXPECT_TRUE(scan.torn);
+  }
+}
+
+TEST(Framing, CrcMismatchStopsScan) {
+  std::vector<std::uint8_t> segment;
+  frame_record(segment, std::vector<std::uint8_t>{1, 2, 3});
+  const std::size_t first_size = segment.size();
+  frame_record(segment, std::vector<std::uint8_t>{4, 5, 6, 7});
+
+  auto corrupt = segment;
+  corrupt[first_size + kFrameHeaderBytes] ^= 0x80;  // second payload's 1st byte
+  const auto scan = parse_segment(corrupt);
+  ASSERT_EQ(scan.records.size(), 1u);
+  EXPECT_EQ(scan.valid_bytes, first_size);
+  EXPECT_TRUE(scan.torn);
+}
+
+TEST(SnapshotFormat, RoundTripsObjectsAndOpenPrepares) {
+  SnapshotContents contents;
+  contents.objects = {{kA, {Record{1, 2, 3}, 7}}, {kB, {Record{}, 1}}};
+  contents.open_prepares = {{42, {kA, kC}}, {43, {}}};
+
+  const auto bytes = encode_snapshot(contents);
+  const auto decoded = decode_snapshot(bytes);
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_EQ(decoded->objects, contents.objects);
+  ASSERT_EQ(decoded->open_prepares.size(), 2u);
+  EXPECT_EQ(decoded->open_prepares[0].tx, 42u);
+  EXPECT_EQ(decoded->open_prepares[0].keys, (std::vector<ObjectKey>{kA, kC}));
+  EXPECT_EQ(decoded->open_prepares[1].tx, 43u);
+}
+
+TEST(SnapshotFormat, CorruptionAndTruncationRejected) {
+  SnapshotContents contents;
+  contents.objects = {{kA, {Record{9}, 3}}};
+  const auto bytes = encode_snapshot(contents);
+
+  EXPECT_FALSE(decode_snapshot({}).has_value());
+  auto truncated = bytes;
+  truncated.pop_back();  // missing CRC tail byte
+  EXPECT_FALSE(decode_snapshot(truncated).has_value());
+  for (const std::size_t at : {std::size_t{0}, bytes.size() / 2,
+                               bytes.size() - 1}) {
+    auto corrupt = bytes;
+    corrupt[at] ^= 0x40;
+    EXPECT_FALSE(decode_snapshot(corrupt).has_value()) << "flip at " << at;
+  }
+}
+
+TEST(FileNames, RoundTripAndRejectForeignNames) {
+  EXPECT_EQ(segment_file_name(42), "wal-000042.log");
+  EXPECT_EQ(snapshot_file_name(7), "snap-000007.snap");
+  EXPECT_EQ(parse_segment_name("wal-000042.log"), 42u);
+  EXPECT_EQ(parse_snapshot_name("snap-000007.snap"), 7u);
+  EXPECT_FALSE(parse_segment_name("snap-000007.snap").has_value());
+  EXPECT_FALSE(parse_snapshot_name("wal-000042.log").has_value());
+  EXPECT_FALSE(parse_segment_name("wal-xyz.log").has_value());
+  EXPECT_FALSE(parse_segment_name("snap-inflight.tmp").has_value());
+  EXPECT_FALSE(parse_snapshot_name("snap-inflight.tmp").has_value());
+}
+
+TEST(Persistence, GroupCommitBufferIsLostFlushedRecordsSurvive) {
+  TempDir dir("group-commit");
+  ReplicaPersistence wal(test_config(dir.path));
+
+  wal.log_prepare(1, {kA});
+  wal.log_commit(commit_of(1, kA, 7, 2));
+  EXPECT_GT(wal.buffered_bytes(), 0u);
+  EXPECT_EQ(wal.buffered_bytes(), wal.appended_bytes());
+  EXPECT_TRUE(wal.segment_seqs().empty());  // nothing reached the disk
+
+  // Crash before any flush: the whole window is gone — by design.
+  const auto lost = wal.recover();
+  EXPECT_EQ(lost.replayed_records, 0u);
+  EXPECT_TRUE(lost.objects.empty());
+  EXPECT_TRUE(lost.open_prepares.empty());
+
+  wal.log_prepare(2, {kB});
+  wal.log_commit(commit_of(2, kB, 9, 5));
+  wal.flush();
+  EXPECT_EQ(wal.buffered_bytes(), 0u);
+
+  const auto kept = wal.recover();
+  EXPECT_EQ(kept.replayed_records, 2u);
+  const auto* rec = find_object(kept, kB);
+  ASSERT_NE(rec, nullptr);
+  EXPECT_EQ(rec->value, Record{9});
+  EXPECT_EQ(rec->version, 5u);
+  EXPECT_TRUE(kept.open_prepares.empty());  // the commit resolved tx 2
+}
+
+TEST(Persistence, FlushIntervalBoundsFsyncRate) {
+  TempDir batched_dir("fsync-batched");
+  TempDir eager_dir("fsync-eager");
+  auto batched_config = test_config(batched_dir.path);
+  batched_config.fsync = true;
+  batched_config.flush_interval_ns = 3'600'000'000'000;  // an hour: never
+  auto eager_config = test_config(eager_dir.path);
+  eager_config.fsync = true;
+  eager_config.flush_interval_ns = 0;  // every append
+
+  ReplicaPersistence batched(batched_config);
+  ReplicaPersistence eager(eager_config);
+  for (dtm::TxId tx = 1; tx <= 20; ++tx) {
+    batched.log_commit(commit_of(tx, kA, 1, tx));
+    eager.log_commit(commit_of(tx, kA, 1, tx));
+  }
+  // Group commit: 20 appends, zero fsyncs until the explicit flush.
+  EXPECT_EQ(batched.fsync_count(), 0u);
+  batched.flush();
+  EXPECT_EQ(batched.fsync_count(), 1u);
+  EXPECT_EQ(eager.fsync_count(), 20u);
+  // Both directions persist identical state.
+  EXPECT_EQ(batched.recover().replayed_records, 20u);
+  EXPECT_EQ(eager.recover().replayed_records, 20u);
+}
+
+TEST(Persistence, RecoverReplaysCommitsAbortsAndOpenPrepares) {
+  TempDir dir("replay");
+  ReplicaPersistence wal(test_config(dir.path));
+
+  wal.log_prepare(1, {kA});
+  wal.log_commit(commit_of(1, kA, 7, 2));  // resolved: committed
+  wal.log_prepare(2, {kB});
+  wal.log_abort(2, {kB});                  // resolved: aborted
+  wal.log_prepare(3, {kC});                // unresolved at the "crash"
+  wal.log_commit(commit_of(4, kA, 99, 1)); // stale: version guard must hold
+  wal.flush();
+
+  const auto state = wal.recover();
+  EXPECT_EQ(state.replayed_records, 6u);
+  EXPECT_EQ(state.snapshot_objects, 0u);
+  EXPECT_FALSE(state.log_torn);
+
+  const auto* a = find_object(state, kA);
+  ASSERT_NE(a, nullptr);
+  EXPECT_EQ(a->value, Record{7});  // not the stale 99
+  EXPECT_EQ(a->version, 2u);
+  EXPECT_EQ(find_object(state, kB), nullptr);  // aborted, never installed
+  ASSERT_EQ(state.open_prepares.size(), 1u);
+  EXPECT_EQ(state.open_prepares[0].tx, 3u);
+  EXPECT_EQ(state.open_prepares[0].keys, (std::vector<ObjectKey>{kC}));
+}
+
+TEST(Persistence, TornSegmentTailIsTruncatedOnDisk) {
+  TempDir dir("torn");
+  ReplicaPersistence wal(test_config(dir.path));
+  wal.log_commit(commit_of(1, kA, 1, 2));
+  wal.log_commit(commit_of(2, kB, 2, 2));
+  wal.flush();
+  const auto seqs = wal.segment_seqs();
+  ASSERT_EQ(seqs.size(), 1u);
+  const auto path =
+      std::filesystem::path(dir.path) / segment_file_name(seqs[0]);
+  const auto clean_size = std::filesystem::file_size(path);
+  append_raw(path, {0xDE, 0xAD, 0xBE});  // a crash mid-frame
+
+  const auto first = wal.recover();
+  EXPECT_TRUE(first.log_torn);
+  EXPECT_EQ(first.replayed_records, 2u);
+  EXPECT_EQ(std::filesystem::file_size(path), clean_size);
+
+  // The tail was removed in place: a second restart sees a clean log.
+  const auto second = wal.recover();
+  EXPECT_FALSE(second.log_torn);
+  EXPECT_EQ(second.replayed_records, 2u);
+}
+
+TEST(Persistence, CrcCorruptionOnDiskStopsReplayAtTheBadRecord) {
+  TempDir dir("crc");
+  ReplicaPersistence wal(test_config(dir.path));
+  wal.log_commit(commit_of(1, kA, 1, 2));
+  wal.log_commit(commit_of(2, kB, 2, 2));
+  wal.flush();
+  const auto path =
+      std::filesystem::path(dir.path) / segment_file_name(wal.segment_seqs()[0]);
+
+  auto bytes = slurp(path);
+  const auto scan = parse_segment(bytes);
+  ASSERT_EQ(scan.records.size(), 2u);
+  const std::size_t second_payload =
+      kFrameHeaderBytes + scan.records[0].size() + kFrameHeaderBytes;
+  bytes[second_payload] ^= 0x01;
+  overwrite(path, bytes);
+
+  const auto state = wal.recover();
+  EXPECT_TRUE(state.log_torn);
+  EXPECT_EQ(state.replayed_records, 1u);  // only the intact first record
+  ASSERT_NE(find_object(state, kA), nullptr);
+  EXPECT_EQ(find_object(state, kB), nullptr);
+}
+
+TEST(Persistence, SnapshotCompactsCoveredSegmentsAndKeepsTwo) {
+  TempDir dir("compaction");
+  auto config = test_config(dir.path);
+  config.snapshot_every_bytes = 1;  // every commit claims a snapshot
+  ReplicaPersistence wal(config);
+
+  wal.log_prepare(1, {kA});
+  EXPECT_TRUE(wal.log_commit(commit_of(1, kA, 7, 2)));
+  // Claimed: nobody else is told to snapshot until this one lands.
+  EXPECT_FALSE(wal.log_commit(commit_of(2, kB, 8, 2)));
+  wal.write_snapshot([] {
+    return dtm::SnapshotData{
+        {{kA, {Record{7}, 2}}, {kB, {Record{8}, 2}}}, {}};
+  });
+  EXPECT_TRUE(wal.segment_seqs().empty());  // the log was compacted away
+  ASSERT_EQ(wal.snapshot_seqs().size(), 1u);
+
+  // Post-snapshot appends land in a fresh segment and are replayed on top.
+  EXPECT_TRUE(wal.log_commit(commit_of(3, kC, 9, 4)));
+  wal.flush();
+  EXPECT_EQ(wal.segment_seqs().size(), 1u);
+  auto state = wal.recover();
+  EXPECT_EQ(state.snapshot_objects, 2u);
+  EXPECT_EQ(state.replayed_records, 1u);
+  EXPECT_EQ(state.objects.size(), 3u);
+  ASSERT_NE(find_object(state, kC), nullptr);
+  EXPECT_EQ(find_object(state, kC)->version, 4u);
+
+  // Two more snapshot cycles: only the newest two files are retained.
+  for (store::Version v = 5; v <= 6; ++v) {
+    wal.log_commit(commit_of(v, kC, 1, v));
+    wal.flush();
+    wal.write_snapshot(
+        [v] { return dtm::SnapshotData{{{kC, {Record{1}, v}}}, {}}; });
+  }
+  EXPECT_EQ(wal.snapshot_seqs().size(), 2u);
+  EXPECT_TRUE(wal.segment_seqs().empty());
+}
+
+TEST(Persistence, SnapshotCarriesOpenPreparesThroughCompaction) {
+  TempDir dir("open-prepares");
+  ReplicaPersistence wal(test_config(dir.path));
+  wal.log_prepare(7, {kA, kB});
+  wal.write_snapshot([] {
+    return dtm::SnapshotData{{}, {{7, {kA, kB}}}};
+  });
+  // Compaction deleted the prepare's log record; only the snapshot
+  // remembers it now.
+  EXPECT_TRUE(wal.segment_seqs().empty());
+
+  const auto state = wal.recover();
+  EXPECT_EQ(state.replayed_records, 0u);
+  ASSERT_EQ(state.open_prepares.size(), 1u);
+  EXPECT_EQ(state.open_prepares[0].tx, 7u);
+  EXPECT_EQ(state.open_prepares[0].keys, (std::vector<ObjectKey>{kA, kB}));
+}
+
+TEST(Persistence, CorruptNewestSnapshotFallsBackToTheOlderOne) {
+  TempDir dir("fallback");
+  ReplicaPersistence wal(test_config(dir.path));
+  wal.write_snapshot(
+      [] { return dtm::SnapshotData{{{kA, {Record{1}, 1}}}, {}}; });
+  wal.log_commit(commit_of(1, kA, 2, 2));
+  wal.flush();
+  wal.write_snapshot([] {
+    return dtm::SnapshotData{{{kA, {Record{2}, 2}}, {kB, {Record{5}, 1}}}, {}};
+  });
+  const auto seqs = wal.snapshot_seqs();
+  ASSERT_EQ(seqs.size(), 2u);
+
+  // Rot the newest snapshot; recovery must fall back, not fail.
+  const auto newest =
+      std::filesystem::path(dir.path) / snapshot_file_name(seqs.back());
+  auto bytes = slurp(newest);
+  bytes[bytes.size() / 2] ^= 0x10;
+  overwrite(newest, bytes);
+
+  const auto state = wal.recover();
+  EXPECT_EQ(state.snapshot_objects, 1u);  // the older snapshot's content
+  const auto* a = find_object(state, kA);
+  ASSERT_NE(a, nullptr);
+  EXPECT_EQ(a->version, 1u);
+  EXPECT_EQ(find_object(state, kB), nullptr);
+}
+
+TEST(Persistence, WipeLeavesAnEmptyUsableDirectory) {
+  TempDir dir("wipe");
+  ReplicaPersistence wal(test_config(dir.path));
+  wal.log_commit(commit_of(1, kA, 1, 2));
+  wal.flush();
+  wal.write_snapshot(
+      [] { return dtm::SnapshotData{{{kA, {Record{1}, 2}}}, {}}; });
+
+  wal.wipe();
+  EXPECT_TRUE(wal.segment_seqs().empty());
+  EXPECT_TRUE(wal.snapshot_seqs().empty());
+  auto state = wal.recover();
+  EXPECT_TRUE(state.objects.empty());
+  EXPECT_EQ(state.replayed_records + state.snapshot_objects, 0u);
+
+  // The instance keeps working after the wipe.
+  wal.log_commit(commit_of(2, kB, 3, 4));
+  wal.flush();
+  state = wal.recover();
+  EXPECT_EQ(state.replayed_records, 1u);
+  ASSERT_NE(find_object(state, kB), nullptr);
+}
+
+TEST(ServerRecovery, ReplayReArmsPrepareAndLeaseExpiryResolvesIt) {
+  TempDir dir("server");
+  ReplicaPersistence wal(test_config(dir.path));
+  {
+    dtm::Server server(0, 0, /*prepare_lease_ns=*/5'000'000);
+    server.set_durability(&wal);
+    server.store().seed(kA, Record{1}, 1);
+
+    dtm::Request request;
+    request.payload = dtm::PrepareRequest{1, {}, {kA}};
+    auto response = server.handle(100, request);
+    ASSERT_EQ(std::get<dtm::PrepareResponse>(response.payload).code,
+              dtm::PrepareCode::kOk);
+    request.payload = dtm::CommitRequest{1, {kA}, {Record{5}}, {2}};
+    server.handle(100, request);
+
+    // The orphan: prepared, never resolved, crash.
+    request.payload = dtm::PrepareRequest{2, {}, {kB}};
+    response = server.handle(100, request);
+    ASSERT_EQ(std::get<dtm::PrepareResponse>(response.payload).code,
+              dtm::PrepareCode::kOk);
+    wal.flush();
+  }
+
+  dtm::Server reborn(0, 0, /*prepare_lease_ns=*/5'000'000);
+  const auto recovered = wal.recover();
+  EXPECT_EQ(recovered.replayed_records, 3u);
+  reborn.install_recovered(recovered.objects, recovered.open_prepares);
+
+  // The committed write survived the reboot…
+  const auto read = reborn.store().read(kA);
+  ASSERT_EQ(read.status, store::ReadStatus::kOk);
+  EXPECT_EQ(read.record.value, Record{5});
+  EXPECT_EQ(read.record.version, 2u);
+  // …and the orphan is protected again, under a fresh lease.
+  EXPECT_EQ(reborn.store().read(kB).status, store::ReadStatus::kProtected);
+  EXPECT_EQ(reborn.open_lease_count(), 1u);
+
+  // Presumed abort decides its fate, exactly as if the server never died.
+  std::this_thread::sleep_for(15ms);
+  EXPECT_GT(reborn.expire_stale_leases(), 0u);
+  EXPECT_EQ(reborn.store().read(kB).status, store::ReadStatus::kMissing);
+  EXPECT_EQ(reborn.store().protected_count(), 0u);
+
+  // A late phase two for the orphan is refused, nothing installed.
+  dtm::Request late;
+  late.payload = dtm::CommitRequest{2, {kB}, {Record{9}}, {1}};
+  const auto verdict = reborn.handle(100, late);
+  EXPECT_EQ(std::get<dtm::CommitResponse>(verdict.payload).code,
+            dtm::CommitCode::kExpired);
+  EXPECT_EQ(reborn.store().read(kB).status, store::ReadStatus::kMissing);
+}
+
+TEST(ClusterRecovery, LogReplayShrinksCatchUpAndDiskLossRebuildsFully) {
+  TempDir dir("cluster");
+  harness::ClusterConfig config;
+  config.n_servers = 10;
+  config.base_latency = std::chrono::nanoseconds{0};
+  config.stub.max_quorum_retries = 16;
+  config.stub.busy_backoff = std::chrono::nanoseconds{1000};
+  config.durability.mode = harness::DurabilityMode::kWal;
+  config.durability.data_dir = dir.path;
+  config.durability.flush_interval_ns = 0;  // durable on every append
+  config.durability.fsync = false;
+  harness::Cluster cluster(config);
+
+  constexpr std::uint64_t kKeys = 50;
+  for (std::uint64_t id = 0; id < kKeys; ++id)
+    workloads::seed_all(cluster.servers(), ObjectKey{1, id}, Record{1});
+  cluster.checkpoint_all();  // seeding bypassed the WAL
+
+  const ObjectKey hot{1, 0};
+  auto stub = cluster.make_stub(0);
+  auto bump = [&](dtm::TxId tx) {
+    const auto out = stub.read(tx, hot, {});
+    stub.commit(stub.prepare(tx, {{hot, out.record.version}}, {hot},
+                             {out.record.version}),
+                {Record{out.record.value[0] + 1}});
+  };
+  for (dtm::TxId tx = 1; tx <= 3; ++tx) bump(tx);
+  cluster.crash_node(9);
+  for (dtm::TxId tx = 4; tx <= 8; ++tx) bump(tx);
+
+  // Node 9's disk holds the seed snapshot plus the first three commits;
+  // replay restores them, so the peer sync only refetches the one key
+  // that moved while it was down.
+  const std::size_t delta = cluster.restart_node(9);
+  EXPECT_EQ(delta, 1u);
+  auto local = cluster.server(9).store().read(hot);
+  ASSERT_EQ(local.status, store::ReadStatus::kOk);
+  EXPECT_EQ(local.record.version, 9u);
+  EXPECT_EQ(local.record.value, Record{9});  // seeded 1 + eight bumps
+  EXPECT_EQ(cluster.server(9).store().object_count(), kKeys);
+
+  // Disk loss degrades to the full PR 3 catch-up: every key refetched.
+  cluster.crash_node(9, /*lose_disk=*/true);
+  ASSERT_NE(cluster.persistence(9), nullptr);
+  EXPECT_TRUE(cluster.persistence(9)->segment_seqs().empty());
+  EXPECT_TRUE(cluster.persistence(9)->snapshot_seqs().empty());
+  const std::size_t rebuilt =
+      cluster.restart_node(9, harness::CatchUpScope::kAllReplicas);
+  EXPECT_EQ(rebuilt, kKeys);
+  local = cluster.server(9).store().read(hot);
+  ASSERT_EQ(local.status, store::ReadStatus::kOk);
+  EXPECT_EQ(local.record.version, 9u);
+}
+
+}  // namespace
+}  // namespace acn::wal
