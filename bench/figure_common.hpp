@@ -16,10 +16,13 @@
 //   --durability=wal|none  per-replica write-ahead log + snapshots
 //   --data-dir DIR       root directory for per-node logs (node-<i>/ inside)
 //   --flush-us=N         group-commit window (0 = fsync every append)
+//   --no-fsync           keep the log but skip fsync (comparative benches)
 //   --snapshot-kb=N      snapshot + compact after this much log
 // Batched read pipeline (QR-CN / QR-ACN runs):
 //   --batch-reads        fetch each Block's independent reads in one round
 //   --prefetch           also speculate on the next Block (implies the above)
+// Contention-aware scheduler (src/sched):
+//   --sched=POLICY       none | queue | admit | both (default none)
 // Observability (both --flag=FILE and --flag FILE forms):
 //   --trace FILE         Chrome-trace/Perfetto JSON of the runs
 //   --metrics-json FILE  per-protocol metrics snapshots as JSON
@@ -54,7 +57,7 @@ struct BenchOptions {
   BenchOptions() {
     cluster.n_servers = 10;
     cluster.base_latency = std::chrono::microseconds{25};
-    cluster.stub.busy_backoff = std::chrono::microseconds{20};
+    cluster.stub.retry.base = std::chrono::microseconds{20};
     driver.n_clients = 8;
     driver.intervals = 8;
     driver.interval = std::chrono::milliseconds{250};
@@ -110,6 +113,20 @@ inline BenchOptions BenchOptions::parse(int argc, char** argv) {
     if (arg.rfind("--snapshot-kb=", 0) == 0) {
       args.cluster.durability.snapshot_every_bytes =
           static_cast<std::uint64_t>(value("--snapshot-kb=")) * 1024;
+      continue;
+    }
+    if (arg == "--no-fsync") {
+      args.cluster.durability.fsync = false;
+      continue;
+    }
+    if (arg.rfind("--sched=", 0) == 0) {
+      const auto policy =
+          sched::parse_policy(arg.c_str() + std::strlen("--sched="));
+      if (!policy) {
+        std::fprintf(stderr, "bad --sched value: %s\n", arg.c_str());
+        std::exit(2);
+      }
+      args.driver.scheduler.policy = *policy;
       continue;
     }
     if (arg == "--batch-reads") {

@@ -48,7 +48,7 @@ ModeResult run_mode(const Options& opt, const std::string& label,
   harness::ClusterConfig cluster_config;
   cluster_config.n_servers = 10;
   cluster_config.base_latency = std::chrono::nanoseconds{0};
-  cluster_config.stub.busy_backoff = std::chrono::nanoseconds{100};
+  cluster_config.stub.retry.base = std::chrono::nanoseconds{100};
 
   obs::Observability obs;
   harness::Cluster cluster(cluster_config);

@@ -1,0 +1,56 @@
+#!/usr/bin/env bash
+# Run the release gate benches and fold their metrics snapshots into one
+# BENCH_5.json, so every release carries a comparable perf trajectory point.
+#
+# Gates (each exits non-zero on a regression, failing the script):
+#   abl_scheduler       contention-aware scheduling beats optimistic racing
+#                       (plain, --durability=wal, and --chaos-burst variants)
+#   abl_partition       partition-and-heal: lease expiry + catch-up
+#   abl_recovery        durable recovery: log replay vs peer catch-up
+#   micro_batching      batched quorum reads save read rounds
+#
+# Usage: scripts/bench_snapshot.sh [build-dir] [output.json]
+#   BUILD_DIR defaults to "build", output to "BENCH_5.json".
+set -euo pipefail
+
+BUILD_DIR="${1:-build}"
+OUT="${2:-BENCH_5.json}"
+BENCH="$BUILD_DIR/bench"
+WORK="$(mktemp -d)"
+trap 'rm -rf "$WORK"' EXIT
+
+# Pinned configuration: the scheduler gate compares two runs under an
+# identical seed/regime, so the numbers are comparable release to release.
+SCHED_ARGS=(--intervals=6 --clients=16 --latency-us=100 --seed=13)
+
+declare -A GATES=(
+  [scheduler]="$BENCH/abl_scheduler ${SCHED_ARGS[*]}"
+  [scheduler_wal]="$BENCH/abl_scheduler ${SCHED_ARGS[*]} --durability=wal"
+  [scheduler_chaos]="$BENCH/abl_scheduler ${SCHED_ARGS[*]} --chaos-burst"
+  [partition]="$BENCH/abl_partition --clients=4 --interval-ms=120"
+  [recovery]="$BENCH/abl_recovery --clients=4 --intervals=6 --interval-ms=150"
+  [batching]="$BENCH/micro_batching --txs=500"
+)
+# Deterministic run order (associative arrays iterate arbitrarily).
+ORDER=(scheduler scheduler_wal scheduler_chaos partition recovery batching)
+
+for name in "${ORDER[@]}"; do
+  echo "=== gate: $name ==="
+  # shellcheck disable=SC2086  # intentional word splitting of the command
+  ${GATES[$name]} --metrics-json "$WORK/$name.json"
+done
+
+python3 - "$OUT" "$WORK" "${ORDER[@]}" <<'EOF'
+import json, subprocess, sys
+
+out, work, names = sys.argv[1], sys.argv[2], sys.argv[3:]
+rev = subprocess.run(["git", "rev-parse", "--short", "HEAD"],
+                     capture_output=True, text=True).stdout.strip() or None
+snapshot = {"git": rev, "gates": {}}
+for name in names:
+    with open(f"{work}/{name}.json") as f:
+        snapshot["gates"][name] = json.load(f)
+with open(out, "w") as f:
+    json.dump(snapshot, f, indent=1, sort_keys=True)
+print(f"wrote {out} ({len(names)} gates)")
+EOF

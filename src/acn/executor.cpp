@@ -20,15 +20,20 @@ int abort_reason_index(dtm::AbortKind kind) noexcept {
   return obs::kReasonValidation;
 }
 
-/// Full-abort bookkeeping shared by every execution mode.
-void note_full_abort(obs::Observability* obs, const dtm::TxAbort& abort,
-                     std::uint64_t tx) {
-  if (!obs) return;
-  const int reason = abort_reason_index(abort.kind());
-  obs->tx_aborts_full.add();
-  obs->aborts_full_reason[reason].add();
-  obs->tracer.instant("abort.full", "abort", tx, nullptr, 0, nullptr, 0,
-                      "reason", obs::abort_reason_name(reason));
+/// Gate-facing classification of a full abort (kBusy splits on whether a
+/// prepare lease was reclaimed — the scheduler penalizes that harder).
+TxOutcome outcome_of(const dtm::TxAbort& abort) noexcept {
+  switch (abort.kind()) {
+    case dtm::AbortKind::kValidation:
+      return TxOutcome::kValidation;
+    case dtm::AbortKind::kBusy:
+      return abort.detail() == dtm::AbortDetail::kLeaseExpired
+                 ? TxOutcome::kLeaseExpired
+                 : TxOutcome::kBusy;
+    case dtm::AbortKind::kUnavailable:
+      return TxOutcome::kUnavailable;
+  }
+  return TxOutcome::kUnavailable;
 }
 
 void require(bool present, const char* what) {
@@ -56,6 +61,18 @@ Executor::Executor(dtm::QuorumStub& stub, ExecutorConfig config,
                    std::uint64_t seed)
     : stub_(stub), config_(config), rng_(seed) {}
 
+/// Full-abort bookkeeping shared by every execution mode.
+void Executor::note_full_abort(const dtm::TxAbort& abort, std::uint64_t tx) {
+  if (gate_) gate_->on_full_abort(outcome_of(abort), abort.invalid());
+  if (obs::Observability* obs = config_.obs) {
+    const int reason = abort_reason_index(abort.kind());
+    obs->tx_aborts_full.add();
+    obs->aborts_full_reason[reason].add();
+    obs->tracer.instant("abort.full", "abort", tx, nullptr, 0, nullptr, 0,
+                        "reason", obs::abort_reason_name(reason));
+  }
+}
+
 void Executor::run(Protocol protocol, const RunOptions& options,
                    const std::vector<ir::Record>& params, ExecStats& stats) {
   // Scoped config override; restored even when the run throws.
@@ -69,31 +86,59 @@ void Executor::run(Protocol protocol, const RunOptions& options,
   } restore{&config_, config_, options.config_override != nullptr};
   if (options.config_override) config_ = *options.config_override;
 
-  switch (protocol) {
-    case Protocol::kFlat:
-      require(options.program != nullptr, "program (kFlat)");
-      run_flat_impl(*options.program, params, stats);
-      return;
-    case Protocol::kManualCN:
-      require(options.program != nullptr, "program (kManualCN)");
-      require(options.model != nullptr, "model (kManualCN)");
-      require(options.sequence != nullptr, "sequence (kManualCN)");
-      run_blocks_impl(*options.program, *options.model, *options.sequence,
-                      options, params, stats);
-      return;
-    case Protocol::kAcn: {
-      require(options.controller != nullptr, "controller (kAcn)");
-      const auto plan = options.controller->plan();
-      run_blocks_impl(options.controller->algorithm().program(), plan->model,
-                      plan->sequence, options, params, stats);
-      return;
+  // Arm the scheduler gate for this run: declare the predicted footprint
+  // and block until admitted, and guarantee finish() on every exit path
+  // (the guard's default outcome covers non-TxAbort exceptions too).
+  struct GateGuard {
+    Executor* executor;
+    SchedulerGate* gate;
+    TxOutcome outcome = TxOutcome::kUnavailable;
+    ~GateGuard() {
+      if (gate) gate->finish(outcome);
+      executor->gate_ = nullptr;
     }
-    case Protocol::kCheckpoint:
-      require(options.program != nullptr, "program (kCheckpoint)");
-      run_checkpointed_impl(*options.program, params, stats);
-      return;
+  } guard{this, options.scheduler};
+  gate_ = options.scheduler;
+  if (gate_) {
+    const ir::TxProgram* program = options.program;
+    if (protocol == Protocol::kAcn && options.controller != nullptr)
+      program = &options.controller->algorithm().program();
+    gate_->admit(program != nullptr ? predicted_footprint(*program, params)
+                                    : KeyFootprint{});
   }
-  throw std::invalid_argument("Executor::run: unknown protocol");
+
+  try {
+    switch (protocol) {
+      case Protocol::kFlat:
+        require(options.program != nullptr, "program (kFlat)");
+        run_flat_impl(*options.program, params, stats);
+        break;
+      case Protocol::kManualCN:
+        require(options.program != nullptr, "program (kManualCN)");
+        require(options.model != nullptr, "model (kManualCN)");
+        require(options.sequence != nullptr, "sequence (kManualCN)");
+        run_blocks_impl(*options.program, *options.model, *options.sequence,
+                        options, params, stats);
+        break;
+      case Protocol::kAcn: {
+        require(options.controller != nullptr, "controller (kAcn)");
+        const auto plan = options.controller->plan();
+        run_blocks_impl(options.controller->algorithm().program(), plan->model,
+                        plan->sequence, options, params, stats);
+        break;
+      }
+      case Protocol::kCheckpoint:
+        require(options.program != nullptr, "program (kCheckpoint)");
+        run_checkpointed_impl(*options.program, params, stats);
+        break;
+      default:
+        throw std::invalid_argument("Executor::run: unknown protocol");
+    }
+  } catch (const dtm::TxAbort& abort) {
+    guard.outcome = outcome_of(abort);
+    throw;
+  }
+  guard.outcome = TxOutcome::kCommitted;
 }
 
 void Executor::execute_op(const ir::TxProgram& program, std::size_t op_index,
@@ -196,7 +241,7 @@ void Executor::run_flat_impl(const ir::TxProgram& program,
     } catch (const dtm::TxAbort& abort) {
       ++stats.full_aborts;
       if (abort.kind() == dtm::AbortKind::kBusy) ++stats.aborts_busy;
-      note_full_abort(o, abort, txn.id());
+      note_full_abort(abort, txn.id());
       if (attempt >= config_.max_full_retries) throw;
       backoff(attempt);
     }
@@ -317,7 +362,7 @@ void Executor::run_blocks_impl(const ir::TxProgram& program,
     } catch (const dtm::TxAbort& abort) {
       ++stats.full_aborts;
       if (abort.kind() == dtm::AbortKind::kBusy) ++stats.aborts_busy;
-      note_full_abort(o, abort, txn.id());
+      note_full_abort(abort, txn.id());
       if (attempt >= config_.max_full_retries) throw;
       backoff(attempt);
     }
@@ -413,7 +458,7 @@ void Executor::run_checkpointed_impl(const ir::TxProgram& program,
     } catch (const dtm::TxAbort& abort) {
       ++stats.full_aborts;
       if (abort.kind() == dtm::AbortKind::kBusy) ++stats.aborts_busy;
-      note_full_abort(o, abort, txn.id());
+      note_full_abort(abort, txn.id());
       if (attempt >= config_.max_full_retries) throw;
       backoff(attempt);
     }

@@ -36,6 +36,7 @@
 #include <cstdint>
 
 #include "src/acn/controller.hpp"
+#include "src/acn/footprint.hpp"
 #include "src/acn/txir.hpp"
 
 namespace acn {
@@ -129,6 +130,11 @@ struct RunOptions {
   /// When set, replaces the executor's construction-time config (retry
   /// caps, backoff, obs pointer, monitor, history) for this run only.
   const ExecutorConfig* config_override = nullptr;
+  /// When set, the run is gated through the contention-aware scheduler:
+  /// admit(predicted_footprint) before the first attempt, on_full_abort on
+  /// every full abort, finish when the run ends either way.  The gate is
+  /// typically one sched::TxScheduler::Session per client thread.
+  SchedulerGate* scheduler = nullptr;
 };
 
 class Executor {
@@ -214,10 +220,14 @@ class Executor {
                   ir::TxEnv& env, ExecStats& stats);
   void arm_env(ir::TxEnv& env);  // history log + contention piggyback
   void backoff(int attempt);
+  /// Report one full abort to obs and to the scheduler gate, if armed.
+  void note_full_abort(const dtm::TxAbort& abort, std::uint64_t tx);
 
   dtm::QuorumStub& stub_;
   ExecutorConfig config_;
   Rng rng_;
+  /// The active run's scheduler gate (null between runs / when unused).
+  SchedulerGate* gate_ = nullptr;
 };
 
 }  // namespace acn

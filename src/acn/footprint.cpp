@@ -1,0 +1,44 @@
+#include "src/acn/footprint.hpp"
+
+#include <algorithm>
+
+namespace acn {
+
+KeyFootprint predicted_footprint(const ir::TxProgram& program,
+                                 const std::vector<ir::Record>& params) {
+  const ir::TxEnv env(program, params);  // evaluation-only: no transaction
+  KeyFootprint footprint;
+  std::vector<ir::VarId> outs;  // remote out var per predicted entry
+  for (const auto& op : program.ops) {
+    if (!op.is_remote()) continue;
+    const bool param_only = std::all_of(
+        op.remote.key_deps.begin(), op.remote.key_deps.end(),
+        [&](ir::VarId v) { return v < program.n_params; });
+    if (!param_only) continue;
+    footprint.push_back({op.remote.key_fn(env), op.remote.for_write});
+    outs.push_back(op.remote.out);
+  }
+  // Write intent: a remote read whose out var a later local op writes
+  // (write_object through that var) is a read-modify-write on its key.
+  for (const auto& op : program.ops) {
+    if (op.is_remote()) continue;
+    for (const ir::VarId written : op.local.writes)
+      for (std::size_t i = 0; i < outs.size(); ++i)
+        if (outs[i] == written) footprint[i].for_write = true;
+  }
+  std::sort(footprint.begin(), footprint.end(),
+            [](const FootprintEntry& a, const FootprintEntry& b) {
+              return a.key < b.key;
+            });
+  // Deduplicate, keeping for_write sticky across merged duplicates.
+  KeyFootprint unique;
+  for (auto& entry : footprint) {
+    if (!unique.empty() && unique.back().key == entry.key)
+      unique.back().for_write |= entry.for_write;
+    else
+      unique.push_back(entry);
+  }
+  return unique;
+}
+
+}  // namespace acn

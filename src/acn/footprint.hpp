@@ -1,0 +1,78 @@
+// Predicted key footprints and the scheduler gate the executor talks to.
+//
+// The contention-aware scheduler (src/sched) wants to know, *before* a
+// transaction touches the network, which object keys it is going to access
+// — so conflicting transactions can be serialized through local ticket
+// queues instead of racing to abort each other.  The prediction comes from
+// the same static analysis the decomposition framework already runs: a
+// remote access whose key function depends only on transaction parameters
+// (key_deps ⊆ params, the UnitGraph's read-set entries with no produced
+// inputs) has a key that is computable at submission time.  Keys produced
+// mid-transaction (pointer chases, TPC-C order lines keyed by a fetched
+// counter) are invisible to the prediction; the scheduler stays correct
+// because queueing is an optimization — optimistic concurrency control
+// still validates everything — just blind to those keys.
+//
+// The SchedulerGate is the inversion that keeps the layering acyclic
+// (net → dtm → nesting/acn → sched → harness): the executor calls an
+// abstract gate, src/sched implements it, the harness wires the two
+// together.  Mirrors how dtm::DurabilitySink breaks the dtm → wal cycle.
+#pragma once
+
+#include <vector>
+
+#include "src/acn/txir.hpp"
+
+namespace acn {
+
+struct FootprintEntry {
+  ir::ObjectKey key;
+  bool for_write = false;
+};
+
+/// Canonically ordered (ascending key), deduplicated predicted footprint;
+/// a key read and written appears once with for_write = true.
+using KeyFootprint = std::vector<FootprintEntry>;
+
+/// Evaluate the statically predictable footprint of one execution of
+/// `program` with `params` bound: every remote access whose key_deps are
+/// all parameters.  Key functions of such ops are pure over params, so no
+/// transaction is needed.
+KeyFootprint predicted_footprint(const ir::TxProgram& program,
+                                 const std::vector<ir::Record>& params);
+
+/// How a transaction attempt (or the whole transaction) ended, as the
+/// executor reports it to the gate.  kLeaseExpired is kBusy's stronger
+/// cousin: a full two-phase commit died to a reclaimed prepare lease.
+enum class TxOutcome {
+  kCommitted,
+  kValidation,
+  kBusy,
+  kUnavailable,
+  kLeaseExpired,
+};
+
+/// What one Executor::run call tells the scheduler.  Implementations must
+/// be thread-compatible per session: the executor owns one gate per client
+/// thread and calls it strictly admit → on_full_abort* → finish.
+class SchedulerGate {
+ public:
+  virtual ~SchedulerGate() = default;
+
+  /// Declare the predicted footprint and block until the transaction may
+  /// start (admission window has room, hot-key queue tickets acquired).
+  virtual void admit(const KeyFootprint& footprint) = 0;
+
+  /// One full abort inside the executor's retry loop: `conflict` lists the
+  /// invalidated keys when known (empty for busy/unavailable aborts).  The
+  /// transaction keeps its admission slot and tickets for the retry.
+  virtual void on_full_abort(TxOutcome kind,
+                             const std::vector<ir::ObjectKey>& conflict) = 0;
+
+  /// The run ended (commit, or the final abort re-thrown to the caller);
+  /// releases tickets and the admission slot.  Must tolerate being called
+  /// without a preceding admit (it is then a no-op).
+  virtual void finish(TxOutcome outcome) = 0;
+};
+
+}  // namespace acn

@@ -29,6 +29,14 @@ TxEnv::TxEnv(nesting::Transaction& txn, const TxProgram& program,
   for (std::size_t i = 0; i < params.size(); ++i) vars_[i] = std::move(params[i]);
 }
 
+TxEnv::TxEnv(const TxProgram& program, std::vector<Record> params)
+    : txn_(nullptr), vars_(program.n_vars), keys_(program.n_vars) {
+  if (params.size() != program.n_params)
+    throw std::invalid_argument("TxEnv: wrong number of params for " +
+                                program.name);
+  for (std::size_t i = 0; i < params.size(); ++i) vars_[i] = std::move(params[i]);
+}
+
 const Record& TxEnv::get(VarId v) const {
   if (observer_) observer_->on_get(v);
   const auto& slot = vars_.at(v);
@@ -57,11 +65,11 @@ void TxEnv::run_remote(const RemoteAccessOp& op) {
   const ObjectKey key = op.key_fn(*this);
   if (piggyback_sink_) {
     std::vector<std::uint64_t> levels;
-    const Record& value = txn_->read(key, piggyback_classes_, levels);
+    const Record& value = txn().read(key, piggyback_classes_, levels);
     if (!levels.empty()) piggyback_sink_(piggyback_classes_, levels);
     vars_.at(op.out) = value;
   } else {
-    vars_.at(op.out) = txn_->read(key);
+    vars_.at(op.out) = txn().read(key);
   }
   keys_.at(op.out) = key;
 }
@@ -81,12 +89,12 @@ void TxEnv::write_object(VarId objvar, Record value) {
   if (!key)
     throw std::logic_error("TxEnv::write_object: var " + std::to_string(objvar) +
                            " is not bound to an object");
-  txn_->write(*key, value);
+  txn().write(*key, value);
   vars_.at(objvar) = std::move(value);
 }
 
 void TxEnv::insert_object(const ObjectKey& key, Record value) {
-  txn_->insert(key, std::move(value));
+  txn().insert(key, std::move(value));
 }
 
 const ObjectKey& TxEnv::key_of(VarId objvar) const {

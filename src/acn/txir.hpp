@@ -23,6 +23,7 @@
 #include <cstdint>
 #include <functional>
 #include <optional>
+#include <stdexcept>
 #include <string>
 #include <vector>
 
@@ -96,6 +97,12 @@ class TxEnv {
   TxEnv(nesting::Transaction& txn, const TxProgram& program,
         std::vector<Record> params);
 
+  /// Evaluation-only environment with no transaction behind it: params are
+  /// bound, remote outputs stay unset.  Used to evaluate key functions
+  /// before execution (footprint prediction); calling run_remote,
+  /// write_object, insert_object or txn() on such an env is a logic error.
+  TxEnv(const TxProgram& program, std::vector<Record> params);
+
   const Record& get(VarId v) const;
   Field geti(VarId v, std::size_t field = 0) const;
   void set(VarId v, Record value);
@@ -131,7 +138,11 @@ class TxEnv {
 
   const ObjectKey& key_of(VarId objvar) const;
 
-  nesting::Transaction& txn() noexcept { return *txn_; }
+  nesting::Transaction& txn() {
+    if (txn_ == nullptr)
+      throw std::logic_error("TxEnv::txn on an evaluation-only env");
+    return *txn_;
+  }
 
   struct Snapshot {
     std::vector<std::optional<Record>> vars;

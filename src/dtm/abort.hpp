@@ -20,10 +20,21 @@ enum class AbortKind {
   kUnavailable,  // not enough reachable replicas for a quorum
 };
 
+/// Secondary classification below AbortKind.  kBusy covers both transient
+/// protect conflicts and a phase-two refusal after the prepare lease
+/// expired; the contention scheduler treats the latter as a much stronger
+/// overload signal (the transaction burned a full 2PC before dying), so the
+/// stub tags it here rather than widening AbortKind and every switch on it.
+enum class AbortDetail {
+  kNone,
+  kLeaseExpired,  // commit refused: a member reclaimed the prepare lease
+};
+
 class TxAbort : public std::exception {
  public:
-  TxAbort(AbortKind kind, std::vector<store::ObjectKey> invalid)
-      : kind_(kind), invalid_(std::move(invalid)) {
+  TxAbort(AbortKind kind, std::vector<store::ObjectKey> invalid,
+          AbortDetail detail = AbortDetail::kNone)
+      : kind_(kind), detail_(detail), invalid_(std::move(invalid)) {
     what_ = "transaction abort: ";
     switch (kind_) {
       case AbortKind::kValidation:
@@ -40,6 +51,7 @@ class TxAbort : public std::exception {
   }
 
   AbortKind kind() const noexcept { return kind_; }
+  AbortDetail detail() const noexcept { return detail_; }
   const std::vector<store::ObjectKey>& invalid() const noexcept {
     return invalid_;
   }
@@ -47,6 +59,7 @@ class TxAbort : public std::exception {
 
  private:
   AbortKind kind_;
+  AbortDetail detail_;
   std::vector<store::ObjectKey> invalid_;
   std::string what_;
 };

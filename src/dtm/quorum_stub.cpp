@@ -36,11 +36,10 @@ QuorumStub::QuorumStub(DtmNetwork& network, const quorum::QuorumSystem& quorums,
       config_(config) {}
 
 void QuorumStub::backoff(int attempt) {
-  const auto base = config_.busy_backoff.count();
-  const std::int64_t shifted = base << std::min(attempt, 6);
-  const std::int64_t jitter =
-      static_cast<std::int64_t>(rng_.uniform(0, static_cast<std::uint64_t>(shifted)));
-  std::this_thread::sleep_for(std::chrono::nanoseconds{shifted + jitter});
+  const auto delay = config_.retry.delay(attempt, rng_);
+  if (obs::Observability* o = config_.obs)
+    o->rpc_busy_backoff_ns.add(static_cast<std::uint64_t>(delay.count()));
+  std::this_thread::sleep_for(delay);
 }
 
 void QuorumStub::retry_ladder(const std::vector<ObjectKey>& blame,
@@ -58,7 +57,7 @@ void QuorumStub::retry_ladder(const std::vector<ObjectKey>& blame,
       case RoundStatus::kDone:
         return;
       case RoundStatus::kBusy:
-        if (++busy_attempts > config_.max_busy_retries || out_of_time())
+        if (++busy_attempts > config_.retry.max_retries || out_of_time())
           throw TxAbort(AbortKind::kBusy, blame);
         backoff(busy_attempts);
         break;
@@ -399,8 +398,10 @@ void QuorumStub::commit(const PrepareTicket& ticket,
     // refused the install.  The members that did apply stay consistent (the
     // quorum's max-version read rule tolerates stragglers), but this
     // transaction cannot claim durability — surface it as a busy-style
-    // abort so the executor re-runs it from scratch.
-    throw TxAbort(AbortKind::kBusy, ticket.keys);
+    // abort so the executor re-runs it from scratch.  The kLeaseExpired
+    // detail tells the scheduler this was a full 2PC burned, the strongest
+    // overload signal its admission window reacts to.
+    throw TxAbort(AbortKind::kBusy, ticket.keys, AbortDetail::kLeaseExpired);
   }
   if (acked == 0) throw TxAbort(AbortKind::kUnavailable, ticket.keys);
 }

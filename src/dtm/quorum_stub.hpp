@@ -31,6 +31,7 @@
 #include <functional>
 #include <optional>
 
+#include "src/common/retry_policy.hpp"
 #include "src/common/rng.hpp"
 #include "src/dtm/abort.hpp"
 #include "src/dtm/messages.hpp"
@@ -43,10 +44,11 @@ namespace acn::dtm {
 using DtmNetwork = net::Network<Request, Response>;
 
 struct StubConfig {
-  /// Transient-busy retries before surfacing TxAbort{kBusy}.
-  int max_busy_retries = 10;
-  /// Base backoff between busy retries (doubles, with jitter).
-  std::chrono::nanoseconds busy_backoff{std::chrono::microseconds{50}};
+  /// Transient-busy retry shape: `retry.max_retries` busy rounds before
+  /// surfacing TxAbort{kBusy}, delays from RetryPolicy::delay (base
+  /// `retry.base`, doubling `retry.max_doublings` times, full-range
+  /// jitter).  Each sleep is recorded in the rpc.busy.backoff_ns counter.
+  RetryPolicy retry;
   /// Re-selections of a quorum when nodes are down before giving up.
   int max_quorum_retries = 3;
   /// Wall-clock budget for one quorum operation's whole retry ladder.  When
@@ -153,7 +155,7 @@ class QuorumStub {
   };
 
   /// The retry ladder every quorum operation climbs: invokes `round` until
-  /// it reports kDone, backing off on kBusy (up to max_busy_retries, then
+  /// it reports kDone, backing off on kBusy (up to retry.max_retries, then
   /// TxAbort{kBusy}) and re-selecting quorums on kUnreachable (up to
   /// max_quorum_retries, then TxAbort{kUnavailable}); either abort lists
   /// `blame`.  Rounds throw TxAbort(kValidation)/ObjectMissing directly.

@@ -96,6 +96,17 @@ void Cluster::roll_contention_windows() {
   for (auto& server : servers_) server->roll_contention_window();
 }
 
+std::vector<std::uint64_t> Cluster::class_levels(
+    const std::vector<store::ClassId>& classes) {
+  std::vector<std::uint64_t> levels(classes.size(), 0);
+  for (auto& server : servers_) {
+    const auto server_levels = server->contention().class_levels(classes);
+    for (std::size_t i = 0; i < levels.size(); ++i)
+      levels[i] = std::max(levels[i], server_levels[i]);
+  }
+  return levels;
+}
+
 void Cluster::crash_node(net::NodeId id, bool lose_disk) {
   network_.set_node_down(id, true);
   const auto i = static_cast<std::size_t>(id);

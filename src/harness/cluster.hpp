@@ -52,7 +52,8 @@ struct ClusterConfig {
   /// One-way base latency per message; 0 disables sleeping (unit tests).
   std::chrono::nanoseconds base_latency{std::chrono::microseconds{25}};
   std::chrono::nanoseconds per_kilobyte{std::chrono::microseconds{2}};
-  /// Contention window; <= 0 means the harness rolls windows manually.
+  /// Contention window; 0 means the harness rolls windows manually at
+  /// interval boundaries (negative widths are rejected by the tracker).
   std::int64_t contention_window_ns = 0;
   /// Prepare-lease lifetime on every server; <= 0 disables expiry (prepared
   /// locks then live until an explicit commit or abort).
@@ -87,6 +88,13 @@ class Cluster {
 
   /// Roll every server's contention window (harness interval boundary).
   void roll_contention_windows();
+
+  /// Cluster-wide contention levels for `classes`: the max over replicas of
+  /// each class's last-window level (replicas see the same committed writes
+  /// modulo quorum membership, so the max is the least stale view).  Feeds
+  /// the scheduler's class-hot refinement.
+  std::vector<std::uint64_t> class_levels(
+      const std::vector<store::ClassId>& classes);
 
   /// Take `id` off the network (calls to it fail with kNodeDown).  Without
   /// durability the replica's store is preserved (crash/offline node);

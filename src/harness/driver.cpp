@@ -2,6 +2,7 @@
 
 #include <stdexcept>
 #include <thread>
+#include <unordered_set>
 
 #include "src/common/clock.hpp"
 #include "src/common/stats.hpp"
@@ -56,6 +57,20 @@ RunResult run(Cluster& cluster, const workloads::Workload& workload,
     }
   }
 
+  // Contention-aware scheduler, shared by every client thread.  Its
+  // class-hot refinement watches every class any profile touches.
+  std::unique_ptr<sched::TxScheduler> scheduler;
+  std::vector<ir::ClassId> sched_classes;
+  if (config.scheduler.policy != sched::SchedulerPolicy::kNone) {
+    scheduler = std::make_unique<sched::TxScheduler>(
+        config.scheduler, config.n_clients, config.seed, obs);
+    std::unordered_set<ir::ClassId> classes;
+    for (const auto& profile : profiles)
+      for (const auto& op : profile.program->ops)
+        if (op.is_remote()) classes.insert(op.remote.cls);
+    sched_classes.assign(classes.begin(), classes.end());
+  }
+
   std::atomic<int> phase{0};
   std::atomic<std::size_t> current_interval{0};
   std::atomic<bool> stop{false};
@@ -87,6 +102,7 @@ RunResult run(Cluster& cluster, const workloads::Workload& workload,
         RunOptions& options = profile_options[p];
         options.batch_reads = config.batch_reads;
         options.prefetch = config.prefetch;
+        if (scheduler) options.scheduler = &scheduler->session(t);
         switch (protocol) {
           case Protocol::kFlat:
           case Protocol::kCheckpoint:
@@ -134,6 +150,11 @@ RunResult run(Cluster& cluster, const workloads::Workload& workload,
       if (at == k) phase.store(new_phase);
     std::this_thread::sleep_for(config.interval);
     cluster.roll_contention_windows();
+    if (scheduler) {
+      scheduler->note_class_levels(sched_classes,
+                                   cluster.class_levels(sched_classes));
+      scheduler->tick();
+    }
     if (protocol == Protocol::kAcn) {
       if (!config.piggyback_contention) monitor->refresh(*admin_stub);
       const auto raw = monitor->raw();

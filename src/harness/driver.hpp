@@ -21,6 +21,7 @@
 #include "src/acn/executor.hpp"
 #include "src/harness/cluster.hpp"
 #include "src/obs/obs.hpp"
+#include "src/sched/scheduler.hpp"
 #include "src/workloads/workload.hpp"
 
 namespace acn::harness {
@@ -52,6 +53,11 @@ struct DriverConfig {
   /// Pause between a client's transactions (emulates more client machines
   /// than threads, or TPC-C keying/think time).  Zero = closed loop.
   std::chrono::nanoseconds think_time{0};
+  /// Contention-aware scheduler (src/sched).  With a policy other than
+  /// kNone the driver builds one TxScheduler shared by all clients, gates
+  /// every Executor::run through it, and feeds it the cluster's contention
+  /// snapshot at each interval boundary.
+  sched::SchedulerConfig scheduler;
   /// Observability bundle (owned by the caller, typically the bench main).
   /// When set, the driver wires it through every layer — executor, stub,
   /// monitor, controllers — labels the trace with one pid per protocol run,

@@ -69,6 +69,21 @@ Observability::Observability(ObsConfig config)
       recovery_time_ns(metrics.histogram("recovery.time_ns", latency_bounds())),
       prefetch_hits(metrics.counter("exec.prefetch.hit")),
       prefetch_wasted(metrics.counter("exec.prefetch.waste")),
+      rpc_busy_backoff_ns(metrics.counter("rpc.busy.backoff_ns")),
+      sched_admit_immediate(metrics.counter("sched.admit.immediate")),
+      sched_admit_waits(metrics.counter("sched.admit.waits")),
+      sched_admit_aged(metrics.counter("sched.admit.aged")),
+      sched_admit_wait_ns(
+          metrics.histogram("sched.admit.wait_ns", latency_bounds())),
+      sched_admit_window(metrics.gauge("sched.admit.window_milli")),
+      sched_queue_acquires(metrics.counter("sched.queue.acquires")),
+      sched_queue_waits(metrics.counter("sched.queue.waits")),
+      sched_queue_timeouts(metrics.counter("sched.queue.timeouts")),
+      sched_queue_wait_ns(
+          metrics.histogram("sched.queue.wait_ns", latency_bounds())),
+      sched_queue_depth(
+          metrics.histogram("sched.queue.depth", batch_bounds())),
+      sched_hot_keys(metrics.gauge("sched.queue.hot_keys")),
       classify_partial(metrics.counter("nesting.classify.partial")),
       classify_full(metrics.counter("nesting.classify.full")),
       remote_reads(metrics.counter("nesting.read.remote")),

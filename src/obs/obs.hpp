@@ -91,6 +91,25 @@ class Observability {
   MetricsRegistry::Counter prefetch_hits;    // speculative reads consumed
   MetricsRegistry::Counter prefetch_wasted;  // fetched but discarded
 
+  // -- client-side backoff (src/dtm quorum stub) ---------------------------
+  /// Total nanoseconds slept in the stub's busy-retry backoff; with the
+  /// scheduler's admission gate in front, this should shrink — backoff
+  /// becomes the second line of defense instead of the first.
+  MetricsRegistry::Counter rpc_busy_backoff_ns;
+
+  // -- contention-aware scheduler (src/sched) ------------------------------
+  MetricsRegistry::Counter sched_admit_immediate;  // admitted without waiting
+  MetricsRegistry::Counter sched_admit_waits;      // admissions that blocked
+  MetricsRegistry::Counter sched_admit_aged;       // force-admitted by aging
+  MetricsRegistry::Histogram sched_admit_wait_ns;
+  MetricsRegistry::Gauge sched_admit_window;       // last AIMD window x1000
+  MetricsRegistry::Counter sched_queue_acquires;   // hot-key tickets taken
+  MetricsRegistry::Counter sched_queue_waits;      // acquisitions that blocked
+  MetricsRegistry::Counter sched_queue_timeouts;   // fell back to optimistic
+  MetricsRegistry::Histogram sched_queue_wait_ns;
+  MetricsRegistry::Histogram sched_queue_depth;    // waiters seen at enqueue
+  MetricsRegistry::Gauge sched_hot_keys;           // keys currently serialized
+
   // -- closed nesting (src/nesting) ----------------------------------------
   MetricsRegistry::Counter classify_partial;
   MetricsRegistry::Counter classify_full;

@@ -1,11 +1,16 @@
 #include "src/store/contention_tracker.hpp"
 
 #include <algorithm>
+#include <stdexcept>
 
 namespace acn::store {
 
 ContentionTracker::ContentionTracker(std::int64_t window_ns)
-    : window_ns_(window_ns) {}
+    : window_ns_(window_ns) {
+  if (window_ns < 0)
+    throw std::invalid_argument(
+        "ContentionTracker: negative window width (use 0 for manual rolling)");
+}
 
 void ContentionTracker::on_write(const ObjectKey& key, std::uint64_t now_ns) {
   std::lock_guard lock(mutex_);

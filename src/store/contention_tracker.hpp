@@ -24,8 +24,10 @@ namespace acn::store {
 
 class ContentionTracker {
  public:
-  /// `window_ns` <= 0 disables time-based rolling; call roll() manually
-  /// (tests and deterministic harness ticks do this).
+  /// `window_ns` == 0 disables time-based rolling; call roll() manually
+  /// (tests and deterministic harness ticks do this).  A negative width is
+  /// a config error (std::invalid_argument): it would silently behave like
+  /// manual mode while the caller believes windows are rolling.
   explicit ContentionTracker(std::int64_t window_ns = 0);
 
   /// Record one committed write on `key` at time `now_ns`.

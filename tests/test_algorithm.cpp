@@ -82,6 +82,37 @@ TEST(AlgorithmModule, ReorderPutsHottestLast) {
   EXPECT_EQ(plan.model.units[plan.sequence[2].units[0]].classes.front(), 1u);
 }
 
+TEST(AlgorithmModule, StaleSnapshotYieldsPlanNotCrash) {
+  // A stale or malformed piggybacked contention snapshot — misaligned
+  // vectors, classes the program never touches, classes missing entirely —
+  // must never crash the composition; the worst case is a suboptimal plan.
+  const auto p = independent3();
+  const auto mod = module_for(p);
+
+  ContentionMonitor monitor({1, 2, 3});
+  monitor.observe({1, 2, 3}, {40});      // misaligned: only class 1 lands
+  monitor.observe({99, 1000}, {7, 9});   // classes the program doesn't touch
+  monitor.observe({}, {1, 2, 3});        // levels with no classes: ignored
+  const auto plan = mod.recompute(monitor.raw());
+  EXPECT_TRUE(sequence_valid(plan.sequence, plan.model));
+  std::size_t units = 0;
+  for (const auto& block : plan.sequence) units += block.units.size();
+  EXPECT_EQ(units, 3u);  // every unit still scheduled exactly once
+  // Class 1 is the only class with an observed level, so it sorts last
+  // (hottest); the two cold classes may have merged into one block.
+  const auto& last = plan.sequence.back();
+  EXPECT_EQ(plan.model.units[last.units.front()].classes.front(), 1u);
+
+  // An empty view (nothing piggybacked yet, or reset after adaptation)
+  // recomposes from all-zero levels — likely one fully merged block.
+  monitor.reset();
+  const auto cold = mod.recompute(monitor.raw());
+  EXPECT_TRUE(sequence_valid(cold.sequence, cold.model));
+  units = 0;
+  for (const auto& block : cold.sequence) units += block.units.size();
+  EXPECT_EQ(units, 3u);
+}
+
 TEST(AlgorithmModule, ReorderPreservesDependencies) {
   const auto p = chain2();
   const auto mod = module_for(p);

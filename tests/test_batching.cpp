@@ -28,7 +28,7 @@ ClusterConfig fast_config(std::size_t n = 10) {
   ClusterConfig config;
   config.n_servers = n;
   config.base_latency = std::chrono::nanoseconds{0};
-  config.stub.busy_backoff = std::chrono::nanoseconds{100};
+  config.stub.retry.base = std::chrono::nanoseconds{100};
   // All batched traffic in this suite doubles as codec coverage.
   config.stub.verify_codec = true;
   return config;

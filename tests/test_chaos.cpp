@@ -28,8 +28,8 @@ ClusterConfig fast_config(std::size_t n_servers = 10) {
   ClusterConfig config;
   config.n_servers = n_servers;
   config.base_latency = std::chrono::nanoseconds{0};
-  config.stub.max_busy_retries = 2;
-  config.stub.busy_backoff = std::chrono::nanoseconds{1000};
+  config.stub.retry.max_retries = 2;
+  config.stub.retry.base = std::chrono::nanoseconds{1000};
   return config;
 }
 
@@ -139,8 +139,8 @@ TEST(Leases, FreshPrepareSupersedesPresumedAbort) {
 
 TEST(RetryLadder, DeadlineBoundsBusyRetries) {
   auto config = fast_config();
-  config.stub.max_busy_retries = 1 << 20;  // retries alone would spin ~forever
-  config.stub.busy_backoff = std::chrono::microseconds{10};
+  config.stub.retry.max_retries = 1 << 20;  // retries alone would spin ~forever
+  config.stub.retry.base = std::chrono::microseconds{10};
   config.stub.op_deadline = std::chrono::milliseconds{5};
   Cluster cluster(config);
   workloads::seed_all(cluster.servers(), kA, Record{1});
@@ -162,7 +162,7 @@ TEST(RetryLadder, DeadlineBoundsBusyRetries) {
 TEST(RetryLadder, DeadlineBoundsUnreachableRetries) {
   auto config = fast_config();
   config.stub.max_quorum_retries = 1 << 20;
-  config.stub.busy_backoff = std::chrono::microseconds{10};
+  config.stub.retry.base = std::chrono::microseconds{10};
   config.stub.op_deadline = std::chrono::milliseconds{5};
   Cluster cluster(config);
   workloads::seed_all(cluster.servers(), kA, Record{1});
@@ -277,7 +277,7 @@ TEST(Controller, CrashLoseDiskWipesTheVictimBeforeRejoin) {
 TEST(Controller, PartitionThenHealKeepsBankInvariant) {
   auto config = fast_config();
   config.prepare_lease_ns = 50'000'000;  // 50ms
-  config.stub.max_busy_retries = 10;
+  config.stub.retry.max_retries = 10;
   config.stub.max_quorum_retries = 16;
   config.stub.op_deadline = std::chrono::milliseconds{200};
   Cluster cluster(config);

@@ -18,8 +18,8 @@ ClusterConfig fast_config(std::size_t n_servers = 10) {
   ClusterConfig config;
   config.n_servers = n_servers;
   config.base_latency = std::chrono::nanoseconds{0};  // no sleeping in tests
-  config.stub.max_busy_retries = 2;
-  config.stub.busy_backoff = std::chrono::nanoseconds{1000};
+  config.stub.retry.max_retries = 2;
+  config.stub.retry.base = std::chrono::nanoseconds{1000};
   return config;
 }
 

@@ -26,7 +26,7 @@ ClusterConfig fast_config(std::size_t n = 5) {
   ClusterConfig config;
   config.n_servers = n;
   config.base_latency = std::chrono::nanoseconds{0};
-  config.stub.busy_backoff = std::chrono::nanoseconds{100};
+  config.stub.retry.base = std::chrono::nanoseconds{100};
   return config;
 }
 

@@ -106,7 +106,7 @@ harness::ClusterConfig contended_cluster() {
   harness::ClusterConfig config;
   config.n_servers = 7;
   config.base_latency = std::chrono::microseconds{2};
-  config.stub.busy_backoff = std::chrono::microseconds{5};
+  config.stub.retry.base = std::chrono::microseconds{5};
   return config;
 }
 

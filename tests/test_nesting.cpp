@@ -21,8 +21,8 @@ ClusterConfig fast_config(std::size_t n = 7) {
   ClusterConfig config;
   config.n_servers = n;
   config.base_latency = std::chrono::nanoseconds{0};
-  config.stub.max_busy_retries = 3;
-  config.stub.busy_backoff = std::chrono::nanoseconds{1000};
+  config.stub.retry.max_retries = 3;
+  config.stub.retry.base = std::chrono::nanoseconds{1000};
   return config;
 }
 

@@ -494,7 +494,7 @@ harness::ClusterConfig obs_cluster() {
   harness::ClusterConfig config;
   config.n_servers = 7;
   config.base_latency = std::chrono::microseconds{3};
-  config.stub.busy_backoff = std::chrono::microseconds{5};
+  config.stub.retry.base = std::chrono::microseconds{5};
   return config;
 }
 

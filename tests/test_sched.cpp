@@ -1,0 +1,376 @@
+// Contention-aware scheduler tests (src/sched): footprint prediction, the
+// AIMD admission window, hot-key detection (abort blame + contention-class
+// refinement), conflict-queue serialization with its service window,
+// wait-budget fallback and abandoned-ticket skip, anti-starvation aging,
+// and an end-to-end QR-ACN run with the scheduler engaged.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "src/acn/footprint.hpp"
+#include "src/harness/driver.hpp"
+#include "src/obs/obs.hpp"
+#include "src/sched/scheduler.hpp"
+#include "src/workloads/bank.hpp"
+
+namespace acn::sched {
+namespace {
+
+using ir::ObjectKey;
+using ir::ProgramBuilder;
+using ir::Record;
+using ir::TxEnv;
+using ir::VarId;
+
+const ObjectKey kHot{1, 7};
+const ObjectKey kHot2{1, 8};
+const ObjectKey kCold{2, 9};
+
+KeyFootprint writes(std::vector<ObjectKey> keys) {
+  std::sort(keys.begin(), keys.end());
+  KeyFootprint footprint;
+  for (const auto& key : keys) footprint.push_back({key, true});
+  return footprint;
+}
+
+SchedulerConfig base_config(SchedulerPolicy policy) {
+  SchedulerConfig config;
+  config.policy = policy;
+  config.class_hot_level = 0;  // abort-blame hotness only (deterministic)
+  return config;
+}
+
+/// Make `key` hot through the public interface: three blamed aborts reach
+/// the default hot_score of 3.0.
+void heat(TxScheduler& scheduler, std::size_t session, const ObjectKey& key) {
+  auto& gate = scheduler.session(session);
+  gate.admit({});
+  for (int i = 0; i < 3; ++i)
+    gate.on_full_abort(TxOutcome::kValidation, {key});
+  gate.finish(TxOutcome::kValidation);
+}
+
+TEST(SchedPolicy, ParseAndNameRoundTrip) {
+  for (const auto policy :
+       {SchedulerPolicy::kNone, SchedulerPolicy::kQueue, SchedulerPolicy::kAdmit,
+        SchedulerPolicy::kBoth}) {
+    const auto parsed = parse_policy(policy_name(policy));
+    ASSERT_TRUE(parsed.has_value());
+    EXPECT_EQ(*parsed, policy);
+  }
+  EXPECT_FALSE(parse_policy("bogus").has_value());
+  EXPECT_FALSE(parse_policy("").has_value());
+}
+
+TEST(SchedFootprint, PredictsParamOnlyKeysWithWriteIntent) {
+  ProgramBuilder b("footprint", /*n_params=*/1);
+  // Param-only read: predictable.
+  const VarId a = b.remote_read(
+      1, {b.param(0)}, [](const TxEnv&) { return ObjectKey{1, 5}; }, "read a");
+  // Read-modify-write: the local op below writes this op's out var.
+  const VarId c = b.remote_read(
+      2, {}, [](const TxEnv&) { return ObjectKey{2, 9}; }, "read c");
+  // Key depends on a produced var: invisible to the prediction.
+  b.remote_read(
+      3, {a}, [](const TxEnv&) { return ObjectKey{3, 1}; }, "chase");
+  // Same key read twice, once for_write: deduplicates, write sticky.
+  b.remote_read(
+      1, {}, [](const TxEnv&) { return ObjectKey{1, 6}; }, "read e");
+  b.remote_read(
+      1, {}, [](const TxEnv&) { return ObjectKey{1, 6}; }, "write e",
+      /*for_write=*/true);
+  b.local({c}, {c}, [](TxEnv&) {}, "rmw c");
+  const auto program = b.build();
+
+  const KeyFootprint footprint =
+      predicted_footprint(program, {Record{42}});
+  ASSERT_EQ(footprint.size(), 3u);
+  EXPECT_EQ(footprint[0].key, (ObjectKey{1, 5}));
+  EXPECT_FALSE(footprint[0].for_write);
+  EXPECT_EQ(footprint[1].key, (ObjectKey{1, 6}));
+  EXPECT_TRUE(footprint[1].for_write);  // sticky across the dedup
+  EXPECT_EQ(footprint[2].key, (ObjectKey{2, 9}));
+  EXPECT_TRUE(footprint[2].for_write);  // derived from the local write
+}
+
+TEST(SchedAimd, WindowGrowsOnCommitShrinksOnAbort) {
+  TxScheduler scheduler(base_config(SchedulerPolicy::kAdmit), 1);
+  auto& gate = scheduler.session(0);
+  const auto& config = scheduler.config();
+  EXPECT_DOUBLE_EQ(gate.window(), config.initial_window);
+
+  gate.admit({});
+  gate.on_full_abort(TxOutcome::kValidation, {});
+  EXPECT_NEAR(gate.window(),
+              config.initial_window * config.multiplicative_decrease, 1e-9);
+  gate.finish(TxOutcome::kCommitted);
+  EXPECT_NEAR(gate.window(),
+              config.initial_window * config.multiplicative_decrease +
+                  config.additive_increase,
+              1e-9);
+}
+
+TEST(SchedAimd, WindowClampsToConfiguredRange) {
+  TxScheduler scheduler(base_config(SchedulerPolicy::kAdmit), 1);
+  auto& gate = scheduler.session(0);
+  const auto& config = scheduler.config();
+
+  gate.admit({});
+  for (int i = 0; i < 200; ++i) gate.on_full_abort(TxOutcome::kBusy, {});
+  EXPECT_DOUBLE_EQ(gate.window(), config.min_window);
+  gate.finish(TxOutcome::kValidation);
+
+  for (int i = 0; i < 200; ++i) {
+    gate.admit({});
+    gate.finish(TxOutcome::kCommitted);
+  }
+  EXPECT_DOUBLE_EQ(gate.window(), config.max_window);
+}
+
+TEST(SchedAimd, LeaseExpiredShrinksTwiceAsHard) {
+  TxScheduler scheduler(base_config(SchedulerPolicy::kAdmit), 1);
+  auto& gate = scheduler.session(0);
+  const auto& config = scheduler.config();
+  gate.admit({});
+  gate.on_full_abort(TxOutcome::kLeaseExpired, {});
+  EXPECT_NEAR(gate.window(),
+              config.initial_window * config.multiplicative_decrease *
+                  config.multiplicative_decrease,
+              1e-9);
+  gate.finish(TxOutcome::kValidation);
+}
+
+TEST(SchedHotKeys, BlameAccumulatesAndDecays) {
+  TxScheduler scheduler(base_config(SchedulerPolicy::kQueue), 2);
+  EXPECT_FALSE(scheduler.is_hot(kHot));
+  heat(scheduler, 0, kHot);
+  EXPECT_TRUE(scheduler.is_hot(kHot));
+  EXPECT_FALSE(scheduler.is_hot(kCold));
+  EXPECT_TRUE(scheduler.any_hot(writes({kCold, kHot})));
+  EXPECT_FALSE(scheduler.any_hot(writes({kCold})));
+
+  scheduler.tick();  // 3.0 -> 1.5: below hot_score
+  EXPECT_FALSE(scheduler.is_hot(kHot));
+  for (int i = 0; i < 4; ++i) scheduler.tick();  // decays to eviction
+
+  heat(scheduler, 1, kHot);  // re-blame after eviction works
+  EXPECT_TRUE(scheduler.is_hot(kHot));
+}
+
+TEST(SchedHotKeys, ClassSnapshotRefinementToleratesStaleData) {
+  auto config = base_config(SchedulerPolicy::kQueue);
+  config.class_hot_level = 48;
+  TxScheduler scheduler(config, 1);
+
+  scheduler.note_class_levels({1, 2}, {48, 47});
+  EXPECT_TRUE(scheduler.is_hot(kHot));    // class 1 at the threshold
+  EXPECT_FALSE(scheduler.is_hot(kCold));  // class 2 below it
+
+  // A stale/misaligned snapshot (more classes than levels) degrades the
+  // refinement to the common prefix; it must never crash.
+  scheduler.note_class_levels({1, 2, 3}, {50});
+  EXPECT_TRUE(scheduler.is_hot(kHot));
+  EXPECT_FALSE(scheduler.is_hot(kCold));
+
+  scheduler.note_class_levels({}, {});  // next snapshot clears it
+  EXPECT_FALSE(scheduler.is_hot(kHot));
+}
+
+TEST(SchedQueue, WidthOneSerializesHotWriters) {
+  auto config = base_config(SchedulerPolicy::kQueue);
+  config.queue_width = 1;
+  config.queue_wait_budget = std::chrono::seconds{5};
+  const std::size_t kThreads = 4;
+  TxScheduler scheduler(config, kThreads + 1);
+  heat(scheduler, kThreads, kHot);
+  heat(scheduler, kThreads, kHot2);
+
+  std::atomic<int> in_section{0};
+  std::atomic<int> max_seen{0};
+  std::vector<std::thread> threads;
+  for (std::size_t t = 0; t < kThreads; ++t)
+    threads.emplace_back([&, t] {
+      auto& gate = scheduler.session(t);
+      for (int i = 0; i < 25; ++i) {
+        gate.admit(writes({kHot, kHot2}));  // both hot: canonical-order tickets
+        const int now = in_section.fetch_add(1) + 1;
+        int prev = max_seen.load();
+        while (prev < now && !max_seen.compare_exchange_weak(prev, now)) {
+        }
+        in_section.fetch_sub(1);
+        gate.finish(TxOutcome::kCommitted);
+      }
+    });
+  for (auto& thread : threads) thread.join();
+  EXPECT_EQ(max_seen.load(), 1);  // strict mutual exclusion on the hot pair
+  EXPECT_EQ(scheduler.active(), 0u);
+}
+
+TEST(SchedQueue, ServiceWindowBoundsConcurrentHolders) {
+  auto config = base_config(SchedulerPolicy::kQueue);
+  config.queue_width = 3;
+  config.queue_wait_budget = std::chrono::seconds{5};
+  const std::size_t kThreads = 6;
+  TxScheduler scheduler(config, kThreads + 1);
+  heat(scheduler, kThreads, kHot);
+
+  std::atomic<int> in_section{0};
+  std::atomic<int> max_seen{0};
+  std::vector<std::thread> threads;
+  for (std::size_t t = 0; t < kThreads; ++t)
+    threads.emplace_back([&, t] {
+      auto& gate = scheduler.session(t);
+      for (int i = 0; i < 25; ++i) {
+        gate.admit(writes({kHot}));
+        const int now = in_section.fetch_add(1) + 1;
+        int prev = max_seen.load();
+        while (prev < now && !max_seen.compare_exchange_weak(prev, now)) {
+        }
+        std::this_thread::yield();
+        in_section.fetch_sub(1);
+        gate.finish(TxOutcome::kCommitted);
+      }
+    });
+  for (auto& thread : threads) thread.join();
+  EXPECT_LE(max_seen.load(), 3);
+}
+
+TEST(SchedQueue, TicketsStartInFifoOrder) {
+  auto config = base_config(SchedulerPolicy::kQueue);
+  config.queue_width = 1;
+  config.queue_wait_budget = std::chrono::seconds{5};
+  TxScheduler scheduler(config, 4);
+  heat(scheduler, 3, kHot);
+
+  auto& first = scheduler.session(0);
+  first.admit(writes({kHot}));  // holds the hot key
+
+  std::mutex mutex;
+  std::vector<int> order;
+  const auto queuer = [&](std::size_t session, int id) {
+    auto& gate = scheduler.session(session);
+    gate.admit(writes({kHot}));
+    {
+      std::lock_guard lock(mutex);
+      order.push_back(id);
+    }
+    gate.finish(TxOutcome::kCommitted);
+  };
+  std::thread second(queuer, 1, 1);
+  std::this_thread::sleep_for(std::chrono::milliseconds{50});
+  std::thread third(queuer, 2, 2);
+  std::this_thread::sleep_for(std::chrono::milliseconds{50});
+
+  first.finish(TxOutcome::kCommitted);
+  second.join();
+  third.join();
+  EXPECT_EQ(order, (std::vector<int>{1, 2}));  // ticket order, not luck
+}
+
+TEST(SchedQueue, WaitBudgetFallsBackAndAbandonedTicketIsSkipped) {
+  obs::Observability obs;
+  auto config = base_config(SchedulerPolicy::kQueue);
+  config.queue_width = 1;
+  config.queue_wait_budget = std::chrono::milliseconds{20};
+  TxScheduler scheduler(config, 4, /*seed=*/1, &obs);
+  heat(scheduler, 3, kHot);
+
+  auto& first = scheduler.session(0);
+  first.admit(writes({kHot}));  // holds the hot key and stalls
+
+  // The second queuer blows its wait budget and falls back to optimistic
+  // execution without the holder ever releasing.
+  std::thread second([&] {
+    auto& gate = scheduler.session(1);
+    gate.admit(writes({kHot}));
+    gate.finish(TxOutcome::kValidation);
+  });
+  second.join();
+  EXPECT_GE(obs.metrics.snapshot().counter("sched.queue.timeouts"), 1u);
+
+  // Its abandoned ticket must not wedge the queue: once the holder leaves,
+  // a later ticket dispatches straight past it.
+  std::thread third([&] {
+    auto& gate = scheduler.session(2);
+    gate.admit(writes({kHot}));
+    gate.finish(TxOutcome::kCommitted);
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds{20});
+  first.finish(TxOutcome::kCommitted);
+  third.join();  // completing at all is the assertion (no deadlock)
+}
+
+TEST(SchedAimd, AgingAdmitsGatedWaiter) {
+  obs::Observability obs;
+  auto config = base_config(SchedulerPolicy::kAdmit);
+  config.class_hot_level = 48;
+  config.initial_window = 0.5;  // admits one, gates the second
+  config.min_window = 0.5;
+  config.aging_budget = std::chrono::milliseconds{10};
+  TxScheduler scheduler(config, 2, /*seed=*/1, &obs);
+  scheduler.note_class_levels({kHot.cls}, {48});
+
+  auto& first = scheduler.session(0);
+  first.admit(writes({kHot}));
+  EXPECT_EQ(scheduler.active(), 1u);
+
+  const auto start = std::chrono::steady_clock::now();
+  auto& second = scheduler.session(1);
+  second.admit(writes({kHot}));  // gated; aging must admit it anyway
+  const auto waited = std::chrono::steady_clock::now() - start;
+  EXPECT_GE(obs.metrics.snapshot().counter("sched.admit.aged"), 1u);
+  EXPECT_LT(waited, std::chrono::seconds{5});
+  EXPECT_EQ(scheduler.active(), 2u);
+
+  second.finish(TxOutcome::kCommitted);
+  first.finish(TxOutcome::kCommitted);
+  EXPECT_EQ(scheduler.active(), 0u);
+}
+
+TEST(SchedAimd, ColdTrafficIsNeverGated) {
+  auto config = base_config(SchedulerPolicy::kBoth);
+  config.initial_window = 0.5;  // would gate everything if applied
+  config.min_window = 0.5;
+  TxScheduler scheduler(config, 3);
+  heat(scheduler, 2, kHot);
+
+  // Cold footprints bypass admission entirely: no slot taken, no wait.
+  auto& first = scheduler.session(0);
+  auto& second = scheduler.session(1);
+  first.admit(writes({kCold}));
+  second.admit(writes({kCold}));
+  EXPECT_EQ(scheduler.active(), 0u);
+  first.finish(TxOutcome::kCommitted);
+  second.finish(TxOutcome::kCommitted);
+}
+
+TEST(SchedEndToEnd, AcnRunCommitsUnderBothPolicy) {
+  harness::ClusterConfig cluster_config;
+  cluster_config.n_servers = 5;
+  cluster_config.base_latency = std::chrono::nanoseconds{0};
+  cluster_config.stub.retry.base = std::chrono::nanoseconds{100};
+  harness::Cluster cluster(cluster_config);
+  workloads::Bank bank({.n_branches = 4, .n_accounts = 16,
+                        .hot_branches = 2, .hot_probability = 0.9});
+  bank.seed(cluster.servers());
+
+  harness::DriverConfig driver;
+  driver.n_clients = 4;
+  driver.intervals = 2;
+  driver.interval = std::chrono::milliseconds{100};
+  driver.seed = 3;
+  driver.executor.backoff_base = std::chrono::nanoseconds{100};
+  driver.scheduler.policy = SchedulerPolicy::kBoth;
+
+  const auto result =
+      harness::run(cluster, bank, harness::Protocol::kAcn, driver);
+  EXPECT_GT(result.stats.commits, 0u);  // invariants checked by the driver
+}
+
+}  // namespace
+}  // namespace acn::sched

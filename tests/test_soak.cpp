@@ -28,7 +28,7 @@ ClusterConfig soak_cluster() {
   ClusterConfig config;
   config.n_servers = 10;
   config.base_latency = std::chrono::microseconds{2};
-  config.stub.busy_backoff = std::chrono::microseconds{5};
+  config.stub.retry.base = std::chrono::microseconds{5};
   return config;
 }
 

@@ -3,6 +3,8 @@
 
 #include <algorithm>
 #include <atomic>
+#include <limits>
+#include <stdexcept>
 #include <thread>
 
 #include "src/store/contention_tracker.hpp"
@@ -154,6 +156,35 @@ TEST(ContentionTracker, TimeBasedRolling) {
   EXPECT_EQ(tracker.level(kA), 0u);
   tracker.maybe_roll(1200);  // rolls
   EXPECT_EQ(tracker.level(kA), 2u);
+}
+
+TEST(ContentionTracker, RollsExactlyAtTheBoundaryTick) {
+  ContentionTracker tracker(/*window_ns=*/1000);
+  tracker.on_write(kA, 5000);  // first event anchors the window at 5000
+  tracker.on_write(kA, 5999);  // one tick before the boundary: same window
+  tracker.maybe_roll(5999);
+  EXPECT_EQ(tracker.level(kA), 0u);  // nothing completed yet
+  tracker.maybe_roll(6000);  // elapsed == width: the boundary tick rolls
+  EXPECT_EQ(tracker.level(kA), 2u);
+  // The new window is anchored at the roll time, not the old start.
+  tracker.on_write(kA, 6999);
+  tracker.maybe_roll(6999);
+  EXPECT_EQ(tracker.level(kA), 2u);  // still the previous window's count
+  tracker.maybe_roll(7000);
+  EXPECT_EQ(tracker.level(kA), 1u);
+}
+
+TEST(ContentionTracker, ZeroWidthIsManualAndNegativeWidthIsRejected) {
+  ContentionTracker manual(/*window_ns=*/0);
+  manual.on_write(kA, 0);
+  manual.maybe_roll(std::numeric_limits<std::uint64_t>::max());
+  EXPECT_EQ(manual.level(kA), 0u);  // zero width never auto-rolls
+  manual.roll();
+  EXPECT_EQ(manual.level(kA), 1u);
+
+  EXPECT_THROW(ContentionTracker(-1), std::invalid_argument);
+  EXPECT_THROW(ContentionTracker(std::numeric_limits<std::int64_t>::min()),
+               std::invalid_argument);
 }
 
 TEST(ContentionTracker, OnWriteRollsWindowItself) {

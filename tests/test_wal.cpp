@@ -489,7 +489,7 @@ TEST(ClusterRecovery, LogReplayShrinksCatchUpAndDiskLossRebuildsFully) {
   config.n_servers = 10;
   config.base_latency = std::chrono::nanoseconds{0};
   config.stub.max_quorum_retries = 16;
-  config.stub.busy_backoff = std::chrono::nanoseconds{1000};
+  config.stub.retry.base = std::chrono::nanoseconds{1000};
   config.durability.mode = harness::DurabilityMode::kWal;
   config.durability.data_dir = dir.path;
   config.durability.flush_interval_ns = 0;  // durable on every append
