@@ -9,6 +9,10 @@
 // All benches share one option set, BenchOptions::parse(argc, argv):
 //   --clients=N --intervals=N --interval-ms=N --servers=N --latency-us=N
 //   --seed=N
+//   --shards=N           quorum groups; n_servers is then per group (see
+//                        harness::ClusterConfig::n_groups).  Figure benches
+//                        drive group 0 only; src/shard-aware benches
+//                        (abl_shardscale) route across all of them.
 // Fault injection (chaos-capable benches):
 //   --drop=P             global message-drop probability (both legs)
 //   --lease-ms=N         prepare-lease lifetime on every server (0 = off)
@@ -143,6 +147,8 @@ inline BenchOptions BenchOptions::parse(int argc, char** argv) {
       args.driver.interval = std::chrono::milliseconds{value("--interval-ms=")};
     else if (arg.rfind("--servers=", 0) == 0)
       args.cluster.n_servers = static_cast<std::size_t>(value("--servers="));
+    else if (arg.rfind("--shards=", 0) == 0)
+      args.cluster.n_groups = static_cast<std::size_t>(value("--shards="));
     else if (arg.rfind("--latency-us=", 0) == 0)
       args.cluster.base_latency = std::chrono::microseconds{value("--latency-us=")};
     else if (arg.rfind("--seed=", 0) == 0)

@@ -1,6 +1,6 @@
 #!/usr/bin/env bash
 # Run the release gate benches and fold their metrics snapshots into one
-# BENCH_5.json, so every release carries a comparable perf trajectory point.
+# BENCH_6.json, so every release carries a comparable perf trajectory point.
 #
 # Gates (each exits non-zero on a regression, failing the script):
 #   abl_scheduler       contention-aware scheduling beats optimistic racing
@@ -8,13 +8,16 @@
 #   abl_partition       partition-and-heal: lease expiry + catch-up
 #   abl_recovery        durable recovery: log replay vs peer catch-up
 #   micro_batching      batched quorum reads save read rounds
+#   abl_shardscale      sharding: 1->8 group scale-out curve (>= 0.8x
+#                       linear), cross-shard 2PC correctness, coordinator
+#                       crash leaves no orphaned prepare in any group
 #
 # Usage: scripts/bench_snapshot.sh [build-dir] [output.json]
-#   BUILD_DIR defaults to "build", output to "BENCH_5.json".
+#   BUILD_DIR defaults to "build", output to "BENCH_6.json".
 set -euo pipefail
 
 BUILD_DIR="${1:-build}"
-OUT="${2:-BENCH_5.json}"
+OUT="${2:-BENCH_6.json}"
 BENCH="$BUILD_DIR/bench"
 WORK="$(mktemp -d)"
 trap 'rm -rf "$WORK"' EXIT
@@ -30,9 +33,11 @@ declare -A GATES=(
   [partition]="$BENCH/abl_partition --clients=4 --interval-ms=120"
   [recovery]="$BENCH/abl_recovery --clients=4 --intervals=6 --interval-ms=150"
   [batching]="$BENCH/micro_batching --txs=500"
+  [shardscale]="$BENCH/abl_shardscale --shards=8 --txs=200 --seed=13"
 )
 # Deterministic run order (associative arrays iterate arbitrarily).
-ORDER=(scheduler scheduler_wal scheduler_chaos partition recovery batching)
+ORDER=(scheduler scheduler_wal scheduler_chaos partition recovery batching
+       shardscale)
 
 for name in "${ORDER[@]}"; do
   echo "=== gate: $name ==="

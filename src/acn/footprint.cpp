@@ -41,4 +41,16 @@ KeyFootprint predicted_footprint(const ir::TxProgram& program,
   return unique;
 }
 
+std::vector<std::uint32_t> shards_touched(
+    const KeyFootprint& footprint,
+    const std::function<std::uint32_t(const ir::ObjectKey&)>& shard_of) {
+  std::vector<std::uint32_t> shards;
+  shards.reserve(footprint.size());
+  for (const FootprintEntry& entry : footprint)
+    shards.push_back(shard_of(entry.key));
+  std::sort(shards.begin(), shards.end());
+  shards.erase(std::unique(shards.begin(), shards.end()), shards.end());
+  return shards;
+}
+
 }  // namespace acn

@@ -19,6 +19,8 @@
 // together.  Mirrors how dtm::DurabilitySink breaks the dtm → wal cycle.
 #pragma once
 
+#include <cstdint>
+#include <functional>
 #include <vector>
 
 #include "src/acn/txir.hpp"
@@ -40,6 +42,19 @@ using KeyFootprint = std::vector<FootprintEntry>;
 /// transaction is needed.
 KeyFootprint predicted_footprint(const ir::TxProgram& program,
                                  const std::vector<ir::Record>& params);
+
+/// The distinct shards `footprint` touches under the keyspace partitioning
+/// `shard_of` (sorted ascending, deduplicated).  This is the shard router's
+/// input: a one-element result makes the transaction a single-shard
+/// candidate.  The partitioning is passed as a callable so this layer stays
+/// independent of src/shard (same inversion as SchedulerGate below);
+/// shard::ShardMap supplies the real one.  Like the footprint itself the
+/// answer is a *prediction* — keys produced mid-transaction are invisible —
+/// so the router must re-classify against the keys actually touched before
+/// committing, never trust this alone.
+std::vector<std::uint32_t> shards_touched(
+    const KeyFootprint& footprint,
+    const std::function<std::uint32_t(const ir::ObjectKey&)>& shard_of);
 
 /// How a transaction attempt (or the whole transaction) ended, as the
 /// executor reports it to the gate.  kLeaseExpired is kBusy's stronger

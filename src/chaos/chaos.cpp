@@ -273,20 +273,35 @@ void ChaosController::heal_all() {
 }
 
 std::vector<net::NodeId> ChaosController::leaf_victims(
-    const harness::Cluster& cluster, std::size_t count) {
-  const auto n = static_cast<net::NodeId>(cluster.size());
+    const harness::Cluster& cluster, std::size_t count, std::size_t group) {
+  // Each quorum group is its own heap-layout tree over n_servers local ids,
+  // relocated to global ids at `base`.  (The pre-sharding version assumed
+  // one global tree over cluster.size() nodes, which mis-names leaves —
+  // and can even pick a group's root — as soon as n_groups > 1.)
+  const auto n = static_cast<net::NodeId>(cluster.config().n_servers);
   const auto arity = static_cast<net::NodeId>(cluster.config().tree_arity);
+  const auto base =
+      static_cast<net::NodeId>(group * cluster.config().n_servers);
   std::vector<net::NodeId> victims;
   // Leaves of the implicit heap layout: a node with no first child.  Walk
-  // from the highest id down so the victims sit deepest in the tree.
+  // from the highest local id down so the victims sit deepest in the tree.
   for (net::NodeId id = n - 1; id >= 1 && victims.size() < count; --id)
-    if (arity * id + 1 >= n) victims.push_back(id);
-  // Tiny clusters (everything a child of the root): settle for any
-  // non-root node rather than returning fewer victims than asked.
+    if (arity * id + 1 >= n) victims.push_back(base + id);
+  // Tiny groups (everything a child of the root): settle for any non-root
+  // member rather than returning fewer victims than asked.
   for (net::NodeId id = n - 1; id >= 1 && victims.size() < count; --id)
-    if (std::find(victims.begin(), victims.end(), id) == victims.end())
-      victims.push_back(id);
+    if (std::find(victims.begin(), victims.end(), base + id) == victims.end())
+      victims.push_back(base + id);
   return victims;
+}
+
+std::vector<std::vector<net::NodeId>> ChaosController::shard_partition_groups(
+    const harness::Cluster& cluster) {
+  std::vector<std::vector<net::NodeId>> groups;
+  groups.reserve(cluster.n_groups());
+  for (std::size_t g = 0; g < cluster.n_groups(); ++g)
+    groups.push_back(cluster.group_members(g));
+  return groups;
 }
 
 }  // namespace acn::chaos

@@ -105,11 +105,22 @@ class ChaosController {
   /// Keys advanced by catch-up across every restart this controller ran.
   std::size_t keys_caught_up() const noexcept { return keys_caught_up_; }
 
-  /// The `count` highest-numbered leaf nodes of the cluster's quorum tree
-  /// (never the root): the default crash victims — a leaf crash leaves
-  /// write quorums constructible, so the workload keeps committing.
+  /// The `count` highest-numbered leaf nodes of quorum group `group`'s tree
+  /// (never that group's root): the default crash victims — a leaf crash
+  /// leaves write quorums constructible, so the workload keeps committing.
+  /// Returned ids are global node ids inside the group's slice; on an
+  /// unsharded cluster group 0 is the whole tree, the pre-sharding
+  /// behavior.
   static std::vector<net::NodeId> leaf_victims(const harness::Cluster& cluster,
-                                               std::size_t count);
+                                               std::size_t count,
+                                               std::size_t group = 0);
+
+  /// The cluster's groups as partition groups — `[group_members(0),
+  /// group_members(1), ...]` — for plans that split the network along
+  /// shard boundaries (isolating whole quorum groups instead of arbitrary
+  /// node sets).
+  static std::vector<std::vector<net::NodeId>> shard_partition_groups(
+      const harness::Cluster& cluster);
 
  private:
   void run();

@@ -119,11 +119,13 @@ std::vector<std::uint8_t> encode(const Request& request) {
         } else if constexpr (std::is_same_v<T, PrepareRequest>) {
           e.u8(static_cast<std::uint8_t>(RequestTag::kPrepare));
           e.u64(req.tx);
+          e.u32(req.group);
           e.list(req.read_validate, [&](const VersionCheck& c) { e.check(c); });
           e.list(req.write_keys, [&](const ObjectKey& k) { e.key(k); });
         } else if constexpr (std::is_same_v<T, CommitRequest>) {
           e.u8(static_cast<std::uint8_t>(RequestTag::kCommit));
           e.u64(req.tx);
+          e.u32(req.group);
           e.list(req.keys, [&](const ObjectKey& k) { e.key(k); });
           e.list(req.values, [&](const Record& r) { e.record(r); });
           e.list(req.versions, [&](Version v) { e.u64(v); });
@@ -220,6 +222,7 @@ Request decode_request(std::span<const std::uint8_t> bytes) {
     case RequestTag::kPrepare: {
       PrepareRequest req;
       req.tx = d.u64();
+      req.group = d.u32();
       req.read_validate = d.list<VersionCheck>([&] { return d.check(); });
       req.write_keys = d.list<ObjectKey>([&] { return d.key(); });
       out.payload = std::move(req);
@@ -228,6 +231,7 @@ Request decode_request(std::span<const std::uint8_t> bytes) {
     case RequestTag::kCommit: {
       CommitRequest req;
       req.tx = d.u64();
+      req.group = d.u32();
       req.keys = d.list<ObjectKey>([&] { return d.key(); });
       req.values = d.list<Record>([&] { return d.record(); });
       req.versions = d.list<Version>([&] { return d.u64(); });

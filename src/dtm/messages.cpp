@@ -30,13 +30,13 @@ std::size_t ValidateRequest::approx_size() const noexcept {
 }
 
 std::size_t PrepareRequest::approx_size() const noexcept {
-  return kHeader + read_validate.size() * kCheckSize +
+  return kHeader + sizeof(group) + read_validate.size() * kCheckSize +
          write_keys.size() * kKeySize;
 }
 
 std::size_t CommitRequest::approx_size() const noexcept {
-  return kHeader + keys.size() * (kKeySize + sizeof(Version)) +
-         records_size(values);
+  return kHeader + sizeof(group) +
+         keys.size() * (kKeySize + sizeof(Version)) + records_size(values);
 }
 
 std::size_t AbortRequest::approx_size() const noexcept {

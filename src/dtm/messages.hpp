@@ -88,6 +88,11 @@ struct PrepareRequest {
   TxId tx = 0;
   std::vector<VersionCheck> read_validate;
   std::vector<ObjectKey> write_keys;  // sorted ascending by the coordinator
+  /// Quorum group this prepare is addressed to (sharded clusters).  A
+  /// server in a different group refuses with kWrongGroup rather than
+  /// protecting keys it does not own — a misrouted prepare must fail
+  /// loudly, never half-commit on a foreign replica set.
+  std::uint32_t group = 0;
 
   std::size_t approx_size() const noexcept;
 
@@ -99,6 +104,9 @@ struct CommitRequest {
   std::vector<ObjectKey> keys;
   std::vector<Record> values;     // aligned with keys
   std::vector<Version> versions;  // aligned with keys
+  /// See PrepareRequest::group; a mismatched commit is refused kExpired
+  /// (nothing was, or will be, installed here).
+  std::uint32_t group = 0;
 
   std::size_t approx_size() const noexcept;
 
@@ -169,8 +177,9 @@ struct ValidateResponse {
 
 enum class PrepareCode : std::uint8_t {
   kOk = 0,
-  kBusy,     // failed to protect (or validated against a protected object)
-  kInvalid,  // read-set validation failed
+  kBusy,        // failed to protect (or validated against a protected object)
+  kInvalid,     // read-set validation failed
+  kWrongGroup,  // addressed to a different quorum group (routing bug)
 };
 
 struct PrepareResponse {

@@ -293,12 +293,13 @@ PrepareTicket QuorumStub::prepare(TxId tx,
   retry_ladder(write_keys, [&]() -> RoundStatus {
     const auto quorum = pick_write_quorum();
     Request request;
-    request.payload = PrepareRequest{tx, read_checks, write_keys};
+    request.payload = PrepareRequest{tx, read_checks, write_keys, config_.group};
     const auto results = exchange(quorum, request);
 
     std::vector<ObjectKey> invalid;
     bool any_busy = false;
     bool any_unreachable = false;
+    bool any_wrong_group = false;
     std::vector<Version> current(write_keys.size(), 0);
     std::size_t ok_count = 0;
 
@@ -320,14 +321,20 @@ PrepareTicket QuorumStub::prepare(TxId tx,
         case PrepareCode::kInvalid:
           merge_invalid(invalid, res.invalid);
           break;
+        case PrepareCode::kWrongGroup:
+          any_wrong_group = true;
+          break;
       }
     }
 
-    const bool all_ok =
-        ok_count == results.size() && !any_busy && !any_unreachable;
+    const bool all_ok = ok_count == results.size() && !any_busy &&
+                        !any_unreachable && !any_wrong_group;
     if (!all_ok) {
       // Release whatever protection was acquired anywhere in the quorum.
       send_abort(tx, quorum, write_keys);
+      // A wrong-group refusal is deterministic (the replica's group is
+      // fixed), so retrying the quorum cannot help — fail the operation.
+      if (any_wrong_group) throw TxAbort(AbortKind::kUnavailable, write_keys);
       if (!invalid.empty()) throw TxAbort(AbortKind::kValidation, invalid);
       if (any_busy) return RoundStatus::kBusy;
       // A partly-down write quorum is not fatal: another write quorum that
@@ -361,8 +368,8 @@ void QuorumStub::commit(const PrepareTicket& ticket,
     latency.arm(o->rpc_commit_ns);
   }
   Request request;
-  request.payload =
-      CommitRequest{ticket.tx, ticket.keys, values, ticket.new_versions};
+  request.payload = CommitRequest{ticket.tx, ticket.keys, values,
+                                  ticket.new_versions, config_.group};
 
   // Replay phase two to unacked members until everyone answered, a member
   // reports the lease expired, or the replay budget runs out.  Servers ack

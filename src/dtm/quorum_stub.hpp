@@ -59,6 +59,10 @@ struct StubConfig {
   /// Phase-two rounds re-sent to unacked quorum members before concluding
   /// the commit outcome from partial acks.
   int max_commit_replays = 5;
+  /// Quorum group this stub addresses (sharded clusters; 0 otherwise).
+  /// Stamped into every prepare and commit so a replica from another group
+  /// refuses a misrouted 2PC instead of silently serving it.
+  std::uint32_t group = 0;
   /// Debug mode: round-trip every outgoing request and incoming response
   /// through the binary wire codec (src/dtm/codec.hpp) and assert equality,
   /// so all traffic doubles as codec coverage.  Throws std::logic_error on

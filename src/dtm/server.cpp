@@ -268,6 +268,15 @@ PrepareResponse Server::on_prepare(const PrepareRequest& req) {
   stats_.prepares.fetch_add(1, std::memory_order_relaxed);
   PrepareResponse res;
 
+  if (req.group != group_) {
+    // Misrouted prepare (a stale shard map or a routing bug): refuse before
+    // touching the store — protecting keys this group does not own would
+    // let a transaction "commit" against replicas no reader ever consults.
+    stats_.wrong_group.fetch_add(1, std::memory_order_relaxed);
+    res.code = PrepareCode::kWrongGroup;
+    return res;
+  }
+
   // Phase 1a: protect the write set.  Keys arrive sorted from the
   // coordinator; try_protect fails fast, so no deadlock is possible.
   std::vector<ObjectKey> protected_keys;
@@ -314,6 +323,13 @@ PrepareResponse Server::on_prepare(const PrepareRequest& req) {
 
 CommitResponse Server::on_commit(const CommitRequest& req) {
   stats_.commits.fetch_add(1, std::memory_order_relaxed);
+
+  if (req.group != group_) {
+    // Nothing was prepared here (on_prepare refuses group mismatches), so
+    // kExpired states the truth: this install did not and will not happen.
+    stats_.wrong_group.fetch_add(1, std::memory_order_relaxed);
+    return CommitResponse{CommitCode::kExpired};
+  }
 
   bool replay = false;
   {

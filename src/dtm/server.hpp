@@ -46,6 +46,7 @@ struct ServerStats {
   std::atomic<std::uint64_t> commits_rejected{0};   // refused: lease expired
   std::atomic<std::uint64_t> leases_expired{0};     // prepares reclaimed
   std::atomic<std::uint64_t> aborts{0};
+  std::atomic<std::uint64_t> wrong_group{0};        // misrouted prepare/commit
 };
 
 class Server {
@@ -58,6 +59,13 @@ class Server {
          std::int64_t prepare_lease_ns = 0);
 
   net::NodeId id() const noexcept { return id_; }
+
+  /// Quorum group this replica belongs to (sharded clusters; 0 otherwise).
+  /// Prepares and commits addressed to another group are refused — a
+  /// replica must never protect or install keys its group does not own.
+  /// Wire it before traffic starts (not synchronized with handlers).
+  void set_group(std::uint32_t group) noexcept { group_ = group; }
+  std::uint32_t group() const noexcept { return group_; }
 
   Response handle(net::NodeId from, const Request& request);
 
@@ -132,6 +140,7 @@ class Server {
   };
 
   net::NodeId id_;
+  std::uint32_t group_ = 0;
   std::int64_t lease_ns_;
   store::VersionedStore store_;
   store::ContentionTracker contention_;

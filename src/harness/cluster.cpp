@@ -17,32 +17,49 @@ std::shared_ptr<const LatencyModel> make_latency(const ClusterConfig& config) {
                                         config.per_kilobyte);
 }
 
-std::unique_ptr<quorum::QuorumSystem> make_quorums(const ClusterConfig& config) {
+std::unique_ptr<quorum::QuorumSystem> make_group_quorums(
+    const ClusterConfig& config, std::size_t group) {
   quorum::TreeTopology topology(config.n_servers, config.tree_arity);
+  std::unique_ptr<quorum::QuorumSystem> inner;
   switch (config.quorum_policy) {
     case QuorumPolicy::kLevelMajority:
-      return std::make_unique<quorum::LevelMajorityQuorumSystem>(topology);
+      inner = std::make_unique<quorum::LevelMajorityQuorumSystem>(topology);
+      break;
     case QuorumPolicy::kRowa:
-      return std::make_unique<quorum::RowaQuorumSystem>(config.n_servers);
+      inner = std::make_unique<quorum::RowaQuorumSystem>(config.n_servers);
+      break;
     case QuorumPolicy::kTree:
+      inner = std::make_unique<quorum::TreeQuorumSystem>(topology,
+                                                         config.root_read_bias);
       break;
   }
-  return std::make_unique<quorum::TreeQuorumSystem>(topology,
-                                                    config.root_read_bias);
+  // Group g's replicas sit at global ids [g*n, (g+1)*n); the inner system
+  // numbers them 0..n-1, so relocate its quorums.  Group 0 needs no shift —
+  // the unsharded cluster keeps its exact pre-sharding quorum objects.
+  if (group == 0) return inner;
+  return std::make_unique<quorum::OffsetQuorumSystem>(
+      std::move(inner),
+      static_cast<quorum::NodeId>(group * config.n_servers));
 }
 
 }  // namespace
 
 Cluster::Cluster(ClusterConfig config)
-    : config_(config),
-      network_(make_latency(config)),
-      quorums_(make_quorums(config)) {
-  servers_.reserve(config_.n_servers);
-  for (std::size_t i = 0; i < config_.n_servers; ++i) {
+    : config_(config), network_(make_latency(config)) {
+  if (config_.n_groups == 0)
+    throw std::invalid_argument("Cluster: n_groups must be >= 1");
+  quorums_.reserve(config_.n_groups);
+  for (std::size_t g = 0; g < config_.n_groups; ++g)
+    quorums_.push_back(make_group_quorums(config_, g));
+
+  const std::size_t total = config_.n_servers * config_.n_groups;
+  servers_.reserve(total);
+  for (std::size_t i = 0; i < total; ++i) {
     servers_.push_back(std::make_unique<dtm::Server>(
         static_cast<net::NodeId>(i), config_.contention_window_ns,
         config_.prepare_lease_ns));
     dtm::Server* server = servers_.back().get();
+    server->set_group(static_cast<std::uint32_t>(i / config_.n_servers));
     auto handler = [server](net::NodeId from, const dtm::Request& request) {
       return server->handle(from, request);
     };
@@ -54,8 +71,8 @@ Cluster::Cluster(ClusterConfig config)
   }
 
   if (config_.durability.mode == DurabilityMode::kWal) {
-    persistence_.reserve(config_.n_servers);
-    for (std::size_t i = 0; i < config_.n_servers; ++i) {
+    persistence_.reserve(total);
+    for (std::size_t i = 0; i < total; ++i) {
       wal::WalConfig wal_config;
       wal_config.dir =
           config_.durability.data_dir + "/node-" + std::to_string(i);
@@ -82,14 +99,45 @@ std::vector<dtm::Server*> Cluster::servers() {
   return out;
 }
 
+std::vector<net::NodeId> Cluster::group_members(std::size_t g) const {
+  if (g >= config_.n_groups)
+    throw std::out_of_range("Cluster::group_members: unknown group");
+  std::vector<net::NodeId> out;
+  out.reserve(config_.n_servers);
+  const std::size_t base = g * config_.n_servers;
+  for (std::size_t i = 0; i < config_.n_servers; ++i)
+    out.push_back(static_cast<net::NodeId>(base + i));
+  return out;
+}
+
+std::vector<dtm::Server*> Cluster::group_servers(std::size_t g) {
+  std::vector<dtm::Server*> out;
+  out.reserve(config_.n_servers);
+  for (const net::NodeId id : group_members(g))
+    out.push_back(servers_[static_cast<std::size_t>(id)].get());
+  return out;
+}
+
 dtm::QuorumStub Cluster::make_stub(int client_ordinal, std::uint64_t seed) {
+  return make_group_stub(0, client_ordinal, seed);
+}
+
+dtm::QuorumStub Cluster::make_group_stub(std::size_t group, int client_ordinal,
+                                         std::uint64_t seed) {
+  if (group >= config_.n_groups)
+    throw std::out_of_range("Cluster::make_group_stub: unknown group");
   const auto client_node =
       static_cast<net::NodeId>(servers_.size()) + client_ordinal;
+  // Decorrelate per group so a coordinator's stubs don't pick rhyming
+  // quorums across its groups.
   const std::uint64_t stub_seed =
-      seed != 0 ? seed
-                : 0x57ab0000ULL + static_cast<std::uint64_t>(client_ordinal);
-  return dtm::QuorumStub(network_, *quorums_, client_node, stub_seed,
-                         config_.stub);
+      (seed != 0 ? seed
+                 : 0x57ab0000ULL + static_cast<std::uint64_t>(client_ordinal)) ^
+      (static_cast<std::uint64_t>(group) << 48);
+  dtm::StubConfig stub_config = config_.stub;
+  stub_config.group = static_cast<std::uint32_t>(group);
+  return dtm::QuorumStub(network_, *quorums_[group], client_node, stub_seed,
+                         stub_config);
 }
 
 void Cluster::roll_contention_windows() {
@@ -146,24 +194,28 @@ std::size_t Cluster::restart_node(net::NodeId id, CatchUpScope scope) {
     joiner.install_recovered(recovered.objects, recovered.open_prepares);
   }
 
-  // Pick the peers to sync from.  A read quorum suffices: every committed
-  // write reached a write quorum, and read and write quorums intersect, so
-  // the newest version of every key is present among the sources.
+  // Pick the peers to sync from — always within the joiner's own quorum
+  // group: the groups' keyspaces are disjoint, so a foreign peer holds
+  // nothing this replica should serve (and syncing from one would install
+  // keys the group does not own).  A read quorum of the group suffices:
+  // every committed write reached a write quorum, and read and write
+  // quorums intersect, so the newest version of every key is present among
+  // the sources.
+  const std::size_t joiner_group = group_of(id);
+  const std::vector<net::NodeId> peers = group_members(joiner_group);
   std::vector<net::NodeId> sources;
   if (scope == CatchUpScope::kAllReplicas) {
-    for (std::size_t i = 0; i < servers_.size(); ++i)
-      if (static_cast<net::NodeId>(i) != id)
-        sources.push_back(static_cast<net::NodeId>(i));
+    for (const net::NodeId peer : peers)
+      if (peer != id) sources.push_back(peer);
   } else {
     Rng rng(0xca7c4b00ULL ^ (static_cast<std::uint64_t>(id) << 32) ^
             catchup_seq_++);
-    sources = quorums_->read_quorum(rng);
+    sources = quorums_[joiner_group]->read_quorum(rng);
     sources.erase(std::remove(sources.begin(), sources.end(), id),
                   sources.end());
     if (sources.empty())
-      for (std::size_t i = 0; i < servers_.size(); ++i)
-        if (static_cast<net::NodeId>(i) != id)
-          sources.push_back(static_cast<net::NodeId>(i));
+      for (const net::NodeId peer : peers)
+        if (peer != id) sources.push_back(peer);
   }
 
   // Gather the newest version of every key across the sources, then install

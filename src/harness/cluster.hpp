@@ -6,6 +6,12 @@
 // clients are threads, and every RPC pays a configurable simulated latency,
 // so remote re-execution cost — the quantity partial rollback saves —
 // dominates exactly as it does on real hardware.
+//
+// With n_groups > 1 the cluster is horizontally sharded: each group is an
+// independent quorum tree over its own disjoint replica slice, all behind
+// the same network (src/shard routes transactions to groups and runs
+// cross-shard 2PC when a footprint spans more than one).
+
 #pragma once
 
 #include <memory>
@@ -14,6 +20,7 @@
 #include "src/dtm/quorum_stub.hpp"
 #include "src/dtm/server.hpp"
 #include "src/quorum/level_quorum.hpp"
+#include "src/quorum/offset_quorum.hpp"
 #include "src/quorum/rowa_quorum.hpp"
 #include "src/quorum/tree_quorum.hpp"
 #include "src/wal/persistence.hpp"
@@ -43,7 +50,15 @@ enum class QuorumPolicy {
 };
 
 struct ClusterConfig {
+  /// Replicas *per quorum group* (the whole cluster when n_groups == 1).
   std::size_t n_servers = 10;
+  /// Quorum groups (shards).  Each group is an independent quorum system —
+  /// its own tree over its own disjoint replica set — owning a disjoint
+  /// slice of the keyspace (src/shard assigns keys to groups).  Group g
+  /// occupies global node ids [g*n_servers, (g+1)*n_servers); all groups
+  /// share one simulated network, so partitions and crashes address global
+  /// ids as before.  1 = the classic unsharded cluster.
+  std::size_t n_groups = 1;
   int tree_arity = 3;
   QuorumPolicy quorum_policy = QuorumPolicy::kTree;
   /// Probability read-quorum selection stops at a subtree root (tree
@@ -79,12 +94,38 @@ class Cluster {
   dtm::Server& server(std::size_t i) { return *servers_[i]; }
   std::vector<dtm::Server*> servers();
 
+  /// Quorum groups in this cluster (1 = unsharded).
+  std::size_t n_groups() const noexcept { return config_.n_groups; }
+  /// The group that owns global node id `id`.
+  std::uint32_t group_of(net::NodeId id) const noexcept {
+    return static_cast<std::uint32_t>(static_cast<std::size_t>(id) /
+                                      config_.n_servers);
+  }
+  /// Global node ids of group `g`'s replicas, ascending.
+  std::vector<net::NodeId> group_members(std::size_t g) const;
+  /// Group `g`'s replicas (e.g. for workload seeding / invariant checks
+  /// scoped to the slice of the keyspace that group owns).
+  std::vector<dtm::Server*> group_servers(std::size_t g);
+
   dtm::DtmNetwork& network() noexcept { return network_; }
-  const quorum::QuorumSystem& quorums() const noexcept { return *quorums_; }
+  const quorum::QuorumSystem& quorums() const noexcept { return *quorums_[0]; }
+  /// Group `g`'s quorum system; every id it returns is a global node id
+  /// inside that group's slice.
+  const quorum::QuorumSystem& quorums(std::size_t g) const {
+    return *quorums_.at(g);
+  }
 
   /// A client-side stub; `client_ordinal` gives the client a distinct
   /// network identity (node ids above the server range) and RNG stream.
+  /// Addresses group 0 — the whole cluster when n_groups == 1.
   dtm::QuorumStub make_stub(int client_ordinal, std::uint64_t seed = 0);
+
+  /// A stub addressing group `g`: quorums from that group's system, the
+  /// group stamped into its 2PC traffic.  The same `client_ordinal` across
+  /// groups shares one network identity (a cross-shard coordinator holds
+  /// one stub per participant group).
+  dtm::QuorumStub make_group_stub(std::size_t group, int client_ordinal,
+                                  std::uint64_t seed = 0);
 
   /// Roll every server's contention window (harness interval boundary).
   void roll_contention_windows();
@@ -145,7 +186,8 @@ class Cluster {
   std::vector<std::unique_ptr<wal::ReplicaPersistence>> persistence_;
   std::vector<std::unique_ptr<dtm::Server>> servers_;
   dtm::DtmNetwork network_;
-  std::unique_ptr<quorum::QuorumSystem> quorums_;
+  /// One quorum system per group, indexed by group id.
+  std::vector<std::unique_ptr<quorum::QuorumSystem>> quorums_;
   /// Varies the read quorum successive restart_node() calls sync from, so
   /// repeated rejoins are deterministic but not identical.
   std::uint64_t catchup_seq_ = 0;

@@ -1,0 +1,30 @@
+#include "src/quorum/offset_quorum.hpp"
+
+#include <stdexcept>
+#include <utility>
+
+namespace acn::quorum {
+
+OffsetQuorumSystem::OffsetQuorumSystem(std::unique_ptr<QuorumSystem> inner,
+                                       NodeId offset)
+    : inner_(std::move(inner)), offset_(offset) {
+  if (inner_ == nullptr)
+    throw std::invalid_argument("OffsetQuorumSystem: null inner system");
+  if (offset_ < 0)
+    throw std::invalid_argument("OffsetQuorumSystem: negative offset");
+}
+
+std::vector<NodeId> OffsetQuorumSystem::shift(std::vector<NodeId> ids) const {
+  for (NodeId& id : ids) id += offset_;
+  return ids;
+}
+
+std::vector<NodeId> OffsetQuorumSystem::read_quorum(Rng& rng) const {
+  return shift(inner_->read_quorum(rng));
+}
+
+std::vector<NodeId> OffsetQuorumSystem::write_quorum(Rng& rng) const {
+  return shift(inner_->write_quorum(rng));
+}
+
+}  // namespace acn::quorum

@@ -1,0 +1,40 @@
+// Group-scoped quorum construction for the sharded cluster.
+//
+// A quorum group is an ordinary quorum system (tree, level-majority, ROWA)
+// built over its own replica set, but those replicas live at a *slice* of
+// the cluster's global node-id space: group g of a cluster with m servers
+// per group owns ids [g*m, (g+1)*m).  Every QuorumSystem implementation
+// numbers its nodes 0..n-1 internally — the tree topology, majority
+// recursion and designated-quorum seeding all assume that — so rather than
+// threading an origin through each construction, this adapter translates:
+// it wraps an inner system built over local ids and adds a fixed offset to
+// every id it hands out.  The intersection properties are preserved
+// verbatim (adding a constant is a bijection on the member sets), and the
+// inner system never learns it has been relocated.
+#pragma once
+
+#include <memory>
+
+#include "src/quorum/quorum_system.hpp"
+
+namespace acn::quorum {
+
+class OffsetQuorumSystem final : public QuorumSystem {
+ public:
+  OffsetQuorumSystem(std::unique_ptr<QuorumSystem> inner, NodeId offset);
+
+  std::size_t node_count() const override { return inner_->node_count(); }
+  std::vector<NodeId> read_quorum(Rng& rng) const override;
+  std::vector<NodeId> write_quorum(Rng& rng) const override;
+
+  NodeId offset() const noexcept { return offset_; }
+  const QuorumSystem& inner() const noexcept { return *inner_; }
+
+ private:
+  std::vector<NodeId> shift(std::vector<NodeId> ids) const;
+
+  std::unique_ptr<QuorumSystem> inner_;
+  NodeId offset_;
+};
+
+}  // namespace acn::quorum

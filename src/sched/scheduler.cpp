@@ -271,6 +271,18 @@ bool TxScheduler::is_hot(const ir::ObjectKey& key) const {
   return it != hot_.end() && it->second.score >= config_.hot_score;
 }
 
+std::vector<ir::ObjectKey> TxScheduler::hot_keys() const {
+  std::lock_guard lock(hot_mutex_);
+  std::vector<ir::ObjectKey> keys;
+  for (const auto& [key, entry] : hot_) {
+    if (entry.score >= config_.hot_score ||
+        (config_.class_hot_level > 0 && hot_classes_.contains(key.cls)))
+      keys.push_back(key);
+  }
+  std::sort(keys.begin(), keys.end());
+  return keys;
+}
+
 bool TxScheduler::any_hot(const KeyFootprint& footprint) const {
   std::lock_guard lock(hot_mutex_);
   for (const FootprintEntry& entry : footprint) {

@@ -180,6 +180,13 @@ class TxScheduler {
 
   /// Whether `key` would currently be serialized (tests / diagnostics).
   bool is_hot(const ir::ObjectKey& key) const;
+  /// Every *tracked* key that is currently hot (score at/above hot_score,
+  /// or its class marked hot by the contention snapshot).  Keys of a hot
+  /// class the scheduler never saw blamed are not tracked and so not
+  /// listed.  Feeds per-group hotness reporting in the sharded harness:
+  /// bucket the result by shard::ShardMap::shard_of to see which quorum
+  /// group the contention lives on.
+  std::vector<ir::ObjectKey> hot_keys() const;
   /// Whether any footprint entry is currently hot (admission applies only
   /// to such transactions; cold traffic is never gated).
   bool any_hot(const KeyFootprint& footprint) const;

@@ -1,0 +1,214 @@
+#include "src/shard/coordinator.hpp"
+
+#include <stdexcept>
+#include <string>
+
+namespace acn::shard {
+
+CrossShardCoordinator::CrossShardCoordinator(harness::Cluster& cluster,
+                                             const ShardRouter& router,
+                                             int client_ordinal,
+                                             std::uint64_t seed)
+    : router_(router) {
+  if (router_.map().n_shards() != cluster.n_groups())
+    throw std::invalid_argument(
+        "CrossShardCoordinator: shard map has " +
+        std::to_string(router_.map().n_shards()) + " shards but cluster has " +
+        std::to_string(cluster.n_groups()) + " groups");
+  stubs_.reserve(cluster.n_groups());
+  for (std::size_t g = 0; g < cluster.n_groups(); ++g)
+    stubs_.push_back(cluster.make_group_stub(g, client_ordinal, seed));
+  // TxIds must be globally unique: servers key their lease / presumed-abort
+  // / idempotency memories by TxId.  High tag keeps coordinator ids out of
+  // the executor's small-integer range; the ordinal keeps coordinators out
+  // of each other's.
+  tx_base_ = (0x5AADULL << 44) |
+             ((static_cast<std::uint64_t>(client_ordinal) & 0xFFFF) << 28);
+}
+
+ShardTx CrossShardCoordinator::begin(const KeyFootprint& predicted) {
+  const dtm::TxId tx =
+      tx_base_ | (tx_seq_.fetch_add(1, std::memory_order_relaxed) + 1);
+  return ShardTx(this, tx, router_.plan(predicted));
+}
+
+std::vector<dtm::VersionCheck> ShardTx::group_checks(
+    std::uint32_t group) const {
+  std::vector<dtm::VersionCheck> checks;
+  for (const auto& [key, rec] : reads_)
+    if (owner_->router_.map().shard_of(key) == group)
+      checks.push_back({key, rec.version});
+  return checks;
+}
+
+store::Record ShardTx::read(const store::ObjectKey& key) {
+  if (state_ != State::kActive)
+    throw std::logic_error("ShardTx::read on a finished transaction");
+  if (const auto wit = writes_.find(key); wit != writes_.end())
+    return wit->second;
+  if (const auto rit = reads_.find(key); rit != reads_.end())
+    return rit->second.value;
+  const std::uint32_t group = owner_->router_.map().shard_of(key);
+  // Incremental validation within the owning group: every prior read on
+  // this group rides along, so a stale snapshot dies at read time, not at
+  // prepare.  Reads on OTHER groups cannot be checked here (this group
+  // does not hold their keys); prepare/validate covers them per group.
+  const auto outcome =
+      owner_->stub(group).read(tx_, key, group_checks(group));
+  reads_.emplace(key, outcome.record);
+  return outcome.record.value;
+}
+
+void ShardTx::write(const store::ObjectKey& key, store::Record value) {
+  if (state_ != State::kActive)
+    throw std::logic_error("ShardTx::write on a finished transaction");
+  writes_[key] = std::move(value);
+}
+
+std::size_t ShardTx::prepare_all() {
+  if (state_ != State::kActive)
+    throw std::logic_error("ShardTx::prepare_all: not active");
+
+  // The authoritative participant set: the keys actually touched.  A
+  // mispredicted footprint escalates here — the transaction may have been
+  // *planned* single-shard, but it commits on the groups it really spans.
+  std::vector<store::ObjectKey> touched;
+  touched.reserve(reads_.size() + writes_.size());
+  for (const auto& [key, rec] : reads_) touched.push_back(key);
+  for (const auto& [key, value] : writes_) touched.push_back(key);
+  plan_ = owner_->router_.reclassify(predicted_, touched);
+
+  const ShardMap& map = owner_->router_.map();
+  try {
+    // Ascending group order (plan_.groups is sorted): deterministic across
+    // coordinators, so two cross-shard transactions always claim groups in
+    // the same order and cannot hold-and-wait on each other in reverse.
+    for (const std::uint32_t group : plan_.groups) {
+      std::vector<store::ObjectKey> write_keys;   // std::map iterates sorted
+      std::vector<store::Record> values;
+      std::vector<store::Version> read_versions;
+      for (const auto& [key, value] : writes_) {
+        if (map.shard_of(key) != group) continue;
+        write_keys.push_back(key);
+        values.push_back(value);
+        const auto rit = reads_.find(key);
+        read_versions.push_back(rit != reads_.end() ? rit->second.version : 0);
+      }
+      const auto checks = group_checks(group);
+      if (write_keys.empty()) {
+        // Read-only participant: nothing to protect, but the snapshot this
+        // transaction read from the group must still be current at commit.
+        owner_->stub(group).validate(tx_, checks);
+        continue;
+      }
+      PreparedGroup prepared;
+      prepared.group = group;
+      prepared.ticket =
+          owner_->stub(group).prepare(tx_, checks, write_keys, read_versions);
+      prepared.values = std::move(values);
+      prepared_.push_back(std::move(prepared));
+    }
+  } catch (...) {
+    // One group refused (conflict, busy, unreachable): release every
+    // ticket already acquired so the other groups go free immediately
+    // instead of waiting out their leases.
+    abort_prepared();
+    throw;
+  }
+  state_ = State::kPrepared;
+  return prepared_.size();
+}
+
+void ShardTx::commit_prepared() {
+  if (state_ != State::kPrepared)
+    throw std::logic_error("ShardTx::commit_prepared: nothing prepared");
+
+  std::exception_ptr failure;
+  std::size_t installed = 0;
+  for (std::size_t i = 0; i < prepared_.size(); ++i) {
+    try {
+      owner_->stub(prepared_[i].group)
+          .commit(prepared_[i].ticket, prepared_[i].values);
+      ++installed;
+    } catch (...) {
+      failure = std::current_exception();
+      if (installed == 0) {
+        // Nothing installed anywhere yet: the transaction can still abort
+        // atomically — release the remaining tickets and surface the abort.
+        for (std::size_t j = i + 1; j < prepared_.size(); ++j)
+          owner_->stub(prepared_[j].group).abort(prepared_[j].ticket);
+        break;
+      }
+      // A group already committed, so the decision is commit: push the
+      // remaining groups forward rather than widening the damage.  The
+      // transaction still reports failure (its durability claim on the
+      // failed group is void) and the breach is counted.
+      owner_->stats_.partial_commits.fetch_add(1, std::memory_order_relaxed);
+    }
+  }
+  prepared_.clear();
+  state_ = State::kFinished;
+  if (failure) {
+    owner_->stats_.aborts.fetch_add(1, std::memory_order_relaxed);
+    std::rethrow_exception(failure);
+  }
+
+  owner_->router_.note_commit(plan_);
+  if (plan_.single_shard())
+    owner_->stats_.single_shard_commits.fetch_add(1,
+                                                  std::memory_order_relaxed);
+  else
+    owner_->stats_.cross_shard_commits.fetch_add(1, std::memory_order_relaxed);
+}
+
+void ShardTx::abort_prepared() {
+  for (const PreparedGroup& prepared : prepared_)
+    owner_->stub(prepared.group).abort(prepared.ticket);
+  prepared_.clear();
+}
+
+void ShardTx::commit() {
+  try {
+    prepare_all();
+  } catch (...) {
+    state_ = State::kFinished;
+    owner_->stats_.aborts.fetch_add(1, std::memory_order_relaxed);
+    throw;
+  }
+  commit_prepared();
+}
+
+void ShardTx::abort() {
+  if (state_ == State::kFinished) return;
+  abort_prepared();
+  state_ = State::kFinished;
+  owner_->stats_.aborts.fetch_add(1, std::memory_order_relaxed);
+}
+
+void seed_sharded(harness::Cluster& cluster, const ShardMap& map,
+                  const store::ObjectKey& key, const store::Record& value) {
+  for (dtm::Server* server : cluster.group_servers(map.shard_of(key)))
+    server->store().seed(key, value);
+}
+
+store::VersionedRecord latest_sharded(harness::Cluster& cluster,
+                                      const ShardMap& map,
+                                      const store::ObjectKey& key) {
+  store::VersionedRecord best;
+  bool found = false;
+  for (dtm::Server* server : cluster.group_servers(map.shard_of(key))) {
+    const auto result = server->store().read(key);
+    if (result.status != store::ReadStatus::kOk) continue;
+    if (!found || result.record.version > best.version) {
+      best = result.record;
+      found = true;
+    }
+  }
+  if (!found)
+    throw std::runtime_error("latest_sharded: no replica of group " +
+                             std::to_string(map.shard_of(key)) + " holds " +
+                             store::to_string(key));
+  return best;
+}
+
+}  // namespace acn::shard

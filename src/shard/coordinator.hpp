@@ -1,0 +1,163 @@
+// Cross-shard transactions: the single-shard fast path and 2PC across
+// quorum groups.
+//
+// A CrossShardCoordinator is one client's gateway to a sharded cluster: it
+// holds one QuorumStub per quorum group (all sharing the client's network
+// identity) and hands out ShardTx handles.  A ShardTx buffers writes
+// locally (read-your-writes), routes every read to the owning group's read
+// quorum with incremental validation against the reads already made on
+// that group, and at commit() classifies itself by the keys it ACTUALLY
+// touched (ShardRouter::reclassify — the predicted footprint only picks
+// the expected plan, it never decides the commit):
+//
+//   * single-shard — every key lives on one group: the commit is exactly
+//     the pre-sharding path, one prepare + one commit round on that
+//     group's write quorum.  No other group hears about the transaction.
+//   * multi-shard — 2PC with the coordinator as the (unreplicated)
+//     transaction manager: phase 1 prepares every write group (ascending
+//     group order — deterministic, so two coordinators cannot deadlock
+//     across groups) and validates read-only groups; phase 2 commits each
+//     prepared group.  Any phase-1 failure aborts every acquired ticket.
+//
+// Coordinator crash tolerance comes from the groups, not the coordinator:
+// each group's prepare records a lease (PR 3) and a WAL record (PR 4), so
+// when a coordinator dies between prepares the leases expire, presumed
+// abort releases every group, and a late phase 2 is refused kExpired.  A
+// crashed coordinator can therefore never wedge a group.  The prepare
+// lease must comfortably exceed the phase-2 duration: if a lease expires
+// *mid phase 2* after the first group committed, atomicity is breached —
+// the coordinator pushes the remaining groups forward (most-commit beats
+// most-abort once the decision is durable anywhere), counts
+// partial_commits, and still reports the transaction failed.  The
+// shardscale gate asserts this counter stays zero under its generous
+// leases.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "src/dtm/quorum_stub.hpp"
+#include "src/harness/cluster.hpp"
+#include "src/shard/router.hpp"
+
+namespace acn::shard {
+
+struct CoordinatorStats {
+  std::atomic<std::uint64_t> single_shard_commits{0};
+  std::atomic<std::uint64_t> cross_shard_commits{0};
+  std::atomic<std::uint64_t> aborts{0};
+  /// Atomicity breaches: a lease expired mid phase 2 after another group
+  /// had already installed.  Zero under correctly sized leases.
+  std::atomic<std::uint64_t> partial_commits{0};
+};
+
+class CrossShardCoordinator;
+
+/// One transaction against the sharded keyspace.  Not thread-safe; one
+/// client thread drives a ShardTx from begin to commit/abort.
+class ShardTx {
+ public:
+  /// Read `key` from its owning group (read-your-writes: a buffered write
+  /// or prior read of the key is served locally).  Throws what
+  /// QuorumStub::read throws.
+  store::Record read(const store::ObjectKey& key);
+
+  /// Buffer a write; nothing goes remote until commit().
+  void write(const store::ObjectKey& key, store::Record value);
+
+  /// Classify by the keys actually touched and run the single-shard fast
+  /// path or cross-shard 2PC.  Throws TxAbort on conflict/expiry (the
+  /// transaction is then fully released) and leaves the handle finished.
+  void commit();
+
+  /// Release anything prepared and finish the handle.  Safe to call in any
+  /// state; idempotent.
+  void abort();
+
+  // -- test hooks: drive 2PC phase by phase (coordinator-crash tests) ------
+  /// Phase 1 only: classify, prepare every write group, validate read-only
+  /// groups.  Returns the number of groups holding a prepare ticket.
+  /// Abandoning the handle after this call models a coordinator crash
+  /// between prepares: the groups' leases expire and presumed abort
+  /// releases them.
+  std::size_t prepare_all();
+  /// Phase 2 over the tickets prepare_all() acquired.
+  void commit_prepared();
+  /// Presumed-abort cleanup of prepare_all()'s tickets.
+  void abort_prepared();
+
+  dtm::TxId id() const noexcept { return tx_; }
+  const RoutePlan& predicted() const noexcept { return predicted_; }
+  /// The reclassified plan; meaningful after prepare_all()/commit().
+  const RoutePlan& committed_plan() const noexcept { return plan_; }
+
+ private:
+  friend class CrossShardCoordinator;
+
+  enum class State { kActive, kPrepared, kFinished };
+
+  struct PreparedGroup {
+    std::uint32_t group = 0;
+    dtm::PrepareTicket ticket;
+    std::vector<store::Record> values;  // aligned with ticket.keys
+  };
+
+  ShardTx(CrossShardCoordinator* owner, dtm::TxId tx, RoutePlan predicted)
+      : owner_(owner), tx_(tx), predicted_(std::move(predicted)) {}
+
+  std::vector<dtm::VersionCheck> group_checks(std::uint32_t group) const;
+
+  CrossShardCoordinator* owner_ = nullptr;
+  dtm::TxId tx_ = 0;
+  RoutePlan predicted_;
+  RoutePlan plan_;
+  State state_ = State::kActive;
+  std::map<store::ObjectKey, store::VersionedRecord> reads_;
+  std::map<store::ObjectKey, store::Record> writes_;
+  std::vector<PreparedGroup> prepared_;
+};
+
+class CrossShardCoordinator {
+ public:
+  /// `client_ordinal` is the client's network identity (shared by all the
+  /// coordinator's per-group stubs) and must be unique per coordinator —
+  /// it is also folded into transaction ids so two coordinators can never
+  /// mint the same TxId.
+  CrossShardCoordinator(harness::Cluster& cluster, const ShardRouter& router,
+                        int client_ordinal, std::uint64_t seed = 0);
+
+  /// Start a transaction; `predicted` seeds the route plan (pass
+  /// acn::predicted_footprint output, or {} when nothing is predictable).
+  ShardTx begin(const KeyFootprint& predicted = {});
+
+  const ShardRouter& router() const noexcept { return router_; }
+  const CoordinatorStats& stats() const noexcept { return stats_; }
+
+ private:
+  friend class ShardTx;
+
+  dtm::QuorumStub& stub(std::uint32_t group) { return stubs_.at(group); }
+
+  const ShardRouter& router_;
+  std::vector<dtm::QuorumStub> stubs_;  // indexed by group
+  CoordinatorStats stats_;
+  std::uint64_t tx_base_ = 0;
+  std::atomic<std::uint64_t> tx_seq_{0};
+};
+
+/// Seed `key` = `value` on every replica of its owning group — the sharded
+/// analogue of workloads::seed_all (seeding a foreign group would plant
+/// keys its quorums never serve but its snapshots would drag around).
+void seed_sharded(harness::Cluster& cluster, const ShardMap& map,
+                  const store::ObjectKey& key, const store::Record& value);
+
+/// Latest committed value of `key`, read from its owning group's replicas
+/// (max-version copy).  Throws std::runtime_error when no replica of the
+/// group holds it.
+store::VersionedRecord latest_sharded(harness::Cluster& cluster,
+                                      const ShardMap& map,
+                                      const store::ObjectKey& key);
+
+}  // namespace acn::shard

@@ -1,0 +1,84 @@
+// Footprint-based shard routing.
+//
+// The router classifies a transaction by the quorum groups its keys live
+// on.  It runs twice per transaction:
+//
+//   * plan() at submission, over the *predicted* footprint (the same
+//     acn::predicted_footprint signal the contention scheduler consumes).
+//     A one-group plan makes the transaction a single-shard candidate —
+//     the common case partition-oriented planning is designed to make
+//     cheap.
+//   * reclassify() at commit, over the keys the transaction *actually*
+//     read and wrote.  Predictions are blind to keys produced
+//     mid-transaction, so the actual set is authoritative: if it spans
+//     groups the prediction missed, the transaction is escalated to
+//     cross-shard 2PC and the mispredict counter records the escape.  The
+//     reverse (predicted groups never touched) is harmless over-prediction
+//     and escalates nothing.
+//
+// A transaction is NEVER committed single-shard on the strength of the
+// prediction alone — that would install a multi-group transaction on one
+// group and silently drop the rest.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <vector>
+
+#include "src/shard/shard_map.hpp"
+
+namespace acn::shard {
+
+struct RoutePlan {
+  /// Participant groups, sorted ascending, deduplicated.  Never empty for
+  /// a routed transaction (a key-less footprint routes to group 0).
+  std::vector<std::uint32_t> groups;
+
+  bool single_shard() const noexcept { return groups.size() == 1; }
+  /// The group a single-shard transaction runs on (first group otherwise).
+  std::uint32_t home() const noexcept {
+    return groups.empty() ? 0 : groups.front();
+  }
+
+  friend bool operator==(const RoutePlan&, const RoutePlan&) = default;
+};
+
+struct RouterStats {
+  std::uint64_t planned_single = 0;  // plan(): one predicted group
+  std::uint64_t planned_multi = 0;   // plan(): several predicted groups
+  std::uint64_t committed_single = 0;
+  std::uint64_t committed_multi = 0;
+  /// reclassify() found a group the prediction missed (escalation).
+  std::uint64_t mispredicted = 0;
+};
+
+class ShardRouter {
+ public:
+  explicit ShardRouter(const ShardMap& map) : map_(map) {}
+
+  const ShardMap& map() const noexcept { return map_; }
+
+  /// Classify a predicted footprint into a participant-group plan.
+  RoutePlan plan(const KeyFootprint& predicted) const;
+
+  /// The authoritative plan at commit time, from the keys actually
+  /// touched.  Bumps `mispredicted` when `predicted` missed a group; the
+  /// actual groups always win.
+  RoutePlan reclassify(const RoutePlan& predicted,
+                       const std::vector<store::ObjectKey>& touched) const;
+
+  /// Commit-side accounting (the coordinator calls this once per commit).
+  void note_commit(const RoutePlan& plan) const;
+
+  RouterStats stats() const;
+
+ private:
+  const ShardMap& map_;
+  mutable std::atomic<std::uint64_t> planned_single_{0};
+  mutable std::atomic<std::uint64_t> planned_multi_{0};
+  mutable std::atomic<std::uint64_t> committed_single_{0};
+  mutable std::atomic<std::uint64_t> committed_multi_{0};
+  mutable std::atomic<std::uint64_t> mispredicted_{0};
+};
+
+}  // namespace acn::shard

@@ -1,0 +1,37 @@
+#include "src/shard/shard_map.hpp"
+
+#include <stdexcept>
+
+namespace acn::shard {
+
+ShardMap::ShardMap(ShardMapConfig config) : config_(config) {
+  if (config_.n_shards == 0)
+    throw std::invalid_argument("ShardMap: n_shards must be >= 1");
+  if (config_.partitioning == Partitioning::kRange && config_.range_block == 0)
+    throw std::invalid_argument("ShardMap: range_block must be >= 1");
+}
+
+std::uint32_t ShardMap::shard_of(const store::ObjectKey& key) const noexcept {
+  if (config_.n_shards <= 1) return 0;
+  if (config_.partitioning == Partitioning::kRange)
+    return static_cast<std::uint32_t>((key.id / config_.range_block) %
+                                      config_.n_shards);
+  // Salted re-mix (murmur3 finalizer) of the store's key hash; see the
+  // header for why the raw hash bits must not be reused.
+  std::uint64_t x = static_cast<std::uint64_t>(store::ObjectKeyHash{}(key)) ^
+                    0x9e3779b97f4a7c15ULL;
+  x ^= x >> 33;
+  x *= 0xff51afd7ed558ccdULL;
+  x ^= x >> 33;
+  x *= 0xc4ceb9fe1a85ec53ULL;
+  x ^= x >> 33;
+  return static_cast<std::uint32_t>(x % config_.n_shards);
+}
+
+std::vector<std::uint32_t> ShardMap::shards_touched(
+    const KeyFootprint& footprint) const {
+  return acn::shards_touched(
+      footprint, [this](const ir::ObjectKey& key) { return shard_of(key); });
+}
+
+}  // namespace acn::shard

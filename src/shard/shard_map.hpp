@@ -1,0 +1,59 @@
+// Keyspace partitioning for the sharded cluster.
+//
+// A ShardMap is a pure, deterministic function from ObjectKey to quorum
+// group: every client, server and test computes the same owner for a key
+// with no coordination (the map is configuration, not state).  Two
+// partitionings:
+//
+//   * kHash  — a salted re-mix of ObjectKeyHash modulo n_shards.  The salt
+//     matters: VersionedStore already buckets keys internally with the raw
+//     ObjectKeyHash, and reusing those exact bits for group placement would
+//     correlate a group's keyspace slice with the store's internal lock
+//     shards.  Re-mixing decorrelates the two layers.
+//   * kRange — contiguous id blocks per class, round-robined across groups
+//     (shard = (id / range_block) mod n_shards).  Keeps key neighborhoods
+//     co-located, the layout range scans and locality-aware workloads want.
+//
+// n_shards == 1 degenerates to "everything on group 0", the unsharded
+// cluster.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "src/acn/footprint.hpp"
+#include "src/store/key.hpp"
+
+namespace acn::shard {
+
+enum class Partitioning { kHash, kRange };
+
+struct ShardMapConfig {
+  std::uint32_t n_shards = 1;
+  Partitioning partitioning = Partitioning::kHash;
+  /// kRange: ids [0, range_block) of every class land on shard 0, the next
+  /// block on shard 1, and so on round-robin.
+  std::uint64_t range_block = 1024;
+};
+
+class ShardMap {
+ public:
+  explicit ShardMap(ShardMapConfig config = {});
+
+  std::uint32_t n_shards() const noexcept { return config_.n_shards; }
+
+  /// The quorum group that owns `key`.
+  std::uint32_t shard_of(const store::ObjectKey& key) const noexcept;
+
+  /// acn::shards_touched bound to this map: the distinct groups a
+  /// footprint's keys live on, sorted ascending.
+  std::vector<std::uint32_t> shards_touched(
+      const KeyFootprint& footprint) const;
+
+  const ShardMapConfig& config() const noexcept { return config_; }
+
+ private:
+  ShardMapConfig config_;
+};
+
+}  // namespace acn::shard

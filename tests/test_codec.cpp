@@ -45,13 +45,13 @@ TEST(Codec, ValidateRequestRoundTrip) {
 }
 
 TEST(Codec, PrepareRequestRoundTrip) {
-  const auto original = req(PrepareRequest{5, {{kA, 2}}, {kA, kB}});
+  const auto original = req(PrepareRequest{5, {{kA, 2}}, {kA, kB}, 3});
   EXPECT_EQ(roundtrip(original), original);
 }
 
 TEST(Codec, CommitRequestRoundTrip) {
   const auto original = req(CommitRequest{
-      7, {kA, kB}, {Record{1, -2, 3}, Record{}}, {10, 11}});
+      7, {kA, kB}, {Record{1, -2, 3}, Record{}}, {10, 11}, 2});
   EXPECT_EQ(roundtrip(original), original);
 }
 
@@ -141,7 +141,8 @@ TEST(Codec, FuzzRandomRequestsRoundTrip) {
         break;
       case 2:
         original.payload =
-            PrepareRequest{rng.uniform(0, 99), random_checks(), random_keys()};
+            PrepareRequest{rng.uniform(0, 99), random_checks(), random_keys(),
+                           static_cast<std::uint32_t>(rng.uniform(0, 7))};
         break;
       case 3: {
         CommitRequest commit;
@@ -154,6 +155,7 @@ TEST(Codec, FuzzRandomRequestsRoundTrip) {
           commit.values.push_back(std::move(r));
           commit.versions.push_back(rng.uniform(0, 1000));
         }
+        commit.group = static_cast<std::uint32_t>(rng.uniform(0, 7));
         original.payload = std::move(commit);
         break;
       }
@@ -268,7 +270,8 @@ TEST(Codec, FuzzEveryMessageTypeRoundTrips) {
         break;
       case 2:
         request.payload =
-            PrepareRequest{rng.uniform(0, 99), random_checks(), random_keys()};
+            PrepareRequest{rng.uniform(0, 99), random_checks(), random_keys(),
+                           static_cast<std::uint32_t>(rng.uniform(0, 7))};
         break;
       case 3: {
         CommitRequest commit;
@@ -278,6 +281,7 @@ TEST(Codec, FuzzEveryMessageTypeRoundTrips) {
           commit.values.push_back(random_record());
           commit.versions.push_back(rng.uniform(0, 1000));
         }
+        commit.group = static_cast<std::uint32_t>(rng.uniform(0, 7));
         request.payload = std::move(commit);
         break;
       }
@@ -308,7 +312,7 @@ TEST(Codec, FuzzEveryMessageTypeRoundTrips) {
         break;
       case 3: {
         PrepareResponse prepare;
-        prepare.code = static_cast<PrepareCode>(rng.uniform(0, 2));
+        prepare.code = static_cast<PrepareCode>(rng.uniform(0, 3));
         prepare.invalid = random_keys();
         prepare.current_versions.resize(rng.uniform(0, 6));
         for (auto& v : prepare.current_versions) v = rng.uniform(0, 1000);

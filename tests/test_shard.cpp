@@ -1,0 +1,479 @@
+// Sharding subsystem tests (src/shard + the group-aware harness): keyspace
+// partitioning, footprint-based routing with mispredict escalation, the
+// single-shard fast path's no-cross-group-traffic invariant, cross-shard
+// 2PC atomicity, presumed abort after a coordinator crash between group
+// prepares, a partition isolating a participant group, WAL recovery of an
+// in-flight cross-shard prepare, group-scoped rejoin catch-up, and the
+// per-group chaos victim derivation.
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <cstdint>
+#include <filesystem>
+#include <thread>
+#include <vector>
+
+#include "src/acn/footprint.hpp"
+#include "src/chaos/chaos.hpp"
+#include "src/dtm/abort.hpp"
+#include "src/harness/cluster.hpp"
+#include "src/shard/coordinator.hpp"
+#include "src/shard/router.hpp"
+#include "src/shard/shard_map.hpp"
+
+namespace acn::shard {
+namespace {
+
+using store::ObjectKey;
+using store::Record;
+
+harness::ClusterConfig fast_cluster(std::size_t groups,
+                                    std::size_t per_group = 3) {
+  harness::ClusterConfig config;
+  config.n_servers = per_group;
+  config.n_groups = groups;
+  config.base_latency = std::chrono::nanoseconds{0};
+  return config;
+}
+
+/// Deterministic group targeting without chasing hash placements: blocks of
+/// 100 ids round-robin across groups, so id 5 is group 0, id 105 group 1...
+ShardMap range_map(std::uint32_t n_shards) {
+  ShardMapConfig config;
+  config.n_shards = n_shards;
+  config.partitioning = Partitioning::kRange;
+  config.range_block = 100;
+  return ShardMap(config);
+}
+
+KeyFootprint write_footprint(std::vector<ObjectKey> keys) {
+  std::sort(keys.begin(), keys.end());
+  KeyFootprint footprint;
+  for (const auto& key : keys) footprint.push_back({key, true});
+  return footprint;
+}
+
+std::size_t total_protected(harness::Cluster& cluster) {
+  std::size_t count = 0;
+  for (dtm::Server* server : cluster.servers())
+    count += server->store().protected_count();
+  return count;
+}
+
+std::size_t total_open_leases(harness::Cluster& cluster) {
+  std::size_t count = 0;
+  for (dtm::Server* server : cluster.servers())
+    count += server->open_lease_count();
+  return count;
+}
+
+TEST(ShardMap, HashIsDeterministicAndCoversEveryShard) {
+  ShardMap map(ShardMapConfig{.n_shards = 8});
+  std::vector<std::size_t> per_shard(8, 0);
+  for (std::uint64_t id = 0; id < 4096; ++id) {
+    const ObjectKey key{2, id};
+    const std::uint32_t shard = map.shard_of(key);
+    ASSERT_LT(shard, 8u);
+    EXPECT_EQ(shard, map.shard_of(key));  // pure function of the key
+    ++per_shard[shard];
+  }
+  // A balanced hash leaves no shard empty (or starved) over 4096 keys.
+  for (const std::size_t n : per_shard) EXPECT_GT(n, 4096u / 16);
+}
+
+TEST(ShardMap, RangeBlocksRoundRobinAcrossShards) {
+  const ShardMap map = range_map(3);
+  EXPECT_EQ(map.shard_of({1, 0}), 0u);
+  EXPECT_EQ(map.shard_of({1, 99}), 0u);
+  EXPECT_EQ(map.shard_of({1, 100}), 1u);
+  EXPECT_EQ(map.shard_of({1, 250}), 2u);
+  EXPECT_EQ(map.shard_of({1, 300}), 0u);  // wraps round-robin
+}
+
+TEST(ShardMap, DegenerateAndInvalidConfigs) {
+  ShardMap one(ShardMapConfig{.n_shards = 1});
+  for (std::uint64_t id = 0; id < 64; ++id)
+    EXPECT_EQ(one.shard_of({7, id}), 0u);
+  EXPECT_THROW(ShardMap(ShardMapConfig{.n_shards = 0}), std::invalid_argument);
+  EXPECT_THROW(ShardMap(ShardMapConfig{.n_shards = 2,
+                                       .partitioning = Partitioning::kRange,
+                                       .range_block = 0}),
+               std::invalid_argument);
+}
+
+TEST(ShardsTouched, SortedDeduplicatedUnderAnyPartitioning) {
+  const KeyFootprint footprint = write_footprint(
+      {{1, 205}, {1, 5}, {2, 110}, {1, 107}});
+  // The acn helper is generic over the partitioning callable.
+  const auto shards = acn::shards_touched(
+      footprint, [](const ir::ObjectKey& key) {
+        return static_cast<std::uint32_t>((key.id / 100) % 3);
+      });
+  EXPECT_EQ(shards, (std::vector<std::uint32_t>{0, 1, 2}));
+  // And ShardMap binds it to the real map.
+  const ShardMap map = range_map(3);
+  EXPECT_EQ(map.shards_touched(footprint),
+            (std::vector<std::uint32_t>{0, 1, 2}));
+  EXPECT_TRUE(map.shards_touched({}).empty());
+}
+
+TEST(ShardsTouched, PredictedFootprintRoutesAProgram) {
+  // The same static analysis that feeds the scheduler feeds the router: a
+  // program whose param-only keys span two range blocks plans multi-shard.
+  ir::ProgramBuilder b("cross", /*n_params=*/1);
+  b.remote_read(
+      1, {b.param(0)}, [](const ir::TxEnv&) { return ObjectKey{1, 5}; },
+      "read home", /*for_write=*/true);
+  b.remote_read(
+      1, {b.param(0)}, [](const ir::TxEnv&) { return ObjectKey{1, 105}; },
+      "read away", /*for_write=*/true);
+  const auto program = b.build();
+  const auto footprint = predicted_footprint(program, {ir::Record{1}});
+  ASSERT_EQ(footprint.size(), 2u);
+
+  const ShardMap map = range_map(2);
+  ShardRouter router(map);
+  const RoutePlan plan = router.plan(footprint);
+  EXPECT_FALSE(plan.single_shard());
+  EXPECT_EQ(plan.groups, (std::vector<std::uint32_t>{0, 1}));
+}
+
+TEST(Router, ReclassifyEscalatesMispredictionsNeverTrustsThePlan) {
+  const ShardMap map = range_map(2);
+  ShardRouter router(map);
+
+  const RoutePlan predicted = router.plan(write_footprint({{1, 5}}));
+  EXPECT_TRUE(predicted.single_shard());
+  EXPECT_EQ(predicted.home(), 0u);
+
+  // The transaction actually touched a key on group 1 the prediction never
+  // saw: the authoritative plan spans both groups and the escape is
+  // counted.  Committing this single-shard would drop the group-1 write.
+  const RoutePlan actual =
+      router.reclassify(predicted, {{1, 5}, {1, 105}});
+  EXPECT_EQ(actual.groups, (std::vector<std::uint32_t>{0, 1}));
+  EXPECT_EQ(router.stats().mispredicted, 1u);
+
+  // Over-prediction (a planned group never touched) narrows the plan and is
+  // NOT a mispredict — nothing can be lost by touching less than planned.
+  const RoutePlan narrowed =
+      router.reclassify(RoutePlan{{0, 1}}, {{1, 5}});
+  EXPECT_EQ(narrowed.groups, (std::vector<std::uint32_t>{0}));
+  EXPECT_EQ(router.stats().mispredicted, 1u);
+
+  // An empty plan routes to group 0 rather than nowhere.
+  EXPECT_EQ(router.plan({}).groups, (std::vector<std::uint32_t>{0}));
+}
+
+TEST(Server, RefusesWrongGroupPrepareAndCommit) {
+  harness::Cluster cluster(fast_cluster(2));
+  dtm::Server& g1_server = cluster.server(cluster.config().n_servers);
+  ASSERT_EQ(g1_server.group(), 1u);
+
+  dtm::Request prepare;
+  prepare.payload = dtm::PrepareRequest{77, {}, {{1, 5}}, /*group=*/0};
+  const auto prepare_res = g1_server.handle(100, prepare);
+  EXPECT_EQ(std::get<dtm::PrepareResponse>(prepare_res.payload).code,
+            dtm::PrepareCode::kWrongGroup);
+  EXPECT_EQ(g1_server.store().protected_count(), 0u);
+
+  dtm::Request commit;
+  commit.payload = dtm::CommitRequest{77, {{1, 5}}, {Record{1}}, {1},
+                                      /*group=*/0};
+  const auto commit_res = g1_server.handle(100, commit);
+  EXPECT_EQ(std::get<dtm::CommitResponse>(commit_res.payload).code,
+            dtm::CommitCode::kExpired);
+  EXPECT_EQ(g1_server.stats().wrong_group.load(), 2u);
+  EXPECT_EQ(g1_server.store().read({1, 5}).status, store::ReadStatus::kMissing);
+}
+
+TEST(Coordinator, SingleShardCommitNeverTouchesOtherGroups) {
+  harness::Cluster cluster(fast_cluster(2));
+  const ShardMap map = range_map(2);
+  ShardRouter router(map);
+  const ObjectKey home{1, 5};  // group 0
+  seed_sharded(cluster, map, home, Record{100});
+
+  CrossShardCoordinator coordinator(cluster, router, /*client_ordinal=*/0);
+  ShardTx tx = coordinator.begin(write_footprint({home}));
+  EXPECT_TRUE(tx.predicted().single_shard());
+  const Record before = tx.read(home);
+  EXPECT_EQ(before.fields[0], 100);
+  tx.write(home, Record{before.fields[0] + 1});
+  tx.commit();
+
+  EXPECT_EQ(latest_sharded(cluster, map, home).value.fields[0], 101);
+  EXPECT_EQ(coordinator.stats().single_shard_commits.load(), 1u);
+  EXPECT_EQ(coordinator.stats().cross_shard_commits.load(), 0u);
+  EXPECT_TRUE(tx.committed_plan().single_shard());
+
+  // The fast-path invariant: group 1 heard NOTHING about this transaction.
+  for (dtm::Server* server : cluster.group_servers(1)) {
+    EXPECT_EQ(server->stats().reads.load(), 0u);
+    EXPECT_EQ(server->stats().prepares.load(), 0u);
+    EXPECT_EQ(server->stats().commits.load(), 0u);
+    EXPECT_EQ(server->stats().aborts.load(), 0u);
+  }
+}
+
+TEST(Coordinator, CrossShardTransferCommitsAtomically) {
+  harness::Cluster cluster(fast_cluster(2));
+  const ShardMap map = range_map(2);
+  ShardRouter router(map);
+  const ObjectKey src{1, 5}, dst{1, 105};  // groups 0 and 1
+  seed_sharded(cluster, map, src, Record{1000});
+  seed_sharded(cluster, map, dst, Record{1000});
+
+  CrossShardCoordinator coordinator(cluster, router, 0);
+  ShardTx tx = coordinator.begin(write_footprint({src, dst}));
+  EXPECT_FALSE(tx.predicted().single_shard());
+  const auto a = tx.read(src), b = tx.read(dst);
+  tx.write(src, Record{a.fields[0] - 75});
+  tx.write(dst, Record{b.fields[0] + 75});
+  tx.commit();
+
+  EXPECT_EQ(latest_sharded(cluster, map, src).value.fields[0], 925);
+  EXPECT_EQ(latest_sharded(cluster, map, dst).value.fields[0], 1075);
+  EXPECT_EQ(coordinator.stats().cross_shard_commits.load(), 1u);
+  EXPECT_EQ(coordinator.stats().partial_commits.load(), 0u);
+  EXPECT_EQ(total_protected(cluster), 0u);
+  EXPECT_EQ(total_open_leases(cluster), 0u);
+}
+
+TEST(Coordinator, ValidationConflictAbortsAndReleasesEveryGroup) {
+  harness::Cluster cluster(fast_cluster(2));
+  const ShardMap map = range_map(2);
+  ShardRouter router(map);
+  const ObjectKey src{1, 5}, dst{1, 105};
+  seed_sharded(cluster, map, src, Record{500});
+  seed_sharded(cluster, map, dst, Record{500});
+
+  CrossShardCoordinator loser(cluster, router, 0);
+  CrossShardCoordinator winner(cluster, router, 1);
+
+  ShardTx tx = loser.begin(write_footprint({src, dst}));
+  tx.read(src);
+  tx.read(dst);
+
+  // A rival commits a new version of dst between the read and the commit.
+  ShardTx rival = winner.begin(write_footprint({dst}));
+  rival.write(dst, Record{999});
+  rival.commit();
+
+  tx.write(src, Record{1});
+  tx.write(dst, Record{2});
+  EXPECT_THROW(tx.commit(), dtm::TxAbort);
+
+  // The abort released group 0's prepare; dst keeps the rival's value.
+  EXPECT_EQ(total_protected(cluster), 0u);
+  EXPECT_EQ(total_open_leases(cluster), 0u);
+  EXPECT_EQ(latest_sharded(cluster, map, src).value.fields[0], 500);
+  EXPECT_EQ(latest_sharded(cluster, map, dst).value.fields[0], 999);
+  EXPECT_EQ(loser.stats().aborts.load(), 1u);
+}
+
+TEST(Coordinator, CrashBetweenPreparesIsPresumedAbortInEveryGroup) {
+  auto config = fast_cluster(2);
+  config.prepare_lease_ns = 50'000'000;  // 50 ms
+  harness::Cluster cluster(config);
+  const ShardMap map = range_map(2);
+  ShardRouter router(map);
+  const ObjectKey src{1, 5}, dst{1, 105};
+  seed_sharded(cluster, map, src, Record{300});
+  seed_sharded(cluster, map, dst, Record{300});
+
+  CrossShardCoordinator doomed(cluster, router, 0);
+  ShardTx tx = doomed.begin(write_footprint({src, dst}));
+  tx.read(src);
+  tx.read(dst);
+  tx.write(src, Record{0});
+  tx.write(dst, Record{0});
+  ASSERT_EQ(tx.prepare_all(), 2u);  // both groups hold a prepare
+  EXPECT_GT(total_open_leases(cluster), 0u);
+
+  // "Crash": the coordinator never sends phase 2.  The leases expire and
+  // presumed abort releases both groups without any coordinator help.
+  std::this_thread::sleep_for(std::chrono::milliseconds{80});
+  for (dtm::Server* server : cluster.servers()) server->expire_stale_leases();
+  EXPECT_EQ(total_open_leases(cluster), 0u);
+  EXPECT_EQ(total_protected(cluster), 0u);
+
+  // The keys are free: a live coordinator transfers across them at once.
+  CrossShardCoordinator alive(cluster, router, 1);
+  ShardTx retry = alive.begin(write_footprint({src, dst}));
+  const auto a = retry.read(src), b = retry.read(dst);
+  retry.write(src, Record{a.fields[0] - 10});
+  retry.write(dst, Record{b.fields[0] + 10});
+  retry.commit();
+  EXPECT_EQ(latest_sharded(cluster, map, src).value.fields[0], 290);
+  EXPECT_EQ(latest_sharded(cluster, map, dst).value.fields[0], 310);
+
+  // The zombie coordinator waking up is refused everywhere (kExpired) and
+  // installs nothing — no partial state, no resurrected values.
+  EXPECT_THROW(tx.commit_prepared(), dtm::TxAbort);
+  EXPECT_EQ(doomed.stats().partial_commits.load(), 0u);
+  EXPECT_EQ(latest_sharded(cluster, map, src).value.fields[0], 290);
+  EXPECT_EQ(latest_sharded(cluster, map, dst).value.fields[0], 310);
+}
+
+TEST(Coordinator, PartitionIsolatingAParticipantGroupAbortsCleanly) {
+  harness::Cluster cluster(fast_cluster(2));
+  const ShardMap map = range_map(2);
+  ShardRouter router(map);
+  const ObjectKey src{1, 5}, dst{1, 105};
+  seed_sharded(cluster, map, src, Record{700});
+  seed_sharded(cluster, map, dst, Record{700});
+
+  // Cut group 1 off from everyone (clients included, like chaos isolate()).
+  cluster.network().set_partition({{}, cluster.group_members(1)});
+
+  CrossShardCoordinator coordinator(cluster, router, 0);
+  ShardTx tx = coordinator.begin(write_footprint({src, dst}));
+  const auto a = tx.read(src);  // group 0 is reachable
+  tx.write(src, Record{a.fields[0] - 1});
+  tx.write(dst, Record{1});
+  EXPECT_THROW(tx.commit(), dtm::TxAbort);
+
+  cluster.network().clear_partition();
+  // Group 0's prepare was released by the coordinator's phase-1 unwind —
+  // not stranded until lease expiry — and group 1 never prepared at all.
+  EXPECT_EQ(total_protected(cluster), 0u);
+  EXPECT_EQ(total_open_leases(cluster), 0u);
+  EXPECT_EQ(latest_sharded(cluster, map, src).value.fields[0], 700);
+  EXPECT_EQ(latest_sharded(cluster, map, dst).value.fields[0], 700);
+}
+
+TEST(Coordinator, WalRecoveryRearmsInflightCrossShardPrepare) {
+  const std::string data_dir =
+      testing::TempDir() + "acn-shard-wal-recovery";
+  std::filesystem::remove_all(data_dir);
+
+  auto config = fast_cluster(2);
+  config.prepare_lease_ns = 60'000'000'000;  // park: expiry not under test
+  config.durability.mode = harness::DurabilityMode::kWal;
+  config.durability.data_dir = data_dir;
+  config.durability.flush_interval_ns = 0;  // every append reaches the disk
+  harness::Cluster cluster(config);
+  const ShardMap map = range_map(2);
+  ShardRouter router(map);
+  const ObjectKey src{1, 5}, dst{1, 105};
+  seed_sharded(cluster, map, src, Record{40});
+  seed_sharded(cluster, map, dst, Record{40});
+  cluster.checkpoint_all();  // seeding bypasses the WAL
+
+  CrossShardCoordinator coordinator(cluster, router, 0);
+  ShardTx tx = coordinator.begin(write_footprint({src, dst}));
+  tx.write(src, Record{41});
+  tx.write(dst, Record{41});
+  ASSERT_EQ(tx.prepare_all(), 2u);
+
+  // Crash a group-1 replica that holds the in-flight prepare; its log has
+  // the prepare record, so recovery must re-arm the protection.
+  net::NodeId victim = -1;
+  for (const net::NodeId id : cluster.group_members(1))
+    if (cluster.server(static_cast<std::size_t>(id)).open_lease_count() > 0) {
+      victim = id;
+      break;
+    }
+  ASSERT_NE(victim, -1);
+  cluster.crash_node(victim);
+  cluster.restart_node(victim);
+  dtm::Server& rejoined = cluster.server(static_cast<std::size_t>(victim));
+  EXPECT_EQ(rejoined.open_lease_count(), 1u);
+  EXPECT_GT(rejoined.store().protected_count(), 0u);
+
+  // Phase 2 completes against the rejoined replica — the recovered
+  // protection belongs to THIS transaction, so the commit lands.
+  tx.commit_prepared();
+  EXPECT_EQ(coordinator.stats().partial_commits.load(), 0u);
+  EXPECT_EQ(latest_sharded(cluster, map, src).value.fields[0], 41);
+  EXPECT_EQ(latest_sharded(cluster, map, dst).value.fields[0], 41);
+  EXPECT_EQ(total_open_leases(cluster), 0u);
+
+  std::filesystem::remove_all(data_dir);
+}
+
+TEST(Cluster, RejoinCatchUpStaysInsideTheGroup) {
+  // Four replicas per group: the tree (root + 3 leaves) keeps its write
+  // quorum constructible with one leaf down.  Quorum selection is random,
+  // so give the stub enough re-picks to dodge the crashed leaf.
+  auto config = fast_cluster(2, /*per_group=*/4);
+  config.stub.max_quorum_retries = 16;
+  harness::Cluster cluster(config);
+  const ShardMap map = range_map(2);
+  ShardRouter router(map);
+  const ObjectKey k0{1, 5}, k1{1, 105};
+  seed_sharded(cluster, map, k0, Record{10});
+  seed_sharded(cluster, map, k1, Record{10});
+
+  const net::NodeId victim = cluster.group_members(1).back();
+  cluster.crash_node(victim);
+
+  // Advance both keys while the group-1 replica is down.
+  CrossShardCoordinator coordinator(cluster, router, 0);
+  ShardTx tx = coordinator.begin(write_footprint({k0, k1}));
+  const auto a = tx.read(k0), b = tx.read(k1);
+  tx.write(k0, Record{a.fields[0] + 1});
+  tx.write(k1, Record{b.fields[0] + 2});
+  tx.commit();
+
+  cluster.restart_node(victim, harness::CatchUpScope::kAllReplicas);
+  dtm::Server& rejoined = cluster.server(static_cast<std::size_t>(victim));
+  // Caught up on its own group's key...
+  EXPECT_EQ(rejoined.store().read(k1).record.value.fields[0], 12);
+  // ...and did NOT import the other group's keyspace.
+  EXPECT_EQ(rejoined.store().read(k0).status, store::ReadStatus::kMissing);
+}
+
+TEST(Chaos, LeafVictimsAndPartitionGroupsArePerGroup) {
+  harness::Cluster cluster(fast_cluster(2, /*per_group=*/7));
+
+  // Group 0's tree over local ids 0..6 (arity 3): leaves are 2..6.
+  EXPECT_EQ(chaos::ChaosController::leaf_victims(cluster, 3, 0),
+            (std::vector<net::NodeId>{6, 5, 4}));
+  // Group 1: same tree relocated to ids 7..13 — never group 1's root (7).
+  EXPECT_EQ(chaos::ChaosController::leaf_victims(cluster, 3, 1),
+            (std::vector<net::NodeId>{13, 12, 11}));
+  const auto all = chaos::ChaosController::leaf_victims(cluster, 6, 1);
+  for (const net::NodeId id : all) {
+    EXPECT_GE(id, 8);  // neither the root nor a group-0 node
+    EXPECT_LT(id, 14);
+  }
+
+  const auto groups = chaos::ChaosController::shard_partition_groups(cluster);
+  ASSERT_EQ(groups.size(), 2u);
+  EXPECT_EQ(groups[0], cluster.group_members(0));
+  EXPECT_EQ(groups[1], cluster.group_members(1));
+}
+
+TEST(Coordinator, MispredictedFootprintFallsBackToCrossShard2pc) {
+  harness::Cluster cluster(fast_cluster(2));
+  const ShardMap map = range_map(2);
+  ShardRouter router(map);
+  const ObjectKey home{1, 5}, surprise{1, 105};
+  seed_sharded(cluster, map, home, Record{50});
+  seed_sharded(cluster, map, surprise, Record{50});
+
+  CrossShardCoordinator coordinator(cluster, router, 0);
+  // The prediction only saw the home key (the surprise key is the model of
+  // a mid-transaction pointer chase the static analysis cannot see).
+  ShardTx tx = coordinator.begin(write_footprint({home}));
+  EXPECT_TRUE(tx.predicted().single_shard());
+  const auto a = tx.read(home);
+  const auto b = tx.read(surprise);
+  tx.write(home, Record{a.fields[0] - 5});
+  tx.write(surprise, Record{b.fields[0] + 5});
+  tx.commit();
+
+  // The commit escalated to 2PC on the groups actually touched — never a
+  // silent single-shard commit that drops the group-1 write.
+  EXPECT_EQ(tx.committed_plan().groups, (std::vector<std::uint32_t>{0, 1}));
+  EXPECT_EQ(coordinator.stats().cross_shard_commits.load(), 1u);
+  EXPECT_EQ(coordinator.stats().single_shard_commits.load(), 0u);
+  EXPECT_EQ(router.stats().mispredicted, 1u);
+  EXPECT_EQ(latest_sharded(cluster, map, home).value.fields[0], 45);
+  EXPECT_EQ(latest_sharded(cluster, map, surprise).value.fields[0], 55);
+}
+
+}  // namespace
+}  // namespace acn::shard
