@@ -27,13 +27,36 @@
 //      anywhere — a crashed coordinator never wedges or half-commits a
 //      group.
 //
-// Flags beyond the shared set (see figure_common.hpp): --shards=N is the
-// largest group count on the curve (default 8); --group-servers=N replicas
-// per group (default 4); --clients-per-shard=N (default 2); --txs=N
-// transfers per client on the curve (default 300); --cross=P percent of
-// mixed-phase transfers forced cross-shard (default 25).
+//   4. TPC-C scale curve — full NewOrder transactions submitted through
+//      shard::Client with warehouse-per-group placement, one warehouse per
+//      group, clients pinned to their home warehouse, 0% remote lines.
+//      Every transaction must take the single-shard fast path (zero
+//      cross-shard dispatches, escalations, mispredictions or wrong-group
+//      refusals) and the largest point must reach >= 0.8x linear over the
+//      1-group baseline — the unsharded run is the first point of the same
+//      curve, so "matches unsharded within noise" is the frac itself.
+//
+//   5. TPC-C remote mix vs unsharded reference — a deterministic NewOrder
+//      list where each order line's stock is supplied by a foreign
+//      warehouse with probability --remote-wh (default 0.10) runs through
+//      shard::Client on a sharded cluster (one thread per warehouse, so
+//      every district sees its orders in a fixed sequence) and sequentially
+//      on an unsharded reference.  Stock is seeded deep enough that the
+//      restock rule stays dormant, making cross-warehouse stock updates
+//      commute: the gate requires the final record of EVERY seeded key to
+//      equal the reference exactly, at least one cross-shard NewOrder
+//      commit, and zero orphaned prepares (no open lease, no protected
+//      key) after the run.
+//
+// Flags beyond the shared set (see figure_common.hpp), consumed through
+// BenchOptions::parse's `extra` hook: --shards=N is the largest group
+// count on the curve (default 8); --group-servers=N replicas per group
+// (default 4); --clients-per-shard=N (default 2); --txs=N transactions per
+// client on the curves (default 300); --cross=P percent of mixed-phase
+// transfers forced cross-shard (default 25); --remote-wh=P probability a
+// phase-5 order line is remote (default 0.10).
 // --metrics-json FILE writes the curve and check results as JSON (the
-// format scripts/bench_snapshot.sh folds into BENCH_6.json).
+// format scripts/bench_snapshot.sh folds into BENCH_7.json).
 #include <algorithm>
 #include <atomic>
 #include <chrono>
@@ -46,6 +69,7 @@
 #include "src/shard/coordinator.hpp"
 #include "src/shard/router.hpp"
 #include "src/shard/shard_map.hpp"
+#include "src/workloads/tpcc.hpp"
 
 namespace {
 
@@ -130,6 +154,7 @@ struct ScaleOptions {
   std::size_t clients_per_shard = 2;
   std::size_t txs_per_client = 300;
   int cross_pct = 25;
+  double remote_wh = 0.10;  // phase-5 remote order-line probability
 };
 
 struct ScalePoint {
@@ -205,19 +230,128 @@ ScalePoint run_scale_point(const bench::BenchOptions& args,
   return point;
 }
 
+// ---- TPC-C through the unified Client API (phases 4 and 5) -------------
+
+workloads::TpccConfig tpcc_config(std::size_t warehouses,
+                                  std::size_t districts) {
+  workloads::TpccConfig config;
+  config.n_warehouses = warehouses;
+  config.districts_per_warehouse = districts;
+  config.customers_per_district = 30;
+  config.n_items = 64;
+  config.w_neworder = 1.0;
+  // Deep stock keeps the restock rule dormant, so remote stock updates
+  // commute and phase 5's state-equality check is order-independent.
+  config.initial_stock_quantity = 1'000'000;
+  return config;
+}
+
+/// One NewOrder parameter vector: [w, d, c, items, qtys, supply].  Items
+/// are made distinct by a fixed stride; each line's supplying warehouse is
+/// foreign with probability `remote`.
+std::vector<Record> make_neworder_params(const workloads::TpccConfig& config,
+                                         store::Field w, store::Field d,
+                                         acn::Rng& rng, double remote) {
+  const std::size_t lines = workloads::Tpcc::kOrderLines;
+  Record items(lines), qtys(lines), supply(lines);
+  const auto first =
+      static_cast<store::Field>(rng.uniform(0, config.n_items - 1));
+  for (std::size_t l = 0; l < lines; ++l) {
+    items[l] = static_cast<store::Field>(
+        (static_cast<std::uint64_t>(first) + 7 * l) % config.n_items);
+    qtys[l] = static_cast<store::Field>(rng.uniform(1, 10));
+    supply[l] = w;
+    if (remote > 0 && config.n_warehouses > 1 && rng.bernoulli(remote)) {
+      auto other = static_cast<store::Field>(
+          rng.uniform(0, config.n_warehouses - 2));
+      supply[l] = other >= w ? other + 1 : other;
+    }
+  }
+  const auto c = static_cast<store::Field>(
+      rng.uniform(0, config.customers_per_district - 1));
+  return {Record{w}, Record{d}, Record{c}, items, qtys, supply};
+}
+
+/// Phase 4: one point of the TPC-C curve.  One warehouse per group, every
+/// client pinned to a distinct district of its home group's warehouse, 0%
+/// remote lines — per-group load is constant across the curve and every
+/// transaction must stay on the single-shard fast path.
+ScalePoint run_tpcc_scale_point(const bench::BenchOptions& args,
+                                const ScaleOptions& scale,
+                                std::size_t shards) {
+  harness::ClusterConfig config = args.cluster;
+  config.n_servers = scale.group_servers;
+  config.n_groups = shards;
+  config.prepare_lease_ns = 2'000'000'000;
+  harness::Cluster cluster(config);
+
+  const workloads::TpccConfig workload_config =
+      tpcc_config(shards, std::max<std::size_t>(scale.clients_per_shard, 2));
+  workloads::Tpcc tpcc(workload_config);
+  shard::ClientFleet fleet(tpcc, static_cast<std::uint32_t>(shards));
+  fleet.seed(cluster, tpcc);
+
+  const ir::TxProgram& program = *tpcc.profiles()[0].program;
+  const std::size_t n_clients = scale.clients_per_shard * shards;
+  auto factory = fleet.factory();
+  std::vector<std::unique_ptr<harness::Submitter>> submitters;
+  for (std::size_t i = 0; i < n_clients; ++i)
+    submitters.push_back(factory(cluster, i, args.driver.executor,
+                                 args.driver.seed ^ (i << 16)));
+
+  std::atomic<bool> go{false};
+  std::atomic<std::uint64_t> commits{0};
+  std::vector<std::thread> clients;
+  for (std::size_t i = 0; i < n_clients; ++i)
+    clients.emplace_back([&, i] {
+      const auto w = static_cast<store::Field>(i % shards);
+      const auto d = static_cast<store::Field>(i / shards);
+      acn::Rng rng(args.driver.seed + 0x79cc + i);
+      acn::ExecStats stats;
+      while (!go.load(std::memory_order_acquire)) std::this_thread::yield();
+      for (std::size_t t = 0; t < scale.txs_per_client; ++t)
+        submitters[i]->run(
+            harness::Protocol::kFlat, acn::with_program(program),
+            make_neworder_params(workload_config, w, d, rng, 0.0), stats);
+      commits.fetch_add(stats.commits, std::memory_order_relaxed);
+    });
+
+  const auto start = std::chrono::steady_clock::now();
+  go.store(true, std::memory_order_release);
+  for (auto& thread : clients) thread.join();
+  const double seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+          .count();
+
+  ScalePoint point;
+  point.shards = shards;
+  point.commits = commits.load();
+  point.tx_per_sec = seconds > 0 ? static_cast<double>(point.commits) / seconds
+                                 : 0;
+  const auto& stats = fleet.stats();
+  if (stats.cross_shard.load() != 0 || stats.escalations.load() != 0 ||
+      fleet.router().stats().mispredicted != 0 ||
+      cluster_wrong_group(cluster) != 0)
+    throw std::runtime_error(
+        "pinned TPC-C leaked off the fast path (cross=" +
+        std::to_string(stats.cross_shard.load()) + " escalations=" +
+        std::to_string(stats.escalations.load()) + ")");
+  tpcc.check_invariants(cluster.servers());
+  return point;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   ScaleOptions scale;
   bool latency_given = false;
-  // Bench-specific flags are consumed here; everything else passes through
-  // to the shared parser.
-  std::vector<char*> passthrough = {argv[0]};
-  for (int i = 1; i < argc; ++i) {
-    const std::string arg = argv[i];
+  // Bench-specific flags are claimed through the shared parser's `extra`
+  // hook; everything else is the common option set.
+  const auto extra = [&](const std::string& arg) {
     auto value = [&](const char* prefix) {
       return std::strtol(arg.c_str() + std::strlen(prefix), nullptr, 10);
     };
+    if (arg.rfind("--latency-us", 0) == 0) latency_given = true;  // observed
     if (arg.rfind("--group-servers=", 0) == 0)
       scale.group_servers = static_cast<std::size_t>(value("--group-servers="));
     else if (arg.rfind("--clients-per-shard=", 0) == 0)
@@ -227,13 +361,14 @@ int main(int argc, char** argv) {
       scale.txs_per_client = static_cast<std::size_t>(value("--txs="));
     else if (arg.rfind("--cross=", 0) == 0)
       scale.cross_pct = static_cast<int>(value("--cross="));
-    else {
-      if (arg.rfind("--latency-us", 0) == 0) latency_given = true;
-      passthrough.push_back(argv[i]);
-    }
-  }
-  auto args = bench::BenchOptions::parse(static_cast<int>(passthrough.size()),
-                                         passthrough.data());
+    else if (arg.rfind("--remote-wh=", 0) == 0)
+      scale.remote_wh =
+          std::strtod(arg.c_str() + std::strlen("--remote-wh="), nullptr);
+    else
+      return false;
+    return true;
+  };
+  auto args = bench::BenchOptions::parse(argc, argv, extra);
   if (args.cluster.n_groups > 1) scale.max_shards = args.cluster.n_groups;
   // Sleep-dominated RPCs make the curve insensitive to host core count; a
   // too-small latency would measure thread scheduling instead of sharding.
@@ -250,6 +385,9 @@ int main(int argc, char** argv) {
   double linear_frac = 0;
   std::uint64_t mixed_cross = 0, mixed_single = 0;
   std::uint64_t orphans_reclaimed = 0, partial_commits = 0;
+  std::vector<ScalePoint> tpcc_curve;
+  double tpcc_linear_frac = 0;
+  std::uint64_t tpcc_cross = 0;
 
   try {
     // ---- Phase 1: throughput curve over group counts ---------------------
@@ -489,6 +627,150 @@ int main(int argc, char** argv) {
                    static_cast<unsigned long long>(partial_commits));
       ok = false;
     }
+
+    // ---- Phase 4: TPC-C NewOrder curve through shard::Client -------------
+    std::printf("tpcc: NewOrder curve, 1 warehouse/group, 0%% remote\n");
+    std::printf("%8s %10s %12s %10s\n", "shards", "commits", "tx/s",
+                "vs linear");
+    for (std::size_t shards = 1; shards <= scale.max_shards; shards *= 2) {
+      const ScalePoint point = run_tpcc_scale_point(args, scale, shards);
+      tpcc_curve.push_back(point);
+      const double frac =
+          tpcc_curve.front().tx_per_sec > 0
+              ? point.tx_per_sec / (static_cast<double>(point.shards) *
+                                    tpcc_curve.front().tx_per_sec)
+              : 0;
+      std::printf("%8zu %10llu %12.1f %9.2fx\n", point.shards,
+                  static_cast<unsigned long long>(point.commits),
+                  point.tx_per_sec, frac);
+      tpcc_linear_frac = frac;
+    }
+    if (tpcc_linear_frac < 0.8) {
+      std::fprintf(stderr,
+                   "FAIL: %zu-shard TPC-C throughput is %.2fx linear "
+                   "(< 0.80x)\n",
+                   scale.max_shards, tpcc_linear_frac);
+      ok = false;
+    }
+
+    // ---- Phase 5: TPC-C remote mix vs unsharded reference ----------------
+    const std::size_t tpcc_shards = std::min<std::size_t>(4, scale.max_shards);
+    const std::size_t tpcc_txs = 100;  // per warehouse
+    std::printf("tpcc mixed: %zu NewOrders/warehouse (%.0f%% remote lines) "
+                "on %zu shards vs unsharded reference\n",
+                tpcc_txs, scale.remote_wh * 100, tpcc_shards);
+
+    const workloads::TpccConfig tpcc_config_mixed = tpcc_config(
+        tpcc_shards, /*districts=*/4);
+    workloads::Tpcc tpcc(tpcc_config_mixed);
+    const ir::TxProgram& neworder = *tpcc.profiles()[0].program;
+
+    harness::ClusterConfig tpcc_sharded_config = args.cluster;
+    tpcc_sharded_config.n_servers = scale.group_servers;
+    tpcc_sharded_config.n_groups = tpcc_shards;
+    tpcc_sharded_config.prepare_lease_ns = 2'000'000'000;
+    harness::Cluster tpcc_sharded(tpcc_sharded_config);
+    shard::ClientFleet fleet(tpcc, static_cast<std::uint32_t>(tpcc_shards));
+    fleet.seed(tpcc_sharded, tpcc);
+
+    harness::ClusterConfig tpcc_reference_config = tpcc_sharded_config;
+    tpcc_reference_config.n_groups = 1;
+    harness::Cluster tpcc_reference(tpcc_reference_config);
+    tpcc.seed(tpcc_reference.servers());
+
+    // One op list per warehouse, fixed up front: warehouse w's thread (and
+    // the reference, per warehouse in the same order) executes exactly this
+    // sequence, so every district sees a deterministic order of NewOrders.
+    // Cross-warehouse effects are only commuting stock updates.
+    std::vector<std::vector<std::vector<Record>>> tpcc_ops(tpcc_shards);
+    for (std::size_t w = 0; w < tpcc_shards; ++w) {
+      acn::Rng rng(args.driver.seed + 0x700 + 0xdead * w);
+      for (std::size_t t = 0; t < tpcc_txs; ++t) {
+        const auto d = static_cast<store::Field>(
+            rng.uniform(0, tpcc_config_mixed.districts_per_warehouse - 1));
+        tpcc_ops[w].push_back(make_neworder_params(
+            tpcc_config_mixed, static_cast<store::Field>(w), d, rng,
+            scale.remote_wh));
+      }
+    }
+
+    // Sharded run: one Client per warehouse, concurrent.
+    std::uint64_t tpcc_commits = 0;
+    {
+      auto factory = fleet.factory();
+      std::vector<std::unique_ptr<harness::Submitter>> submitters;
+      for (std::size_t w = 0; w < tpcc_shards; ++w)
+        submitters.push_back(factory(tpcc_sharded, w, args.driver.executor,
+                                     args.driver.seed ^ (w << 16)));
+      std::vector<acn::ExecStats> stats(tpcc_shards);
+      std::vector<std::thread> clients;
+      for (std::size_t w = 0; w < tpcc_shards; ++w)
+        clients.emplace_back([&, w] {
+          for (const auto& params : tpcc_ops[w])
+            submitters[w]->run(harness::Protocol::kFlat,
+                               acn::with_program(neworder), params, stats[w]);
+        });
+      for (auto& thread : clients) thread.join();
+      for (const auto& s : stats) tpcc_commits += s.commits;
+    }
+    // Sequential reference: per warehouse in the same per-op order.
+    {
+      auto stub = tpcc_reference.make_stub(0, args.driver.seed);
+      acn::Executor executor(stub, args.driver.executor, args.driver.seed);
+      acn::ExecStats stats;
+      for (std::size_t w = 0; w < tpcc_shards; ++w)
+        for (const auto& params : tpcc_ops[w])
+          executor.run(harness::Protocol::kFlat, acn::with_program(neworder),
+                       params, stats);
+    }
+
+    // Every seeded key is the whole universe (NewOrder writes only ring
+    // slots that seeding created), so compare all of them.
+    std::vector<ObjectKey> tpcc_keys;
+    tpcc.seed_objects([&](const ObjectKey& key, const Record&) {
+      tpcc_keys.push_back(key);
+    });
+    std::size_t tpcc_mismatched = 0;
+    for (const ObjectKey& key : tpcc_keys) {
+      const Record got =
+          workloads::latest_value(tpcc_sharded.servers(), key).value;
+      const Record want =
+          workloads::latest_value(tpcc_reference.servers(), key).value;
+      if (got != want) {
+        ++tpcc_mismatched;
+        std::fprintf(stderr, "FAIL: tpcc key %s diverged from reference\n",
+                     store::to_string(key).c_str());
+      }
+    }
+    tpcc_cross = fleet.stats().cross_shard.load();
+    const std::uint64_t tpcc_cross_commits = fleet.stats().cross_commits.load();
+    const std::size_t tpcc_leases = cluster_open_leases(tpcc_sharded);
+    const std::size_t tpcc_protected = cluster_protected(tpcc_sharded);
+    std::printf("tpcc mixed: %llu commits (%llu cross-shard), %zu keys "
+                "compared\n",
+                static_cast<unsigned long long>(tpcc_commits),
+                static_cast<unsigned long long>(tpcc_cross_commits),
+                tpcc_keys.size());
+    if (tpcc_mismatched != 0) ok = false;
+    if (tpcc_commits != tpcc_shards * tpcc_txs) {
+      std::fprintf(stderr, "FAIL: tpcc %llu commits for %zu NewOrders\n",
+                   static_cast<unsigned long long>(tpcc_commits),
+                   tpcc_shards * tpcc_txs);
+      ok = false;
+    }
+    if (tpcc_cross_commits == 0 && tpcc_shards > 1 && scale.remote_wh > 0) {
+      std::fprintf(stderr,
+                   "FAIL: tpcc mixed run committed no cross-shard NewOrder\n");
+      ok = false;
+    }
+    if (tpcc_leases != 0 || tpcc_protected != 0) {
+      std::fprintf(stderr,
+                   "FAIL: tpcc orphaned prepares (%zu leases, %zu keys)\n",
+                   tpcc_leases, tpcc_protected);
+      ok = false;
+    }
+    tpcc.check_invariants(tpcc_sharded.servers());
+    tpcc.check_invariants(tpcc_reference.servers());
   } catch (const std::exception& e) {
     std::fprintf(stderr, "abl_shardscale failed: %s\n", e.what());
     return 1;
@@ -505,11 +787,19 @@ int main(int argc, char** argv) {
       for (std::size_t i = 0; i < curve.size(); ++i)
         std::fprintf(file, "%s\"%zu\": %.1f", i ? ", " : "", curve[i].shards,
                      curve[i].tx_per_sec);
+      std::fprintf(file, "},\n \"tpcc_curve\": {");
+      for (std::size_t i = 0; i < tpcc_curve.size(); ++i)
+        std::fprintf(file, "%s\"%zu\": %.1f", i ? ", " : "",
+                     tpcc_curve[i].shards, tpcc_curve[i].tx_per_sec);
       std::fprintf(file,
-                   "},\n \"linear_frac\": %.4f,\n \"mixed_single\": %llu,\n"
+                   "},\n \"linear_frac\": %.4f,\n"
+                   " \"tpcc_linear_frac\": %.4f,\n"
+                   " \"tpcc_cross\": %llu,\n \"mixed_single\": %llu,\n"
                    " \"mixed_cross\": %llu,\n \"orphans_reclaimed\": %llu,\n"
                    " \"partial_commits\": %llu\n}\n",
-                   linear_frac, static_cast<unsigned long long>(mixed_single),
+                   linear_frac, tpcc_linear_frac,
+                   static_cast<unsigned long long>(tpcc_cross),
+                   static_cast<unsigned long long>(mixed_single),
                    static_cast<unsigned long long>(mixed_cross),
                    static_cast<unsigned long long>(orphans_reclaimed),
                    static_cast<unsigned long long>(partial_commits));

@@ -10,9 +10,12 @@
 //   --clients=N --intervals=N --interval-ms=N --servers=N --latency-us=N
 //   --seed=N
 //   --shards=N           quorum groups; n_servers is then per group (see
-//                        harness::ClusterConfig::n_groups).  Figure benches
-//                        drive group 0 only; src/shard-aware benches
-//                        (abl_shardscale) route across all of them.
+//                        harness::ClusterConfig::n_groups).  Every bench
+//                        submits through shard::Client, which routes each
+//                        transaction by its predicted footprint: N=1 keeps
+//                        the classic single-group behavior, N>1 places the
+//                        workload per its Placement and commits cross-shard
+//                        transactions by 2PC.
 // Fault injection (chaos-capable benches):
 //   --drop=P             global message-drop probability (both legs)
 //   --lease-ms=N         prepare-lease lifetime on every server (0 = off)
@@ -36,12 +39,14 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <functional>
 #include <memory>
 #include <string>
 
 #include "src/harness/driver.hpp"
 #include "src/harness/report.hpp"
 #include "src/obs/obs.hpp"
+#include "src/shard/client.hpp"
 
 namespace acn::bench {
 
@@ -70,15 +75,23 @@ struct BenchOptions {
   }
 
   /// Parse the shared command-line options (see the header comment for the
-  /// full list).  Unknown arguments are reported and ignored, so benches
-  /// stay permissive across versions.
-  static BenchOptions parse(int argc, char** argv);
+  /// full list).  `extra` lets a bench claim its own flags before the
+  /// shared set (return true = consumed); everything else is shared, so
+  /// every bench accepts --shards/--sched/--durability/... identically.
+  /// Unknown arguments are reported and ignored, so benches stay
+  /// permissive across versions.
+  static BenchOptions parse(int argc, char** argv,
+                            const std::function<bool(const std::string&)>&
+                                extra = {});
 };
 
-inline BenchOptions BenchOptions::parse(int argc, char** argv) {
+inline BenchOptions BenchOptions::parse(
+    int argc, char** argv,
+    const std::function<bool(const std::string&)>& extra) {
   BenchOptions args;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
+    if (extra && extra(arg)) continue;
     auto value = [&](const char* prefix) -> long {
       return std::strtol(arg.c_str() + std::strlen(prefix), nullptr, 10);
     };
@@ -171,12 +184,53 @@ inline BenchOptions BenchOptions::parse(int argc, char** argv) {
   return args;
 }
 
+/// Run `workload` under `protocol` with every worker submitting through a
+/// shard::Client of `fleet` (the cluster must be seeded via fleet.seed).
+/// With --shards=1 this is behaviorally the classic unsharded run: every
+/// plan is single-shard and the Client is a pass-through to the home
+/// group's Executor.
+inline harness::RunResult run_sharded(harness::Cluster& cluster,
+                                      const workloads::Workload& workload,
+                                      harness::Protocol protocol,
+                                      harness::DriverConfig driver,
+                                      shard::ClientFleet& fleet) {
+  driver.make_submitter = fleet.factory();
+  driver.shard_of = fleet.shard_of();
+  return harness::run(cluster, workload, protocol, driver);
+}
+
 template <class MakeWorkload>
 int run_figure(const std::string& title, const BenchOptions& args,
                MakeWorkload&& make_workload) {
   try {
-    const auto results = harness::run_all_protocols(
-        args.cluster, std::forward<MakeWorkload>(make_workload), args.driver);
+    // One cluster + client fleet per protocol: workloads submit through
+    // shard::Client, which routes by predicted footprint (single-shard
+    // fast path or cross-shard 2PC) behind the uniform Submitter API.
+    std::vector<harness::RunResult> results;
+    for (const harness::Protocol protocol :
+         {harness::Protocol::kFlat, harness::Protocol::kManualCN,
+          harness::Protocol::kAcn}) {
+      harness::Cluster cluster(args.cluster);
+      auto workload = make_workload();
+      shard::ClientFleet fleet(
+          *workload, static_cast<std::uint32_t>(args.cluster.n_groups));
+      fleet.seed(cluster, *workload);
+      results.push_back(
+          run_sharded(cluster, *workload, protocol, args.driver, fleet));
+      if (args.cluster.n_groups > 1) {
+        const auto& stats = fleet.stats();
+        const auto router = fleet.router().stats();
+        std::printf(
+            "%s dispatch: fast-path %llu, cross-shard %llu "
+            "(escalations %llu, mispredicted %llu, partial-commits %llu)\n",
+            harness::protocol_name(protocol),
+            static_cast<unsigned long long>(stats.fast_path.load()),
+            static_cast<unsigned long long>(stats.cross_shard.load()),
+            static_cast<unsigned long long>(stats.escalations.load()),
+            static_cast<unsigned long long>(router.mispredicted),
+            static_cast<unsigned long long>(stats.partial_commits.load()));
+      }
+    }
     harness::print_figure(title, results, args.driver);
     if (!args.csv_path.empty() &&
         harness::write_csv(args.csv_path, results, args.driver))

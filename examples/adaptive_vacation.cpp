@@ -41,8 +41,8 @@ int main() {
       Rng rng(20 + t);
       ExecStats stats;
       while (!stop.load(std::memory_order_relaxed)) {
-        executor.run_adaptive(controller,
-                              reserve.make_params(rng, phase.load()), stats);
+        executor.run(Protocol::kAcn, with_controller(controller),
+                     reserve.make_params(rng, phase.load()), stats);
         committed.fetch_add(1, std::memory_order_relaxed);
       }
     });

@@ -60,11 +60,12 @@ int main() {
   ExecStats stats;
 
   // -- 1. flat (QR-DTM) ------------------------------------------------------
-  executor.run_flat(program, {store::Record{5}}, stats);
+  executor.run(Protocol::kFlat, with_program(program), {store::Record{5}}, stats);
 
   // -- 2. manual closed nesting (QR-CN) --------------------------------------
   const BlockSequence manual = initial_sequence(model);  // one unit per block
-  executor.run_blocks(program, model, manual, {store::Record{7}}, stats);
+  executor.run(Protocol::kManualCN, with_blocks(program, model, manual),
+               {store::Record{7}}, stats);
 
   // -- 3. automated closed nesting (QR-ACN) ----------------------------------
   AdaptiveController controller(program, {}, default_contention_model());
@@ -74,7 +75,8 @@ int main() {
               describe_sequence(controller.plan()->sequence,
                                 controller.plan()->model)
                   .c_str());
-  executor.run_adaptive(controller, {store::Record{11}}, stats);
+  executor.run(Protocol::kAcn, with_controller(controller), {store::Record{11}},
+               stats);
 
   // -- results ---------------------------------------------------------------
   const auto final_a = workloads::latest_value(cluster.servers(), counter_a);

@@ -1,6 +1,6 @@
 #!/usr/bin/env bash
 # Run the release gate benches and fold their metrics snapshots into one
-# BENCH_6.json, so every release carries a comparable perf trajectory point.
+# BENCH_7.json, so every release carries a comparable perf trajectory point.
 #
 # Gates (each exits non-zero on a regression, failing the script):
 #   abl_scheduler       contention-aware scheduling beats optimistic racing
@@ -10,14 +10,20 @@
 #   micro_batching      batched quorum reads save read rounds
 #   abl_shardscale      sharding: 1->8 group scale-out curve (>= 0.8x
 #                       linear), cross-shard 2PC correctness, coordinator
-#                       crash leaves no orphaned prepare in any group
+#                       crash leaves no orphaned prepare in any group, and
+#                       TPC-C through shard::Client (fast-path-pure scale
+#                       curve + remote-warehouse mix state-equal to an
+#                       unsharded reference)
+#   shardscale_tpcc     the same binary at a heavier remote-warehouse mix
+#                       (25% of order lines foreign) — stresses the 2PC
+#                       path and escalation accounting harder
 #
 # Usage: scripts/bench_snapshot.sh [build-dir] [output.json]
-#   BUILD_DIR defaults to "build", output to "BENCH_6.json".
+#   BUILD_DIR defaults to "build", output to "BENCH_7.json".
 set -euo pipefail
 
 BUILD_DIR="${1:-build}"
-OUT="${2:-BENCH_6.json}"
+OUT="${2:-BENCH_7.json}"
 BENCH="$BUILD_DIR/bench"
 WORK="$(mktemp -d)"
 trap 'rm -rf "$WORK"' EXIT
@@ -34,10 +40,11 @@ declare -A GATES=(
   [recovery]="$BENCH/abl_recovery --clients=4 --intervals=6 --interval-ms=150"
   [batching]="$BENCH/micro_batching --txs=500"
   [shardscale]="$BENCH/abl_shardscale --shards=8 --txs=200 --seed=13"
+  [shardscale_tpcc]="$BENCH/abl_shardscale --shards=8 --txs=200 --seed=13 --remote-wh=0.25"
 )
 # Deterministic run order (associative arrays iterate arbitrarily).
 ORDER=(scheduler scheduler_wal scheduler_chaos partition recovery batching
-       shardscale)
+       shardscale shardscale_tpcc)
 
 for name in "${ORDER[@]}"; do
   echo "=== gate: $name ==="

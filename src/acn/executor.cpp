@@ -20,22 +20,6 @@ int abort_reason_index(dtm::AbortKind kind) noexcept {
   return obs::kReasonValidation;
 }
 
-/// Gate-facing classification of a full abort (kBusy splits on whether a
-/// prepare lease was reclaimed — the scheduler penalizes that harder).
-TxOutcome outcome_of(const dtm::TxAbort& abort) noexcept {
-  switch (abort.kind()) {
-    case dtm::AbortKind::kValidation:
-      return TxOutcome::kValidation;
-    case dtm::AbortKind::kBusy:
-      return abort.detail() == dtm::AbortDetail::kLeaseExpired
-                 ? TxOutcome::kLeaseExpired
-                 : TxOutcome::kBusy;
-    case dtm::AbortKind::kUnavailable:
-      return TxOutcome::kUnavailable;
-  }
-  return TxOutcome::kUnavailable;
-}
-
 void require(bool present, const char* what) {
   if (!present)
     throw std::invalid_argument(std::string("Executor::run: missing ") + what);

@@ -114,7 +114,8 @@ struct ExecutorConfig {
 
 /// Inputs of one run() call.  Which fields are required depends on the
 /// protocol: program for kFlat/kCheckpoint; program+model+sequence for
-/// kManualCN; controller for kAcn.  The rest are cross-protocol toggles.
+/// kManualCN; controller for kAcn (see the with_* builders below).  The
+/// rest are cross-protocol toggles.
 struct RunOptions {
   const ir::TxProgram* program = nullptr;
   const DependencyModel* model = nullptr;
@@ -137,6 +138,39 @@ struct RunOptions {
   SchedulerGate* scheduler = nullptr;
 };
 
+// RunOptions builders for the common protocol shapes.  The caller keeps the
+// referenced program/model/sequence/controller alive for the run:
+//
+//   executor.run(Protocol::kFlat, with_program(program), params, stats);
+//   executor.run(Protocol::kManualCN,
+//                with_blocks(program, model, sequence), params, stats);
+//   executor.run(Protocol::kAcn, with_controller(controller), params, stats);
+
+/// kFlat / kCheckpoint inputs (both execute the raw program).
+inline RunOptions with_program(const ir::TxProgram& program) {
+  RunOptions options;
+  options.program = &program;
+  return options;
+}
+
+/// kManualCN inputs: a fixed decomposition (`sequence` valid for `model`).
+inline RunOptions with_blocks(const ir::TxProgram& program,
+                              const DependencyModel& model,
+                              const BlockSequence& sequence) {
+  RunOptions options;
+  options.program = &program;
+  options.model = &model;
+  options.sequence = &sequence;
+  return options;
+}
+
+/// kAcn inputs: the sequence comes from the controller at every attempt.
+inline RunOptions with_controller(AdaptiveController& controller) {
+  RunOptions options;
+  options.controller = &controller;
+  return options;
+}
+
 class Executor {
  public:
   Executor(dtm::QuorumStub& stub, ExecutorConfig config, std::uint64_t seed);
@@ -147,52 +181,6 @@ class Executor {
   /// exhausted.
   void run(Protocol protocol, const RunOptions& options,
            const std::vector<ir::Record>& params, ExecStats& stats);
-
-  // -- legacy per-protocol entry points (thin wrappers over run()) ---------
-
-  /// QR-DTM flat execution.
-  void run_flat(const ir::TxProgram& program, const std::vector<ir::Record>& params,
-                ExecStats& stats) {
-    RunOptions options;
-    options.program = &program;
-    run(Protocol::kFlat, options, params, stats);
-  }
-
-  /// QR-CN execution with a fixed decomposition.  `sequence` must be valid
-  /// for `model`.
-  void run_blocks(const ir::TxProgram& program, const DependencyModel& model,
-                  const BlockSequence& sequence,
-                  const std::vector<ir::Record>& params, ExecStats& stats) {
-    RunOptions options;
-    options.program = &program;
-    options.model = &model;
-    options.sequence = &sequence;
-    run(Protocol::kManualCN, options, params, stats);
-  }
-
-  /// QR-ACN execution under the controller's current plan.
-  void run_adaptive(AdaptiveController& controller,
-                    const std::vector<ir::Record>& params, ExecStats& stats) {
-    RunOptions options;
-    options.controller = &controller;
-    run(Protocol::kAcn, options, params, stats);
-  }
-
-  /// Checkpoint-based partial rollback (Koskinen & Herlihy-style, the
-  /// technique the paper contrasts closed nesting with in Section III):
-  /// a checkpoint — deep copy of the variable environment and the
-  /// transaction's buffered read/write-sets — is taken before every remote
-  /// access; an invalidation of object `o` rolls execution back to the
-  /// checkpoint preceding the first read of `o` and resumes from there.
-  /// Finer-grained than closed nesting, at the price of per-access
-  /// state-copying overhead.
-  void run_checkpointed(const ir::TxProgram& program,
-                        const std::vector<ir::Record>& params,
-                        ExecStats& stats) {
-    RunOptions options;
-    options.program = &program;
-    run(Protocol::kCheckpoint, options, params, stats);
-  }
 
  private:
   using SpecBuffer = std::vector<std::pair<ir::ObjectKey, dtm::VersionedRecord>>;

@@ -41,6 +41,20 @@ KeyFootprint predicted_footprint(const ir::TxProgram& program,
   return unique;
 }
 
+TxOutcome outcome_of(const dtm::TxAbort& abort) noexcept {
+  switch (abort.kind()) {
+    case dtm::AbortKind::kValidation:
+      return TxOutcome::kValidation;
+    case dtm::AbortKind::kBusy:
+      return abort.detail() == dtm::AbortDetail::kLeaseExpired
+                 ? TxOutcome::kLeaseExpired
+                 : TxOutcome::kBusy;
+    case dtm::AbortKind::kUnavailable:
+      return TxOutcome::kUnavailable;
+  }
+  return TxOutcome::kUnavailable;
+}
+
 std::vector<std::uint32_t> shards_touched(
     const KeyFootprint& footprint,
     const std::function<std::uint32_t(const ir::ObjectKey&)>& shard_of) {

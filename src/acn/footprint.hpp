@@ -24,6 +24,7 @@
 #include <vector>
 
 #include "src/acn/txir.hpp"
+#include "src/dtm/abort.hpp"
 
 namespace acn {
 
@@ -66,6 +67,11 @@ enum class TxOutcome {
   kUnavailable,
   kLeaseExpired,
 };
+
+/// The TxOutcome a TxAbort reports to the gate.  Shared by every execution
+/// path that feeds the scheduler (the single-shard Executor and the
+/// cross-shard Client), so 2PC aborts classify identically to local ones.
+TxOutcome outcome_of(const dtm::TxAbort& abort) noexcept;
 
 /// What one Executor::run call tells the scheduler.  Implementations must
 /// be thread-compatible per session: the executor owns one gate per client

@@ -37,6 +37,16 @@ TxEnv::TxEnv(const TxProgram& program, std::vector<Record> params)
   for (std::size_t i = 0; i < params.size(); ++i) vars_[i] = std::move(params[i]);
 }
 
+TxEnv::TxEnv(TxBackend& backend, const TxProgram& program,
+             std::vector<Record> params)
+    : txn_(nullptr), backend_(&backend), vars_(program.n_vars),
+      keys_(program.n_vars) {
+  if (params.size() != program.n_params)
+    throw std::invalid_argument("TxEnv: wrong number of params for " +
+                                program.name);
+  for (std::size_t i = 0; i < params.size(); ++i) vars_[i] = std::move(params[i]);
+}
+
 const Record& TxEnv::get(VarId v) const {
   if (observer_) observer_->on_get(v);
   const auto& slot = vars_.at(v);
@@ -63,6 +73,11 @@ bool TxEnv::is_set(VarId v) const noexcept {
 
 void TxEnv::run_remote(const RemoteAccessOp& op) {
   const ObjectKey key = op.key_fn(*this);
+  if (backend_ != nullptr) {
+    vars_.at(op.out) = backend_->read(key);
+    keys_.at(op.out) = key;
+    return;
+  }
   if (piggyback_sink_) {
     std::vector<std::uint64_t> levels;
     const Record& value = txn().read(key, piggyback_classes_, levels);
@@ -89,12 +104,18 @@ void TxEnv::write_object(VarId objvar, Record value) {
   if (!key)
     throw std::logic_error("TxEnv::write_object: var " + std::to_string(objvar) +
                            " is not bound to an object");
-  txn().write(*key, value);
+  if (backend_ != nullptr)
+    backend_->write(*key, value);
+  else
+    txn().write(*key, value);
   vars_.at(objvar) = std::move(value);
 }
 
 void TxEnv::insert_object(const ObjectKey& key, Record value) {
-  txn().insert(key, std::move(value));
+  if (backend_ != nullptr)
+    backend_->insert(key, std::move(value));
+  else
+    txn().insert(key, std::move(value));
 }
 
 const ObjectKey& TxEnv::key_of(VarId objvar) const {

@@ -88,6 +88,19 @@ struct TxProgram {
   std::size_t remote_op_count() const;
 };
 
+/// Storage backend a TxEnv can drive instead of a nesting::Transaction:
+/// the cross-shard path (shard::Client) executes the same TxPrograms over a
+/// ShardTx adapter, so workload authors never write per-runtime code.  A
+/// backend buffers writes itself (read-your-writes included) and throws
+/// dtm::TxAbort on conflict, like the transactional runtime.
+class TxBackend {
+ public:
+  virtual ~TxBackend() = default;
+  virtual Record read(const ObjectKey& key) = 0;
+  virtual void write(const ObjectKey& key, Record value) = 0;
+  virtual void insert(const ObjectKey& key, Record value) = 0;
+};
+
 /// Execution state of one transaction attempt: variable slots plus the
 /// object-key bindings of remote-access outputs.  Snapshots support
 /// closed-nesting partial rollback (a re-executed Block must observe the
@@ -102,6 +115,12 @@ class TxEnv {
   /// before execution (footprint prediction); calling run_remote,
   /// write_object, insert_object or txn() on such an env is a logic error.
   TxEnv(const TxProgram& program, std::vector<Record> params);
+
+  /// Backend-driven environment: remote reads/writes go through `backend`
+  /// instead of a nesting::Transaction (contention piggybacking is a
+  /// Transaction feature and stays inert).  txn() is a logic error.
+  TxEnv(TxBackend& backend, const TxProgram& program,
+        std::vector<Record> params);
 
   const Record& get(VarId v) const;
   Field geti(VarId v, std::size_t field = 0) const;
@@ -156,6 +175,7 @@ class TxEnv {
 
  private:
   nesting::Transaction* txn_;
+  TxBackend* backend_ = nullptr;
   std::vector<std::optional<Record>> vars_;
   std::vector<std::optional<ObjectKey>> keys_;
   std::vector<ClassId> piggyback_classes_;

@@ -65,14 +65,20 @@ class TxAbort : public std::exception {
 };
 
 /// Reading an object that exists on no reachable replica is a workload bug
-/// (objects are seeded before traffic), not a transient conflict.
+/// (objects are seeded before traffic) — with one exception: on a sharded
+/// cluster with owner-scoped seeding, a mispredicted single-shard plan
+/// reads a foreign group's key on the home group and lands here.  The key
+/// is kept structured so shard::Client can tell that case (key owned by
+/// another group → escalate to the cross-shard path) from a real bug.
 class ObjectMissing : public std::exception {
  public:
   explicit ObjectMissing(const store::ObjectKey& key)
-      : what_("object missing: " + store::to_string(key)) {}
+      : key_(key), what_("object missing: " + store::to_string(key)) {}
+  const store::ObjectKey& key() const noexcept { return key_; }
   const char* what() const noexcept override { return what_.c_str(); }
 
  private:
+  store::ObjectKey key_;
   std::string what_;
 };
 

@@ -1,5 +1,6 @@
 #include "src/harness/driver.hpp"
 
+#include <algorithm>
 #include <stdexcept>
 #include <thread>
 #include <unordered_set>
@@ -8,6 +9,28 @@
 #include "src/common/stats.hpp"
 
 namespace acn::harness {
+namespace {
+
+/// The default Submitter: one group-0 stub + Executor, exactly the
+/// pre-sharding client. Owns the stub so the pair's lifetimes stay tied.
+class ExecutorSubmitter final : public Submitter {
+ public:
+  ExecutorSubmitter(dtm::QuorumStub stub, const acn::ExecutorConfig& config,
+                    std::uint64_t seed)
+      : stub_(std::move(stub)), executor_(stub_, config, seed) {}
+
+  void run(Protocol protocol, const acn::RunOptions& options,
+           const std::vector<acn::ir::Record>& params,
+           acn::ExecStats& stats) override {
+    executor_.run(protocol, options, params, stats);
+  }
+
+ private:
+  dtm::QuorumStub stub_;
+  Executor executor_;
+};
+
+}  // namespace
 
 double RunResult::mean_throughput(std::size_t from_interval) const {
   if (from_interval >= throughput.size()) return 0.0;
@@ -72,6 +95,9 @@ RunResult run(Cluster& cluster, const workloads::Workload& workload,
   }
 
   std::atomic<int> phase{0};
+  // Peak per-interval hot-key count homed on each group (shard_of + sched).
+  std::vector<std::uint64_t> hot_keys_by_group;
+  if (config.shard_of) hot_keys_by_group.assign(cluster.n_groups(), 0);
   std::atomic<std::size_t> current_interval{0};
   std::atomic<bool> stop{false};
   IntervalSeries commits(config.intervals);
@@ -85,8 +111,6 @@ RunResult run(Cluster& cluster, const workloads::Workload& workload,
   for (std::size_t t = 0; t < config.n_clients; ++t) {
     clients.emplace_back([&, t] {
       Rng rng(config.seed * 0x9e3779b97f4a7c15ULL + t + 1);
-      auto stub = cluster.make_stub(static_cast<int>(t),
-                                    config.seed + 0x100 + t);
       ExecutorConfig exec_config = config.executor;
       if (obs) {
         exec_config.obs = obs;
@@ -94,7 +118,14 @@ RunResult run(Cluster& cluster, const workloads::Workload& workload,
       }
       if (protocol == Protocol::kAcn && config.piggyback_contention)
         exec_config.piggyback_monitor = monitor.get();
-      Executor executor(stub, exec_config, config.seed ^ (t << 20));
+      const std::uint64_t exec_seed = config.seed ^ (t << 20);
+      std::unique_ptr<Submitter> submitter =
+          config.make_submitter
+              ? config.make_submitter(cluster, t, exec_config, exec_seed)
+              : std::make_unique<ExecutorSubmitter>(
+                    cluster.make_stub(static_cast<int>(t),
+                                      config.seed + 0x100 + t),
+                    exec_config, exec_seed);
       // One RunOptions per profile, built once: only the per-transaction
       // params vary inside the loop.
       std::vector<RunOptions> profile_options(profiles.size());
@@ -126,7 +157,7 @@ RunResult run(Cluster& cluster, const workloads::Workload& workload,
           const auto params = profiles[p].make_params(
               rng, phase.load(std::memory_order_relaxed));
           const Stopwatch tx_watch;
-          executor.run(protocol, profile_options[p], params, stats);
+          submitter->run(protocol, profile_options[p], params, stats);
           latency.add(tx_watch.elapsed_ns());
           const std::size_t interval =
               current_interval.load(std::memory_order_relaxed);
@@ -154,6 +185,13 @@ RunResult run(Cluster& cluster, const workloads::Workload& workload,
       scheduler->note_class_levels(sched_classes,
                                    cluster.class_levels(sched_classes));
       scheduler->tick();
+      if (config.shard_of) {
+        std::vector<std::uint64_t> by_group(cluster.n_groups(), 0);
+        for (const auto& key : scheduler->hot_keys())
+          ++by_group[config.shard_of(key) % cluster.n_groups()];
+        for (std::size_t g = 0; g < by_group.size(); ++g)
+          hot_keys_by_group[g] = std::max(hot_keys_by_group[g], by_group[g]);
+      }
     }
     if (protocol == Protocol::kAcn) {
       if (!config.piggyback_contention) monitor->refresh(*admin_stub);
@@ -187,6 +225,8 @@ RunResult run(Cluster& cluster, const workloads::Workload& workload,
   }
   result.latency_p50_ns = latency.percentile(0.5);
   result.latency_p99_ns = latency.percentile(0.99);
+  if (scheduler && config.shard_of)
+    result.hot_keys_by_group = std::move(hot_keys_by_group);
   if (obs) result.metrics = obs->metrics.snapshot().since(metrics_before);
 
   if (config.check_invariants) workload.check_invariants(cluster.servers());

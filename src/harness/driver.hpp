@@ -15,6 +15,8 @@
 #include <atomic>
 #include <chrono>
 #include <cstdint>
+#include <functional>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -30,6 +32,31 @@ namespace acn::harness {
 /// aliases keep harness call sites source-compatible.
 using Protocol = acn::Protocol;
 using acn::protocol_name;
+
+/// One client's transaction-submission endpoint — the surface the driver
+/// runs workloads through.  The default implementation wraps a group-0
+/// QuorumStub + Executor (the pre-sharding path); shard::Client implements
+/// the same interface over a sharded cluster, routing each transaction by
+/// its predicted footprint.  The factory inversion keeps the layering
+/// acyclic (src/shard links the harness, so the harness cannot name
+/// shard::Client — same pattern as acn::SchedulerGate / dtm::DurabilitySink).
+class Submitter {
+ public:
+  virtual ~Submitter() = default;
+
+  /// Execute one transaction to commit (retrying internally), with the
+  /// Executor::run contract: throws std::invalid_argument on bad options
+  /// and the last dtm::TxAbort when retries are exhausted.
+  virtual void run(Protocol protocol, const acn::RunOptions& options,
+                   const std::vector<acn::ir::Record>& params,
+                   acn::ExecStats& stats) = 0;
+};
+
+/// Builds one Submitter per client thread: (cluster, client index, executor
+/// config, seed).  The bench layer installs shard::ClientFleet::factory()
+/// here; null means the default raw-Executor submitter.
+using SubmitterFactory = std::function<std::unique_ptr<Submitter>(
+    Cluster&, std::size_t, const acn::ExecutorConfig&, std::uint64_t)>;
 
 struct DriverConfig {
   std::size_t n_clients = 8;
@@ -63,6 +90,17 @@ struct DriverConfig {
   /// monitor, controllers — labels the trace with one pid per protocol run,
   /// and returns the per-run metrics delta in RunResult::metrics.
   obs::Observability* obs = nullptr;
+  /// Per-client submission endpoint factory.  Null = the default raw
+  /// Executor over a group-0 stub (the unsharded path); the bench layer
+  /// installs shard::ClientFleet::factory() to route through the
+  /// ShardRouter instead.
+  SubmitterFactory make_submitter;
+  /// Keyspace partition function for per-group hotness reporting (bind
+  /// shard::ShardMap::shard_of here).  With the scheduler on, the driver
+  /// buckets TxScheduler::hot_keys() by it at every interval boundary and
+  /// reports the peak counts in RunResult::hot_keys_by_group (plus the
+  /// sched.hot_keys gauge as before).  Null = no per-group breakdown.
+  std::function<std::uint32_t(const store::ObjectKey&)> shard_of;
 };
 
 struct RunResult {
@@ -77,6 +115,11 @@ struct RunResult {
   std::uint64_t latency_p99_ns = 0;
   /// Per-run metrics delta (empty unless DriverConfig::obs was set).
   obs::Snapshot metrics;
+  /// Peak per-interval count of scheduler hot keys homed on each quorum
+  /// group (empty unless both DriverConfig::shard_of and the scheduler were
+  /// set).  A skewed vector under uniform load means the placement, not
+  /// the workload, concentrates contention.
+  std::vector<std::uint64_t> hot_keys_by_group;
 
   double mean_throughput(std::size_t from_interval = 0) const;
 };

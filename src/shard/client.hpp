@@ -1,0 +1,148 @@
+// The unified submission API for sharded workloads (shard::Client).
+//
+// A Client is what a workload thread holds instead of a raw Executor: one
+// endpoint that accepts every TxProgram under every protocol and decides,
+// per transaction, how it reaches the cluster.  Dispatch is footprint
+// driven:
+//
+//   1. predict — evaluate acn::predicted_footprint over the bound params
+//      and ask the ShardRouter for a route plan.
+//   2. single-shard plan — run the transaction through the home group's
+//      Executor::run, unchanged: full ACN partial rollback, batched reads,
+//      checkpointing, everything the unsharded path has.  No other group
+//      hears about the transaction.
+//   3. multi-shard plan — execute the program block by block over a
+//      ShardTx (cross-shard 2PC at commit).  Before each Block the Client
+//      checkpoints the ShardTx and the variable environment; an execution
+//      abort whose invalidated keys are all confined to the current Block
+//      rolls back to the checkpoint and retries the Block — partial
+//      rollback preserved across shards.  Aborts touching earlier Blocks'
+//      reads, and any commit-phase abort, restart the transaction with
+//      randomized exponential backoff.
+//   4. escalate — predictions are blind to keys produced mid-transaction.
+//      With owner-scoped seeding a mispredicted single-shard transaction
+//      reads a foreign key on its home group and surfaces
+//      dtm::ObjectMissing; the Client checks the key's real owner and, if
+//      it is another group, re-runs the transaction on the cross-shard
+//      path (a genuinely absent key is re-thrown — that is a workload
+//      bug, not a routing miss).
+//
+// The contention-aware scheduler wraps BOTH paths identically: the fast
+// path gates inside Executor::run as before; the cross-shard interpreter
+// performs the same admit / on_full_abort / finish conversation itself,
+// classifying 2PC aborts with the shared acn::outcome_of.  A scheduler
+// cannot tell the paths apart — which is the point: admission control is a
+// property of the submission API, not of any one execution engine.
+//
+// ClientFleet is the per-benchmark bundle: it owns the ShardMap (built
+// from the workload's placement), the ShardRouter and the shared
+// ClientStats, seeds a cluster owner-scoped, and hands the harness a
+// SubmitterFactory so the driver builds one Client per worker thread.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "src/acn/executor.hpp"
+#include "src/common/rng.hpp"
+#include "src/harness/driver.hpp"
+#include "src/shard/coordinator.hpp"
+#include "src/workloads/workload.hpp"
+
+namespace acn::shard {
+
+/// Dispatch counters, shared by every Client of a fleet.
+struct ClientStats {
+  /// Transactions dispatched down the single-shard Executor fast path.
+  std::atomic<std::uint64_t> fast_path{0};
+  /// Fast-path runs that surfaced a foreign key (dtm::ObjectMissing owned
+  /// by another group) and were re-run cross-shard.
+  std::atomic<std::uint64_t> escalations{0};
+  /// Transactions executed on the cross-shard (2PC) path, including
+  /// escalations.
+  std::atomic<std::uint64_t> cross_shard{0};
+  /// Cross-shard path transactions that committed.
+  std::atomic<std::uint64_t> cross_commits{0};
+  /// Sum of the per-coordinator atomicity-breach counters
+  /// (CoordinatorStats::partial_commits), folded in as Clients retire.
+  std::atomic<std::uint64_t> partial_commits{0};
+};
+
+/// One worker thread's submission endpoint over a sharded cluster.
+/// Implements harness::Submitter, so the driver (and every bench built on
+/// it) is oblivious to sharding.  Not thread-safe — one Client per thread,
+/// like the Executor it generalizes.
+class Client final : public harness::Submitter {
+ public:
+  /// `client_ordinal` must be unique per Client (network identity of its
+  /// stubs and the coordinator's TxId namespace).
+  Client(harness::Cluster& cluster, const ShardRouter& router,
+         ClientStats& stats, int client_ordinal, acn::ExecutorConfig config,
+         std::uint64_t seed);
+  ~Client() override;
+
+  /// Execute one transaction to commit.  Same contract as Executor::run:
+  /// throws std::invalid_argument when `options` lacks the protocol's
+  /// inputs and the last dtm::TxAbort when retries are exhausted.
+  void run(Protocol protocol, const acn::RunOptions& options,
+           const std::vector<acn::ir::Record>& params,
+           acn::ExecStats& stats) override;
+
+  const CoordinatorStats& coordinator_stats() const noexcept {
+    return coordinator_.stats();
+  }
+
+ private:
+  void run_cross_shard(Protocol protocol, const acn::RunOptions& options,
+                       const std::vector<acn::ir::Record>& params,
+                       const KeyFootprint& predicted, acn::ExecStats& stats);
+  void backoff(int attempt);
+
+  const ShardRouter& router_;
+  ClientStats& stats_;
+  acn::ExecutorConfig config_;
+  CrossShardCoordinator coordinator_;
+  /// One stub + Executor per quorum group (stable addresses: the Executor
+  /// keeps a reference to its stub).
+  std::vector<std::unique_ptr<dtm::QuorumStub>> stubs_;
+  std::vector<std::unique_ptr<acn::Executor>> executors_;
+  Rng rng_;
+};
+
+/// Everything a benchmark needs to run a workload sharded: the ShardMap
+/// derived from the workload's placement, the shared router and stats, and
+/// the factory the harness driver consumes.  Outlives every Client it
+/// builds (the driver joins its threads before the bench tears down).
+class ClientFleet {
+ public:
+  /// Builds the map from `workload.placement()`: a custom shard function
+  /// becomes Partitioning::kCustom (with the workload's replicated
+  /// classes); no placement means salted-hash partitioning.
+  ClientFleet(const workloads::Workload& workload, std::uint32_t n_shards);
+
+  /// Owner-scoped seeding: every object lands on its owning group's
+  /// replicas only (replicated classes on every group).  The sharded
+  /// replacement for workload.seed(cluster.servers()).
+  void seed(harness::Cluster& cluster, workloads::Workload& workload) const;
+
+  /// Factory for harness::DriverConfig::make_submitter — one Client per
+  /// worker thread, ordinal = thread index.
+  harness::SubmitterFactory factory();
+
+  /// Partition function for harness::DriverConfig::shard_of (per-group
+  /// hotness reporting).
+  std::function<std::uint32_t(const store::ObjectKey&)> shard_of() const;
+
+  const ShardMap& map() const noexcept { return map_; }
+  const ShardRouter& router() const noexcept { return router_; }
+  const ClientStats& stats() const noexcept { return stats_; }
+
+ private:
+  ShardMap map_;
+  ShardRouter router_;
+  ClientStats stats_;
+};
+
+}  // namespace acn::shard

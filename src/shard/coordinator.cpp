@@ -1,5 +1,6 @@
 #include "src/shard/coordinator.hpp"
 
+#include <algorithm>
 #include <stdexcept>
 #include <string>
 
@@ -32,12 +33,21 @@ ShardTx CrossShardCoordinator::begin(const KeyFootprint& predicted) {
   return ShardTx(this, tx, router_.plan(predicted));
 }
 
+std::uint32_t ShardTx::serving_group(const store::ObjectKey& key) const {
+  if (const auto it = read_groups_.find(key); it != read_groups_.end())
+    return it->second;
+  const ShardMap& map = owner_->router_.map();
+  // Replicated classes live on every group: serve them from the home group
+  // the transaction talks to anyway, so the read never adds a participant.
+  if (map.replicated(key.cls)) return predicted_.home();
+  return map.shard_of(key);
+}
+
 std::vector<dtm::VersionCheck> ShardTx::group_checks(
     std::uint32_t group) const {
   std::vector<dtm::VersionCheck> checks;
   for (const auto& [key, rec] : reads_)
-    if (owner_->router_.map().shard_of(key) == group)
-      checks.push_back({key, rec.version});
+    if (serving_group(key) == group) checks.push_back({key, rec.version});
   return checks;
 }
 
@@ -48,21 +58,38 @@ store::Record ShardTx::read(const store::ObjectKey& key) {
     return wit->second;
   if (const auto rit = reads_.find(key); rit != reads_.end())
     return rit->second.value;
-  const std::uint32_t group = owner_->router_.map().shard_of(key);
-  // Incremental validation within the owning group: every prior read on
+  const std::uint32_t group = serving_group(key);
+  // Incremental validation within the serving group: every prior read on
   // this group rides along, so a stale snapshot dies at read time, not at
   // prepare.  Reads on OTHER groups cannot be checked here (this group
   // does not hold their keys); prepare/validate covers them per group.
   const auto outcome =
       owner_->stub(group).read(tx_, key, group_checks(group));
   reads_.emplace(key, outcome.record);
+  read_groups_.emplace(key, group);
   return outcome.record.value;
 }
 
 void ShardTx::write(const store::ObjectKey& key, store::Record value) {
   if (state_ != State::kActive)
     throw std::logic_error("ShardTx::write on a finished transaction");
+  if (owner_->router_.map().replicated(key.cls))
+    throw std::logic_error("ShardTx::write to replicated class " +
+                           std::to_string(key.cls) + " (" +
+                           store::to_string(key) + ")");
   writes_[key] = std::move(value);
+}
+
+ShardTx::Checkpoint ShardTx::checkpoint() const {
+  return {reads_, read_groups_, writes_};
+}
+
+void ShardTx::restore(Checkpoint checkpoint) {
+  if (state_ != State::kActive)
+    throw std::logic_error("ShardTx::restore on a finished transaction");
+  reads_ = std::move(checkpoint.reads);
+  read_groups_ = std::move(checkpoint.read_groups);
+  writes_ = std::move(checkpoint.writes);
 }
 
 std::size_t ShardTx::prepare_all() {
@@ -78,7 +105,15 @@ std::size_t ShardTx::prepare_all() {
   for (const auto& [key, value] : writes_) touched.push_back(key);
   plan_ = owner_->router_.reclassify(predicted_, touched);
 
-  const ShardMap& map = owner_->router_.map();
+  // Replicated-class reads were served by the home group; that group must
+  // participate (validate) even when no owned key pinned it to the plan.
+  for (const auto& [key, group] : read_groups_) {
+    if (std::binary_search(plan_.groups.begin(), plan_.groups.end(), group))
+      continue;
+    plan_.groups.insert(
+        std::upper_bound(plan_.groups.begin(), plan_.groups.end(), group),
+        group);
+  }
   try {
     // Ascending group order (plan_.groups is sorted): deterministic across
     // coordinators, so two cross-shard transactions always claim groups in
@@ -88,7 +123,7 @@ std::size_t ShardTx::prepare_all() {
       std::vector<store::Record> values;
       std::vector<store::Version> read_versions;
       for (const auto& [key, value] : writes_) {
-        if (map.shard_of(key) != group) continue;
+        if (serving_group(key) != group) continue;
         write_keys.push_back(key);
         values.push_back(value);
         const auto rit = reads_.find(key);
@@ -187,6 +222,10 @@ void ShardTx::abort() {
 
 void seed_sharded(harness::Cluster& cluster, const ShardMap& map,
                   const store::ObjectKey& key, const store::Record& value) {
+  if (map.replicated(key.cls)) {
+    for (dtm::Server* server : cluster.servers()) server->store().seed(key, value);
+    return;
+  }
   for (dtm::Server* server : cluster.group_servers(map.shard_of(key)))
     server->store().seed(key, value);
 }
@@ -196,7 +235,10 @@ store::VersionedRecord latest_sharded(harness::Cluster& cluster,
                                       const store::ObjectKey& key) {
   store::VersionedRecord best;
   bool found = false;
-  for (dtm::Server* server : cluster.group_servers(map.shard_of(key))) {
+  const auto replicas = map.replicated(key.cls)
+                            ? cluster.servers()
+                            : cluster.group_servers(map.shard_of(key));
+  for (dtm::Server* server : replicas) {
     const auto result = server->store().read(key);
     if (result.status != store::ReadStatus::kOk) continue;
     if (!found || result.record.version > best.version) {

@@ -60,12 +60,29 @@ class CrossShardCoordinator;
 class ShardTx {
  public:
   /// Read `key` from its owning group (read-your-writes: a buffered write
-  /// or prior read of the key is served locally).  Throws what
+  /// or prior read of the key is served locally).  Replicated-class keys
+  /// are served by the transaction's home group — every group holds them,
+  /// so the read never widens the participant set.  Throws what
   /// QuorumStub::read throws.
   store::Record read(const store::ObjectKey& key);
 
-  /// Buffer a write; nothing goes remote until commit().
+  /// Buffer a write; nothing goes remote until commit().  Writes to
+  /// replicated classes are refused (std::logic_error) — the groups'
+  /// copies would silently diverge.
   void write(const store::ObjectKey& key, store::Record value);
+
+  /// Deep copy of the buffered read/write-sets, for block-level partial
+  /// rollback on the cross-shard path: shard::Client checkpoints before
+  /// each Block and restores instead of restarting when an abort is
+  /// confined to the current Block.
+  struct Checkpoint {
+    std::map<store::ObjectKey, store::VersionedRecord> reads;
+    std::map<store::ObjectKey, std::uint32_t> read_groups;
+    std::map<store::ObjectKey, store::Record> writes;
+  };
+  Checkpoint checkpoint() const;
+  /// Roll the buffered state back to `checkpoint` (kActive only).
+  void restore(Checkpoint checkpoint);
 
   /// Classify by the keys actually touched and run the single-shard fast
   /// path or cross-shard 2PC.  Throws TxAbort on conflict/expiry (the
@@ -109,12 +126,18 @@ class ShardTx {
 
   std::vector<dtm::VersionCheck> group_checks(std::uint32_t group) const;
 
+  /// The group a read of `key` would be (or was) served by: the owner, or
+  /// the home group for replicated classes.
+  std::uint32_t serving_group(const store::ObjectKey& key) const;
+
   CrossShardCoordinator* owner_ = nullptr;
   dtm::TxId tx_ = 0;
   RoutePlan predicted_;
   RoutePlan plan_;
   State state_ = State::kActive;
   std::map<store::ObjectKey, store::VersionedRecord> reads_;
+  /// Which group served each read (validation must go back to it).
+  std::map<store::ObjectKey, std::uint32_t> read_groups_;
   std::map<store::ObjectKey, store::Record> writes_;
   std::vector<PreparedGroup> prepared_;
 };
@@ -150,12 +173,13 @@ class CrossShardCoordinator {
 /// Seed `key` = `value` on every replica of its owning group — the sharded
 /// analogue of workloads::seed_all (seeding a foreign group would plant
 /// keys its quorums never serve but its snapshots would drag around).
+/// Replicated-class keys are seeded on every group.
 void seed_sharded(harness::Cluster& cluster, const ShardMap& map,
                   const store::ObjectKey& key, const store::Record& value);
 
 /// Latest committed value of `key`, read from its owning group's replicas
-/// (max-version copy).  Throws std::runtime_error when no replica of the
-/// group holds it.
+/// (every replica for replicated classes; max-version copy).  Throws
+/// std::runtime_error when no replica of the group holds it.
 store::VersionedRecord latest_sharded(harness::Cluster& cluster,
                                       const ShardMap& map,
                                       const store::ObjectKey& key);

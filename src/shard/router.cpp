@@ -23,8 +23,10 @@ RoutePlan ShardRouter::reclassify(
     const std::vector<store::ObjectKey>& touched) const {
   RoutePlan actual;
   actual.groups.reserve(touched.size());
+  // Replicated-class keys never force a group: they are served by whichever
+  // participant the transaction already has (ShardTx pins them to its home).
   for (const store::ObjectKey& key : touched)
-    actual.groups.push_back(map_.shard_of(key));
+    if (!map_.replicated(key.cls)) actual.groups.push_back(map_.shard_of(key));
   std::sort(actual.groups.begin(), actual.groups.end());
   actual.groups.erase(std::unique(actual.groups.begin(), actual.groups.end()),
                       actual.groups.end());

@@ -1,18 +1,26 @@
 #include "src/shard/shard_map.hpp"
 
+#include <algorithm>
 #include <stdexcept>
 
 namespace acn::shard {
 
-ShardMap::ShardMap(ShardMapConfig config) : config_(config) {
+ShardMap::ShardMap(ShardMapConfig config) : config_(std::move(config)) {
   if (config_.n_shards == 0)
     throw std::invalid_argument("ShardMap: n_shards must be >= 1");
   if (config_.partitioning == Partitioning::kRange && config_.range_block == 0)
     throw std::invalid_argument("ShardMap: range_block must be >= 1");
+  if (config_.partitioning == Partitioning::kCustom && !config_.custom)
+    throw std::invalid_argument(
+        "ShardMap: kCustom partitioning needs a placement function");
+  std::sort(config_.replicated_classes.begin(),
+            config_.replicated_classes.end());
 }
 
-std::uint32_t ShardMap::shard_of(const store::ObjectKey& key) const noexcept {
+std::uint32_t ShardMap::shard_of(const store::ObjectKey& key) const {
   if (config_.n_shards <= 1) return 0;
+  if (config_.partitioning == Partitioning::kCustom)
+    return config_.custom(key) % config_.n_shards;
   if (config_.partitioning == Partitioning::kRange)
     return static_cast<std::uint32_t>((key.id / config_.range_block) %
                                       config_.n_shards);
@@ -28,10 +36,19 @@ std::uint32_t ShardMap::shard_of(const store::ObjectKey& key) const noexcept {
   return static_cast<std::uint32_t>(x % config_.n_shards);
 }
 
+bool ShardMap::replicated(store::ClassId cls) const noexcept {
+  return std::binary_search(config_.replicated_classes.begin(),
+                            config_.replicated_classes.end(), cls);
+}
+
 std::vector<std::uint32_t> ShardMap::shards_touched(
     const KeyFootprint& footprint) const {
+  KeyFootprint routed;
+  routed.reserve(footprint.size());
+  for (const FootprintEntry& entry : footprint)
+    if (!replicated(entry.key.cls)) routed.push_back(entry);
   return acn::shards_touched(
-      footprint, [this](const ir::ObjectKey& key) { return shard_of(key); });
+      routed, [this](const ir::ObjectKey& key) { return shard_of(key); });
 }
 
 }  // namespace acn::shard

@@ -2,7 +2,7 @@
 //
 // A ShardMap is a pure, deterministic function from ObjectKey to quorum
 // group: every client, server and test computes the same owner for a key
-// with no coordination (the map is configuration, not state).  Two
+// with no coordination (the map is configuration, not state).  Three
 // partitionings:
 //
 //   * kHash  — a salted re-mix of ObjectKeyHash modulo n_shards.  The salt
@@ -13,12 +13,23 @@
 //   * kRange — contiguous id blocks per class, round-robined across groups
 //     (shard = (id / range_block) mod n_shards).  Keeps key neighborhoods
 //     co-located, the layout range scans and locality-aware workloads want.
+//   * kCustom — a workload-supplied placement function (e.g. TPC-C
+//     warehouse-per-group: every key of a warehouse's districts, customers,
+//     stock and orders derives the warehouse id and lands on its group).
+//     This is what makes "0% remote" TPC-C genuinely single-shard.
+//
+// Replicated classes: read-mostly reference data (the TPC-C item table) can
+// be declared replicated — seeded on EVERY group and served by whichever
+// group the transaction already talks to, so reading it never widens a
+// route plan.  Writes to replicated classes are refused by ShardTx (the
+// groups' copies would silently diverge); shards_touched skips them.
 //
 // n_shards == 1 degenerates to "everything on group 0", the unsharded
 // cluster.
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <vector>
 
 #include "src/acn/footprint.hpp"
@@ -26,7 +37,7 @@
 
 namespace acn::shard {
 
-enum class Partitioning { kHash, kRange };
+enum class Partitioning { kHash, kRange, kCustom };
 
 struct ShardMapConfig {
   std::uint32_t n_shards = 1;
@@ -34,6 +45,16 @@ struct ShardMapConfig {
   /// kRange: ids [0, range_block) of every class land on shard 0, the next
   /// block on shard 1, and so on round-robin.
   std::uint64_t range_block = 1024;
+  /// kCustom: the placement function.  Must be pure and total over the
+  /// workload's keyspace and must not throw; the result is reduced modulo
+  /// n_shards, so a workload can return a natural id (warehouse, branch)
+  /// without knowing the group count.
+  std::function<std::uint32_t(const store::ObjectKey&)> custom;
+  /// Classes replicated on every group (any partitioning).  shard_of still
+  /// assigns a nominal home (for seeding order and diagnostics), but
+  /// shards_touched skips these keys and ShardTx serves them from the
+  /// transaction's home group and refuses writes.
+  std::vector<store::ClassId> replicated_classes;
 };
 
 class ShardMap {
@@ -43,10 +64,15 @@ class ShardMap {
   std::uint32_t n_shards() const noexcept { return config_.n_shards; }
 
   /// The quorum group that owns `key`.
-  std::uint32_t shard_of(const store::ObjectKey& key) const noexcept;
+  std::uint32_t shard_of(const store::ObjectKey& key) const;
+
+  /// Whether `cls` is replicated on every group (reads served anywhere,
+  /// writes refused, invisible to route planning).
+  bool replicated(store::ClassId cls) const noexcept;
 
   /// acn::shards_touched bound to this map: the distinct groups a
-  /// footprint's keys live on, sorted ascending.
+  /// footprint's keys live on, sorted ascending.  Replicated-class keys do
+  /// not contribute a group (they are readable everywhere).
   std::vector<std::uint32_t> shards_touched(
       const KeyFootprint& footprint) const;
 

@@ -182,13 +182,22 @@ TxProfile Bank::make_audit() const {
   return profile;
 }
 
-void Bank::seed(const std::vector<dtm::Server*>& servers) {
+void Bank::seed_objects(const SeedSink& sink) {
   for (std::size_t i = 0; i < config_.n_branches; ++i)
-    seed_all(servers, branch_key(static_cast<Field>(i)),
-             Record{config_.initial_balance});
+    sink(branch_key(static_cast<Field>(i)), Record{config_.initial_balance});
   for (std::size_t i = 0; i < config_.n_accounts; ++i)
-    seed_all(servers, account_key(static_cast<Field>(i)),
-             Record{config_.initial_balance});
+    sink(account_key(static_cast<Field>(i)), Record{config_.initial_balance});
+}
+
+Placement Bank::placement() const {
+  Placement placement;
+  // Both classes stripe by raw id: branch b is the natural placement id of
+  // its group, and accounts spread round-robin so every group carries an
+  // equal slice.  The shard map reduces modulo the group count.
+  placement.shard_of = [](const store::ObjectKey& key) {
+    return static_cast<std::uint32_t>(key.id);
+  };
+  return placement;
 }
 
 void Bank::check_invariants(const std::vector<dtm::Server*>& servers) const {

@@ -45,7 +45,12 @@ class Bank final : public Workload {
   explicit Bank(BankConfig config = {});
 
   std::string name() const override { return "bank"; }
-  void seed(const std::vector<dtm::Server*>& servers) override;
+  void seed_objects(const SeedSink& sink) override;
+  /// Branch-per-group placement: branch b and every account with
+  /// id ≡ b (mod groups) co-locate, so a transfer inside one "branch
+  /// neighborhood" stays single-shard and cross-neighborhood transfers
+  /// exercise 2PC.
+  Placement placement() const override;
   const std::vector<TxProfile>& profiles() const override { return profiles_; }
   void check_invariants(const std::vector<dtm::Server*>& servers) const override;
 

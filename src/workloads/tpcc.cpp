@@ -82,10 +82,12 @@ Tpcc::Tpcc(TpccConfig config)
 }
 
 TxProfile Tpcc::make_neworder(std::size_t order_lines) const {
-  // Params: 0=w, 1=d, 2=c, 3=items[order_lines], 4=qtys[order_lines].
-  ProgramBuilder b("tpcc.neworder." + std::to_string(order_lines), 5);
+  // Params: 0=w, 1=d, 2=c, 3=items[order_lines], 4=qtys[order_lines],
+  // 5=supply warehouses[order_lines] (== w unless the line is remote).
+  ProgramBuilder b("tpcc.neworder." + std::to_string(order_lines), 6);
   const VarId p_w = b.param(0), p_d = b.param(1), p_c = b.param(2);
   const VarId p_items = b.param(3), p_qtys = b.param(4);
+  const VarId p_supply = b.param(5);
 
   const VarId wh = b.remote_read(
       kWarehouse, {p_w},
@@ -122,9 +124,9 @@ TxProfile Tpcc::make_neworder(std::size_t order_lines) const {
         },
         "read item " + std::to_string(l));
     const VarId stock = b.remote_read(
-        kStock, {p_w, p_items},
-        [this, p_w, p_items, l](const TxEnv& e) {
-          return stock_key(e.geti(p_w), e.geti(p_items, l));
+        kStock, {p_supply, p_items},
+        [this, p_supply, p_items, l](const TxEnv& e) {
+          return stock_key(e.geti(p_supply, l), e.geti(p_items, l));
         },
         "read stock " + std::to_string(l));
     b.local({stock, p_qtys}, {stock},
@@ -201,27 +203,38 @@ TxProfile Tpcc::make_neworder(std::size_t order_lines) const {
 
   const TpccConfig cfg = config_;
   profile.make_params = [cfg, order_lines](Rng& rng, int /*phase*/) {
-    Record items(order_lines), qtys(order_lines);
+    const Field w = static_cast<Field>(rng.uniform(0, cfg.n_warehouses - 1));
+    Record items(order_lines), qtys(order_lines), supply(order_lines);
     for (std::size_t l = 0; l < order_lines; ++l) {
       items[l] = static_cast<Field>(nurand(rng, 255, 0, cfg.n_items - 1, 42));
       qtys[l] = static_cast<Field>(rng.uniform(1, 10));
+      supply[l] = w;
+      if (cfg.remote_warehouse_prob > 0 && cfg.n_warehouses > 1 &&
+          rng.bernoulli(cfg.remote_warehouse_prob)) {
+        // A remote line: supplied by a different warehouse (TPC-C 2.4.1.5).
+        const Field other =
+            static_cast<Field>(rng.uniform(0, cfg.n_warehouses - 2));
+        supply[l] = other >= w ? other + 1 : other;
+      }
     }
     return std::vector<Record>{
-        Record{static_cast<Field>(rng.uniform(0, cfg.n_warehouses - 1))},
+        Record{w},
         Record{static_cast<Field>(
             rng.uniform(0, cfg.districts_per_warehouse - 1))},
         Record{static_cast<Field>(
             rng.uniform(0, cfg.customers_per_district - 1))},
-        std::move(items), std::move(qtys)};
+        std::move(items), std::move(qtys), std::move(supply)};
   };
   return profile;
 }
 
 TxProfile Tpcc::make_payment() const {
-  // Params: 0=w, 1=d, 2=c, 3=amount, 4=history id.
-  ProgramBuilder b("tpcc.payment", 5);
+  // Params: 0=w, 1=d, 2=c, 3=amount, 4=history id (warehouse-encoded),
+  // 5=customer's home warehouse (== w unless the customer is remote).
+  ProgramBuilder b("tpcc.payment", 6);
   const VarId p_w = b.param(0), p_d = b.param(1), p_c = b.param(2);
   const VarId p_amt = b.param(3), p_hist = b.param(4);
+  const VarId p_cw = b.param(5);
 
   const VarId wh = b.remote_read(
       kWarehouse, {p_w},
@@ -248,9 +261,9 @@ TxProfile Tpcc::make_payment() const {
           },
           "update district ytd");
   const VarId cust = b.remote_read(
-      kCustomer, {p_w, p_d, p_c},
-      [this, p_w, p_d, p_c](const TxEnv& e) {
-        return customer_key(e.geti(p_w), e.geti(p_d), e.geti(p_c));
+      kCustomer, {p_cw, p_d, p_c},
+      [this, p_cw, p_d, p_c](const TxEnv& e) {
+        return customer_key(e.geti(p_cw), e.geti(p_d), e.geti(p_c));
       },
       "read customer");
   b.local({cust, p_amt}, {cust},
@@ -263,9 +276,9 @@ TxProfile Tpcc::make_payment() const {
             e.write_object(cust, std::move(r));
           },
           "pay");
-  b.local({cust, p_w, p_d, p_c, p_amt, p_hist}, {},
-          [this, p_w, p_d, p_c, p_amt, p_hist](TxEnv& e) {
-            const auto c_key = customer_key(e.geti(p_w), e.geti(p_d),
+  b.local({cust, p_cw, p_d, p_c, p_amt, p_hist}, {},
+          [this, p_cw, p_d, p_c, p_amt, p_hist](TxEnv& e) {
+            const auto c_key = customer_key(e.geti(p_cw), e.geti(p_d),
                                             e.geti(p_c));
             e.insert_object(history_key(e.geti(p_hist)),
                             Record{static_cast<Field>(c_key.id),
@@ -281,14 +294,24 @@ TxProfile Tpcc::make_payment() const {
 
   const TpccConfig cfg = config_;
   profile.make_params = [cfg](Rng& rng, int /*phase*/) {
+    const Field w = static_cast<Field>(rng.uniform(0, cfg.n_warehouses - 1));
+    Field c_w = w;
+    if (cfg.remote_warehouse_prob > 0 && cfg.n_warehouses > 1 &&
+        rng.bernoulli(cfg.remote_warehouse_prob)) {
+      // Remote customer: paid at this terminal, homed elsewhere (2.5.1.2).
+      const Field other =
+          static_cast<Field>(rng.uniform(0, cfg.n_warehouses - 2));
+      c_w = other >= w ? other + 1 : other;
+    }
     return std::vector<Record>{
-        Record{static_cast<Field>(rng.uniform(0, cfg.n_warehouses - 1))},
+        Record{w},
         Record{static_cast<Field>(
             rng.uniform(0, cfg.districts_per_warehouse - 1))},
         Record{static_cast<Field>(
             rng.uniform(0, cfg.customers_per_district - 1))},
         Record{static_cast<Field>(rng.uniform(1, 500))},
-        Record{static_cast<Field>(rng.uniform(0, (1ULL << 62) - 1))}};
+        Record{history_id(w, rng.uniform(0, (1ULL << 40) - 1))},
+        Record{c_w}};
   };
   return profile;
 }
@@ -542,7 +565,7 @@ TxProfile Tpcc::make_stocklevel() const {
   return profile;
 }
 
-void Tpcc::seed(const std::vector<dtm::Server*>& servers) {
+void Tpcc::seed_objects(const SeedSink& sink) {
   const auto W = static_cast<Field>(config_.n_warehouses);
   const auto D = static_cast<Field>(config_.districts_per_warehouse);
   const auto C = static_cast<Field>(config_.customers_per_district);
@@ -550,31 +573,71 @@ void Tpcc::seed(const std::vector<dtm::Server*>& servers) {
   const auto R = static_cast<Field>(config_.order_ring);
 
   for (Field i = 0; i < I; ++i)
-    seed_all(servers, item_key(i), Record{100 + i % 100});
+    sink(item_key(i), Record{100 + i % 100});
 
   for (Field w = 0; w < W; ++w) {
-    seed_all(servers, warehouse_key(w), Record{0, 50 + w * 10});
-    for (Field i = 0; i < I; ++i)
-      seed_all(servers, stock_key(w, i), Record{50 + i % 50, 0, 0});
+    sink(warehouse_key(w), Record{0, 50 + w * 10});
+    for (Field i = 0; i < I; ++i) {
+      const Field qty = config_.initial_stock_quantity != 0
+                            ? config_.initial_stock_quantity
+                            : 50 + i % 50;
+      sink(stock_key(w, i), Record{qty, 0, 0});
+    }
     for (Field d = 0; d < D; ++d) {
-      seed_all(servers, district_key(w, d), Record{R, 0, (w * 3 + d) % 20});
-      seed_all(servers, cursor_key(w, d), Record{0});
+      sink(district_key(w, d), Record{R, 0, (w * 3 + d) % 20});
+      sink(cursor_key(w, d), Record{0});
       for (Field c = 0; c < C; ++c)
-        seed_all(servers, customer_key(w, d, c),
-                 Record{config_.initial_customer_balance, 0, 0, 0, 0});
+        sink(customer_key(w, d, c),
+             Record{config_.initial_customer_balance, 0, 0, 0, 0});
       for (Field o = 0; o < R; ++o) {
-        seed_all(servers, order_key(w, d, o),
-                 Record{o % C, 0, static_cast<Field>(kOrderLines)});
-        seed_all(servers, new_order_key(w, d, o), Record{o});
+        sink(order_key(w, d, o),
+             Record{o % C, 0, static_cast<Field>(kOrderLines)});
+        sink(new_order_key(w, d, o), Record{o});
         for (std::size_t l = 0; l < kOrderLines; ++l) {
           const Field item = (o * 7 + static_cast<Field>(l)) % I;
           const Field qty = 1 + static_cast<Field>(l);
-          seed_all(servers, order_line_key(w, d, o, l),
-                   Record{item, qty, (100 + item % 100) * qty, 0});
+          sink(order_line_key(w, d, o, l),
+               Record{item, qty, (100 + item % 100) * qty, 0});
         }
       }
     }
   }
+}
+
+Placement Tpcc::placement() const {
+  // Every class's key layout lets the home warehouse be derived by integer
+  // division — that derivation IS the placement, so one warehouse's entire
+  // slice (districts, customers, stock, order rings, history) lands on one
+  // group and a no-remote transaction never leaves it.
+  const std::uint64_t dpw = districts_per_warehouse_;
+  const std::uint64_t cpd = customers_per_district_;
+  const std::uint64_t items = n_items_;
+  const std::uint64_t ring = order_ring_;
+  Placement placement;
+  placement.shard_of = [dpw, cpd, items, ring](const store::ObjectKey& key) {
+    switch (key.cls) {
+      case kWarehouse:
+        return static_cast<std::uint32_t>(key.id);
+      case kDistrict:
+      case kDeliveryCursor:
+        return static_cast<std::uint32_t>(key.id / dpw);
+      case kCustomer:
+        return static_cast<std::uint32_t>(key.id / (dpw * cpd));
+      case kStock:
+        return static_cast<std::uint32_t>(key.id / items);
+      case kOrder:
+      case kNewOrder:
+        return static_cast<std::uint32_t>(key.id / (ring * dpw));
+      case kOrderLine:
+        return static_cast<std::uint32_t>(key.id / (kLineSlots * ring * dpw));
+      case kHistory:
+        return static_cast<std::uint32_t>(key.id >> kHistoryWarehouseShift);
+      default:  // kItem (replicated): nominal home only
+        return std::uint32_t{0};
+    }
+  };
+  placement.replicated_classes = {kItem};
+  return placement;
 }
 
 void Tpcc::check_invariants(const std::vector<dtm::Server*>& servers) const {

@@ -59,6 +59,19 @@ struct TpccConfig {
   double w_delivery = 0.0;
   double w_orderstatus = 0.0;  // read-only
   double w_stocklevel = 0.0;   // read-only
+
+  /// Probability that a NewOrder line is supplied by a foreign warehouse
+  /// (its stock row lives there) and that a Payment customer belongs to a
+  /// foreign warehouse — TPC-C's ~1%/15% remote mixes.  Under
+  /// warehouse-per-group placement a remote access makes the transaction
+  /// genuinely cross-shard.  Requires n_warehouses >= 2 when > 0.
+  double remote_warehouse_prob = 0.0;
+
+  /// Non-zero: seed every stock row at this quantity instead of the spec's
+  /// 50 + i % 50 pattern.  A large value keeps stock far above the restock
+  /// threshold so stock updates commute — what the sharded-vs-reference
+  /// state-equality gate needs (the restock rule is order-dependent).
+  store::Field initial_stock_quantity = 0;
 };
 
 class Tpcc final : public Workload {
@@ -80,7 +93,13 @@ class Tpcc final : public Workload {
   explicit Tpcc(TpccConfig config = {});
 
   std::string name() const override { return "tpcc"; }
-  void seed(const std::vector<dtm::Server*>& servers) override;
+  void seed_objects(const SeedSink& sink) override;
+  /// Warehouse-per-group placement: every key derives its home warehouse
+  /// (districts, customers, stock, orders, lines, cursors — and history,
+  /// whose id encodes the warehouse in its top bits), so a no-remote
+  /// transaction is single-shard by construction.  The read-only item
+  /// table is replicated on every group.
+  Placement placement() const override;
   const std::vector<TxProfile>& profiles() const override { return profiles_; }
   void check_invariants(const std::vector<dtm::Server*>& servers) const override;
 
@@ -132,6 +151,14 @@ class Tpcc final : public Workload {
   }
   store::ObjectKey history_key(store::Field unique_id) const {
     return {kHistory, static_cast<std::uint64_t>(unique_id)};
+  }
+  /// History ids carry the terminal's warehouse in bits [40, 64), so the
+  /// placement function routes the blind insert from the id alone.
+  static constexpr std::uint64_t kHistoryWarehouseShift = 40;
+  static store::Field history_id(store::Field w, std::uint64_t unique) {
+    return static_cast<store::Field>(
+        (static_cast<std::uint64_t>(w) << kHistoryWarehouseShift) |
+        (unique & ((1ULL << kHistoryWarehouseShift) - 1)));
   }
 
  private:

@@ -226,15 +226,15 @@ TxProfile Vacation::make_query() const {
   return profile;
 }
 
-void Vacation::seed(const std::vector<dtm::Server*>& servers) {
+void Vacation::seed_objects(const SeedSink& sink) {
   for (const ir::ClassId table : kTables)
     for (std::size_t i = 0; i < config_.n_items; ++i) {
       const auto id = static_cast<Field>(i);
-      seed_all(servers, item_key(table, id),
-               Record{config_.capacity, 0, price_of(table, id)});
+      sink(item_key(table, id),
+           Record{config_.capacity, 0, price_of(table, id)});
     }
   for (std::size_t i = 0; i < config_.n_customers; ++i)
-    seed_all(servers, customer_key(static_cast<Field>(i)), Record{0, 0});
+    sink(customer_key(static_cast<Field>(i)), Record{0, 0});
 }
 
 void Vacation::check_invariants(const std::vector<dtm::Server*>& servers) const {

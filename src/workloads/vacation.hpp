@@ -45,7 +45,7 @@ class Vacation final : public Workload {
   explicit Vacation(VacationConfig config = {});
 
   std::string name() const override { return "vacation"; }
-  void seed(const std::vector<dtm::Server*>& servers) override;
+  void seed_objects(const SeedSink& sink) override;
   const std::vector<TxProfile>& profiles() const override { return profiles_; }
   void check_invariants(const std::vector<dtm::Server*>& servers) const override;
 

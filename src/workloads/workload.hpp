@@ -33,14 +33,48 @@ struct TxProfile {
   std::function<std::vector<ir::Record>(Rng&, int phase)> make_params;
 };
 
+/// Where seed_objects pours the initial objects.  The unsharded path binds
+/// seed_all (every replica); the sharded path (shard::ClientFleet::seed)
+/// binds owner-scoped seeding, so each object lands only on the replicas of
+/// the quorum group that owns it.
+using SeedSink =
+    std::function<void(const store::ObjectKey&, const store::Record&)>;
+
+/// How a workload wants its keyspace placed on a sharded cluster.
+struct Placement {
+  /// Key → natural placement id (TPC-C warehouse, Bank branch); the shard
+  /// map reduces it modulo the group count, so the workload never needs to
+  /// know how many groups exist.  Null = salted-hash partitioning.
+  std::function<std::uint32_t(const store::ObjectKey&)> shard_of;
+  /// Read-mostly reference classes replicated on every group (reads served
+  /// by the transaction's home group, writes refused).
+  std::vector<store::ClassId> replicated_classes;
+};
+
+/// Seed `key` = `value` on every replica.
+void seed_all(const std::vector<dtm::Server*>& servers,
+              const store::ObjectKey& key, const store::Record& value);
+
 class Workload {
  public:
   virtual ~Workload() = default;
 
   virtual std::string name() const = 0;
 
-  /// Install the initial objects on every server replica.
-  virtual void seed(const std::vector<dtm::Server*>& servers) = 0;
+  /// Emit every initial object into `sink`, exactly once per key.
+  virtual void seed_objects(const SeedSink& sink) = 0;
+
+  /// Install the initial objects on every server replica (the unsharded
+  /// path — full replication).
+  void seed(const std::vector<dtm::Server*>& servers) {
+    seed_objects([&](const store::ObjectKey& key, const store::Record& value) {
+      seed_all(servers, key, value);
+    });
+  }
+
+  /// Keyspace placement for sharded runs.  The default (empty) leaves the
+  /// bench on hash partitioning with nothing replicated.
+  virtual Placement placement() const { return {}; }
 
   virtual const std::vector<TxProfile>& profiles() const = 0;
 

@@ -189,8 +189,9 @@ TEST(BatchedExecution, MatchesUnbatchedFinalState) {
     bank.seed(cluster.servers());
     auto stub = cluster.make_stub(0);
     Executor executor(stub, fast_executor(), 1);
-    executor.run_blocks(*profile.program, profile.static_model,
-                        profile.manual_sequence, params, plain_stats);
+    executor.run(Protocol::kManualCN,
+                 with_blocks(*profile.program, profile.static_model, profile.manual_sequence),
+                 params, plain_stats);
     for (const auto& key : touched)
       expected.push_back(workloads::latest_value(cluster.servers(), key).value);
   }

@@ -205,9 +205,9 @@ TEST(Codec, EndToEndTrafficVerifiesCleanly) {
   for (int i = 0; i < 40; ++i) {
     const std::size_t p = workloads::pick_profile(bank.profiles(), rng);
     const auto& profile = bank.profiles()[p];
-    executor.run_blocks(*profile.program, profile.static_model,
-                        profile.manual_sequence, profile.make_params(rng, 0),
-                        stats);
+    executor.run(Protocol::kManualCN,
+                 with_blocks(*profile.program, profile.static_model, profile.manual_sequence),
+                 profile.make_params(rng, 0), stats);
   }
   EXPECT_EQ(stats.commits, 40u);
   bank.check_invariants(cluster.servers());

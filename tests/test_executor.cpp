@@ -79,7 +79,8 @@ TEST(Executor, FlatRunCommitsEffects) {
   ExecStats stats;
   const std::vector<Record> params{Record{1}, Record{2}, Record{0}, Record{3},
                                    Record{7}};
-  executor.run_flat(*bank.profiles()[0].program, params, stats);
+  executor.run(Protocol::kFlat, with_program(*bank.profiles()[0].program),
+               params, stats);
   EXPECT_EQ(stats.commits, 1u);
   EXPECT_EQ(stats.full_aborts, 0u);
 
@@ -115,7 +116,7 @@ TEST(Executor, AnyValidBlockSequenceMatchesFlatExecution) {
     auto stub = cluster.make_stub(0);
     Executor executor(stub, fast_executor(), 1);
     ExecStats stats;
-    executor.run_flat(*profile.program, params, stats);
+    executor.run(Protocol::kFlat, with_program(*profile.program), params, stats);
     for (const auto& key :
          {workloads::Bank::account_key(5), workloads::Bank::account_key(6),
           workloads::Bank::branch_key(1), workloads::Bank::branch_key(2)})
@@ -131,8 +132,9 @@ TEST(Executor, AnyValidBlockSequenceMatchesFlatExecution) {
     auto stub = cluster.make_stub(0);
     Executor executor(stub, fast_executor(), 1);
     ExecStats stats;
-    executor.run_blocks(*profile.program, profile.static_model, seq, params,
-                        stats);
+    executor.run(Protocol::kManualCN,
+                 with_blocks(*profile.program, profile.static_model, seq),
+                 params, stats);
     EXPECT_EQ(stats.commits, 1u);
     std::size_t i = 0;
     for (const auto& key :
@@ -198,7 +200,8 @@ TEST(Executor, PartialRollbackRetriesOnlyTheBlock) {
   auto stub = rig.cluster.make_stub(0);
   Executor executor(stub, fast_executor(), 1);
   ExecStats stats;
-  executor.run_blocks(rig.program, rig.model, rig.sequence, {}, stats);
+  executor.run(Protocol::kManualCN,
+               with_blocks(rig.program, rig.model, rig.sequence), {}, stats);
   EXPECT_EQ(stats.commits, 1u);
   EXPECT_EQ(stats.partial_aborts, 1u);
   EXPECT_EQ(stats.full_aborts, 0u);
@@ -212,7 +215,8 @@ TEST(Executor, MergedHistoryConflictEscalatesToFullAbort) {
   auto stub = rig.cluster.make_stub(0);
   Executor executor(stub, fast_executor(), 1);
   ExecStats stats;
-  executor.run_blocks(rig.program, rig.model, rig.sequence, {}, stats);
+  executor.run(Protocol::kManualCN,
+               with_blocks(rig.program, rig.model, rig.sequence), {}, stats);
   EXPECT_EQ(stats.commits, 1u);
   EXPECT_EQ(stats.partial_aborts, 0u);
   EXPECT_EQ(stats.full_aborts, 1u);
@@ -226,7 +230,8 @@ TEST(Executor, RepeatedPartialsEscalateAtTheCap) {
   config.max_partial_retries = 3;
   Executor executor(stub, config, 1);
   ExecStats stats;
-  executor.run_blocks(rig.program, rig.model, rig.sequence, {}, stats);
+  executor.run(Protocol::kManualCN,
+               with_blocks(rig.program, rig.model, rig.sequence), {}, stats);
   EXPECT_EQ(stats.commits, 1u);
   // Fires 1-3 are absorbed as partial retries; fire 4 exceeds the cap and
   // escalates; the restart runs clean.
@@ -239,7 +244,7 @@ TEST(Executor, FlatModeTreatsEveryConflictAsFullAbort) {
   auto stub = rig.cluster.make_stub(0);
   Executor executor(stub, fast_executor(), 1);
   ExecStats stats;
-  executor.run_flat(rig.program, {}, stats);
+  executor.run(Protocol::kFlat, with_program(rig.program), {}, stats);
   EXPECT_EQ(stats.commits, 1u);
   EXPECT_EQ(stats.partial_aborts, 0u);
   EXPECT_EQ(stats.full_aborts, 2u);
@@ -253,7 +258,7 @@ TEST(Executor, CheckpointRestoreResumesAtInvalidRead) {
   auto stub = rig.cluster.make_stub(0);
   Executor executor(stub, fast_executor(), 1);
   ExecStats stats;
-  executor.run_checkpointed(rig.program, {}, stats);
+  executor.run(Protocol::kCheckpoint, with_program(rig.program), {}, stats);
   EXPECT_EQ(stats.commits, 1u);
   EXPECT_EQ(stats.full_aborts, 0u);
   EXPECT_EQ(stats.checkpoint_restores, 1u);
@@ -270,7 +275,7 @@ TEST(Executor, CheckpointRestoreReachesBackToEarlierAccess) {
   auto stub = rig.cluster.make_stub(0);
   Executor executor(stub, fast_executor(), 1);
   ExecStats stats;
-  executor.run_checkpointed(rig.program, {}, stats);
+  executor.run(Protocol::kCheckpoint, with_program(rig.program), {}, stats);
   EXPECT_EQ(stats.commits, 1u);
   EXPECT_EQ(stats.full_aborts, 0u);
   EXPECT_EQ(stats.checkpoint_restores, 1u);
@@ -289,7 +294,7 @@ TEST(Executor, CheckpointMatchesFlatFinalState) {
     auto stub = cluster.make_stub(0);
     Executor executor(stub, fast_executor(), 1);
     ExecStats stats;
-    executor.run_flat(*profile.program, params, stats);
+    executor.run(Protocol::kFlat, with_program(*profile.program), params, stats);
     for (const auto& key :
          {workloads::Bank::account_key(3), workloads::Bank::account_key(4),
           workloads::Bank::branch_key(1), workloads::Bank::branch_key(2)})
@@ -300,7 +305,8 @@ TEST(Executor, CheckpointMatchesFlatFinalState) {
   auto stub = cluster.make_stub(0);
   Executor executor(stub, fast_executor(), 1);
   ExecStats stats;
-  executor.run_checkpointed(*profile.program, params, stats);
+  executor.run(Protocol::kCheckpoint, with_program(*profile.program), params,
+               stats);
   EXPECT_EQ(stats.commits, 1u);
   EXPECT_EQ(stats.checkpoints_taken, 4u);
   std::size_t i = 0;
@@ -318,7 +324,7 @@ TEST(Executor, CheckpointEscalatesAfterRetryCap) {
   config.max_partial_retries = 3;
   Executor executor(stub, config, 1);
   ExecStats stats;
-  executor.run_checkpointed(rig.program, {}, stats);
+  executor.run(Protocol::kCheckpoint, with_program(rig.program), {}, stats);
   EXPECT_EQ(stats.commits, 1u);
   // Fires 1-3 restore; fire 4 exceeds the cap -> full restart; fire 5
   // restores again on the second attempt.
@@ -341,7 +347,7 @@ TEST(Executor, AdaptiveUsesControllerPlan) {
   ExecStats stats;
   const std::vector<Record> params{Record{1}, Record{2}, Record{0}, Record{3},
                                    Record{5}};
-  executor.run_adaptive(controller, params, stats);
+  executor.run(Protocol::kAcn, with_controller(controller), params, stats);
   EXPECT_EQ(stats.commits, 1u);
 
   controller.adapt({{workloads::Bank::kBranch, 500},
@@ -351,7 +357,7 @@ TEST(Executor, AdaptiveUsesControllerPlan) {
   EXPECT_EQ(adapted_plan->sequence.size(), 2u);  // Figure 3 arrangement
   EXPECT_EQ(controller.adaptations(), 1u);
 
-  executor.run_adaptive(controller, params, stats);
+  executor.run(Protocol::kAcn, with_controller(controller), params, stats);
   EXPECT_EQ(stats.commits, 2u);
   bank.check_invariants(cluster.servers());
 }
@@ -399,7 +405,8 @@ TEST(Executor, PartialAbortsLandInTheExpectedBlockPosition) {
   auto stub = rig.cluster.make_stub(0);
   Executor executor(stub, fast_executor(), 1);
   ExecStats stats;
-  executor.run_blocks(rig.program, rig.model, rig.sequence, {}, stats);
+  executor.run(Protocol::kManualCN,
+               with_blocks(rig.program, rig.model, rig.sequence), {}, stats);
   // The sabotaged block is position 1 of the two-block sequence.
   EXPECT_EQ(stats.partials_at_position[0], 0u);
   EXPECT_EQ(stats.partials_at_position[1], 2u);

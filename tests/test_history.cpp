@@ -127,10 +127,12 @@ void run_concurrent(workloads::Workload& workload, harness::Cluster& cluster,
         const auto& profile = workload.profiles()[p];
         const auto params = profile.make_params(rng, i % 2);
         if (use_blocks)
-          executor.run_blocks(*profile.program, profile.static_model,
-                              profile.manual_sequence, params, stats);
+          executor.run(Protocol::kManualCN,
+                       with_blocks(*profile.program, profile.static_model, profile.manual_sequence),
+                       params, stats);
         else
-          executor.run_flat(*profile.program, params, stats);
+          executor.run(Protocol::kFlat, with_program(*profile.program), params,
+                       stats);
       }
     });
   }
@@ -188,8 +190,8 @@ TEST(HistoryChecker, CheckpointedExecutionHistoryIsSerializable) {
       ExecStats stats;
       for (int i = 0; i < 60; ++i) {
         const auto& profile = bank.profiles()[0];
-        executor.run_checkpointed(*profile.program,
-                                  profile.make_params(rng, 0), stats);
+        executor.run(Protocol::kCheckpoint, with_program(*profile.program),
+                     profile.make_params(rng, 0), stats);
       }
     });
   }

@@ -99,8 +99,8 @@ TEST(Integration, AcnAdaptsBankPlanToHotBranches) {
   ExecStats stats;
   for (int i = 0; i < 40; ++i) {
     // Phase 0 params: branches hot.
-    executor.run_adaptive(controller, bank.profiles()[0].make_params(rng, 0),
-                          stats);
+    executor.run(Protocol::kAcn, with_controller(controller),
+                 bank.profiles()[0].make_params(rng, 0), stats);
   }
   cluster.roll_contention_windows();
   controller.adapt_from(monitor, stub);

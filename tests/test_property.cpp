@@ -205,7 +205,7 @@ TEST_P(PipelineProperty, AnyValidSequenceCommitsFlatEquivalentState) {
       auto stub = cluster.make_stub(0);
       Executor executor(stub, {}, 1);
       ExecStats stats;
-      executor.run_flat(program, params, stats);
+      executor.run(Protocol::kFlat, with_program(program), params, stats);
       expected = final_state(cluster);
     }
 
@@ -219,7 +219,8 @@ TEST_P(PipelineProperty, AnyValidSequenceCommitsFlatEquivalentState) {
       auto stub = cluster.make_stub(0);
       Executor executor(stub, {}, 1);
       ExecStats stats;
-      executor.run_blocks(program, model, sequence, params, stats);
+      executor.run(Protocol::kManualCN, with_blocks(program, model, sequence),
+                   params, stats);
       EXPECT_EQ(final_state(cluster), expected)
           << "trial " << trial << " round " << round;
     }
@@ -242,7 +243,7 @@ TEST_P(PipelineProperty, AlgorithmPlansCommitFlatEquivalentState) {
       auto stub = cluster.make_stub(0);
       Executor executor(stub, {}, 1);
       ExecStats stats;
-      executor.run_flat(program, params, stats);
+      executor.run(Protocol::kFlat, with_program(program), params, stats);
       expected = final_state(cluster);
     }
 
@@ -259,7 +260,9 @@ TEST_P(PipelineProperty, AlgorithmPlansCommitFlatEquivalentState) {
       auto stub = cluster.make_stub(0);
       Executor executor(stub, {}, 1);
       ExecStats stats;
-      executor.run_blocks(program, plan.model, plan.sequence, params, stats);
+      executor.run(Protocol::kManualCN,
+                   with_blocks(program, plan.model, plan.sequence), params,
+                   stats);
       EXPECT_EQ(final_state(cluster), expected)
           << "trial " << trial << " round " << round << "\n"
           << describe_sequence(plan.sequence, plan.model);
@@ -283,7 +286,7 @@ TEST_P(PipelineProperty, CheckpointedExecutionIsFlatEquivalent) {
       auto stub = cluster.make_stub(0);
       Executor executor(stub, {}, 1);
       ExecStats stats;
-      executor.run_flat(program, params, stats);
+      executor.run(Protocol::kFlat, with_program(program), params, stats);
       expected = final_state(cluster);
     }
 
@@ -292,7 +295,7 @@ TEST_P(PipelineProperty, CheckpointedExecutionIsFlatEquivalent) {
     auto stub = cluster.make_stub(0);
     Executor executor(stub, {}, 1);
     ExecStats stats;
-    executor.run_checkpointed(program, params, stats);
+    executor.run(Protocol::kCheckpoint, with_program(program), params, stats);
     EXPECT_EQ(final_state(cluster), expected) << "trial " << trial;
   }
 }

@@ -101,6 +101,71 @@ TEST(ShardMap, DegenerateAndInvalidConfigs) {
                std::invalid_argument);
 }
 
+TEST(ShardMap, ReplicatedClassesAreInvisibleToRoutePlanning) {
+  ShardMapConfig config;
+  config.n_shards = 2;
+  config.partitioning = Partitioning::kRange;
+  config.range_block = 100;
+  config.replicated_classes = {4};
+  const ShardMap map(config);
+  EXPECT_TRUE(map.replicated(4));
+  EXPECT_FALSE(map.replicated(1));
+
+  // A footprint spanning a replicated key and a home key stays single
+  // shard: the replicated class contributes no group.
+  const KeyFootprint footprint = write_footprint({{1, 5}, {4, 9999}});
+  EXPECT_EQ(map.shards_touched(footprint),
+            (std::vector<std::uint32_t>{0}));
+}
+
+TEST(ShardMap, CustomPlacementReducesNaturalIdsModuloShards) {
+  ShardMapConfig config;
+  config.n_shards = 3;
+  config.partitioning = Partitioning::kCustom;
+  // The workload returns a natural placement id (here: the raw key id, as
+  // a branch-per-group bank would); the map owns the modulo.
+  config.custom = [](const ObjectKey& key) {
+    return static_cast<std::uint32_t>(key.id);
+  };
+  const ShardMap map(config);
+  EXPECT_EQ(map.shard_of({1, 0}), 0u);
+  EXPECT_EQ(map.shard_of({1, 4}), 1u);
+  EXPECT_EQ(map.shard_of({1, 5}), 2u);
+}
+
+TEST(Coordinator, ReplicatedClassReadsServeFromHomeAndWritesAreRefused) {
+  harness::Cluster cluster(fast_cluster(2));
+  ShardMapConfig map_config;
+  map_config.n_shards = 2;
+  map_config.partitioning = Partitioning::kRange;
+  map_config.range_block = 100;
+  map_config.replicated_classes = {4};
+  const ShardMap map(map_config);
+  ShardRouter router(map);
+  const ObjectKey home{1, 105};      // group 1
+  const ObjectKey reference{4, 42};  // replicated: seeded on BOTH groups
+  seed_sharded(cluster, map, home, Record{10});
+  seed_sharded(cluster, map, reference, Record{77});
+
+  CrossShardCoordinator coordinator(cluster, router, 0);
+  KeyFootprint footprint = write_footprint({home});
+  footprint.push_back({reference, false});
+  std::sort(footprint.begin(), footprint.end(),
+            [](const auto& a, const auto& b) { return a.key < b.key; });
+  ShardTx tx = coordinator.begin(footprint);
+  // The plan is single-shard on group 1; the replicated read is served
+  // there without widening the plan.
+  EXPECT_TRUE(tx.predicted().single_shard());
+  EXPECT_EQ(tx.predicted().home(), 1u);
+  EXPECT_EQ(tx.read(reference).fields[0], 77);
+  const auto h = tx.read(home);
+  tx.write(home, Record{h.fields[0] + 1});
+  // Writing a replicated class would silently diverge the groups' copies.
+  EXPECT_THROW(tx.write(reference, Record{0}), std::logic_error);
+  tx.commit();
+  EXPECT_EQ(latest_sharded(cluster, map, home).value.fields[0], 11);
+}
+
 TEST(ShardsTouched, SortedDeduplicatedUnderAnyPartitioning) {
   const KeyFootprint footprint = write_footprint(
       {{1, 205}, {1, 5}, {2, 110}, {1, 107}});

@@ -109,8 +109,8 @@ TEST(Bank, InvariantHoldsAfterMixedLoad) {
   ExecStats stats;
   for (int i = 0; i < 60; ++i) {
     const std::size_t p = pick_profile(bank.profiles(), rng);
-    executor.run_flat(*bank.profiles()[p].program,
-                      bank.profiles()[p].make_params(rng, i % 2), stats);
+    executor.run(Protocol::kFlat, with_program(*bank.profiles()[p].program),
+                 bank.profiles()[p].make_params(rng, i % 2), stats);
   }
   EXPECT_EQ(stats.commits, 60u);
   bank.check_invariants(cluster.servers());
@@ -142,8 +142,8 @@ TEST(Vacation, ReservationUpdatesItemsAndCustomer) {
   Executor executor(stub, fast_executor(), 2);
   ExecStats stats;
   // customer 1 books car 2, flight 3, room 4.
-  executor.run_flat(*vacation.profiles()[0].program,
-                    {Record{1}, Record{2}, Record{3}, Record{4}}, stats);
+  executor.run(Protocol::kFlat, with_program(*vacation.profiles()[0].program),
+               {Record{1}, Record{2}, Record{3}, Record{4}}, stats);
   const auto servers = cluster.servers();
   const auto car = latest_value(servers, Vacation::item_key(Vacation::kCar, 2));
   EXPECT_EQ(car.value[0], vacation.config().capacity - 1);
@@ -182,9 +182,9 @@ TEST(Vacation, InvariantHoldsAfterMixedLoad) {
   for (int i = 0; i < 60; ++i) {
     const std::size_t p = pick_profile(vacation.profiles(), rng);
     const auto& profile = vacation.profiles()[p];
-    executor.run_blocks(*profile.program, profile.static_model,
-                        profile.manual_sequence, profile.make_params(rng, i % 3),
-                        stats);
+    executor.run(Protocol::kManualCN,
+                 with_blocks(*profile.program, profile.static_model, profile.manual_sequence),
+                 profile.make_params(rng, i % 3), stats);
   }
   EXPECT_EQ(stats.commits, 60u);
   vacation.check_invariants(cluster.servers());
@@ -259,8 +259,10 @@ TEST(Tpcc, NewOrderAdvancesDistrictAndInsertsOrder) {
     items[l] = static_cast<Field>(l);
     qtys[l] = 2;
   }
-  executor.run_flat(*tpcc.profiles()[0].program,
-                    {Record{1}, Record{2}, Record{3}, items, qtys}, stats);
+  executor.run(Protocol::kFlat, with_program(*tpcc.profiles()[0].program),
+               {Record{1}, Record{2}, Record{3}, items, qtys,
+                Record(Tpcc::kOrderLines, 1)},
+               stats);
 
   const auto servers = cluster.servers();
   const auto district = latest_value(servers, tpcc.district_key(1, 2));
@@ -285,8 +287,10 @@ TEST(Tpcc, StockRestockRuleKeepsQuantityPositive) {
   ExecStats stats;
   Record items(Tpcc::kOrderLines, 0), qtys(Tpcc::kOrderLines, 10);
   for (int i = 0; i < 30; ++i)  // hammer item 0's stock with max quantity
-    executor.run_flat(*tpcc.profiles()[0].program,
-                      {Record{0}, Record{0}, Record{0}, items, qtys}, stats);
+    executor.run(Protocol::kFlat, with_program(*tpcc.profiles()[0].program),
+                 {Record{0}, Record{0}, Record{0}, items, qtys,
+                  Record(Tpcc::kOrderLines, 0)},
+                 stats);
   tpcc.check_invariants(cluster.servers());
 }
 
@@ -300,9 +304,10 @@ TEST(Tpcc, PaymentConservesCustomerBalance) {
   auto stub = cluster.make_stub(0);
   Executor executor(stub, fast_executor(), 11);
   ExecStats stats;
-  executor.run_flat(*tpcc.profiles()[0].program,
-                    {Record{0}, Record{1}, Record{2}, Record{150}, Record{777}},
-                    stats);
+  executor.run(Protocol::kFlat, with_program(*tpcc.profiles()[0].program),
+               {Record{0}, Record{1}, Record{2}, Record{150}, Record{777},
+                Record{0}},
+               stats);
   const auto servers = cluster.servers();
   const auto wh = latest_value(servers, tpcc.warehouse_key(0));
   EXPECT_EQ(wh.value[0], 150);  // ytd
@@ -324,8 +329,8 @@ TEST(Tpcc, DeliveryCreditsTheOrdersCustomer) {
   auto stub = cluster.make_stub(0);
   Executor executor(stub, fast_executor(), 13);
   ExecStats stats;
-  executor.run_flat(*tpcc.profiles()[0].program,
-                    {Record{0}, Record{0}, Record{4}}, stats);
+  executor.run(Protocol::kFlat, with_program(*tpcc.profiles()[0].program),
+               {Record{0}, Record{0}, Record{4}}, stats);
   const auto servers = cluster.servers();
   const auto cursor = latest_value(servers, tpcc.cursor_key(0, 0));
   EXPECT_EQ(cursor.value[0], 1);
@@ -361,8 +366,9 @@ TEST(Tpcc, FullSpecDeliveryProcessesEveryDistrict) {
   auto stub = cluster.make_stub(0);
   Executor executor(stub, fast_executor(), 47);
   ExecStats stats;
-  executor.run_blocks(*profile.program, profile.static_model,
-                      profile.manual_sequence, {Record{1}, Record{6}}, stats);
+  executor.run(Protocol::kManualCN,
+               with_blocks(*profile.program, profile.static_model, profile.manual_sequence),
+               {Record{1}, Record{6}}, stats);
   EXPECT_EQ(stats.commits, 1u);
   const auto servers = cluster.servers();
   for (Field d = 0; d < static_cast<Field>(config.districts_per_warehouse);
@@ -389,9 +395,9 @@ TEST(Tpcc, MixedLoadKeepsInvariants) {
   for (int i = 0; i < 60; ++i) {
     const std::size_t p = pick_profile(tpcc.profiles(), rng);
     const auto& profile = tpcc.profiles()[p];
-    executor.run_blocks(*profile.program, profile.static_model,
-                        profile.manual_sequence, profile.make_params(rng, 0),
-                        stats);
+    executor.run(Protocol::kManualCN,
+                 with_blocks(*profile.program, profile.static_model, profile.manual_sequence),
+                 profile.make_params(rng, 0), stats);
   }
   EXPECT_EQ(stats.commits, 60u);
   tpcc.check_invariants(cluster.servers());
@@ -427,8 +433,9 @@ TEST(Tpcc, FifteenLineNewOrderExecutesAndKeepsInvariants) {
     items[l] = static_cast<Field>(l * 2);
     qtys[l] = 3;
   }
-  executor.run_flat(*tpcc.profiles()[0].program,
-                    {Record{0}, Record{1}, Record{2}, items, qtys}, stats);
+  executor.run(Protocol::kFlat, with_program(*tpcc.profiles()[0].program),
+               {Record{0}, Record{1}, Record{2}, items, qtys, Record(15, 0)},
+               stats);
   const auto servers = cluster.servers();
   const auto ring = static_cast<Field>(config.order_ring);
   const auto order = latest_value(servers, tpcc.order_key(0, 1, ring));
@@ -460,8 +467,8 @@ TEST(Tpcc, OrderStatusIsReadOnlyAndConsistent) {
   auto stub = cluster.make_stub(0);
   Executor executor(stub, fast_executor(), 19);
   ExecStats stats;
-  executor.run_flat(*tpcc.profiles()[0].program,
-                    {Record{0}, Record{1}, Record{2}}, stats);
+  executor.run(Protocol::kFlat, with_program(*tpcc.profiles()[0].program),
+               {Record{0}, Record{1}, Record{2}}, stats);
   EXPECT_EQ(stats.commits, 1u);
   // Read-only: no server-side version advanced.
   EXPECT_EQ(latest_value(cluster.servers(), tpcc.district_key(0, 1)).version,
@@ -478,8 +485,8 @@ TEST(Tpcc, StockLevelReadsStockOfLatestOrderLine) {
   auto stub = cluster.make_stub(0);
   Executor executor(stub, fast_executor(), 23);
   ExecStats stats;
-  executor.run_flat(*tpcc.profiles()[0].program,
-                    {Record{0}, Record{0}, Record{15}}, stats);
+  executor.run(Protocol::kFlat, with_program(*tpcc.profiles()[0].program),
+               {Record{0}, Record{0}, Record{15}}, stats);
   EXPECT_EQ(stats.commits, 1u);
   tpcc.check_invariants(cluster.servers());
 }
@@ -501,9 +508,9 @@ TEST(Tpcc, ReadOnlyProfilesUnderWriteLoadKeepInvariants) {
   for (int i = 0; i < 80; ++i) {
     const std::size_t p = pick_profile(tpcc.profiles(), rng);
     const auto& profile = tpcc.profiles()[p];
-    executor.run_blocks(*profile.program, profile.static_model,
-                        profile.manual_sequence, profile.make_params(rng, 0),
-                        stats);
+    executor.run(Protocol::kManualCN,
+                 with_blocks(*profile.program, profile.static_model, profile.manual_sequence),
+                 profile.make_params(rng, 0), stats);
   }
   EXPECT_EQ(stats.commits, 80u);
   tpcc.check_invariants(cluster.servers());
@@ -522,10 +529,10 @@ TEST(Vacation, CancelReturnsSeatAndRefundsCustomer) {
   Executor executor(stub, fast_executor(), 31);
   ExecStats stats;
   // Reserve (customer 1: car 2, flight 3, room 4), then cancel the flight.
-  executor.run_flat(*vacation.profiles()[0].program,
-                    {Record{1}, Record{2}, Record{3}, Record{4}}, stats);
-  executor.run_flat(*vacation.profiles()[1].program,
-                    {Record{1}, Record{1}, Record{3}}, stats);
+  executor.run(Protocol::kFlat, with_program(*vacation.profiles()[0].program),
+               {Record{1}, Record{2}, Record{3}, Record{4}}, stats);
+  executor.run(Protocol::kFlat, with_program(*vacation.profiles()[1].program),
+               {Record{1}, Record{1}, Record{3}}, stats);
   const auto servers = cluster.servers();
   const auto flight =
       latest_value(servers, Vacation::item_key(Vacation::kFlight, 3));
@@ -547,8 +554,8 @@ TEST(Vacation, CancelOnUnreservedItemIsANoop) {
   auto stub = cluster.make_stub(0);
   Executor executor(stub, fast_executor(), 37);
   ExecStats stats;
-  executor.run_flat(*vacation.profiles()[1].program,
-                    {Record{0}, Record{0}, Record{5}}, stats);
+  executor.run(Protocol::kFlat, with_program(*vacation.profiles()[1].program),
+               {Record{0}, Record{0}, Record{5}}, stats);
   const auto item =
       latest_value(cluster.servers(), Vacation::item_key(Vacation::kCar, 5));
   EXPECT_EQ(item.value[1], 0);  // nothing went negative
@@ -570,7 +577,8 @@ TEST(Vacation, MixedLoadWithCancelsKeepsInvariants) {
   for (int i = 0; i < 80; ++i) {
     const std::size_t p = pick_profile(vacation.profiles(), rng);
     const auto& profile = vacation.profiles()[p];
-    executor.run_flat(*profile.program, profile.make_params(rng, i % 3), stats);
+    executor.run(Protocol::kFlat, with_program(*profile.program),
+                 profile.make_params(rng, i % 3), stats);
   }
   EXPECT_EQ(stats.commits, 80u);
   vacation.check_invariants(cluster.servers());
