@@ -25,11 +25,23 @@
 // the log, and lease expiry must reclaim them all the same.  Two extra
 // checks assert the log actually participated (records appended, records
 // replayed during the mid-run rejoin).
+//
+// With --shards=N (> 1) the same chaos plan runs against a sharded cluster
+// with Bank submitted through shard::Client, and the orphan becomes a
+// cross-shard prepare spanning two groups.  Cross-shard prepares are never
+// presumed aborted by expiry — they park in-doubt — so the orphan check
+// changes shape: ChaosController::stop() must resolve it (to abort; the
+// coordinator recorded no decision), nothing may stay parked, and the
+// fleet-wide atomicity_breaches counter must be zero at exit.  The Bank
+// sum is verified after the heal, when no prepare can still be in flight.
+#include <algorithm>
 #include <filesystem>
+#include <optional>
 #include <thread>
 
 #include "bench/figure_common.hpp"
 #include "src/chaos/chaos.hpp"
+#include "src/shard/coordinator.hpp"
 #include "src/workloads/bank.hpp"
 
 int main(int argc, char** argv) {
@@ -55,26 +67,58 @@ int main(int argc, char** argv) {
     std::filesystem::remove_all(args.cluster.durability.data_dir);
   }
 
-  std::printf("\n=== Partition & heal: Bank under QR-ACN with leases%s ===\n",
-              durable ? " (durable replicas)" : "");
+  const bool sharded = args.cluster.n_groups > 1;
+  std::printf("\n=== Partition & heal: Bank under QR-ACN with leases%s%s ===\n",
+              durable ? " (durable replicas)" : "",
+              sharded ? " (sharded)" : "");
   harness::Cluster cluster(args.cluster);
   cluster.set_obs(args.obs.get());
   workloads::Bank bank;
-  bank.seed(cluster.servers());
+  std::unique_ptr<shard::ClientFleet> fleet;
+  if (sharded) {
+    fleet = std::make_unique<shard::ClientFleet>(
+        bank, static_cast<std::uint32_t>(args.cluster.n_groups));
+    fleet->seed(cluster, bank);
+  } else {
+    bank.seed(cluster.servers());
+  }
   // Seeding writes the stores directly, bypassing the WAL; checkpoint so
   // the seed state survives the disk-faithful restarts below.
   cluster.checkpoint_all();
 
   // An orphaned 2PC: prepare two cold account keys and walk away.  Nothing
-  // will ever commit or abort this transaction, so only lease expiry can
-  // release the keys — Bank transfers that touch them stay kBusy until it
-  // does.
-  {
+  // will ever commit or abort this transaction.  Unsharded, only lease
+  // expiry can release the keys; sharded, the orphan spans two groups, so
+  // expiry parks it in-doubt and cooperative termination at the heal must
+  // release it instead.
+  std::unique_ptr<shard::CrossShardCoordinator> orphan_owner;
+  std::optional<shard::ShardTx> orphan_tx;
+  if (sharded) {
+    const shard::ShardMap& map = fleet->map();
+    const store::ObjectKey a = workloads::Bank::account_key(40);
+    store::ObjectKey b = a;
+    for (store::Field id = 41;; ++id) {
+      b = workloads::Bank::account_key(id);
+      if (map.shard_of(b) != map.shard_of(a)) break;
+    }
+    orphan_owner = std::make_unique<shard::CrossShardCoordinator>(
+        cluster, fleet->router(), /*client_ordinal=*/500'000);
+    acn::KeyFootprint footprint;
+    footprint.push_back({std::min(a, b), true});
+    footprint.push_back({std::max(a, b), true});
+    orphan_tx.emplace(orphan_owner->begin(footprint));
+    orphan_tx->write(a, store::Record{0});
+    orphan_tx->write(b, store::Record{0});
+    if (orphan_tx->prepare_all() < 2)
+      throw std::runtime_error("orphan prepared fewer than 2 groups");
+    std::printf("[setup] orphaned cross-shard prepare holds %s and %s\n",
+                store::to_string(a).c_str(), store::to_string(b).c_str());
+  } else {
     auto doomed = cluster.make_stub(/*client_ordinal=*/500'000);
-    const dtm::TxId orphan_tx = 0xD00DULL << 32;
+    const dtm::TxId orphan = 0xD00DULL << 32;
     std::vector<store::ObjectKey> orphan_keys = {
         workloads::Bank::account_key(40), workloads::Bank::account_key(41)};
-    doomed.prepare(orphan_tx, {}, orphan_keys, {0, 0});
+    doomed.prepare(orphan, {}, orphan_keys, {0, 0});
     std::printf("[setup] orphaned prepare holds accounts 40,41\n");
   }
 
@@ -96,13 +140,23 @@ int main(int argc, char** argv) {
   chaos::ChaosController chaos(cluster, plan, args.obs.get());
 
   auto driver = args.driver;
+  // Sharded, the driver's end-of-run invariant check would race the
+  // in-doubt machinery (a handed-off phase 2 may still hold protections);
+  // it moves to after the heal, when nothing can be in flight.
+  if (sharded) driver.check_invariants = false;
   try {
     chaos.start();
     const auto result =
-        harness::run(cluster, bank, harness::Protocol::kAcn, driver);
+        sharded
+            ? bench::run_sharded(cluster, bank, harness::Protocol::kAcn,
+                                 driver, *fleet)
+            : harness::run(cluster, bank, harness::Protocol::kAcn, driver);
     // Traffic has stopped; stop() drains remaining events and heals —
-    // rejoining late_victim from one read quorum against a quiet cluster.
+    // rejoining late_victim from one read quorum against a quiet cluster,
+    // then expiring stale leases and resolving every in-doubt prepare (the
+    // sharded orphan resolves here: no decision record, presumed abort).
     chaos.stop();
+    if (sharded) bank.check_invariants(cluster.servers());
 
     std::printf("%8s %12s\n", "t(s)", "tx/s");
     const double seconds =
@@ -142,9 +196,37 @@ int main(int argc, char** argv) {
       std::fprintf(stderr, "FAIL: no transaction committed\n");
       ok = false;
     }
-    if (leases_expired == 0) {
+    if (!sharded && leases_expired == 0) {
       std::fprintf(stderr, "FAIL: no prepare lease expired\n");
       ok = false;
+    }
+    if (sharded) {
+      // The cross-shard orphan must have been terminated at the heal, not
+      // presumed aborted by expiry, and the hard invariant must hold:
+      // no coordinator anywhere half-committed a transaction.
+      const harness::IndoubtReport& indoubt = chaos.indoubt_report();
+      std::size_t still_parked = 0;
+      for (dtm::Server* server : cluster.servers())
+        still_parked += server->indoubt_count();
+      std::printf("indoubt: %zu queries, %zu resolved commit, %zu resolved "
+                  "abort, %zu unresolved\n",
+                  indoubt.queries, indoubt.resolved_commit,
+                  indoubt.resolved_abort, indoubt.unresolved);
+      if (indoubt.resolved_abort == 0) {
+        std::fprintf(stderr, "FAIL: the orphaned prepare was not resolved\n");
+        ok = false;
+      }
+      if (indoubt.unresolved != 0 || still_parked != 0) {
+        std::fprintf(stderr, "FAIL: %zu prepares left in-doubt (%zu parked)\n",
+                     indoubt.unresolved, still_parked);
+        ok = false;
+      }
+      const std::uint64_t breaches = fleet->stats().atomicity_breaches.load();
+      if (breaches != 0) {
+        std::fprintf(stderr, "FAIL: %llu atomicity breaches\n",
+                     static_cast<unsigned long long>(breaches));
+        ok = false;
+      }
     }
     if (still_protected != 0) {
       std::fprintf(stderr, "FAIL: %zu keys still protected at exit\n",

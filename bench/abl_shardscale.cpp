@@ -22,10 +22,13 @@
 //   3. Coordinator-crash chaos — cross-shard transactions prepare on two
 //      groups and their coordinators "crash" (the handles are abandoned);
 //      one leaf per group crashes and rejoins under live traffic.  After
-//      lease expiry the gate requires zero orphaned prepares (no open
-//      lease, no protected key) in EVERY group, and zero partial commits
-//      anywhere — a crashed coordinator never wedges or half-commits a
-//      group.
+//      their leases run out the prepares must park IN-DOUBT (protections
+//      held — presumed abort is unsafe once a sibling may have committed),
+//      cooperative termination must resolve every one of them to abort
+//      (sealing the outcome at the coordinators), and afterwards the gate
+//      requires zero orphaned prepares (no open lease, no protected key)
+//      in EVERY group, zero atomicity breaches anywhere, and that a zombie
+//      coordinator waking up after resolution is refused phase 2.
 //
 //   4. TPC-C scale curve — full NewOrder transactions submitted through
 //      shard::Client with warehouse-per-group placement, one warehouse per
@@ -66,6 +69,7 @@
 #include "bench/figure_common.hpp"
 #include "src/chaos/chaos.hpp"
 #include "src/common/rng.hpp"
+#include "src/harness/indoubt.hpp"
 #include "src/shard/coordinator.hpp"
 #include "src/shard/router.hpp"
 #include "src/shard/shard_map.hpp"
@@ -384,7 +388,7 @@ int main(int argc, char** argv) {
   std::vector<ScalePoint> curve;
   double linear_frac = 0;
   std::uint64_t mixed_cross = 0, mixed_single = 0;
-  std::uint64_t orphans_reclaimed = 0, partial_commits = 0;
+  std::uint64_t orphans_reclaimed = 0, atomicity_breaches = 0;
   std::vector<ScalePoint> tpcc_curve;
   double tpcc_linear_frac = 0;
   std::uint64_t tpcc_cross = 0;
@@ -491,7 +495,7 @@ int main(int argc, char** argv) {
       for (const auto& coordinator : coordinators) {
         mixed_single += coordinator->stats().single_shard_commits.load();
         mixed_cross += coordinator->stats().cross_shard_commits.load();
-        partial_commits += coordinator->stats().partial_commits.load();
+        atomicity_breaches += coordinator->stats().atomicity_breaches.load();
       }
     }
     // Single-threaded on the unsharded reference (no conflicts to retry).
@@ -588,23 +592,40 @@ int main(int argc, char** argv) {
       const auto& dst_pool = pools[(k + 1) % mixed_shards];
       transfer(survivor, src_pool[k % 4], dst_pool[4 + k % 4], 1);
     }
-    partial_commits += survivor.stats().partial_commits.load();
+    atomicity_breaches += survivor.stats().atomicity_breaches.load();
 
-    // Lease expiry is the only cleanup the orphans will ever get.
+    // The orphans' leases run out — but cross-shard prepares are never
+    // presumed aborted by expiry alone: they must park in-doubt with their
+    // protections held until cooperative termination decides them.
     std::this_thread::sleep_for(std::chrono::milliseconds{150});
     for (dtm::Server* server : chaotic.servers()) server->expire_stale_leases();
-    // Count via the stats so leases a handler already expired lazily during
-    // the live traffic still register as reclaimed.
+    std::size_t parked_indoubt = 0;
     for (dtm::Server* server : chaotic.servers())
-      orphans_reclaimed += server->stats().leases_expired.load();
+      parked_indoubt += server->indoubt_count();
+    if (parked_indoubt == 0) {
+      std::fprintf(stderr, "FAIL: no orphaned prepare parked in-doubt\n");
+      ok = false;
+    }
+    // Cooperative termination: the coordinators are reachable but recorded
+    // no decision, so every orphan resolves to abort and the absence of a
+    // record is sealed at each coordinator.
+    const harness::IndoubtReport indoubt = harness::resolve_indoubt(chaotic);
+    orphans_reclaimed = indoubt.resolved_abort;
     const std::size_t leaked_leases = cluster_open_leases(chaotic);
     const std::size_t leaked_keys = cluster_protected(chaotic);
-    std::printf("chaos: %llu leases reclaimed, %zu open leases, %zu "
-                "protected keys after expiry\n",
+    std::printf("chaos: %zu prepares parked in-doubt, %llu resolved to "
+                "abort, %zu open leases, %zu protected keys after "
+                "termination\n",
+                parked_indoubt,
                 static_cast<unsigned long long>(orphans_reclaimed),
                 leaked_leases, leaked_keys);
     if (orphans_reclaimed == 0) {
-      std::fprintf(stderr, "FAIL: no orphaned prepare was reclaimed\n");
+      std::fprintf(stderr, "FAIL: no orphaned prepare was resolved\n");
+      ok = false;
+    }
+    if (indoubt.unresolved != 0) {
+      std::fprintf(stderr, "FAIL: %zu prepares left in-doubt\n",
+                   indoubt.unresolved);
       ok = false;
     }
     if (leaked_leases != 0 || leaked_keys != 0) {
@@ -613,7 +634,9 @@ int main(int argc, char** argv) {
                    leaked_leases, leaked_keys);
       ok = false;
     }
-    // A zombie coordinator waking up after expiry must be refused.
+    // A zombie coordinator waking up after resolution must be refused: its
+    // own decision log now holds the sealed abort, so record_commit fails
+    // and phase 2 never starts.
     try {
       parked.front().commit_prepared();
       std::fprintf(stderr, "FAIL: zombie phase 2 was accepted\n");
@@ -621,10 +644,10 @@ int main(int argc, char** argv) {
     } catch (const dtm::TxAbort&) {
     }
     for (const auto& coordinator : doomed)
-      partial_commits += coordinator->stats().partial_commits.load();
-    if (partial_commits != 0) {
-      std::fprintf(stderr, "FAIL: %llu partial commits\n",
-                   static_cast<unsigned long long>(partial_commits));
+      atomicity_breaches += coordinator->stats().atomicity_breaches.load();
+    if (atomicity_breaches != 0) {
+      std::fprintf(stderr, "FAIL: %llu atomicity breaches\n",
+                   static_cast<unsigned long long>(atomicity_breaches));
       ok = false;
     }
 
@@ -796,13 +819,13 @@ int main(int argc, char** argv) {
                    " \"tpcc_linear_frac\": %.4f,\n"
                    " \"tpcc_cross\": %llu,\n \"mixed_single\": %llu,\n"
                    " \"mixed_cross\": %llu,\n \"orphans_reclaimed\": %llu,\n"
-                   " \"partial_commits\": %llu\n}\n",
+                   " \"atomicity_breaches\": %llu\n}\n",
                    linear_frac, tpcc_linear_frac,
                    static_cast<unsigned long long>(tpcc_cross),
                    static_cast<unsigned long long>(mixed_single),
                    static_cast<unsigned long long>(mixed_cross),
                    static_cast<unsigned long long>(orphans_reclaimed),
-                   static_cast<unsigned long long>(partial_commits));
+                   static_cast<unsigned long long>(atomicity_breaches));
       std::fclose(file);
       std::printf("metrics written to %s\n", args.metrics_json_path.c_str());
     }

@@ -222,13 +222,13 @@ int run_figure(const std::string& title, const BenchOptions& args,
         const auto router = fleet.router().stats();
         std::printf(
             "%s dispatch: fast-path %llu, cross-shard %llu "
-            "(escalations %llu, mispredicted %llu, partial-commits %llu)\n",
+            "(escalations %llu, mispredicted %llu, atomicity-breaches %llu)\n",
             harness::protocol_name(protocol),
             static_cast<unsigned long long>(stats.fast_path.load()),
             static_cast<unsigned long long>(stats.cross_shard.load()),
             static_cast<unsigned long long>(stats.escalations.load()),
             static_cast<unsigned long long>(router.mispredicted),
-            static_cast<unsigned long long>(stats.partial_commits.load()));
+            static_cast<unsigned long long>(stats.atomicity_breaches.load()));
       }
     }
     harness::print_figure(title, results, args.driver);

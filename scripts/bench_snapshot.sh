@@ -1,6 +1,6 @@
 #!/usr/bin/env bash
 # Run the release gate benches and fold their metrics snapshots into one
-# BENCH_7.json, so every release carries a comparable perf trajectory point.
+# BENCH_8.json, so every release carries a comparable perf trajectory point.
 #
 # Gates (each exits non-zero on a regression, failing the script):
 #   abl_scheduler       contention-aware scheduling beats optimistic racing
@@ -17,13 +17,18 @@
 #   shardscale_tpcc     the same binary at a heavier remote-warehouse mix
 #                       (25% of order lines foreign) — stresses the 2PC
 #                       path and escalation accounting harder
+#   indoubt             cross-shard atomicity under 2PC phase-boundary
+#                       chaos: coordinator crash, prepared-group
+#                       isolation and phase-2 drop bursts must all end
+#                       with zero breaches, zero torn transactions and
+#                       nothing left in-doubt
 #
 # Usage: scripts/bench_snapshot.sh [build-dir] [output.json]
-#   BUILD_DIR defaults to "build", output to "BENCH_7.json".
+#   BUILD_DIR defaults to "build", output to "BENCH_8.json".
 set -euo pipefail
 
 BUILD_DIR="${1:-build}"
-OUT="${2:-BENCH_7.json}"
+OUT="${2:-BENCH_8.json}"
 BENCH="$BUILD_DIR/bench"
 WORK="$(mktemp -d)"
 trap 'rm -rf "$WORK"' EXIT
@@ -41,10 +46,11 @@ declare -A GATES=(
   [batching]="$BENCH/micro_batching --txs=500"
   [shardscale]="$BENCH/abl_shardscale --shards=8 --txs=200 --seed=13"
   [shardscale_tpcc]="$BENCH/abl_shardscale --shards=8 --txs=200 --seed=13 --remote-wh=0.25"
+  [indoubt]="$BENCH/abl_indoubt --seed=13"
 )
 # Deterministic run order (associative arrays iterate arbitrarily).
 ORDER=(scheduler scheduler_wal scheduler_chaos partition recovery batching
-       shardscale shardscale_tpcc)
+       shardscale shardscale_tpcc indoubt)
 
 for name in "${ORDER[@]}"; do
   echo "=== gate: $name ==="

@@ -106,6 +106,11 @@ struct ExecutorConfig {
   /// When set, committed transactions are appended here for offline
   /// serializability checking (nesting::check_serializable).
   nesting::HistoryLog* history = nullptr;
+  /// When set, sharded clients log every multi-group 2PC decision here for
+  /// offline cross-shard atomicity checking
+  /// (nesting::check_cross_shard_atomicity).  Single-group executors
+  /// ignore it.
+  nesting::CrossShardLog* cross_log = nullptr;
   /// When set, the executor records tx/Block trace spans and the
   /// commit/abort counters (split partial vs full, by reason code), and
   /// arms the transaction + stub-level instrumentation.  Null = off.

@@ -26,6 +26,10 @@ const char* kind_name(FaultEvent::Kind kind) {
       return "latency-spike";
     case FaultEvent::Kind::kLatencyRestore:
       return "latency-restore";
+    case FaultEvent::Kind::kClientDown:
+      return "client-down";
+    case FaultEvent::Kind::kClientUp:
+      return "client-up";
   }
   return "?";
 }
@@ -119,6 +123,41 @@ FaultPlan& FaultPlan::latency_spike(Ms at, std::chrono::nanoseconds extra,
     events_.push_back(std::move(restore));
   }
   return *this;
+}
+
+FaultPlan& FaultPlan::client_down(Ms at, std::vector<net::NodeId> nodes,
+                                  Ms down_for) {
+  FaultEvent event;
+  event.kind = FaultEvent::Kind::kClientDown;
+  event.at = at;
+  event.nodes = nodes;
+  events_.push_back(std::move(event));
+  if (down_for.count() > 0) client_up(at + down_for, std::move(nodes));
+  return *this;
+}
+
+FaultPlan& FaultPlan::client_up(Ms at, std::vector<net::NodeId> nodes) {
+  FaultEvent event;
+  event.kind = FaultEvent::Kind::kClientUp;
+  event.at = at;
+  event.nodes = std::move(nodes);
+  events_.push_back(std::move(event));
+  return *this;
+}
+
+FaultPlan& FaultPlan::crash_coordinator(Ms at, net::NodeId client_node,
+                                        Ms down_for) {
+  return client_down(at, {client_node}, down_for);
+}
+
+FaultPlan& FaultPlan::isolate_group(Ms at, const harness::Cluster& cluster,
+                                    std::size_t group, Ms heal_after) {
+  return isolate(at, cluster.group_members(group), heal_after);
+}
+
+FaultPlan& FaultPlan::phase2_drop_burst(Ms at, double probability,
+                                        Ms burst_for) {
+  return drop_burst(at, probability, burst_for);
 }
 
 ChaosController::ChaosController(harness::Cluster& cluster, FaultPlan plan,
@@ -242,6 +281,29 @@ void ChaosController::fire(const FaultEvent& event) {
         if (verbose_) std::printf("[chaos] latency restored\n");
       }
       break;
+    case FaultEvent::Kind::kClientDown:
+      // Client nodes have no store or durability: crash_node/restart_node
+      // reject them, so a coordinator crash is just its network identity
+      // going dark (taking its decision-record handler with it).
+      for (const net::NodeId id : event.nodes) {
+        network.set_node_down(id, true);
+        if (std::find(client_down_.begin(), client_down_.end(), id) ==
+            client_down_.end())
+          client_down_.push_back(id);
+        if (verbose_) std::printf("[chaos] client-down node %d\n", id);
+      }
+      if (obs_ != nullptr) obs_->chaos_crashes.add(event.nodes.size());
+      break;
+    case FaultEvent::Kind::kClientUp:
+      for (const net::NodeId id : event.nodes) {
+        network.set_node_down(id, false);
+        client_down_.erase(
+            std::remove(client_down_.begin(), client_down_.end(), id),
+            client_down_.end());
+        if (verbose_) std::printf("[chaos] client-up node %d\n", id);
+      }
+      if (obs_ != nullptr) obs_->chaos_restarts.add(event.nodes.size());
+      break;
   }
 }
 
@@ -261,6 +323,11 @@ void ChaosController::heal_all() {
     network.set_extra_latency(latency_baseline_);
     latency_saved_ = false;
   }
+  for (const net::NodeId id : client_down_) {
+    cluster_.network().set_node_down(id, false);
+    if (verbose_) std::printf("[chaos] final client-up node %d\n", id);
+  }
+  client_down_.clear();
   for (const net::NodeId id : down_) {
     const std::size_t updated = cluster_.restart_node(id);
     keys_caught_up_ += updated;
@@ -270,6 +337,25 @@ void ChaosController::heal_all() {
                   updated);
   }
   down_.clear();
+
+  // The heal is not complete while a cross-shard prepare is still parked
+  // in-doubt: force any overdue lease into the parked state, then run
+  // cooperative termination over the (now fully connected) cluster.  With
+  // every node back up the coordinator decision record is reachable, so
+  // the report's `unresolved` should be zero here.
+  for (std::size_t i = 0; i < cluster_.size(); ++i)
+    cluster_.server(i).expire_stale_leases();
+  const harness::IndoubtReport report = harness::resolve_indoubt(cluster_);
+  indoubt_report_.queries += report.queries;
+  indoubt_report_.resolved_commit += report.resolved_commit;
+  indoubt_report_.resolved_abort += report.resolved_abort;
+  indoubt_report_.unresolved = report.unresolved;
+  if (verbose_ && (report.resolved_commit + report.resolved_abort +
+                   report.unresolved) > 0) {
+    std::printf(
+        "[chaos] in-doubt termination: %zu commit, %zu abort, %zu left\n",
+        report.resolved_commit, report.resolved_abort, report.unresolved);
+  }
 }
 
 std::vector<net::NodeId> ChaosController::leaf_victims(

@@ -23,6 +23,7 @@
 #include <vector>
 
 #include "src/harness/cluster.hpp"
+#include "src/harness/indoubt.hpp"
 #include "src/obs/obs.hpp"
 
 namespace acn::chaos {
@@ -38,6 +39,10 @@ struct FaultEvent {
     kDropRestore,     // restore the pre-burst drop probability
     kLatencySpike,    // add global extra latency
     kLatencyRestore,  // remove the extra latency
+    kClientDown,      // take CLIENT nodes down (coordinator crash: their
+                      // decision records become unreachable; no store, no
+                      // catch-up — kClientUp just flips them back)
+    kClientUp,
   };
 
   Kind kind = Kind::kCrash;
@@ -77,6 +82,28 @@ class FaultPlan {
   FaultPlan& latency_spike(Ms at, std::chrono::nanoseconds extra,
                            Ms spike_for = Ms{0});
 
+  // -- 2PC phase-boundary helpers (cross-shard atomicity chaos) ------------
+  /// Take client/coordinator nodes down at `at` (their in-flight 2PC is
+  /// orphaned mid-protocol and their decision records go dark); back up
+  /// `down_for` later when given.  Client nodes have no store — this is
+  /// set_node_down, not crash_node.
+  FaultPlan& client_down(Ms at, std::vector<net::NodeId> nodes,
+                         Ms down_for = Ms{0});
+  FaultPlan& client_up(Ms at, std::vector<net::NodeId> nodes);
+  /// Crash ONE coordinator at `at` — sugar for client_down on its client
+  /// node.  Timed between prepare_all() and phase 2 this creates the
+  /// canonical in-doubt scenario: groups prepared, decision possibly
+  /// recorded, nobody left to push phase 2.
+  FaultPlan& crash_coordinator(Ms at, net::NodeId client_node,
+                               Ms down_for = Ms{0});
+  /// Partition quorum group `group` of `cluster` away from everyone else
+  /// (its prepared transactions outlive their leases and park in-doubt).
+  FaultPlan& isolate_group(Ms at, const harness::Cluster& cluster,
+                           std::size_t group, Ms heal_after = Ms{0});
+  /// A drop burst aimed at phase-two windows: same global drop knob, named
+  /// so plans read as "lose commit pushes and decision queries here".
+  FaultPlan& phase2_drop_burst(Ms at, double probability, Ms burst_for);
+
   const std::vector<FaultEvent>& events() const noexcept { return events_; }
   bool empty() const noexcept { return events_.empty(); }
 
@@ -97,13 +124,20 @@ class ChaosController {
 
   /// Wait for the remaining events, then heal the cluster: clear any
   /// partition, restore drop/latency baselines, rejoin still-crashed nodes
-  /// with catch-up.  Idempotent.  `drain` skips the wait and fires nothing
-  /// further (the heal still runs).
+  /// with catch-up, bring client nodes back up — and finally expire stale
+  /// leases and run cooperative termination (harness::resolve_indoubt), so
+  /// "healed" means no cross-shard prepare is still parked in-doubt.
+  /// Idempotent.  `drain` skips the wait and fires nothing further (the
+  /// heal still runs).
   void stop(bool drain = false);
 
   std::size_t events_fired() const noexcept { return events_fired_; }
   /// Keys advanced by catch-up across every restart this controller ran.
   std::size_t keys_caught_up() const noexcept { return keys_caught_up_; }
+  /// Cooperative-termination outcome of the final heal (see stop()).
+  const harness::IndoubtReport& indoubt_report() const noexcept {
+    return indoubt_report_;
+  }
 
   /// The `count` highest-numbered leaf nodes of quorum group `group`'s tree
   /// (never that group's root): the default crash victims — a leaf crash
@@ -138,7 +172,9 @@ class ChaosController {
   bool stopping_ = false;
   bool healed_ = false;
 
-  std::vector<net::NodeId> down_;  // crashed and not yet restarted
+  std::vector<net::NodeId> down_;         // crashed and not yet restarted
+  std::vector<net::NodeId> client_down_;  // client nodes currently down
+  harness::IndoubtReport indoubt_report_;
   bool drop_saved_ = false;
   double drop_baseline_ = 0.0;
   bool latency_saved_ = false;

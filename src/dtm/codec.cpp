@@ -11,6 +11,7 @@ enum class RequestTag : std::uint8_t {
   kAbort,
   kContention,
   kBatchedRead,
+  kDecisionQuery,
 };
 
 enum class ResponseTag : std::uint8_t {
@@ -22,6 +23,7 @@ enum class ResponseTag : std::uint8_t {
   kAbort,
   kContention,
   kBatchedRead,
+  kDecisionReply,
 };
 
 }  // namespace
@@ -122,6 +124,9 @@ std::vector<std::uint8_t> encode(const Request& request) {
           e.u32(req.group);
           e.list(req.read_validate, [&](const VersionCheck& c) { e.check(c); });
           e.list(req.write_keys, [&](const ObjectKey& k) { e.key(k); });
+          e.list(req.participants, [&](std::uint32_t g) { e.u32(g); });
+          e.u64(static_cast<std::uint64_t>(req.coordinator));
+          e.list(req.values, [&](const Record& r) { e.record(r); });
         } else if constexpr (std::is_same_v<T, CommitRequest>) {
           e.u8(static_cast<std::uint8_t>(RequestTag::kCommit));
           e.u64(req.tx);
@@ -136,6 +141,10 @@ std::vector<std::uint8_t> encode(const Request& request) {
         } else if constexpr (std::is_same_v<T, ContentionRequest>) {
           e.u8(static_cast<std::uint8_t>(RequestTag::kContention));
           e.list(req.classes, [&](ClassId c) { e.u32(c); });
+        } else if constexpr (std::is_same_v<T, DecisionQuery>) {
+          e.u8(static_cast<std::uint8_t>(RequestTag::kDecisionQuery));
+          e.u64(req.tx);
+          e.u32(req.group);
         }
       },
       request.payload);
@@ -183,6 +192,12 @@ std::vector<std::uint8_t> encode(const Response& response) {
         } else if constexpr (std::is_same_v<T, ContentionResponse>) {
           e.u8(static_cast<std::uint8_t>(ResponseTag::kContention));
           e.list(res.levels, [&](std::uint64_t v) { e.u64(v); });
+        } else if constexpr (std::is_same_v<T, DecisionReply>) {
+          e.u8(static_cast<std::uint8_t>(ResponseTag::kDecisionReply));
+          e.u8(static_cast<std::uint8_t>(res.code));
+          e.list(res.keys, [&](const ObjectKey& k) { e.key(k); });
+          e.list(res.values, [&](const Record& r) { e.record(r); });
+          e.list(res.versions, [&](Version v) { e.u64(v); });
         }
       },
       response.payload);
@@ -225,6 +240,9 @@ Request decode_request(std::span<const std::uint8_t> bytes) {
       req.group = d.u32();
       req.read_validate = d.list<VersionCheck>([&] { return d.check(); });
       req.write_keys = d.list<ObjectKey>([&] { return d.key(); });
+      req.participants = d.list<std::uint32_t>([&] { return d.u32(); });
+      req.coordinator = static_cast<std::int64_t>(d.u64());
+      req.values = d.list<Record>([&] { return d.record(); });
       out.payload = std::move(req);
       break;
     }
@@ -249,6 +267,13 @@ Request decode_request(std::span<const std::uint8_t> bytes) {
       ContentionRequest req;
       req.classes = d.list<ClassId>([&] { return d.u32(); });
       out.payload = std::move(req);
+      break;
+    }
+    case RequestTag::kDecisionQuery: {
+      DecisionQuery req;
+      req.tx = d.u64();
+      req.group = d.u32();
+      out.payload = req;
       break;
     }
     default:
@@ -318,6 +343,15 @@ Response decode_response(std::span<const std::uint8_t> bytes) {
     case ResponseTag::kContention: {
       ContentionResponse res;
       res.levels = d.list<std::uint64_t>([&] { return d.u64(); });
+      out.payload = std::move(res);
+      break;
+    }
+    case ResponseTag::kDecisionReply: {
+      DecisionReply res;
+      res.code = static_cast<DecisionCode>(d.u8());
+      res.keys = d.list<ObjectKey>([&] { return d.key(); });
+      res.values = d.list<Record>([&] { return d.record(); });
+      res.versions = d.list<Version>([&] { return d.u64(); });
       out.payload = std::move(res);
       break;
     }

@@ -31,10 +31,16 @@
 namespace acn::dtm {
 
 /// A prepared-but-unresolved transaction: its protections must survive a
-/// restart until a commit, an abort, or lease expiry settles it.
+/// restart until a commit, an abort, or lease expiry settles it.  The
+/// cross-shard metadata (participants / coordinator / redo values) survives
+/// too, so a recovered replica still knows which prepares must park
+/// in-doubt on expiry instead of being presumed aborted.
 struct OpenPrepare {
   TxId tx = 0;
   std::vector<ObjectKey> keys;
+  std::vector<std::uint32_t> participants;
+  std::int64_t coordinator = -1;
+  std::vector<Record> values;  // aligned with keys; empty on single-group
 
   friend bool operator==(const OpenPrepare&, const OpenPrepare&) = default;
 };
@@ -49,8 +55,9 @@ class DurabilitySink {
  public:
   virtual ~DurabilitySink() = default;
 
-  virtual void log_prepare(TxId tx,
-                           const std::vector<ObjectKey>& write_keys) = 0;
+  /// The full request is logged (not just tx + keys) because its
+  /// cross-shard metadata decides in-doubt eligibility after recovery.
+  virtual void log_prepare(const PrepareRequest& prepare) = 0;
   /// True when the caller should follow up with write_snapshot().
   virtual bool log_commit(const CommitRequest& commit) = 0;
   virtual void log_abort(TxId tx, const std::vector<ObjectKey>& keys) = 0;

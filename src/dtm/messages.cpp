@@ -31,7 +31,9 @@ std::size_t ValidateRequest::approx_size() const noexcept {
 
 std::size_t PrepareRequest::approx_size() const noexcept {
   return kHeader + sizeof(group) + read_validate.size() * kCheckSize +
-         write_keys.size() * kKeySize;
+         write_keys.size() * kKeySize +
+         participants.size() * sizeof(std::uint32_t) + sizeof(coordinator) +
+         records_size(values);
 }
 
 std::size_t CommitRequest::approx_size() const noexcept {
@@ -45,6 +47,15 @@ std::size_t AbortRequest::approx_size() const noexcept {
 
 std::size_t ContentionRequest::approx_size() const noexcept {
   return kHeader + classes.size() * sizeof(ClassId);
+}
+
+std::size_t DecisionQuery::approx_size() const noexcept {
+  return kHeader + sizeof(group);
+}
+
+std::size_t DecisionReply::approx_size() const noexcept {
+  return kHeader + keys.size() * (kKeySize + sizeof(Version)) +
+         records_size(values);
 }
 
 std::size_t ReadResponse::approx_size() const noexcept {

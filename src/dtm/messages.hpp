@@ -1,6 +1,6 @@
 // QR-DTM wire protocol.
 //
-// Seven request kinds flow from clients to quorum servers:
+// Eight request kinds flow from clients to quorum servers:
 //   * Read        — fetch an object from a read quorum; the request carries
 //                   the transaction's current read-set versions so servers
 //                   perform *incremental validation* on every read, and may
@@ -23,6 +23,9 @@
 //                   commit whose prepare lease expired is refused kExpired.
 //   * Abort       — release protection without installing.
 //   * Contention  — fetch per-class contention levels (Dynamic Module).
+//   * DecisionQuery — cooperative termination for cross-shard 2PC: ask a
+//                   coordinator's decision record (or a sibling participant
+//                   group) what happened to an in-doubt transaction.
 //
 // Messages are plain structs; the simulated network needs only their
 // approximate serialized size, exposed via approx_size().
@@ -94,6 +97,20 @@ struct PrepareRequest {
   /// loudly, never half-commit on a foreign replica set.
   std::uint32_t group = 0;
 
+  // ---- cross-shard 2PC metadata (defaults on single-group traffic) ----
+  /// Every quorum group participating in the transaction, sorted.  More
+  /// than one entry marks the prepare as cross-shard: if its lease expires
+  /// the server parks it *in-doubt* (a sibling group may already have been
+  /// told to commit) instead of presuming abort.
+  std::vector<std::uint32_t> participants;
+  /// Network node of the coordinator holding the transaction's decision
+  /// record; -1 when there is none.
+  std::int64_t coordinator = -1;
+  /// Redo payload: the values the transaction will install, aligned with
+  /// write_keys.  Carried at prepare time so an in-doubt participant can
+  /// still be resolved to commit when the phase-two push never arrives.
+  std::vector<Record> values;
+
   std::size_t approx_size() const noexcept;
 
   friend bool operator==(const PrepareRequest&, const PrepareRequest&) = default;
@@ -128,6 +145,45 @@ struct ContentionRequest {
   std::size_t approx_size() const noexcept;
 
   friend bool operator==(const ContentionRequest&, const ContentionRequest&) = default;
+};
+
+/// Cooperative-termination query: "what happened to transaction `tx`?"
+/// Sent on behalf of an in-doubt participant to the coordinator's decision
+/// record and, when the coordinator is unreachable, to sibling participant
+/// groups.  Travels through the same codec and network as every other
+/// message, so chaos drops and partitions apply to it too.
+struct DecisionQuery {
+  TxId tx = 0;
+  /// The group whose phase-two payload the asker wants: a coordinator
+  /// answering kCommitted fills the reply with the stored CommitRequest
+  /// payload for exactly this group.
+  std::uint32_t group = 0;
+
+  std::size_t approx_size() const noexcept;
+
+  friend bool operator==(const DecisionQuery&, const DecisionQuery&) = default;
+};
+
+enum class DecisionCode : std::uint8_t {
+  kUnknown = 0,  // no record of the transaction here
+  kInDoubt,      // prepared here, outcome not yet known
+  kCommitted,    // decided commit (authoritative)
+  kAborted,      // decided or presumed abort (authoritative)
+};
+
+struct DecisionReply {
+  DecisionCode code = DecisionCode::kUnknown;
+  /// On kCommitted from a decision record: the phase-two payload for the
+  /// queried group.  On kInDoubt from a participant: its own pending
+  /// prepare (keys, redo values, locally proposed install versions), so a
+  /// resolver can finish the install once a sibling proves the decision.
+  std::vector<ObjectKey> keys;
+  std::vector<Record> values;      // aligned with keys
+  std::vector<Version> versions;   // aligned with keys
+
+  std::size_t approx_size() const noexcept;
+
+  friend bool operator==(const DecisionReply&, const DecisionReply&) = default;
 };
 
 enum class ReadCode : std::uint8_t {
@@ -224,7 +280,8 @@ struct ContentionResponse {
 
 struct Request {
   std::variant<ReadRequest, ValidateRequest, PrepareRequest, CommitRequest,
-               AbortRequest, ContentionRequest, BatchedReadRequest>
+               AbortRequest, ContentionRequest, BatchedReadRequest,
+               DecisionQuery>
       payload;
 
   std::size_t approx_size() const noexcept;
@@ -235,7 +292,7 @@ struct Request {
 struct Response {
   std::variant<std::monostate, ReadResponse, ValidateResponse, PrepareResponse,
                CommitResponse, AbortResponse, ContentionResponse,
-               BatchedReadResponse>
+               BatchedReadResponse, DecisionReply>
       payload;
 
   std::size_t approx_size() const noexcept;

@@ -280,7 +280,8 @@ void QuorumStub::validate(TxId tx, const std::vector<VersionCheck>& checks) {
 PrepareTicket QuorumStub::prepare(TxId tx,
                                   const std::vector<VersionCheck>& read_checks,
                                   const std::vector<ObjectKey>& write_keys,
-                                  const std::vector<Version>& read_versions) {
+                                  const std::vector<Version>& read_versions,
+                                  const PrepareExtras& extras) {
   obs::Tracer::Span span;
   obs::ScopedLatency latency;
   if (obs::Observability* o = config_.obs) {
@@ -293,7 +294,11 @@ PrepareTicket QuorumStub::prepare(TxId tx,
   retry_ladder(write_keys, [&]() -> RoundStatus {
     const auto quorum = pick_write_quorum();
     Request request;
-    request.payload = PrepareRequest{tx, read_checks, write_keys, config_.group};
+    PrepareRequest prepare_req{tx, read_checks, write_keys, config_.group};
+    prepare_req.participants = extras.participants;
+    prepare_req.coordinator = extras.coordinator;
+    prepare_req.values = extras.values;
+    request.payload = std::move(prepare_req);
     const auto results = exchange(quorum, request);
 
     std::vector<ObjectKey> invalid;
@@ -374,7 +379,12 @@ void QuorumStub::commit(const PrepareTicket& ticket,
   // Replay phase two to unacked members until everyone answered, a member
   // reports the lease expired, or the replay budget runs out.  Servers ack
   // replays as kDuplicate, so re-sending through a lost request or response
-  // leg is safe.
+  // leg is safe.  The same op_deadline that bounds the retry ladder bounds
+  // this loop: when the budget runs out the partial-ack classification
+  // below decides the outcome instead of replaying further.
+  const std::uint64_t deadline_ns =
+      static_cast<std::uint64_t>(config_.op_deadline.count());
+  Stopwatch watch;
   std::vector<net::NodeId> pending = ticket.quorum;
   std::size_t acked = 0;
   bool expired = false;
@@ -393,7 +403,8 @@ void QuorumStub::commit(const PrepareTicket& ticket,
         ++acked;
     }
     pending = std::move(still_pending);
-    if (expired || pending.empty() || attempt >= config_.max_commit_replays)
+    if (expired || pending.empty() || attempt >= config_.max_commit_replays ||
+        (deadline_ns > 0 && watch.elapsed_ns() >= deadline_ns))
       break;
     if (obs::Observability* o = config_.obs)
       o->rpc_commit_replays.add(pending.size());
@@ -426,8 +437,11 @@ void QuorumStub::send_abort(TxId tx, const std::vector<net::NodeId>& quorum,
   // the keys protected on that member until the prepare lease expires, and
   // on hot keys that stall every later prepare for the whole lease.  Replay
   // to unacked members (unprotect is idempotent); give up after the replay
-  // budget — lease expiry is the backstop, and a down member's protection
-  // cannot block anyone while it is down.
+  // budget or op_deadline — lease expiry is the backstop, and a down
+  // member's protection cannot block anyone while it is down.
+  const std::uint64_t deadline_ns =
+      static_cast<std::uint64_t>(config_.op_deadline.count());
+  Stopwatch watch;
   std::vector<net::NodeId> pending = quorum;
   for (int attempt = 0;; ++attempt) {
     const auto results = exchange(pending, request);
@@ -435,7 +449,9 @@ void QuorumStub::send_abort(TxId tx, const std::vector<net::NodeId>& quorum,
     for (std::size_t i = 0; i < results.size(); ++i)
       if (!results[i].ok()) still_pending.push_back(pending[i]);
     pending = std::move(still_pending);
-    if (pending.empty() || attempt >= config_.max_commit_replays) return;
+    if (pending.empty() || attempt >= config_.max_commit_replays ||
+        (deadline_ns > 0 && watch.elapsed_ns() >= deadline_ns))
+      return;
   }
 }
 

@@ -93,6 +93,18 @@ struct PrepareTicket {
   std::vector<Version> new_versions;   // aligned with keys
 };
 
+/// Cross-shard 2PC metadata stamped into a prepare (defaults on
+/// single-group traffic): the write-participant groups, the coordinator's
+/// node id, and the redo payload (values aligned with the write keys).
+/// Replicas use it to park an orphaned cross-shard prepare in-doubt instead
+/// of presuming abort, and to answer DecisionQuery with enough state to
+/// finish the install without the coordinator.
+struct PrepareExtras {
+  std::vector<std::uint32_t> participants;
+  std::int64_t coordinator = -1;
+  std::vector<Record> values;
+};
+
 class QuorumStub {
  public:
   QuorumStub(DtmNetwork& network, const quorum::QuorumSystem& quorums,
@@ -127,7 +139,8 @@ class QuorumStub {
   /// and the reader's view.  Throws TxAbort on conflict.
   PrepareTicket prepare(TxId tx, const std::vector<VersionCheck>& read_checks,
                         const std::vector<ObjectKey>& write_keys,
-                        const std::vector<Version>& read_versions);
+                        const std::vector<Version>& read_versions,
+                        const PrepareExtras& extras = {});
 
   /// Phase two: install values (aligned with ticket.keys).  Members whose
   /// ack was lost are retried up to max_commit_replays rounds (servers
@@ -136,7 +149,9 @@ class QuorumStub {
   /// take effect there and must not be assumed durable), TxAbort(
   /// kUnavailable) if not a single member ever acknowledged.  A partial ack
   /// set otherwise counts as success: the quorum's version guard converges
-  /// stragglers on the next write, and reads take the max version.
+  /// stragglers on the next write, and reads take the max version.  The
+  /// replay loop is additionally bounded by op_deadline, so a faulted
+  /// network yields a classified TxAbort instead of an open-ended stall.
   void commit(const PrepareTicket& ticket, const std::vector<Record>& values);
 
   /// Release a prepared-but-not-committed transaction.

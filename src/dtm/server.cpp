@@ -38,6 +38,8 @@ Response Server::handle(net::NodeId /*from*/, const Request& request) {
           out.payload = on_abort(req);
         else if constexpr (std::is_same_v<T, ContentionRequest>)
           out.payload = on_contention(req);
+        else if constexpr (std::is_same_v<T, DecisionQuery>)
+          out.payload = on_decision(req);
       },
       request.payload);
   return out;
@@ -49,11 +51,21 @@ std::size_t Server::expire_stale_leases() {
   if (now < next_expiry_ns_.load(std::memory_order_relaxed)) return 0;
 
   std::vector<std::pair<TxId, Lease>> victims;
+  std::size_t parked = 0;
   {
     std::lock_guard<std::mutex> guard(lease_mutex_);
     std::uint64_t next = UINT64_MAX;
     for (auto it = leases_.begin(); it != leases_.end();) {
       if (it->second.deadline_ns <= now) {
+        if (it->second.cross_shard()) {
+          // A sibling group may already have been told to commit, so this
+          // prepare cannot be presumed aborted.  Park it in-doubt: freeze
+          // the lease, keep the protections, wait for termination.
+          it->second.deadline_ns = UINT64_MAX;
+          if (indoubt_.insert(it->first).second) ++parked;
+          ++it;
+          continue;
+        }
         remember(expired_, expired_order_, it->first);
         victims.emplace_back(it->first, std::move(it->second));
         it = leases_.erase(it);
@@ -64,6 +76,8 @@ std::size_t Server::expire_stale_leases() {
     }
     next_expiry_ns_.store(next, std::memory_order_relaxed);
   }
+  if (parked != 0)
+    stats_.indoubt_parked.fetch_add(parked, std::memory_order_relaxed);
   if (victims.empty()) return 0;
 
   // Unprotect outside the lease lock: the store has its own sharded locking
@@ -85,8 +99,28 @@ std::vector<OpenPrepare> Server::open_prepares() const {
   std::lock_guard<std::mutex> guard(lease_mutex_);
   std::vector<OpenPrepare> out;
   out.reserve(leases_.size());
-  for (const auto& [tx, lease] : leases_) out.push_back({tx, lease.keys});
+  for (const auto& [tx, lease] : leases_)
+    out.push_back(
+        {tx, lease.keys, lease.participants, lease.coordinator, lease.values});
   return out;
+}
+
+std::vector<InDoubtTx> Server::indoubt_transactions() const {
+  std::lock_guard<std::mutex> guard(lease_mutex_);
+  std::vector<InDoubtTx> out;
+  out.reserve(indoubt_.size());
+  for (const TxId tx : indoubt_) {
+    const auto it = leases_.find(tx);
+    if (it == leases_.end()) continue;
+    out.push_back(
+        {tx, it->second.keys, it->second.participants, it->second.coordinator});
+  }
+  return out;
+}
+
+std::size_t Server::indoubt_count() const {
+  std::lock_guard<std::mutex> guard(lease_mutex_);
+  return indoubt_.size();
 }
 
 void Server::reset_volatile_state() {
@@ -97,6 +131,7 @@ void Server::reset_volatile_state() {
   expired_order_.clear();
   committed_.clear();
   committed_order_.clear();
+  indoubt_.clear();
   next_expiry_ns_.store(UINT64_MAX, std::memory_order_relaxed);
 }
 
@@ -111,18 +146,21 @@ void Server::install_recovered(
     // The lease clock restarts at recovery time: the original deadline was
     // volatile, and presumed abort only needs *a* bounded wait, not the
     // original one.
-    record_lease(prepare.tx, prepare.keys, now);
+    record_lease(prepare, now);
   }
 }
 
-void Server::record_lease(TxId tx, const std::vector<ObjectKey>& keys,
-                          std::uint64_t now) {
+void Server::record_lease(const OpenPrepare& prepare, std::uint64_t now) {
   std::lock_guard<std::mutex> guard(lease_mutex_);
   // A fresh prepare supersedes any earlier presumed abort of the same tx:
   // the client went through its own abort/retry and re-acquired protection.
-  expired_.erase(tx);
-  Lease& lease = leases_[tx];
-  lease.keys = keys;
+  expired_.erase(prepare.tx);
+  indoubt_.erase(prepare.tx);
+  Lease& lease = leases_[prepare.tx];
+  lease.keys = prepare.keys;
+  lease.participants = prepare.participants;
+  lease.coordinator = prepare.coordinator;
+  lease.values = prepare.values;
   if (lease_ns_ > 0) {
     lease.deadline_ns = now + static_cast<std::uint64_t>(lease_ns_);
     std::uint64_t prev = next_expiry_ns_.load(std::memory_order_relaxed);
@@ -308,11 +346,14 @@ PrepareResponse Server::on_prepare(const PrepareRequest& req) {
 
   // The lease is recorded even when expiry is disabled: on_commit needs the
   // prepared/committed distinction to classify phase-two replays.
-  record_lease(req.tx, req.write_keys, now_ns());
+  record_lease(
+      {req.tx, req.write_keys, req.participants, req.coordinator, req.values},
+      now_ns());
   // Logged only once the prepare is binding: recovery re-arms exactly the
   // protections that were held, and the fresh lease expires them if the
-  // coordinator never comes back.
-  if (durability_ != nullptr) durability_->log_prepare(req.tx, req.write_keys);
+  // coordinator never comes back.  The full request is logged so cross-shard
+  // metadata (in-doubt eligibility, redo payload) survives a restart.
+  if (durability_ != nullptr) durability_->log_prepare(req);
 
   res.code = PrepareCode::kOk;
   res.current_versions.reserve(req.write_keys.size());
@@ -332,6 +373,7 @@ CommitResponse Server::on_commit(const CommitRequest& req) {
   }
 
   bool replay = false;
+  bool was_indoubt = false;
   {
     std::lock_guard<std::mutex> guard(lease_mutex_);
     if (expired_.count(req.tx) != 0) {
@@ -346,6 +388,13 @@ CommitResponse Server::on_commit(const CommitRequest& req) {
     replay = committed_.count(req.tx) != 0;
     if (!replay) remember(committed_, committed_order_, req.tx);
     leases_.erase(req.tx);
+    was_indoubt = indoubt_.erase(req.tx) != 0;
+  }
+  if (was_indoubt) {
+    // A late phase-two push (or a resolver acting on a decision record)
+    // terminated a parked in-doubt prepare on the commit side.
+    stats_.indoubt_resolved_commits.fetch_add(1, std::memory_order_relaxed);
+    if (obs_ != nullptr) obs_->indoubt_resolved_commit.add();
   }
 
   const std::uint64_t now = now_ns();
@@ -379,11 +428,25 @@ CommitResponse Server::on_commit(const CommitRequest& req) {
 AbortResponse Server::on_abort(const AbortRequest& req) {
   stats_.aborts.fetch_add(1, std::memory_order_relaxed);
   bool was_prepared = false;
+  bool was_indoubt = false;
   {
     std::lock_guard<std::mutex> guard(lease_mutex_);
-    was_prepared = leases_.erase(req.tx) != 0;
+    const auto it = leases_.find(req.tx);
+    if (it != leases_.end()) {
+      was_prepared = true;
+      // A cross-shard abort is remembered: a sibling group's DecisionQuery
+      // treats kAborted as authoritative, so the answer must outlive the
+      // lease itself.
+      if (it->second.cross_shard()) remember(expired_, expired_order_, req.tx);
+      leases_.erase(it);
+    }
+    was_indoubt = indoubt_.erase(req.tx) != 0;
   }
   for (const auto& key : req.keys) store_.unprotect(key, req.tx);
+  if (was_indoubt) {
+    stats_.indoubt_resolved_aborts.fetch_add(1, std::memory_order_relaxed);
+    if (obs_ != nullptr) obs_->indoubt_resolved_abort.add();
+  }
   // Only a prepared tx left a log record to cancel; an abort that merely
   // cleans up a failed prepare has nothing recovery could misread.
   if (was_prepared && durability_ != nullptr)
@@ -395,6 +458,37 @@ ContentionResponse Server::on_contention(const ContentionRequest& req) {
   contention_.maybe_roll(now_ns());
   ContentionResponse res;
   res.levels = contention_.class_levels(req.classes);
+  return res;
+}
+
+DecisionReply Server::on_decision(const DecisionQuery& req) {
+  stats_.decision_queries.fetch_add(1, std::memory_order_relaxed);
+  if (obs_ != nullptr) obs_->indoubt_queries.add();
+  DecisionReply res;
+  std::lock_guard<std::mutex> guard(lease_mutex_);
+  if (committed_.count(req.tx) != 0) {
+    res.code = DecisionCode::kCommitted;
+    return res;
+  }
+  if (expired_.count(req.tx) != 0) {
+    res.code = DecisionCode::kAborted;
+    return res;
+  }
+  const auto it = leases_.find(req.tx);
+  if (it == leases_.end()) {
+    res.code = DecisionCode::kUnknown;
+    return res;
+  }
+  // Still prepared here (live lease or parked in-doubt).  Ship the redo
+  // payload plus locally-proposed install versions so a resolver that
+  // learns the global outcome is commit can finish the install without
+  // the coordinator's phase-two message.
+  res.code = DecisionCode::kInDoubt;
+  res.keys = it->second.keys;
+  res.values = it->second.values;
+  res.versions.reserve(it->second.keys.size());
+  for (const auto& key : it->second.keys)
+    res.versions.push_back(store_.version_of(key).value_or(0) + 1);
   return res;
 }
 

@@ -47,6 +47,20 @@ struct ServerStats {
   std::atomic<std::uint64_t> leases_expired{0};     // prepares reclaimed
   std::atomic<std::uint64_t> aborts{0};
   std::atomic<std::uint64_t> wrong_group{0};        // misrouted prepare/commit
+  std::atomic<std::uint64_t> indoubt_parked{0};     // cross-shard leases held
+  std::atomic<std::uint64_t> indoubt_resolved_commits{0};
+  std::atomic<std::uint64_t> indoubt_resolved_aborts{0};
+  std::atomic<std::uint64_t> decision_queries{0};
+};
+
+/// A cross-shard prepare whose lease expired with the outcome unknown: the
+/// protections are still held and only cooperative termination (a commit,
+/// an abort, or a DecisionQuery-driven resolution) releases them.
+struct InDoubtTx {
+  TxId tx = 0;
+  std::vector<ObjectKey> keys;
+  std::vector<std::uint32_t> participants;
+  std::int64_t coordinator = -1;
 };
 
 class Server {
@@ -79,10 +93,19 @@ class Server {
   /// Release every prepare lease whose deadline has passed (presumed
   /// abort).  Runs lazily at the top of handle(); exposed so a harness can
   /// force final cleanup once traffic stops.  Returns leases reclaimed.
+  /// A *cross-shard* prepare (more than one participant group) is never
+  /// presumed aborted here: a sibling group may already have been told to
+  /// commit, so it parks in-doubt with its protections intact and waits
+  /// for cooperative termination.
   std::size_t expire_stale_leases();
 
   /// Prepared transactions currently holding a live lease.
   std::size_t open_lease_count() const;
+
+  /// Cross-shard transactions parked in-doubt (lease expired, outcome
+  /// unknown), with the metadata a resolver needs to terminate them.
+  std::vector<InDoubtTx> indoubt_transactions() const;
+  std::size_t indoubt_count() const;
 
   /// Route lease/commit-replay instrumentation into `obs` (null = off).
   void set_obs(obs::Observability* obs) noexcept { obs_ = obs; }
@@ -119,6 +142,7 @@ class Server {
   CommitResponse on_commit(const CommitRequest& req);
   AbortResponse on_abort(const AbortRequest& req);
   ContentionResponse on_contention(const ContentionRequest& req);
+  DecisionReply on_decision(const DecisionQuery& req);
 
   /// Returns the keys among `checks` for which this replica holds a newer
   /// version.  `self` is the transaction doing the validation (objects it
@@ -130,13 +154,20 @@ class Server {
                                        TxId self, bool& busy) const;
 
   // Lease bookkeeping (all require lease_mutex_).
-  void record_lease(TxId tx, const std::vector<ObjectKey>& keys,
-                    std::uint64_t now);
+  void record_lease(const OpenPrepare& prepare, std::uint64_t now);
   void remember(std::unordered_set<TxId>& set, std::deque<TxId>& order, TxId tx);
 
   struct Lease {
     std::vector<ObjectKey> keys;
     std::uint64_t deadline_ns = 0;
+    // Cross-shard metadata from the prepare (see PrepareRequest): decides
+    // in-doubt eligibility on expiry and carries the redo payload a
+    // resolver needs to finish the install without the coordinator.
+    std::vector<std::uint32_t> participants;
+    std::int64_t coordinator = -1;
+    std::vector<Record> values;
+
+    bool cross_shard() const noexcept { return participants.size() > 1; }
   };
 
   net::NodeId id_;
@@ -158,6 +189,11 @@ class Server {
   std::deque<TxId> expired_order_;
   std::unordered_set<TxId> committed_;
   std::deque<TxId> committed_order_;
+  // Cross-shard leases whose deadline passed: still in leases_ (frozen at
+  // deadline UINT64_MAX, protections held) until cooperative termination
+  // commits or aborts them.  Unbounded by design — an in-doubt transaction
+  // must never be forgotten while undecided.
+  std::unordered_set<TxId> indoubt_;
   // Earliest lease deadline: handle() skips the lease scan entirely until
   // the clock passes it.
   std::atomic<std::uint64_t> next_expiry_ns_{UINT64_MAX};

@@ -1,0 +1,64 @@
+// Cooperative termination of in-doubt cross-shard prepares.
+//
+// A cross-shard prepare whose lease expires parks in-doubt on its replicas
+// (src/dtm server): the protections stay held because a sibling group may
+// already have been told to commit.  This resolver terminates every parked
+// transaction by the precedence the protocol guarantees is safe:
+//
+//   1. The coordinator's decision record (DecisionQuery to the coordinator
+//      node).  kCommitted installs the recorded push; kAborted — and
+//      kUnknown from a LIVE coordinator — releases the prepare (the
+//      decision is logged before any phase-two send, so no record means no
+//      group was ever told to commit: presumed abort is safe).
+//   2. Sibling participant groups, when the coordinator node is
+//      unreachable.  Any replica answering kCommitted or kAborted is
+//      authoritative (those memories are only written by a real decision).
+//      On commit, the in-doubt replicas' own DecisionReply supplies the
+//      redo payload and locally-proposed versions.
+//   3. All participants merely prepared and the coordinator dead: the
+//      transaction STAYS in-doubt — a decision record may exist behind the
+//      crash, so unilateral presumed abort here could contradict it.
+//      heal first, then resolve (ChaosController::stop() does exactly
+//      that).
+//
+// Every query and push travels through the cluster's net::Network from the
+// resolver's own client identity, so chaos (drops, partitions, down nodes)
+// applies to termination traffic like any other; each RPC is bounded by a
+// RetryPolicy and an op_deadline — a dead peer costs a classified timeout,
+// never a hang.
+#pragma once
+
+#include <chrono>
+#include <cstddef>
+
+#include "src/common/retry_policy.hpp"
+#include "src/harness/cluster.hpp"
+
+namespace acn::harness {
+
+struct IndoubtOptions {
+  /// Retry shape for one peer RPC (query or push): up to `max_retries`
+  /// re-sends with RetryPolicy::delay backoff.
+  RetryPolicy retry{};
+  /// Wall-clock budget for one peer RPC including retries; 0 = retries
+  /// alone decide.
+  std::chrono::nanoseconds op_deadline{std::chrono::milliseconds{50}};
+  /// Network identity the resolver's traffic originates from, as an offset
+  /// above the server ids (kept far from any client fleet's ordinals).
+  int client_ordinal = 0x7E50;
+};
+
+struct IndoubtReport {
+  std::size_t queries = 0;          // DecisionQuery RPCs issued
+  std::size_t resolved_commit = 0;  // (tx, group) prepares pushed to commit
+  std::size_t resolved_abort = 0;   // (tx, group) prepares released
+  std::size_t unresolved = 0;       // left parked (no authoritative answer)
+};
+
+/// Resolve every in-doubt transaction currently parked on any replica.
+/// Idempotent; safe to call with traffic stopped (benches, chaos stop) or
+/// concurrent (commits/aborts are idempotent and version-guarded).
+IndoubtReport resolve_indoubt(Cluster& cluster,
+                              const IndoubtOptions& options = {});
+
+}  // namespace acn::harness

@@ -26,6 +26,26 @@ void HistoryLog::clear() {
   txns_.clear();
 }
 
+void CrossShardLog::record(CrossShardTxn txn) {
+  std::lock_guard lock(mutex_);
+  txns_.push_back(std::move(txn));
+}
+
+std::vector<CrossShardTxn> CrossShardLog::snapshot() const {
+  std::lock_guard lock(mutex_);
+  return txns_;
+}
+
+std::size_t CrossShardLog::size() const {
+  std::lock_guard lock(mutex_);
+  return txns_.size();
+}
+
+void CrossShardLog::clear() {
+  std::lock_guard lock(mutex_);
+  txns_.clear();
+}
+
 namespace {
 
 using store::ObjectKey;
@@ -136,6 +156,77 @@ SerializabilityReport check_serializable(const std::vector<CommittedTxn>& histor
     report.ok = false;
     report.violation = "precedence graph has a cycle: the history is not "
                        "conflict-serializable";
+  }
+  return report;
+}
+
+SerializabilityReport check_cross_shard_atomicity(
+    const std::vector<CommittedTxn>& history,
+    const std::vector<CrossShardTxn>& cross,
+    const std::vector<std::pair<store::ObjectKey, store::Version>>&
+        final_versions) {
+  SerializabilityReport report;
+
+  std::unordered_map<ObjectKey, Version, store::ObjectKeyHash> final_of;
+  for (const auto& [key, version] : final_versions)
+    final_of[key] = std::max(final_of[key], version);
+  const auto installed = [&](const ObjectKey& key, Version version) {
+    const auto it = final_of.find(key);
+    return it != final_of.end() && version <= it->second;
+  };
+
+  // Which cross-shard transaction owns each proposed (key, version)?
+  std::map<VersionedKey, std::size_t> proposer;
+  for (std::size_t i = 0; i < cross.size(); ++i)
+    for (const auto& [key, version] : cross[i].writes)
+      proposer.emplace(VersionedKey{key, version}, i);
+
+  for (std::size_t i = 0; i < cross.size(); ++i) {
+    const CrossShardTxn& txn = cross[i];
+    std::size_t in = 0;
+    for (const auto& [key, version] : txn.writes)
+      if (installed(key, version)) ++in;
+    if (in != 0 && in != txn.writes.size()) {
+      report.ok = false;
+      report.violation = "torn cross-shard tx " + std::to_string(txn.tx) +
+                         ": " + std::to_string(in) + " of " +
+                         std::to_string(txn.writes.size()) +
+                         " writes installed";
+      return report;
+    }
+    if (txn.committed.has_value()) {
+      const bool all_in = !txn.writes.empty() && in == txn.writes.size();
+      if (*txn.committed != all_in) {
+        report.ok = false;
+        report.violation = "cross-shard tx " + std::to_string(txn.tx) +
+                           " reported " +
+                           (*txn.committed ? "committed" : "aborted") +
+                           " but " + std::to_string(in) + " of " +
+                           std::to_string(txn.writes.size()) +
+                           " writes installed";
+        return report;
+      }
+    }
+  }
+
+  // No committed transaction may have observed a write of a cross-shard
+  // transaction that did not (fully) install.  A torn proposer was already
+  // reported above; this catches reads of fully-UNinstalled proposals —
+  // a value leaked out of a prepare that was later released.
+  for (const CommittedTxn& txn : history) {
+    for (const auto& [key, version] : txn.reads) {
+      const auto it = proposer.find(VersionedKey{key, version});
+      if (it == proposer.end()) continue;
+      if (!installed(key, version)) {
+        report.ok = false;
+        report.violation =
+            "tx " + std::to_string(txn.tx) + " read " +
+            store::to_string(key) + " v" + std::to_string(version) +
+            " proposed by cross-shard tx " +
+            std::to_string(cross[it->second].tx) + " which never installed";
+        return report;
+      }
+    }
   }
   return report;
 }

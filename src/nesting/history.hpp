@@ -57,4 +57,46 @@ struct SerializabilityReport {
 SerializabilityReport check_serializable(const std::vector<CommittedTxn>& history,
                                          store::Version seed_version = 1);
 
+/// One cross-shard transaction's declared 2PC intent: every (key, version)
+/// its prepares proposed across ALL participant groups, and the outcome the
+/// submitting client observed (nullopt when the coordinator died
+/// mid-protocol and no outcome was ever reported).
+struct CrossShardTxn {
+  std::uint64_t tx = 0;
+  std::vector<std::pair<store::ObjectKey, store::Version>> writes;
+  std::optional<bool> committed;
+};
+
+/// Thread-safe append-only log of cross-shard 2PC intents, filled by the
+/// coordinators at decision time (and by tests for transactions whose
+/// coordinator died before deciding).
+class CrossShardLog {
+ public:
+  void record(CrossShardTxn txn);
+  std::vector<CrossShardTxn> snapshot() const;
+  std::size_t size() const;
+  void clear();
+
+ private:
+  mutable std::mutex mutex_;
+  std::vector<CrossShardTxn> txns_;
+};
+
+/// Cross-shard atomicity over a recorded history plus the cluster's final
+/// per-key versions: every declared cross-shard transaction installed ALL
+/// of its writes or NONE of them, the client-observed outcome matches, and
+/// no committed transaction in the history read a version belonging to a
+/// cross-shard transaction that was not (fully) installed.
+///
+/// Installs bump a key's version by exactly one, so versions are dense:
+/// write (k, v) was installed iff v <= the final version of k.  That makes
+/// the check valid even when later traffic overwrote the key — provided
+/// `final_versions` was captured after all in-doubt transactions were
+/// resolved and no new traffic raced the capture.
+SerializabilityReport check_cross_shard_atomicity(
+    const std::vector<CommittedTxn>& history,
+    const std::vector<CrossShardTxn>& cross,
+    const std::vector<std::pair<store::ObjectKey, store::Version>>&
+        final_versions);
+
 }  // namespace acn::nesting

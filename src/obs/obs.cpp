@@ -61,6 +61,9 @@ Observability::Observability(ObsConfig config)
       chaos_drop_bursts(metrics.counter("chaos.drop_burst")),
       chaos_latency_spikes(metrics.counter("chaos.latency_spike")),
       recovery_catchup_keys(metrics.counter("recovery.catchup.keys")),
+      indoubt_queries(metrics.counter("indoubt.queries")),
+      indoubt_resolved_commit(metrics.counter("indoubt.resolved.commit")),
+      indoubt_resolved_abort(metrics.counter("indoubt.resolved.abort")),
       wal_append_bytes(metrics.counter("wal.append.bytes")),
       wal_fsync_count(metrics.counter("wal.fsync.count")),
       wal_replay_records(metrics.counter("wal.replay.records")),

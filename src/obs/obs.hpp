@@ -76,6 +76,10 @@ class Observability {
   MetricsRegistry::Counter chaos_drop_bursts;
   MetricsRegistry::Counter chaos_latency_spikes;
   MetricsRegistry::Counter recovery_catchup_keys;  // versions pulled on rejoin
+  // Cooperative termination of in-doubt cross-shard prepares.
+  MetricsRegistry::Counter indoubt_queries;          // DecisionQuery handled
+  MetricsRegistry::Counter indoubt_resolved_commit;  // parked tx committed
+  MetricsRegistry::Counter indoubt_resolved_abort;   // parked tx aborted
 
   // -- durability: WAL, snapshots, log-replay recovery (src/wal, harness) --
   MetricsRegistry::Counter wal_append_bytes;      // framed bytes logged

@@ -93,6 +93,7 @@ Client::Client(harness::Cluster& cluster, const ShardRouter& router,
       config_(config),
       coordinator_(cluster, router, client_ordinal, seed ^ 0xC0DEULL),
       rng_(seed * 0x9e3779b97f4a7c15ULL + 0x5AAD) {
+  coordinator_.set_logs(config_.history, config_.cross_log);
   stubs_.reserve(cluster.n_groups());
   executors_.reserve(cluster.n_groups());
   for (std::size_t g = 0; g < cluster.n_groups(); ++g) {
@@ -104,10 +105,14 @@ Client::Client(harness::Cluster& cluster, const ShardRouter& router,
 }
 
 Client::~Client() {
-  // Fold this client's atomicity-breach counter into the fleet total (the
-  // gate asserts the sum is zero under correctly sized leases).
-  stats_.partial_commits.fetch_add(
-      coordinator_.stats().partial_commits.load(std::memory_order_relaxed),
+  // Fold this client's coordinator counters into the fleet totals (the
+  // gates assert the breach sum is zero; handoffs are benign and merely
+  // reported).
+  stats_.atomicity_breaches.fetch_add(
+      coordinator_.stats().atomicity_breaches.load(std::memory_order_relaxed),
+      std::memory_order_relaxed);
+  stats_.indoubt_handoffs.fetch_add(
+      coordinator_.stats().indoubt_handoffs.load(std::memory_order_relaxed),
       std::memory_order_relaxed);
 }
 

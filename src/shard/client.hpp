@@ -66,8 +66,13 @@ struct ClientStats {
   /// Cross-shard path transactions that committed.
   std::atomic<std::uint64_t> cross_commits{0};
   /// Sum of the per-coordinator atomicity-breach counters
-  /// (CoordinatorStats::partial_commits), folded in as Clients retire.
-  std::atomic<std::uint64_t> partial_commits{0};
+  /// (CoordinatorStats::atomicity_breaches), folded in as Clients retire.
+  /// The hard invariant every sharded gate asserts to be zero at exit.
+  std::atomic<std::uint64_t> atomicity_breaches{0};
+  /// Sum of CoordinatorStats::indoubt_handoffs: phase-2 pushes handed to
+  /// cooperative termination after the decision was durably recorded
+  /// (benign — the resolver finishes the install).
+  std::atomic<std::uint64_t> indoubt_handoffs{0};
 };
 
 /// One worker thread's submission endpoint over a sharded cluster.

@@ -9,8 +9,10 @@ namespace acn::shard {
 CrossShardCoordinator::CrossShardCoordinator(harness::Cluster& cluster,
                                              const ShardRouter& router,
                                              int client_ordinal,
-                                             std::uint64_t seed)
-    : router_(router) {
+                                             std::uint64_t seed,
+                                             std::string decision_log_path)
+    : router_(router),
+      decisions_(std::make_shared<DecisionLog>(std::move(decision_log_path))) {
   if (router_.map().n_shards() != cluster.n_groups())
     throw std::invalid_argument(
         "CrossShardCoordinator: shard map has " +
@@ -25,6 +27,21 @@ CrossShardCoordinator::CrossShardCoordinator(harness::Cluster& cluster,
   // of each other's.
   tx_base_ = (0x5AADULL << 44) |
              ((static_cast<std::uint64_t>(client_ordinal) & 0xFFFF) << 28);
+  // Serve decision records at the coordinator's own network identity.  The
+  // handler owns the log by shared_ptr: the records outlive this object,
+  // and the only way to make them unreachable is to take the NODE down —
+  // which is exactly how chaos crashes a coordinator.
+  client_node_ =
+      static_cast<net::NodeId>(cluster.size()) + client_ordinal;
+  const std::shared_ptr<DecisionLog> log = decisions_;
+  cluster.network().register_node(
+      client_node_, [log](net::NodeId, const dtm::Request& request) {
+        dtm::Response response;
+        if (const auto* query =
+                std::get_if<dtm::DecisionQuery>(&request.payload))
+          response.payload = log->answer(*query);
+        return response;
+      });
 }
 
 ShardTx CrossShardCoordinator::begin(const KeyFootprint& predicted) {
@@ -114,6 +131,18 @@ std::size_t ShardTx::prepare_all() {
         std::upper_bound(plan_.groups.begin(), plan_.groups.end(), group),
         group);
   }
+  // Write-participant groups, sorted: more than one makes this transaction
+  // subject to decision records and in-doubt parking, and every prepare
+  // must carry the full set so any single group can find its siblings.
+  cross_groups_.clear();
+  for (const auto& [key, value] : writes_) {
+    const std::uint32_t group = serving_group(key);
+    const auto at =
+        std::lower_bound(cross_groups_.begin(), cross_groups_.end(), group);
+    if (at == cross_groups_.end() || *at != group)
+      cross_groups_.insert(at, group);
+  }
+
   try {
     // Ascending group order (plan_.groups is sorted): deterministic across
     // coordinators, so two cross-shard transactions always claim groups in
@@ -136,10 +165,16 @@ std::size_t ShardTx::prepare_all() {
         owner_->stub(group).validate(tx_, checks);
         continue;
       }
+      dtm::PrepareExtras extras;
+      if (cross_groups_.size() > 1) {
+        extras.participants = cross_groups_;
+        extras.coordinator = owner_->client_node_;
+        extras.values = values;
+      }
       PreparedGroup prepared;
       prepared.group = group;
-      prepared.ticket =
-          owner_->stub(group).prepare(tx_, checks, write_keys, read_versions);
+      prepared.ticket = owner_->stub(group).prepare(tx_, checks, write_keys,
+                                                    read_versions, extras);
       prepared.values = std::move(values);
       prepared_.push_back(std::move(prepared));
     }
@@ -154,9 +189,53 @@ std::size_t ShardTx::prepare_all() {
   return prepared_.size();
 }
 
+std::vector<std::pair<store::ObjectKey, store::Version>>
+ShardTx::prepared_writes() const {
+  std::vector<std::pair<store::ObjectKey, store::Version>> writes;
+  for (const PreparedGroup& p : prepared_)
+    for (std::size_t k = 0; k < p.ticket.keys.size(); ++k)
+      writes.push_back({p.ticket.keys[k], p.ticket.new_versions[k]});
+  return writes;
+}
+
 void ShardTx::commit_prepared() {
   if (state_ != State::kPrepared)
     throw std::logic_error("ShardTx::commit_prepared: nothing prepared");
+
+  // Durable decision record BEFORE the first phase-two message (multi-group
+  // only: a single prepared group installs or expires atomically on its
+  // own).  From this point the transaction's outcome is commit no matter
+  // what happens to this coordinator — an unreachable group becomes an
+  // in-doubt handoff, never a reason to abort.
+  const bool multi_group = prepared_.size() > 1;
+  const auto installs = prepared_writes();
+  if (multi_group) {
+    std::vector<dtm::CommitRequest> pushes;
+    pushes.reserve(prepared_.size());
+    for (const PreparedGroup& p : prepared_)
+      pushes.push_back(
+          {tx_, p.ticket.keys, p.values, p.ticket.new_versions, p.group});
+    if (!owner_->decisions_->record_commit(tx_, std::move(pushes))) {
+      // The outcome was already sealed as abort — this coordinator served
+      // presumed abort to a querier (its leases were resolved away while it
+      // dawdled) or recorded an abort itself.  Deciding commit now would
+      // contradict an answer someone may have acted on, so the transaction
+      // aborts instead: release whatever the servers still hold.
+      std::vector<store::ObjectKey> keys;
+      for (const auto& [key, version] : installs) keys.push_back(key);
+      for (const PreparedGroup& prepared : prepared_)
+        owner_->stub(prepared.group).abort(prepared.ticket);
+      prepared_.clear();
+      state_ = State::kFinished;
+      owner_->stats_.aborts.fetch_add(1, std::memory_order_relaxed);
+      throw dtm::TxAbort(dtm::AbortKind::kBusy, std::move(keys),
+                         dtm::AbortDetail::kLeaseExpired);
+    }
+    // The decision IS commit from here on, whatever happens to the pushes —
+    // log the intent now so the atomicity checker holds the cluster to it.
+    if (owner_->cross_log_ != nullptr)
+      owner_->cross_log_->record({tx_, installs, true});
+  }
 
   std::exception_ptr failure;
   std::size_t installed = 0;
@@ -165,20 +244,42 @@ void ShardTx::commit_prepared() {
       owner_->stub(prepared_[i].group)
           .commit(prepared_[i].ticket, prepared_[i].values);
       ++installed;
-    } catch (...) {
+    } catch (const dtm::TxAbort& abort) {
+      if (multi_group && abort.detail() != dtm::AbortDetail::kLeaseExpired) {
+        // Unreachable after bounded retries, with the commit decision
+        // already durable: hand the push to cooperative termination.  The
+        // group's prepare parks in-doubt when its lease runs out and the
+        // resolver installs from the decision record (or a sibling's
+        // verdict), so the transaction still counts as committed.
+        owner_->stats_.indoubt_handoffs.fetch_add(1,
+                                                  std::memory_order_relaxed);
+        ++installed;
+        continue;
+      }
       failure = std::current_exception();
+      if (multi_group) {
+        // kExpired refusal after the decision was recorded: the group was
+        // explicitly aborted out from under a committed transaction.  Push
+        // the remaining groups forward (the decision stands) and count the
+        // breach — the gates assert this never happens.
+        owner_->stats_.atomicity_breaches.fetch_add(1,
+                                                    std::memory_order_relaxed);
+        continue;
+      }
+      // Single prepared group: nothing installed anywhere else, so the
+      // abort is still atomic — release any remaining tickets and surface.
       if (installed == 0) {
-        // Nothing installed anywhere yet: the transaction can still abort
-        // atomically — release the remaining tickets and surface the abort.
         for (std::size_t j = i + 1; j < prepared_.size(); ++j)
           owner_->stub(prepared_[j].group).abort(prepared_[j].ticket);
         break;
       }
-      // A group already committed, so the decision is commit: push the
-      // remaining groups forward rather than widening the damage.  The
-      // transaction still reports failure (its durability claim on the
-      // failed group is void) and the breach is counted.
-      owner_->stats_.partial_commits.fetch_add(1, std::memory_order_relaxed);
+    } catch (...) {
+      failure = std::current_exception();
+      if (installed == 0 && !multi_group) {
+        for (std::size_t j = i + 1; j < prepared_.size(); ++j)
+          owner_->stub(prepared_[j].group).abort(prepared_[j].ticket);
+        break;
+      }
     }
   }
   prepared_.clear();
@@ -186,6 +287,15 @@ void ShardTx::commit_prepared() {
   if (failure) {
     owner_->stats_.aborts.fetch_add(1, std::memory_order_relaxed);
     std::rethrow_exception(failure);
+  }
+
+  if (owner_->history_ != nullptr) {
+    nesting::CommittedTxn entry;
+    entry.tx = tx_;
+    for (const auto& [key, rec] : reads_)
+      entry.reads.push_back({key, rec.version});
+    entry.writes = installs;
+    owner_->history_->record(std::move(entry));
   }
 
   owner_->router_.note_commit(plan_);
@@ -197,6 +307,17 @@ void ShardTx::commit_prepared() {
 }
 
 void ShardTx::abort_prepared() {
+  // A cross-shard abort is recorded too: an in-doubt participant that asks
+  // the (live) coordinator gets an authoritative kAborted instead of
+  // waiting out the kUnknown-presumed-abort inference.  The cross-shard
+  // log deliberately gets NO entry for aborts: releasing the tickets lets
+  // rival transactions reuse the proposed version numbers, so (key,
+  // version) stops naming this transaction's writes and the atomicity
+  // checker could not tell a leaked install from an honest rival.  Commit
+  // entries have no such ambiguity — their versions are installed or held
+  // under protection until termination installs them.
+  if (cross_groups_.size() > 1 && !prepared_.empty())
+    owner_->decisions_->record_abort(tx_);
   for (const PreparedGroup& prepared : prepared_)
     owner_->stub(prepared.group).abort(prepared.ticket);
   prepared_.clear();

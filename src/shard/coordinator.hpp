@@ -19,18 +19,25 @@
 //     across groups) and validates read-only groups; phase 2 commits each
 //     prepared group.  Any phase-1 failure aborts every acquired ticket.
 //
-// Coordinator crash tolerance comes from the groups, not the coordinator:
-// each group's prepare records a lease (PR 3) and a WAL record (PR 4), so
-// when a coordinator dies between prepares the leases expire, presumed
-// abort releases every group, and a late phase 2 is refused kExpired.  A
-// crashed coordinator can therefore never wedge a group.  The prepare
-// lease must comfortably exceed the phase-2 duration: if a lease expires
-// *mid phase 2* after the first group committed, atomicity is breached —
-// the coordinator pushes the remaining groups forward (most-commit beats
-// most-abort once the decision is durable anywhere), counts
-// partial_commits, and still reports the transaction failed.  The
-// shardscale gate asserts this counter stays zero under its generous
-// leases.
+// Coordinator crash tolerance (PR 8) is layered:
+//   * between prepares, presumed abort still rules — a single-write-group
+//     prepare carries no cross-shard metadata, its lease expires, and a
+//     late phase 2 is refused kExpired;
+//   * once a transaction prepares MORE than one write group, each prepare
+//     carries the participant set, the coordinator's node id, and the redo
+//     payload.  An orphaned lease then parks *in-doubt* on its replicas
+//     (protections held) instead of being presumed aborted;
+//   * before the first phase-two message, the coordinator records its
+//     decision (plus every group's exact push) in a DecisionLog reachable
+//     over the network at the coordinator's client node — so a group that
+//     cannot be pushed (partitioned, down) is an indoubt_handoff, not a
+//     failure: cooperative termination (harness::resolve_indoubt) finishes
+//     the install from the record, or from a sibling group's verdict when
+//     the coordinator node itself is dead.
+// atomicity_breaches counts the one remaining wrong outcome — a group
+// refusing phase 2 as kExpired after the commit decision was recorded
+// (i.e. an explicit abort raced the commit).  The shardscale and indoubt
+// gates assert it stays zero.
 #pragma once
 
 #include <atomic>
@@ -38,8 +45,12 @@
 #include <map>
 #include <vector>
 
+#include <memory>
+
 #include "src/dtm/quorum_stub.hpp"
 #include "src/harness/cluster.hpp"
+#include "src/nesting/history.hpp"
+#include "src/shard/decision_log.hpp"
 #include "src/shard/router.hpp"
 
 namespace acn::shard {
@@ -48,9 +59,16 @@ struct CoordinatorStats {
   std::atomic<std::uint64_t> single_shard_commits{0};
   std::atomic<std::uint64_t> cross_shard_commits{0};
   std::atomic<std::uint64_t> aborts{0};
-  /// Atomicity breaches: a lease expired mid phase 2 after another group
-  /// had already installed.  Zero under correctly sized leases.
-  std::atomic<std::uint64_t> partial_commits{0};
+  /// Atomicity breaches: a group refused phase 2 outright (kExpired) after
+  /// the commit decision was durably recorded — some other group installed
+  /// or will install, this one never will.  Hard invariant: zero under any
+  /// fault plan (the shardscale / partition / indoubt gates assert it).
+  std::atomic<std::uint64_t> atomicity_breaches{0};
+  /// Phase-two pushes handed to cooperative termination: the group was
+  /// unreachable after bounded retries, the decision record stands, and the
+  /// in-doubt resolver finishes the install once the fault heals.  The
+  /// transaction still counts as committed.
+  std::atomic<std::uint64_t> indoubt_handoffs{0};
 };
 
 class CrossShardCoordinator;
@@ -104,6 +122,11 @@ class ShardTx {
   void commit_prepared();
   /// Presumed-abort cleanup of prepare_all()'s tickets.
   void abort_prepared();
+  /// Every (key, proposed version) the tickets of prepare_all() would
+  /// install, across all groups — what the atomicity checker needs for a
+  /// transaction abandoned before any decision.
+  std::vector<std::pair<store::ObjectKey, store::Version>> prepared_writes()
+      const;
 
   dtm::TxId id() const noexcept { return tx_; }
   const RoutePlan& predicted() const noexcept { return predicted_; }
@@ -134,6 +157,9 @@ class ShardTx {
   dtm::TxId tx_ = 0;
   RoutePlan predicted_;
   RoutePlan plan_;
+  /// Write-participant groups (sorted); > 1 makes the transaction subject
+  /// to decision records and in-doubt parking.  Set by prepare_all().
+  std::vector<std::uint32_t> cross_groups_;
   State state_ = State::kActive;
   std::map<store::ObjectKey, store::VersionedRecord> reads_;
   /// Which group served each read (validation must go back to it).
@@ -147,9 +173,13 @@ class CrossShardCoordinator {
   /// `client_ordinal` is the client's network identity (shared by all the
   /// coordinator's per-group stubs) and must be unique per coordinator —
   /// it is also folded into transaction ids so two coordinators can never
-  /// mint the same TxId.
+  /// mint the same TxId.  The constructor registers a DecisionQuery handler
+  /// on that node answering from the coordinator's DecisionLog, so
+  /// participants and resolvers can read decision records over the (faulty)
+  /// network; `decision_log_path` makes the records durable ("" = memory).
   CrossShardCoordinator(harness::Cluster& cluster, const ShardRouter& router,
-                        int client_ordinal, std::uint64_t seed = 0);
+                        int client_ordinal, std::uint64_t seed = 0,
+                        std::string decision_log_path = {});
 
   /// Start a transaction; `predicted` seeds the route plan (pass
   /// acn::predicted_footprint output, or {} when nothing is predictable).
@@ -158,6 +188,22 @@ class CrossShardCoordinator {
   const ShardRouter& router() const noexcept { return router_; }
   const CoordinatorStats& stats() const noexcept { return stats_; }
 
+  /// The decision records (shared with the network handler, which keeps
+  /// them answerable after this object dies — a coordinator "crash" in the
+  /// chaos model is its NODE going down, not the log vanishing).
+  DecisionLog& decisions() noexcept { return *decisions_; }
+  net::NodeId client_node() const noexcept { return client_node_; }
+
+  /// Optional verification taps.  `history` receives every ShardTx commit
+  /// (reads + installed versions) for the serializability checker;
+  /// `cross` receives every multi-group decision (commit AND abort) for
+  /// the cross-shard atomicity checker.  Both may be null.
+  void set_logs(nesting::HistoryLog* history,
+                nesting::CrossShardLog* cross) noexcept {
+    history_ = history;
+    cross_log_ = cross;
+  }
+
  private:
   friend class ShardTx;
 
@@ -165,6 +211,10 @@ class CrossShardCoordinator {
 
   const ShardRouter& router_;
   std::vector<dtm::QuorumStub> stubs_;  // indexed by group
+  std::shared_ptr<DecisionLog> decisions_;
+  net::NodeId client_node_ = -1;
+  nesting::HistoryLog* history_ = nullptr;
+  nesting::CrossShardLog* cross_log_ = nullptr;
   CoordinatorStats stats_;
   std::uint64_t tx_base_ = 0;
   std::atomic<std::uint64_t> tx_seq_{0};

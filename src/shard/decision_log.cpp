@@ -1,0 +1,181 @@
+#include "src/shard/decision_log.hpp"
+
+#include "src/dtm/codec.hpp"
+#include "src/wal/format.hpp"
+
+namespace acn::shard {
+namespace {
+
+std::uint32_t read_u32(const std::vector<std::uint8_t>& bytes,
+                       std::size_t& pos) {
+  std::uint32_t v = 0;
+  for (int shift = 0; shift < 32; shift += 8)
+    v |= static_cast<std::uint32_t>(bytes[pos++]) << shift;
+  return v;
+}
+
+std::uint64_t read_u64(const std::vector<std::uint8_t>& bytes,
+                       std::size_t& pos) {
+  std::uint64_t v = 0;
+  for (int shift = 0; shift < 64; shift += 8)
+    v |= static_cast<std::uint64_t>(bytes[pos++]) << shift;
+  return v;
+}
+
+}  // namespace
+
+DecisionLog::DecisionLog(std::string path) : path_(std::move(path)) {
+  if (path_.empty()) return;
+  std::lock_guard<std::mutex> guard(mutex_);
+  replay_locked();
+  file_ = std::fopen(path_.c_str(), "ab");
+}
+
+DecisionLog::~DecisionLog() {
+  if (file_ != nullptr) std::fclose(file_);
+}
+
+void DecisionLog::replay_locked() {
+  std::FILE* file = std::fopen(path_.c_str(), "rb");
+  if (file == nullptr) return;
+  std::vector<std::uint8_t> bytes;
+  std::uint8_t chunk[4096];
+  for (;;) {
+    const std::size_t n = std::fread(chunk, 1, sizeof(chunk), file);
+    bytes.insert(bytes.end(), chunk, chunk + n);
+    if (n < sizeof(chunk)) break;
+  }
+  std::fclose(file);
+
+  // Same framing rules as WAL segments: a torn or corrupt tail ends the
+  // replay (the decision it held was never acknowledged as recorded, so no
+  // phase-two message depended on it).
+  const wal::SegmentScan scan = wal::parse_segment(bytes);
+  for (const auto& record : scan.records) {
+    try {
+      std::size_t pos = 0;
+      if (record.size() < 8 + 1 + 4) continue;
+      Entry entry;
+      const dtm::TxId tx = read_u64(record, pos);
+      entry.decision = static_cast<Decision>(record[pos++]);
+      const std::uint32_t n_pushes = read_u32(record, pos);
+      entry.pushes.reserve(n_pushes);
+      bool ok = true;
+      for (std::uint32_t i = 0; i < n_pushes; ++i) {
+        if (pos + 4 > record.size()) { ok = false; break; }
+        const std::uint32_t len = read_u32(record, pos);
+        if (pos + len > record.size()) { ok = false; break; }
+        const auto request = dtm::decode_request(
+            std::span<const std::uint8_t>(record.data() + pos, len));
+        pos += len;
+        const auto* push = std::get_if<dtm::CommitRequest>(&request.payload);
+        if (push == nullptr) { ok = false; break; }
+        entry.pushes.push_back(*push);
+      }
+      if (ok) entries_[tx] = std::move(entry);
+    } catch (const dtm::CodecError&) {
+      // Skip an undecodable record; the framing CRC already passed, so this
+      // only happens across format changes — losing one record degrades to
+      // the unreachable-coordinator path, never to a wrong answer.
+    }
+  }
+}
+
+void DecisionLog::append_locked(dtm::TxId tx, const Entry& entry) {
+  if (file_ == nullptr) return;
+  dtm::Encoder e;
+  e.u64(tx);
+  e.u8(static_cast<std::uint8_t>(entry.decision));
+  e.u32(static_cast<std::uint32_t>(entry.pushes.size()));
+  std::vector<std::uint8_t> payload = e.take();
+  for (const auto& push : entry.pushes) {
+    dtm::Request request;
+    request.payload = push;
+    const auto bytes = dtm::encode(request);
+    dtm::Encoder len;
+    len.u32(static_cast<std::uint32_t>(bytes.size()));
+    const auto len_bytes = len.take();
+    payload.insert(payload.end(), len_bytes.begin(), len_bytes.end());
+    payload.insert(payload.end(), bytes.begin(), bytes.end());
+  }
+  std::vector<std::uint8_t> framed;
+  wal::frame_record(framed, payload);
+  std::fwrite(framed.data(), 1, framed.size(), file_);
+  std::fflush(file_);
+}
+
+bool DecisionLog::record_commit(dtm::TxId tx,
+                                std::vector<dtm::CommitRequest> pushes) {
+  std::lock_guard<std::mutex> guard(mutex_);
+  const auto it = entries_.find(tx);
+  if (it != entries_.end() && it->second.decision == Decision::kAbort)
+    return false;  // sealed: presumed abort was already served or recorded
+  Entry& entry = entries_[tx];
+  entry.decision = Decision::kCommit;
+  entry.pushes = std::move(pushes);
+  append_locked(tx, entry);
+  return true;
+}
+
+void DecisionLog::record_abort(dtm::TxId tx) {
+  std::lock_guard<std::mutex> guard(mutex_);
+  Entry& entry = entries_[tx];
+  // Commit decisions are irrevocable: a late abort record (e.g. cleanup
+  // racing a resolver) must not flip an already-announced commit.
+  if (entry.decision == Decision::kCommit && !entry.pushes.empty()) return;
+  entry.decision = Decision::kAbort;
+  entry.pushes.clear();
+  append_locked(tx, entry);
+}
+
+std::optional<Decision> DecisionLog::decision(dtm::TxId tx) const {
+  std::lock_guard<std::mutex> guard(mutex_);
+  const auto it = entries_.find(tx);
+  if (it == entries_.end()) return std::nullopt;
+  return it->second.decision;
+}
+
+std::optional<dtm::CommitRequest> DecisionLog::push_for(
+    dtm::TxId tx, std::uint32_t group) const {
+  std::lock_guard<std::mutex> guard(mutex_);
+  const auto it = entries_.find(tx);
+  if (it == entries_.end() || it->second.decision != Decision::kCommit)
+    return std::nullopt;
+  for (const auto& push : it->second.pushes)
+    if (push.group == group) return push;
+  return std::nullopt;
+}
+
+dtm::DecisionReply DecisionLog::answer(const dtm::DecisionQuery& query) {
+  dtm::DecisionReply reply;
+  std::lock_guard<std::mutex> guard(mutex_);
+  auto it = entries_.find(query.tx);
+  if (it == entries_.end()) {
+    // Presumed abort, sealed: once "no record" has been served, this
+    // transaction can never be decided commit (record_commit refuses).
+    Entry sealed;
+    sealed.decision = Decision::kAbort;
+    append_locked(query.tx, sealed);
+    it = entries_.emplace(query.tx, std::move(sealed)).first;
+  }
+  if (it->second.decision == Decision::kAbort) {
+    reply.code = dtm::DecisionCode::kAborted;
+    return reply;
+  }
+  reply.code = dtm::DecisionCode::kCommitted;
+  for (const auto& push : it->second.pushes) {
+    if (push.group != query.group) continue;
+    reply.keys = push.keys;
+    reply.values = push.values;
+    reply.versions = push.versions;
+    break;
+  }
+  return reply;
+}
+
+std::size_t DecisionLog::size() const {
+  std::lock_guard<std::mutex> guard(mutex_);
+  return entries_.size();
+}
+
+}  // namespace acn::shard

@@ -33,8 +33,10 @@ std::uint32_t get_u32(std::span<const std::uint8_t> bytes, std::size_t at) {
 }
 
 // 'ACNS' little-endian, followed by a format version byte sequence.
+// Version 2 added cross-shard metadata (participants / coordinator / redo
+// values) to open prepares so in-doubt eligibility survives compaction.
 constexpr std::uint32_t kSnapshotMagic = 0x534E4341u;
-constexpr std::uint32_t kSnapshotVersion = 1;
+constexpr std::uint32_t kSnapshotVersion = 2;
 
 }  // namespace
 
@@ -84,6 +86,9 @@ std::vector<std::uint8_t> encode_snapshot(const SnapshotContents& contents) {
   for (const auto& prepare : contents.open_prepares) {
     e.u64(prepare.tx);
     e.list(prepare.keys, [&](const store::ObjectKey& k) { e.key(k); });
+    e.list(prepare.participants, [&](std::uint32_t g) { e.u32(g); });
+    e.u64(static_cast<std::uint64_t>(prepare.coordinator));
+    e.list(prepare.values, [&](const store::Record& r) { e.record(r); });
   }
   auto bytes = e.take();
   const std::uint32_t crc = crc32(bytes);
@@ -116,6 +121,9 @@ std::optional<SnapshotContents> decode_snapshot(
       dtm::OpenPrepare prepare;
       prepare.tx = d.u64();
       prepare.keys = d.list<store::ObjectKey>([&] { return d.key(); });
+      prepare.participants = d.list<std::uint32_t>([&] { return d.u32(); });
+      prepare.coordinator = static_cast<std::int64_t>(d.u64());
+      prepare.values = d.list<store::Record>([&] { return d.record(); });
       contents.open_prepares.push_back(std::move(prepare));
     }
     if (!d.exhausted()) return std::nullopt;

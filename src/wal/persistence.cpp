@@ -134,10 +134,9 @@ void ReplicaPersistence::close_segment_locked() {
   }
 }
 
-void ReplicaPersistence::log_prepare(
-    dtm::TxId tx, const std::vector<store::ObjectKey>& write_keys) {
+void ReplicaPersistence::log_prepare(const dtm::PrepareRequest& prepare) {
   dtm::Request request;
-  request.payload = dtm::PrepareRequest{tx, {}, write_keys};
+  request.payload = prepare;
   std::lock_guard<std::mutex> guard(mutex_);
   append_locked(request);
 }
@@ -246,7 +245,7 @@ RecoveredState ReplicaPersistence::recover() {
   std::unordered_map<store::ObjectKey, store::VersionedRecord,
                      store::ObjectKeyHash>
       objects;
-  std::unordered_map<dtm::TxId, std::vector<store::ObjectKey>> open;
+  std::unordered_map<dtm::TxId, dtm::OpenPrepare> open;
 
   // Newest snapshot that passes its checksum wins; a rotted one falls
   // back to its predecessor (bounded extra loss, healed by catch-up).
@@ -259,7 +258,7 @@ RecoveredState ReplicaPersistence::recover() {
     state.snapshot_objects = contents->objects.size();
     for (auto& [key, rec] : contents->objects) objects[key] = std::move(rec);
     for (auto& prepare : contents->open_prepares)
-      open[prepare.tx] = std::move(prepare.keys);
+      open[prepare.tx] = std::move(prepare);
     break;
   }
 
@@ -286,7 +285,8 @@ RecoveredState ReplicaPersistence::recover() {
           [&](const auto& req) {
             using T = std::decay_t<decltype(req)>;
             if constexpr (std::is_same_v<T, dtm::PrepareRequest>) {
-              open[req.tx] = req.write_keys;
+              open[req.tx] = {req.tx, req.write_keys, req.participants,
+                              req.coordinator, req.values};
             } else if constexpr (std::is_same_v<T, dtm::CommitRequest>) {
               for (std::size_t i = 0; i < req.keys.size(); ++i) {
                 auto& slot = objects[req.keys[i]];
@@ -308,8 +308,8 @@ RecoveredState ReplicaPersistence::recover() {
   state.objects.reserve(objects.size());
   for (auto& [key, rec] : objects) state.objects.emplace_back(key, std::move(rec));
   state.open_prepares.reserve(open.size());
-  for (auto& [tx, keys] : open)
-    state.open_prepares.push_back({tx, std::move(keys)});
+  for (auto& [tx, prepare] : open)
+    state.open_prepares.push_back(std::move(prepare));
   std::sort(state.open_prepares.begin(), state.open_prepares.end(),
             [](const auto& a, const auto& b) { return a.tx < b.tx; });
   return state;

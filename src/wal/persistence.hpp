@@ -76,8 +76,7 @@ class ReplicaPersistence final : public dtm::DurabilitySink {
   ReplicaPersistence& operator=(const ReplicaPersistence&) = delete;
 
   // DurabilitySink
-  void log_prepare(dtm::TxId tx,
-                   const std::vector<store::ObjectKey>& write_keys) override;
+  void log_prepare(const dtm::PrepareRequest& prepare) override;
   bool log_commit(const dtm::CommitRequest& commit) override;
   void log_abort(dtm::TxId tx,
                  const std::vector<store::ObjectKey>& keys) override;

@@ -11,10 +11,12 @@
 
 #include <chrono>
 #include <cstdint>
+#include <thread>
 #include <vector>
 
 #include "src/acn/footprint.hpp"
 #include "src/acn/unitgraph.hpp"
+#include "src/chaos/chaos.hpp"
 #include "src/dtm/abort.hpp"
 #include "src/harness/cluster.hpp"
 #include "src/shard/client.hpp"
@@ -342,6 +344,63 @@ TEST(Client, ManualCnBlocksExecuteAcrossShards) {
   EXPECT_EQ(stats.cross_commits.load(), 1u);
   EXPECT_EQ(latest_sharded(cluster, map, {1, 5}).value.fields[0], 425);
   EXPECT_EQ(latest_sharded(cluster, map, {1, 105}).value.fields[0], 575);
+}
+
+TEST(Client, AbandonedCommitResolvesBeforeChaosStopDeclaresHealed) {
+  // The satellite scenario end to end at the client layer: a coordinator
+  // prepares both groups, delivers phase 2 to group 0 only, and abandons
+  // the transaction.  ChaosController::stop() must not declare the cluster
+  // healed until cooperative termination finished the transfer, and a
+  // normal client afterwards observes the COMMITTED state on both groups
+  // with the atomicity-breach invariant intact.
+  auto config = fast_cluster(2);
+  config.prepare_lease_ns = 40'000'000;  // 40 ms
+  harness::Cluster cluster(config);
+  const ShardMap map = range_map(2);
+  ShardRouter router(map);
+  const ObjectKey src{1, 5}, dst{1, 105};  // groups 0 and 1
+  seed_sharded(cluster, map, src, Record{500});
+  seed_sharded(cluster, map, dst, Record{500});
+
+  CrossShardCoordinator coordinator(cluster, router, /*client_ordinal=*/9);
+  {
+    KeyFootprint footprint;
+    footprint.push_back({src, true});
+    footprint.push_back({dst, true});
+    ShardTx tx = coordinator.begin(footprint);
+    const Record a = tx.read(src);
+    const Record b = tx.read(dst);
+    tx.write(src, Record{a.fields[0] - 75});
+    tx.write(dst, Record{b.fields[0] + 75});
+    ASSERT_EQ(tx.prepare_all(), 2u);
+    // Group 1 unreachable for phase 2: its push is an in-doubt handoff.
+    cluster.network().set_partition({{}, cluster.group_members(1)});
+    tx.commit_prepared();
+  }  // handle abandoned — nobody left to retry group 1's push
+  EXPECT_EQ(coordinator.stats().indoubt_handoffs.load(), 1u);
+  EXPECT_EQ(coordinator.stats().atomicity_breaches.load(), 0u);
+
+  // Group 1's lease runs out behind the partition; stop() heals, parks the
+  // overdue lease and resolves it from the decision record.
+  std::this_thread::sleep_for(std::chrono::milliseconds{60});
+  chaos::ChaosController chaos(cluster, chaos::FaultPlan{}, nullptr,
+                               /*verbose=*/false);
+  chaos.start();
+  chaos.stop();
+  EXPECT_EQ(chaos.indoubt_report().resolved_commit, 1u);
+  EXPECT_EQ(chaos.indoubt_report().unresolved, 0u);
+
+  ClientStats stats;
+  acn::ExecStats es;
+  {
+    Client client(cluster, router, stats, 0, fast_executor(), 23);
+    client.run(harness::Protocol::kFlat, acn::with_program(increment_program()),
+               {Record{105}}, es);
+  }
+  EXPECT_EQ(es.commits, 1u);
+  EXPECT_EQ(stats.atomicity_breaches.load(), 0u);
+  EXPECT_EQ(latest_sharded(cluster, map, src).value.fields[0], 425);
+  EXPECT_EQ(latest_sharded(cluster, map, dst).value.fields[0], 576);
 }
 
 TEST(ClientFleet, BuildsCustomMapFromWorkloadPlacement) {

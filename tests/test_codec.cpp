@@ -49,6 +49,26 @@ TEST(Codec, PrepareRequestRoundTrip) {
   EXPECT_EQ(roundtrip(original), original);
 }
 
+TEST(Codec, PrepareRequestCrossShardMetadataRoundTrips) {
+  PrepareRequest prepare{5, {{kA, 2}}, {kA, kB}, 3};
+  prepare.participants = {1, 3, 6};
+  prepare.coordinator = 42;
+  prepare.values = {Record{7, -8}, Record{}};
+  const auto original = req(std::move(prepare));
+  EXPECT_EQ(roundtrip(original), original);
+}
+
+TEST(Codec, DecisionQueryAndReplyRoundTrip) {
+  const auto query = req(DecisionQuery{99, 4});
+  EXPECT_EQ(roundtrip(query), query);
+  for (const auto code : {DecisionCode::kUnknown, DecisionCode::kInDoubt,
+                          DecisionCode::kCommitted, DecisionCode::kAborted})
+    EXPECT_EQ(roundtrip(res(DecisionReply{code})), res(DecisionReply{code}));
+  const auto full = res(DecisionReply{
+      DecisionCode::kCommitted, {kA, kB}, {Record{1}, Record{2, 3}}, {8, 9}});
+  EXPECT_EQ(roundtrip(full), full);
+}
+
 TEST(Codec, CommitRequestRoundTrip) {
   const auto original = req(CommitRequest{
       7, {kA, kB}, {Record{1, -2, 3}, Record{}}, {10, 11}, 2});
@@ -213,8 +233,8 @@ TEST(Codec, EndToEndTrafficVerifiesCleanly) {
   bank.check_invariants(cluster.servers());
 }
 
-// Every message type in the protocol — all seven request kinds and all
-// eight response kinds (the empty response included) — fuzzed with one
+// Every message type in the protocol — all eight request kinds and all
+// nine response kinds (the empty response included) — fuzzed with one
 // fixed-seed generator.  This is the corpus the WAL rides on too: a record
 // that round-trips on the wire round-trips on disk.
 TEST(Codec, FuzzEveryMessageTypeRoundTrips) {
@@ -256,8 +276,8 @@ TEST(Codec, FuzzEveryMessageTypeRoundTrips) {
     return static_cast<ReadCode>(rng.uniform(0, 3));
   };
 
-  constexpr int kRequestKinds = 7;
-  constexpr int kResponseKinds = 8;
+  constexpr int kRequestKinds = 8;
+  constexpr int kResponseKinds = 9;
   for (int trial = 0; trial < 1000; ++trial) {
     Request request;
     switch (trial % kRequestKinds) {
@@ -268,11 +288,23 @@ TEST(Codec, FuzzEveryMessageTypeRoundTrips) {
       case 1:
         request.payload = ValidateRequest{rng.uniform(0, 99), random_checks()};
         break;
-      case 2:
-        request.payload =
-            PrepareRequest{rng.uniform(0, 99), random_checks(), random_keys(),
-                           static_cast<std::uint32_t>(rng.uniform(0, 7))};
+      case 2: {
+        PrepareRequest prepare{rng.uniform(0, 99), random_checks(),
+                               random_keys(),
+                               static_cast<std::uint32_t>(rng.uniform(0, 7))};
+        // Half the prepares carry cross-shard metadata, half stay plain
+        // single-group (defaults must survive too).
+        if (rng.uniform(0, 1) == 1) {
+          prepare.participants.resize(rng.uniform(2, 5));
+          for (auto& p : prepare.participants)
+            p = static_cast<std::uint32_t>(rng.uniform(0, 7));
+          prepare.coordinator = static_cast<std::int64_t>(rng.uniform(0, 99));
+          for (std::size_t i = 0; i < prepare.write_keys.size(); ++i)
+            prepare.values.push_back(random_record());
+        }
+        request.payload = std::move(prepare);
         break;
+      }
       case 3: {
         CommitRequest commit;
         commit.tx = rng.uniform(0, 99);
@@ -291,9 +323,13 @@ TEST(Codec, FuzzEveryMessageTypeRoundTrips) {
       case 5:
         request.payload = ContentionRequest{random_classes()};
         break;
-      default:
+      case 6:
         request.payload = BatchedReadRequest{rng.uniform(0, 99), random_keys(),
                                              random_checks(), random_classes()};
+        break;
+      default:
+        request.payload = DecisionQuery{
+            rng.uniform(0, 99), static_cast<std::uint32_t>(rng.uniform(0, 7))};
         break;
     }
     EXPECT_EQ(roundtrip(request), request) << "request trial " << trial;
@@ -329,7 +365,7 @@ TEST(Codec, FuzzEveryMessageTypeRoundTrips) {
       case 6:
         response.payload = ContentionResponse{random_levels()};
         break;
-      default: {
+      case 7: {
         BatchedReadResponse batched;
         const std::size_t n = rng.uniform(0, 6);
         batched.codes.resize(n);
@@ -341,6 +377,17 @@ TEST(Codec, FuzzEveryMessageTypeRoundTrips) {
         batched.invalid = random_keys();
         batched.contention = random_levels();
         response.payload = std::move(batched);
+        break;
+      }
+      default: {
+        DecisionReply decision;
+        decision.code = static_cast<DecisionCode>(rng.uniform(0, 3));
+        decision.keys = random_keys();
+        for (std::size_t i = 0; i < decision.keys.size(); ++i) {
+          decision.values.push_back(random_record());
+          decision.versions.push_back(rng.uniform(0, 1000));
+        }
+        response.payload = std::move(decision);
         break;
       }
     }

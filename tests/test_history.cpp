@@ -100,6 +100,71 @@ TEST(HistoryLogTest, RecordsAndClears) {
   EXPECT_EQ(log.size(), 0u);
 }
 
+// ---- cross-shard atomicity checker -------------------------------------
+
+CrossShardTxn cross_txn(std::uint64_t id,
+                        std::vector<std::pair<ObjectKey, store::Version>> w,
+                        std::optional<bool> committed = std::nullopt) {
+  return {id, std::move(w), committed};
+}
+
+TEST(CrossShardChecker, EmptyAndFullyInstalledPass) {
+  EXPECT_TRUE(check_cross_shard_atomicity({}, {}, {}));
+  // Both writes at or below the key's final version: all-or-nothing held.
+  const auto report = check_cross_shard_atomicity(
+      {}, {cross_txn(1, {{kX, 2}, {kY, 2}}, true)}, {{kX, 3}, {kY, 2}});
+  EXPECT_TRUE(report.ok);
+  // Fully uninstalled with a matching abort verdict is equally fine.
+  EXPECT_TRUE(check_cross_shard_atomicity(
+      {}, {cross_txn(2, {{kX, 9}, {kY, 9}}, false)}, {{kX, 3}, {kY, 2}}));
+}
+
+TEST(CrossShardChecker, TornTransactionRejected) {
+  // kX@2 made it to its group's final state, kY@2 never did: half a
+  // transaction installed — the exact breach the in-doubt machinery exists
+  // to prevent.
+  const auto report = check_cross_shard_atomicity(
+      {}, {cross_txn(7, {{kX, 2}, {kY, 2}})}, {{kX, 2}, {kY, 1}});
+  EXPECT_FALSE(report.ok);
+  EXPECT_NE(report.violation.find("torn cross-shard tx 7"), std::string::npos);
+}
+
+TEST(CrossShardChecker, OutcomeMismatchRejected) {
+  // Decided commit but nothing installed anywhere.
+  const auto commit_lost = check_cross_shard_atomicity(
+      {}, {cross_txn(3, {{kX, 5}, {kY, 5}}, true)}, {{kX, 2}, {kY, 2}});
+  EXPECT_FALSE(commit_lost.ok);
+  EXPECT_NE(commit_lost.violation.find("reported committed"),
+            std::string::npos);
+  // Decided abort but every write installed.
+  const auto abort_leaked = check_cross_shard_atomicity(
+      {}, {cross_txn(4, {{kX, 2}, {kY, 2}}, false)}, {{kX, 2}, {kY, 2}});
+  EXPECT_FALSE(abort_leaked.ok);
+  EXPECT_NE(abort_leaked.violation.find("reported aborted"),
+            std::string::npos);
+}
+
+TEST(CrossShardChecker, ReaderOfUninstalledProposalRejected) {
+  // Some committed transaction read kX@5 — a version only cross-shard tx 9
+  // ever proposed, and tx 9 never installed: a prepared value leaked.
+  const std::vector<CommittedTxn> history{txn(1, {{kX, 5}}, {})};
+  const auto report = check_cross_shard_atomicity(
+      history, {cross_txn(9, {{kX, 5}, {kY, 5}})}, {{kX, 2}, {kY, 2}});
+  EXPECT_FALSE(report.ok);
+  EXPECT_NE(report.violation.find("never installed"), std::string::npos);
+}
+
+TEST(CrossShardLogTest, RecordsAndClears) {
+  CrossShardLog log;
+  log.record(cross_txn(1, {{kX, 2}}, true));
+  log.record(cross_txn(2, {{kY, 2}}, false));
+  EXPECT_EQ(log.size(), 2u);
+  EXPECT_EQ(log.snapshot()[1].tx, 2u);
+  EXPECT_FALSE(log.snapshot()[1].committed.value());
+  log.clear();
+  EXPECT_EQ(log.size(), 0u);
+}
+
 // ---- end-to-end: the protocol's concurrent histories are serializable ----
 
 harness::ClusterConfig contended_cluster() {

@@ -1,10 +1,12 @@
 // Sharding subsystem tests (src/shard + the group-aware harness): keyspace
 // partitioning, footprint-based routing with mispredict escalation, the
 // single-shard fast path's no-cross-group-traffic invariant, cross-shard
-// 2PC atomicity, presumed abort after a coordinator crash between group
-// prepares, a partition isolating a participant group, WAL recovery of an
-// in-flight cross-shard prepare, group-scoped rejoin catch-up, and the
-// per-group chaos victim derivation.
+// 2PC atomicity, in-doubt parking + cooperative termination after a
+// coordinator crash (abort via sealed presumed abort, commit via the
+// decision record, parked while the coordinator node is down), a partition
+// isolating a participant group, WAL recovery of an in-flight cross-shard
+// prepare, group-scoped rejoin catch-up, and the per-group chaos victim
+// derivation.
 #include <gtest/gtest.h>
 
 #include <chrono>
@@ -17,6 +19,7 @@
 #include "src/chaos/chaos.hpp"
 #include "src/dtm/abort.hpp"
 #include "src/harness/cluster.hpp"
+#include "src/harness/indoubt.hpp"
 #include "src/shard/coordinator.hpp"
 #include "src/shard/router.hpp"
 #include "src/shard/shard_map.hpp"
@@ -300,7 +303,7 @@ TEST(Coordinator, CrossShardTransferCommitsAtomically) {
   EXPECT_EQ(latest_sharded(cluster, map, src).value.fields[0], 925);
   EXPECT_EQ(latest_sharded(cluster, map, dst).value.fields[0], 1075);
   EXPECT_EQ(coordinator.stats().cross_shard_commits.load(), 1u);
-  EXPECT_EQ(coordinator.stats().partial_commits.load(), 0u);
+  EXPECT_EQ(coordinator.stats().atomicity_breaches.load(), 0u);
   EXPECT_EQ(total_protected(cluster), 0u);
   EXPECT_EQ(total_open_leases(cluster), 0u);
 }
@@ -337,7 +340,7 @@ TEST(Coordinator, ValidationConflictAbortsAndReleasesEveryGroup) {
   EXPECT_EQ(loser.stats().aborts.load(), 1u);
 }
 
-TEST(Coordinator, CrashBetweenPreparesIsPresumedAbortInEveryGroup) {
+TEST(Coordinator, CrashBetweenPreparesParksInDoubtThenResolvesToAbort) {
   auto config = fast_cluster(2);
   config.prepare_lease_ns = 50'000'000;  // 50 ms
   harness::Cluster cluster(config);
@@ -356,10 +359,24 @@ TEST(Coordinator, CrashBetweenPreparesIsPresumedAbortInEveryGroup) {
   ASSERT_EQ(tx.prepare_all(), 2u);  // both groups hold a prepare
   EXPECT_GT(total_open_leases(cluster), 0u);
 
-  // "Crash": the coordinator never sends phase 2.  The leases expire and
-  // presumed abort releases both groups without any coordinator help.
+  // "Crash": the coordinator never sends phase 2.  The expired leases do
+  // NOT release — a sibling group may have been told to commit, so both
+  // groups park in-doubt with their protections held.
   std::this_thread::sleep_for(std::chrono::milliseconds{80});
   for (dtm::Server* server : cluster.servers()) server->expire_stale_leases();
+  EXPECT_GT(total_open_leases(cluster), 0u);
+  EXPECT_GT(total_protected(cluster), 0u);
+  std::size_t parked = 0;
+  for (dtm::Server* server : cluster.servers()) parked += server->indoubt_count();
+  EXPECT_GT(parked, 0u);
+
+  // Cooperative termination: the coordinator NODE is reachable and its
+  // decision log has no record, so presumed abort is authoritative — both
+  // groups release.
+  const auto report = harness::resolve_indoubt(cluster);
+  EXPECT_EQ(report.resolved_commit, 0u);
+  EXPECT_EQ(report.resolved_abort, 2u);
+  EXPECT_EQ(report.unresolved, 0u);
   EXPECT_EQ(total_open_leases(cluster), 0u);
   EXPECT_EQ(total_protected(cluster), 0u);
 
@@ -373,12 +390,116 @@ TEST(Coordinator, CrashBetweenPreparesIsPresumedAbortInEveryGroup) {
   EXPECT_EQ(latest_sharded(cluster, map, src).value.fields[0], 290);
   EXPECT_EQ(latest_sharded(cluster, map, dst).value.fields[0], 310);
 
-  // The zombie coordinator waking up is refused everywhere (kExpired) and
-  // installs nothing — no partial state, no resurrected values.
+  // The zombie coordinator waking up cannot decide commit: serving the
+  // resolver presumed abort sealed the outcome in its own decision log, so
+  // commit_prepared aborts instead of pushing phase 2 — no partial state,
+  // no resurrected values, no breach.
   EXPECT_THROW(tx.commit_prepared(), dtm::TxAbort);
-  EXPECT_EQ(doomed.stats().partial_commits.load(), 0u);
+  EXPECT_EQ(doomed.stats().atomicity_breaches.load(), 0u);
   EXPECT_EQ(latest_sharded(cluster, map, src).value.fields[0], 290);
   EXPECT_EQ(latest_sharded(cluster, map, dst).value.fields[0], 310);
+}
+
+TEST(Coordinator, InDoubtGroupResolvesToCommitFromDecisionRecord) {
+  // One group installs phase 2, the second group's push is lost and its
+  // lease expires: the satellite scenario — the second group must resolve
+  // to COMMIT via the coordinator's decision record, never abort.
+  auto config = fast_cluster(2);
+  config.prepare_lease_ns = 40'000'000;  // 40 ms
+  harness::Cluster cluster(config);
+  const ShardMap map = range_map(2);
+  ShardRouter router(map);
+  const ObjectKey src{1, 5}, dst{1, 105};  // groups 0 and 1
+  seed_sharded(cluster, map, src, Record{600});
+  seed_sharded(cluster, map, dst, Record{600});
+
+  CrossShardCoordinator coordinator(cluster, router, 0);
+  ShardTx tx = coordinator.begin(write_footprint({src, dst}));
+  const auto a = tx.read(src), b = tx.read(dst);
+  tx.write(src, Record{a.fields[0] - 50});
+  tx.write(dst, Record{b.fields[0] + 50});
+  ASSERT_EQ(tx.prepare_all(), 2u);
+
+  // Partition group 1 away, then push phase 2: group 0 installs, group 1
+  // is unreachable — an in-doubt handoff, and the client still commits.
+  cluster.network().set_partition({{}, cluster.group_members(1)});
+  tx.commit_prepared();
+  EXPECT_EQ(coordinator.stats().indoubt_handoffs.load(), 1u);
+  EXPECT_EQ(coordinator.stats().atomicity_breaches.load(), 0u);
+  EXPECT_EQ(latest_sharded(cluster, map, src).value.fields[0], 550);
+  // dst is still protected by group 1's undelivered prepare — unreadable
+  // until cooperative termination installs or releases it.
+
+  // Group 1's lease runs out behind the partition: parked in-doubt.
+  std::this_thread::sleep_for(std::chrono::milliseconds{60});
+  cluster.network().clear_partition();
+  for (dtm::Server* server : cluster.servers()) server->expire_stale_leases();
+  std::size_t parked = 0;
+  for (dtm::Server* server : cluster.servers()) parked += server->indoubt_count();
+  EXPECT_GT(parked, 0u);
+
+  // Cooperative termination reads the decision record and installs group
+  // 1's exact push — the transfer completes, atomically after all.
+  const auto report = harness::resolve_indoubt(cluster);
+  EXPECT_EQ(report.resolved_commit, 1u);
+  EXPECT_EQ(report.resolved_abort, 0u);
+  EXPECT_EQ(report.unresolved, 0u);
+  EXPECT_EQ(latest_sharded(cluster, map, dst).value.fields[0], 650);
+  EXPECT_EQ(total_open_leases(cluster), 0u);
+  EXPECT_EQ(total_protected(cluster), 0u);
+}
+
+TEST(Coordinator, InDoubtStaysParkedWhileCoordinatorNodeIsDown) {
+  // Coordinator crash AFTER recording commit, before any push: with the
+  // coordinator node down no participant may presume abort (the record may
+  // say commit) — the prepare stays parked until the node heals, then
+  // resolves to commit.
+  auto config = fast_cluster(2);
+  config.prepare_lease_ns = 40'000'000;
+  harness::Cluster cluster(config);
+  const ShardMap map = range_map(2);
+  ShardRouter router(map);
+  const ObjectKey src{1, 5}, dst{1, 105};
+  seed_sharded(cluster, map, src, Record{800});
+  seed_sharded(cluster, map, dst, Record{800});
+
+  CrossShardCoordinator coordinator(cluster, router, 0);
+  ShardTx tx = coordinator.begin(write_footprint({src, dst}));
+  const auto a = tx.read(src), b = tx.read(dst);
+  tx.write(src, Record{a.fields[0] + 1});
+  tx.write(dst, Record{b.fields[0] + 1});
+  ASSERT_EQ(tx.prepare_all(), 2u);
+  // Record the decision exactly as commit_prepared would, then "crash":
+  // the node goes down before any phase-two message.
+  {
+    std::vector<dtm::CommitRequest> pushes;
+    for (const auto& [key, version] :
+         std::vector<std::pair<ObjectKey, store::Version>>{{src, 2}, {dst, 2}})
+      pushes.push_back({tx.id(), {key}, {Record{801}}, {version},
+                        map.shard_of(key)});
+    ASSERT_TRUE(coordinator.decisions().record_commit(tx.id(), pushes));
+  }
+  cluster.network().set_node_down(coordinator.client_node(), true);
+
+  std::this_thread::sleep_for(std::chrono::milliseconds{60});
+  for (dtm::Server* server : cluster.servers()) server->expire_stale_leases();
+
+  // No coordinator, no sibling with a memory: everything stays parked.
+  const auto parked_report = harness::resolve_indoubt(cluster);
+  EXPECT_EQ(parked_report.resolved_commit, 0u);
+  EXPECT_EQ(parked_report.resolved_abort, 0u);
+  EXPECT_EQ(parked_report.unresolved, 2u);
+  EXPECT_GT(total_protected(cluster), 0u);
+
+  // Node heals: the record is reachable again and both groups install.
+  cluster.network().set_node_down(coordinator.client_node(), false);
+  const auto report = harness::resolve_indoubt(cluster);
+  EXPECT_EQ(report.resolved_commit, 2u);
+  EXPECT_EQ(report.unresolved, 0u);
+  EXPECT_EQ(latest_sharded(cluster, map, src).value.fields[0], 801);
+  EXPECT_EQ(latest_sharded(cluster, map, dst).value.fields[0], 801);
+  EXPECT_EQ(total_open_leases(cluster), 0u);
+  EXPECT_EQ(total_protected(cluster), 0u);
 }
 
 TEST(Coordinator, PartitionIsolatingAParticipantGroupAbortsCleanly) {
@@ -450,7 +571,7 @@ TEST(Coordinator, WalRecoveryRearmsInflightCrossShardPrepare) {
   // Phase 2 completes against the rejoined replica — the recovered
   // protection belongs to THIS transaction, so the commit lands.
   tx.commit_prepared();
-  EXPECT_EQ(coordinator.stats().partial_commits.load(), 0u);
+  EXPECT_EQ(coordinator.stats().atomicity_breaches.load(), 0u);
   EXPECT_EQ(latest_sharded(cluster, map, src).value.fields[0], 41);
   EXPECT_EQ(latest_sharded(cluster, map, dst).value.fields[0], 41);
   EXPECT_EQ(total_open_leases(cluster), 0u);

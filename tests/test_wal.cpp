@@ -50,6 +50,13 @@ dtm::CommitRequest commit_of(dtm::TxId tx, ObjectKey key, store::Field value,
   return dtm::CommitRequest{tx, {key}, {Record{value}}, {version}};
 }
 
+dtm::PrepareRequest prepare_of(dtm::TxId tx, std::vector<ObjectKey> keys) {
+  dtm::PrepareRequest prepare;
+  prepare.tx = tx;
+  prepare.write_keys = std::move(keys);
+  return prepare;
+}
+
 const store::VersionedRecord* find_object(const RecoveredState& state,
                                           ObjectKey key) {
   for (const auto& [k, rec] : state.objects)
@@ -195,7 +202,7 @@ TEST(Persistence, GroupCommitBufferIsLostFlushedRecordsSurvive) {
   TempDir dir("group-commit");
   ReplicaPersistence wal(test_config(dir.path));
 
-  wal.log_prepare(1, {kA});
+  wal.log_prepare(prepare_of(1, {kA}));
   wal.log_commit(commit_of(1, kA, 7, 2));
   EXPECT_GT(wal.buffered_bytes(), 0u);
   EXPECT_EQ(wal.buffered_bytes(), wal.appended_bytes());
@@ -207,7 +214,7 @@ TEST(Persistence, GroupCommitBufferIsLostFlushedRecordsSurvive) {
   EXPECT_TRUE(lost.objects.empty());
   EXPECT_TRUE(lost.open_prepares.empty());
 
-  wal.log_prepare(2, {kB});
+  wal.log_prepare(prepare_of(2, {kB}));
   wal.log_commit(commit_of(2, kB, 9, 5));
   wal.flush();
   EXPECT_EQ(wal.buffered_bytes(), 0u);
@@ -251,11 +258,11 @@ TEST(Persistence, RecoverReplaysCommitsAbortsAndOpenPrepares) {
   TempDir dir("replay");
   ReplicaPersistence wal(test_config(dir.path));
 
-  wal.log_prepare(1, {kA});
+  wal.log_prepare(prepare_of(1, {kA}));
   wal.log_commit(commit_of(1, kA, 7, 2));  // resolved: committed
-  wal.log_prepare(2, {kB});
+  wal.log_prepare(prepare_of(2, {kB}));
   wal.log_abort(2, {kB});                  // resolved: aborted
-  wal.log_prepare(3, {kC});                // unresolved at the "crash"
+  wal.log_prepare(prepare_of(3, {kC}));                // unresolved at the "crash"
   wal.log_commit(commit_of(4, kA, 99, 1)); // stale: version guard must hold
   wal.flush();
 
@@ -328,7 +335,7 @@ TEST(Persistence, SnapshotCompactsCoveredSegmentsAndKeepsTwo) {
   config.snapshot_every_bytes = 1;  // every commit claims a snapshot
   ReplicaPersistence wal(config);
 
-  wal.log_prepare(1, {kA});
+  wal.log_prepare(prepare_of(1, {kA}));
   EXPECT_TRUE(wal.log_commit(commit_of(1, kA, 7, 2)));
   // Claimed: nobody else is told to snapshot until this one lands.
   EXPECT_FALSE(wal.log_commit(commit_of(2, kB, 8, 2)));
@@ -364,7 +371,7 @@ TEST(Persistence, SnapshotCompactsCoveredSegmentsAndKeepsTwo) {
 TEST(Persistence, SnapshotCarriesOpenPreparesThroughCompaction) {
   TempDir dir("open-prepares");
   ReplicaPersistence wal(test_config(dir.path));
-  wal.log_prepare(7, {kA, kB});
+  wal.log_prepare(prepare_of(7, {kA, kB}));
   wal.write_snapshot([] {
     return dtm::SnapshotData{{}, {{7, {kA, kB}}}};
   });
