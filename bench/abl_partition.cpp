@@ -60,12 +60,8 @@ int main(int argc, char** argv) {
   }
   const bool durable =
       args.cluster.durability.mode == harness::DurabilityMode::kWal;
-  if (durable) {
-    if (args.cluster.durability.data_dir == "wal-data")
-      args.cluster.durability.data_dir = "wal-data-abl_partition";
-    // Each invocation is a fresh cluster, not a restart of the last one.
-    std::filesystem::remove_all(args.cluster.durability.data_dir);
-  }
+  // Each invocation is a fresh cluster, not a restart of the last one.
+  if (durable) std::filesystem::remove_all(args.cluster.durability.data_dir);
 
   const bool sharded = args.cluster.n_groups > 1;
   std::printf("\n=== Partition & heal: Bank under QR-ACN with leases%s%s ===\n",
@@ -269,9 +265,11 @@ int main(int argc, char** argv) {
         std::printf("metrics written to %s\n", args.metrics_json_path.c_str());
       }
     }
-    if (ok)
+    if (ok) {
       std::printf("all partition/lease/catch-up checks passed "
                   "(invariants verified)\n");
+      args.cleanup_data_dir();
+    }
     return ok ? 0 : 1;
   } catch (const std::exception& e) {
     chaos.stop(/*drain=*/true);

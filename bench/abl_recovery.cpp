@@ -59,8 +59,6 @@ std::vector<std::uint8_t> fingerprint(
 int main(int argc, char** argv) {
   auto args = bench::BenchOptions::parse(argc, argv);
   args.cluster.durability.mode = harness::DurabilityMode::kWal;
-  if (args.cluster.durability.data_dir == "wal-data")
-    args.cluster.durability.data_dir = "wal-data-abl_recovery";
   if (args.cluster.prepare_lease_ns <= 0)
     args.cluster.prepare_lease_ns = 150'000'000;  // 150ms default
   if (!args.obs) {
@@ -197,11 +195,13 @@ int main(int argc, char** argv) {
         std::printf("metrics written to %s\n", args.metrics_json_path.c_str());
       }
     }
-    if (ok)
+    if (ok) {
       std::printf(
           "all recovery checks passed: replay + delta == fresh catch-up "
           "(%zu keys saved)\n",
           total_keys - delta_a);
+      args.cleanup_data_dir();
+    }
     return ok ? 0 : 1;
   } catch (const std::exception& e) {
     crasher.join();

@@ -93,7 +93,9 @@ int main(int argc, char** argv) {
     auto cluster_config = args.cluster;
     if (durable) {
       cluster_config.durability.data_dir =
-          "wal-data-abl_scheduler-" + std::string(sched::policy_name(policy));
+          (std::filesystem::path(args.cluster.durability.data_dir) /
+           sched::policy_name(policy))
+              .string();
       std::filesystem::remove_all(cluster_config.durability.data_dir);
     }
     harness::Cluster cluster(cluster_config);
@@ -200,9 +202,11 @@ int main(int argc, char** argv) {
         std::printf("metrics written to %s\n", args.metrics_json_path.c_str());
       }
     }
-    if (ok)
+    if (ok) {
       std::printf("scheduler gate passed (throughput held, aborts and RPCs "
                   "reduced, no starvation)\n");
+      args.cleanup_data_dir();
+    }
     return ok ? 0 : 1;
   } catch (const std::exception& e) {
     std::fprintf(stderr, "abl_scheduler failed: %s\n", e.what());

@@ -30,15 +30,26 @@
 //   --prefetch           also speculate on the next Block (implies the above)
 // Contention-aware scheduler (src/sched):
 //   --sched=POLICY       none | queue | admit | both (default none)
+// Execution mode (src/queue — the deterministic epoch lane):
+//   --exec=MODE          acn | queue | hybrid (default acn).  queue sends
+//                        every predictable transaction through the epoch
+//                        lane; hybrid routes by scheduler hotness (pair it
+//                        with --sched=queue/both so hotness is tracked)
+//   --epoch-max=N        planner epoch cut size (transactions per epoch)
+//   --epoch-wait-us=N    how long the planner holds an epoch open to fill
+//   --executors=N        queue executor threads draining an epoch
 // Observability (both --flag=FILE and --flag FILE forms):
 //   --trace FILE         Chrome-trace/Perfetto JSON of the runs
 //   --metrics-json FILE  per-protocol metrics snapshots as JSON
 //   --metrics-csv FILE   same snapshots as protocol,name,kind,stat,value rows
 #pragma once
 
+#include <unistd.h>
+
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <filesystem>
 #include <functional>
 #include <memory>
 #include <string>
@@ -46,6 +57,7 @@
 #include "src/harness/driver.hpp"
 #include "src/harness/report.hpp"
 #include "src/obs/obs.hpp"
+#include "src/queue/service.hpp"
 #include "src/shard/client.hpp"
 
 namespace acn::bench {
@@ -60,8 +72,25 @@ struct BenchOptions {
   /// --drop=P: benches that inject faults apply this to the cluster network
   /// after construction (run_figure ignores it).
   double drop_probability = 0.0;
+  /// --exec=MODE plus the epoch lane's tuning knobs.
+  shard::ExecMode exec_mode = shard::ExecMode::kAcn;
+  queue::QueueConfig queue;
+  /// True when --data-dir was given explicitly.  Otherwise the data dir
+  /// defaults to a per-run path under the system temp directory, and
+  /// cleanup_data_dir() removes it when the bench succeeds — durable runs
+  /// must not litter the working tree with wal-data-* directories.
+  bool data_dir_overridden = false;
   /// Shared so copies of BenchOptions keep driver.obs valid.
   std::shared_ptr<obs::Observability> obs;
+
+  /// Remove the run's durable data (call on success only — a failed run
+  /// keeps its logs for inspection).  No-op for an explicit --data-dir:
+  /// the user owns that path.
+  void cleanup_data_dir() const {
+    if (data_dir_overridden) return;
+    std::error_code ec;  // best effort: a vanished dir is fine
+    std::filesystem::remove_all(cluster.durability.data_dir, ec);
+  }
 
   BenchOptions() {
     cluster.n_servers = 10;
@@ -112,9 +141,12 @@ inline BenchOptions BenchOptions::parse(
     if (path_flag("--csv", args.csv_path) ||
         path_flag("--trace", args.trace_path) ||
         path_flag("--metrics-json", args.metrics_json_path) ||
-        path_flag("--metrics-csv", args.metrics_csv_path) ||
-        path_flag("--data-dir", args.cluster.durability.data_dir))
+        path_flag("--metrics-csv", args.metrics_csv_path))
       continue;
+    if (path_flag("--data-dir", args.cluster.durability.data_dir)) {
+      args.data_dir_overridden = true;
+      continue;
+    }
     if (arg == "--durability=wal") {
       args.cluster.durability.mode = harness::DurabilityMode::kWal;
       continue;
@@ -134,6 +166,29 @@ inline BenchOptions BenchOptions::parse(
     }
     if (arg == "--no-fsync") {
       args.cluster.durability.fsync = false;
+      continue;
+    }
+    if (arg.rfind("--exec=", 0) == 0) {
+      const auto mode =
+          shard::parse_exec_mode(arg.c_str() + std::strlen("--exec="));
+      if (!mode) {
+        std::fprintf(stderr, "bad --exec value: %s\n", arg.c_str());
+        std::exit(2);
+      }
+      args.exec_mode = *mode;
+      continue;
+    }
+    if (arg.rfind("--epoch-max=", 0) == 0) {
+      args.queue.epoch_max = static_cast<std::size_t>(value("--epoch-max="));
+      continue;
+    }
+    if (arg.rfind("--epoch-wait-us=", 0) == 0) {
+      args.queue.epoch_wait =
+          std::chrono::microseconds{value("--epoch-wait-us=")};
+      continue;
+    }
+    if (arg.rfind("--executors=", 0) == 0) {
+      args.queue.n_executors = static_cast<std::size_t>(value("--executors="));
       continue;
     }
     if (arg.rfind("--sched=", 0) == 0) {
@@ -174,6 +229,18 @@ inline BenchOptions BenchOptions::parse(
     else
       std::fprintf(stderr, "ignoring unknown arg: %s\n", arg.c_str());
   }
+  if (!args.data_dir_overridden) {
+    // Per-run temp path: parallel bench invocations never collide, and a
+    // successful run (cleanup_data_dir) leaves nothing in the working tree.
+    std::error_code ec;
+    std::filesystem::path base = std::filesystem::temp_directory_path(ec);
+    if (ec) base = ".";
+    args.cluster.durability.data_dir =
+        (base / ("acn-wal-" +
+                 std::filesystem::path(argv[0]).filename().string() + "-" +
+                 std::to_string(static_cast<unsigned long>(::getpid()))))
+            .string();
+  }
   if (!args.trace_path.empty() || !args.metrics_json_path.empty() ||
       !args.metrics_csv_path.empty()) {
     obs::ObsConfig config;
@@ -182,6 +249,49 @@ inline BenchOptions BenchOptions::parse(
     args.driver.obs = args.obs.get();
   }
   return args;
+}
+
+/// Route the fleet's clients through the deterministic epoch lane per
+/// --exec (no-op for --exec=acn).  The lane is built lazily by the first
+/// client thread; one EpochService is shared by the whole fleet.
+inline void arm_exec_mode(shard::ClientFleet& fleet, const BenchOptions& args) {
+  if (args.exec_mode == shard::ExecMode::kAcn) return;
+  const queue::QueueConfig config = args.queue;
+  const std::uint64_t seed = args.driver.seed;
+  obs::Observability* obs = args.driver.obs;
+  fleet.set_lane(args.exec_mode,
+                 [config, seed, obs](harness::Cluster& cluster,
+                                     const shard::ShardRouter& router) {
+                   return std::make_shared<queue::EpochService>(
+                       cluster, router, config, seed, obs);
+                 });
+}
+
+/// Print the lane-side dispatch and epoch counters after a run (no-op when
+/// the lane never engaged).
+inline void print_lane_summary(const shard::ClientFleet& fleet) {
+  const auto& stats = fleet.stats();
+  if (stats.lane_submits.load() == 0) return;
+  std::printf("lane dispatch: submitted %llu, committed %llu, demoted %llu\n",
+              static_cast<unsigned long long>(stats.lane_submits.load()),
+              static_cast<unsigned long long>(stats.lane_commits.load()),
+              static_cast<unsigned long long>(stats.lane_demotions.load()));
+  if (const auto service =
+          std::dynamic_pointer_cast<queue::EpochService>(fleet.lane())) {
+    const queue::ServiceStats& qs = service->stats();
+    const std::uint64_t epochs = qs.epochs.load();
+    std::printf(
+        "epoch lane: %llu epochs (%llu committed, %llu retries), avg size "
+        "%.1f, spec reads %llu, mispredicted %llu\n",
+        static_cast<unsigned long long>(epochs),
+        static_cast<unsigned long long>(qs.epoch_commits.load()),
+        static_cast<unsigned long long>(qs.epoch_retries.load()),
+        epochs > 0 ? static_cast<double>(qs.submitted.load()) /
+                         static_cast<double>(epochs)
+                   : 0.0,
+        static_cast<unsigned long long>(qs.spec_reads.load()),
+        static_cast<unsigned long long>(qs.mispredicted.load()));
+  }
 }
 
 /// Run `workload` under `protocol` with every worker submitting through a
@@ -215,8 +325,10 @@ int run_figure(const std::string& title, const BenchOptions& args,
       shard::ClientFleet fleet(
           *workload, static_cast<std::uint32_t>(args.cluster.n_groups));
       fleet.seed(cluster, *workload);
+      arm_exec_mode(fleet, args);
       results.push_back(
           run_sharded(cluster, *workload, protocol, args.driver, fleet));
+      print_lane_summary(fleet);
       if (args.cluster.n_groups > 1) {
         const auto& stats = fleet.stats();
         const auto router = fleet.router().stats();
@@ -248,6 +360,7 @@ int run_figure(const std::string& title, const BenchOptions& args,
           harness::write_metrics_csv(args.metrics_csv_path, results))
         std::printf("metrics written to %s\n", args.metrics_csv_path.c_str());
     }
+    args.cleanup_data_dir();
     return 0;
   } catch (const std::exception& e) {
     std::fprintf(stderr, "%s failed: %s\n", title.c_str(), e.what());

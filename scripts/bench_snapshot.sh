@@ -1,6 +1,6 @@
 #!/usr/bin/env bash
 # Run the release gate benches and fold their metrics snapshots into one
-# BENCH_8.json, so every release carries a comparable perf trajectory point.
+# BENCH_9.json, so every release carries a comparable perf trajectory point.
 #
 # Gates (each exits non-zero on a regression, failing the script):
 #   abl_scheduler       contention-aware scheduling beats optimistic racing
@@ -22,13 +22,19 @@
 #                       isolation and phase-2 drop bursts must all end
 #                       with zero breaches, zero torn transactions and
 #                       nothing left in-doubt
+#   queue               queue-oriented epoch executor: on 95%-skew Bank,
+#                       --exec=queue commits at least as much as
+#                       --exec=acn --sched=both with near-zero full
+#                       aborts, --exec=hybrid ends state-equal to a pure
+#                       ACN reference, and a mid-epoch crash leaves no
+#                       orphaned prepares
 #
 # Usage: scripts/bench_snapshot.sh [build-dir] [output.json]
-#   BUILD_DIR defaults to "build", output to "BENCH_8.json".
+#   BUILD_DIR defaults to "build", output to "BENCH_9.json".
 set -euo pipefail
 
 BUILD_DIR="${1:-build}"
-OUT="${2:-BENCH_8.json}"
+OUT="${2:-BENCH_9.json}"
 BENCH="$BUILD_DIR/bench"
 WORK="$(mktemp -d)"
 trap 'rm -rf "$WORK"' EXIT
@@ -47,10 +53,11 @@ declare -A GATES=(
   [shardscale]="$BENCH/abl_shardscale --shards=8 --txs=200 --seed=13"
   [shardscale_tpcc]="$BENCH/abl_shardscale --shards=8 --txs=200 --seed=13 --remote-wh=0.25"
   [indoubt]="$BENCH/abl_indoubt --seed=13"
+  [queue]="$BENCH/abl_queue ${SCHED_ARGS[*]}"
 )
 # Deterministic run order (associative arrays iterate arbitrarily).
 ORDER=(scheduler scheduler_wal scheduler_chaos partition recovery batching
-       shardscale shardscale_tpcc indoubt)
+       shardscale shardscale_tpcc indoubt queue)
 
 for name in "${ORDER[@]}"; do
   echo "=== gate: $name ==="

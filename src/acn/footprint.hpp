@@ -94,6 +94,16 @@ class SchedulerGate {
   /// releases tickets and the admission slot.  Must tolerate being called
   /// without a preceding admit (it is then a no-op).
   virtual void finish(TxOutcome outcome) = 0;
+
+  /// Whether any footprint entry is currently hot, per the gate's
+  /// contention view.  Advisory (must not block): the sharded client uses
+  /// it to route hot-footprint transactions to the deterministic epoch
+  /// lane in hybrid mode.  The default — nothing is ever hot — keeps
+  /// gate-less and test gates routing everything optimistically.
+  virtual bool any_hot(const KeyFootprint& footprint) const {
+    (void)footprint;
+    return false;
+  }
 };
 
 }  // namespace acn

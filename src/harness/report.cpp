@@ -70,6 +70,22 @@ void print_metrics(const char* label, const obs::Snapshot& snapshot) {
                 static_cast<unsigned long long>(c("acn.recompositions")),
                 static_cast<unsigned long long>(c("acn.monitor.refresh")),
                 static_cast<unsigned long long>(c("acn.monitor.observe")));
+  if (c("queue.epoch.planned") > 0) {
+    std::printf("%-8s obs: queue{epochs=%llu commits=%llu retries=%llu "
+                "spec_reads=%llu mispredicts=%llu demoted=%llu}",
+                "",
+                static_cast<unsigned long long>(c("queue.epoch.planned")),
+                static_cast<unsigned long long>(c("queue.epoch.commits")),
+                static_cast<unsigned long long>(c("queue.epoch.retries")),
+                static_cast<unsigned long long>(c("queue.spec.reads")),
+                static_cast<unsigned long long>(c("queue.spec.mispredict")),
+                static_cast<unsigned long long>(c("queue.spec.demoted")));
+    if (const obs::HistogramData* size = snapshot.histogram("queue.epoch.size"))
+      if (size->count() > 0)
+        std::printf(" epoch_size p50~%llu",
+                    static_cast<unsigned long long>(size->percentile(0.5)));
+    std::printf("\n");
+  }
 }
 
 bool write_metrics_json(const std::string& path,

@@ -29,6 +29,11 @@ std::vector<std::uint64_t> latency_bounds() {
 std::vector<std::uint64_t> batch_bounds() {
   return {1, 2, 3, 4, 6, 8, 12, 16};
 }
+
+// 1..256 transactions per planned epoch (the planner's cut size).
+std::vector<std::uint64_t> epoch_bounds() {
+  return {1, 2, 4, 8, 16, 32, 64, 128, 256};
+}
 }  // namespace
 
 Observability::Observability(ObsConfig config)
@@ -87,6 +92,14 @@ Observability::Observability(ObsConfig config)
       sched_queue_depth(
           metrics.histogram("sched.queue.depth", batch_bounds())),
       sched_hot_keys(metrics.gauge("sched.queue.hot_keys")),
+      queue_epochs(metrics.counter("queue.epoch.planned")),
+      queue_epoch_commits(metrics.counter("queue.epoch.commits")),
+      queue_epoch_retries(metrics.counter("queue.epoch.retries")),
+      queue_epoch_size(metrics.histogram("queue.epoch.size", epoch_bounds())),
+      queue_spec_commits(metrics.counter("queue.spec.commits")),
+      queue_spec_reads(metrics.counter("queue.spec.reads")),
+      queue_spec_mispredicts(metrics.counter("queue.spec.mispredict")),
+      queue_spec_demotions(metrics.counter("queue.spec.demoted")),
       classify_partial(metrics.counter("nesting.classify.partial")),
       classify_full(metrics.counter("nesting.classify.full")),
       remote_reads(metrics.counter("nesting.read.remote")),

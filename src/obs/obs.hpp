@@ -114,6 +114,16 @@ class Observability {
   MetricsRegistry::Histogram sched_queue_depth;    // waiters seen at enqueue
   MetricsRegistry::Gauge sched_hot_keys;           // keys currently serialized
 
+  // -- queue-oriented deterministic lane (src/queue) -----------------------
+  MetricsRegistry::Counter queue_epochs;          // epochs planned
+  MetricsRegistry::Counter queue_epoch_commits;   // epochs committed
+  MetricsRegistry::Counter queue_epoch_retries;   // epoch commit re-runs
+  MetricsRegistry::Histogram queue_epoch_size;    // entries per epoch
+  MetricsRegistry::Counter queue_spec_commits;    // entries committed in-epoch
+  MetricsRegistry::Counter queue_spec_reads;      // reads from earlier-in-epoch
+  MetricsRegistry::Counter queue_spec_mispredicts;  // unplanned-key demotions
+  MetricsRegistry::Counter queue_spec_demotions;  // total demotions (all causes)
+
   // -- closed nesting (src/nesting) ----------------------------------------
   MetricsRegistry::Counter classify_partial;
   MetricsRegistry::Counter classify_full;

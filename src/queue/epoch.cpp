@@ -1,0 +1,49 @@
+#include "src/queue/epoch.hpp"
+
+#include <algorithm>
+
+namespace acn::queue {
+
+std::vector<std::size_t> EpochPlan::roots() const {
+  std::vector<std::size_t> out;
+  for (std::size_t i = 0; i < deps.size(); ++i)
+    if (deps[i] == 0) out.push_back(i);
+  return out;
+}
+
+EpochPlan plan_epoch(const std::vector<const KeyFootprint*>& footprints) {
+  EpochPlan plan;
+  const std::size_t n = footprints.size();
+  plan.deps.assign(n, 0);
+  plan.dependents.assign(n, {});
+
+  std::map<store::ObjectKey, bool> merged;  // key -> for_write union
+  for (std::size_t i = 0; i < n; ++i) {
+    for (const FootprintEntry& entry : *footprints[i]) {
+      plan.key_queues[entry.key].push_back(i);
+      merged[entry.key] |= entry.for_write;
+    }
+  }
+
+  plan.footprint.reserve(merged.size());
+  for (const auto& [key, for_write] : merged)
+    plan.footprint.push_back({key, for_write});
+
+  // One edge per adjacent queue pair; a pair sharing several keys must
+  // still count as ONE dependency, so predecessor lists are deduplicated
+  // before they become counts.
+  std::vector<std::vector<std::size_t>> preds(n);
+  for (const auto& [key, queue] : plan.key_queues)
+    for (std::size_t i = 1; i < queue.size(); ++i)
+      preds[queue[i]].push_back(queue[i - 1]);
+  for (std::size_t i = 0; i < n; ++i) {
+    std::sort(preds[i].begin(), preds[i].end());
+    preds[i].erase(std::unique(preds[i].begin(), preds[i].end()),
+                   preds[i].end());
+    plan.deps[i] = preds[i].size();
+    for (const std::size_t p : preds[i]) plan.dependents[p].push_back(i);
+  }
+  return plan;
+}
+
+}  // namespace acn::queue

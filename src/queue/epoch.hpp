@@ -1,0 +1,57 @@
+// Epoch planning for the queue-oriented deterministic executor.
+//
+// Per Qadah's queue-oriented transaction-processing paradigm (QueCC /
+// Q-Store), the planner batches submitted transactions into an *epoch* and
+// turns their predicted footprints into priority-ordered per-key execution
+// queues: a transaction's priority is its arrival order inside the epoch,
+// and every key queue lists the transactions touching that key in priority
+// order.  Two transactions that conflict are therefore *ordered* — the
+// later one simply waits for the earlier one — instead of racing an
+// optimistic validation one of them must lose.
+//
+// The plan is a pure function of the batch's footprints: no clocks, no
+// cluster, no threads.  plan_epoch computes
+//   * key_queues   — per-key priority queues in canonical (ascending key)
+//     order, the order every downstream consumer (prefetch batching, the
+//     epoch commit's write set) iterates in;
+//   * deps/dependents — the execution DAG: entry j waits on entry i when i
+//     immediately precedes j in some key queue.  Adjacency per key is
+//     sufficient (precedence is transitive along the queue), so the DAG has
+//     at most one edge per queue position.  Both read-read and write-write
+//     neighbors are ordered: determinism — every replanning of the same
+//     batch executes in the same order — is what makes speculation safe,
+//     and it costs nothing because ordered entries still run back to back.
+//   * footprint    — the union footprint of the epoch (ascending, deduped,
+//     for_write OR-ed), which seeds the epoch transaction's route plan.
+#pragma once
+
+#include <cstddef>
+#include <map>
+#include <vector>
+
+#include "src/acn/footprint.hpp"
+#include "src/store/key.hpp"
+
+namespace acn::queue {
+
+struct EpochPlan {
+  /// Per-key execution queues: entry indices in priority (arrival) order,
+  /// keys in canonical ascending order.
+  std::map<store::ObjectKey, std::vector<std::size_t>> key_queues;
+  /// deps[i] = distinct entries that must complete before entry i may run.
+  std::vector<std::size_t> deps;
+  /// dependents[i] = entries whose deps count drops when entry i completes.
+  std::vector<std::vector<std::size_t>> dependents;
+  /// Union of the planned footprints (ascending, deduped, for_write OR-ed).
+  KeyFootprint footprint;
+
+  /// Entries with no predecessor — the initial ready set.
+  std::vector<std::size_t> roots() const;
+};
+
+/// Build the epoch plan for a batch of predicted footprints (entry i's
+/// priority is i).  Footprints must be canonical (ascending, deduplicated),
+/// as acn::predicted_footprint produces them.
+EpochPlan plan_epoch(const std::vector<const KeyFootprint*>& footprints);
+
+}  // namespace acn::queue

@@ -1,0 +1,294 @@
+#include "src/queue/service.hpp"
+
+#include <algorithm>
+#include <utility>
+
+namespace acn::queue {
+namespace {
+
+/// Ordinal namespace for epoch services: far above the driver's per-thread
+/// client ordinals, unique per service so two lanes on one cluster can
+/// never share a network identity or a TxId namespace.
+int next_service_ordinal() {
+  static std::atomic<int> seq{0};
+  return 0x5EE0 + seq.fetch_add(1, std::memory_order_relaxed);
+}
+
+}  // namespace
+
+EpochService::EpochService(harness::Cluster& cluster,
+                           const shard::ShardRouter& router,
+                           QueueConfig config, std::uint64_t seed,
+                           obs::Observability* obs)
+    : config_(config),
+      router_(router),
+      obs_(obs),
+      ordinal_(next_service_ordinal()),
+      coordinator_(cluster, router, ordinal_, seed ^ 0xE90CULL) {
+  stubs_.reserve(cluster.n_groups());
+  for (std::size_t g = 0; g < cluster.n_groups(); ++g)
+    stubs_.push_back(cluster.make_group_stub(g, ordinal_, seed + g));
+  const std::size_t n_executors = std::max<std::size_t>(1, config_.n_executors);
+  executors_.reserve(n_executors);
+  for (std::size_t i = 0; i < n_executors; ++i)
+    executors_.emplace_back([this] { executor_loop(); });
+  planner_ = std::thread([this] { planner_loop(); });
+}
+
+EpochService::~EpochService() {
+  stop_.store(true, std::memory_order_relaxed);
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    submit_cv_.notify_all();
+  }
+  {
+    std::lock_guard<std::mutex> lock(epoch_mu_);
+    work_cv_.notify_all();
+  }
+  planner_.join();
+  for (std::thread& t : executors_) t.join();
+  // The planner drains pending submissions as demotions on stop, so no
+  // submitter can be left waiting (defensively — the driver joins its
+  // client threads before the bench tears the fleet down).
+}
+
+void EpochService::set_logs(nesting::HistoryLog* history,
+                            nesting::CrossShardLog* cross) {
+  coordinator_.set_logs(history, cross);
+}
+
+shard::LaneOutcome EpochService::submit(const ir::TxProgram& program,
+                                        const std::vector<ir::Record>& params,
+                                        const KeyFootprint& predicted,
+                                        acn::ExecStats& stats) {
+  Submission submission;
+  submission.program = &program;
+  submission.params = &params;
+  submission.footprint = predicted;
+  stats_.submitted.fetch_add(1, std::memory_order_relaxed);
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (stop_.load(std::memory_order_relaxed))
+      return shard::LaneOutcome::kDemoted;
+    pending_.push_back(&submission);
+  }
+  submit_cv_.notify_one();
+
+  std::unique_lock<std::mutex> lock(mu_);
+  done_cv_.wait(lock, [&] { return submission.done; });
+
+  // Failed epoch attempts re-executed this entry; account them as the full
+  // aborts they are, so queue-mode abort numbers stay honest.
+  stats.full_aborts +=
+      static_cast<std::uint64_t>(std::max(0, submission.epoch_retries));
+  if (submission.outcome == shard::LaneOutcome::kCommitted) {
+    ++stats.commits;
+    ++stats.blocks_executed;  // the epoch ran the program as one window
+    stats.ops_executed += submission.result.ops;
+  }
+  return submission.outcome;
+}
+
+void EpochService::planner_loop() {
+  std::unique_lock<std::mutex> lock(mu_);
+  for (;;) {
+    submit_cv_.wait(lock, [&] {
+      return stop_.load(std::memory_order_relaxed) || !pending_.empty();
+    });
+    if (stop_.load(std::memory_order_relaxed)) break;
+    // Let the epoch fill: cut at epoch_max, or when the wait expires with
+    // whatever arrived.
+    const auto deadline = std::chrono::steady_clock::now() + config_.epoch_wait;
+    submit_cv_.wait_until(lock, deadline, [&] {
+      return stop_.load(std::memory_order_relaxed) ||
+             pending_.size() >= config_.epoch_max;
+    });
+    if (stop_.load(std::memory_order_relaxed)) break;
+
+    const std::size_t take = std::min(pending_.size(), config_.epoch_max);
+    std::vector<Submission*> batch(pending_.begin(),
+                                   pending_.begin() + static_cast<long>(take));
+    pending_.erase(pending_.begin(),
+                   pending_.begin() + static_cast<long>(take));
+    lock.unlock();
+    run_one_epoch(batch);
+    lock.lock();
+    for (Submission* s : batch) s->done = true;
+    done_cv_.notify_all();
+  }
+  // Drain on stop: everything still pending demotes (submit() reruns it
+  // optimistically — or, in the teardown case, nobody is waiting).
+  for (Submission* s : pending_) {
+    s->outcome = shard::LaneOutcome::kDemoted;
+    s->done = true;
+  }
+  pending_.clear();
+  done_cv_.notify_all();
+}
+
+std::uint32_t EpochService::group_for(const store::ObjectKey& key,
+                                      std::uint32_t home) const {
+  const shard::ShardMap& map = router_.map();
+  return map.replicated(key.cls) ? home : map.shard_of(key);
+}
+
+void EpochService::prefetch(const EpochPlan& plan, dtm::TxId tx,
+                            std::uint32_t home, Workspace& workspace) {
+  std::map<std::uint32_t, std::vector<store::ObjectKey>> by_group;
+  for (const FootprintEntry& entry : plan.footprint)
+    by_group[group_for(entry.key, home)].push_back(entry.key);
+  for (auto& [group, keys] : by_group) {
+    dtm::QuorumStub& stub = stubs_.at(group);
+    try {
+      dtm::BatchedReadOutcome out = stub.read_many(tx, keys, {});
+      for (std::size_t i = 0; i < keys.size(); ++i)
+        workspace.cache[keys[i]] = std::move(out.records[i]);
+    } catch (const dtm::ObjectMissing&) {
+      // Some key has no replica (a blind-insert target, or a routing
+      // surprise).  Fall back per key so the present ones still cache and
+      // the absent ones are marked (reads of them demote).
+      for (const store::ObjectKey& key : keys) {
+        try {
+          workspace.cache[key] = stub.read(tx, key, {}).record;
+        } catch (const dtm::ObjectMissing&) {
+          workspace.absent.insert(key);
+        }
+      }
+    }
+  }
+}
+
+void EpochService::execute(const EpochPlan& plan,
+                           std::vector<Submission*>& batch,
+                           Workspace& workspace) {
+  {
+    std::lock_guard<std::mutex> lock(epoch_mu_);
+    active_.plan = &plan;
+    active_.batch = &batch;
+    active_.workspace = &workspace;
+    active_.ready = plan.roots();
+    active_.deps = plan.deps;
+    active_.remaining = batch.size();
+    epoch_live_ = true;
+  }
+  work_cv_.notify_all();
+  std::unique_lock<std::mutex> lock(epoch_mu_);
+  epoch_done_cv_.wait(lock, [&] { return active_.remaining == 0; });
+  epoch_live_ = false;
+}
+
+void EpochService::executor_loop() {
+  std::unique_lock<std::mutex> lock(epoch_mu_);
+  for (;;) {
+    work_cv_.wait(lock, [&] {
+      return stop_.load(std::memory_order_relaxed) ||
+             (epoch_live_ && !active_.ready.empty());
+    });
+    if (stop_.load(std::memory_order_relaxed)) return;
+    const std::size_t index = active_.ready.back();
+    active_.ready.pop_back();
+    const EpochPlan& plan = *active_.plan;
+    Workspace& workspace = *active_.workspace;
+    Submission& entry = *(*active_.batch)[index];
+    lock.unlock();
+    EntryOutcome out =
+        run_entry(*entry.program, *entry.params, entry.footprint, workspace);
+    lock.lock();
+    entry.result = out;
+    // Completion (committed OR demoted) unblocks the queue successors —
+    // a demoted entry published nothing, so they read pre-epoch state.
+    for (const std::size_t dependent : plan.dependents[index]) {
+      if (--active_.deps[dependent] == 0) {
+        active_.ready.push_back(dependent);
+        work_cv_.notify_one();
+      }
+    }
+    if (--active_.remaining == 0) epoch_done_cv_.notify_all();
+  }
+}
+
+void EpochService::run_one_epoch(std::vector<Submission*>& batch) {
+  std::vector<const KeyFootprint*> footprints;
+  footprints.reserve(batch.size());
+  for (const Submission* s : batch) footprints.push_back(&s->footprint);
+  const EpochPlan plan = plan_epoch(footprints);
+  const std::uint32_t home = router_.plan(plan.footprint).home();
+
+  stats_.epochs.fetch_add(1, std::memory_order_relaxed);
+  if (obs_) {
+    obs_->queue_epochs.add();
+    obs_->queue_epoch_size.observe(batch.size());
+  }
+
+  bool epoch_decided = false;
+  int retries_used = 0;
+  for (int attempt = 0; attempt <= config_.max_epoch_retries; ++attempt) {
+    Workspace workspace;
+    for (Submission* s : batch) s->result = {};
+    try {
+      shard::ShardTx tx = coordinator_.begin(plan.footprint);
+      prefetch(plan, tx.id(), home, workspace);
+      execute(plan, batch, workspace);
+      if (workspace.written.empty() && workspace.reads_used.empty()) {
+        // Every entry demoted — nothing to decide.
+        tx.abort();
+        epoch_decided = true;
+        break;
+      }
+      shard::ShardTx::Checkpoint state;
+      state.reads = workspace.reads_used;
+      for (const auto& [key, record] : workspace.reads_used)
+        state.read_groups[key] = group_for(key, home);
+      for (const auto& [key, value] : workspace.written)
+        state.writes[key] = value;
+      tx.restore(std::move(state));
+      // ONE decision for the whole epoch: single-group epochs take the
+      // classic prepare+commit, multi-group epochs cross-shard 2PC with
+      // decision records and in-doubt parking — all inherited.
+      tx.commit();
+      epoch_decided = true;
+      break;
+    } catch (const dtm::TxAbort&) {
+      // The prefetched snapshot went stale (optimistic traffic in hybrid
+      // mode, chaos) or the cluster was busy/unreachable.  Refetch and
+      // re-run the whole epoch: execution is deterministic, so the re-run
+      // reproduces the same queue order over the fresh snapshot.
+      ++retries_used;
+      stats_.epoch_retries.fetch_add(1, std::memory_order_relaxed);
+      if (obs_) obs_->queue_epoch_retries.add();
+      for (Submission* s : batch) ++s->epoch_retries;
+      if (attempt >= config_.max_epoch_retries) break;
+      const auto base = config_.retry_backoff.count();
+      std::this_thread::sleep_for(
+          std::chrono::nanoseconds{base << std::min(attempt, 4)});
+    }
+  }
+
+  for (Submission* s : batch) {
+    const bool committed = epoch_decided && s->result.committed;
+    s->outcome = committed ? shard::LaneOutcome::kCommitted
+                           : shard::LaneOutcome::kDemoted;
+    if (committed) {
+      stats_.committed.fetch_add(1, std::memory_order_relaxed);
+      stats_.spec_reads.fetch_add(s->result.spec_reads,
+                                  std::memory_order_relaxed);
+      if (obs_) {
+        obs_->queue_spec_commits.add();
+        obs_->queue_spec_reads.add(s->result.spec_reads);
+      }
+    } else {
+      stats_.demoted.fetch_add(1, std::memory_order_relaxed);
+      if (obs_) obs_->queue_spec_demotions.add();
+      if (s->result.mispredicted) {
+        stats_.mispredicted.fetch_add(1, std::memory_order_relaxed);
+        if (obs_) obs_->queue_spec_mispredicts.add();
+      }
+    }
+  }
+  if (epoch_decided) {
+    stats_.epoch_commits.fetch_add(1, std::memory_order_relaxed);
+    if (obs_) obs_->queue_epoch_commits.add();
+  }
+}
+
+}  // namespace acn::queue

@@ -150,6 +150,11 @@ class TxScheduler {
     void on_full_abort(TxOutcome kind,
                        const std::vector<ir::ObjectKey>& conflict) override;
     void finish(TxOutcome outcome) override;
+    /// The shared scheduler's hotness view — what routes a transaction to
+    /// the deterministic lane in hybrid execution mode.
+    bool any_hot(const KeyFootprint& footprint) const override {
+      return owner_->any_hot(footprint);
+    }
 
     /// Current AIMD window (tests / diagnostics).
     double window() const noexcept { return window_; }

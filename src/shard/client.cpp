@@ -85,12 +85,34 @@ void execute_op(const ir::TxProgram& program, std::size_t op_index,
 
 }  // namespace
 
+const char* exec_mode_name(ExecMode mode) noexcept {
+  switch (mode) {
+    case ExecMode::kAcn:
+      return "acn";
+    case ExecMode::kQueue:
+      return "queue";
+    case ExecMode::kHybrid:
+      return "hybrid";
+  }
+  return "?";
+}
+
+std::optional<ExecMode> parse_exec_mode(std::string_view text) noexcept {
+  if (text == "acn") return ExecMode::kAcn;
+  if (text == "queue") return ExecMode::kQueue;
+  if (text == "hybrid") return ExecMode::kHybrid;
+  return std::nullopt;
+}
+
 Client::Client(harness::Cluster& cluster, const ShardRouter& router,
                ClientStats& stats, int client_ordinal,
-               acn::ExecutorConfig config, std::uint64_t seed)
+               acn::ExecutorConfig config, std::uint64_t seed, ExecMode mode,
+               std::shared_ptr<Lane> lane)
     : router_(router),
       stats_(stats),
       config_(config),
+      mode_(mode),
+      lane_(std::move(lane)),
       coordinator_(cluster, router, client_ordinal, seed ^ 0xC0DEULL),
       rng_(seed * 0x9e3779b97f4a7c15ULL + 0x5AAD) {
   coordinator_.set_logs(config_.history, config_.cross_log);
@@ -130,6 +152,28 @@ void Client::run(Protocol protocol, const acn::RunOptions& options,
   const Resolved resolved = resolve(protocol, options);
   const KeyFootprint predicted =
       predicted_footprint(*resolved.program, params);
+
+  // Deterministic-lane dispatch: kQueue sends every predictable
+  // transaction, kHybrid only those whose footprint touches a hot key (the
+  // scheduler's call — cold traffic loses nothing to optimism).  A
+  // footprint-less transaction is invisible to the planner's queues, so it
+  // always stays optimistic.  A demotion falls through to the optimistic
+  // paths below, which serializes the re-execution after the lane's epoch.
+  if (lane_ != nullptr && mode_ != ExecMode::kAcn && !predicted.empty()) {
+    const bool deterministic =
+        mode_ == ExecMode::kQueue ||
+        (options.scheduler != nullptr && options.scheduler->any_hot(predicted));
+    if (deterministic) {
+      stats_.lane_submits.fetch_add(1, std::memory_order_relaxed);
+      if (lane_->submit(*resolved.program, params, predicted, stats) ==
+          LaneOutcome::kCommitted) {
+        stats_.lane_commits.fetch_add(1, std::memory_order_relaxed);
+        return;
+      }
+      stats_.lane_demotions.fetch_add(1, std::memory_order_relaxed);
+    }
+  }
+
   const RoutePlan plan = router_.plan(predicted);
 
   if (plan.single_shard()) {
@@ -300,8 +344,29 @@ harness::SubmitterFactory ClientFleet::factory() {
                 const acn::ExecutorConfig& config,
                 std::uint64_t seed) -> std::unique_ptr<harness::Submitter> {
     return std::make_unique<Client>(cluster, router_, stats_,
-                                    static_cast<int>(client), config, seed);
+                                    static_cast<int>(client), config, seed,
+                                    mode_, lane_for(cluster));
   };
+}
+
+void ClientFleet::set_lane(ExecMode mode, LaneFactory make_lane) {
+  std::lock_guard<std::mutex> lock(lane_mutex_);
+  mode_ = mode;
+  make_lane_ = std::move(make_lane);
+  lane_.reset();
+}
+
+std::shared_ptr<Lane> ClientFleet::lane() const {
+  std::lock_guard<std::mutex> lock(lane_mutex_);
+  return lane_;
+}
+
+std::shared_ptr<Lane> ClientFleet::lane_for(harness::Cluster& cluster) {
+  // Client threads race through factory(); the first one builds the lane.
+  std::lock_guard<std::mutex> lock(lane_mutex_);
+  if (mode_ == ExecMode::kAcn || !make_lane_) return nullptr;
+  if (!lane_) lane_ = make_lane_(cluster, router_);
+  return lane_;
 }
 
 std::function<std::uint32_t(const store::ObjectKey&)> ClientFleet::shard_of()

@@ -42,7 +42,11 @@
 
 #include <atomic>
 #include <cstdint>
+#include <functional>
 #include <memory>
+#include <mutex>
+#include <optional>
+#include <string_view>
 #include <vector>
 
 #include "src/acn/executor.hpp"
@@ -52,6 +56,52 @@
 #include "src/workloads/workload.hpp"
 
 namespace acn::shard {
+
+/// How a Client executes transactions:
+///   * kAcn    — the optimistic paths only (fast path / cross-shard 2PC),
+///     the pre-queue behavior;
+///   * kQueue  — every transaction with a predictable footprint goes to the
+///     deterministic epoch lane (src/queue); the optimistic path serves
+///     only demotions and unpredictable transactions;
+///   * kHybrid — the scheduler routes: transactions whose predicted
+///     footprint touches a hot key (SchedulerGate::any_hot) go to the
+///     lane, cold traffic stays optimistic.
+enum class ExecMode { kAcn, kQueue, kHybrid };
+
+const char* exec_mode_name(ExecMode mode) noexcept;
+/// Parse "acn" | "queue" | "hybrid"; nullopt on anything else.
+std::optional<ExecMode> parse_exec_mode(std::string_view text) noexcept;
+
+/// What the deterministic lane did with a submitted transaction.
+enum class LaneOutcome {
+  kCommitted,  // committed atomically with its epoch
+  kDemoted,    // not executed (misprediction / epoch gave up) — the caller
+               // re-runs it optimistically, serializing after the epoch
+};
+
+/// A deterministic execution lane (src/queue implements this over epochs).
+/// The abstract interface keeps the layering acyclic — shard cannot link
+/// the queue subsystem, which is built on top of it — mirroring
+/// acn::SchedulerGate and harness::Submitter.  Implementations must be
+/// thread-safe: every Client of a fleet submits into one shared lane.
+class Lane {
+ public:
+  virtual ~Lane() = default;
+
+  /// Hand one transaction to the lane and block until its epoch decides.
+  /// `predicted` is the canonical predicted footprint (non-empty — callers
+  /// keep unpredictable transactions on the optimistic path).  On
+  /// kCommitted the lane has folded the execution into `stats`.
+  virtual LaneOutcome submit(const ir::TxProgram& program,
+                             const std::vector<acn::ir::Record>& params,
+                             const KeyFootprint& predicted,
+                             acn::ExecStats& stats) = 0;
+};
+
+/// Builds the fleet's shared lane on first use (called under the fleet's
+/// lock, from whichever client thread gets there first).
+using LaneFactory = std::function<std::shared_ptr<Lane>(
+    harness::Cluster& cluster, const ShardRouter& router)>;
 
 /// Dispatch counters, shared by every Client of a fleet.
 struct ClientStats {
@@ -73,6 +123,12 @@ struct ClientStats {
   /// cooperative termination after the decision was durably recorded
   /// (benign — the resolver finishes the install).
   std::atomic<std::uint64_t> indoubt_handoffs{0};
+  /// Transactions handed to the deterministic lane (kQueue/kHybrid).
+  std::atomic<std::uint64_t> lane_submits{0};
+  /// Lane submissions that committed with their epoch.
+  std::atomic<std::uint64_t> lane_commits{0};
+  /// Lane submissions demoted back to the optimistic path.
+  std::atomic<std::uint64_t> lane_demotions{0};
 };
 
 /// One worker thread's submission endpoint over a sharded cluster.
@@ -82,10 +138,13 @@ struct ClientStats {
 class Client final : public harness::Submitter {
  public:
   /// `client_ordinal` must be unique per Client (network identity of its
-  /// stubs and the coordinator's TxId namespace).
+  /// stubs and the coordinator's TxId namespace).  `lane` (shared by the
+  /// fleet) enables the deterministic dispatch of kQueue/kHybrid; kAcn
+  /// ignores it.
   Client(harness::Cluster& cluster, const ShardRouter& router,
          ClientStats& stats, int client_ordinal, acn::ExecutorConfig config,
-         std::uint64_t seed);
+         std::uint64_t seed, ExecMode mode = ExecMode::kAcn,
+         std::shared_ptr<Lane> lane = nullptr);
   ~Client() override;
 
   /// Execute one transaction to commit.  Same contract as Executor::run:
@@ -108,6 +167,8 @@ class Client final : public harness::Submitter {
   const ShardRouter& router_;
   ClientStats& stats_;
   acn::ExecutorConfig config_;
+  ExecMode mode_ = ExecMode::kAcn;
+  std::shared_ptr<Lane> lane_;
   CrossShardCoordinator coordinator_;
   /// One stub + Executor per quorum group (stable addresses: the Executor
   /// keeps a reference to its stub).
@@ -136,6 +197,19 @@ class ClientFleet {
   /// worker thread, ordinal = thread index.
   harness::SubmitterFactory factory();
 
+  /// Route transactions through a deterministic lane: every Client the
+  /// factory builds after this call dispatches per `mode`, sharing one lane
+  /// built lazily by `make_lane` on first use (client threads race to the
+  /// factory, so construction is locked).  Call before the driver runs.
+  void set_lane(ExecMode mode, LaneFactory make_lane);
+
+  /// The shared lane instance, once some Client forced its construction
+  /// (null before — e.g. before the driver ran, or in kAcn mode).  Benches
+  /// read lane-side stats through this after a run.
+  std::shared_ptr<Lane> lane() const;
+
+  ExecMode mode() const noexcept { return mode_; }
+
   /// Partition function for harness::DriverConfig::shard_of (per-group
   /// hotness reporting).
   std::function<std::uint32_t(const store::ObjectKey&)> shard_of() const;
@@ -145,9 +219,15 @@ class ClientFleet {
   const ClientStats& stats() const noexcept { return stats_; }
 
  private:
+  std::shared_ptr<Lane> lane_for(harness::Cluster& cluster);
+
   ShardMap map_;
   ShardRouter router_;
   ClientStats stats_;
+  ExecMode mode_ = ExecMode::kAcn;
+  LaneFactory make_lane_;
+  mutable std::mutex lane_mutex_;
+  std::shared_ptr<Lane> lane_;
 };
 
 }  // namespace acn::shard

@@ -181,6 +181,74 @@ TEST(SchedHotKeys, ClassSnapshotRefinementToleratesStaleData) {
   EXPECT_FALSE(scheduler.is_hot(kHot));
 }
 
+/// Blame `key` exactly `n` times through the public interface (heat() is
+/// the n == 3 special case that reaches the default hot_score).
+void blame_n(TxScheduler& scheduler, std::size_t session, const ObjectKey& key,
+             int n) {
+  auto& gate = scheduler.session(session);
+  gate.admit({});
+  for (int i = 0; i < n; ++i) gate.on_full_abort(TxOutcome::kValidation, {key});
+  gate.finish(TxOutcome::kValidation);
+}
+
+TEST(SchedHotKeys, HotKeysListsExactlyTheHotTrackedKeys) {
+  TxScheduler scheduler(base_config(SchedulerPolicy::kQueue), 1);
+  EXPECT_TRUE(scheduler.hot_keys().empty());
+
+  // Score exactly at hot_score (3 blames x 1.0 vs the default 3.0) IS hot
+  // — the threshold is inclusive; one blame short of it is not.
+  blame_n(scheduler, 0, kHot, 3);
+  blame_n(scheduler, 0, kCold, 2);
+  EXPECT_EQ(scheduler.hot_keys(), std::vector<ObjectKey>{kHot});
+
+  // A second hot key joins; the listing is sorted ascending.
+  blame_n(scheduler, 0, kHot2, 3);
+  EXPECT_EQ(scheduler.hot_keys(), (std::vector<ObjectKey>{kHot, kHot2}));
+}
+
+TEST(SchedHotKeys, HotKeysTracksDecayAcrossTheThresholdBoundary) {
+  TxScheduler scheduler(base_config(SchedulerPolicy::kQueue), 1);
+
+  // 4.0 decays to 2.0: below the 3.0 threshold after one tick.
+  blame_n(scheduler, 0, kHot, 4);
+  // 6.0 decays to exactly 3.0: still hot after one tick (inclusive bound).
+  blame_n(scheduler, 0, kHot2, 6);
+  EXPECT_EQ(scheduler.hot_keys(), (std::vector<ObjectKey>{kHot, kHot2}));
+
+  scheduler.tick();
+  EXPECT_EQ(scheduler.hot_keys(), std::vector<ObjectKey>{kHot2});
+
+  // The cooled key is still tracked (2.0 >= the 0.25 eviction floor), so
+  // fresh blame stacks on the decayed score: 2.0 + 1.0 = 3.0 -> hot again.
+  blame_n(scheduler, 0, kHot, 1);
+  EXPECT_EQ(scheduler.hot_keys(), (std::vector<ObjectKey>{kHot, kHot2}));
+}
+
+TEST(SchedHotKeys, HotKeysListsOnlyTrackedKeysOfHotClasses) {
+  auto config = base_config(SchedulerPolicy::kQueue);
+  config.class_hot_level = 48;
+  TxScheduler scheduler(config, 1);
+
+  // kHot is tracked (blamed once, far below hot_score); kCold's class was
+  // never blamed at all.
+  blame_n(scheduler, 0, kHot, 1);
+  EXPECT_TRUE(scheduler.hot_keys().empty());
+
+  // The snapshot marks both classes hot: is_hot answers true for any key
+  // of either class, but hot_keys lists only keys the scheduler *tracks* —
+  // the documented contract (untracked keys of a hot class are invisible).
+  scheduler.note_class_levels({kHot.cls, kCold.cls}, {50, 50});
+  EXPECT_TRUE(scheduler.is_hot(kHot));
+  EXPECT_TRUE(scheduler.is_hot(kCold));
+  EXPECT_EQ(scheduler.hot_keys(), std::vector<ObjectKey>{kHot});
+
+  // Stale snapshot (more classes than levels): the common prefix governs,
+  // so class 1 stays hot and the listing is unchanged.
+  scheduler.note_class_levels({kHot.cls, kCold.cls}, {50});
+  EXPECT_EQ(scheduler.hot_keys(), std::vector<ObjectKey>{kHot});
+  EXPECT_FALSE(scheduler.is_hot(kCold));
+}
+
 TEST(SchedQueue, WidthOneSerializesHotWriters) {
   auto config = base_config(SchedulerPolicy::kQueue);
   config.queue_width = 1;
