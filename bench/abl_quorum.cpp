@@ -4,6 +4,12 @@
 // Agrawal-El Abbadi tree quorum construction; the two differ in read-quorum
 // size and load placement.  Runs the Bank workload under QR-ACN with both
 // policies and several read biases, printing throughput and wire traffic.
+//
+// Supports --transport=tcp: each replica becomes a cluster_main process and
+// the same variants run over real sockets.  The wire columns come from the
+// transport counters (exact socket bytes on TCP, approx_size() estimates on
+// sim), so the table is comparable across modes; the sim-only message count
+// is appended only when available.
 #include "bench/figure_common.hpp"
 #include "src/workloads/bank.hpp"
 
@@ -25,26 +31,34 @@ int main(int argc, char** argv) {
       {"read-one/write-all", harness::QuorumPolicy::kRowa, 0.5},
   };
 
-  std::printf("\n=== Ablation: quorum policy (Bank, QR-ACN) ===\n");
-  std::printf("%-26s %12s %14s %14s\n", "policy", "mean tx/s", "messages",
-              "msgs/commit");
+  const bool tcp =
+      args.cluster.transport_mode == harness::TransportMode::kTcp;
+  std::printf("\n=== Ablation: quorum policy (Bank, QR-ACN, %s) ===\n",
+              tcp ? "tcp" : "sim");
+  std::printf("%-26s %12s %12s %14s %10s\n", "policy", "mean tx/s", "wire KB",
+              "bytes/commit", tcp ? "reconnects" : "messages");
   for (const auto& variant : variants) {
     auto cluster_config = args.cluster;
     cluster_config.quorum_policy = variant.policy;
     cluster_config.root_read_bias = variant.root_read_bias;
     harness::Cluster cluster(cluster_config);
     workloads::Bank bank;
-    bank.seed(cluster.servers());
+    harness::seed_workload(cluster, bank);
     try {
       const auto result =
           harness::run(cluster, bank, harness::Protocol::kAcn, args.driver);
-      const auto messages = cluster.network().stats().messages();
-      std::printf("%-26s %12.1f %14llu %14.1f\n", variant.name,
+      const auto& wire = cluster.transport().counters();
+      const std::uint64_t bytes =
+          wire.bytes_sent.load() + wire.bytes_recv.load();
+      const std::uint64_t tail = tcp ? wire.reconnects.load()
+                                     : cluster.network().stats().messages();
+      std::printf("%-26s %12.1f %12.1f %14.1f %10llu\n", variant.name,
                   result.mean_throughput(1),
-                  static_cast<unsigned long long>(messages),
-                  static_cast<double>(messages) /
+                  static_cast<double>(bytes) / 1024.0,
+                  static_cast<double>(bytes) /
                       static_cast<double>(std::max<std::uint64_t>(
-                          result.stats.commits, 1)));
+                          result.stats.commits, 1)),
+                  static_cast<unsigned long long>(tail));
     } catch (const std::exception& e) {
       std::fprintf(stderr, "%s failed: %s\n", variant.name, e.what());
       return 1;

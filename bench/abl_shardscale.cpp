@@ -51,6 +51,16 @@
 //      commit, and zero orphaned prepares (no open lease, no protected
 //      key) after the run.
 //
+// With --transport=tcp every cluster in phases 1-5 is a spawned
+// multi-process fleet on localhost sockets — except the phase 2/5 reference
+// clusters, which stay on the in-process simulation so the state-equality
+// gates literally check "the socket fleet ends state-equal to the sim run
+// of the same op list".  The 0.8x-linear throughput gates apply to sim only
+// (they calibrate against the sleep-injected LAN model; on real sockets the
+// curve measures host core count), but every correctness gate — fast-path
+// purity, state equality, conservation, in-doubt resolution, zero orphaned
+// prepares — is enforced identically in both modes.
+//
 // Flags beyond the shared set (see figure_common.hpp), consumed through
 // BenchOptions::parse's `extra` hook: --shards=N is the largest group
 // count on the curve (default 8); --group-servers=N replicas per group
@@ -73,6 +83,7 @@
 #include "src/shard/coordinator.hpp"
 #include "src/shard/router.hpp"
 #include "src/shard/shard_map.hpp"
+#include "src/transport/wire.hpp"
 #include "src/workloads/tpcc.hpp"
 
 namespace {
@@ -131,25 +142,52 @@ std::size_t transfer(CrossShardCoordinator& coordinator, const ObjectKey& src,
   }
 }
 
+// Fleet-wide gauges summed over probe_replica: a direct Server read in sim
+// mode, one kProbe control round-trip per replica on TCP.
 std::size_t cluster_protected(harness::Cluster& cluster) {
   std::size_t count = 0;
-  for (dtm::Server* server : cluster.servers())
-    count += server->store().protected_count();
+  for (std::size_t i = 0; i < cluster.size(); ++i)
+    count += static_cast<std::size_t>(cluster.probe_replica(i).protected_keys);
   return count;
 }
 
 std::size_t cluster_open_leases(harness::Cluster& cluster) {
   std::size_t count = 0;
-  for (dtm::Server* server : cluster.servers())
-    count += server->open_lease_count();
+  for (std::size_t i = 0; i < cluster.size(); ++i)
+    count += static_cast<std::size_t>(cluster.probe_replica(i).open_leases);
   return count;
 }
 
 std::uint64_t cluster_wrong_group(harness::Cluster& cluster) {
   std::uint64_t count = 0;
-  for (dtm::Server* server : cluster.servers())
-    count += server->stats().wrong_group.load();
+  for (std::size_t i = 0; i < cluster.size(); ++i)
+    count += cluster.probe_replica(i).wrong_group;
   return count;
+}
+
+std::size_t cluster_indoubt(harness::Cluster& cluster) {
+  std::size_t count = 0;
+  for (std::size_t i = 0; i < cluster.size(); ++i)
+    count += static_cast<std::size_t>(cluster.probe_replica(i).indoubt);
+  return count;
+}
+
+/// Invariant check that works against a remote fleet: mirror its committed
+/// state locally and hand the workload in-process replicas as usual.
+void check_workload_invariants(harness::Cluster& cluster,
+                               const workloads::Workload& workload) {
+  if (cluster.remote()) {
+    const harness::StateMirror m = cluster.mirror();
+    workload.check_invariants(m.servers);
+  } else {
+    workload.check_invariants(cluster.servers());
+  }
+}
+
+/// Latest committed value of `key` read from `mirror` (see latest_value).
+store::Field mirrored_balance(const harness::StateMirror& mirror,
+                              const ObjectKey& key) {
+  return workloads::latest_value(mirror.servers, key).value.fields[0];
 }
 
 struct ScaleOptions {
@@ -185,6 +223,7 @@ ScalePoint run_scale_point(const bench::BenchOptions& args,
   for (const auto& pool : pools)
     for (const ObjectKey& key : pool)
       shard::seed_sharded(cluster, map, key, Record{kInitialBalance});
+  cluster.flush_seeds();
 
   const std::size_t n_clients = scale.clients_per_shard * shards;
   std::vector<std::unique_ptr<CrossShardCoordinator>> coordinators;
@@ -340,7 +379,7 @@ ScalePoint run_tpcc_scale_point(const bench::BenchOptions& args,
         "pinned TPC-C leaked off the fast path (cross=" +
         std::to_string(stats.cross_shard.load()) + " escalations=" +
         std::to_string(stats.escalations.load()) + ")");
-  tpcc.check_invariants(cluster.servers());
+  check_workload_invariants(cluster, tpcc);
   return point;
 }
 
@@ -378,6 +417,11 @@ int main(int argc, char** argv) {
   // too-small latency would measure thread scheduling instead of sharding.
   if (!latency_given) args.cluster.base_latency = std::chrono::microseconds{60};
   args.cluster.stub.max_quorum_retries = 16;  // phase 3 crashes leaves
+  // The linearity gates calibrate against the simulated LAN; over real
+  // sockets the curve reflects host core count, so TCP runs print it
+  // without gating (every correctness gate still applies).
+  const bool tcp =
+      args.cluster.transport_mode == harness::TransportMode::kTcp;
 
   std::printf("\n=== Shard scale-out: %zu replicas/group, %zu clients/shard, "
               "%zu tx/client ===\n",
@@ -411,10 +455,15 @@ int main(int argc, char** argv) {
       linear_frac = frac;  // the last (largest) point decides the gate
     }
     if (linear_frac < 0.8) {
-      std::fprintf(stderr,
-                   "FAIL: %zu-shard throughput is %.2fx linear (< 0.80x)\n",
-                   scale.max_shards, linear_frac);
-      ok = false;
+      if (tcp) {
+        std::printf("note: %.2fx linear on tcp (gate is sim-only)\n",
+                    linear_frac);
+      } else {
+        std::fprintf(stderr,
+                     "FAIL: %zu-shard throughput is %.2fx linear (< 0.80x)\n",
+                     scale.max_shards, linear_frac);
+        ok = false;
+      }
     }
 
     // ---- Phase 2: mixed workload vs unsharded reference ------------------
@@ -436,6 +485,10 @@ int main(int argc, char** argv) {
 
     harness::ClusterConfig reference_config = sharded_config;
     reference_config.n_groups = 1;
+    // The reference is always the in-process simulation: on --transport=tcp
+    // this gate becomes "the socket fleet ends state-equal to the sim run
+    // of the same op list".
+    reference_config.transport_mode = harness::TransportMode::kSim;
     harness::Cluster reference(reference_config);
     const ShardMap one(shard::ShardMapConfig{.n_shards = 1});
     ShardRouter reference_router(one);
@@ -449,6 +502,8 @@ int main(int argc, char** argv) {
       shard::seed_sharded(sharded, map, key, Record{kInitialBalance});
       shard::seed_sharded(reference, one, key, Record{kInitialBalance});
     }
+    sharded.flush_seeds();
+    reference.flush_seeds();
 
     // The op list is fixed up front so both clusters execute the exact same
     // transfers; cross-shard ops draw src and dst from different groups.
@@ -505,13 +560,15 @@ int main(int argc, char** argv) {
         transfer(coordinator, op.src, op.dst, op.amount);
     }
 
+    // One committed-state pass per cluster (a store dump per replica on
+    // TCP), then per-key max-version reads against the local copies.
+    const harness::StateMirror sharded_state = sharded.mirror();
+    const harness::StateMirror reference_state = reference.mirror();
     std::size_t mismatched = 0;
     store::Field sharded_total = 0;
     for (const ObjectKey& key : keys) {
-      const store::Field got =
-          shard::latest_sharded(sharded, map, key).value.fields[0];
-      const store::Field want =
-          shard::latest_sharded(reference, one, key).value.fields[0];
+      const store::Field got = mirrored_balance(sharded_state, key);
+      const store::Field want = mirrored_balance(reference_state, key);
       sharded_total += got;
       if (got != want) {
         ++mismatched;
@@ -553,6 +610,7 @@ int main(int argc, char** argv) {
     harness::Cluster chaotic(chaos_config);
     for (const ObjectKey& key : keys)
       shard::seed_sharded(chaotic, map, key, Record{kInitialBalance});
+    chaotic.flush_seeds();
 
     // Three coordinators prepare across two groups each, then "crash":
     // their ShardTx handles are parked and never run phase 2.
@@ -561,11 +619,11 @@ int main(int argc, char** argv) {
     for (std::size_t c = 0; c < 3; ++c) {
       doomed.push_back(std::make_unique<CrossShardCoordinator>(
           chaotic, router, static_cast<int>(100 + c)));
-      // Index 11 as the "outgoing" and 10 as the "incoming" orphan key of
-      // each pool: the three orphans hold disjoint key sets (and the live
-      // traffic below stays in indices 0..7).
-      const ObjectKey src = pools[c % mixed_shards][11];
-      const ObjectKey dst = pools[(c + 1) % mixed_shards][10];
+      // Orphan c holds slot 8+c of two adjacent pools: the per-c slot makes
+      // the three orphans' key sets disjoint even when the groups wrap
+      // (mixed_shards == 2), and the live traffic below stays in slots 0..7.
+      const ObjectKey src = pools[c % mixed_shards][8 + c];
+      const ObjectKey dst = pools[(c + 1) % mixed_shards][8 + c];
       ShardTx tx = doomed.back()->begin(write_footprint({src, dst}));
       tx.write(src, Record{0});
       tx.write(dst, Record{0});
@@ -598,10 +656,8 @@ int main(int argc, char** argv) {
     // presumed aborted by expiry alone: they must park in-doubt with their
     // protections held until cooperative termination decides them.
     std::this_thread::sleep_for(std::chrono::milliseconds{150});
-    for (dtm::Server* server : chaotic.servers()) server->expire_stale_leases();
-    std::size_t parked_indoubt = 0;
-    for (dtm::Server* server : chaotic.servers())
-      parked_indoubt += server->indoubt_count();
+    chaotic.expire_all_leases();
+    const std::size_t parked_indoubt = cluster_indoubt(chaotic);
     if (parked_indoubt == 0) {
       std::fprintf(stderr, "FAIL: no orphaned prepare parked in-doubt\n");
       ok = false;
@@ -669,11 +725,16 @@ int main(int argc, char** argv) {
       tpcc_linear_frac = frac;
     }
     if (tpcc_linear_frac < 0.8) {
-      std::fprintf(stderr,
-                   "FAIL: %zu-shard TPC-C throughput is %.2fx linear "
-                   "(< 0.80x)\n",
-                   scale.max_shards, tpcc_linear_frac);
-      ok = false;
+      if (tcp) {
+        std::printf("note: %.2fx linear on tcp (gate is sim-only)\n",
+                    tpcc_linear_frac);
+      } else {
+        std::fprintf(stderr,
+                     "FAIL: %zu-shard TPC-C throughput is %.2fx linear "
+                     "(< 0.80x)\n",
+                     scale.max_shards, tpcc_linear_frac);
+        ok = false;
+      }
     }
 
     // ---- Phase 5: TPC-C remote mix vs unsharded reference ----------------
@@ -698,6 +759,8 @@ int main(int argc, char** argv) {
 
     harness::ClusterConfig tpcc_reference_config = tpcc_sharded_config;
     tpcc_reference_config.n_groups = 1;
+    // In-process simulation always (see phase 2's reference).
+    tpcc_reference_config.transport_mode = harness::TransportMode::kSim;
     harness::Cluster tpcc_reference(tpcc_reference_config);
     tpcc.seed(tpcc_reference.servers());
 
@@ -753,10 +816,11 @@ int main(int argc, char** argv) {
     tpcc.seed_objects([&](const ObjectKey& key, const Record&) {
       tpcc_keys.push_back(key);
     });
+    const harness::StateMirror tpcc_state = tpcc_sharded.mirror();
     std::size_t tpcc_mismatched = 0;
     for (const ObjectKey& key : tpcc_keys) {
       const Record got =
-          workloads::latest_value(tpcc_sharded.servers(), key).value;
+          workloads::latest_value(tpcc_state.servers, key).value;
       const Record want =
           workloads::latest_value(tpcc_reference.servers(), key).value;
       if (got != want) {
@@ -792,7 +856,7 @@ int main(int argc, char** argv) {
                    tpcc_leases, tpcc_protected);
       ok = false;
     }
-    tpcc.check_invariants(tpcc_sharded.servers());
+    check_workload_invariants(tpcc_sharded, tpcc);
     tpcc.check_invariants(tpcc_reference.servers());
   } catch (const std::exception& e) {
     std::fprintf(stderr, "abl_shardscale failed: %s\n", e.what());

@@ -30,6 +30,13 @@
 //   --prefetch           also speculate on the next Block (implies the above)
 // Contention-aware scheduler (src/sched):
 //   --sched=POLICY       none | queue | admit | both (default none)
+// Transport (src/transport; benches that support it say so):
+//   --transport=MODE     sim | tcp (default sim).  tcp spawns each replica
+//                        as a cluster_main process on localhost sockets and
+//                        drives it through transport::TcpTransport; per-
+//                        process logs land under --tcp-log-dir
+//   --tcp-log-dir DIR    replica stderr logs + topology file (default
+//                        cluster-logs)
 // Execution mode (src/queue — the deterministic epoch lane):
 //   --exec=MODE          acn | queue | hybrid (default acn).  queue sends
 //                        every predictable transaction through the epoch
@@ -145,6 +152,15 @@ inline BenchOptions BenchOptions::parse(
       continue;
     if (path_flag("--data-dir", args.cluster.durability.data_dir)) {
       args.data_dir_overridden = true;
+      continue;
+    }
+    if (path_flag("--tcp-log-dir", args.cluster.tcp.log_dir)) continue;
+    if (arg == "--transport=sim") {
+      args.cluster.transport_mode = harness::TransportMode::kSim;
+      continue;
+    }
+    if (arg == "--transport=tcp") {
+      args.cluster.transport_mode = harness::TransportMode::kTcp;
       continue;
     }
     if (arg == "--durability=wal") {

@@ -207,7 +207,7 @@ void ChaosController::run() {
 }
 
 void ChaosController::fire(const FaultEvent& event) {
-  auto& network = cluster_.network();
+  auto& network = cluster_.transport();
   switch (event.kind) {
     case FaultEvent::Kind::kCrash:
     case FaultEvent::Kind::kCrashLoseDisk:
@@ -310,7 +310,7 @@ void ChaosController::fire(const FaultEvent& event) {
 void ChaosController::heal_all() {
   if (healed_) return;
   healed_ = true;
-  auto& network = cluster_.network();
+  auto& network = cluster_.transport();
   if (network.partitioned()) {
     network.clear_partition();
     if (obs_ != nullptr) obs_->chaos_heals.add();
@@ -324,7 +324,7 @@ void ChaosController::heal_all() {
     latency_saved_ = false;
   }
   for (const net::NodeId id : client_down_) {
-    cluster_.network().set_node_down(id, false);
+    cluster_.transport().set_node_down(id, false);
     if (verbose_) std::printf("[chaos] final client-up node %d\n", id);
   }
   client_down_.clear();
@@ -343,8 +343,7 @@ void ChaosController::heal_all() {
   // cooperative termination over the (now fully connected) cluster.  With
   // every node back up the coordinator decision record is reachable, so
   // the report's `unresolved` should be zero here.
-  for (std::size_t i = 0; i < cluster_.size(); ++i)
-    cluster_.server(i).expire_stale_leases();
+  cluster_.expire_all_leases();
   const harness::IndoubtReport report = harness::resolve_indoubt(cluster_);
   indoubt_report_.queries += report.queries;
   indoubt_report_.resolved_commit += report.resolved_commit;

@@ -26,10 +26,22 @@ void merge_contention(std::vector<std::uint64_t>& into,
 
 }  // namespace
 
+QuorumStub::QuorumStub(DtmTransport& transport,
+                       const quorum::QuorumSystem& quorums,
+                       net::NodeId client_node, std::uint64_t seed,
+                       StubConfig config)
+    : transport_(&transport),
+      quorums_(quorums),
+      client_node_(client_node),
+      rng_(seed),
+      config_(config) {}
+
 QuorumStub::QuorumStub(DtmNetwork& network, const quorum::QuorumSystem& quorums,
                        net::NodeId client_node, std::uint64_t seed,
                        StubConfig config)
-    : network_(network),
+    : owned_transport_(
+          std::make_shared<net::SimTransport<Request, Response>>(network)),
+      transport_(owned_transport_.get()),
       quorums_(quorums),
       client_node_(client_node),
       rng_(seed),
@@ -75,8 +87,7 @@ std::vector<net::CallResult<Response>> QuorumStub::exchange(
     const std::vector<net::NodeId>& quorum, const Request& request) {
   if (config_.verify_codec && !(roundtrip(request) == request))
     throw std::logic_error("codec round-trip mismatch on request");
-  auto results = network_.multicall(client_node_, quorum,
-                                    [&](net::NodeId) { return request; });
+  auto results = transport_->multicall(client_node_, quorum, request);
   if (config_.verify_codec) {
     for (const auto& result : results) {
       if (!result.ok()) continue;

@@ -29,6 +29,7 @@
 #include <chrono>
 #include <cstdint>
 #include <functional>
+#include <memory>
 #include <optional>
 
 #include "src/common/retry_policy.hpp"
@@ -36,12 +37,16 @@
 #include "src/dtm/abort.hpp"
 #include "src/dtm/messages.hpp"
 #include "src/net/network.hpp"
+#include "src/net/transport.hpp"
 #include "src/obs/obs.hpp"
 #include "src/quorum/quorum_system.hpp"
 
 namespace acn::dtm {
 
 using DtmNetwork = net::Network<Request, Response>;
+/// The request/reply surface the stub (and everything above it) runs on —
+/// SimTransport over a DtmNetwork, or transport::TcpTransport over sockets.
+using DtmTransport = net::Transport<Request, Response>;
 
 struct StubConfig {
   /// Transient-busy retry shape: `retry.max_retries` busy rounds before
@@ -107,6 +112,14 @@ struct PrepareExtras {
 
 class QuorumStub {
  public:
+  /// The transport-generic constructor: `transport` must outlive the stub.
+  QuorumStub(DtmTransport& transport, const quorum::QuorumSystem& quorums,
+             net::NodeId client_node, std::uint64_t seed,
+             StubConfig config = {});
+
+  /// Legacy convenience: wraps `network` in an owned SimTransport.  Keeps
+  /// every existing test and bench that builds a stub straight over a
+  /// simulated network working unchanged.
   QuorumStub(DtmNetwork& network, const quorum::QuorumSystem& quorums,
              net::NodeId client_node, std::uint64_t seed,
              StubConfig config = {});
@@ -190,7 +203,10 @@ class QuorumStub {
   void send_abort(TxId tx, const std::vector<net::NodeId>& quorum,
                   const std::vector<ObjectKey>& keys);
 
-  DtmNetwork& network_;
+  /// Set by the legacy DtmNetwork constructor only; shared so stub copies
+  /// and moves keep the adapter (and transport_'s target) alive.
+  std::shared_ptr<DtmTransport> owned_transport_;
+  DtmTransport* transport_;
   const quorum::QuorumSystem& quorums_;
   net::NodeId client_node_;
   Rng rng_;

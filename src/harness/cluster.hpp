@@ -14,16 +14,25 @@
 
 #pragma once
 
+#include <chrono>
 #include <memory>
+#include <unordered_map>
 #include <vector>
 
 #include "src/dtm/quorum_stub.hpp"
 #include "src/dtm/server.hpp"
+#include "src/net/transport.hpp"
 #include "src/quorum/level_quorum.hpp"
 #include "src/quorum/offset_quorum.hpp"
 #include "src/quorum/rowa_quorum.hpp"
 #include "src/quorum/tree_quorum.hpp"
 #include "src/wal/persistence.hpp"
+
+namespace acn::transport {
+class TcpTransport;
+class ProcessFleet;
+struct ReplicaProbe;
+}  // namespace acn::transport
 
 namespace acn::harness {
 
@@ -47,6 +56,33 @@ enum class QuorumPolicy {
   kTree,           // Agrawal-El Abbadi recursive tree quorums (default)
   kLevelMajority,  // the paper's level-majority description
   kRowa,           // read-one / write-all (comparison extreme)
+};
+
+/// How the cluster's replicas are reached.
+enum class TransportMode {
+  /// In-process replicas behind the deterministic simulated network
+  /// (default — tests and fault matrices stay reproducible).
+  kSim,
+  /// Each replica is a separate cluster_main OS process on real sockets;
+  /// the harness talks to the fleet through transport::TcpTransport.
+  kTcp,
+};
+
+/// Multi-process deployment knobs (TransportMode::kTcp only).
+struct TcpClusterConfig {
+  /// cluster_main binary; empty = $ACN_CLUSTER_MAIN or the build-tree
+  /// location next to the running executable.
+  std::string binary;
+  std::string host = "127.0.0.1";
+  /// Per-call response deadline (maps to kDropped, which QuorumStub's
+  /// retry ladder already handles).
+  std::chrono::milliseconds call_timeout{250};
+  /// Worker threads per replica process.
+  std::size_t server_workers = 2;
+  /// Per-process stderr logs and the generated topology file land here.
+  std::string log_dir = "cluster-logs";
+  /// How long a spawned replica may take to report ACN_READY.
+  std::chrono::milliseconds ready_timeout{10000};
 };
 
 struct ClusterConfig {
@@ -78,6 +114,10 @@ struct ClusterConfig {
   bool async_servers = false;
   DurabilityConfig durability;
   dtm::StubConfig stub;
+  /// Simulated in-process replicas (default) or a spawned multi-process
+  /// fleet over real TCP.
+  TransportMode transport_mode = TransportMode::kSim;
+  TcpClusterConfig tcp;
 };
 
 /// Which peers a rejoining node syncs from before serving again.
@@ -86,12 +126,29 @@ enum class CatchUpScope {
   kAllReplicas,  // every live peer — exhaustive (verification / tests)
 };
 
+/// A local, read-only reconstruction of a remote cluster's committed state:
+/// one in-process dtm::Server per replica, populated from control-plane
+/// dumps.  Lets workload invariant checks (which read dtm::Server*) run
+/// unchanged against a multi-process fleet.
+struct StateMirror {
+  std::vector<std::unique_ptr<dtm::Server>> owned;
+  std::vector<dtm::Server*> servers;
+};
+
 class Cluster {
  public:
   explicit Cluster(ClusterConfig config = {});
+  ~Cluster();
 
-  std::size_t size() const noexcept { return servers_.size(); }
-  dtm::Server& server(std::size_t i) { return *servers_[i]; }
+  /// Total replica count across all groups (n_servers * n_groups) in both
+  /// transport modes.  Client node ids start at size().
+  std::size_t size() const noexcept { return total_nodes_; }
+  /// True when the replicas are remote cluster_main processes — server(i)
+  /// and servers() are then unavailable (use store_snapshot() / mirror()).
+  bool remote() const noexcept {
+    return config_.transport_mode == TransportMode::kTcp;
+  }
+  dtm::Server& server(std::size_t i);
   std::vector<dtm::Server*> servers();
 
   /// Quorum groups in this cluster (1 = unsharded).
@@ -107,7 +164,15 @@ class Cluster {
   /// scoped to the slice of the keyspace that group owns).
   std::vector<dtm::Server*> group_servers(std::size_t g);
 
-  dtm::DtmNetwork& network() noexcept { return network_; }
+  /// The simulated network (sim mode only — throws std::logic_error on a
+  /// TCP cluster; route faults through transport() instead).
+  dtm::DtmNetwork& network();
+  /// The request/reply + fault surface, valid in both modes.  Sim mode
+  /// returns a SimTransport over network(); TCP mode the fleet's
+  /// TcpTransport.
+  dtm::DtmTransport& transport() noexcept { return *transport_; }
+  /// The TCP transport's control plane, or nullptr in sim mode.
+  transport::TcpTransport* tcp_transport() noexcept { return tcp_; }
   const quorum::QuorumSystem& quorums() const noexcept { return *quorums_[0]; }
   /// Group `g`'s quorum system; every id it returns is a global node id
   /// inside that group's slice.
@@ -126,6 +191,41 @@ class Cluster {
   /// one stub per participant group).
   dtm::QuorumStub make_group_stub(std::size_t group, int client_ordinal,
                                   std::uint64_t seed = 0);
+
+  /// Seed `key` = `value` (version 1) on every replica, or only on group
+  /// `group`'s replicas when given.  Sim mode installs immediately; TCP
+  /// mode buffers and ships per-node batches on flush_seeds() — call it
+  /// once after the seeding loop (stub traffic before the flush would read
+  /// unseeded state).
+  void seed_object(const store::ObjectKey& key, const store::Record& value);
+  void seed_object(const store::ObjectKey& key, const store::Record& value,
+                   std::size_t group);
+  void flush_seeds();
+
+  /// Replica `i`'s committed objects: direct store snapshot in sim mode, a
+  /// control-plane dump in TCP mode.  Throws transport::TransportError when
+  /// a remote replica is unreachable.
+  std::vector<std::pair<store::ObjectKey, store::VersionedRecord>>
+  store_snapshot(std::size_t i);
+
+  /// Reconstruct every replica's committed state locally (see StateMirror).
+  /// Sim mode works too (it just snapshots in-process stores) so callers
+  /// can stay mode-agnostic.
+  StateMirror mirror();
+
+  /// Force overdue prepare leases into the parked state on every replica
+  /// (both modes); returns the number of leases expired.
+  std::size_t expire_all_leases();
+
+  /// Replica `i`'s parked in-doubt transactions (both modes).
+  std::vector<dtm::InDoubtTx> indoubt_transactions(std::size_t i);
+
+  /// Replica `i`'s cheap gauges — open leases, protected keys, wrong-group
+  /// refusals, parked in-doubt count, open prepares — read off the Server
+  /// in sim mode, via a kProbe control round-trip in TCP mode.  An
+  /// unreachable remote replica reports all-zero (callers summing across
+  /// the fleet tolerate a crashed node).
+  transport::ReplicaProbe probe_replica(std::size_t i);
 
   /// Roll every server's contention window (harness interval boundary).
   void roll_contention_windows();
@@ -180,12 +280,32 @@ class Cluster {
 
   const ClusterConfig& config() const noexcept { return config_; }
 
+  /// TCP mode: ask every replica process to exit via the control plane and
+  /// reap them; returns true when all exited voluntarily with status 0.
+  /// No-op (true) in sim mode.  The destructor calls it, then SIGKILLs
+  /// stragglers.
+  bool shutdown_fleet();
+
  private:
+  void spawn_fleet();
+  transport::TcpTransport& tcp();
+  std::vector<net::NodeId> catchup_sources(net::NodeId id, CatchUpScope scope);
+  std::size_t restart_remote_node(net::NodeId id, CatchUpScope scope);
+
   ClusterConfig config_;
+  std::size_t total_nodes_ = 0;
   // Declared before servers_ so each sink outlives the server pointing at it.
   std::vector<std::unique_ptr<wal::ReplicaPersistence>> persistence_;
   std::vector<std::unique_ptr<dtm::Server>> servers_;
   dtm::DtmNetwork network_;
+  /// The mode-selected transport every stub and fault plan routes through.
+  std::unique_ptr<dtm::DtmTransport> transport_;
+  transport::TcpTransport* tcp_ = nullptr;  // transport_'s TCP face, if any
+  std::unique_ptr<transport::ProcessFleet> fleet_;
+  /// TCP mode: seeds buffered per node until flush_seeds().
+  std::unordered_map<std::size_t,
+                     std::vector<std::pair<store::ObjectKey, store::Record>>>
+      pending_seeds_;
   /// One quorum system per group, indexed by group id.
   std::vector<std::unique_ptr<quorum::QuorumSystem>> quorums_;
   /// Varies the read quorum successive restart_node() calls sync from, so

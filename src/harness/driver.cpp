@@ -48,6 +48,15 @@ RunResult run(Cluster& cluster, const workloads::Workload& workload,
 
   obs::Observability* const obs = config.obs;
   obs::Snapshot metrics_before;
+  // Wire-level baseline: the transport accumulates its own atomic counters
+  // (sim approximations or real TCP socket bytes); the run's delta is
+  // folded into the obs registry at the end so both transports emit the
+  // same transport.* metrics.
+  const net::TransportCounters& wire = cluster.transport().counters();
+  const std::uint64_t wire_sent0 = wire.bytes_sent.load();
+  const std::uint64_t wire_recv0 = wire.bytes_recv.load();
+  const std::uint64_t wire_reconnects0 = wire.reconnects.load();
+  const std::uint64_t wire_corrupt0 = wire.frames_corrupt.load();
   if (obs) {
     metrics_before = obs->metrics.snapshot();
     cluster.set_obs(obs);
@@ -227,10 +236,34 @@ RunResult run(Cluster& cluster, const workloads::Workload& workload,
   result.latency_p99_ns = latency.percentile(0.99);
   if (scheduler && config.shard_of)
     result.hot_keys_by_group = std::move(hot_keys_by_group);
-  if (obs) result.metrics = obs->metrics.snapshot().since(metrics_before);
+  if (obs) {
+    obs->transport_bytes_sent.add(wire.bytes_sent.load() - wire_sent0);
+    obs->transport_bytes_recv.add(wire.bytes_recv.load() - wire_recv0);
+    obs->transport_reconnects.add(wire.reconnects.load() - wire_reconnects0);
+    obs->transport_frames_corrupt.add(wire.frames_corrupt.load() -
+                                      wire_corrupt0);
+    result.metrics = obs->metrics.snapshot().since(metrics_before);
+  }
 
-  if (config.check_invariants) workload.check_invariants(cluster.servers());
+  if (config.check_invariants) {
+    if (cluster.remote()) {
+      // Remote replicas: reconstruct their committed state locally from
+      // control-plane dumps so the workload's checks run unchanged.
+      const StateMirror m = cluster.mirror();
+      workload.check_invariants(m.servers);
+    } else {
+      workload.check_invariants(cluster.servers());
+    }
+  }
   return result;
+}
+
+void seed_workload(Cluster& cluster, workloads::Workload& workload) {
+  workload.seed_objects(
+      [&](const store::ObjectKey& key, const store::Record& value) {
+        cluster.seed_object(key, value);
+      });
+  cluster.flush_seeds();
 }
 
 std::vector<RunResult> run_all_protocols(
@@ -242,7 +275,7 @@ std::vector<RunResult> run_all_protocols(
        {Protocol::kFlat, Protocol::kManualCN, Protocol::kAcn}) {
     Cluster cluster(cluster_config);
     auto workload = make_workload();
-    workload->seed(cluster.servers());
+    seed_workload(cluster, *workload);
     results.push_back(run(cluster, *workload, protocol, config));
   }
   return results;

@@ -125,9 +125,14 @@ struct RunResult {
 };
 
 /// Run `workload` on a fresh view of `cluster` under `protocol`.
-/// The cluster must already be seeded (workload.seed(cluster.servers())).
+/// The cluster must already be seeded (see seed_workload).
 RunResult run(Cluster& cluster, const workloads::Workload& workload,
               Protocol protocol, const DriverConfig& config);
+
+/// Seed every workload object on every replica, in either transport mode
+/// (fully-replicated path; shard::ClientFleet::seed is the owner-scoped
+/// sharded equivalent).
+void seed_workload(Cluster& cluster, workloads::Workload& workload);
 
 /// Convenience: build a cluster per protocol, seed it, run, and return the
 /// three results in order {kFlat, kManualCN, kAcn}.

@@ -36,7 +36,7 @@ struct BoundedCaller {
     request.payload = what;
     for (int attempt = 0;; ++attempt) {
       ++queries;
-      const auto result = cluster.network().call(from, to, request);
+      const auto result = cluster.transport().call(from, to, request);
       if (result.ok()) {
         const auto* answer =
             std::get_if<DecisionReply>(&result.response.payload);
@@ -63,8 +63,7 @@ struct BoundedCaller {
     Stopwatch watch;
     std::vector<net::NodeId> pending = targets;
     for (int attempt = 0;; ++attempt) {
-      const auto results = cluster.network().multicall(
-          from, pending, [&](net::NodeId) { return request; });
+      const auto results = cluster.transport().multicall(from, pending, request);
       std::vector<net::NodeId> still_pending;
       for (std::size_t i = 0; i < results.size(); ++i)
         if (!results[i].ok()) still_pending.push_back(pending[i]);
@@ -97,7 +96,7 @@ IndoubtReport resolve_indoubt(Cluster& cluster,
   for (std::size_t i = 0; i < cluster.size(); ++i) {
     const std::uint32_t group =
         cluster.group_of(static_cast<net::NodeId>(i));
-    for (auto& tx : cluster.server(i).indoubt_transactions()) {
+    for (auto& tx : cluster.indoubt_transactions(i)) {
       auto& groups = parked[tx.tx];
       const bool seen = std::any_of(
           groups.begin(), groups.end(),

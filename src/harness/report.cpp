@@ -62,6 +62,14 @@ void print_metrics(const char* label, const obs::Snapshot& snapshot) {
       std::printf(" prepare p50~%.1fus",
                   static_cast<double>(prep->percentile(0.5)) / 1000.0);
   std::printf("\n");
+  if (c("transport.bytes.sent") + c("transport.bytes.recv") > 0)
+    std::printf("%-8s obs: transport{sent=%llu recv=%llu reconnects=%llu "
+                "corrupt=%llu}\n",
+                "",
+                static_cast<unsigned long long>(c("transport.bytes.sent")),
+                static_cast<unsigned long long>(c("transport.bytes.recv")),
+                static_cast<unsigned long long>(c("transport.reconnects")),
+                static_cast<unsigned long long>(c("transport.frames.corrupt")));
   if (c("acn.adaptations") > 0)
     std::printf("%-8s obs: acn{adaptations=%llu recompositions=%llu "
                 "monitor_refreshes=%llu monitor_observes=%llu}\n",

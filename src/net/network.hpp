@@ -27,6 +27,15 @@
 // Handlers execute on the calling thread.  This keeps the simulation
 // deterministic under a fixed seed and free of cross-thread queue latency
 // noise, while preserving real mutual exclusion inside the server objects.
+//
+// Re-entrancy contract: a request handler must NOT issue nested call() /
+// multicall() invocations.  On this simulated network a nested call would
+// "work" (it runs inline on the same thread), but on a real transport the
+// handler executes on the server's event-loop or worker thread, where a
+// nested synchronous RPC deadlocks or reorders arbitrarily.  So that
+// SimTransport and TcpTransport expose identical semantics, the network
+// wraps every registered handler in a thread-local depth guard and throws
+// std::logic_error when call()/multicall() is entered from inside one.
 #pragma once
 
 #include <atomic>
@@ -76,6 +85,31 @@ struct LinkFault {
   Nanos extra_latency{0};
 };
 
+/// Depth of request-handler execution on the current thread, shared by all
+/// Network instances and by transports that invoke local handlers inline
+/// (net::Transport::register_local).  Nonzero means "we are inside a
+/// handler": issuing an RPC from here is the re-entrancy hazard a real
+/// transport cannot honor, so entry points reject it.
+inline thread_local int handler_depth = 0;
+
+/// RAII depth bump wrapped around every handler invocation.
+struct HandlerScope {
+  HandlerScope() noexcept { ++handler_depth; }
+  ~HandlerScope() { --handler_depth; }
+  HandlerScope(const HandlerScope&) = delete;
+  HandlerScope& operator=(const HandlerScope&) = delete;
+};
+
+/// Throws std::logic_error when invoked from inside a request handler.
+inline void require_not_in_handler(const char* op) {
+  if (handler_depth > 0)
+    throw std::logic_error(
+        std::string("net: nested RPC: ") + op +
+        " invoked from inside a request handler.  Handlers must not call "
+        "back into the transport — on a real transport this deadlocks the "
+        "server's event loop (see network.hpp re-entrancy contract).");
+}
+
 template <class Req, class Res>
 class Network {
  public:
@@ -90,7 +124,7 @@ class Network {
   /// concurrent calls.
   void register_node(NodeId id, Handler handler) {
     auto& node = node_slot(id);
-    node.handler = std::move(handler);
+    node.handler = guarded(std::move(handler));
     node.mailbox.reset();
     node.down.store(false);
   }
@@ -100,7 +134,7 @@ class Network {
   /// processing across nodes.
   void register_node_async(NodeId id, Handler handler) {
     auto& node = node_slot(id);
-    node.mailbox = std::make_shared<Mailbox<Req, Res>>(std::move(handler));
+    node.mailbox = std::make_shared<Mailbox<Req, Res>>(guarded(std::move(handler)));
     node.handler = nullptr;
     node.down.store(false);
   }
@@ -187,6 +221,7 @@ class Network {
   /// Synchronous RPC from `from` to `to`.  Sleeps for request + response
   /// latency, then invokes the handler inline.
   CallResult<Res> call(NodeId from, NodeId to, const Req& req) {
+    require_not_in_handler("call");
     CallResult<Res> out;
     const std::size_t req_bytes = req.approx_size();
     if (!deliverable(to)) {
@@ -233,6 +268,7 @@ class Network {
   std::vector<CallResult<Res>> multicall(NodeId from,
                                          const std::vector<NodeId>& targets,
                                          MakeReq&& make_req) {
+    require_not_in_handler("multicall");
     std::vector<CallResult<Res>> out(targets.size());
     std::vector<Nanos> fwd(targets.size(), Nanos{0});
     std::vector<std::future<Res>> pending(targets.size());
@@ -311,6 +347,13 @@ class Network {
       return *this;
     }
   };
+
+  static Handler guarded(Handler handler) {
+    return [h = std::move(handler)](NodeId from, const Req& req) -> Res {
+      HandlerScope scope;
+      return h(from, req);
+    };
+  }
 
   Node& node_slot(NodeId id) {
     if (static_cast<std::size_t>(id) >= nodes_.size())

@@ -69,6 +69,10 @@ Observability::Observability(ObsConfig config)
       indoubt_queries(metrics.counter("indoubt.queries")),
       indoubt_resolved_commit(metrics.counter("indoubt.resolved.commit")),
       indoubt_resolved_abort(metrics.counter("indoubt.resolved.abort")),
+      transport_bytes_sent(metrics.counter("transport.bytes.sent")),
+      transport_bytes_recv(metrics.counter("transport.bytes.recv")),
+      transport_reconnects(metrics.counter("transport.reconnects")),
+      transport_frames_corrupt(metrics.counter("transport.frames.corrupt")),
       wal_append_bytes(metrics.counter("wal.append.bytes")),
       wal_fsync_count(metrics.counter("wal.fsync.count")),
       wal_replay_records(metrics.counter("wal.replay.records")),

@@ -81,6 +81,15 @@ class Observability {
   MetricsRegistry::Counter indoubt_resolved_commit;  // parked tx committed
   MetricsRegistry::Counter indoubt_resolved_abort;   // parked tx aborted
 
+  // -- transport wire level (src/net SimTransport, src/transport TCP) ------
+  /// Emitted identically by both transports: real socket bytes on TCP,
+  /// approx_size() estimates on sim (the driver folds the per-run delta of
+  /// net::TransportCounters in at run end).
+  MetricsRegistry::Counter transport_bytes_sent;
+  MetricsRegistry::Counter transport_bytes_recv;
+  MetricsRegistry::Counter transport_reconnects;
+  MetricsRegistry::Counter transport_frames_corrupt;
+
   // -- durability: WAL, snapshots, log-replay recovery (src/wal, harness) --
   MetricsRegistry::Counter wal_append_bytes;      // framed bytes logged
   MetricsRegistry::Counter wal_fsync_count;       // group-commit flushes synced

@@ -337,6 +337,7 @@ void ClientFleet::seed(harness::Cluster& cluster,
       [&](const store::ObjectKey& key, const store::Record& value) {
         seed_sharded(cluster, map_, key, value);
       });
+  cluster.flush_seeds();
 }
 
 harness::SubmitterFactory ClientFleet::factory() {

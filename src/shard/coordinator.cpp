@@ -34,7 +34,7 @@ CrossShardCoordinator::CrossShardCoordinator(harness::Cluster& cluster,
   client_node_ =
       static_cast<net::NodeId>(cluster.size()) + client_ordinal;
   const std::shared_ptr<DecisionLog> log = decisions_;
-  cluster.network().register_node(
+  cluster.transport().register_local(
       client_node_, [log](net::NodeId, const dtm::Request& request) {
         dtm::Response response;
         if (const auto* query =
@@ -343,12 +343,13 @@ void ShardTx::abort() {
 
 void seed_sharded(harness::Cluster& cluster, const ShardMap& map,
                   const store::ObjectKey& key, const store::Record& value) {
+  // Mode-agnostic: the cluster seeds in-process stores directly (sim) or
+  // buffers control-plane batches (TCP — cluster.flush_seeds() ships them).
   if (map.replicated(key.cls)) {
-    for (dtm::Server* server : cluster.servers()) server->store().seed(key, value);
+    cluster.seed_object(key, value);
     return;
   }
-  for (dtm::Server* server : cluster.group_servers(map.shard_of(key)))
-    server->store().seed(key, value);
+  cluster.seed_object(key, value, map.shard_of(key));
 }
 
 store::VersionedRecord latest_sharded(harness::Cluster& cluster,

@@ -1,0 +1,131 @@
+#include "src/transport/topology.hpp"
+
+#include <fstream>
+#include <sstream>
+
+namespace acn::transport {
+namespace {
+
+std::string trim(const std::string& s) {
+  const auto begin = s.find_first_not_of(" \t\r");
+  if (begin == std::string::npos) return "";
+  const auto end = s.find_last_not_of(" \t\r");
+  return s.substr(begin, end - begin + 1);
+}
+
+std::string unquote(const std::string& s) {
+  if (s.size() >= 2 && s.front() == '"' && s.back() == '"')
+    return s.substr(1, s.size() - 2);
+  return s;
+}
+
+bool parse_int(const std::string& s, long long& out) {
+  try {
+    std::size_t pos = 0;
+    out = std::stoll(s, &pos);
+    return pos == s.size();
+  } catch (...) {
+    return false;
+  }
+}
+
+}  // namespace
+
+const TopologyNode* Topology::find(int id) const noexcept {
+  for (const TopologyNode& n : nodes)
+    if (n.id == id) return &n;
+  return nullptr;
+}
+
+std::string encode_topology(const Topology& topo) {
+  std::ostringstream out;
+  out << "servers = " << topo.servers << "\n";
+  out << "groups = " << topo.groups << "\n";
+  out << "durability = \"" << topo.durability << "\"\n";
+  for (const TopologyNode& n : topo.nodes) {
+    out << "\n[[node]]\n";
+    out << "id = " << n.id << "\n";
+    out << "group = " << n.group << "\n";
+    out << "host = \"" << n.host << "\"\n";
+    out << "port = " << n.port << "\n";
+  }
+  return out.str();
+}
+
+std::optional<Topology> parse_topology(const std::string& text,
+                                       std::string* error) {
+  const auto fail = [&](const std::string& why) -> std::optional<Topology> {
+    if (error) *error = why;
+    return std::nullopt;
+  };
+  Topology topo;
+  TopologyNode* current = nullptr;
+  std::istringstream in(text);
+  std::string raw;
+  int line_no = 0;
+  while (std::getline(in, raw)) {
+    ++line_no;
+    std::string line = trim(raw);
+    if (const auto hash = line.find('#'); hash != std::string::npos)
+      line = trim(line.substr(0, hash));
+    if (line.empty()) continue;
+    if (line == "[[node]]") {
+      topo.nodes.emplace_back();
+      current = &topo.nodes.back();
+      continue;
+    }
+    const auto eq = line.find('=');
+    if (eq == std::string::npos)
+      return fail("line " + std::to_string(line_no) + ": expected key = value");
+    const std::string key = trim(line.substr(0, eq));
+    const std::string value = unquote(trim(line.substr(eq + 1)));
+    long long num = 0;
+    const bool is_num = parse_int(value, num);
+    if (current) {
+      if (key == "id" && is_num)
+        current->id = static_cast<int>(num);
+      else if (key == "group" && is_num)
+        current->group = static_cast<std::uint32_t>(num);
+      else if (key == "host")
+        current->host = value;
+      else if (key == "port" && is_num)
+        current->port = static_cast<int>(num);
+      else
+        return fail("line " + std::to_string(line_no) + ": bad node key '" +
+                    key + "'");
+    } else {
+      if (key == "servers" && is_num)
+        topo.servers = static_cast<std::size_t>(num);
+      else if (key == "groups" && is_num)
+        topo.groups = static_cast<std::size_t>(num);
+      else if (key == "durability")
+        topo.durability = value;
+      else
+        return fail("line " + std::to_string(line_no) + ": bad key '" + key +
+                    "'");
+    }
+  }
+  if (topo.nodes.empty()) return fail("no [[node]] sections");
+  if (topo.servers == 0) topo.servers = topo.nodes.size();
+  if (topo.groups == 0) topo.groups = 1;
+  return topo;
+}
+
+std::optional<Topology> load_topology(const std::string& path,
+                                      std::string* error) {
+  std::ifstream in(path);
+  if (!in) {
+    if (error) *error = "cannot open " + path;
+    return std::nullopt;
+  }
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return parse_topology(buf.str(), error);
+}
+
+void save_topology(const Topology& topo, const std::string& path) {
+  std::ofstream out(path, std::ios::trunc);
+  out << encode_topology(topo);
+}
+
+}  // namespace acn::transport

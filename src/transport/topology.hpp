@@ -1,0 +1,58 @@
+// Cluster topology files for multi-process deployments.
+//
+// A topology names every replica process: node id, quorum group, and the
+// address its TcpServer listens on.  The format is a minimal TOML subset —
+// top-level `key = value` pairs plus one `[[node]]` table per replica —
+// chosen so the same file reads naturally in CI scripts and by hand:
+//
+//   # 3 replicas, one group
+//   servers = 3
+//   groups = 1
+//   durability = "none"
+//
+//   [[node]]
+//   id = 0
+//   group = 0
+//   host = "127.0.0.1"
+//   port = 7001
+//
+// harness::Cluster writes one of these next to the per-process logs when
+// it spawns a fleet (so a failed CI run documents what ran), and accepts
+// one via TcpConfig::topology_path to attach to externally-launched
+// processes instead of spawning — the multi-machine path.  cluster_main
+// reads the same file via --config to resolve its own listen address.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace acn::transport {
+
+struct TopologyNode {
+  int id = 0;
+  std::uint32_t group = 0;
+  std::string host = "127.0.0.1";
+  int port = 0;
+};
+
+struct Topology {
+  std::size_t servers = 0;  // per group
+  std::size_t groups = 1;
+  std::string durability = "none";  // "none" | "wal"
+  std::vector<TopologyNode> nodes;
+
+  const TopologyNode* find(int id) const noexcept;
+};
+
+std::string encode_topology(const Topology& topo);
+/// Parse the TOML subset above; nullopt (with *error set when provided) on
+/// malformed input.
+std::optional<Topology> parse_topology(const std::string& text,
+                                       std::string* error = nullptr);
+std::optional<Topology> load_topology(const std::string& path,
+                                      std::string* error = nullptr);
+void save_topology(const Topology& topo, const std::string& path);
+
+}  // namespace acn::transport

@@ -3,7 +3,11 @@
 // running a real cluster with StubConfig::verify_codec enabled.
 #include <gtest/gtest.h>
 
+#include <cstring>
+#include <span>
+
 #include "src/dtm/codec.hpp"
+#include "src/transport/frame.hpp"
 #include "src/harness/cluster.hpp"
 #include "src/workloads/bank.hpp"
 #include "src/acn/executor.hpp"
@@ -392,6 +396,122 @@ TEST(Codec, FuzzEveryMessageTypeRoundTrips) {
       }
     }
     EXPECT_EQ(roundtrip(response), response) << "response trial " << trial;
+  }
+}
+
+// ---- TCP frame header (length prefix + CRC, src/transport/frame.hpp) -----
+//
+// The stream reader guards the wire the way parse_segment guards the log:
+// every malformed prefix must be rejected without reading past the bytes it
+// was handed, and a poisoned stream must never surface another frame.
+
+std::vector<std::uint8_t> frame_bytes(std::span<const std::uint8_t> payload) {
+  std::vector<std::uint8_t> out;
+  transport::append_frame(out, payload);
+  return out;
+}
+
+TEST(Frame, RoundTripsThroughArbitraryChunking) {
+  Rng rng(0xF4A3E);
+  for (int trial = 0; trial < 50; ++trial) {
+    std::vector<std::vector<std::uint8_t>> payloads;
+    std::vector<std::uint8_t> stream;
+    const int n = static_cast<int>(rng.uniform(1, 6));
+    for (int i = 0; i < n; ++i) {
+      std::vector<std::uint8_t> payload(rng.uniform(0, 300));
+      for (auto& b : payload) b = static_cast<std::uint8_t>(rng.uniform(0, 255));
+      transport::append_frame(stream, payload);
+      payloads.push_back(std::move(payload));
+    }
+    transport::FrameReader reader;
+    std::vector<std::vector<std::uint8_t>> got;
+    std::size_t off = 0;
+    while (off < stream.size()) {
+      const std::size_t chunk =
+          std::min<std::size_t>(rng.uniform(1, 40), stream.size() - off);
+      ASSERT_TRUE(reader.feed(std::span(stream).subspan(off, chunk)));
+      off += chunk;
+      for (auto& p : reader.take()) got.push_back(std::move(p));
+    }
+    EXPECT_EQ(got, payloads) << "trial " << trial;
+    EXPECT_FALSE(reader.poisoned());
+  }
+}
+
+TEST(Frame, TruncatedFrameSurfacesNothingAndStaysHealthy) {
+  const std::vector<std::uint8_t> payload{1, 2, 3, 4, 5};
+  const auto framed = frame_bytes(payload);
+  // Every proper prefix: incomplete — no frame, no poison, no overread.
+  for (std::size_t cut = 0; cut < framed.size(); ++cut) {
+    transport::FrameReader reader;
+    EXPECT_TRUE(reader.feed(std::span(framed).first(cut)));
+    EXPECT_TRUE(reader.take().empty()) << "cut at " << cut;
+    EXPECT_FALSE(reader.poisoned());
+  }
+}
+
+TEST(Frame, CorruptedCrcPoisonsTheStream) {
+  const std::vector<std::uint8_t> payload{9, 8, 7, 6};
+  auto framed = frame_bytes(payload);
+  framed[4] ^= 0x01;  // flip one CRC bit
+  // A healthy frame queued behind the corrupt one must never surface.
+  transport::append_frame(framed, payload);
+  transport::FrameReader reader;
+  EXPECT_FALSE(reader.feed(framed));
+  EXPECT_TRUE(reader.poisoned());
+  EXPECT_EQ(reader.corrupt_frames(), 1u);
+  EXPECT_TRUE(reader.take().empty());
+  EXPECT_FALSE(reader.feed(frame_bytes(payload)));  // stays dead
+  EXPECT_TRUE(reader.take().empty());
+}
+
+TEST(Frame, PayloadCorruptionPoisonsTheStream) {
+  std::vector<std::uint8_t> payload(64, 0xAB);
+  auto framed = frame_bytes(payload);
+  framed[8 + 20] ^= 0x40;
+  transport::FrameReader reader;
+  EXPECT_FALSE(reader.feed(framed));
+  EXPECT_TRUE(reader.poisoned());
+}
+
+TEST(Frame, OversizedLengthRejectedWithoutReadingPast) {
+  // A length prefix beyond the cap must poison immediately — from the
+  // header alone, no matter how few payload bytes followed it.
+  std::vector<std::uint8_t> header(8, 0);
+  const std::uint32_t huge = 0xFFFFFFFFu;
+  std::memcpy(header.data(), &huge, sizeof huge);
+  transport::FrameReader reader;
+  EXPECT_FALSE(reader.feed(header));
+  EXPECT_TRUE(reader.poisoned());
+
+  // Just over a small explicit cap: same fate.
+  transport::FrameReader capped(/*max_payload=*/16);
+  const auto framed = frame_bytes(std::vector<std::uint8_t>(17, 1));
+  EXPECT_FALSE(capped.feed(framed));
+  EXPECT_TRUE(capped.poisoned());
+  // At the cap: fine.
+  transport::FrameReader at_cap(/*max_payload=*/16);
+  EXPECT_TRUE(at_cap.feed(frame_bytes(std::vector<std::uint8_t>(16, 1))));
+  EXPECT_EQ(at_cap.take().size(), 1u);
+}
+
+TEST(Frame, FuzzRandomGarbageNeverCrashesOrOverreads) {
+  Rng rng(0xBADF00D);
+  for (int trial = 0; trial < 200; ++trial) {
+    std::vector<std::uint8_t> garbage(rng.uniform(0, 200));
+    for (auto& b : garbage) b = static_cast<std::uint8_t>(rng.uniform(0, 255));
+    transport::FrameReader reader;
+    std::size_t off = 0;
+    while (off < garbage.size()) {
+      const std::size_t chunk =
+          std::min<std::size_t>(rng.uniform(1, 32), garbage.size() - off);
+      if (!reader.feed(std::span(garbage).subspan(off, chunk))) break;
+      off += chunk;
+    }
+    // Whatever happened, surfaced frames must individually be well-formed
+    // (their length matched and CRC verified) — here just that nothing
+    // exploded and the poison flag is consistent with feed's verdict.
+    if (reader.poisoned()) EXPECT_EQ(reader.corrupt_frames(), 1u);
   }
 }
 

@@ -317,5 +317,35 @@ TEST(NetStats, SummaryMentionsCounters) {
   EXPECT_NE(text.find("bytes=10"), std::string::npos);
 }
 
+TEST(Network, NestedCallFromHandlerThrows) {
+  // A handler that calls back into the network would deadlock a real
+  // transport's event loop; the sim must reject it the same way so tests
+  // written against sim stay honest about what TCP can honor.
+  auto net = std::make_unique<TestNet>(std::make_shared<ZeroLatency>());
+  net->register_node(0, [&](NodeId, const Ping& p) {
+    if (p.value == 99) net->call(0, 1, Ping{1});  // nested RPC: forbidden
+    return Pong{p.value, 0};
+  });
+  net->register_node(1,
+                     [](NodeId, const Ping& p) { return Pong{p.value, 1}; });
+  EXPECT_TRUE(net->call(10, 0, Ping{1}).ok());  // plain call still fine
+  EXPECT_THROW(net->call(10, 0, Ping{99}), std::logic_error);
+  // The guard is RAII: after the throw unwinds, the depth is back to zero
+  // and top-level calls keep working.
+  EXPECT_TRUE(net->call(10, 0, Ping{1}).ok());
+  EXPECT_TRUE(net->call(10, 1, Ping{2}).ok());
+}
+
+TEST(Network, NestedMulticallFromHandlerThrows) {
+  auto net = std::make_unique<TestNet>(std::make_shared<ZeroLatency>());
+  net->register_node(0, [&](NodeId, const Ping& p) {
+    net->multicall(0, {1}, [](NodeId) { return Ping{1}; });
+    return Pong{p.value, 0};
+  });
+  net->register_node(1,
+                     [](NodeId, const Ping& p) { return Pong{p.value, 1}; });
+  EXPECT_THROW(net->call(10, 0, Ping{1}), std::logic_error);
+}
+
 }  // namespace
 }  // namespace acn::net
